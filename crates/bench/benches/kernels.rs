@@ -1,0 +1,234 @@
+//! Criterion microbenchmarks of the hot kernels behind the experiment
+//! binaries: one LBP inference, one greedy/lazy selection, one HLM
+//! training run, correlation-graph construction, and one simulated day.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdspeed::prelude::*;
+use roadnet::RoadId;
+use std::hint::black_box;
+use trafficsim::dataset::{metro_small, Dataset, DatasetParams};
+
+fn bench_dataset() -> Dataset {
+    metro_small(&DatasetParams {
+        training_days: 10,
+        test_days: 1,
+        ..DatasetParams::default()
+    })
+}
+
+struct Prepared {
+    ds: Dataset,
+    stats: HistoryStats,
+    corr: crowdspeed::correlation::CorrelationGraph,
+    influence: InfluenceModel,
+    seeds: Vec<RoadId>,
+}
+
+fn prepare() -> Prepared {
+    let ds = bench_dataset();
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig {
+            min_cotrend: 0.6,
+            min_co_observations: 8,
+            ..CorrelationConfig::default()
+        },
+    );
+    let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    let seeds = lazy_greedy(&influence, 10).seeds;
+    Prepared {
+        ds,
+        stats,
+        corr,
+        influence,
+        seeds,
+    }
+}
+
+fn lbp_inference(c: &mut Criterion) {
+    let p = prepare();
+    let model = crowdspeed::inference::trend_model::TrendModel::new(
+        p.corr.clone(),
+        &p.stats,
+        Default::default(),
+    );
+    let slot = 8;
+    let truth = &p.ds.test_days[0];
+    let obs: Vec<(RoadId, bool)> = p
+        .seeds
+        .iter()
+        .map(|&s| (s, p.stats.trend_of(slot, s, truth.speed(slot, s))))
+        .collect();
+    c.bench_function("lbp_inference", |b| {
+        b.iter(|| black_box(model.infer(slot, &obs, &TrendEngine::default())))
+    });
+}
+
+fn seed_selection(c: &mut Criterion) {
+    let p = prepare();
+    let mut g = c.benchmark_group("seed_selection");
+    for k in [5usize, 20] {
+        g.bench_with_input(BenchmarkId::new("greedy", k), &k, |b, &k| {
+            b.iter(|| black_box(greedy(&p.influence, k)))
+        });
+        g.bench_with_input(BenchmarkId::new("lazy_greedy", k), &k, |b, &k| {
+            b.iter(|| black_box(lazy_greedy(&p.influence, k)))
+        });
+    }
+    g.finish();
+}
+
+fn hlm_fit(c: &mut Criterion) {
+    let p = prepare();
+    c.bench_function("hlm_train", |b| {
+        b.iter(|| {
+            black_box(
+                HlmModel::train(
+                    &p.ds.graph,
+                    &p.ds.history,
+                    &p.stats,
+                    &p.corr,
+                    &p.seeds,
+                    &HlmConfig::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn correlation_build(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let stats = HistoryStats::compute(&ds.history);
+    c.bench_function("correlation_build", |b| {
+        b.iter(|| {
+            black_box(CorrelationGraph::build(
+                &ds.graph,
+                &ds.history,
+                &stats,
+                &CorrelationConfig::default(),
+            ))
+        })
+    });
+}
+
+fn simulator_day(c: &mut Criterion) {
+    let ds = bench_dataset();
+    c.bench_function("simulator_day", |b| {
+        let mut day = 0u64;
+        b.iter(|| {
+            day += 1;
+            black_box(ds.simulator.simulate_day(day))
+        })
+    });
+}
+
+fn end_to_end_estimate(c: &mut Criterion) {
+    let p = prepare();
+    let est = TrafficEstimator::train(
+        &p.ds.graph,
+        &p.ds.history,
+        &p.stats,
+        &p.corr,
+        &p.seeds,
+        &EstimatorConfig::default(),
+    )
+    .unwrap();
+    let slot = 8;
+    let truth = &p.ds.test_days[0];
+    let obs: Vec<(RoadId, f64)> = p.seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
+    c.bench_function("estimate_one_slot", |b| {
+        b.iter(|| black_box(est.estimate(slot, &obs)))
+    });
+}
+
+fn deviation_propagation(c: &mut Criterion) {
+    let p = prepare();
+    let seed_devs: Vec<(RoadId, f64)> = p
+        .seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, 0.8 + 0.04 * i as f64))
+        .collect();
+    c.bench_function("deviation_propagation", |b| {
+        b.iter(|| {
+            black_box(crowdspeed::propagate::propagate_deviations(
+                &p.corr, &seed_devs, 30, 0.2,
+            ))
+        })
+    });
+}
+
+fn online_ingest_day(c: &mut Criterion) {
+    let p = prepare();
+    let mut online = crowdspeed::online::OnlineCorrelation::bootstrap(
+        &p.ds.graph,
+        &p.ds.history,
+        &CorrelationConfig::default(),
+    );
+    let day = p.ds.test_days[0].clone();
+    c.bench_function("online_ingest_day", |b| {
+        b.iter(|| {
+            online.ingest_day(black_box(&day));
+        })
+    });
+}
+
+fn meanfield_inference(c: &mut Criterion) {
+    let p = prepare();
+    let model = crowdspeed::inference::trend_model::TrendModel::new(
+        p.corr.clone(),
+        &p.stats,
+        Default::default(),
+    );
+    let slot = 8;
+    let truth = &p.ds.test_days[0];
+    let obs: Vec<(RoadId, bool)> = p
+        .seeds
+        .iter()
+        .map(|&s| (s, p.stats.trend_of(slot, s, truth.speed(slot, s))))
+        .collect();
+    let engine = TrendEngine::MeanField(graphmodel::meanfield::MeanFieldOptions::default());
+    c.bench_function("meanfield_inference", |b| {
+        b.iter(|| black_box(model.infer(slot, &obs, &engine)))
+    });
+}
+
+fn route_planning(c: &mut Criterion) {
+    let p = prepare();
+    let speeds: Vec<f64> = p
+        .ds
+        .graph
+        .road_ids()
+        .map(|r| p.stats.mean(8, r))
+        .collect();
+    let n = p.ds.graph.num_roads();
+    c.bench_function("fastest_route", |b| {
+        b.iter(|| {
+            black_box(crowdspeed::routing::fastest_route(
+                &p.ds.graph,
+                &speeds,
+                RoadId(0),
+                RoadId((n - 1) as u32),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    lbp_inference,
+    seed_selection,
+    hlm_fit,
+    correlation_build,
+    simulator_day,
+    end_to_end_estimate,
+    deviation_propagation,
+    online_ingest_day,
+    meanfield_inference,
+    route_planning
+);
+criterion_main!(benches);

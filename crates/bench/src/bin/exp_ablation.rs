@@ -1,0 +1,124 @@
+//! Experiment E10 — ablation of the design choices flagged in
+//! `DESIGN.md` §6.
+//!
+//! Disables one ingredient at a time:
+//! * **no-trend-step** — step 1 replaced by historical priors
+//!   (`TrendEngine::PriorOnly`);
+//! * **no-regime-split** — one coefficient set instead of up/down;
+//! * **class-pooling / global-pooling** — shallower HLM hierarchies;
+//! * **1-hop influence** — seed coverage and HLM features restricted to
+//!   direct correlation neighbours.
+
+use bench::{f3, presets, Table};
+use crowdspeed::eval::Method;
+use crowdspeed::inference::hlm::{HlmConfig, Pooling};
+use crowdspeed::prelude::*;
+
+fn main() {
+    let ds = if bench::quick_mode() {
+        presets::quick()
+    } else {
+        presets::metro()
+    };
+    let stats = HistoryStats::compute(&ds.history);
+    let corr_cfg = CorrelationConfig::default();
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &corr_cfg);
+    let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    let k = (ds.graph.num_roads() / 10).max(5);
+    let seeds = lazy_greedy(&influence, k).seeds;
+    let eval_cfg = EvalConfig {
+        slots: presets::representative_slots(ds.clock.slots_per_day),
+        correlation: corr_cfg,
+        ..EvalConfig::default()
+    };
+
+    let variants: Vec<(&str, EstimatorConfig)> = vec![
+        ("full", EstimatorConfig::default()),
+        (
+            "no-trend-step",
+            EstimatorConfig {
+                engine: TrendEngine::PriorOnly,
+                ..EstimatorConfig::default()
+            },
+        ),
+        (
+            "no-regime-split",
+            EstimatorConfig {
+                hlm: HlmConfig {
+                    split_regimes: false,
+                    ..HlmConfig::default()
+                },
+                ..EstimatorConfig::default()
+            },
+        ),
+        (
+            "class-pooling",
+            EstimatorConfig {
+                hlm: HlmConfig {
+                    pooling: Pooling::ClassOnly,
+                    ..HlmConfig::default()
+                },
+                ..EstimatorConfig::default()
+            },
+        ),
+        (
+            "global-pooling",
+            EstimatorConfig {
+                hlm: HlmConfig {
+                    pooling: Pooling::GlobalOnly,
+                    ..HlmConfig::default()
+                },
+                ..EstimatorConfig::default()
+            },
+        ),
+        (
+            "1-hop-influence",
+            EstimatorConfig {
+                hlm: HlmConfig {
+                    influence: InfluenceConfig {
+                        max_hops: 1,
+                        ..InfluenceConfig::default()
+                    },
+                    ..HlmConfig::default()
+                },
+                ..EstimatorConfig::default()
+            },
+        ),
+    ];
+
+    println!("E10: ablations on {} (K = {k}, seeds via lazy greedy)", ds.name);
+    let mut t = Table::new(&["variant", "mape", "mae", "trend-acc"]);
+    for (name, config) in variants {
+        let rep = evaluate(&ds, &seeds, &Method::TwoStep(config), &eval_cfg);
+        t.row(&[
+            name.to_string(),
+            f3(rep.error.mape),
+            f3(rep.error.mae),
+            f3(rep.trend_accuracy),
+        ]);
+    }
+
+    // 1-hop also on the *selection* side: seeds chosen with 1-hop
+    // influence, estimated with the full model.
+    let one_hop = InfluenceModel::build(
+        &corr,
+        &InfluenceConfig {
+            max_hops: 1,
+            ..InfluenceConfig::default()
+        },
+    );
+    let seeds_1hop = lazy_greedy(&one_hop, k).seeds;
+    let rep = evaluate(
+        &ds,
+        &seeds_1hop,
+        &Method::TwoStep(EstimatorConfig::default()),
+        &eval_cfg,
+    );
+    t.row(&[
+        "1-hop-selection".to_string(),
+        f3(rep.error.mape),
+        f3(rep.error.mae),
+        f3(rep.trend_accuracy),
+    ]);
+    t.print();
+}

@@ -1,0 +1,65 @@
+//! Experiment E9 — robustness to crowdsourcing imperfection.
+//!
+//! Sweeps (a) worker report noise and (b) workers per seed, showing how
+//! gracefully estimation accuracy degrades as the crowd channel gets
+//! worse. The trend step is inherently noise-tolerant (a report only
+//! has to land on the right side of the historical average), which is
+//! the effect this experiment surfaces.
+
+use bench::{f3, presets, Table};
+use crowdspeed::eval::Method;
+use crowdspeed::prelude::*;
+use trafficsim::crowd::CrowdParams;
+
+fn main() {
+    let ds = if bench::quick_mode() {
+        presets::quick()
+    } else {
+        presets::metro()
+    };
+    let stats = HistoryStats::compute(&ds.history);
+    let corr_cfg = CorrelationConfig::default();
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &corr_cfg);
+    let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    let k = (ds.graph.num_roads() / 10).max(5);
+    let seeds = lazy_greedy(&influence, k).seeds;
+    let slots = presets::representative_slots(ds.clock.slots_per_day);
+
+    let run = |crowd: CrowdParams| -> (f64, f64) {
+        let rep = evaluate(
+            &ds,
+            &seeds,
+            &Method::TwoStep(EstimatorConfig::default()),
+            &EvalConfig {
+                slots: slots.clone(),
+                crowd,
+                correlation: corr_cfg.clone(),
+                ..EvalConfig::default()
+            },
+        );
+        (rep.error.mape, rep.trend_accuracy)
+    };
+
+    println!("E9a: worker noise sweep on {} (K = {k}, 5 workers/seed)", ds.name);
+    let mut t = Table::new(&["noise-sigma", "mape", "trend-acc"]);
+    for sigma in [0.0, 0.05, 0.10, 0.20, 0.40] {
+        let (mape, tacc) = run(CrowdParams {
+            noise_sigma: sigma,
+            ..CrowdParams::default()
+        });
+        t.row(&[format!("{sigma:.2}"), f3(mape), f3(tacc)]);
+    }
+    t.print();
+
+    println!("\nE9b: workers-per-seed sweep (noise sigma = 0.2)");
+    let mut t = Table::new(&["workers", "mape", "trend-acc"]);
+    for workers in [1usize, 2, 3, 5, 10] {
+        let (mape, tacc) = run(CrowdParams {
+            workers_per_seed: workers,
+            noise_sigma: 0.2,
+            ..CrowdParams::default()
+        });
+        t.row(&[workers.to_string(), f3(mape), f3(tacc)]);
+    }
+    t.print();
+}

@@ -1,0 +1,51 @@
+//! Experiment E1 — dataset statistics (paper's Table 1).
+//!
+//! Prints the statistics row of each synthetic evaluation dataset:
+//! roads, adjacencies, class mix, slots, days, probe coverage, mean
+//! speed.
+
+use bench::{presets, Table};
+
+fn main() {
+    let datasets = if bench::quick_mode() {
+        vec![presets::quick()]
+    } else {
+        vec![presets::metro(), presets::grid()]
+    };
+
+    let mut t = Table::new(&[
+        "dataset",
+        "roads",
+        "adjacencies",
+        "avg-degree",
+        "highway",
+        "arterial",
+        "collector",
+        "local",
+        "slots/day",
+        "train-days",
+        "test-days",
+        "probe-coverage",
+        "mean-kmh",
+    ]);
+    for ds in &datasets {
+        let s = ds.stats();
+        t.row(&[
+            s.name.to_string(),
+            s.roads.to_string(),
+            s.adjacencies.to_string(),
+            format!("{:.2}", s.avg_degree),
+            s.class_counts[0].to_string(),
+            s.class_counts[1].to_string(),
+            s.class_counts[2].to_string(),
+            s.class_counts[3].to_string(),
+            s.slots_per_day.to_string(),
+            s.training_days.to_string(),
+            s.test_days.to_string(),
+            format!("{:.3}", s.observed_fraction),
+            format!("{:.1}", s.mean_speed_kmh),
+        ]);
+    }
+    println!("E1: dataset statistics (paper Table 1)");
+    t.print();
+}

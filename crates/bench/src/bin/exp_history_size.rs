@@ -1,0 +1,65 @@
+//! Experiment E11 — sensitivity to training-history size.
+//!
+//! Truncates the training history to its first `d` days and re-runs the
+//! full pipeline (statistics, correlation graph, seed selection,
+//! training, evaluation). Short histories starve both the correlation
+//! estimates and the HLM; the curve shows where returns flatten.
+
+use bench::{f3, presets, Table};
+use crowdspeed::eval::Method;
+use crowdspeed::prelude::*;
+use trafficsim::dataset::Dataset;
+
+fn main() {
+    let full = if bench::quick_mode() {
+        presets::quick()
+    } else {
+        presets::metro()
+    };
+    let k = (full.graph.num_roads() / 10).max(5);
+    let max_days = full.history.num_days();
+
+    println!(
+        "E11: training-history size sweep on {} (K = {k}, up to {max_days} days)",
+        full.name
+    );
+    let mut t = Table::new(&["days", "corr-edges", "mape", "trend-acc"]);
+
+    let days_list: Vec<usize> = [2usize, 4, 6, 10, 15, 20]
+        .into_iter()
+        .filter(|&d| d <= max_days)
+        .collect();
+    for days in days_list {
+        let ds = Dataset {
+            history: full.history.truncated(days),
+            ..full.clone()
+        };
+        let stats = HistoryStats::compute(&ds.history);
+        // Short histories have fewer co-observations; scale the support
+        // floor so the graph does not vanish at d = 2.
+        let corr_cfg = CorrelationConfig {
+            min_co_observations: (days as u32 * 2).clamp(4, 12),
+            ..CorrelationConfig::default()
+        };
+        let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &corr_cfg);
+        let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+        let seeds = lazy_greedy(&influence, k).seeds;
+        let rep = evaluate(
+            &ds,
+            &seeds,
+            &Method::TwoStep(EstimatorConfig::default()),
+            &EvalConfig {
+                slots: presets::representative_slots(ds.clock.slots_per_day),
+                correlation: corr_cfg,
+                ..EvalConfig::default()
+            },
+        );
+        t.row(&[
+            days.to_string(),
+            corr.num_edges().to_string(),
+            f3(rep.error.mape),
+            f3(rep.trend_accuracy),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,127 @@
+//! Experiment E6 — trend-inference efficiency vs network size (the
+//! paper's efficiency figure; abstract claim: "2 orders of magnitude in
+//! efficiency").
+//!
+//! For grid cities of growing size, times one trend inference (10 %
+//! seeds observed) under each engine: LBP (production), Gibbs at a
+//! well-mixed schedule (the sampling baseline), and exact enumeration
+//! where feasible. Also reports how often the two engines' hard trend
+//! decisions agree, to show LBP's speed costs no accuracy.
+
+use bench::{f3, timed, Table};
+use crowdspeed::prelude::*;
+use graphmodel::gibbs::GibbsOptions;
+use roadnet::generate::{grid_city, GridParams};
+use roadnet::RoadId;
+use trafficsim::dataset::{Dataset, DatasetParams};
+use trafficsim::SlotClock;
+
+fn dataset_of_width(w: usize) -> Dataset {
+    let graph = grid_city(&GridParams {
+        width: w,
+        height: w,
+        ..GridParams::default()
+    });
+    Dataset::assemble(
+        "efficiency-grid",
+        graph,
+        SlotClock::hourly(),
+        &DatasetParams {
+            training_days: 8,
+            test_days: 1,
+            ..DatasetParams::default()
+        },
+    )
+}
+
+fn main() {
+    let widths: Vec<usize> = if bench::quick_mode() {
+        vec![8, 12]
+    } else {
+        vec![8, 12, 17, 24, 34, 48]
+    };
+
+    println!("E6: trend-inference latency vs network size (grid cities, 10% seeds)");
+    let mut t = Table::new(&[
+        "roads",
+        "corr-edges",
+        "lbp-ms",
+        "lbp-iters",
+        "gibbs-ms",
+        "exact-ms",
+        "gibbs/lbp",
+        "decision-agree",
+    ]);
+
+    for w in widths {
+        let ds = dataset_of_width(w);
+        let stats = HistoryStats::compute(&ds.history);
+        let corr = CorrelationGraph::build(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &CorrelationConfig::default(),
+        );
+        let model = crowdspeed::inference::trend_model::TrendModel::new(
+            corr.clone(),
+            &stats,
+            Default::default(),
+        );
+        let n = ds.graph.num_roads();
+        let k = (n / 10).max(2);
+        let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+        let seeds = lazy_greedy(&influence, k).seeds;
+        let slot = ds.clock.slot_of_hour(8.25);
+        let truth = &ds.test_days[0];
+        let obs: Vec<(RoadId, bool)> = seeds
+            .iter()
+            .map(|&s| (s, stats.trend_of(slot, s, truth.speed(slot, s))))
+            .collect();
+
+        let (lbp, lbp_ms) = timed(|| model.infer(slot, &obs, &TrendEngine::default()));
+        // A sampler must mix across the whole graph; thousands of
+        // sweeps are the standard budget for marginals one would trust
+        // at this scale (the consistency tests use the same order).
+        let (gibbs, gibbs_ms) = timed(|| {
+            model.infer(
+                slot,
+                &obs,
+                &TrendEngine::Gibbs {
+                    options: GibbsOptions {
+                        burn_in: 500,
+                        samples: 5000,
+                    },
+                    seed: 3,
+                },
+            )
+        });
+        // Exact only when the free-variable count is enumerable.
+        let exact_ms = if n - seeds.len() <= 20 {
+            let (_, ms) = timed(|| model.infer(slot, &obs, &TrendEngine::Exact));
+            f3(ms)
+        } else {
+            "-".to_string()
+        };
+
+        let agree = lbp
+            .decisions()
+            .iter()
+            .zip(gibbs.decisions())
+            .filter(|(a, b)| **a == *b)
+            .count() as f64
+            / n as f64;
+
+        t.row(&[
+            n.to_string(),
+            corr.num_edges().to_string(),
+            f3(lbp_ms),
+            lbp.iterations.to_string(),
+            f3(gibbs_ms),
+            exact_ms,
+            f3(gibbs_ms / lbp_ms),
+            f3(agree),
+        ]);
+    }
+    t.print();
+    println!("(gibbs/lbp is the efficiency gap; decision-agree shows no accuracy is traded)");
+}

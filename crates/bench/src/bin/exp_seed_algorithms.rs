@@ -1,0 +1,83 @@
+//! Experiment E2 — seed-selection algorithm comparison (paper's
+//! seed-selection table).
+//!
+//! For a fixed budget (10 % of roads) on the metro dataset, compares
+//! every selector on: objective value F(S), selection wall time, gain
+//! evaluations, and downstream estimation error when the two-step
+//! estimator runs on the selected seeds.
+
+use bench::{f3, presets, timed, Table};
+use crowdspeed::prelude::*;
+use roadnet::RoadId;
+
+fn main() {
+    let ds = if bench::quick_mode() {
+        presets::quick()
+    } else {
+        presets::metro()
+    };
+    let stats = HistoryStats::compute(&ds.history);
+    let corr_cfg = CorrelationConfig::default();
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &corr_cfg);
+    let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    let obj = SeedObjective::new(&influence);
+    let k = (ds.graph.num_roads() / 10).max(5);
+
+    println!(
+        "E2: seed-selection algorithms on {} (n = {}, K = {k}, corr edges = {})",
+        ds.name,
+        ds.graph.num_roads(),
+        corr.num_edges()
+    );
+
+    let eval_cfg = EvalConfig {
+        slots: presets::representative_slots(ds.clock.slots_per_day),
+        correlation: corr_cfg,
+        ..EvalConfig::default()
+    };
+
+    let mut t = Table::new(&[
+        "algorithm",
+        "objective",
+        "select-ms",
+        "gain-evals",
+        "mape",
+        "trend-acc",
+    ]);
+    let mut run = |name: &str, seeds: Vec<RoadId>, ms: f64, evals: Option<u64>| {
+        let objective = obj.value(&seeds);
+        let rep = evaluate(
+            &ds,
+            &seeds,
+            &crowdspeed::eval::Method::TwoStep(EstimatorConfig::default()),
+            &eval_cfg,
+        );
+        t.row(&[
+            name.to_string(),
+            f3(objective),
+            f3(ms),
+            evals.map_or("-".into(), |e| e.to_string()),
+            f3(rep.error.mape),
+            f3(rep.trend_accuracy),
+        ]);
+    };
+
+    let (res, ms) = timed(|| greedy(&influence, k));
+    run("greedy", res.seeds, ms, Some(res.evaluations));
+    let (res, ms) = timed(|| lazy_greedy(&influence, k));
+    run("lazy-greedy", res.seeds, ms, Some(res.evaluations));
+    let (res, ms) = timed(|| partition_greedy(&corr, &InfluenceConfig::default(), k, 8));
+    run("partition-8", res.seeds, ms, Some(res.evaluations));
+    let (seeds, ms) = timed(|| random_seeds(ds.graph.num_roads(), k, 42));
+    run("random", seeds, ms, None);
+    let (seeds, ms) = timed(|| top_degree(&corr, k));
+    run("top-degree", seeds, ms, None);
+    let (seeds, ms) = timed(|| top_variance(&ds.history, &stats, k));
+    run("top-variance", seeds, ms, None);
+    let (seeds, ms) = timed(|| pagerank_seeds(&corr, k, 0.85, 50));
+    run("pagerank", seeds, ms, None);
+    let (seeds, ms) = timed(|| k_center(&corr, k));
+    run("k-center", seeds, ms, None);
+
+    t.print();
+}

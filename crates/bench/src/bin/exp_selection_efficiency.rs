@@ -1,0 +1,95 @@
+//! Experiment E7 — seed-selection efficiency vs budget K.
+//!
+//! Times plain greedy, lazy greedy (CELF) and partition greedy on a
+//! large synthetic correlation graph as the budget grows, reporting
+//! wall time, gain evaluations, and the objective each achieves (lazy
+//! matches plain exactly; partition trades a little quality for speed).
+//! The evaluation-count gap between plain and lazy greedy is the
+//! reproduction of the paper's "2 orders of magnitude" efficiency
+//! claim on the selection side.
+
+use bench::{f3, timed, Table};
+use crowdspeed::correlation::{CorrelationEdge, CorrelationGraph};
+use crowdspeed::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use roadnet::generate::{grid_city, GridParams};
+
+/// Builds a synthetic correlation graph over a grid city: every
+/// road-adjacency pair is correlated with a random strength, which
+/// isolates selection cost from traffic simulation.
+fn synthetic_corr(width: usize, seed: u64) -> CorrelationGraph {
+    let g = grid_city(&GridParams {
+        width,
+        height: width,
+        ..GridParams::default()
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for a in g.road_ids() {
+        for &b in g.neighbors(a) {
+            if a < b {
+                edges.push(CorrelationEdge {
+                    a,
+                    b,
+                    cotrend: rng.gen_range(0.65..0.92),
+                    support: 100,
+                });
+            }
+        }
+    }
+    CorrelationGraph::from_edges(g.num_roads(), edges)
+}
+
+fn main() {
+    let width = if bench::quick_mode() { 16 } else { 50 };
+    let corr = synthetic_corr(width, 9);
+    let n = corr.num_roads();
+    let config = InfluenceConfig::default();
+    let influence = InfluenceModel::build(&corr, &config);
+
+    println!(
+        "E7: seed-selection cost vs budget (n = {n}, corr edges = {}, avg reach = {:.1})",
+        corr.num_edges(),
+        influence.avg_reach()
+    );
+    let mut t = Table::new(&[
+        "K",
+        "greedy-ms",
+        "greedy-evals",
+        "lazy-ms",
+        "lazy-evals",
+        "speedup(evals)",
+        "partition8-ms",
+        "obj greedy",
+        "obj lazy",
+        "obj part8",
+    ]);
+
+    let fracs: &[f64] = if bench::quick_mode() {
+        &[0.02, 0.05]
+    } else {
+        &[0.01, 0.02, 0.05, 0.10, 0.20]
+    };
+    for &frac in fracs {
+        let k = ((n as f64 * frac) as usize).max(2);
+        let (g, g_ms) = timed(|| greedy(&influence, k));
+        let (l, l_ms) = timed(|| lazy_greedy(&influence, k));
+        let (p, p_ms) = timed(|| partition_greedy(&corr, &config, k, 8));
+        // Re-score partition seeds on the shared full-graph objective.
+        let p_obj = SeedObjective::new(&influence).value(&p.seeds);
+        t.row(&[
+            k.to_string(),
+            f3(g_ms),
+            g.evaluations.to_string(),
+            f3(l_ms),
+            l.evaluations.to_string(),
+            f3(g.evaluations as f64 / l.evaluations as f64),
+            f3(p_ms),
+            f3(g.objective),
+            f3(l.objective),
+            f3(p_obj),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,60 @@
+//! Experiment E8 — effect of the correlation threshold τ.
+//!
+//! Sweeps τ from permissive to strict. Low τ admits weak, noisy
+//! couplings (dense graph, slower inference, diluted propagation);
+//! high τ starves the trend model of structure. The sweep exposes the
+//! sweet spot the default configuration uses.
+
+use bench::{f3, presets, timed, Table};
+use crowdspeed::eval::Method;
+use crowdspeed::prelude::*;
+
+fn main() {
+    let ds = if bench::quick_mode() {
+        presets::quick()
+    } else {
+        presets::metro()
+    };
+    let stats = HistoryStats::compute(&ds.history);
+    let k = (ds.graph.num_roads() / 10).max(5);
+
+    println!("E8: correlation threshold τ sweep on {} (K = {k})", ds.name);
+    let mut t = Table::new(&[
+        "tau",
+        "corr-edges",
+        "avg-degree",
+        "build-ms",
+        "mape",
+        "trend-acc",
+    ]);
+
+    for tau in [0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90] {
+        let cfg = CorrelationConfig {
+            min_cotrend: tau,
+            ..CorrelationConfig::default()
+        };
+        let (corr, build_ms) =
+            timed(|| CorrelationGraph::build(&ds.graph, &ds.history, &stats, &cfg));
+        let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+        let seeds = lazy_greedy(&influence, k).seeds;
+        let rep = evaluate(
+            &ds,
+            &seeds,
+            &Method::TwoStep(EstimatorConfig::default()),
+            &EvalConfig {
+                slots: presets::representative_slots(ds.clock.slots_per_day),
+                correlation: cfg,
+                ..EvalConfig::default()
+            },
+        );
+        t.row(&[
+            format!("{tau:.2}"),
+            corr.num_edges().to_string(),
+            f3(corr.avg_degree()),
+            f3(build_ms),
+            f3(rep.error.mape),
+            f3(rep.trend_accuracy),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,61 @@
+//! Experiment E5 — estimation error by time of day.
+//!
+//! Fixes the budget at 10 % and reports per-period MAPE: congested
+//! rush-hour slots are harder than free-flowing night slots, and the
+//! advantage of the trend model concentrates where it matters (rush).
+
+use bench::{f3, presets, Table};
+use crowdspeed::eval::Method;
+use crowdspeed::prelude::*;
+
+fn main() {
+    let ds = if bench::quick_mode() {
+        presets::quick()
+    } else {
+        presets::metro()
+    };
+    let stats = HistoryStats::compute(&ds.history);
+    let corr_cfg = CorrelationConfig::default();
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &corr_cfg);
+    let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    let k = (ds.graph.num_roads() / 10).max(5);
+    let seeds = lazy_greedy(&influence, k).seeds;
+
+    let spd = ds.clock.slots_per_day;
+    let hour_slots = |lo: f64, hi: f64| -> Vec<usize> {
+        (0..spd)
+            .filter(|&s| {
+                let h = ds.clock.hour_of_slot(s);
+                h >= lo && h < hi
+            })
+            .collect()
+    };
+    let periods: Vec<(&str, Vec<usize>)> = vec![
+        ("night 0-6h", hour_slots(0.0, 6.0)),
+        ("am-rush 7-10h", hour_slots(7.0, 10.0)),
+        ("midday 10-16h", hour_slots(10.0, 16.0)),
+        ("pm-rush 16-20h", hour_slots(16.0, 20.0)),
+        ("evening 20-24h", hour_slots(20.0, 24.0)),
+    ];
+
+    println!("E5: MAPE by time of day on {} (K = {k})", ds.name);
+    let mut t = Table::new(&["period", "two-step", "hist-mean", "knn", "trend-acc(2step)"]);
+    for (name, slots) in periods {
+        let cfg = EvalConfig {
+            slots,
+            correlation: corr_cfg.clone(),
+            ..EvalConfig::default()
+        };
+        let ours = evaluate(&ds, &seeds, &Method::TwoStep(EstimatorConfig::default()), &cfg);
+        let hist = evaluate(&ds, &seeds, &Method::HistoricalMean, &cfg);
+        let knn = evaluate(&ds, &seeds, &Method::KnnSpatial { k: 5 }, &cfg);
+        t.row(&[
+            name.to_string(),
+            f3(ours.error.mape),
+            f3(hist.error.mape),
+            f3(knn.error.mape),
+            f3(ours.trend_accuracy),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,75 @@
+//! Experiment E4 — trend-inference accuracy vs budget K.
+//!
+//! Isolates step 1: how often is the binary trend of a non-seed road
+//! predicted correctly, as the seed budget grows, for each inference
+//! engine (LBP, Gibbs, prior-only)?
+
+use bench::{f3, presets, Table};
+use crowdspeed::eval::Method;
+use crowdspeed::prelude::*;
+use graphmodel::gibbs::GibbsOptions;
+use graphmodel::meanfield::MeanFieldOptions;
+
+fn engines() -> Vec<(&'static str, TrendEngine)> {
+    vec![
+        ("lbp", TrendEngine::default()),
+        (
+            "gibbs",
+            TrendEngine::Gibbs {
+                options: GibbsOptions {
+                    burn_in: 50,
+                    samples: 300,
+                },
+                seed: 11,
+            },
+        ),
+        ("mean-field", TrendEngine::MeanField(MeanFieldOptions::default())),
+        ("prior-only", TrendEngine::PriorOnly),
+    ]
+}
+
+fn main() {
+    let ds = if bench::quick_mode() {
+        presets::quick()
+    } else {
+        presets::metro()
+    };
+    let stats = HistoryStats::compute(&ds.history);
+    let corr_cfg = CorrelationConfig::default();
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &corr_cfg);
+    let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    let n = ds.graph.num_roads();
+
+    println!("E4: trend accuracy vs seed budget on {} (n = {n})", ds.name);
+    let eval_cfg = EvalConfig {
+        slots: presets::representative_slots(ds.clock.slots_per_day),
+        correlation: corr_cfg,
+        ..EvalConfig::default()
+    };
+
+    let mut headers = vec!["K (% roads)".to_string()];
+    headers.extend(engines().iter().map(|(name, _)| name.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+
+    for frac in [0.02, 0.05, 0.10, 0.15, 0.20] {
+        let k = ((n as f64 * frac) as usize).max(2);
+        let seeds = lazy_greedy(&influence, k).seeds;
+        let mut row = vec![format!("{k} ({:.0}%)", frac * 100.0)];
+        for (_, engine) in engines() {
+            let rep = evaluate(
+                &ds,
+                &seeds,
+                &Method::TwoStep(EstimatorConfig {
+                    engine,
+                    ..EstimatorConfig::default()
+                }),
+                &eval_cfg,
+            );
+            row.push(f3(rep.trend_accuracy));
+        }
+        t.row(&row);
+    }
+    t.print();
+    println!("(higher is better; prior-only shows the value of propagation)");
+}

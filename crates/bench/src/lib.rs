@@ -1,0 +1,186 @@
+#![warn(missing_docs)]
+
+//! Shared plumbing for the experiment binaries (`src/bin/exp_*.rs`).
+//!
+//! Each binary regenerates one table or figure of the paper's
+//! evaluation (see `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for recorded results). This library provides the
+//! common dataset presets and an aligned-table printer so every
+//! experiment reports in the same format.
+
+use std::time::Instant;
+
+/// Standard evaluation datasets used by most experiments.
+pub mod presets {
+    use trafficsim::dataset::{grid_medium, metro_medium, metro_small, Dataset, DatasetParams};
+
+    /// The default number of training days in evaluation datasets.
+    pub const TRAINING_DAYS: usize = 20;
+
+    /// Standard evaluation parameters (20 training days, 3 test days).
+    pub fn eval_params() -> DatasetParams {
+        DatasetParams {
+            training_days: TRAINING_DAYS,
+            test_days: 3,
+            ..DatasetParams::default()
+        }
+    }
+
+    /// The metro (ring-radial) evaluation city.
+    pub fn metro() -> Dataset {
+        metro_medium(&eval_params())
+    }
+
+    /// The grid evaluation city.
+    pub fn grid() -> Dataset {
+        grid_medium(&eval_params())
+    }
+
+    /// A fast small city for smoke runs (`--quick`).
+    pub fn quick() -> Dataset {
+        metro_small(&DatasetParams {
+            training_days: 10,
+            test_days: 1,
+            ..DatasetParams::default()
+        })
+    }
+
+    /// Representative slots covering night, both rushes and midday —
+    /// keeps full-method sweeps tractable while spanning the day.
+    pub fn representative_slots(slots_per_day: usize) -> Vec<usize> {
+        let hours = [3.0, 7.5, 8.25, 9.0, 12.0, 15.0, 17.5, 18.25, 19.0, 22.0];
+        let mut slots: Vec<usize> = hours
+            .iter()
+            .map(|&h| ((h / 24.0) * slots_per_day as f64) as usize)
+            .map(|s| s.min(slots_per_day - 1))
+            .collect();
+        slots.dedup();
+        slots
+    }
+}
+
+/// Minimal aligned-table printer for experiment output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Times a closure, returning its result and the elapsed milliseconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Formats a float with 3 significant digits for table cells.
+pub fn f3(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    let mag = x.abs().log10().floor() as i32;
+    let decimals = (2 - mag).clamp(0, 6) as usize;
+    format!("{x:.decimals$}")
+}
+
+/// True when the process was invoked with `--quick` (smoke-run mode
+/// used by CI and the integration tests).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["method", "mape"]);
+        t.row(&["two-step".into(), "0.081".into()]);
+        t.row(&["knn".into(), "0.124".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("method"));
+        assert!(lines[2].ends_with("0.081"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_bad_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(0.0), "0");
+        assert_eq!(f3(0.08123), "0.0812");
+        assert_eq!(f3(123.4), "123");
+        assert_eq!(f3(1.5), "1.50");
+    }
+
+    #[test]
+    fn representative_slots_in_range() {
+        for spd in [24, 48, 96] {
+            let slots = presets::representative_slots(spd);
+            assert!(!slots.is_empty());
+            assert!(slots.iter().all(|&s| s < spd));
+        }
+    }
+
+    #[test]
+    fn timed_measures() {
+        let (v, ms) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+    }
+}

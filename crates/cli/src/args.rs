@@ -1,0 +1,117 @@
+//! Minimal `--key value` argument parsing (no external dependency).
+
+use crate::{CliError, Result};
+use std::collections::HashMap;
+
+/// Parsed flags of one subcommand invocation.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs and bare `--switch` flags. A token
+    /// starting with `--` followed by another `--token` (or nothing) is
+    /// treated as a switch.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args> {
+        let tokens: Vec<String> = tokens.into_iter().collect();
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            let Some(key) = t.strip_prefix("--") else {
+                return Err(CliError::new(format!("unexpected argument {t:?}")));
+            };
+            if key.is_empty() {
+                return Err(CliError::new("empty flag `--`"));
+            }
+            let next_is_value = tokens
+                .get(i + 1)
+                .map(|n| !n.starts_with("--"))
+                .unwrap_or(false);
+            if next_is_value {
+                values.insert(key.to_string(), tokens[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(Args { values, flags })
+    }
+
+    /// String value of `key`, or an error naming the missing flag.
+    pub fn require(&self, key: &str) -> Result<&str> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::new(format!("missing required flag --{key}")))
+    }
+
+    /// Optional string value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Parsed numeric value with a default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::new(format!("flag --{key}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// True when the bare switch was passed.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn key_values_and_switches() {
+        let a = parse("--city metro --k 20 --verbose --out dir");
+        assert_eq!(a.require("city").unwrap(), "metro");
+        assert_eq!(a.num::<usize>("k", 0).unwrap(), 20);
+        assert!(a.has_flag("verbose"));
+        assert!(!a.has_flag("quiet"));
+        assert_eq!(a.get("out"), Some("dir"));
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        let a = parse("--k 5");
+        assert!(a.require("city").is_err());
+    }
+
+    #[test]
+    fn numeric_default_and_parse_error() {
+        let a = parse("--k notanumber");
+        assert!(a.num::<usize>("k", 1).is_err());
+        let b = parse("");
+        assert_eq!(b.num::<usize>("k", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        assert!(Args::parse(vec!["stray".to_string()]).is_err());
+    }
+
+    #[test]
+    fn consecutive_switches() {
+        let a = parse("--quick --force --k 3");
+        assert!(a.has_flag("quick") && a.has_flag("force"));
+        assert_eq!(a.num::<usize>("k", 0).unwrap(), 3);
+    }
+}

@@ -1,0 +1,391 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use crate::{store, CliError, Result};
+use crowdspeed::eval::{evaluate, EvalConfig, Method};
+use crowdspeed::prelude::*;
+use std::path::{Path, PathBuf};
+use trafficsim::dataset::{grid_medium, metro_medium, metro_small, Dataset, DatasetParams};
+
+fn dataset_dir(args: &Args) -> Result<PathBuf> {
+    Ok(PathBuf::from(args.require("dir")?))
+}
+
+fn preset(name: &str, params: &DatasetParams) -> Result<Dataset> {
+    match name {
+        "metro" => Ok(metro_medium(params)),
+        "grid" => Ok(grid_medium(params)),
+        "metro-small" => Ok(metro_small(params)),
+        other => Err(CliError::new(format!(
+            "unknown city {other:?} (expected metro | grid | metro-small)"
+        ))),
+    }
+}
+
+/// `generate --city metro --dir DIR [--training-days N --test-days N --seed S]`
+pub fn generate(args: &Args) -> Result<String> {
+    let dir = dataset_dir(args)?;
+    std::fs::create_dir_all(&dir)?;
+    let params = DatasetParams {
+        training_days: args.num("training-days", 20)?,
+        test_days: args.num("test-days", 3)?,
+        seed: args.num("seed", 2016)?,
+        ..DatasetParams::default()
+    };
+    let ds = preset(args.require("city")?, &params)?;
+    store::write_network(&dir, &ds.graph)?;
+    store::write_clock(&dir, ds.clock)?;
+    store::write_history(&dir, &ds.history)?;
+    for (d, field) in ds.test_days.iter().enumerate() {
+        store::write_truth(&dir, d, field)?;
+    }
+    Ok(format!(
+        "wrote {} ({} roads, {} training days, {} truth days) to {}",
+        ds.name,
+        ds.graph.num_roads(),
+        ds.history.num_days(),
+        ds.test_days.len(),
+        dir.display()
+    ))
+}
+
+/// Loads (graph, history, stats, correlation) from a dataset dir.
+fn load_model_inputs(
+    dir: &Path,
+) -> Result<(roadnet::RoadGraph, HistoricalData, HistoryStats, CorrelationGraph)> {
+    let graph = store::read_network(dir)?;
+    let history = store::read_history(dir)?;
+    if history.num_roads() != graph.num_roads() {
+        return Err(CliError::new("history and network disagree on road count"));
+    }
+    let stats = HistoryStats::compute(&history);
+    let corr = CorrelationGraph::build(&graph, &history, &stats, &CorrelationConfig::default());
+    Ok((graph, history, stats, corr))
+}
+
+/// `select --dir DIR --k N [--algo lazy|greedy|partition|random|degree|pagerank]`
+pub fn select(args: &Args) -> Result<String> {
+    let dir = dataset_dir(args)?;
+    let k: usize = args.num("k", 0)?;
+    if k == 0 {
+        return Err(CliError::new("missing or zero --k"));
+    }
+    let (graph, history, stats, corr) = load_model_inputs(&dir)?;
+    let algo = args.get("algo").unwrap_or("lazy");
+    let influence_cfg = InfluenceConfig::default();
+    let seeds = match algo {
+        "lazy" => {
+            let influence = InfluenceModel::build(&corr, &influence_cfg);
+            lazy_greedy(&influence, k).seeds
+        }
+        "greedy" => {
+            let influence = InfluenceModel::build(&corr, &influence_cfg);
+            greedy(&influence, k).seeds
+        }
+        "partition" => partition_greedy(&corr, &influence_cfg, k, 8).seeds,
+        "random" => random_seeds(graph.num_roads(), k, args.num("seed", 42)?),
+        "degree" => top_degree(&corr, k),
+        "pagerank" => pagerank_seeds(&corr, k, 0.85, 50),
+        "variance" => top_variance(&history, &stats, k),
+        other => {
+            return Err(CliError::new(format!(
+                "unknown --algo {other:?} (lazy | greedy | partition | random | degree | pagerank | variance)"
+            )))
+        }
+    };
+    store::write_seeds(&dir, &seeds)?;
+    let influence = InfluenceModel::build(&corr, &influence_cfg);
+    let coverage = SeedObjective::new(&influence).value(&seeds);
+    Ok(format!(
+        "selected {} seeds via {algo} (coverage {coverage:.1} of {} roads) -> {}/seeds.txt",
+        seeds.len(),
+        graph.num_roads(),
+        dir.display()
+    ))
+}
+
+/// `estimate --dir DIR --slot S (--obs FILE | --truth-day D)`
+///
+/// Prints `road_id estimated_speed trend` per road to stdout.
+pub fn estimate(args: &Args) -> Result<String> {
+    let dir = dataset_dir(args)?;
+    let slot: usize = args.num("slot", usize::MAX)?;
+    let (graph, history, stats, corr) = load_model_inputs(&dir)?;
+    if slot >= history.clock().slots_per_day {
+        return Err(CliError::new(format!(
+            "--slot must be < {}",
+            history.clock().slots_per_day
+        )));
+    }
+    let seeds = store::read_seeds(&dir, graph.num_roads())?;
+
+    let obs: Vec<(roadnet::RoadId, f64)> = if let Some(path) = args.get("obs") {
+        let text = std::fs::read_to_string(path)?;
+        let parsed = store::parse_observations(&text, graph.num_roads())?;
+        // Keep only observations for actual seeds.
+        parsed
+            .into_iter()
+            .filter(|(r, _)| seeds.contains(r))
+            .collect()
+    } else {
+        let day: usize = args.num("truth-day", 0)?;
+        let truth = store::read_truth(&dir, day)?;
+        seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect()
+    };
+
+    let est = TrafficEstimator::train(
+        &graph,
+        &history,
+        &stats,
+        &corr,
+        &seeds,
+        &EstimatorConfig::default(),
+    )
+    .map_err(|e| CliError::new(format!("training failed: {e}")))?;
+    let result = est.estimate(slot, &obs);
+
+    let mut out = String::new();
+    for r in graph.road_ids() {
+        out.push_str(&format!(
+            "{} {:.2} {}\n",
+            r.0,
+            result.speeds[r.index()],
+            if result.trends[r.index()] { "up" } else { "down" }
+        ));
+    }
+    print!("{out}");
+    Ok(format!(
+        "estimated {} roads at slot {slot} from {} observations",
+        graph.num_roads(),
+        obs.len()
+    ))
+}
+
+/// `eval --dir DIR [--method two-step|hist-mean|knn|global-lr|label-prop] [--truth-days N]`
+pub fn eval(args: &Args) -> Result<String> {
+    let dir = dataset_dir(args)?;
+    let (graph, history, _stats, _corr) = load_model_inputs(&dir)?;
+    let seeds = store::read_seeds(&dir, graph.num_roads())?;
+    let method = match args.get("method").unwrap_or("two-step") {
+        "two-step" => Method::TwoStep(EstimatorConfig::default()),
+        "hist-mean" => Method::HistoricalMean,
+        "knn" => Method::KnnSpatial { k: 5 },
+        "global-lr" => Method::GlobalRegression,
+        "label-prop" => Method::LabelPropagation {
+            iterations: 30,
+            anchor: 0.2,
+        },
+        other => return Err(CliError::new(format!("unknown --method {other:?}"))),
+    };
+    // Rebuild a Dataset shell for the harness from on-disk pieces.
+    let mut test_days = Vec::new();
+    let mut d = 0;
+    while let Ok(field) = store::read_truth(&dir, d) {
+        test_days.push(field);
+        d += 1;
+        if d >= args.num("truth-days", 31)? {
+            break;
+        }
+    }
+    if test_days.is_empty() {
+        return Err(CliError::new("no truth-<d>.snap files in the dataset dir"));
+    }
+    let clock = *history.clock();
+    let simulator = trafficsim::TrafficSimulator::new(
+        graph.clone(),
+        clock,
+        trafficsim::TrafficParams::default(),
+        0,
+    );
+    let ds = Dataset {
+        name: "on-disk",
+        graph,
+        clock,
+        history,
+        test_days,
+        simulator,
+    };
+    let step = (clock.slots_per_day / 12).max(1);
+    let rep = evaluate(
+        &ds,
+        &seeds,
+        &method,
+        &EvalConfig {
+            slots: (0..clock.slots_per_day).step_by(step).collect(),
+            ..EvalConfig::default()
+        },
+    );
+    Ok(format!(
+        "{}: K={} rounds={} MAPE={:.4} MAE={:.2} RMSE={:.2} trend-acc={:.3} train={:?} est/slot={:?}",
+        rep.method,
+        rep.k,
+        rep.rounds,
+        rep.error.mape,
+        rep.error.mae,
+        rep.error.rmse,
+        rep.trend_accuracy,
+        rep.train_time,
+        rep.estimate_time_per_slot,
+    ))
+}
+
+/// `route --dir DIR --slot S --from A --to B (--obs FILE | --truth-day D)`
+///
+/// Plans the fastest route between two road segments under live
+/// estimated speeds and prints the segment list and ETA.
+pub fn route(args: &Args) -> Result<String> {
+    let dir = dataset_dir(args)?;
+    let slot: usize = args.num("slot", usize::MAX)?;
+    let (graph, history, stats, corr) = load_model_inputs(&dir)?;
+    if slot >= history.clock().slots_per_day {
+        return Err(CliError::new(format!(
+            "--slot must be < {}",
+            history.clock().slots_per_day
+        )));
+    }
+    let from = roadnet::RoadId(args.num("from", u32::MAX)?);
+    let to = roadnet::RoadId(args.num("to", u32::MAX)?);
+    for r in [from, to] {
+        if r.index() >= graph.num_roads() {
+            return Err(CliError::new(format!("road {r} out of range")));
+        }
+    }
+    let seeds = store::read_seeds(&dir, graph.num_roads())?;
+    let obs: Vec<(roadnet::RoadId, f64)> = if let Some(path) = args.get("obs") {
+        let text = std::fs::read_to_string(path)?;
+        store::parse_observations(&text, graph.num_roads())?
+            .into_iter()
+            .filter(|(r, _)| seeds.contains(r))
+            .collect()
+    } else {
+        let day: usize = args.num("truth-day", 0)?;
+        let truth = store::read_truth(&dir, day)?;
+        seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect()
+    };
+    let est = TrafficEstimator::train(
+        &graph,
+        &history,
+        &stats,
+        &corr,
+        &seeds,
+        &EstimatorConfig::default(),
+    )
+    .map_err(|e| CliError::new(format!("training failed: {e}")))?;
+    let estimate = est.estimate(slot, &obs);
+    let Some(plan) = crowdspeed::routing::fastest_route(&graph, &estimate.speeds, from, to)
+    else {
+        return Err(CliError::new(format!("{to} unreachable from {from}")));
+    };
+    let ids: Vec<String> = plan.segments.iter().map(|r| r.0.to_string()).collect();
+    println!("{}", ids.join(" "));
+    Ok(format!(
+        "route {from} -> {to}: {} segments, ETA {:.1} min at slot {slot}",
+        plan.segments.len(),
+        plan.minutes
+    ))
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "crowdspeed — crowdsourcing-based real-time traffic speed estimation
+
+USAGE:
+  crowdspeed generate --city metro|grid|metro-small --dir DIR
+                      [--training-days N] [--test-days N] [--seed S]
+  crowdspeed select   --dir DIR --k N
+                      [--algo lazy|greedy|partition|random|degree|pagerank|variance]
+  crowdspeed estimate --dir DIR --slot S (--obs FILE | --truth-day D)
+  crowdspeed eval     --dir DIR [--method two-step|hist-mean|knn|global-lr|label-prop]
+  crowdspeed route    --dir DIR --slot S --from A --to B (--obs FILE | --truth-day D)
+  crowdspeed help
+
+Observation files are `road_id speed_kmh` lines; `#` starts a comment."
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("crowdspeed-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn generate_select_estimate_eval_pipeline() {
+        let dir = tmpdir("pipeline");
+        let dirs = dir.display().to_string();
+
+        let msg = generate(&parse(&format!(
+            "--city metro-small --dir {dirs} --training-days 6 --test-days 1"
+        )))
+        .unwrap();
+        assert!(msg.contains("100 roads"), "{msg}");
+
+        let msg = select(&parse(&format!("--dir {dirs} --k 10"))).unwrap();
+        assert!(msg.contains("10 seeds"), "{msg}");
+
+        let msg = estimate(&parse(&format!("--dir {dirs} --slot 8 --truth-day 0"))).unwrap();
+        assert!(msg.contains("100 roads"), "{msg}");
+
+        let msg = eval(&parse(&format!("--dir {dirs} --method hist-mean"))).unwrap();
+        assert!(msg.contains("MAPE"), "{msg}");
+
+        let msg = route(&parse(&format!(
+            "--dir {dirs} --slot 8 --from 0 --to 99 --truth-day 0"
+        )))
+        .unwrap();
+        assert!(msg.contains("ETA"), "{msg}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_rejects_unknown_city() {
+        let dir = tmpdir("badcity");
+        let err = generate(&parse(&format!("--city venus --dir {}", dir.display()))).unwrap_err();
+        assert!(err.message.contains("unknown city"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn select_requires_budget() {
+        let dir = tmpdir("nobudget");
+        generate(&parse(&format!(
+            "--city metro-small --dir {} --training-days 3 --test-days 1",
+            dir.display()
+        )))
+        .unwrap();
+        let err = select(&parse(&format!("--dir {}", dir.display()))).unwrap_err();
+        assert!(err.message.contains("--k"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn estimate_accepts_observation_file() {
+        let dir = tmpdir("obsfile");
+        let dirs = dir.display().to_string();
+        generate(&parse(&format!(
+            "--city metro-small --dir {dirs} --training-days 6 --test-days 1"
+        )))
+        .unwrap();
+        select(&parse(&format!("--dir {dirs} --k 5"))).unwrap();
+        // Build an observation file from the chosen seeds.
+        let seeds = store::read_seeds(&dir, 100).unwrap();
+        let obs: String = seeds.iter().map(|s| format!("{} 25.0\n", s.0)).collect();
+        let obs_path = dir.join("obs.txt");
+        std::fs::write(&obs_path, obs).unwrap();
+        let msg = estimate(&parse(&format!(
+            "--dir {dirs} --slot 7 --obs {}",
+            obs_path.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("5 observations"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! Library backing the `crowdspeed` command-line tool.
+//!
+//! Subcommands (see `crowdspeed help`):
+//!
+//! * `generate` — synthesise a city dataset to disk (road network in
+//!   the `roadnet` text format, history/truth as binary snapshots);
+//! * `select` — pick `K` seed roads from a dataset on disk;
+//! * `estimate` — serve one slot's speed estimates from crowd
+//!   observations;
+//! * `eval` — run the train/test harness for a method.
+//!
+//! Everything is factored into testable functions; `main.rs` is a thin
+//! dispatcher.
+
+pub mod args;
+pub mod commands;
+pub mod store;
+
+/// CLI error type: message plus exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message printed to stderr.
+    pub message: String,
+}
+
+impl CliError {
+    /// Creates an error from anything printable.
+    pub fn new(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::new(format!("io error: {e}"))
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CliError>;

@@ -1,0 +1,40 @@
+//! `crowdspeed` command-line entry point.
+
+use crowdspeed_cli::args::Args;
+use crowdspeed_cli::commands;
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let sub = argv.next().unwrap_or_else(|| "help".to_string());
+    let parsed = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    let result = match sub.as_str() {
+        "generate" => commands::generate(&parsed),
+        "select" => commands::select(&parsed),
+        "estimate" => commands::estimate(&parsed),
+        "eval" => commands::eval(&parsed),
+        "route" => commands::route(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::usage());
+            return;
+        }
+        other => {
+            eprintln!("error: unknown subcommand {other:?}");
+            eprintln!("{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    match result {
+        Ok(msg) => eprintln!("{msg}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

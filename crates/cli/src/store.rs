@@ -1,0 +1,200 @@
+//! On-disk dataset layout.
+//!
+//! A dataset directory contains:
+//!
+//! ```text
+//! network.roadnet      road graph, `roadnet::io` text format
+//! clock.txt            slots-per-day
+//! history.snap         probe-observed training days (binary snapshot)
+//! truth-<d>.snap       held-out ground-truth days
+//! seeds.txt            one road id per line (written by `select`)
+//! ```
+
+use crate::{CliError, Result};
+use roadnet::{RoadGraph, RoadId};
+use std::path::Path;
+use trafficsim::{snapshot, HistoricalData, SlotClock, SpeedField};
+
+/// Writes the road network file.
+pub fn write_network(dir: &Path, graph: &RoadGraph) -> Result<()> {
+    std::fs::write(dir.join("network.roadnet"), roadnet::io::write_text(graph))?;
+    Ok(())
+}
+
+/// Reads the road network file.
+pub fn read_network(dir: &Path) -> Result<RoadGraph> {
+    let text = std::fs::read_to_string(dir.join("network.roadnet"))?;
+    roadnet::io::read_text(&text).map_err(|e| CliError::new(format!("network.roadnet: {e}")))
+}
+
+/// Writes the clock file.
+pub fn write_clock(dir: &Path, clock: SlotClock) -> Result<()> {
+    std::fs::write(dir.join("clock.txt"), format!("{}\n", clock.slots_per_day))?;
+    Ok(())
+}
+
+/// Reads the clock file.
+pub fn read_clock(dir: &Path) -> Result<SlotClock> {
+    let text = std::fs::read_to_string(dir.join("clock.txt"))?;
+    let slots_per_day = text
+        .trim()
+        .parse()
+        .map_err(|_| CliError::new("clock.txt: bad slot count"))?;
+    Ok(SlotClock { slots_per_day })
+}
+
+/// Writes the training history snapshot.
+pub fn write_history(dir: &Path, history: &HistoricalData) -> Result<()> {
+    std::fs::write(dir.join("history.snap"), snapshot::encode_history(history))?;
+    Ok(())
+}
+
+/// Reads the training history snapshot.
+pub fn read_history(dir: &Path) -> Result<HistoricalData> {
+    let clock = read_clock(dir)?;
+    let data = std::fs::read(dir.join("history.snap"))?;
+    snapshot::decode_history(clock, &data[..])
+        .map_err(|e| CliError::new(format!("history.snap: {e}")))
+}
+
+/// Writes ground-truth day `d`.
+pub fn write_truth(dir: &Path, d: usize, field: &SpeedField) -> Result<()> {
+    std::fs::write(dir.join(format!("truth-{d}.snap")), snapshot::encode_field(field))?;
+    Ok(())
+}
+
+/// Reads ground-truth day `d`.
+pub fn read_truth(dir: &Path, d: usize) -> Result<SpeedField> {
+    let data = std::fs::read(dir.join(format!("truth-{d}.snap")))?;
+    snapshot::decode_field(&data[..]).map_err(|e| CliError::new(format!("truth-{d}.snap: {e}")))
+}
+
+/// Writes the selected seeds, one id per line.
+pub fn write_seeds(dir: &Path, seeds: &[RoadId]) -> Result<()> {
+    let body: String = seeds.iter().map(|s| format!("{}\n", s.0)).collect();
+    std::fs::write(dir.join("seeds.txt"), body)?;
+    Ok(())
+}
+
+/// Reads the seed list, validating ids against `n` roads.
+pub fn read_seeds(dir: &Path, n: usize) -> Result<Vec<RoadId>> {
+    let text = std::fs::read_to_string(dir.join("seeds.txt"))?;
+    parse_seeds(&text, n)
+}
+
+/// Parses a seed list from text (one id per line, `#` comments allowed).
+pub fn parse_seeds(text: &str, n: usize) -> Result<Vec<RoadId>> {
+    let mut seeds = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let id: u32 = line
+            .parse()
+            .map_err(|_| CliError::new(format!("seeds line {}: bad id {line:?}", lineno + 1)))?;
+        if id as usize >= n {
+            return Err(CliError::new(format!(
+                "seeds line {}: road {id} out of range (n = {n})",
+                lineno + 1
+            )));
+        }
+        seeds.push(RoadId(id));
+    }
+    if seeds.is_empty() {
+        return Err(CliError::new("seed list is empty"));
+    }
+    Ok(seeds)
+}
+
+/// Parses crowd observations: `road_id speed_kmh` per line.
+pub fn parse_observations(text: &str, n: usize) -> Result<Vec<(RoadId, f64)>> {
+    let mut obs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let bad = || CliError::new(format!("observations line {}: expected `road speed`", lineno + 1));
+        let id: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let speed: f64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        if id as usize >= n {
+            return Err(CliError::new(format!(
+                "observations line {}: road {id} out of range",
+                lineno + 1
+            )));
+        }
+        if !(speed.is_finite() && speed > 0.0) {
+            return Err(CliError::new(format!(
+                "observations line {}: non-physical speed {speed}",
+                lineno + 1
+            )));
+        }
+        obs.push((RoadId(id), speed));
+    }
+    Ok(obs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_seeds_with_comments_and_blanks() {
+        let s = parse_seeds("3\n# comment\n\n7 # trailing\n", 10).unwrap();
+        assert_eq!(s, vec![RoadId(3), RoadId(7)]);
+    }
+
+    #[test]
+    fn parse_seeds_rejects_out_of_range() {
+        assert!(parse_seeds("12\n", 10).is_err());
+        assert!(parse_seeds("", 10).is_err());
+        assert!(parse_seeds("abc\n", 10).is_err());
+    }
+
+    #[test]
+    fn parse_observations_roundtrip() {
+        let o = parse_observations("0 31.5\n4 22\n", 5).unwrap();
+        assert_eq!(o, vec![(RoadId(0), 31.5), (RoadId(4), 22.0)]);
+    }
+
+    #[test]
+    fn parse_observations_rejects_garbage() {
+        assert!(parse_observations("0\n", 5).is_err());
+        assert!(parse_observations("0 -3\n", 5).is_err());
+        assert!(parse_observations("9 20\n", 5).is_err());
+        assert!(parse_observations("0 inf\n", 5).is_err());
+    }
+
+    #[test]
+    fn store_roundtrips_on_disk() {
+        use roadnet::generate::{grid_city, GridParams};
+        let dir = std::env::temp_dir().join(format!("crowdspeed-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = grid_city(&GridParams {
+            width: 3,
+            height: 3,
+            ..GridParams::default()
+        });
+        let clock = SlotClock { slots_per_day: 4 };
+        let day = SpeedField::filled(4, g.num_roads(), 25.0);
+        let history = HistoricalData::from_days(clock, vec![day.clone(), day.clone()]);
+
+        write_network(&dir, &g).unwrap();
+        write_clock(&dir, clock).unwrap();
+        write_history(&dir, &history).unwrap();
+        write_truth(&dir, 0, &day).unwrap();
+        write_seeds(&dir, &[RoadId(1), RoadId(5)]).unwrap();
+
+        assert_eq!(read_network(&dir).unwrap(), g);
+        assert_eq!(read_clock(&dir).unwrap(), clock);
+        assert_eq!(read_history(&dir).unwrap().num_days(), 2);
+        assert_eq!(read_truth(&dir, 0).unwrap(), day);
+        assert_eq!(
+            read_seeds(&dir, g.num_roads()).unwrap(),
+            vec![RoadId(1), RoadId(5)]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,313 @@
+//! Speed-estimation baselines the evaluation compares against.
+//!
+//! Each baseline consumes the same inputs as the two-step estimator —
+//! history statistics plus crowdsourced seed observations — and returns
+//! a full per-road speed vector, so [`crate::eval`] can treat every
+//! method uniformly.
+
+use crate::correlation::CorrelationGraph;
+use linalg::ridge::ridge_fit;
+use linalg::Matrix;
+use roadnet::{RoadGraph, RoadId};
+use trafficsim::{HistoricalData, HistoryStats};
+
+/// Baseline 1 — **historical average**: ignore real-time data entirely
+/// and report `h_r(slot)`. The floor every informed method must beat.
+pub fn historical_mean(stats: &HistoryStats, slot_of_day: usize) -> Vec<f64> {
+    (0..stats.num_roads())
+        .map(|r| stats.mean(slot_of_day, RoadId(r as u32)))
+        .collect()
+}
+
+/// Baseline 2 — **KNN spatial interpolation**: each road copies the
+/// inverse-distance-weighted mean *deviation* of its `k` nearest seeds
+/// (Euclidean midpoint distance), scaled by its own historical average.
+/// Classic sensor-interpolation practice; blind to the road network and
+/// to trends.
+pub fn knn_spatial(
+    graph: &RoadGraph,
+    stats: &HistoryStats,
+    slot_of_day: usize,
+    observations: &[(RoadId, f64)],
+    k: usize,
+) -> Vec<f64> {
+    let seed_devs: Vec<(RoadId, f64)> = observations
+        .iter()
+        .filter_map(|&(s, v)| stats.deviation_of(slot_of_day, s, v).map(|d| (s, d)))
+        .collect();
+    (0..graph.num_roads() as u32)
+        .map(RoadId)
+        .map(|r| {
+            let mean = stats.mean(slot_of_day, r);
+            if seed_devs.is_empty() {
+                return mean;
+            }
+            // k nearest seeds by distance.
+            let mut by_dist: Vec<(f64, f64)> = seed_devs
+                .iter()
+                .map(|&(s, d)| (graph.distance(r, s), d))
+                .collect();
+            by_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distance NaN"));
+            by_dist.truncate(k.max(1));
+            let mut wsum = 0.0;
+            let mut dsum = 0.0;
+            for &(dist, dev) in &by_dist {
+                let w = 1.0 / (dist + 50.0); // 50 m softening
+                wsum += w;
+                dsum += w * dev;
+            }
+            mean * (dsum / wsum)
+        })
+        .collect()
+}
+
+/// Baseline 3 — **global linear regression**: one citywide model
+/// `dev_r ≈ a + b · mean(seed deviations)` fitted on history — the
+/// "single linear model, no roads, no trends, no hierarchy" strawman.
+#[derive(Debug, Clone)]
+pub struct GlobalRegression {
+    beta: Vec<f64>, // [intercept, citywide-dev coefficient]
+    seeds: Vec<RoadId>,
+}
+
+impl GlobalRegression {
+    /// Fits the two-parameter model on historical data.
+    pub fn train(
+        history: &HistoricalData,
+        stats: &HistoryStats,
+        seeds: &[RoadId],
+    ) -> GlobalRegression {
+        let slots = history.clock().slots_per_day;
+        let n = history.num_roads();
+        let mut x = Matrix::zeros(0, 0);
+        let mut y = Vec::new();
+        for day in 0..history.num_days() {
+            for slot in 0..slots {
+                let devs: Vec<f64> = seeds
+                    .iter()
+                    .filter_map(|&s| {
+                        history
+                            .speed(day, slot, s)
+                            .and_then(|v| stats.deviation_of(slot, s, v))
+                    })
+                    .collect();
+                if devs.is_empty() {
+                    continue;
+                }
+                let citywide = linalg::stats::mean(&devs);
+                // One pooled row per (cell, road) would be huge; a
+                // uniform subsample of roads is plenty for 2 params.
+                for r in (0..n).step_by(7) {
+                    let road = RoadId(r as u32);
+                    if let Some(v) = history.speed(day, slot, road) {
+                        if let Some(d) = stats.deviation_of(slot, road, v) {
+                            x.push_row(&[1.0, citywide]).expect("fixed arity");
+                            y.push(d);
+                        }
+                    }
+                }
+            }
+        }
+        let beta = if y.len() >= 4 {
+            ridge_fit(&x, &y, 1e-6).unwrap_or_else(|_| vec![1.0, 0.0])
+        } else {
+            vec![1.0, 0.0] // degenerate: predict the historical mean
+        };
+        GlobalRegression {
+            beta,
+            seeds: seeds.to_vec(),
+        }
+    }
+
+    /// Predicts all road speeds for a slot.
+    pub fn predict(
+        &self,
+        stats: &HistoryStats,
+        slot_of_day: usize,
+        observations: &[(RoadId, f64)],
+    ) -> Vec<f64> {
+        let devs: Vec<f64> = observations
+            .iter()
+            .filter_map(|&(s, v)| stats.deviation_of(slot_of_day, s, v))
+            .collect();
+        let citywide = if devs.is_empty() {
+            1.0
+        } else {
+            linalg::stats::mean(&devs)
+        };
+        let d = (self.beta[0] + self.beta[1] * citywide).clamp(0.2, 2.0);
+        (0..stats.num_roads())
+            .map(|r| d * stats.mean(slot_of_day, RoadId(r as u32)))
+            .collect()
+    }
+
+    /// The seeds this model expects observations for.
+    pub fn seeds(&self) -> &[RoadId] {
+        &self.seeds
+    }
+}
+
+/// Baseline 4 — **label propagation**: seed deviations diffuse over the
+/// correlation graph by repeated weighted averaging (anchored towards
+/// the neutral deviation 1.0). Uses the same correlation structure as
+/// the real model but no probabilistic trend step and no learned
+/// per-road behaviour.
+pub fn label_propagation(
+    corr: &CorrelationGraph,
+    stats: &HistoryStats,
+    slot_of_day: usize,
+    observations: &[(RoadId, f64)],
+    iterations: usize,
+    anchor: f64,
+) -> Vec<f64> {
+    let seed_devs: Vec<(RoadId, f64)> = observations
+        .iter()
+        .filter_map(|&(s, v)| stats.deviation_of(slot_of_day, s, v).map(|d| (s, d)))
+        .collect();
+    let dev = crate::propagate::propagate_deviations(corr, &seed_devs, iterations, anchor);
+    dev.iter()
+        .enumerate()
+        .map(|(r, &d)| d.clamp(0.2, 2.0) * stats.mean(slot_of_day, RoadId(r as u32)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::{CorrelationConfig, CorrelationEdge};
+    use trafficsim::dataset::{metro_small, DatasetParams};
+
+    fn setup() -> (trafficsim::dataset::Dataset, HistoryStats) {
+        let ds = metro_small(&DatasetParams {
+            training_days: 8,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let stats = HistoryStats::compute(&ds.history);
+        (ds, stats)
+    }
+
+    #[test]
+    fn historical_mean_matches_stats() {
+        let (ds, stats) = setup();
+        let v = historical_mean(&stats, 7);
+        assert_eq!(v.len(), ds.graph.num_roads());
+        assert_eq!(v[3], stats.mean(7, RoadId(3)));
+    }
+
+    #[test]
+    fn knn_with_no_seeds_returns_historical() {
+        let (ds, stats) = setup();
+        let v = knn_spatial(&ds.graph, &stats, 7, &[], 3);
+        assert_eq!(v, historical_mean(&stats, 7));
+    }
+
+    #[test]
+    fn knn_follows_depressed_seeds() {
+        let (ds, stats) = setup();
+        let slot = 8;
+        // Report all seeds at 60% of their average speed.
+        let obs: Vec<(RoadId, f64)> = (0..10u32)
+            .map(|i| RoadId(i * 9))
+            .map(|s| (s, 0.6 * stats.mean(slot, s)))
+            .collect();
+        let v = knn_spatial(&ds.graph, &stats, slot, &obs, 3);
+        let h = historical_mean(&stats, slot);
+        let mean_ratio = linalg::stats::mean(
+            &v.iter().zip(&h).map(|(a, b)| a / b).collect::<Vec<_>>(),
+        );
+        assert!((mean_ratio - 0.6).abs() < 0.05, "ratio {mean_ratio}");
+    }
+
+    #[test]
+    fn global_regression_learns_citywide_coupling() {
+        let (ds, stats) = setup();
+        let seeds: Vec<RoadId> = (0..10u32).map(|i| RoadId(i * 9)).collect();
+        let model = GlobalRegression::train(&ds.history, &stats, &seeds);
+        // A citywide slowdown must depress predictions.
+        let slot = 8;
+        let low: Vec<(RoadId, f64)> = seeds
+            .iter()
+            .map(|&s| (s, 0.6 * stats.mean(slot, s)))
+            .collect();
+        let high: Vec<(RoadId, f64)> = seeds
+            .iter()
+            .map(|&s| (s, 1.2 * stats.mean(slot, s)))
+            .collect();
+        let vl = model.predict(&stats, slot, &low);
+        let vh = model.predict(&stats, slot, &high);
+        assert!(linalg::stats::mean(&vl) < linalg::stats::mean(&vh));
+    }
+
+    #[test]
+    fn global_regression_survives_thin_history() {
+        let (ds, stats) = setup();
+        let model = GlobalRegression::train(&ds.history, &stats, &[RoadId(0)]);
+        let v = model.predict(&stats, 0, &[]);
+        assert!(v.iter().all(|x| x.is_finite() && *x > 0.0));
+    }
+
+    #[test]
+    fn label_propagation_spreads_from_seed() {
+        // Chain 0-1-2 with strong correlation: a depressed seed at 0
+        // must pull 1 down more than 2.
+        let e = |a: u32, b: u32| CorrelationEdge {
+            a: RoadId(a),
+            b: RoadId(b),
+            cotrend: 0.95,
+            support: 50,
+        };
+        let corr = CorrelationGraph::from_edges(3, vec![e(0, 1), e(1, 2)]);
+        // Stats with mean 30 everywhere.
+        let clock = trafficsim::SlotClock { slots_per_day: 1 };
+        let day = trafficsim::SpeedField::filled(1, 3, 30.0);
+        let h = trafficsim::HistoricalData::from_days(clock, vec![day.clone(), day]);
+        let stats = HistoryStats::compute(&h);
+        let v = label_propagation(&corr, &stats, 0, &[(RoadId(0), 15.0)], 30, 0.2);
+        assert_eq!(v[0], 15.0); // clamped seed
+        assert!(v[1] < 30.0 && v[2] < 30.0);
+        assert!(v[1] < v[2], "propagation must attenuate: {v:?}");
+    }
+
+    #[test]
+    fn label_propagation_idles_to_history_without_seeds() {
+        let corr = CorrelationGraph::from_edges(2, vec![]);
+        let clock = trafficsim::SlotClock { slots_per_day: 1 };
+        let day = trafficsim::SpeedField::filled(1, 2, 25.0);
+        let h = trafficsim::HistoricalData::from_days(clock, vec![day.clone(), day]);
+        let stats = HistoryStats::compute(&h);
+        let v = label_propagation(&corr, &stats, 0, &[], 10, 0.2);
+        assert_eq!(v, vec![25.0, 25.0]);
+    }
+
+    #[test]
+    fn baselines_are_beatable_setup_sanity() {
+        // Not an assertion about superiority (that's E3), just that all
+        // baselines produce physical speeds on the real dataset.
+        let (ds, stats) = setup();
+        let corr = CorrelationGraph::build(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &CorrelationConfig {
+                min_cotrend: 0.6,
+                min_co_observations: 6,
+                ..CorrelationConfig::default()
+            },
+        );
+        let slot = 8;
+        let truth = &ds.test_days[0];
+        let seeds: Vec<RoadId> = (0..12u32).map(|i| RoadId(i * 8)).collect();
+        let obs: Vec<(RoadId, f64)> =
+            seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
+        for v in [
+            historical_mean(&stats, slot),
+            knn_spatial(&ds.graph, &stats, slot, &obs, 5),
+            GlobalRegression::train(&ds.history, &stats, &seeds).predict(&stats, slot, &obs),
+            label_propagation(&corr, &stats, slot, &obs, 20, 0.2),
+        ] {
+            assert_eq!(v.len(), ds.graph.num_roads());
+            assert!(v.iter().all(|x| x.is_finite() && *x > 0.0));
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! The road **correlation graph** (paper §observation).
+//!
+//! Two roads are *correlated* when their trends — speed above or below
+//! the historical average — agree unusually often. The correlation
+//! graph has an edge per correlated pair, weighted by the empirical
+//! **co-trend probability**; it is the structure both the trend MRF
+//! (step 1) and the seed-selection objective are built on.
+//!
+//! Construction is restricted to pairs within `max_hops` of each other
+//! on the road network: urban traffic correlation is local (congestion
+//! diffuses along streets), and the restriction keeps the graph sparse
+//! and the build near-linear. Co-trend counting uses per-road bitsets
+//! over all historical `(day, slot)` cells, so each candidate pair costs
+//! a few dozen word operations.
+
+use roadnet::{path, RoadGraph, RoadId};
+use serde::{Deserialize, Serialize};
+use trafficsim::{HistoricalData, HistoryStats};
+
+/// Configuration of correlation-graph construction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorrelationConfig {
+    /// Maximum road-network hop distance between correlated pairs.
+    pub max_hops: u32,
+    /// Minimum co-trend probability τ for an edge. Pairs with
+    /// probability `<= 1 − τ` are also kept (anti-correlated roads are
+    /// informative too — the MRF handles repulsive couplings).
+    pub min_cotrend: f64,
+    /// Minimum number of co-observed cells for a pair to be considered
+    /// (guards against spurious correlation from thin data).
+    pub min_co_observations: u32,
+    /// Laplace smoothing added to agree/disagree counts.
+    pub laplace: f64,
+}
+
+impl Default for CorrelationConfig {
+    fn default() -> Self {
+        CorrelationConfig {
+            max_hops: 2,
+            min_cotrend: 0.65,
+            min_co_observations: 12,
+            laplace: 1.0,
+        }
+    }
+}
+
+/// A weighted edge of the correlation graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationEdge {
+    /// Endpoint with the smaller id.
+    pub a: RoadId,
+    /// Endpoint with the larger id.
+    pub b: RoadId,
+    /// Smoothed co-trend probability `P(trend_a == trend_b)`.
+    pub cotrend: f64,
+    /// Number of co-observed historical cells behind the estimate.
+    pub support: u32,
+}
+
+/// The correlation graph over all roads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorrelationGraph {
+    n: usize,
+    edges: Vec<CorrelationEdge>,
+    offsets: Vec<u32>,
+    targets: Vec<RoadId>,
+    weights: Vec<f64>,
+}
+
+/// Per-road trend bitsets across all historical (day, slot) cells.
+struct TrendBits {
+    words: usize,
+    /// observed[r]: bit set where road r was observed.
+    observed: Vec<u64>,
+    /// up[r]: bit set where road r trended up (only meaningful where
+    /// observed).
+    up: Vec<u64>,
+}
+
+impl TrendBits {
+    fn compute(
+        history: &HistoricalData,
+        stats: &HistoryStats,
+        slot_filter: &impl Fn(usize) -> bool,
+    ) -> TrendBits {
+        let n = history.num_roads();
+        let slots = history.clock().slots_per_day;
+        let cells = history.num_days() * slots;
+        let words = cells.div_ceil(64);
+        let mut observed = vec![0u64; n * words];
+        let mut up = vec![0u64; n * words];
+        for day in 0..history.num_days() {
+            for slot in 0..slots {
+                if !slot_filter(slot) {
+                    continue;
+                }
+                let cell = day * slots + slot;
+                let (w, bit) = (cell / 64, cell % 64);
+                for r in 0..n {
+                    let road = RoadId(r as u32);
+                    if let Some(v) = history.speed(day, slot, road) {
+                        observed[r * words + w] |= 1 << bit;
+                        if stats.trend_of(slot, road, v) {
+                            up[r * words + w] |= 1 << bit;
+                        }
+                    }
+                }
+            }
+        }
+        TrendBits {
+            words,
+            observed,
+            up,
+        }
+    }
+
+    /// (co-observed count, agreement count) for a road pair.
+    fn co_trend(&self, a: usize, b: usize) -> (u32, u32) {
+        let wa = &self.observed[a * self.words..(a + 1) * self.words];
+        let wb = &self.observed[b * self.words..(b + 1) * self.words];
+        let ua = &self.up[a * self.words..(a + 1) * self.words];
+        let ub = &self.up[b * self.words..(b + 1) * self.words];
+        let mut co = 0u32;
+        let mut agree = 0u32;
+        for i in 0..self.words {
+            let both = wa[i] & wb[i];
+            co += both.count_ones();
+            agree += (both & !(ua[i] ^ ub[i])).count_ones();
+        }
+        (co, agree)
+    }
+}
+
+impl CorrelationGraph {
+    /// Builds the correlation graph from historical data.
+    pub fn build(
+        graph: &RoadGraph,
+        history: &HistoricalData,
+        stats: &HistoryStats,
+        config: &CorrelationConfig,
+    ) -> CorrelationGraph {
+        Self::build_for_slots(graph, history, stats, config, |_| true)
+    }
+
+    /// Builds the correlation graph counting only historical cells whose
+    /// slot-of-day satisfies `slot_filter`. Per-period correlation (rush
+    /// hours correlate differently from night) underpins
+    /// [`crate::seed::temporal`].
+    pub fn build_for_slots(
+        graph: &RoadGraph,
+        history: &HistoricalData,
+        stats: &HistoryStats,
+        config: &CorrelationConfig,
+        slot_filter: impl Fn(usize) -> bool,
+    ) -> CorrelationGraph {
+        assert_eq!(graph.num_roads(), history.num_roads());
+        let n = graph.num_roads();
+        let bits = TrendBits::compute(history, stats, &slot_filter);
+
+        let mut edges = Vec::new();
+        for a in graph.road_ids() {
+            // Candidate pairs: within max_hops, larger id only (each
+            // undirected pair once).
+            for (b, _hops) in path::k_hop_neighborhood(graph, a, config.max_hops) {
+                if b <= a {
+                    continue;
+                }
+                let (co, agree) = bits.co_trend(a.index(), b.index());
+                if co < config.min_co_observations {
+                    continue;
+                }
+                let p = (agree as f64 + config.laplace)
+                    / (co as f64 + 2.0 * config.laplace);
+                if p >= config.min_cotrend || p <= 1.0 - config.min_cotrend {
+                    edges.push(CorrelationEdge {
+                        a,
+                        b,
+                        cotrend: p,
+                        support: co,
+                    });
+                }
+            }
+        }
+        Self::from_edges(n, edges)
+    }
+
+    /// Builds directly from an edge list (used by tests and by graph
+    /// sweeps that re-threshold without re-counting).
+    pub fn from_edges(n: usize, edges: Vec<CorrelationEdge>) -> CorrelationGraph {
+        let mut degree = vec![0u32; n];
+        for e in &edges {
+            degree[e.a.index()] += 1;
+            degree[e.b.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        for d in &degree {
+            let last = *offsets.last().expect("non-empty");
+            offsets.push(last + d);
+        }
+        let total = *offsets.last().expect("non-empty") as usize;
+        let mut targets = vec![RoadId(0); total];
+        let mut weights = vec![0.0f64; total];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for e in &edges {
+            let ia = cursor[e.a.index()] as usize;
+            targets[ia] = e.b;
+            weights[ia] = e.cotrend;
+            cursor[e.a.index()] += 1;
+            let ib = cursor[e.b.index()] as usize;
+            targets[ib] = e.a;
+            weights[ib] = e.cotrend;
+            cursor[e.b.index()] += 1;
+        }
+        CorrelationGraph {
+            n,
+            edges,
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Re-thresholds the edge list at a stricter τ without recounting
+    /// trends (used by the τ-sweep experiment E8).
+    pub fn rethreshold(&self, min_cotrend: f64) -> CorrelationGraph {
+        let edges: Vec<CorrelationEdge> = self
+            .edges
+            .iter()
+            .filter(|e| e.cotrend >= min_cotrend || e.cotrend <= 1.0 - min_cotrend)
+            .copied()
+            .collect();
+        Self::from_edges(self.n, edges)
+    }
+
+    /// Number of roads.
+    pub fn num_roads(&self) -> usize {
+        self.n
+    }
+
+    /// Number of correlation edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[CorrelationEdge] {
+        &self.edges
+    }
+
+    /// Correlated neighbours of `r` with co-trend probabilities.
+    pub fn neighbors(&self, r: RoadId) -> impl Iterator<Item = (RoadId, f64)> + '_ {
+        let lo = self.offsets[r.index()] as usize;
+        let hi = self.offsets[r.index() + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .zip(&self.weights[lo..hi])
+            .map(|(&t, &w)| (t, w))
+    }
+
+    /// Degree in the correlation graph.
+    pub fn degree(&self, r: RoadId) -> usize {
+        (self.offsets[r.index() + 1] - self.offsets[r.index()]) as usize
+    }
+
+    /// Edges per road — the density metric of experiment E8.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.edges.len() as f64 / self.n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trafficsim::dataset::{metro_small, DatasetParams};
+    use trafficsim::SlotClock;
+
+    fn dataset_corr() -> (trafficsim::dataset::Dataset, HistoryStats, CorrelationGraph) {
+        let ds = metro_small(&DatasetParams {
+            training_days: 10,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let stats = HistoryStats::compute(&ds.history);
+        let corr = CorrelationGraph::build(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &CorrelationConfig {
+                min_cotrend: 0.6,
+                min_co_observations: 8,
+                ..CorrelationConfig::default()
+            },
+        );
+        (ds, stats, corr)
+    }
+
+    #[test]
+    fn builds_nonempty_graph_on_synthetic_city() {
+        let (ds, _, corr) = dataset_corr();
+        assert_eq!(corr.num_roads(), ds.graph.num_roads());
+        assert!(
+            corr.num_edges() > ds.graph.num_roads() / 4,
+            "too few correlation edges: {}",
+            corr.num_edges()
+        );
+    }
+
+    #[test]
+    fn edges_connect_nearby_roads_only() {
+        let (ds, _, corr) = dataset_corr();
+        for e in corr.edges() {
+            let hops = path::bfs_hops(&ds.graph, e.a, 2);
+            assert!(hops[e.b.index()] <= 2, "{} - {} too far", e.a, e.b);
+        }
+    }
+
+    #[test]
+    fn edge_weights_exceed_threshold() {
+        let (_, _, corr) = dataset_corr();
+        for e in corr.edges() {
+            assert!(
+                e.cotrend >= 0.6 || e.cotrend <= 0.4,
+                "weak edge kept: {}",
+                e.cotrend
+            );
+            assert!(e.support >= 8);
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let (_, _, corr) = dataset_corr();
+        for r in 0..corr.num_roads() {
+            let r = RoadId(r as u32);
+            for (nb, w) in corr.neighbors(r) {
+                let back = corr
+                    .neighbors(nb)
+                    .find(|&(t, _)| t == r)
+                    .expect("missing reverse adjacency");
+                assert_eq!(back.1, w);
+            }
+        }
+    }
+
+    #[test]
+    fn rethreshold_is_monotone() {
+        let (_, _, corr) = dataset_corr();
+        let strict = corr.rethreshold(0.8);
+        assert!(strict.num_edges() <= corr.num_edges());
+        for e in strict.edges() {
+            assert!(e.cotrend >= 0.8 || e.cotrend <= 0.2);
+        }
+        // Same threshold keeps everything.
+        assert_eq!(corr.rethreshold(0.0).num_edges(), corr.num_edges());
+    }
+
+    #[test]
+    fn from_edges_degree_bookkeeping() {
+        let edges = vec![
+            CorrelationEdge {
+                a: RoadId(0),
+                b: RoadId(1),
+                cotrend: 0.8,
+                support: 10,
+            },
+            CorrelationEdge {
+                a: RoadId(0),
+                b: RoadId(2),
+                cotrend: 0.7,
+                support: 10,
+            },
+        ];
+        let g = CorrelationGraph::from_edges(3, edges);
+        assert_eq!(g.degree(RoadId(0)), 2);
+        assert_eq!(g.degree(RoadId(1)), 1);
+        assert_eq!(g.degree(RoadId(2)), 1);
+        assert!((g.avg_degree() - 4.0 / 3.0).abs() < 1e-12);
+        let ns: Vec<_> = g.neighbors(RoadId(0)).collect();
+        assert_eq!(ns, vec![(RoadId(1), 0.8), (RoadId(2), 0.7)]);
+    }
+
+    #[test]
+    fn co_trend_bitsets_count_correctly() {
+        // Hand-built 2-road history over 1 day x 4 slots:
+        // road 0 speeds: 10 20 10 20 (mean 15) -> trends D U D U
+        // road 1 speeds: 30 40 40 NaN (mean 36.67) -> D U U -
+        // co-observed = 3; agreements = slots 0,1 -> 2.
+        let clock = SlotClock { slots_per_day: 4 };
+        let mut day = trafficsim::SpeedField::filled(4, 2, 0.0);
+        let speeds0 = [10.0, 20.0, 10.0, 20.0];
+        let speeds1 = [30.0, 40.0, 40.0, f64::NAN];
+        for s in 0..4 {
+            day.set_speed(s, RoadId(0), speeds0[s]);
+            day.set_speed(s, RoadId(1), speeds1[s]);
+        }
+        let h = HistoricalData::from_days(clock, vec![day]);
+        let stats = HistoryStats::compute(&h);
+        let bits = TrendBits::compute(&h, &stats, &|_| true);
+        let (co, agree) = bits.co_trend(0, 1);
+        assert_eq!(co, 3);
+        // With a 1-day history the per-(slot,road) mean equals the
+        // observation, so every observed cell trends "up" (>= mean);
+        // all 3 co-observed cells agree.
+        assert_eq!(agree, 3);
+    }
+}

@@ -1,0 +1,367 @@
+//! Train/test evaluation harness.
+//!
+//! Drives any estimation [`Method`] over a dataset's held-out test days
+//! with simulated crowdsourcing on the seed roads, and reports the error
+//! metrics the experiments tabulate. All methods flow through the same
+//! loop so comparisons are apples-to-apples.
+
+use crate::baselines::{self, GlobalRegression};
+use crate::correlation::{CorrelationConfig, CorrelationGraph};
+use crate::inference::pipeline::{EstimatorConfig, TrafficEstimator};
+use crate::metrics::{trend_accuracy, ErrorStats};
+use parking_lot::Mutex;
+use roadnet::RoadId;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use trafficsim::crowd::{answered, crowdsource, CrowdParams};
+use trafficsim::dataset::Dataset;
+use trafficsim::HistoryStats;
+
+/// An estimation method under evaluation.
+#[derive(Debug, Clone)]
+pub enum Method {
+    /// The paper's two-step model.
+    TwoStep(EstimatorConfig),
+    /// Historical average (no real-time data).
+    HistoricalMean,
+    /// KNN spatial interpolation of seed deviations.
+    KnnSpatial {
+        /// Number of nearest seeds interpolated.
+        k: usize,
+    },
+    /// One citywide linear regression.
+    GlobalRegression,
+    /// Label propagation over the correlation graph.
+    LabelPropagation {
+        /// Propagation sweeps.
+        iterations: usize,
+        /// Anchor weight towards the neutral deviation.
+        anchor: f64,
+    },
+}
+
+impl Method {
+    /// Short display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::TwoStep(_) => "two-step",
+            Method::HistoricalMean => "hist-mean",
+            Method::KnnSpatial { .. } => "knn",
+            Method::GlobalRegression => "global-lr",
+            Method::LabelPropagation { .. } => "label-prop",
+        }
+    }
+}
+
+/// Evaluation configuration.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Slots of day evaluated per test day; empty = every slot.
+    pub slots: Vec<usize>,
+    /// Crowdsourcing channel simulation.
+    pub crowd: CrowdParams,
+    /// Correlation-graph construction.
+    pub correlation: CorrelationConfig,
+    /// RNG seed for crowd simulation.
+    pub rng_seed: u64,
+    /// Worker threads for the estimation loop (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            slots: Vec::new(),
+            crowd: CrowdParams::default(),
+            correlation: CorrelationConfig::default(),
+            rng_seed: 7,
+            threads: 4,
+        }
+    }
+}
+
+/// Evaluation outcome for one (method, seed set) pair.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Method display name.
+    pub method: &'static str,
+    /// Number of seeds.
+    pub k: usize,
+    /// Speed-estimation errors over non-seed roads.
+    pub error: ErrorStats,
+    /// Fraction of non-seed roads with correctly predicted trends.
+    pub trend_accuracy: f64,
+    /// Wall time spent training.
+    pub train_time: Duration,
+    /// Mean wall time of one slot's estimation.
+    pub estimate_time_per_slot: Duration,
+    /// Number of (day, slot) estimation rounds aggregated.
+    pub rounds: usize,
+}
+
+enum Model<'a> {
+    TwoStep(Box<TrafficEstimator>),
+    HistoricalMean,
+    Knn {
+        k: usize,
+    },
+    Global(GlobalRegression),
+    LabelProp {
+        iterations: usize,
+        anchor: f64,
+        corr: &'a CorrelationGraph,
+    },
+}
+
+impl Model<'_> {
+    fn estimate(
+        &self,
+        ds: &Dataset,
+        stats: &HistoryStats,
+        slot: usize,
+        obs: &[(RoadId, f64)],
+    ) -> (Vec<f64>, Option<Vec<bool>>) {
+        match self {
+            Model::TwoStep(est) => {
+                let r = est.estimate(slot, obs);
+                (r.speeds, Some(r.trends))
+            }
+            Model::HistoricalMean => (baselines::historical_mean(stats, slot), None),
+            Model::Knn { k } => (
+                baselines::knn_spatial(&ds.graph, stats, slot, obs, *k),
+                None,
+            ),
+            Model::Global(g) => (g.predict(stats, slot, obs), None),
+            Model::LabelProp {
+                iterations,
+                anchor,
+                corr,
+            } => (
+                baselines::label_propagation(corr, stats, slot, obs, *iterations, *anchor),
+                None,
+            ),
+        }
+    }
+}
+
+/// Runs the full train/test loop for one method and seed set.
+pub fn evaluate(ds: &Dataset, seeds: &[RoadId], method: &Method, cfg: &EvalConfig) -> EvalReport {
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &cfg.correlation);
+
+    let t0 = Instant::now();
+    let model = match method {
+        Method::TwoStep(config) => Model::TwoStep(Box::new(
+            TrafficEstimator::train(&ds.graph, &ds.history, &stats, &corr, seeds, config)
+                .expect("estimator training failed"),
+        )),
+        Method::HistoricalMean => Model::HistoricalMean,
+        Method::KnnSpatial { k } => Model::Knn { k: *k },
+        Method::GlobalRegression => {
+            Model::Global(GlobalRegression::train(&ds.history, &stats, seeds))
+        }
+        Method::LabelPropagation { iterations, anchor } => Model::LabelProp {
+            iterations: *iterations,
+            anchor: *anchor,
+            corr: &corr,
+        },
+    };
+    let train_time = t0.elapsed();
+
+    // Work list: (day, slot).
+    let slots: Vec<usize> = if cfg.slots.is_empty() {
+        (0..ds.clock.slots_per_day).collect()
+    } else {
+        cfg.slots.clone()
+    };
+    let tasks: Vec<(usize, usize)> = (0..ds.test_days.len())
+        .flat_map(|d| slots.iter().map(move |&s| (d, s)))
+        .collect();
+
+    struct Acc {
+        error: ErrorStats,
+        trend_correct_weighted: f64,
+        trend_rounds: usize,
+        estimate_time: Duration,
+    }
+    let acc = Mutex::new(Acc {
+        error: ErrorStats::default(),
+        trend_correct_weighted: 0.0,
+        trend_rounds: 0,
+        estimate_time: Duration::ZERO,
+    });
+    let next = AtomicUsize::new(0);
+
+    let run_task = |&(day, slot): &(usize, usize)| {
+        use rand::SeedableRng;
+        let truth = &ds.test_days[day];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            cfg.rng_seed ^ ((day as u64) << 32) ^ slot as u64,
+        );
+        let reports = crowdsource(truth, slot, seeds, &cfg.crowd, &mut rng);
+        let obs = answered(&reports);
+
+        let t = Instant::now();
+        let (speeds, trends) = model.estimate(ds, &stats, slot, &obs);
+        let took = t.elapsed();
+
+        let truth_v: Vec<f64> = ds.graph.road_ids().map(|r| truth.speed(slot, r)).collect();
+        let err = ErrorStats::from_road_vectors(&truth_v, &speeds, seeds);
+
+        // Trend accuracy: derive predicted trends from speeds when the
+        // method has no explicit trend output.
+        let predicted: Vec<bool> = match trends {
+            Some(t) => t,
+            None => ds
+                .graph
+                .road_ids()
+                .map(|r| stats.trend_of(slot, r, speeds[r.index()]))
+                .collect(),
+        };
+        let truth_t: Vec<bool> = ds
+            .graph
+            .road_ids()
+            .map(|r| stats.trend_of(slot, r, truth.speed(slot, r)))
+            .collect();
+        let tacc = trend_accuracy(&truth_t, &predicted, seeds);
+
+        let mut a = acc.lock();
+        a.error = a.error.merge(err);
+        a.trend_correct_weighted += tacc;
+        a.trend_rounds += 1;
+        a.estimate_time += took;
+    };
+
+    let threads = cfg.threads.max(1).min(tasks.len().max(1));
+    if threads <= 1 {
+        tasks.iter().for_each(run_task);
+    } else {
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    run_task(&tasks[i]);
+                });
+            }
+        })
+        .expect("evaluation worker panicked");
+    }
+
+    let a = acc.into_inner();
+    let rounds = tasks.len();
+    EvalReport {
+        method: method.name(),
+        k: seeds.len(),
+        error: a.error,
+        trend_accuracy: if a.trend_rounds > 0 {
+            a.trend_correct_weighted / a.trend_rounds as f64
+        } else {
+            0.0
+        },
+        train_time,
+        estimate_time_per_slot: if rounds > 0 {
+            a.estimate_time / rounds as u32
+        } else {
+            Duration::ZERO
+        },
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::baseline::random_seeds;
+    use trafficsim::dataset::{metro_small, DatasetParams};
+
+    fn small_ds() -> Dataset {
+        metro_small(&DatasetParams {
+            training_days: 10,
+            test_days: 1,
+            ..DatasetParams::default()
+        })
+    }
+
+    fn fast_cfg() -> EvalConfig {
+        EvalConfig {
+            slots: vec![7, 8, 12, 18],
+            correlation: CorrelationConfig {
+                min_cotrend: 0.6,
+                min_co_observations: 8,
+                ..CorrelationConfig::default()
+            },
+            threads: 2,
+            ..EvalConfig::default()
+        }
+    }
+
+    #[test]
+    fn evaluates_all_methods_without_panic() {
+        let ds = small_ds();
+        let seeds = random_seeds(ds.graph.num_roads(), 15, 3);
+        let cfg = fast_cfg();
+        for m in [
+            Method::TwoStep(EstimatorConfig::default()),
+            Method::HistoricalMean,
+            Method::KnnSpatial { k: 5 },
+            Method::GlobalRegression,
+            Method::LabelPropagation {
+                iterations: 20,
+                anchor: 0.2,
+            },
+        ] {
+            let rep = evaluate(&ds, &seeds, &m, &cfg);
+            assert_eq!(rep.rounds, 4, "{}", rep.method);
+            assert!(rep.error.count > 0);
+            assert!(rep.error.mape > 0.0 && rep.error.mape < 1.0, "{}: {:?}", rep.method, rep.error);
+            assert!(rep.trend_accuracy > 0.0 && rep.trend_accuracy <= 1.0);
+        }
+    }
+
+    #[test]
+    fn two_step_beats_historical_mean() {
+        let ds = small_ds();
+        let seeds = random_seeds(ds.graph.num_roads(), 20, 3);
+        let cfg = fast_cfg();
+        let ours = evaluate(&ds, &seeds, &Method::TwoStep(EstimatorConfig::default()), &cfg);
+        let base = evaluate(&ds, &seeds, &Method::HistoricalMean, &cfg);
+        assert!(
+            ours.error.mape < base.error.mape,
+            "two-step {:.4} vs hist-mean {:.4}",
+            ours.error.mape,
+            base.error.mape
+        );
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let ds = small_ds();
+        let seeds = random_seeds(ds.graph.num_roads(), 10, 5);
+        let mut cfg = fast_cfg();
+        cfg.threads = 1;
+        let seq = evaluate(&ds, &seeds, &Method::HistoricalMean, &cfg);
+        cfg.threads = 4;
+        let par = evaluate(&ds, &seeds, &Method::HistoricalMean, &cfg);
+        // Crowd RNG is derived from (day, slot), so results are
+        // identical regardless of scheduling.
+        assert!((seq.error.mae - par.error.mae).abs() < 1e-12);
+        assert!((seq.trend_accuracy - par.trend_accuracy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slots_means_full_day() {
+        let ds = small_ds();
+        let seeds = random_seeds(ds.graph.num_roads(), 8, 1);
+        let cfg = EvalConfig {
+            slots: Vec::new(),
+            threads: 4,
+            correlation: fast_cfg().correlation,
+            ..EvalConfig::default()
+        };
+        let rep = evaluate(&ds, &seeds, &Method::HistoricalMean, &cfg);
+        assert_eq!(rep.rounds, ds.clock.slots_per_day * ds.test_days.len());
+    }
+}

@@ -1,0 +1,792 @@
+//! Step 2 — the hierarchical linear model (HLM).
+//!
+//! Once step 1 has produced a trend posterior for every road, the HLM
+//! turns *seed deviations* (crowdsourced speed ÷ historical average)
+//! into a *deviation estimate* for each non-seed road, which scales the
+//! road's historical average into a speed.
+//!
+//! The model is linear in a fixed 6-feature template built from the
+//! seed observations — intercept; the **local deviation field** (seed
+//! deviations propagated over the correlation graph, see
+//! [`crate::propagate`]); the strongest correlated seed's deviation;
+//! the citywide mean seed deviation; the inverse-distance-weighted
+//! deviation of the spatially nearest seeds; and the centred step-1
+//! trend posterior — deviation channels in log space by default
+//! ([`HlmConfig::log_space`]) — with **separate
+//! coefficient sets per trend regime** (up/down) mixed by the step-1
+//! posterior, and a **three-level coefficient hierarchy**:
+//!
+//! ```text
+//! city (pooled)  →  road class  →  individual road
+//! ```
+//!
+//! Each level is ridge-shrunk towards its parent
+//! ([`linalg::ridge::shrunk_fit`]), so a road with thin history borrows
+//! its class's behaviour and a class with thin history borrows the
+//! city's — the paper's "hierarchical" ingredient. A fixed feature
+//! template (rather than one coefficient per neighbouring seed) is what
+//! lets coefficients be pooled across roads with different seed
+//! neighbourhoods; the influence weights inside the features carry the
+//! per-neighbour structure instead.
+
+use crate::correlation::CorrelationGraph;
+use crate::inference::trend_model::{TrendEngine, TrendModel};
+use crate::seed::objective::{InfluenceConfig, InfluenceModel};
+use crate::{CoreError, Result};
+use linalg::ridge::{hierarchical_fit, shrunk_fit};
+use linalg::Matrix;
+use roadnet::{RoadGraph, RoadId};
+use serde::{Deserialize, Serialize};
+use trafficsim::{HistoricalData, HistoryStats};
+
+/// Number of features in the template.
+pub const NUM_FEATURES: usize = 6;
+
+/// Distance softening (metres) in the spatial feature's IDW weights.
+const SPATIAL_SOFTENING_M: f64 = 50.0;
+
+/// How deep the coefficient hierarchy goes — the ablation switch of
+/// experiment E10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pooling {
+    /// city → class → road (the full model).
+    Full,
+    /// city → class; every road uses its class coefficients.
+    ClassOnly,
+    /// One citywide regression for all roads.
+    GlobalOnly,
+}
+
+/// HLM configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HlmConfig {
+    /// Ridge strength of the city-level (pooled) fit.
+    pub lambda_city: f64,
+    /// Shrinkage of class coefficients towards the city coefficients.
+    pub lambda_class: f64,
+    /// Shrinkage of road coefficients towards their class coefficients.
+    pub lambda_road: f64,
+    /// Roads with fewer training rows (per regime) than this use their
+    /// class coefficients directly.
+    pub min_road_rows: usize,
+    /// Per-road cap on training cells (stride-sampled); bounds memory
+    /// on long histories.
+    pub max_cells_per_road: usize,
+    /// Predicted deviations are clamped to this range.
+    pub deviation_clamp: (f64, f64),
+    /// Fit and predict in log-deviation space. Deviations compose
+    /// multiplicatively (a congestion halves speed regardless of the
+    /// baseline), so the log model extrapolates far better to severe
+    /// slowdowns and keeps residuals homoscedastic. `false` is the
+    /// linear-space ablation.
+    pub log_space: bool,
+    /// Per-road top-M seed neighbours kept as feature sources.
+    pub max_seed_neighbors: usize,
+    /// Spatially nearest seeds feeding the IDW spatial feature.
+    pub spatial_neighbors: usize,
+    /// Sweeps of deviation propagation behind the local-field feature.
+    pub propagation_iters: usize,
+    /// Neutral-anchor weight of the propagation.
+    pub propagation_anchor: f64,
+    /// Hierarchy depth.
+    pub pooling: Pooling,
+    /// Fit separate up/down regimes (`false` is the trend-conditioning
+    /// ablation: one regime, step-1 posterior unused by the mixer).
+    pub split_regimes: bool,
+    /// Influence propagation used to attach seeds to roads.
+    pub influence: InfluenceConfig,
+}
+
+impl Default for HlmConfig {
+    fn default() -> Self {
+        HlmConfig {
+            lambda_city: 1.0,
+            lambda_class: 10.0,
+            lambda_road: 5.0,
+            min_road_rows: 8,
+            max_cells_per_road: 1024,
+            deviation_clamp: (0.2, 2.0),
+            max_seed_neighbors: 8,
+            spatial_neighbors: 5,
+            propagation_iters: 30,
+            propagation_anchor: 0.2,
+            log_space: true,
+            pooling: Pooling::Full,
+            split_regimes: true,
+            influence: InfluenceConfig::default(),
+        }
+    }
+}
+
+/// Coefficients for one trend regime.
+#[derive(Debug, Clone)]
+struct RegimeCoefs {
+    city: Vec<f64>,
+    class: Vec<Vec<f64>>,       // [class][feature]
+    road: Vec<Option<Vec<f64>>>, // [road] -> None = fall back to class
+}
+
+impl RegimeCoefs {
+    fn coefficients_for(&self, road: usize, class: usize, pooling: Pooling) -> &[f64] {
+        match pooling {
+            Pooling::GlobalOnly => &self.city,
+            Pooling::ClassOnly => &self.class[class],
+            Pooling::Full => self.road[road]
+                .as_deref()
+                .unwrap_or(&self.class[class]),
+        }
+    }
+}
+
+/// A trained hierarchical linear model tied to a specific seed set.
+#[derive(Debug, Clone)]
+pub struct HlmModel {
+    config: HlmConfig,
+    seeds: Vec<RoadId>,
+    /// Correlation graph over which the local deviation field is
+    /// propagated (owned so the model is self-contained at serving
+    /// time).
+    corr: CorrelationGraph,
+    /// Per road: (seed index, influence q), strongest first, top-M.
+    seed_neighbors: Vec<Vec<(usize, f64)>>,
+    /// Per road: (seed index, IDW weight) of the spatially nearest
+    /// seeds — the locality channel for roads with no correlated seed.
+    spatial_neighbors: Vec<Vec<(usize, f64)>>,
+    road_class: Vec<usize>,
+    /// regimes[0] = "up", regimes[1] = "down"; when
+    /// `config.split_regimes` is false only regimes[0] is meaningful.
+    regimes: [RegimeCoefs; 2],
+}
+
+/// Weighted mean of `(weight, value)` pairs, or `fallback` when empty.
+fn weighted_mean(pairs: &[(f64, f64)], fallback: f64) -> f64 {
+    if pairs.is_empty() {
+        return fallback;
+    }
+    let wsum: f64 = pairs.iter().map(|&(w, _)| w).sum();
+    pairs.iter().map(|&(w, v)| w * v).sum::<f64>() / wsum
+}
+
+/// Smallest deviation representable in log space.
+const DEV_FLOOR: f64 = 0.05;
+
+/// Transforms a deviation for the model space (identity or log).
+#[inline]
+fn encode_dev(d: f64, log_space: bool) -> f64 {
+    if log_space {
+        d.max(DEV_FLOOR).ln()
+    } else {
+        d
+    }
+}
+
+/// Inverse of [`encode_dev`].
+#[inline]
+fn decode_dev(y: f64, log_space: bool) -> f64 {
+    if log_space {
+        y.exp()
+    } else {
+        y
+    }
+}
+
+/// The feature template (all deviation-valued channels are already in
+/// model space — see [`encode_dev`]).
+///
+/// * `local_field` — the propagated deviation field's value at the road;
+/// * `neighbor_devs` — available `(q, deviation)` pairs of the road's
+///   correlated seed neighbours (may be empty);
+/// * `spatial_devs` — available `(idw-weight, deviation)` pairs of the
+///   spatially nearest seeds;
+/// * `citywide` — mean deviation over all available seeds;
+/// * `trend` — the road's step-1 posterior, centred (`2·p_up − 1`).
+fn features(
+    local_field: f64,
+    neighbor_devs: &[(f64, f64)],
+    spatial_devs: &[(f64, f64)],
+    citywide: f64,
+    trend: f64,
+) -> [f64; NUM_FEATURES] {
+    let top = neighbor_devs
+        .iter()
+        .fold((0.0, citywide), |best, &(q, d)| {
+            if q > best.0 {
+                (q, d)
+            } else {
+                best
+            }
+        })
+        .1;
+    let spatial = weighted_mean(spatial_devs, citywide);
+    [1.0, local_field, top, citywide, spatial, trend]
+}
+
+impl HlmModel {
+    /// Trains the model for a given seed set over the historical data.
+    ///
+    /// Equivalent to [`HlmModel::train_with_trends`] with no trend
+    /// model: regime rows are weighted by each road's *true* historical
+    /// trend (hard 0/1 posteriors). Use `train_with_trends` in the full
+    /// pipeline so training matches what inference sees at serving
+    /// time.
+    pub fn train(
+        graph: &RoadGraph,
+        history: &HistoricalData,
+        stats: &HistoryStats,
+        corr: &CorrelationGraph,
+        seeds: &[RoadId],
+        config: &HlmConfig,
+    ) -> Result<HlmModel> {
+        Self::train_with_trends(graph, history, stats, corr, seeds, config, None)
+    }
+
+    /// Trains the model, weighting each training row's regime
+    /// assignment by the trend posterior the given model would have
+    /// produced for that historical cell (evidence = the seeds' own
+    /// historical trends). This makes training *consistent* with
+    /// serving — the regimes are mixed by the same kind of noisy
+    /// posterior in both phases, so regime splitting can only help.
+    ///
+    /// A `Gibbs` engine is replaced by LBP during training (thousands
+    /// of sampler sweeps per historical cell would be prohibitive and
+    /// the marginals agree — see experiment E6); `PriorOnly` and `Exact`
+    /// are honoured as-is.
+    pub fn train_with_trends(
+        graph: &RoadGraph,
+        history: &HistoricalData,
+        stats: &HistoryStats,
+        corr: &CorrelationGraph,
+        seeds: &[RoadId],
+        config: &HlmConfig,
+        trend_ctx: Option<(&TrendModel, &TrendEngine)>,
+    ) -> Result<HlmModel> {
+        let n = graph.num_roads();
+        if seeds.is_empty() {
+            return Err(CoreError::InsufficientData("empty seed set".into()));
+        }
+        for s in seeds {
+            if s.index() >= n {
+                return Err(CoreError::InvalidRoad(s.0));
+            }
+        }
+
+        // Attach each road to its influential seeds.
+        let influence = InfluenceModel::build(corr, &config.influence);
+        let mut seed_neighbors: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for (si, &s) in seeds.iter().enumerate() {
+            for &(r, q) in influence.reach(s) {
+                if r != s {
+                    seed_neighbors[r.index()].push((si, q));
+                }
+            }
+        }
+        for list in &mut seed_neighbors {
+            list.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN influence"));
+            list.truncate(config.max_seed_neighbors);
+        }
+
+        // Spatially nearest seeds per road (IDW weights).
+        let spatial_neighbors: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|r| {
+                let road = RoadId(r as u32);
+                let mut by_dist: Vec<(usize, f64)> = seeds
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &s)| s != road)
+                    .map(|(si, &s)| (si, graph.distance(road, s)))
+                    .collect();
+                by_dist
+                    .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distance NaN"));
+                by_dist.truncate(config.spatial_neighbors);
+                by_dist
+                    .into_iter()
+                    .map(|(si, d)| (si, 1.0 / (d + SPATIAL_SOFTENING_M)))
+                    .collect()
+            })
+            .collect();
+
+        let road_class: Vec<usize> = graph.all_meta().iter().map(|m| m.class.group()).collect();
+
+        // Assemble training rows.
+        let slots = history.clock().slots_per_day;
+        let total_cells = history.num_days() * slots;
+        let stride = total_cells.div_ceil(config.max_cells_per_road).max(1);
+        let num_regimes = if config.split_regimes { 2 } else { 1 };
+
+        // Row storage: per (road, regime) design+response.
+        let mut road_x: Vec<Vec<Matrix>> =
+            (0..n).map(|_| vec![Matrix::zeros(0, 0); num_regimes]).collect();
+        let mut road_y: Vec<Vec<Vec<f64>>> = (0..n).map(|_| vec![Vec::new(); num_regimes]).collect();
+
+        let mut cell = 0usize;
+        let mut seed_devs: Vec<Option<f64>> = vec![None; seeds.len()];
+        for day in 0..history.num_days() {
+            for slot in 0..slots {
+                let take = cell % stride == 0;
+                cell += 1;
+                if !take {
+                    continue;
+                }
+                // Seed deviations at this cell, from history.
+                let mut city_sum = 0.0;
+                let mut city_count = 0usize;
+                for (si, &s) in seeds.iter().enumerate() {
+                    seed_devs[si] = history
+                        .speed(day, slot, s)
+                        .and_then(|v| stats.deviation_of(slot, s, v));
+                    if let Some(d) = seed_devs[si] {
+                        city_sum += d;
+                        city_count += 1;
+                    }
+                }
+                if city_count == 0 {
+                    continue;
+                }
+                let citywide = city_sum / city_count as f64;
+
+                // Local deviation field for this cell (one propagation
+                // shared by all roads).
+                let cell_seed_devs: Vec<(RoadId, f64)> = seeds
+                    .iter()
+                    .zip(&seed_devs)
+                    .filter_map(|(&s, d)| d.map(|d| (s, d)))
+                    .collect();
+                let field = crate::propagate::propagate_deviations(
+                    corr,
+                    &cell_seed_devs,
+                    config.propagation_iters,
+                    config.propagation_anchor,
+                );
+
+                // Trend posteriors for this cell: what the serving-time
+                // inference would say, given the seeds' trends. Used
+                // both as the trend feature and for soft regime
+                // weighting.
+                let cell_p_up: Option<Vec<f64>> = match trend_ctx {
+                    None => None, // fall back to true trends
+                    Some((tm, engine)) => {
+                        let obs: Vec<(RoadId, bool)> = cell_seed_devs
+                            .iter()
+                            .map(|&(s, d)| (s, d >= 1.0))
+                            .collect();
+                        let train_engine = match engine {
+                            TrendEngine::Gibbs { .. } => TrendEngine::default(),
+                            e => e.clone(),
+                        };
+                        Some(tm.infer(slot, &obs, &train_engine).p_up)
+                    }
+                };
+
+                let ls = config.log_space;
+                for r in 0..n {
+                    let road = RoadId(r as u32);
+                    let Some(v) = history.speed(day, slot, road) else {
+                        continue;
+                    };
+                    let Some(dev) = stats.deviation_of(slot, road, v) else {
+                        continue;
+                    };
+                    let nb: Vec<(f64, f64)> = seed_neighbors[r]
+                        .iter()
+                        .filter_map(|&(si, q)| seed_devs[si].map(|d| (q, encode_dev(d, ls))))
+                        .collect();
+                    let sp: Vec<(f64, f64)> = spatial_neighbors[r]
+                        .iter()
+                        .filter_map(|&(si, w)| seed_devs[si].map(|d| (w, encode_dev(d, ls))))
+                        .collect();
+                    let p_up_r = match &cell_p_up {
+                        Some(p) => p[r],
+                        // No trend model supplied: the true trend.
+                        None => {
+                            if dev >= 1.0 {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                    };
+                    let x = features(
+                        encode_dev(field[r], ls),
+                        &nb,
+                        &sp,
+                        encode_dev(citywide, ls),
+                        2.0 * p_up_r - 1.0,
+                    );
+
+                    // Soft regime assignment: each row enters both
+                    // regimes, weighted by the trend posterior
+                    // (weighted least squares via sqrt-scaling).
+                    let (w_up, w_down) = if config.split_regimes {
+                        (p_up_r, 1.0 - p_up_r)
+                    } else {
+                        (1.0, 0.0)
+                    };
+                    let y = encode_dev(dev, ls);
+                    for (regime, w) in [(0usize, w_up), (1, w_down)] {
+                        if regime >= num_regimes || w < 0.02 {
+                            continue;
+                        }
+                        let sw = w.sqrt();
+                        let row: Vec<f64> = x.iter().map(|v| v * sw).collect();
+                        road_x[r][regime]
+                            .push_row(&row)
+                            .expect("feature rows share NUM_FEATURES");
+                        road_y[r][regime].push(y * sw);
+                    }
+                }
+            }
+        }
+
+        // Fit each regime's hierarchy.
+        let fit_regime = |regime: usize| -> Result<RegimeCoefs> {
+            // Class-level pooled designs.
+            let mut class_groups: Vec<(Matrix, Vec<f64>)> = (0..4)
+                .map(|_| (Matrix::zeros(0, 0), Vec::new()))
+                .collect();
+            for r in 0..n {
+                let (x, y) = (&road_x[r][regime], &road_y[r][regime]);
+                if y.is_empty() {
+                    continue;
+                }
+                let g = &mut class_groups[road_class[r]];
+                for row in 0..x.rows() {
+                    g.0.push_row(x.row(row)).expect("same dims");
+                }
+                g.1.extend_from_slice(y);
+            }
+            // Keep empty classes representable: hierarchical_fit hands
+            // them the city coefficients.
+            let hf = hierarchical_fit(&class_groups, config.lambda_city, config.lambda_class)
+                .map_err(|e| CoreError::Numerical(format!("class fit ({regime}): {e}")))?;
+
+            let mut road_coefs: Vec<Option<Vec<f64>>> = vec![None; n];
+            if config.pooling == Pooling::Full {
+                for r in 0..n {
+                    let (x, y) = (&road_x[r][regime], &road_y[r][regime]);
+                    if y.len() < config.min_road_rows {
+                        continue;
+                    }
+                    let prior = &hf.per_group[road_class[r]];
+                    match shrunk_fit(x, y, config.lambda_road, Some(prior)) {
+                        Ok(beta) => road_coefs[r] = Some(beta),
+                        Err(e) => {
+                            return Err(CoreError::Numerical(format!(
+                                "road {r} fit ({regime}): {e}"
+                            )))
+                        }
+                    }
+                }
+            }
+            Ok(RegimeCoefs {
+                city: hf.global,
+                class: hf.per_group,
+                road: road_coefs,
+            })
+        };
+
+        let up = fit_regime(0)?;
+        let down = if config.split_regimes {
+            fit_regime(1)?
+        } else {
+            up.clone()
+        };
+
+        Ok(HlmModel {
+            config: config.clone(),
+            seeds: seeds.to_vec(),
+            corr: corr.clone(),
+            seed_neighbors,
+            spatial_neighbors,
+            road_class,
+            regimes: [up, down],
+        })
+    }
+
+    /// The seed set the model was trained for.
+    pub fn seeds(&self) -> &[RoadId] {
+        &self.seeds
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &HlmConfig {
+        &self.config
+    }
+
+    /// Predicts per-road deviations.
+    ///
+    /// * `seed_devs[si]` — observed deviation of seed `si` (`None` when
+    ///   the crowd produced no answer for it);
+    /// * `p_up[r]` — step-1 posterior for every road.
+    ///
+    /// Returns deviations clamped to `config.deviation_clamp`.
+    pub fn predict_deviations(&self, seed_devs: &[Option<f64>], p_up: &[f64]) -> Vec<f64> {
+        assert_eq!(seed_devs.len(), self.seeds.len(), "seed deviation arity");
+        let n = self.seed_neighbors.len();
+        assert_eq!(p_up.len(), n, "p_up arity");
+
+        let avail: Vec<f64> = seed_devs.iter().flatten().copied().collect();
+        let citywide = if avail.is_empty() {
+            1.0
+        } else {
+            linalg::stats::mean(&avail)
+        };
+        let cell_seed_devs: Vec<(RoadId, f64)> = self
+            .seeds
+            .iter()
+            .zip(seed_devs)
+            .filter_map(|(&s, d)| d.map(|d| (s, d)))
+            .collect();
+        let field = crate::propagate::propagate_deviations(
+            &self.corr,
+            &cell_seed_devs,
+            self.config.propagation_iters,
+            self.config.propagation_anchor,
+        );
+
+        let ls = self.config.log_space;
+        (0..n)
+            .map(|r| {
+                let nb: Vec<(f64, f64)> = self.seed_neighbors[r]
+                    .iter()
+                    .filter_map(|&(si, q)| seed_devs[si].map(|d| (q, encode_dev(d, ls))))
+                    .collect();
+                let sp: Vec<(f64, f64)> = self.spatial_neighbors[r]
+                    .iter()
+                    .filter_map(|&(si, w)| seed_devs[si].map(|d| (w, encode_dev(d, ls))))
+                    .collect();
+                let x = features(
+                    encode_dev(field[r], ls),
+                    &nb,
+                    &sp,
+                    encode_dev(citywide, ls),
+                    2.0 * p_up[r] - 1.0,
+                );
+                let class = self.road_class[r];
+                let y = if self.config.split_regimes {
+                    let up = linalg::dot(
+                        self.regimes[0].coefficients_for(r, class, self.config.pooling),
+                        &x,
+                    );
+                    let down = linalg::dot(
+                        self.regimes[1].coefficients_for(r, class, self.config.pooling),
+                        &x,
+                    );
+                    p_up[r] * up + (1.0 - p_up[r]) * down
+                } else {
+                    linalg::dot(
+                        self.regimes[0].coefficients_for(r, class, self.config.pooling),
+                        &x,
+                    )
+                };
+                decode_dev(y, ls)
+                    .clamp(self.config.deviation_clamp.0, self.config.deviation_clamp.1)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::CorrelationConfig;
+    use trafficsim::dataset::{metro_small, DatasetParams};
+
+    fn trained() -> (trafficsim::dataset::Dataset, HistoryStats, HlmModel, Vec<RoadId>) {
+        let ds = metro_small(&DatasetParams {
+            training_days: 10,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let stats = HistoryStats::compute(&ds.history);
+        let corr = CorrelationGraph::build(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &CorrelationConfig {
+                min_cotrend: 0.6,
+                min_co_observations: 6,
+                ..CorrelationConfig::default()
+            },
+        );
+        let seeds: Vec<RoadId> = (0..15u32).map(|i| RoadId(i * 6)).collect();
+        let model = HlmModel::train(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &corr,
+            &seeds,
+            &HlmConfig::default(),
+        )
+        .unwrap();
+        (ds, stats, model, seeds)
+    }
+
+    #[test]
+    fn features_fall_back_to_citywide() {
+        let f = features(1.0, &[], &[], 1.1, 0.0);
+        assert_eq!(f, [1.0, 1.0, 1.1, 1.1, 1.1, 0.0]);
+    }
+
+    #[test]
+    fn features_carry_all_channels() {
+        let f = features(0.9, &[(0.9, 2.0), (0.1, 1.0)], &[(1.0, 0.5)], 1.5, 0.4);
+        assert_eq!(f[0], 1.0);
+        assert_eq!(f[1], 0.9); // local propagated field
+        assert_eq!(f[2], 2.0); // strongest correlated seed
+        assert_eq!(f[3], 1.5); // citywide
+        assert_eq!(f[4], 0.5); // spatial IDW channel
+        assert_eq!(f[5], 0.4); // centred trend posterior
+    }
+
+    #[test]
+    fn spatial_feature_weights_by_inverse_distance() {
+        // Two spatial seeds, the nearer one dominates.
+        let f = features(1.0, &[], &[(1.0 / 100.0, 2.0), (1.0 / 1000.0, 1.0)], 1.5, 0.0);
+        let expected = (2.0 / 100.0 + 1.0 / 1000.0) / (1.0 / 100.0 + 1.0 / 1000.0);
+        assert!((f[4] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn train_rejects_empty_seed_set() {
+        let ds = metro_small(&DatasetParams {
+            training_days: 3,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let stats = HistoryStats::compute(&ds.history);
+        let corr = CorrelationGraph::build(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &CorrelationConfig::default(),
+        );
+        let err = HlmModel::train(&ds.graph, &ds.history, &stats, &corr, &[], &HlmConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InsufficientData(_)));
+    }
+
+    #[test]
+    fn train_rejects_out_of_range_seed() {
+        let ds = metro_small(&DatasetParams {
+            training_days: 3,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let stats = HistoryStats::compute(&ds.history);
+        let corr = CorrelationGraph::build(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &CorrelationConfig::default(),
+        );
+        let err = HlmModel::train(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &corr,
+            &[RoadId(9999)],
+            &HlmConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, CoreError::InvalidRoad(9999));
+    }
+
+    #[test]
+    fn predictions_are_clamped_and_sized() {
+        let (ds, _, model, seeds) = trained();
+        let devs: Vec<Option<f64>> = seeds.iter().map(|_| Some(10.0)).collect(); // absurd input
+        let p_up = vec![0.5; ds.graph.num_roads()];
+        let pred = model.predict_deviations(&devs, &p_up);
+        assert_eq!(pred.len(), ds.graph.num_roads());
+        for d in &pred {
+            assert!(*d >= 0.2 && *d <= 2.0);
+        }
+    }
+
+    #[test]
+    fn neutral_seeds_predict_near_historical_average() {
+        let (ds, _, model, seeds) = trained();
+        // All seeds exactly at their historical average.
+        let devs: Vec<Option<f64>> = seeds.iter().map(|_| Some(1.0)).collect();
+        let p_up = vec![0.5; ds.graph.num_roads()];
+        let pred = model.predict_deviations(&devs, &p_up);
+        let mean_dev = linalg::stats::mean(&pred);
+        assert!(
+            (mean_dev - 1.0).abs() < 0.15,
+            "neutral input should give near-neutral output: {mean_dev}"
+        );
+    }
+
+    #[test]
+    fn depressed_seeds_depress_predictions() {
+        let (ds, _, model, seeds) = trained();
+        let low: Vec<Option<f64>> = seeds.iter().map(|_| Some(0.6)).collect();
+        let high: Vec<Option<f64>> = seeds.iter().map(|_| Some(1.3)).collect();
+        let p_low = vec![0.2; ds.graph.num_roads()];
+        let p_high = vec![0.8; ds.graph.num_roads()];
+        let pred_low = model.predict_deviations(&low, &p_low);
+        let pred_high = model.predict_deviations(&high, &p_high);
+        assert!(
+            linalg::stats::mean(&pred_low) < linalg::stats::mean(&pred_high),
+            "model ignores its inputs"
+        );
+    }
+
+    #[test]
+    fn missing_seed_answers_are_tolerated() {
+        let (ds, _, model, seeds) = trained();
+        let mut devs: Vec<Option<f64>> = seeds.iter().map(|_| Some(0.9)).collect();
+        devs[0] = None;
+        devs[3] = None;
+        let p_up = vec![0.5; ds.graph.num_roads()];
+        let pred = model.predict_deviations(&devs, &p_up);
+        assert!(pred.iter().all(|d| d.is_finite()));
+    }
+
+    #[test]
+    fn global_only_pooling_gives_identical_coefs_for_all_roads() {
+        let ds = metro_small(&DatasetParams {
+            training_days: 8,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let stats = HistoryStats::compute(&ds.history);
+        let corr = CorrelationGraph::build(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &CorrelationConfig {
+                min_cotrend: 0.6,
+                min_co_observations: 6,
+                ..CorrelationConfig::default()
+            },
+        );
+        let seeds: Vec<RoadId> = (0..10u32).map(|i| RoadId(i * 9)).collect();
+        let model = HlmModel::train(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &corr,
+            &seeds,
+            &HlmConfig {
+                pooling: Pooling::GlobalOnly,
+                ..HlmConfig::default()
+            },
+        )
+        .unwrap();
+        // With one global coefficient set and identical features, roads
+        // with no seed neighbours must predict identically.
+        let devs: Vec<Option<f64>> = seeds.iter().map(|_| Some(0.8)).collect();
+        let p_up = vec![0.5; ds.graph.num_roads()];
+        let pred = model.predict_deviations(&devs, &p_up);
+        let lonely: Vec<usize> = (0..ds.graph.num_roads())
+            .filter(|&r| model.seed_neighbors[r].is_empty())
+            .collect();
+        if lonely.len() >= 2 {
+            let first = pred[lonely[0]];
+            for &r in &lonely[1..] {
+                assert!((pred[r] - first).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! The two-step inference model (paper §speed-inference).
+//!
+//! * [`trend_model`] — **step 1**: a pairwise MRF over the correlation
+//!   graph infers each road's binary trend given the crowdsourced seed
+//!   trends.
+//! * [`hlm`] — **step 2**: a three-level hierarchical linear model
+//!   (road → road class → city) turns trends plus seed deviations into
+//!   speed estimates.
+//! * [`pipeline`] — glues both steps behind
+//!   [`pipeline::TrafficEstimator`], the crate's main entry point.
+
+pub mod hlm;
+pub mod pipeline;
+pub mod trend_model;

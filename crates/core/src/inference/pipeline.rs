@@ -1,0 +1,315 @@
+//! The end-to-end two-step estimator.
+
+use crate::correlation::CorrelationGraph;
+use crate::inference::hlm::{HlmConfig, HlmModel};
+use crate::seed::objective::{InfluenceModel, SeedObjective};
+use crate::inference::trend_model::{TrendEngine, TrendModel, TrendModelConfig};
+use crate::{CoreError, Result};
+use roadnet::{RoadGraph, RoadId};
+use trafficsim::{HistoricalData, HistoryStats};
+
+/// Configuration of the full estimator.
+#[derive(Debug, Clone, Default)]
+pub struct EstimatorConfig {
+    /// Step-1 MRF construction.
+    pub trend: TrendModelConfig,
+    /// Step-1 inference engine.
+    pub engine: TrendEngine,
+    /// Step-2 hierarchical linear model.
+    pub hlm: HlmConfig,
+}
+
+/// One slot's estimation output.
+#[derive(Debug, Clone)]
+pub struct SpeedEstimate {
+    /// Estimated speed (km/h) per road; seeds carry their observed
+    /// speeds verbatim.
+    pub speeds: Vec<f64>,
+    /// Step-1 posterior up-probability per road.
+    pub p_up: Vec<f64>,
+    /// Hard trend decisions per road.
+    pub trends: Vec<bool>,
+    /// Per-road confidence in `[0, 1]`: the probability that the seed
+    /// set pins the road down under the influence model — exactly the
+    /// per-road term of the seed-selection objective
+    /// (`1 − Π_{s∈S} (1 − q(s → r))`). Seeds report 1. Static per seed
+    /// set; exposed per estimate for convenience. The integration tests
+    /// verify it is *calibrated*: high-confidence roads carry lower
+    /// error.
+    pub confidence: Vec<f64>,
+    /// Iterations the trend engine used.
+    pub trend_iterations: usize,
+}
+
+/// A trained two-step estimator, bound to a seed set.
+///
+/// Owns everything it needs (correlation graph, history statistics,
+/// models), so it can be handed to a serving loop independently of the
+/// training data.
+#[derive(Debug, Clone)]
+pub struct TrafficEstimator {
+    stats: HistoryStats,
+    trend_model: TrendModel,
+    hlm: HlmModel,
+    seeds: Vec<RoadId>,
+    seed_index: Vec<Option<usize>>, // road -> seed slot
+    engine: TrendEngine,
+    coverage: Vec<f64>,
+}
+
+impl TrafficEstimator {
+    /// Trains the estimator for a seed set.
+    pub fn train(
+        graph: &RoadGraph,
+        history: &HistoricalData,
+        stats: &HistoryStats,
+        corr: &CorrelationGraph,
+        seeds: &[RoadId],
+        config: &EstimatorConfig,
+    ) -> Result<TrafficEstimator> {
+        if seeds.is_empty() {
+            return Err(CoreError::InsufficientData("empty seed set".into()));
+        }
+        let trend_model = TrendModel::new(corr.clone(), stats, config.trend.clone());
+        // Training sees the same kind of (noisy) trend posteriors the
+        // estimator will mix regimes by at serving time.
+        let hlm = HlmModel::train_with_trends(
+            graph,
+            history,
+            stats,
+            corr,
+            seeds,
+            &config.hlm,
+            Some((&trend_model, &config.engine)),
+        )?;
+        let mut seed_index = vec![None; graph.num_roads()];
+        for (si, s) in seeds.iter().enumerate() {
+            seed_index[s.index()] = Some(si);
+        }
+        // Per-road coverage under the influence model = estimate
+        // confidence (see `SpeedEstimate::confidence`).
+        let influence = InfluenceModel::build(corr, &config.hlm.influence);
+        let objective = SeedObjective::new(&influence);
+        let mut miss = objective.initial_miss();
+        for &s in seeds {
+            objective.apply(&mut miss, s);
+        }
+        let coverage: Vec<f64> = miss.into_iter().map(|m| 1.0 - m).collect();
+        Ok(TrafficEstimator {
+            stats: stats.clone(),
+            trend_model,
+            hlm,
+            seeds: seeds.to_vec(),
+            seed_index,
+            engine: config.engine.clone(),
+            coverage,
+        })
+    }
+
+    /// The seed set the estimator observes.
+    pub fn seeds(&self) -> &[RoadId] {
+        &self.seeds
+    }
+
+    /// The trained trend model (exposed for experiments).
+    pub fn trend_model(&self) -> &TrendModel {
+        &self.trend_model
+    }
+
+    /// Per-road seed-coverage confidence (see
+    /// [`SpeedEstimate::confidence`]).
+    pub fn coverage(&self) -> &[f64] {
+        &self.coverage
+    }
+
+    /// Estimates every road's speed at `slot_of_day` from crowdsourced
+    /// seed observations `(road, speed)`.
+    ///
+    /// Observations for roads outside the seed set are ignored (with a
+    /// debug assertion); seeds with no observation simply contribute no
+    /// evidence — the estimator degrades gracefully when the crowd is
+    /// late.
+    pub fn estimate(&self, slot_of_day: usize, observations: &[(RoadId, f64)]) -> SpeedEstimate {
+        let n = self.trend_model.num_roads();
+
+        // Translate observations into trend evidence + seed deviations.
+        let mut seed_devs: Vec<Option<f64>> = vec![None; self.seeds.len()];
+        let mut trend_obs: Vec<(RoadId, bool)> = Vec::with_capacity(observations.len());
+        for &(road, speed) in observations {
+            let Some(si) = self.seed_index.get(road.index()).copied().flatten() else {
+                debug_assert!(false, "observation for non-seed road {road}");
+                continue;
+            };
+            trend_obs.push((road, self.stats.trend_of(slot_of_day, road, speed)));
+            seed_devs[si] = self.stats.deviation_of(slot_of_day, road, speed);
+        }
+
+        // Step 1: trend posterior.
+        let inference = self
+            .trend_model
+            .infer(slot_of_day, &trend_obs, &self.engine);
+
+        // Step 2: deviations -> speeds.
+        let devs = self.hlm.predict_deviations(&seed_devs, &inference.p_up);
+        let mut speeds: Vec<f64> = (0..n)
+            .map(|r| {
+                let road = RoadId(r as u32);
+                devs[r] * self.stats.mean(slot_of_day, road)
+            })
+            .collect();
+        // Seeds report their crowd-observed speeds verbatim.
+        for &(road, speed) in observations {
+            if self.seed_index[road.index()].is_some() {
+                speeds[road.index()] = speed;
+            }
+        }
+
+        let trends = inference.decisions();
+        SpeedEstimate {
+            speeds,
+            p_up: inference.p_up,
+            trends,
+            confidence: self.coverage.clone(),
+            trend_iterations: inference.iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::CorrelationConfig;
+    use crate::metrics::ErrorStats;
+    use trafficsim::dataset::{metro_small, DatasetParams};
+
+    fn setup() -> (
+        trafficsim::dataset::Dataset,
+        HistoryStats,
+        TrafficEstimator,
+        Vec<RoadId>,
+    ) {
+        let ds = metro_small(&DatasetParams {
+            training_days: 12,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let stats = HistoryStats::compute(&ds.history);
+        let corr = CorrelationGraph::build(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &CorrelationConfig {
+                min_cotrend: 0.6,
+                min_co_observations: 8,
+                ..CorrelationConfig::default()
+            },
+        );
+        let seeds: Vec<RoadId> = (0..20u32).map(|i| RoadId(i * 5)).collect();
+        let est = TrafficEstimator::train(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &corr,
+            &seeds,
+            &EstimatorConfig::default(),
+        )
+        .unwrap();
+        (ds, stats, est, seeds)
+    }
+
+    fn observe(
+        truth: &trafficsim::SpeedField,
+        slot: usize,
+        seeds: &[RoadId],
+    ) -> Vec<(RoadId, f64)> {
+        seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect()
+    }
+
+    #[test]
+    fn estimate_covers_every_road() {
+        let (ds, _, est, seeds) = setup();
+        let slot = 8;
+        let obs = observe(&ds.test_days[0], slot, &seeds);
+        let r = est.estimate(slot, &obs);
+        assert_eq!(r.speeds.len(), ds.graph.num_roads());
+        assert!(r.speeds.iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    #[test]
+    fn seeds_echo_their_observations() {
+        let (ds, _, est, seeds) = setup();
+        let slot = 8;
+        let obs = observe(&ds.test_days[0], slot, &seeds);
+        let r = est.estimate(slot, &obs);
+        for &(road, speed) in &obs {
+            assert_eq!(r.speeds[road.index()], speed);
+        }
+    }
+
+    #[test]
+    fn beats_historical_average_baseline() {
+        // The fundamental soundness check: with real-time seed data the
+        // two-step estimator must beat the no-data baseline.
+        let (ds, stats, est, seeds) = setup();
+        let truth = &ds.test_days[0];
+        let mut ours = ErrorStats::default();
+        let mut base = ErrorStats::default();
+        for slot in [7, 8, 12, 17, 18] {
+            let obs = observe(truth, slot, &seeds);
+            let r = est.estimate(slot, &obs);
+            let truth_v: Vec<f64> = ds.graph.road_ids().map(|ro| truth.speed(slot, ro)).collect();
+            let hist: Vec<f64> = ds.graph.road_ids().map(|ro| stats.mean(slot, ro)).collect();
+            ours = ours.merge(ErrorStats::from_road_vectors(&truth_v, &r.speeds, &seeds));
+            base = base.merge(ErrorStats::from_road_vectors(&truth_v, &hist, &seeds));
+        }
+        assert!(
+            ours.mae < base.mae,
+            "two-step ({:.3}) must beat historical mean ({:.3})",
+            ours.mae,
+            base.mae
+        );
+    }
+
+    #[test]
+    fn degrades_gracefully_with_no_observations() {
+        let (ds, _, est, _) = setup();
+        let r = est.estimate(8, &[]);
+        assert_eq!(r.speeds.len(), ds.graph.num_roads());
+        assert!(r.speeds.iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    #[test]
+    fn train_rejects_empty_seeds() {
+        let ds = metro_small(&DatasetParams {
+            training_days: 3,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let stats = HistoryStats::compute(&ds.history);
+        let corr = CorrelationGraph::build(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &CorrelationConfig::default(),
+        );
+        assert!(TrafficEstimator::train(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &corr,
+            &[],
+            &EstimatorConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trend_decisions_align_with_posteriors() {
+        let (ds, _, est, seeds) = setup();
+        let obs = observe(&ds.test_days[0], 8, &seeds);
+        let r = est.estimate(8, &obs);
+        for (p, t) in r.p_up.iter().zip(&r.trends) {
+            assert_eq!(*t, *p >= 0.5);
+        }
+    }
+}

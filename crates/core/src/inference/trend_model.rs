@@ -1,0 +1,379 @@
+//! Step 1 — trend inference with a pairwise MRF.
+
+use crate::correlation::CorrelationGraph;
+use graphmodel::{exact, gibbs, lbp, meanfield, Evidence, MrfBuilder, PairwiseMrf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roadnet::RoadId;
+use serde::{Deserialize, Serialize};
+use trafficsim::HistoryStats;
+
+/// Which engine computes the trend posterior.
+#[derive(Debug, Clone)]
+pub enum TrendEngine {
+    /// Loopy belief propagation — the production engine.
+    Lbp(lbp::LbpOptions),
+    /// Gibbs sampling — the efficiency/accuracy baseline (E6).
+    Gibbs {
+        /// Sampler schedule.
+        options: gibbs::GibbsOptions,
+        /// RNG seed (kept explicit so evaluations are reproducible).
+        seed: u64,
+    },
+    /// Naive mean-field variational inference — cheapest engine,
+    /// slightly less accurate than LBP (third point on the
+    /// efficiency/accuracy curve).
+    MeanField(meanfield::MeanFieldOptions),
+    /// Brute-force exact inference — tiny graphs only; the oracle.
+    Exact,
+    /// No propagation at all: every road keeps its historical prior
+    /// (the trend-step-off ablation of E10).
+    PriorOnly,
+}
+
+impl Default for TrendEngine {
+    fn default() -> Self {
+        TrendEngine::Lbp(lbp::LbpOptions::default())
+    }
+}
+
+/// Configuration of the MRF construction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrendModelConfig {
+    /// Couplings are attenuated towards 0.5 by this factor
+    /// (`same_prob = 0.5 + coupling_scale * (cotrend − 0.5)`, before
+    /// degree normalisation). Slightly under 1 keeps LBP stable on
+    /// loopy neighbourhoods.
+    pub coupling_scale: f64,
+    /// Degree-adaptive attenuation: each edge is further scaled by
+    /// `min(1, degree_norm / sqrt(deg_a * deg_b))`. Dense clusters
+    /// (e.g. the many mutually-adjacent segments around a big
+    /// intersection) would otherwise multiply dozens of strong factors
+    /// and push loopy BP past its stability point into a polarised,
+    /// wrong fixed point — this keeps the *total* coupling a node feels
+    /// bounded while leaving sparse chains at full strength.
+    /// `0` disables the normalisation.
+    pub degree_norm: f64,
+    /// Node priors are clamped to `[prior_clamp, 1 − prior_clamp]` so
+    /// thin history cannot produce degenerate hard priors.
+    pub prior_clamp: f64,
+}
+
+impl Default for TrendModelConfig {
+    fn default() -> Self {
+        TrendModelConfig {
+            coupling_scale: 0.9,
+            degree_norm: 3.0,
+            prior_clamp: 0.1,
+        }
+    }
+}
+
+/// Result of a trend inference.
+#[derive(Debug, Clone)]
+pub struct TrendInference {
+    /// Posterior up-probability per road.
+    pub p_up: Vec<f64>,
+    /// Sweeps/iterations the engine used (0 for exact / prior-only).
+    pub iterations: usize,
+    /// Whether an iterative engine reported convergence.
+    pub converged: bool,
+}
+
+impl TrendInference {
+    /// Hard trend decisions at the 0.5 threshold.
+    pub fn decisions(&self) -> Vec<bool> {
+        self.p_up.iter().map(|&p| p >= 0.5).collect()
+    }
+}
+
+/// The trend model: correlation structure + historical priors.
+#[derive(Debug, Clone)]
+pub struct TrendModel {
+    corr: CorrelationGraph,
+    config: TrendModelConfig,
+    /// Per-slot-of-day prior up-rates, row-major `[slot][road]`.
+    priors: Vec<f64>,
+    slots: usize,
+}
+
+impl TrendModel {
+    /// Builds the model from a correlation graph and history statistics.
+    pub fn new(corr: CorrelationGraph, stats: &HistoryStats, config: TrendModelConfig) -> Self {
+        let slots = stats.num_slots();
+        let n = corr.num_roads();
+        assert_eq!(n, stats.num_roads(), "correlation/stats road mismatch");
+        let mut priors = Vec::with_capacity(slots * n);
+        for slot in 0..slots {
+            for r in 0..n {
+                let p = stats.up_rate(slot, RoadId(r as u32));
+                priors.push(p.clamp(config.prior_clamp, 1.0 - config.prior_clamp));
+            }
+        }
+        TrendModel {
+            corr,
+            config,
+            priors,
+            slots,
+        }
+    }
+
+    /// The correlation graph the model couples over.
+    pub fn correlation(&self) -> &CorrelationGraph {
+        &self.corr
+    }
+
+    /// Number of roads.
+    pub fn num_roads(&self) -> usize {
+        self.corr.num_roads()
+    }
+
+    /// Materialises the MRF for a slot of day.
+    pub fn mrf_for_slot(&self, slot_of_day: usize) -> PairwiseMrf {
+        assert!(slot_of_day < self.slots, "slot out of range");
+        let n = self.corr.num_roads();
+        let mut b = MrfBuilder::new(n);
+        let row = &self.priors[slot_of_day * n..(slot_of_day + 1) * n];
+        for (r, &p) in row.iter().enumerate() {
+            b.set_prior(r, p);
+        }
+        for e in self.corr.edges() {
+            let mut scale = self.config.coupling_scale;
+            if self.config.degree_norm > 0.0 {
+                let da = self.corr.degree(e.a) as f64;
+                let db = self.corr.degree(e.b) as f64;
+                scale *= (self.config.degree_norm / (da * db).sqrt()).min(1.0);
+            }
+            let same = 0.5 + scale * (e.cotrend - 0.5);
+            b.add_edge(e.a.index(), e.b.index(), same)
+                .expect("correlation edges are valid");
+        }
+        b.build()
+    }
+
+    /// Infers trend posteriors given observed seed trends.
+    pub fn infer(
+        &self,
+        slot_of_day: usize,
+        observations: &[(RoadId, bool)],
+        engine: &TrendEngine,
+    ) -> TrendInference {
+        let n = self.corr.num_roads();
+        let evidence = Evidence::from_pairs(n, observations.iter().map(|&(r, t)| (r.index(), t)));
+        match engine {
+            TrendEngine::PriorOnly => {
+                let row = &self.priors[slot_of_day * n..(slot_of_day + 1) * n];
+                let p_up = (0..n)
+                    .map(|r| match evidence.get(r) {
+                        Some(true) => 1.0,
+                        Some(false) => 0.0,
+                        None => row[r],
+                    })
+                    .collect();
+                TrendInference {
+                    p_up,
+                    iterations: 0,
+                    converged: true,
+                }
+            }
+            TrendEngine::Lbp(opts) => {
+                let mrf = self.mrf_for_slot(slot_of_day);
+                let res = lbp::run(&mrf, &evidence, opts);
+                TrendInference {
+                    p_up: res.marginals,
+                    iterations: res.iterations,
+                    converged: res.converged,
+                }
+            }
+            TrendEngine::MeanField(opts) => {
+                let mrf = self.mrf_for_slot(slot_of_day);
+                let res = meanfield::run(&mrf, &evidence, opts);
+                TrendInference {
+                    p_up: res.marginals,
+                    iterations: res.iterations,
+                    converged: res.converged,
+                }
+            }
+            TrendEngine::Gibbs { options, seed } => {
+                let mrf = self.mrf_for_slot(slot_of_day);
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let p_up = gibbs::run(&mrf, &evidence, options, &mut rng);
+                TrendInference {
+                    p_up,
+                    iterations: options.burn_in + options.samples,
+                    converged: true,
+                }
+            }
+            TrendEngine::Exact => {
+                let mrf = self.mrf_for_slot(slot_of_day);
+                let p_up = exact::marginals(&mrf, &evidence)
+                    .expect("exact inference infeasible on this graph size");
+                TrendInference {
+                    p_up,
+                    iterations: 0,
+                    converged: true,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::{CorrelationConfig, CorrelationEdge};
+    use trafficsim::dataset::{metro_small, DatasetParams};
+    use trafficsim::HistoryStats;
+
+    fn chain_model() -> TrendModel {
+        // 3-road chain with strong positive correlation; uniform priors
+        // faked through a tiny handmade history.
+        let e = |a: u32, b: u32| CorrelationEdge {
+            a: RoadId(a),
+            b: RoadId(b),
+            cotrend: 0.9,
+            support: 50,
+        };
+        let corr = CorrelationGraph::from_edges(3, vec![e(0, 1), e(1, 2)]);
+        // Build stats from a 2-day flat history (up-rate 1.0, clamped).
+        let clock = trafficsim::SlotClock { slots_per_day: 1 };
+        let day = trafficsim::SpeedField::filled(1, 3, 30.0);
+        let h = trafficsim::HistoricalData::from_days(clock, vec![day.clone(), day]);
+        let stats = HistoryStats::compute(&h);
+        TrendModel::new(corr, &stats, TrendModelConfig::default())
+    }
+
+    #[test]
+    fn priors_are_clamped() {
+        let m = chain_model();
+        let mrf = m.mrf_for_slot(0);
+        for v in 0..3 {
+            let p = mrf.prior_up(v);
+            assert!((0.1 - 1e-9..=0.9 + 1e-9).contains(&p));
+        }
+    }
+
+    #[test]
+    fn evidence_propagates_under_lbp() {
+        // The flat history gives every road a strong (0.9) up prior, so
+        // a single down observation cannot flip the neighbour outright —
+        // but it must pull the neighbour's posterior well below its
+        // prior-only value, and the pull must attenuate with distance.
+        let m = chain_model();
+        let with_ev = m.infer(0, &[(RoadId(0), false)], &TrendEngine::default());
+        let prior_only = m.infer(0, &[(RoadId(0), false)], &TrendEngine::PriorOnly);
+        assert!(with_ev.converged);
+        assert_eq!(with_ev.p_up[0], 0.0);
+        assert!(
+            with_ev.p_up[1] < prior_only.p_up[1] - 0.03,
+            "evidence did not propagate: {:?} vs {:?}",
+            with_ev.p_up,
+            prior_only.p_up
+        );
+        assert!(
+            with_ev.p_up[2] > with_ev.p_up[1],
+            "pull must attenuate with distance: {:?}",
+            with_ev.p_up
+        );
+    }
+
+    #[test]
+    fn prior_only_ignores_structure() {
+        let m = chain_model();
+        let inf = m.infer(0, &[(RoadId(0), false)], &TrendEngine::PriorOnly);
+        // Neighbour keeps its (clamped, up-leaning) prior despite the
+        // down evidence next door.
+        assert!(inf.p_up[1] > 0.5);
+        assert_eq!(inf.iterations, 0);
+    }
+
+    #[test]
+    fn lbp_close_to_exact_on_small_model() {
+        let m = chain_model();
+        let obs = [(RoadId(2), true)];
+        let l = m.infer(0, &obs, &TrendEngine::default());
+        let e = m.infer(0, &obs, &TrendEngine::Exact);
+        for (a, b) in l.p_up.iter().zip(&e.p_up) {
+            assert!((a - b).abs() < 1e-4, "{:?} vs {:?}", l.p_up, e.p_up);
+        }
+    }
+
+    #[test]
+    fn gibbs_close_to_exact_on_small_model() {
+        let m = chain_model();
+        let obs = [(RoadId(2), true)];
+        let g = m.infer(
+            0,
+            &obs,
+            &TrendEngine::Gibbs {
+                options: gibbs::GibbsOptions::default(),
+                seed: 5,
+            },
+        );
+        let e = m.infer(0, &obs, &TrendEngine::Exact);
+        for (a, b) in g.p_up.iter().zip(&e.p_up) {
+            assert!((a - b).abs() < 0.05, "{:?} vs {:?}", g.p_up, e.p_up);
+        }
+    }
+
+    #[test]
+    fn mean_field_close_to_exact_on_small_model() {
+        let m = chain_model();
+        let obs = [(RoadId(2), true)];
+        let mf = m.infer(
+            0,
+            &obs,
+            &TrendEngine::MeanField(graphmodel::meanfield::MeanFieldOptions::default()),
+        );
+        let e = m.infer(0, &obs, &TrendEngine::Exact);
+        assert!(mf.converged);
+        // Mean field is the loosest engine; direction must match and
+        // magnitudes stay close on this weakly-frustrated chain.
+        for (a, b) in mf.p_up.iter().zip(&e.p_up) {
+            assert_eq!(*a >= 0.5, *b >= 0.5, "{:?} vs {:?}", mf.p_up, e.p_up);
+            assert!((a - b).abs() < 0.15, "{:?} vs {:?}", mf.p_up, e.p_up);
+        }
+    }
+
+    #[test]
+    fn decisions_threshold() {
+        let inf = TrendInference {
+            p_up: vec![0.2, 0.5, 0.8],
+            iterations: 1,
+            converged: true,
+        };
+        assert_eq!(inf.decisions(), vec![false, true, true]);
+    }
+
+    #[test]
+    fn works_end_to_end_on_synthetic_dataset() {
+        let ds = metro_small(&DatasetParams {
+            training_days: 8,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let stats = HistoryStats::compute(&ds.history);
+        let corr = CorrelationGraph::build(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &CorrelationConfig {
+                min_cotrend: 0.6,
+                min_co_observations: 6,
+                ..CorrelationConfig::default()
+            },
+        );
+        let model = TrendModel::new(corr, &stats, TrendModelConfig::default());
+        let truth = &ds.test_days[0];
+        let slot = 8;
+        // Observe 10 roads' true trends, infer the rest.
+        let obs: Vec<(RoadId, bool)> = (0..10u32)
+            .map(RoadId)
+            .map(|r| (r, stats.trend_of(slot, r, truth.speed(slot, r))))
+            .collect();
+        let inf = model.infer(slot, &obs, &TrendEngine::default());
+        assert!(inf.converged, "LBP failed to converge");
+        assert_eq!(inf.p_up.len(), ds.graph.num_roads());
+        assert!(inf.p_up.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+}

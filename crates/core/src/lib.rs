@@ -1,0 +1,108 @@
+#![warn(missing_docs)]
+
+//! # crowdspeed
+//!
+//! Rust implementation of *"Crowdsourcing-based real-time urban traffic
+//! speed estimation: From trends to speeds"* (Hu, Li, Bao, Cui, Feng —
+//! ICDE 2016).
+//!
+//! Given a road network, historical (probe-observed) traffic data and a
+//! budget `K`, the system:
+//!
+//! 1. **selects `K` seed roads** whose true speeds will be acquired by
+//!    crowdsourcing ([`seed`] — the problem is NP-hard; greedy
+//!    algorithms with `(1 − 1/e)` guarantees are provided);
+//! 2. **infers the traffic trend** of every other road — whether it is
+//!    currently faster or slower than its historical average — with a
+//!    pairwise Markov random field over the road **correlation graph**
+//!    ([`correlation`], [`inference::trend_model`]);
+//! 3. **estimates speeds from trends** with a three-level hierarchical
+//!    linear model (road → road-class → city,
+//!    [`inference::hlm`]).
+//!
+//! The end-to-end estimator lives in [`inference::pipeline`]; reference
+//! baselines in [`baselines`]; error metrics and the train/test harness
+//! in [`metrics`] and [`eval`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use crowdspeed::prelude::*;
+//! use trafficsim::dataset::{metro_small, DatasetParams};
+//!
+//! // 1. Data: a small synthetic metro city.
+//! let ds = metro_small(&DatasetParams { training_days: 6, test_days: 1, ..DatasetParams::default() });
+//! let stats = HistoryStats::compute(&ds.history);
+//!
+//! // 2. Correlation graph from co-trending history.
+//! let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+//!
+//! // 3. Pick K = 10 seeds with lazy greedy.
+//! let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+//! let seeds = lazy_greedy(&influence, 10).seeds;
+//!
+//! // 4. Train the two-step estimator and estimate one rush-hour slot.
+//! let est = TrafficEstimator::train(&ds.graph, &ds.history, &stats, &corr, &seeds, &EstimatorConfig::default()).unwrap();
+//! let slot = ds.clock.slot_of_hour(8.25);
+//! let truth = &ds.test_days[0];
+//! let obs: Vec<(roadnet::RoadId, f64)> =
+//!     seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
+//! let result = est.estimate(slot, &obs);
+//! assert_eq!(result.speeds.len(), ds.graph.num_roads());
+//! ```
+
+pub mod baselines;
+pub mod correlation;
+pub mod eval;
+pub mod inference;
+pub mod metrics;
+pub mod online;
+pub mod propagate;
+pub mod routing;
+pub mod seed;
+
+/// Convenient re-exports of the main public types.
+pub mod prelude {
+    pub use crate::baselines;
+    pub use crate::correlation::{CorrelationConfig, CorrelationGraph};
+    pub use crate::eval::{evaluate, EvalConfig, EvalReport};
+    pub use crate::inference::hlm::{HlmConfig, HlmModel};
+    pub use crate::inference::pipeline::{EstimatorConfig, SpeedEstimate, TrafficEstimator};
+    pub use crate::inference::trend_model::{TrendEngine, TrendModel};
+    pub use crate::metrics::ErrorStats;
+    pub use crate::seed::baseline::{
+        k_center, pagerank_seeds, random_seeds, top_degree, top_variance,
+    };
+    pub use crate::seed::exhaustive::exhaustive;
+    pub use crate::seed::greedy::greedy;
+    pub use crate::seed::lazy_greedy::lazy_greedy;
+    pub use crate::seed::objective::{InfluenceConfig, InfluenceModel, SeedObjective};
+    pub use crate::seed::partition::partition_greedy;
+    pub use trafficsim::{HistoricalData, HistoryStats};
+}
+
+/// Errors produced by the core crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The seed set or observations reference a road outside the graph.
+    InvalidRoad(u32),
+    /// Training data was insufficient to fit a model.
+    InsufficientData(String),
+    /// An internal numerical step failed (e.g. a degenerate solve).
+    Numerical(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::InvalidRoad(r) => write!(f, "invalid road id {r}"),
+            CoreError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            CoreError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,206 @@
+//! Estimation-quality metrics.
+
+use roadnet::RoadId;
+
+/// Aggregate error statistics of a set of speed estimates against
+/// ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    /// Mean absolute error, km/h.
+    pub mae: f64,
+    /// Root mean squared error, km/h.
+    pub rmse: f64,
+    /// Mean absolute percentage error, in `[0, ..)` (0.1 = 10 %).
+    pub mape: f64,
+    /// Number of (road, slot) cells aggregated.
+    pub count: usize,
+}
+
+impl ErrorStats {
+    /// Computes errors over paired `(truth, estimate)` samples. Pairs
+    /// with non-finite members are skipped; MAPE skips near-zero truth.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a f64, &'a f64)>) -> ErrorStats {
+        let mut abs_sum = 0.0;
+        let mut sq_sum = 0.0;
+        let mut pct_sum = 0.0;
+        let mut count = 0usize;
+        let mut pct_count = 0usize;
+        for (&t, &e) in pairs {
+            if !t.is_finite() || !e.is_finite() {
+                continue;
+            }
+            let d = (t - e).abs();
+            abs_sum += d;
+            sq_sum += d * d;
+            count += 1;
+            if t.abs() > 1e-6 {
+                pct_sum += d / t.abs();
+                pct_count += 1;
+            }
+        }
+        if count == 0 {
+            return ErrorStats::default();
+        }
+        ErrorStats {
+            mae: abs_sum / count as f64,
+            rmse: (sq_sum / count as f64).sqrt(),
+            mape: if pct_count > 0 {
+                pct_sum / pct_count as f64
+            } else {
+                0.0
+            },
+            count,
+        }
+    }
+
+    /// Errors over full road vectors, excluding the given roads (the
+    /// seeds, whose speeds are observed rather than estimated).
+    pub fn from_road_vectors(truth: &[f64], est: &[f64], exclude: &[RoadId]) -> ErrorStats {
+        assert_eq!(truth.len(), est.len());
+        let mut excluded = vec![false; truth.len()];
+        for r in exclude {
+            excluded[r.index()] = true;
+        }
+        ErrorStats::from_pairs(
+            truth
+                .iter()
+                .zip(est)
+                .enumerate()
+                .filter(|(i, _)| !excluded[*i])
+                .map(|(_, p)| p),
+        )
+    }
+
+    /// Merges two statistics (weighted by their counts).
+    pub fn merge(self, other: ErrorStats) -> ErrorStats {
+        let total = self.count + other.count;
+        if total == 0 {
+            return ErrorStats::default();
+        }
+        let w1 = self.count as f64;
+        let w2 = other.count as f64;
+        ErrorStats {
+            mae: (self.mae * w1 + other.mae * w2) / (w1 + w2),
+            rmse: (((self.rmse * self.rmse) * w1 + (other.rmse * other.rmse) * w2) / (w1 + w2))
+                .sqrt(),
+            mape: (self.mape * w1 + other.mape * w2) / (w1 + w2),
+            count: total,
+        }
+    }
+}
+
+/// Fraction of roads whose predicted binary trend matches the true
+/// trend, excluding the given roads.
+pub fn trend_accuracy(truth: &[bool], predicted: &[bool], exclude: &[RoadId]) -> f64 {
+    assert_eq!(truth.len(), predicted.len());
+    let mut excluded = vec![false; truth.len()];
+    for r in exclude {
+        excluded[r.index()] = true;
+    }
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for i in 0..truth.len() {
+        if excluded[i] {
+            continue;
+        }
+        total += 1;
+        if truth[i] == predicted[i] {
+            correct += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_estimates_have_zero_error() {
+        let t = [30.0, 40.0, 50.0];
+        let s = ErrorStats::from_pairs(t.iter().zip(&t));
+        assert_eq!(s.mae, 0.0);
+        assert_eq!(s.rmse, 0.0);
+        assert_eq!(s.mape, 0.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn known_errors() {
+        let t = [10.0, 20.0];
+        let e = [12.0, 16.0];
+        let s = ErrorStats::from_pairs(t.iter().zip(&e));
+        assert!((s.mae - 3.0).abs() < 1e-12);
+        assert!((s.rmse - (10.0f64).sqrt()).abs() < 1e-12);
+        assert!((s.mape - (0.2 + 0.2) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_pairs_skipped() {
+        let t = [10.0, f64::NAN, 20.0];
+        let e = [10.0, 15.0, f64::INFINITY];
+        let s = ErrorStats::from_pairs(t.iter().zip(&e));
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mae, 0.0);
+    }
+
+    #[test]
+    fn exclusion_drops_seed_roads() {
+        let t = [10.0, 100.0, 10.0];
+        let e = [10.0, 0.0, 10.0];
+        let s = ErrorStats::from_road_vectors(&t, &e, &[RoadId(1)]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mae, 0.0);
+    }
+
+    #[test]
+    fn merge_weights_by_count() {
+        let a = ErrorStats {
+            mae: 1.0,
+            rmse: 1.0,
+            mape: 0.1,
+            count: 1,
+        };
+        let b = ErrorStats {
+            mae: 4.0,
+            rmse: 4.0,
+            mape: 0.4,
+            count: 3,
+        };
+        let m = a.merge(b);
+        assert!((m.mae - 3.25).abs() < 1e-12);
+        assert_eq!(m.count, 4);
+        // RMSE merges in the quadratic domain.
+        assert!((m.rmse - ((1.0 + 3.0 * 16.0) / 4.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = ErrorStats {
+            mae: 2.0,
+            rmse: 2.5,
+            mape: 0.2,
+            count: 5,
+        };
+        let m = a.merge(ErrorStats::default());
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn trend_accuracy_counts() {
+        let t = [true, false, true, true];
+        let p = [true, true, true, false];
+        assert!((trend_accuracy(&t, &p, &[]) - 0.5).abs() < 1e-12);
+        // Excluding the two wrong ones gives 1.0.
+        assert_eq!(trend_accuracy(&t, &p, &[RoadId(1), RoadId(3)]), 1.0);
+    }
+
+    #[test]
+    fn trend_accuracy_empty_is_zero() {
+        assert_eq!(trend_accuracy(&[], &[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Online maintenance of the correlation model.
+//!
+//! A deployed estimator keeps running for months; rebuilding the
+//! correlation graph from scratch after every observed day is wasteful
+//! (and the paper's system is explicitly *real-time*). This module
+//! maintains the co-trend counts **incrementally**: candidate pairs and
+//! reference means are frozen at bootstrap (the calibration window),
+//! and each newly observed day only bumps per-pair agree/co-observe
+//! counters — `O(slots × candidate pairs)` per day, no re-scan of
+//! history.
+//!
+//! Freezing the reference means is the standard production trade-off:
+//! trends are defined *against* the historical average, so letting the
+//! average drift every day would silently redefine every past trend.
+//! Re-bootstrap on a slow cadence (weekly/monthly) to refresh the
+//! means; [`OnlineCorrelation::rebootstrap`] does exactly that.
+
+use crate::correlation::{CorrelationConfig, CorrelationEdge, CorrelationGraph};
+use roadnet::{path, RoadGraph, RoadId};
+use trafficsim::{HistoricalData, HistoryStats, SpeedField};
+
+/// Incrementally maintained co-trend statistics.
+#[derive(Debug, Clone)]
+pub struct OnlineCorrelation {
+    config: CorrelationConfig,
+    stats: HistoryStats,
+    /// Candidate pairs (a < b) within `config.max_hops` on the road
+    /// graph; fixed at bootstrap.
+    pairs: Vec<(RoadId, RoadId)>,
+    /// Per-pair (co-observed, agree) counters.
+    counts: Vec<(u32, u32)>,
+    days: usize,
+}
+
+impl OnlineCorrelation {
+    /// Bootstraps from a calibration window: computes reference means,
+    /// enumerates candidate pairs, and counts the window's co-trends.
+    pub fn bootstrap(
+        graph: &RoadGraph,
+        history: &HistoricalData,
+        config: &CorrelationConfig,
+    ) -> OnlineCorrelation {
+        let stats = HistoryStats::compute(history);
+        let mut pairs = Vec::new();
+        for a in graph.road_ids() {
+            for (b, _hops) in path::k_hop_neighborhood(graph, a, config.max_hops) {
+                if a < b {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        let counts = vec![(0u32, 0u32); pairs.len()];
+        let mut this = OnlineCorrelation {
+            config: config.clone(),
+            stats,
+            pairs,
+            counts,
+            days: 0,
+        };
+        for day in history.days() {
+            this.ingest_day(day);
+        }
+        this
+    }
+
+    /// Ingests one observed day (may contain `NaN` cells), updating the
+    /// per-pair counters against the frozen reference means.
+    pub fn ingest_day(&mut self, day: &SpeedField) {
+        assert_eq!(day.num_roads(), self.stats.num_roads(), "road count mismatch");
+        assert_eq!(day.num_slots(), self.stats.num_slots(), "slot count mismatch");
+        let slots = day.num_slots();
+        // Per-slot trend cache: 0 = unobserved, 1 = down, 2 = up.
+        let n = day.num_roads();
+        let mut trend = vec![0u8; n];
+        for slot in 0..slots {
+            let row = day.slot_speeds(slot);
+            for (r, &v) in row.iter().enumerate() {
+                trend[r] = if v.is_nan() {
+                    0
+                } else if self.stats.trend_of(slot, RoadId(r as u32), v) {
+                    2
+                } else {
+                    1
+                };
+            }
+            for ((a, b), (co, agree)) in self.pairs.iter().zip(self.counts.iter_mut()) {
+                let ta = trend[a.index()];
+                let tb = trend[b.index()];
+                if ta != 0 && tb != 0 {
+                    *co += 1;
+                    if ta == tb {
+                        *agree += 1;
+                    }
+                }
+            }
+        }
+        self.days += 1;
+    }
+
+    /// Number of days ingested (including the bootstrap window).
+    pub fn days_ingested(&self) -> usize {
+        self.days
+    }
+
+    /// The frozen reference statistics.
+    pub fn stats(&self) -> &HistoryStats {
+        &self.stats
+    }
+
+    /// Materialises the current correlation graph by thresholding the
+    /// live counters with the bootstrap configuration.
+    pub fn correlation_graph(&self) -> CorrelationGraph {
+        let edges: Vec<CorrelationEdge> = self
+            .pairs
+            .iter()
+            .zip(&self.counts)
+            .filter_map(|(&(a, b), &(co, agree))| {
+                if co < self.config.min_co_observations {
+                    return None;
+                }
+                let p = (agree as f64 + self.config.laplace)
+                    / (co as f64 + 2.0 * self.config.laplace);
+                (p >= self.config.min_cotrend || p <= 1.0 - self.config.min_cotrend).then_some(
+                    CorrelationEdge {
+                        a,
+                        b,
+                        cotrend: p,
+                        support: co,
+                    },
+                )
+            })
+            .collect();
+        CorrelationGraph::from_edges(self.stats.num_roads(), edges)
+    }
+
+    /// Rebuilds the model from a fresh calibration window (refreshing
+    /// the reference means), preserving the configuration. Call on a
+    /// slow cadence when the city's baseline traffic has drifted.
+    pub fn rebootstrap(&self, graph: &RoadGraph, history: &HistoricalData) -> OnlineCorrelation {
+        OnlineCorrelation::bootstrap(graph, history, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trafficsim::dataset::{metro_small, DatasetParams};
+
+    fn dataset() -> trafficsim::dataset::Dataset {
+        metro_small(&DatasetParams {
+            training_days: 8,
+            test_days: 2,
+            ..DatasetParams::default()
+        })
+    }
+
+    fn config() -> CorrelationConfig {
+        CorrelationConfig {
+            min_cotrend: 0.6,
+            min_co_observations: 6,
+            ..CorrelationConfig::default()
+        }
+    }
+
+    #[test]
+    fn bootstrap_matches_batch_build() {
+        let ds = dataset();
+        let online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
+        let stats = HistoryStats::compute(&ds.history);
+        let batch = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &config());
+        let og = online.correlation_graph();
+        assert_eq!(og.num_edges(), batch.num_edges());
+        // Same edges with the same weights.
+        let mut a: Vec<_> = og.edges().to_vec();
+        let mut b: Vec<_> = batch.edges().to_vec();
+        let key = |e: &CorrelationEdge| (e.a, e.b);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.a, x.b, x.support), (y.a, y.b, y.support));
+            assert!((x.cotrend - y.cotrend).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ingest_increases_support() {
+        let ds = dataset();
+        let mut online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
+        let before: u32 = online.counts.iter().map(|&(co, _)| co).sum();
+        online.ingest_day(&ds.test_days[0]);
+        let after: u32 = online.counts.iter().map(|&(co, _)| co).sum();
+        assert!(after > before);
+        assert_eq!(online.days_ingested(), 9);
+    }
+
+    #[test]
+    fn ingest_matches_batch_recount_with_frozen_means() {
+        // Ingesting extra days must equal a batch recount over the
+        // extended history *using the bootstrap-window means*.
+        let ds = dataset();
+        let mut online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
+        for day in &ds.test_days {
+            online.ingest_day(day);
+        }
+        // Batch recount with frozen means: extend the history but reuse
+        // the original stats.
+        let mut all_days = ds.history.days().to_vec();
+        all_days.extend(ds.test_days.iter().cloned());
+        let extended = HistoricalData::from_days(ds.clock, all_days);
+        let frozen_stats = HistoryStats::compute(&ds.history);
+        let batch = CorrelationGraph::build(&ds.graph, &extended, &frozen_stats, &config());
+        let og = online.correlation_graph();
+        assert_eq!(og.num_edges(), batch.num_edges());
+        let mut a: Vec<_> = og.edges().to_vec();
+        let mut b: Vec<_> = batch.edges().to_vec();
+        let key = |e: &CorrelationEdge| (e.a, e.b);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.a, x.b, x.support), (y.a, y.b, y.support));
+            assert!((x.cotrend - y.cotrend).abs() < 1e-12, "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn more_data_tightens_estimates() {
+        let ds = metro_small(&DatasetParams {
+            training_days: 3,
+            test_days: 6,
+            ..DatasetParams::default()
+        });
+        let mut online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
+        let thin_edges = online.correlation_graph().num_edges();
+        for day in &ds.test_days {
+            online.ingest_day(day);
+        }
+        let rich_edges = online.correlation_graph().num_edges();
+        // With min support 6 and a 3-day bootstrap, edges can only be
+        // confirmed once more days arrive.
+        assert!(rich_edges >= thin_edges, "{rich_edges} vs {thin_edges}");
+    }
+
+    #[test]
+    fn rebootstrap_refreshes_means() {
+        let ds = dataset();
+        let online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
+        let mut all_days = ds.history.days().to_vec();
+        all_days.extend(ds.test_days.iter().cloned());
+        let extended = HistoricalData::from_days(ds.clock, all_days);
+        let re = online.rebootstrap(&ds.graph, &extended);
+        assert_eq!(re.days_ingested(), 10);
+        // Means differ once the window grows.
+        let differs = (0..ds.graph.num_roads() as u32).map(RoadId).any(|r| {
+            (re.stats().mean(8, r) - online.stats().mean(8, r)).abs() > 1e-9
+        });
+        assert!(differs);
+    }
+}

@@ -1,0 +1,114 @@
+//! Deviation propagation over the correlation graph.
+//!
+//! Spreads observed seed deviations to every road by repeated weighted
+//! averaging with the correlation-edge strengths, anchored towards the
+//! neutral deviation 1.0. Used in two places:
+//!
+//! * as the *local deviation field* feature of the hierarchical linear
+//!   model (the HLM then learns, per road and per trend regime, how
+//!   strongly to trust the field), and
+//! * as the label-propagation baseline in [`crate::baselines`].
+
+use crate::correlation::CorrelationGraph;
+use crate::seed::objective::edge_strength;
+use roadnet::RoadId;
+
+/// Propagates seed deviations over the correlation graph.
+///
+/// * `seed_devs` — observed `(road, deviation)` pairs, clamped in place;
+/// * `iterations` — averaging sweeps (30 is plenty at city scale);
+/// * `anchor` — weight pulling unobserved roads towards deviation 1.0
+///   (guards against drift in sparsely seeded regions).
+///
+/// Returns one deviation per road.
+pub fn propagate_deviations(
+    corr: &CorrelationGraph,
+    seed_devs: &[(RoadId, f64)],
+    iterations: usize,
+    anchor: f64,
+) -> Vec<f64> {
+    let n = corr.num_roads();
+    let mut dev = vec![1.0f64; n];
+    let mut clamped = vec![false; n];
+    for &(s, d) in seed_devs {
+        dev[s.index()] = d;
+        clamped[s.index()] = true;
+    }
+    let mut next = dev.clone();
+    for _ in 0..iterations {
+        for r in 0..n {
+            if clamped[r] {
+                continue;
+            }
+            let mut wsum = anchor;
+            let mut dsum = anchor; // anchor * neutral deviation 1.0
+            for (nb, w) in corr.neighbors(RoadId(r as u32)) {
+                let strength = edge_strength(w);
+                wsum += strength;
+                dsum += strength * dev[nb.index()];
+            }
+            next[r] = dsum / wsum;
+        }
+        std::mem::swap(&mut dev, &mut next);
+    }
+    dev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::CorrelationEdge;
+
+    fn chain(n: usize, cotrend: f64) -> CorrelationGraph {
+        let edges = (0..n as u32 - 1)
+            .map(|i| CorrelationEdge {
+                a: RoadId(i),
+                b: RoadId(i + 1),
+                cotrend,
+                support: 50,
+            })
+            .collect();
+        CorrelationGraph::from_edges(n, edges)
+    }
+
+    #[test]
+    fn seeds_stay_clamped() {
+        let corr = chain(4, 0.9);
+        let dev = propagate_deviations(&corr, &[(RoadId(0), 0.5)], 20, 0.2);
+        assert_eq!(dev[0], 0.5);
+    }
+
+    #[test]
+    fn field_attenuates_towards_neutral() {
+        let corr = chain(5, 0.9);
+        let dev = propagate_deviations(&corr, &[(RoadId(0), 0.4)], 50, 0.2);
+        for w in dev.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "field must relax monotonically: {dev:?}");
+        }
+        assert!(dev[4] < 1.0, "far roads still feel a strong seed");
+        assert!(dev[4] > dev[1], "attenuation with distance");
+    }
+
+    #[test]
+    fn no_seeds_gives_neutral_field() {
+        let corr = chain(3, 0.8);
+        let dev = propagate_deviations(&corr, &[], 10, 0.2);
+        assert_eq!(dev, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn two_seeds_interpolate() {
+        let corr = chain(5, 0.95);
+        let dev = propagate_deviations(&corr, &[(RoadId(0), 0.5), (RoadId(4), 1.5)], 100, 0.01);
+        assert!(dev[2] > dev[1] && dev[3] > dev[2], "{dev:?}");
+        assert!((dev[2] - 1.0).abs() < 0.1, "midpoint near the average: {dev:?}");
+    }
+
+    #[test]
+    fn zero_strength_edges_do_not_propagate() {
+        let corr = chain(3, 0.5); // cotrend 0.5 = strength 0
+        let dev = propagate_deviations(&corr, &[(RoadId(0), 0.2)], 20, 0.2);
+        assert_eq!(dev[1], 1.0);
+        assert_eq!(dev[2], 1.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Route-level travel times on top of estimated speeds.
+//!
+//! The application the paper's introduction motivates: a navigation
+//! service needs the speed of *every* segment to compute trip ETAs,
+//! which is exactly what the estimator provides. This module computes
+//! fastest routes over the road-segment graph using per-segment travel
+//! times `length / speed`.
+//!
+//! Moving from segment `a` to adjacent segment `b` is modelled as
+//! traversing half of each segment (segment midpoint to midpoint
+//! through the shared intersection) — the standard line-graph costing.
+
+use roadnet::{path, RoadGraph, RoadId};
+
+/// Per-segment travel time in minutes at the given speeds.
+#[inline]
+fn segment_minutes(graph: &RoadGraph, speeds: &[f64], r: RoadId) -> f64 {
+    let meta = graph.meta(r);
+    let v = speeds[r.index()].max(1.0); // km/h floor: traffic crawls, never stops
+    (meta.length_m / 1000.0) / v * 60.0
+}
+
+/// A computed route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Segments traversed, origin first.
+    pub segments: Vec<RoadId>,
+    /// Estimated travel time in minutes.
+    pub minutes: f64,
+}
+
+/// Fastest route between two segments under a speed field.
+///
+/// Returns `None` when `to` is unreachable from `from`. With
+/// `from == to` the route is the single segment with half its traversal
+/// time (enter at one end, leave at the midpoint — consistent with the
+/// midpoint-to-midpoint costing).
+pub fn fastest_route(
+    graph: &RoadGraph,
+    speeds: &[f64],
+    from: RoadId,
+    to: RoadId,
+) -> Option<Route> {
+    assert_eq!(speeds.len(), graph.num_roads(), "speed vector arity");
+    // Midpoint-to-midpoint edge cost: half of each segment.
+    let dist = path::dijkstra(graph, from, f64::INFINITY, |a, b| {
+        0.5 * (segment_minutes(graph, speeds, a) + segment_minutes(graph, speeds, b))
+    });
+    if dist[to.index()].is_infinite() {
+        return None;
+    }
+    // Reconstruct by walking backwards along tight edges.
+    let mut segments = vec![to];
+    let mut current = to;
+    while current != from {
+        let dc = dist[current.index()];
+        let prev = graph.neighbors(current).iter().copied().find(|&p| {
+            let w = 0.5
+                * (segment_minutes(graph, speeds, p) + segment_minutes(graph, speeds, current));
+            (dist[p.index()] + w - dc).abs() < 1e-9
+        });
+        match prev {
+            Some(p) => {
+                segments.push(p);
+                current = p;
+            }
+            None => return None, // numerically inconsistent; treat as unreachable
+        }
+    }
+    segments.reverse();
+    // Total time: half of origin + inter-midpoint hops + half of
+    // destination equals the Dijkstra distance plus half the endpoints.
+    let minutes = dist[to.index()]
+        + 0.5 * segment_minutes(graph, speeds, from)
+        + 0.5 * segment_minutes(graph, speeds, to);
+    Some(Route { segments, minutes })
+}
+
+/// ETA matrix from one origin to many destinations (single Dijkstra).
+pub fn eta_minutes(graph: &RoadGraph, speeds: &[f64], from: RoadId) -> Vec<f64> {
+    assert_eq!(speeds.len(), graph.num_roads(), "speed vector arity");
+    let half_from = 0.5 * segment_minutes(graph, speeds, from);
+    path::dijkstra(graph, from, f64::INFINITY, |a, b| {
+        0.5 * (segment_minutes(graph, speeds, a) + segment_minutes(graph, speeds, b))
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(r, d)| {
+        if d.is_infinite() {
+            f64::INFINITY
+        } else {
+            d + half_from + 0.5 * segment_minutes(graph, speeds, RoadId(r as u32))
+        }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::{RoadGraphBuilder, RoadMeta};
+
+    /// Path graph of four 1 km segments.
+    fn path4() -> RoadGraph {
+        let mut b = RoadGraphBuilder::new();
+        let ids: Vec<_> = (0..4)
+            .map(|_| {
+                b.add_road(RoadMeta {
+                    length_m: 1000.0,
+                    ..RoadMeta::default()
+                })
+            })
+            .collect();
+        for w in ids.windows(2) {
+            b.add_adjacency(w[0], w[1]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn route_time_matches_hand_computation() {
+        let g = path4();
+        let speeds = vec![60.0; 4]; // 1 km at 60 km/h = 1 minute/segment
+        let route = fastest_route(&g, &speeds, RoadId(0), RoadId(3)).unwrap();
+        assert_eq!(
+            route.segments,
+            vec![RoadId(0), RoadId(1), RoadId(2), RoadId(3)]
+        );
+        // Midpoint-to-midpoint: 4 segments, each fully traversed once.
+        assert!((route.minutes - 4.0).abs() < 1e-9, "{}", route.minutes);
+    }
+
+    #[test]
+    fn congestion_reroutes() {
+        // Square: 0-1-3 and 0-2-3; congesting segment 1 flips the route.
+        let mut b = RoadGraphBuilder::new();
+        let ids: Vec<_> = (0..4)
+            .map(|_| {
+                b.add_road(RoadMeta {
+                    length_m: 1000.0,
+                    ..RoadMeta::default()
+                })
+            })
+            .collect();
+        b.add_adjacency(ids[0], ids[1]).unwrap();
+        b.add_adjacency(ids[1], ids[3]).unwrap();
+        b.add_adjacency(ids[0], ids[2]).unwrap();
+        b.add_adjacency(ids[2], ids[3]).unwrap();
+        let g = b.build();
+
+        let mut speeds = vec![50.0; 4];
+        speeds[1] = 60.0; // via 1 slightly faster
+        let fast = fastest_route(&g, &speeds, ids[0], ids[3]).unwrap();
+        assert_eq!(fast.segments[1], ids[1]);
+
+        speeds[1] = 5.0; // incident on 1
+        let rerouted = fastest_route(&g, &speeds, ids[0], ids[3]).unwrap();
+        assert_eq!(rerouted.segments[1], ids[2]);
+        assert!(rerouted.minutes < fast.minutes + 15.0);
+    }
+
+    #[test]
+    fn slower_speeds_never_shorten_eta() {
+        let g = path4();
+        let fast = eta_minutes(&g, &[60.0; 4], RoadId(0));
+        let slow = eta_minutes(&g, &[30.0; 4], RoadId(0));
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!(s >= f);
+        }
+    }
+
+    #[test]
+    fn unreachable_destination_is_none() {
+        let mut b = RoadGraphBuilder::new();
+        let a = b.add_road(RoadMeta::default());
+        let c = b.add_road(RoadMeta::default());
+        let g = b.build();
+        assert!(fastest_route(&g, &[30.0, 30.0], a, c).is_none());
+        assert!(eta_minutes(&g, &[30.0, 30.0], a)[c.index()].is_infinite());
+    }
+
+    #[test]
+    fn self_route_is_one_segment() {
+        let g = path4();
+        let r = fastest_route(&g, &[60.0; 4], RoadId(2), RoadId(2)).unwrap();
+        assert_eq!(r.segments, vec![RoadId(2)]);
+        assert!((r.minutes - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_floor_prevents_infinite_times() {
+        let g = path4();
+        let speeds = vec![0.0; 4]; // stopped traffic clamps to the floor
+        let r = fastest_route(&g, &speeds, RoadId(0), RoadId(3)).unwrap();
+        assert!(r.minutes.is_finite());
+    }
+}

@@ -1,0 +1,238 @@
+//! Baseline seed selectors used as evaluation comparators.
+
+use crate::correlation::CorrelationGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use roadnet::RoadId;
+use trafficsim::{HistoricalData, HistoryStats};
+
+/// Uniformly random `k` distinct roads.
+pub fn random_seeds(n: usize, k: usize, rng_seed: u64) -> Vec<RoadId> {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut ids: Vec<RoadId> = (0..n as u32).map(RoadId).collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(k.min(n));
+    ids
+}
+
+/// The `k` roads with the highest correlation-graph degree (a natural
+/// "hub" heuristic that ignores coverage overlap).
+pub fn top_degree(corr: &CorrelationGraph, k: usize) -> Vec<RoadId> {
+    let mut ids: Vec<RoadId> = (0..corr.num_roads() as u32).map(RoadId).collect();
+    ids.sort_by_key(|&r| (std::cmp::Reverse(corr.degree(r)), r));
+    ids.truncate(k.min(corr.num_roads()));
+    ids
+}
+
+/// The `k` roads whose historical deviation varies the most — "hard to
+/// predict from history alone, so observe them" (ignores that volatile
+/// roads may be redundant with each other).
+pub fn top_variance(history: &HistoricalData, stats: &HistoryStats, k: usize) -> Vec<RoadId> {
+    let n = history.num_roads();
+    let slots = history.clock().slots_per_day;
+    let mut sums = vec![(0.0f64, 0.0f64, 0u32); n]; // (sum, sum_sq, count)
+    for day in 0..history.num_days() {
+        for slot in 0..slots {
+            for (r, e) in sums.iter_mut().enumerate() {
+                let road = RoadId(r as u32);
+                if let Some(v) = history.speed(day, slot, road) {
+                    if let Some(d) = stats.deviation_of(slot, road, v) {
+                        e.0 += d;
+                        e.1 += d * d;
+                        e.2 += 1;
+                    }
+                }
+            }
+        }
+    }
+    let variance = |&(s, sq, c): &(f64, f64, u32)| -> f64 {
+        if c < 2 {
+            return 0.0;
+        }
+        let n = c as f64;
+        ((sq - s * s / n) / (n - 1.0)).max(0.0)
+    };
+    let mut ids: Vec<RoadId> = (0..n as u32).map(RoadId).collect();
+    ids.sort_by(|&a, &b| {
+        variance(&sums[b.index()])
+            .partial_cmp(&variance(&sums[a.index()]))
+            .expect("variance NaN")
+            .then(a.cmp(&b))
+    });
+    ids.truncate(k.min(n));
+    ids
+}
+
+/// The `k` roads with the highest PageRank on the correlation graph
+/// (edge weights as transition propensities).
+pub fn pagerank_seeds(corr: &CorrelationGraph, k: usize, damping: f64, iters: usize) -> Vec<RoadId> {
+    let n = corr.num_roads();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    let out_weight: Vec<f64> = (0..n)
+        .map(|r| corr.neighbors(RoadId(r as u32)).map(|(_, w)| w).sum::<f64>())
+        .collect();
+    for _ in 0..iters {
+        let base = (1.0 - damping) / n as f64;
+        next.iter_mut().for_each(|x| *x = base);
+        let mut dangling = 0.0;
+        for r in 0..n {
+            if out_weight[r] <= 0.0 {
+                dangling += rank[r];
+                continue;
+            }
+            let share = damping * rank[r] / out_weight[r];
+            for (nb, w) in corr.neighbors(RoadId(r as u32)) {
+                next[nb.index()] += share * w;
+            }
+        }
+        let dangle_share = damping * dangling / n as f64;
+        for x in next.iter_mut() {
+            *x += dangle_share;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    let mut ids: Vec<RoadId> = (0..n as u32).map(RoadId).collect();
+    ids.sort_by(|&a, &b| {
+        rank[b.index()]
+            .partial_cmp(&rank[a.index()])
+            .expect("rank NaN")
+            .then(a.cmp(&b))
+    });
+    ids.truncate(k.min(n));
+    ids
+}
+
+/// Greedy k-center (farthest-first traversal) on correlation-graph hop
+/// distance: spreads seeds out to maximise coverage radius, ignoring
+/// correlation strength.
+pub fn k_center(corr: &CorrelationGraph, k: usize) -> Vec<RoadId> {
+    let n = corr.num_roads();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    // Start at the highest-degree road for determinism.
+    let start = top_degree(corr, 1)[0];
+    let mut seeds = vec![start];
+    let mut dist = vec![u32::MAX; n];
+    bfs_into(corr, start, &mut dist);
+    while seeds.len() < k.min(n) {
+        let far = (0..n as u32)
+            .map(RoadId)
+            .filter(|r| !seeds.contains(r))
+            .max_by_key(|r| dist[r.index()])
+            .expect("candidates remain");
+        seeds.push(far);
+        let mut d2 = vec![u32::MAX; n];
+        bfs_into(corr, far, &mut d2);
+        for i in 0..n {
+            dist[i] = dist[i].min(d2[i]);
+        }
+    }
+    seeds
+}
+
+fn bfs_into(corr: &CorrelationGraph, source: RoadId, dist: &mut [u32]) {
+    let mut queue = std::collections::VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for (v, _) in corr.neighbors(u) {
+            if dist[v.index()] == u32::MAX {
+                dist[v.index()] = dist[u.index()] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::CorrelationEdge;
+
+    fn star_corr() -> CorrelationGraph {
+        let e = |a: u32, b: u32, p: f64| CorrelationEdge {
+            a: RoadId(a),
+            b: RoadId(b),
+            cotrend: p,
+            support: 50,
+        };
+        // Hub r0 with 4 spokes, plus an isolated chain r5-r6.
+        CorrelationGraph::from_edges(
+            7,
+            vec![
+                e(0, 1, 0.9),
+                e(0, 2, 0.9),
+                e(0, 3, 0.9),
+                e(0, 4, 0.9),
+                e(5, 6, 0.8),
+            ],
+        )
+    }
+
+    #[test]
+    fn random_seeds_distinct_and_reproducible() {
+        let a = random_seeds(20, 8, 42);
+        let b = random_seeds(20, 8, 42);
+        assert_eq!(a, b);
+        let mut s = a.clone();
+        s.sort();
+        s.dedup();
+        assert_eq!(s.len(), 8);
+        assert_ne!(a, random_seeds(20, 8, 43));
+    }
+
+    #[test]
+    fn random_seeds_capped_at_n() {
+        assert_eq!(random_seeds(3, 10, 1).len(), 3);
+    }
+
+    #[test]
+    fn top_degree_picks_hub() {
+        let corr = star_corr();
+        assert_eq!(top_degree(&corr, 1), vec![RoadId(0)]);
+    }
+
+    #[test]
+    fn pagerank_ranks_hub_first() {
+        let corr = star_corr();
+        let seeds = pagerank_seeds(&corr, 1, 0.85, 50);
+        assert_eq!(seeds, vec![RoadId(0)]);
+    }
+
+    #[test]
+    fn pagerank_handles_empty_graph() {
+        let corr = CorrelationGraph::from_edges(0, vec![]);
+        assert!(pagerank_seeds(&corr, 3, 0.85, 10).is_empty());
+    }
+
+    #[test]
+    fn k_center_spreads_to_disconnected_component() {
+        let corr = star_corr();
+        let seeds = k_center(&corr, 2);
+        assert_eq!(seeds[0], RoadId(0));
+        // Second centre must come from the unreachable chain.
+        assert!(seeds[1] == RoadId(5) || seeds[1] == RoadId(6));
+    }
+
+    #[test]
+    fn top_variance_prefers_volatile_roads() {
+        use trafficsim::{HistoricalData, SlotClock, SpeedField};
+        let clock = SlotClock { slots_per_day: 2 };
+        // Road 0 oscillates wildly across days, road 1 is constant.
+        let mut d0 = SpeedField::filled(2, 2, 30.0);
+        let mut d1 = SpeedField::filled(2, 2, 30.0);
+        for s in 0..2 {
+            d0.set_speed(s, RoadId(0), 10.0);
+            d1.set_speed(s, RoadId(0), 50.0);
+        }
+        let h = HistoricalData::from_days(clock, vec![d0, d1]);
+        let stats = HistoryStats::compute(&h);
+        assert_eq!(top_variance(&h, &stats, 1), vec![RoadId(0)]);
+    }
+}

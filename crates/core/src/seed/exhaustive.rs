@@ -1,0 +1,160 @@
+//! Optimal seed selection by exhaustive enumeration.
+
+use super::objective::{InfluenceModel, SeedObjective};
+use super::SelectionResult;
+use roadnet::RoadId;
+
+/// Largest `C(n, k)` the enumerator will attempt.
+const MAX_COMBINATIONS: u128 = 5_000_000;
+
+/// Exhaustive (optimal) selection: evaluates every `k`-subset. The
+/// oracle the greedy family's approximation tests compare against;
+/// usable only on tiny instances (the problem is NP-hard — see
+/// [`crate::seed`]).
+///
+/// # Panics
+/// Panics when `C(n, k)` exceeds an internal safety limit.
+pub fn exhaustive(model: &InfluenceModel, k: usize) -> SelectionResult {
+    let n = model.num_roads();
+    let k = k.min(n);
+    assert!(
+        combinations(n, k) <= MAX_COMBINATIONS,
+        "exhaustive selection over C({n}, {k}) subsets is infeasible"
+    );
+    let obj = SeedObjective::new(model);
+    let mut best: Vec<RoadId> = (0..k as u32).map(RoadId).collect();
+    let mut best_val = obj.value(&best);
+    let mut evaluations = 1u64;
+
+    let mut idx: Vec<usize> = (0..k).collect();
+    'outer: loop {
+        // Advance the combination (standard odometer).
+        let mut i = k;
+        loop {
+            if i == 0 {
+                break 'outer;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+        let cand: Vec<RoadId> = idx.iter().map(|&i| RoadId(i as u32)).collect();
+        let v = obj.value(&cand);
+        evaluations += 1;
+        if v > best_val {
+            best_val = v;
+            best = cand;
+        }
+    }
+
+    SelectionResult {
+        seeds: best,
+        objective: best_val,
+        gains: Vec::new(),
+        evaluations,
+    }
+}
+
+fn combinations(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut c: u128 = 1;
+    for i in 0..k {
+        c = c.saturating_mul((n - i) as u128) / (i + 1) as u128;
+        if c > MAX_COMBINATIONS * 2 {
+            return c;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::{CorrelationEdge, CorrelationGraph};
+    use crate::seed::greedy::greedy;
+    use crate::seed::lazy_greedy::lazy_greedy;
+    use crate::seed::objective::InfluenceConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_model(n: usize, seed: u64) -> InfluenceModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                if rng.gen_bool(0.25) {
+                    edges.push(CorrelationEdge {
+                        a: RoadId(a),
+                        b: RoadId(b),
+                        cotrend: rng.gen_range(0.6..0.95),
+                        support: 50,
+                    });
+                }
+            }
+        }
+        let corr = CorrelationGraph::from_edges(n, edges);
+        InfluenceModel::build(&corr, &InfluenceConfig::default())
+    }
+
+    #[test]
+    fn combinations_math() {
+        assert_eq!(combinations(5, 2), 10);
+        assert_eq!(combinations(10, 0), 1);
+        assert_eq!(combinations(4, 5), 0);
+        assert_eq!(combinations(20, 10), 184_756);
+    }
+
+    #[test]
+    fn finds_optimum_on_known_instance() {
+        // Star + pair: optimum for k=2 is hub + one of the pair.
+        let e = |a: u32, b: u32| CorrelationEdge {
+            a: RoadId(a),
+            b: RoadId(b),
+            cotrend: 0.9,
+            support: 100,
+        };
+        let corr = CorrelationGraph::from_edges(
+            6,
+            vec![e(0, 1), e(0, 2), e(0, 3), e(4, 5)],
+        );
+        let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
+        let res = exhaustive(&model, 2);
+        let mut s = res.seeds.clone();
+        s.sort();
+        assert!(s == vec![RoadId(0), RoadId(4)] || s == vec![RoadId(0), RoadId(5)]);
+    }
+
+    #[test]
+    fn greedy_family_within_guarantee_of_optimum() {
+        // (1 - 1/e) ≈ 0.632; greedy usually does much better.
+        for seed in 0..6 {
+            let model = random_model(12, seed);
+            let opt = exhaustive(&model, 3);
+            let g = greedy(&model, 3);
+            let lg = lazy_greedy(&model, 3);
+            assert!(
+                g.objective >= 0.632 * opt.objective - 1e-9,
+                "seed {seed}: greedy {} vs opt {}",
+                g.objective,
+                opt.objective
+            );
+            assert!(lg.objective >= 0.632 * opt.objective - 1e-9);
+            assert!(g.objective <= opt.objective + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn refuses_huge_instances() {
+        let model = random_model(60, 1);
+        let _ = exhaustive(&model, 30);
+    }
+}

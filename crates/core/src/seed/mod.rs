@@ -1,0 +1,76 @@
+//! Seed selection (paper §seed-selection).
+//!
+//! Given a budget `K`, choose `K` roads whose crowdsourced speeds make
+//! the inference over the remaining roads as accurate as possible.
+//!
+//! # Objective
+//!
+//! Each candidate seed `s` *influences* road `r` with probability
+//! `q(s → r)`: the best-path product of correlation-edge strengths
+//! between them (computed by [`objective::InfluenceModel`]); a seed
+//! trivially covers itself with `q = 1`. A seed set `S` covers road `r`
+//! with probability `1 − Π_{s∈S} (1 − q(s → r))` — influences act as
+//! independent chances of pinning down `r`'s trend. The objective is
+//! the expected number of covered roads:
+//!
+//! ```text
+//! F(S) = Σ_r [ 1 − Π_{s∈S} (1 − q(s → r)) ]
+//! ```
+//!
+//! # NP-hardness
+//!
+//! Maximising `F(S)` subject to `|S| ≤ K` is NP-hard, by reduction from
+//! **Maximum Coverage**. Given a Max-Coverage instance (universe `U`,
+//! sets `S_1..S_m`, budget `K`), build one "element road" per `u ∈ U`
+//! and one "set road" per `S_i`, and let `q(set_i → u) = 1` iff
+//! `u ∈ S_i`, all other influences 0 (realisable with correlation edges
+//! of strength 1 on a bipartite graph, padding element roads so they are
+//! never worth picking). Then a seed set of size `K` achieving
+//! `F(S) ≥ t + K` exists iff the Max-Coverage instance covers `t`
+//! elements — so an exact polynomial seed selector would solve Max
+//! Coverage. (The paper proves the analogous claim for its benefit
+//! function.)
+//!
+//! # Algorithms
+//!
+//! `F` is monotone and submodular (each road's coverage term
+//! `1 − Π (1 − q)` is; sums preserve it), so:
+//!
+//! * [`greedy::greedy`] — the plain greedy algorithm, `(1 − 1/e)`
+//!   approximation, `O(K · n · reach)` influence evaluations;
+//! * [`lazy_greedy::lazy_greedy`] — CELF lazy evaluation; identical
+//!   output and guarantee, but skips provably-stale gain
+//!   recomputations — this is where the evaluation's
+//!   orders-of-magnitude speedup over plain greedy comes from (E7);
+//! * [`partition::partition_greedy`] — partitions the correlation graph
+//!   and runs lazy greedy per part with proportional budgets; faster
+//!   still, with quality bounded by the influence lost across part
+//!   boundaries;
+//! * [`exhaustive::exhaustive`] — optimal by enumeration, tiny inputs
+//!   only; the oracle the greedy tests compare against;
+//! * [`baseline`] — random / top-degree / top-variance / PageRank /
+//!   k-center selectors used as evaluation baselines.
+
+pub mod baseline;
+pub mod exhaustive;
+pub mod greedy;
+pub mod lazy_greedy;
+pub mod objective;
+pub mod partition;
+pub mod temporal;
+
+use roadnet::RoadId;
+
+/// Outcome of a seed-selection run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionResult {
+    /// Chosen seeds, in selection order.
+    pub seeds: Vec<RoadId>,
+    /// Objective value `F(seeds)`.
+    pub objective: f64,
+    /// Marginal gain captured by each successive pick.
+    pub gains: Vec<f64>,
+    /// Number of marginal-gain evaluations performed — the
+    /// machine-independent cost metric of experiment E7.
+    pub evaluations: u64,
+}

@@ -1,0 +1,321 @@
+//! Influence model and the submodular coverage objective.
+
+use crate::correlation::CorrelationGraph;
+use roadnet::RoadId;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Configuration of influence propagation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InfluenceConfig {
+    /// Maximum number of correlation-graph hops influence may travel.
+    /// `1` restricts to direct correlation neighbours (the ablation of
+    /// experiment E10).
+    pub max_hops: u32,
+    /// Influences below this are dropped (bounds each seed's reach).
+    pub min_influence: f64,
+}
+
+impl Default for InfluenceConfig {
+    fn default() -> Self {
+        InfluenceConfig {
+            max_hops: 3,
+            min_influence: 0.05,
+        }
+    }
+}
+
+/// Strength of a correlation edge for influence purposes: how far the
+/// co-trend probability is from uninformative (0.5), rescaled to
+/// `(0, 1]`. A perfectly (anti-)correlated pair transmits influence 1.
+#[inline]
+pub fn edge_strength(cotrend: f64) -> f64 {
+    (2.0 * cotrend - 1.0).abs().min(1.0)
+}
+
+/// Precomputed `q(s → r)` influence lists for every candidate seed.
+#[derive(Debug, Clone)]
+pub struct InfluenceModel {
+    n: usize,
+    /// coverage[s] = (road, q) pairs with q >= min_influence, including
+    /// (s, 1.0) itself, sorted by road id.
+    coverage: Vec<Vec<(RoadId, f64)>>,
+}
+
+#[derive(PartialEq)]
+struct Entry {
+    q: f64,
+    hops: u32,
+    node: u32,
+}
+impl Eq for Entry {}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on influence.
+        self.q
+            .partial_cmp(&other.q)
+            .expect("NaN influence")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl InfluenceModel {
+    /// Builds influence lists by best-path (max-product) search from
+    /// every road over the correlation graph.
+    pub fn build(corr: &CorrelationGraph, config: &InfluenceConfig) -> InfluenceModel {
+        let n = corr.num_roads();
+        let mut coverage = Vec::with_capacity(n);
+        let mut best = vec![0.0f64; n];
+        let mut touched: Vec<u32> = Vec::new();
+        for s in 0..n as u32 {
+            // Dijkstra-style max-product search, bounded by hops and
+            // min_influence.
+            let mut heap = BinaryHeap::new();
+            best[s as usize] = 1.0;
+            touched.push(s);
+            heap.push(Entry {
+                q: 1.0,
+                hops: 0,
+                node: s,
+            });
+            while let Some(Entry { q, hops, node }) = heap.pop() {
+                if q < best[node as usize] {
+                    continue; // stale
+                }
+                if hops >= config.max_hops {
+                    continue;
+                }
+                for (nb, w) in corr.neighbors(RoadId(node)) {
+                    let nq = q * edge_strength(w);
+                    if nq >= config.min_influence && nq > best[nb.index()] {
+                        if best[nb.index()] == 0.0 {
+                            touched.push(nb.0);
+                        }
+                        best[nb.index()] = nq;
+                        heap.push(Entry {
+                            q: nq,
+                            hops: hops + 1,
+                            node: nb.0,
+                        });
+                    }
+                }
+            }
+            let mut list: Vec<(RoadId, f64)> = touched
+                .iter()
+                .map(|&r| (RoadId(r), best[r as usize]))
+                .collect();
+            list.sort_by_key(|&(r, _)| r);
+            // Reset the scratch arrays for the next source.
+            for &r in &touched {
+                best[r as usize] = 0.0;
+            }
+            touched.clear();
+            coverage.push(list);
+        }
+        InfluenceModel { n, coverage }
+    }
+
+    /// Number of roads.
+    pub fn num_roads(&self) -> usize {
+        self.n
+    }
+
+    /// Influence list of candidate `s`: `(road, q(s → road))`.
+    pub fn reach(&self, s: RoadId) -> &[(RoadId, f64)] {
+        &self.coverage[s.index()]
+    }
+
+    /// Point influence `q(s → r)` (0 when out of reach).
+    pub fn influence(&self, s: RoadId, r: RoadId) -> f64 {
+        self.coverage[s.index()]
+            .binary_search_by_key(&r, |&(road, _)| road)
+            .map(|i| self.coverage[s.index()][i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Average reach size (diagnostics / experiments).
+    pub fn avg_reach(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.coverage.iter().map(Vec::len).sum::<usize>() as f64 / self.n as f64
+        }
+    }
+}
+
+/// The submodular coverage objective
+/// `F(S) = Σ_r [1 − Π_{s∈S}(1 − q(s → r))]`, with incremental state for
+/// greedy optimisation: `miss[r] = Π_{s∈S}(1 − q(s → r))` is maintained
+/// so a marginal gain is one pass over the candidate's reach.
+#[derive(Debug, Clone)]
+pub struct SeedObjective<'a> {
+    model: &'a InfluenceModel,
+}
+
+impl<'a> SeedObjective<'a> {
+    /// Wraps an influence model.
+    pub fn new(model: &'a InfluenceModel) -> Self {
+        SeedObjective { model }
+    }
+
+    /// The underlying influence model.
+    pub fn model(&self) -> &InfluenceModel {
+        self.model
+    }
+
+    /// Fresh `miss` state for the empty seed set (all ones).
+    pub fn initial_miss(&self) -> Vec<f64> {
+        vec![1.0; self.model.n]
+    }
+
+    /// Marginal gain of adding `s` given the current `miss` state.
+    #[inline]
+    pub fn gain(&self, miss: &[f64], s: RoadId) -> f64 {
+        self.model
+            .reach(s)
+            .iter()
+            .map(|&(r, q)| q * miss[r.index()])
+            .sum()
+    }
+
+    /// Commits `s` into the `miss` state.
+    pub fn apply(&self, miss: &mut [f64], s: RoadId) {
+        for &(r, q) in self.model.reach(s) {
+            miss[r.index()] *= 1.0 - q;
+        }
+    }
+
+    /// Objective value of an arbitrary seed set (non-incremental).
+    pub fn value(&self, seeds: &[RoadId]) -> f64 {
+        let mut miss = self.initial_miss();
+        for &s in seeds {
+            self.apply(&mut miss, s);
+        }
+        miss.iter().map(|m| 1.0 - m).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::CorrelationEdge;
+
+    /// Path correlation graph r0 - r1 - r2 with strong edges.
+    fn path_corr() -> CorrelationGraph {
+        let e = |a: u32, b: u32, p: f64| CorrelationEdge {
+            a: RoadId(a),
+            b: RoadId(b),
+            cotrend: p,
+            support: 100,
+        };
+        CorrelationGraph::from_edges(3, vec![e(0, 1, 0.9), e(1, 2, 0.9)])
+    }
+
+    #[test]
+    fn edge_strength_symmetric_about_half() {
+        assert!((edge_strength(0.9) - 0.8).abs() < 1e-12);
+        assert!((edge_strength(0.1) - 0.8).abs() < 1e-12);
+        assert_eq!(edge_strength(0.5), 0.0);
+        assert_eq!(edge_strength(1.0), 1.0);
+    }
+
+    #[test]
+    fn influence_decays_along_path() {
+        let corr = path_corr();
+        let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
+        assert_eq!(model.influence(RoadId(0), RoadId(0)), 1.0);
+        assert!((model.influence(RoadId(0), RoadId(1)) - 0.8).abs() < 1e-12);
+        assert!((model.influence(RoadId(0), RoadId(2)) - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hop_limit_cuts_reach() {
+        let corr = path_corr();
+        let model = InfluenceModel::build(
+            &corr,
+            &InfluenceConfig {
+                max_hops: 1,
+                min_influence: 0.0,
+            },
+        );
+        assert_eq!(model.influence(RoadId(0), RoadId(2)), 0.0);
+        assert_eq!(model.reach(RoadId(0)).len(), 2);
+    }
+
+    #[test]
+    fn min_influence_cuts_reach() {
+        let corr = path_corr();
+        let model = InfluenceModel::build(
+            &corr,
+            &InfluenceConfig {
+                max_hops: 10,
+                min_influence: 0.7,
+            },
+        );
+        // 0.64 < 0.7 so r2 drops out of r0's reach.
+        assert_eq!(model.influence(RoadId(0), RoadId(2)), 0.0);
+        assert!((model.influence(RoadId(0), RoadId(1)) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn influence_takes_best_path() {
+        // Triangle where the two-hop route beats the weak direct edge:
+        // direct 0-2 strength 0.1; via 1: 0.9 * 0.9 = 0.81.
+        let e = |a: u32, b: u32, p: f64| CorrelationEdge {
+            a: RoadId(a),
+            b: RoadId(b),
+            cotrend: p,
+            support: 100,
+        };
+        let corr = CorrelationGraph::from_edges(
+            3,
+            vec![e(0, 1, 0.95), e(1, 2, 0.95), e(0, 2, 0.55)],
+        );
+        let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
+        assert!((model.influence(RoadId(0), RoadId(2)) - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_value_matches_formula() {
+        let corr = path_corr();
+        let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
+        let obj = SeedObjective::new(&model);
+        // F({r1}) = q(1->0) + q(1->1) + q(1->2) = 0.8 + 1 + 0.8.
+        assert!((obj.value(&[RoadId(1)]) - 2.6).abs() < 1e-12);
+        // F({r0, r2}): r0 covered 1; r1: 1-(1-.8)^2 = .96; r2: 1.
+        assert!((obj.value(&[RoadId(0), RoadId(2)]) - (1.0 + 0.96 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_gain_matches_value_delta() {
+        let corr = path_corr();
+        let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
+        let obj = SeedObjective::new(&model);
+        let mut miss = obj.initial_miss();
+        let g0 = obj.gain(&miss, RoadId(0));
+        assert!((g0 - obj.value(&[RoadId(0)])).abs() < 1e-12);
+        obj.apply(&mut miss, RoadId(0));
+        let g2 = obj.gain(&miss, RoadId(2));
+        let delta = obj.value(&[RoadId(0), RoadId(2)]) - obj.value(&[RoadId(0)]);
+        assert!((g2 - delta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gains_are_submodular() {
+        // gain of r2 after {r0} >= gain of r2 after {r0, r1}.
+        let corr = path_corr();
+        let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
+        let obj = SeedObjective::new(&model);
+        let mut miss_small = obj.initial_miss();
+        obj.apply(&mut miss_small, RoadId(0));
+        let mut miss_big = miss_small.clone();
+        obj.apply(&mut miss_big, RoadId(1));
+        assert!(obj.gain(&miss_small, RoadId(2)) >= obj.gain(&miss_big, RoadId(2)));
+    }
+}

@@ -1,0 +1,196 @@
+//! Time-varying seed selection.
+//!
+//! Correlation structure is not stationary over the day: rush-hour
+//! congestion couples arterials tightly, while at night most structure
+//! dissolves into noise. A single all-day seed set is therefore a
+//! compromise. This module splits the day into periods, builds a
+//! **per-period correlation graph** (via
+//! [`CorrelationGraph::build_for_slots`]), and selects a seed set per
+//! period with lazy greedy under the same total budget `K` — the
+//! crowdsourcing platform simply tasks different roads at different
+//! hours.
+//!
+//! This extends the paper's static formulation (its seed sets are
+//! selected once); the ablation in experiment E10 quantifies the gain.
+
+use super::lazy_greedy::lazy_greedy;
+use super::objective::{InfluenceConfig, InfluenceModel};
+use crate::correlation::{CorrelationConfig, CorrelationGraph};
+use roadnet::{RoadGraph, RoadId};
+use trafficsim::{HistoricalData, HistoryStats};
+
+/// A contiguous block of slots sharing one seed set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Period {
+    /// Human-readable label ("am-rush").
+    pub label: &'static str,
+    /// Slots of day belonging to the period.
+    pub slots: Vec<usize>,
+}
+
+/// The standard five-period split of a day (night / AM rush / midday /
+/// PM rush / evening) for a clock with `slots_per_day` slots.
+pub fn standard_periods(slots_per_day: usize) -> Vec<Period> {
+    let slot_of = |h: f64| ((h / 24.0) * slots_per_day as f64) as usize;
+    let range = |label, lo: f64, hi: f64| Period {
+        label,
+        slots: (slot_of(lo)..slot_of(hi).min(slots_per_day)).collect(),
+    };
+    vec![
+        range("night", 0.0, 6.5),
+        range("am-rush", 6.5, 10.0),
+        range("midday", 10.0, 16.0),
+        range("pm-rush", 16.0, 20.0),
+        range("evening", 20.0, 24.0),
+    ]
+}
+
+/// A time-varying seed plan: one seed set per period.
+#[derive(Debug, Clone)]
+pub struct TemporalSeedPlan {
+    periods: Vec<Period>,
+    seeds: Vec<Vec<RoadId>>,
+}
+
+impl TemporalSeedPlan {
+    /// Selects one `K`-seed set per period from period-restricted
+    /// correlation graphs.
+    pub fn select(
+        graph: &RoadGraph,
+        history: &HistoricalData,
+        stats: &HistoryStats,
+        corr_config: &CorrelationConfig,
+        influence_config: &InfluenceConfig,
+        periods: Vec<Period>,
+        k: usize,
+    ) -> TemporalSeedPlan {
+        assert!(!periods.is_empty(), "need at least one period");
+        let seeds = periods
+            .iter()
+            .map(|p| {
+                // Fewer cells per period -> scale the support floor so
+                // short periods still produce a usable graph.
+                let frac = p.slots.len() as f64 / stats.num_slots() as f64;
+                let scaled = CorrelationConfig {
+                    min_co_observations: ((corr_config.min_co_observations as f64 * frac)
+                        .round() as u32)
+                        .max(4),
+                    ..corr_config.clone()
+                };
+                let in_period = |slot: usize| p.slots.contains(&slot);
+                let corr =
+                    CorrelationGraph::build_for_slots(graph, history, stats, &scaled, in_period);
+                let influence = InfluenceModel::build(&corr, influence_config);
+                lazy_greedy(&influence, k).seeds
+            })
+            .collect();
+        TemporalSeedPlan { periods, seeds }
+    }
+
+    /// The plan's periods.
+    pub fn periods(&self) -> &[Period] {
+        &self.periods
+    }
+
+    /// Seed set active at a slot of day. Slots not covered by any
+    /// period (possible with custom period lists) fall back to the
+    /// first period's seeds.
+    pub fn seeds_for_slot(&self, slot_of_day: usize) -> &[RoadId] {
+        for (p, s) in self.periods.iter().zip(&self.seeds) {
+            if p.slots.contains(&slot_of_day) {
+                return s;
+            }
+        }
+        &self.seeds[0]
+    }
+
+    /// Seed set of period `i` (selection order preserved).
+    pub fn period_seeds(&self, i: usize) -> &[RoadId] {
+        &self.seeds[i]
+    }
+
+    /// All distinct roads used anywhere in the plan.
+    pub fn all_roads(&self) -> Vec<RoadId> {
+        let mut all: Vec<RoadId> = self.seeds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trafficsim::dataset::{metro_small, DatasetParams};
+
+    fn plan(k: usize) -> (trafficsim::dataset::Dataset, TemporalSeedPlan) {
+        let ds = metro_small(&DatasetParams {
+            training_days: 10,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let stats = HistoryStats::compute(&ds.history);
+        let plan = TemporalSeedPlan::select(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &CorrelationConfig {
+                min_cotrend: 0.6,
+                ..CorrelationConfig::default()
+            },
+            &InfluenceConfig::default(),
+            standard_periods(ds.clock.slots_per_day),
+            k,
+        );
+        (ds, plan)
+    }
+
+    #[test]
+    fn standard_periods_cover_the_day() {
+        for spd in [24usize, 48, 96] {
+            let periods = standard_periods(spd);
+            let mut covered: Vec<usize> = periods.iter().flat_map(|p| p.slots.clone()).collect();
+            covered.sort_unstable();
+            covered.dedup();
+            assert_eq!(covered, (0..spd).collect::<Vec<_>>(), "spd {spd}");
+        }
+    }
+
+    #[test]
+    fn every_period_gets_k_seeds() {
+        let (_, plan) = plan(8);
+        for i in 0..plan.periods().len() {
+            assert_eq!(plan.period_seeds(i).len(), 8);
+        }
+    }
+
+    #[test]
+    fn slot_lookup_respects_periods() {
+        let (ds, plan) = plan(6);
+        let night_slot = ds.clock.slot_of_hour(2.0);
+        let rush_slot = ds.clock.slot_of_hour(8.0);
+        assert_eq!(plan.seeds_for_slot(night_slot), plan.period_seeds(0));
+        assert_eq!(plan.seeds_for_slot(rush_slot), plan.period_seeds(1));
+    }
+
+    #[test]
+    fn periods_differentiate_seed_sets() {
+        // Rush and night correlation structure differ, so at least one
+        // pair of period seed sets should differ.
+        let (_, plan) = plan(10);
+        let distinct = (1..plan.periods().len())
+            .any(|i| plan.period_seeds(i) != plan.period_seeds(0));
+        assert!(distinct, "all periods picked identical seeds");
+    }
+
+    #[test]
+    fn all_roads_dedups() {
+        let (ds, plan) = plan(10);
+        let all = plan.all_roads();
+        let mut sorted = all.clone();
+        sorted.dedup();
+        assert_eq!(all, sorted);
+        assert!(all.len() <= 50);
+        assert!(all.iter().all(|r| r.index() < ds.graph.num_roads()));
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the core algorithms: submodularity of the
+//! seed objective, greedy guarantees, metric identities, propagation
+//! bounds.
+
+use crowdspeed::correlation::{CorrelationEdge, CorrelationGraph};
+use crowdspeed::metrics::ErrorStats;
+use crowdspeed::prelude::*;
+use crowdspeed::propagate::propagate_deviations;
+use proptest::prelude::*;
+use roadnet::RoadId;
+
+/// Strategy: a random correlation graph as (n, weighted edges).
+fn random_corr() -> impl Strategy<Value = CorrelationGraph> {
+    (3usize..16).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32, 0.55f64..0.95), 0..30);
+        (Just(n), edges).prop_map(|(n, edges)| {
+            let list: Vec<CorrelationEdge> = edges
+                .into_iter()
+                .filter(|(a, b, _)| a != b)
+                .map(|(a, b, p)| CorrelationEdge {
+                    a: RoadId(a.min(b)),
+                    b: RoadId(a.max(b)),
+                    cotrend: p,
+                    support: 20,
+                })
+                .collect();
+            CorrelationGraph::from_edges(n, list)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn objective_is_monotone(corr in random_corr(), extra in 0u32..16) {
+        let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
+        let obj = SeedObjective::new(&model);
+        let n = corr.num_roads() as u32;
+        let base: Vec<RoadId> = (0..n.min(3)).map(RoadId).collect();
+        let mut bigger = base.clone();
+        let cand = RoadId(extra % n);
+        if !bigger.contains(&cand) {
+            bigger.push(cand);
+        }
+        prop_assert!(obj.value(&bigger) >= obj.value(&base) - 1e-9);
+    }
+
+    #[test]
+    fn objective_is_submodular(corr in random_corr(), s in 0u32..16, t in 0u32..16) {
+        // gain(s | A) >= gain(s | A ∪ {t}) for any A (here A = {0}).
+        let n = corr.num_roads() as u32;
+        let (s, t) = (RoadId(s % n), RoadId(t % n));
+        prop_assume!(s != t && s.0 != 0 && t.0 != 0);
+        let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
+        let obj = SeedObjective::new(&model);
+        let mut small = obj.initial_miss();
+        obj.apply(&mut small, RoadId(0));
+        let mut big = small.clone();
+        obj.apply(&mut big, t);
+        prop_assert!(obj.gain(&small, s) >= obj.gain(&big, s) - 1e-9);
+    }
+
+    #[test]
+    fn objective_bounded_by_road_count(corr in random_corr()) {
+        let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
+        let obj = SeedObjective::new(&model);
+        let all: Vec<RoadId> = (0..corr.num_roads() as u32).map(RoadId).collect();
+        let v = obj.value(&all);
+        prop_assert!(v <= corr.num_roads() as f64 + 1e-9);
+        prop_assert!(v >= all.len() as f64 - 1e-9, "each seed covers itself fully");
+    }
+
+    #[test]
+    fn lazy_matches_plain_greedy(corr in random_corr(), k in 1usize..8) {
+        let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
+        let a = greedy(&model, k);
+        let b = lazy_greedy(&model, k);
+        prop_assert!((a.objective - b.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_meets_approximation_guarantee(corr in random_corr(), k in 1usize..4) {
+        prop_assume!(corr.num_roads() <= 12);
+        let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
+        let opt = exhaustive(&model, k);
+        let g = greedy(&model, k);
+        prop_assert!(g.objective >= 0.632 * opt.objective - 1e-9);
+        prop_assert!(g.objective <= opt.objective + 1e-9);
+    }
+
+    #[test]
+    fn influence_is_a_probability(corr in random_corr()) {
+        let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
+        for s in 0..corr.num_roads() as u32 {
+            for &(r, q) in model.reach(RoadId(s)) {
+                prop_assert!(q > 0.0 && q <= 1.0, "q({s} -> {}) = {q}", r.0);
+            }
+            prop_assert_eq!(model.influence(RoadId(s), RoadId(s)), 1.0);
+        }
+    }
+
+    #[test]
+    fn propagation_stays_in_seed_hull(corr in random_corr(), d0 in 0.3f64..1.7, d1 in 0.3f64..1.7) {
+        let n = corr.num_roads() as u32;
+        prop_assume!(n >= 2);
+        let seeds = vec![(RoadId(0), d0), (RoadId(1 % n), d1)];
+        let dev = propagate_deviations(&corr, &seeds, 40, 0.2);
+        // With the neutral anchor, every value lies in the convex hull
+        // of {seed deviations, 1.0}.
+        let lo = d0.min(d1).min(1.0) - 1e-9;
+        let hi = d0.max(d1).max(1.0) + 1e-9;
+        for (r, v) in dev.iter().enumerate() {
+            prop_assert!(*v >= lo && *v <= hi, "road {r}: {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn error_stats_merge_is_commutative(
+        t1 in prop::collection::vec(5.0f64..100.0, 1..20),
+        t2 in prop::collection::vec(5.0f64..100.0, 1..20),
+        noise in prop::collection::vec(-10.0f64..10.0, 40),
+    ) {
+        let e1: Vec<f64> = t1.iter().zip(&noise).map(|(t, n)| t + n).collect();
+        let e2: Vec<f64> = t2.iter().zip(noise.iter().rev()).map(|(t, n)| t + n).collect();
+        let a = ErrorStats::from_pairs(t1.iter().zip(&e1));
+        let b = ErrorStats::from_pairs(t2.iter().zip(&e2));
+        let ab = a.merge(b);
+        let ba = b.merge(a);
+        prop_assert!((ab.mae - ba.mae).abs() < 1e-9);
+        prop_assert!((ab.rmse - ba.rmse).abs() < 1e-9);
+        prop_assert!((ab.mape - ba.mape).abs() < 1e-9);
+        prop_assert_eq!(ab.count, ba.count);
+    }
+
+    #[test]
+    fn error_stats_merge_matches_pooled(
+        truth in prop::collection::vec(5.0f64..100.0, 2..30),
+        noise in prop::collection::vec(-10.0f64..10.0, 30),
+    ) {
+        let est: Vec<f64> = truth.iter().zip(&noise).map(|(t, n)| t + n).collect();
+        let split = truth.len() / 2;
+        let a = ErrorStats::from_pairs(truth[..split].iter().zip(&est[..split]));
+        let b = ErrorStats::from_pairs(truth[split..].iter().zip(&est[split..]));
+        let merged = a.merge(b);
+        let pooled = ErrorStats::from_pairs(truth.iter().zip(&est));
+        prop_assert!((merged.mae - pooled.mae).abs() < 1e-9);
+        prop_assert!((merged.rmse - pooled.rmse).abs() < 1e-9);
+        prop_assert_eq!(merged.count, pooled.count);
+    }
+
+    #[test]
+    fn rethreshold_never_adds_edges(corr in random_corr(), tau in 0.5f64..1.0) {
+        let strict = corr.rethreshold(tau);
+        prop_assert!(strict.num_edges() <= corr.num_edges());
+        for e in strict.edges() {
+            prop_assert!(e.cotrend >= tau || e.cotrend <= 1.0 - tau);
+        }
+    }
+}

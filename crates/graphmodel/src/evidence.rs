@@ -1,0 +1,114 @@
+//! Observed variables ("clamped" evidence).
+
+use serde::{Deserialize, Serialize};
+
+/// A partial assignment: which variables have been observed, and their
+/// values. In the traffic model the observed variables are the seed
+/// roads, with trends derived from crowdsourced speeds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Evidence {
+    observed: Vec<Option<bool>>,
+}
+
+impl Evidence {
+    /// No observations over `n` variables.
+    pub fn none(n: usize) -> Self {
+        Evidence {
+            observed: vec![None; n],
+        }
+    }
+
+    /// Builds evidence from `(variable, state)` pairs.
+    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (usize, bool)>) -> Self {
+        let mut ev = Evidence::none(n);
+        for (v, s) in pairs {
+            ev.observe(v, s);
+        }
+        ev
+    }
+
+    /// Number of variables covered (observed or not).
+    pub fn len(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// True when no variable is covered.
+    pub fn is_empty(&self) -> bool {
+        self.observed.is_empty()
+    }
+
+    /// Records that variable `v` was observed in state `s`.
+    /// Re-observing overwrites.
+    pub fn observe(&mut self, v: usize, s: bool) {
+        self.observed[v] = Some(s);
+    }
+
+    /// Removes the observation on `v`, if any.
+    pub fn clear(&mut self, v: usize) {
+        self.observed[v] = None;
+    }
+
+    /// The observation on `v`.
+    #[inline]
+    pub fn get(&self, v: usize) -> Option<bool> {
+        self.observed[v]
+    }
+
+    /// True if `v` is observed.
+    #[inline]
+    pub fn is_observed(&self, v: usize) -> bool {
+        self.observed[v].is_some()
+    }
+
+    /// Number of observed variables.
+    pub fn num_observed(&self) -> usize {
+        self.observed.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Iterator over `(variable, state)` observations.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, bool)> + '_ {
+        self.observed
+            .iter()
+            .enumerate()
+            .filter_map(|(v, o)| o.map(|s| (v, s)))
+    }
+
+    /// True when an assignment agrees with every observation.
+    pub fn consistent_with(&self, assignment: &[bool]) -> bool {
+        self.iter().all(|(v, s)| assignment[v] == s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_and_clear() {
+        let mut ev = Evidence::none(3);
+        assert_eq!(ev.num_observed(), 0);
+        ev.observe(1, true);
+        assert_eq!(ev.get(1), Some(true));
+        assert!(ev.is_observed(1));
+        ev.observe(1, false); // overwrite
+        assert_eq!(ev.get(1), Some(false));
+        ev.clear(1);
+        assert_eq!(ev.get(1), None);
+    }
+
+    #[test]
+    fn from_pairs_collects() {
+        let ev = Evidence::from_pairs(4, [(0, true), (3, false)]);
+        assert_eq!(ev.num_observed(), 2);
+        let pairs: Vec<_> = ev.iter().collect();
+        assert_eq!(pairs, vec![(0, true), (3, false)]);
+    }
+
+    #[test]
+    fn consistency_check() {
+        let ev = Evidence::from_pairs(3, [(0, true), (2, false)]);
+        assert!(ev.consistent_with(&[true, false, false]));
+        assert!(ev.consistent_with(&[true, true, false]));
+        assert!(!ev.consistent_with(&[false, true, false]));
+    }
+}

@@ -1,0 +1,164 @@
+//! Exact marginals by brute-force enumeration.
+//!
+//! Exponential in the number of *unobserved* variables, so it is only
+//! usable as a correctness oracle on small models — which is exactly how
+//! the test suites of [`crate::lbp`] and [`crate::gibbs`] use it.
+
+use crate::{Evidence, ModelError, PairwiseMrf, Result};
+
+/// Hard cap on the number of free variables the enumerator accepts
+/// (2^24 assignments ≈ 16M joint-weight evaluations).
+pub const MAX_FREE_VARS: usize = 24;
+
+/// Exact posterior up-probabilities `P(v = true | evidence)` for every
+/// variable. Observed variables report their clamped value (1.0 / 0.0).
+///
+/// Returns [`ModelError::TooLargeForExact`] when more than
+/// [`MAX_FREE_VARS`] variables are unobserved.
+pub fn marginals(mrf: &PairwiseMrf, evidence: &Evidence) -> Result<Vec<f64>> {
+    let n = mrf.num_vars();
+    assert_eq!(evidence.len(), n, "evidence covers a different model");
+    let free: Vec<usize> = (0..n).filter(|&v| !evidence.is_observed(v)).collect();
+    if free.len() > MAX_FREE_VARS {
+        return Err(ModelError::TooLargeForExact {
+            free_vars: free.len(),
+            limit: MAX_FREE_VARS,
+        });
+    }
+
+    let mut assignment: Vec<bool> = (0..n).map(|v| evidence.get(v).unwrap_or(false)).collect();
+    let mut up_mass = vec![0.0f64; n];
+    let mut total = 0.0f64;
+    let combos: u64 = 1u64 << free.len();
+    for bits in 0..combos {
+        for (i, &v) in free.iter().enumerate() {
+            assignment[v] = (bits >> i) & 1 == 1;
+        }
+        let w = mrf.joint_weight(&assignment);
+        total += w;
+        for (v, &s) in assignment.iter().enumerate() {
+            if s {
+                up_mass[v] += w;
+            }
+        }
+    }
+    // total > 0 because all potentials are clamped away from zero.
+    Ok(up_mass.into_iter().map(|m| m / total).collect())
+}
+
+/// Exact most-probable full assignment (MAP) by enumeration, honouring
+/// evidence. Same size limit as [`marginals`]. Ties resolve to the
+/// lexicographically-first enumeration order (all-false first).
+pub fn map_assignment(mrf: &PairwiseMrf, evidence: &Evidence) -> Result<Vec<bool>> {
+    let n = mrf.num_vars();
+    assert_eq!(evidence.len(), n, "evidence covers a different model");
+    let free: Vec<usize> = (0..n).filter(|&v| !evidence.is_observed(v)).collect();
+    if free.len() > MAX_FREE_VARS {
+        return Err(ModelError::TooLargeForExact {
+            free_vars: free.len(),
+            limit: MAX_FREE_VARS,
+        });
+    }
+    let mut assignment: Vec<bool> = (0..n).map(|v| evidence.get(v).unwrap_or(false)).collect();
+    let mut best = assignment.clone();
+    let mut best_w = f64::NEG_INFINITY;
+    for bits in 0..(1u64 << free.len()) {
+        for (i, &v) in free.iter().enumerate() {
+            assignment[v] = (bits >> i) & 1 == 1;
+        }
+        let w = mrf.joint_weight(&assignment);
+        if w > best_w {
+            best_w = w;
+            best.copy_from_slice(&assignment);
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MrfBuilder;
+
+    #[test]
+    fn single_variable_marginal_is_prior() {
+        let mut b = MrfBuilder::new(1);
+        b.set_prior(0, 0.7);
+        let m = b.build();
+        let marg = marginals(&m, &Evidence::none(1)).unwrap();
+        assert!((marg[0] - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evidence_clamps_marginal() {
+        let mut b = MrfBuilder::new(2);
+        b.add_edge(0, 1, 0.9).unwrap();
+        let m = b.build();
+        let ev = Evidence::from_pairs(2, [(0, true)]);
+        let marg = marginals(&m, &ev).unwrap();
+        assert!((marg[0] - 1.0).abs() < 1e-9);
+        assert!((marg[1] - 0.9).abs() < 1e-9); // uniform prior, 0.9 coupling
+    }
+
+    #[test]
+    fn negative_coupling_flips() {
+        let mut b = MrfBuilder::new(2);
+        b.add_edge(0, 1, 0.1).unwrap();
+        let m = b.build();
+        let ev = Evidence::from_pairs(2, [(0, true)]);
+        let marg = marginals(&m, &ev).unwrap();
+        assert!((marg[1] - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_marginal_attenuates() {
+        // v0 -0.8- v1 -0.8- v2, observe v0 = up. Exact: P(v1) = 0.8,
+        // P(v2) = 0.8*0.8 + 0.2*0.2 = 0.68.
+        let mut b = MrfBuilder::new(3);
+        b.add_edge(0, 1, 0.8).unwrap();
+        b.add_edge(1, 2, 0.8).unwrap();
+        let m = b.build();
+        let ev = Evidence::from_pairs(3, [(0, true)]);
+        let marg = marginals(&m, &ev).unwrap();
+        assert!((marg[1] - 0.8).abs() < 1e-9);
+        assert!((marg[2] - 0.68).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_oversized_query() {
+        let m = MrfBuilder::new(MAX_FREE_VARS + 1).build();
+        let err = marginals(&m, &Evidence::none(MAX_FREE_VARS + 1)).unwrap_err();
+        assert!(matches!(err, ModelError::TooLargeForExact { .. }));
+    }
+
+    #[test]
+    fn oversized_model_ok_with_enough_evidence() {
+        let n = MAX_FREE_VARS + 4;
+        let m = MrfBuilder::new(n).build();
+        // Observing enough variables brings the free count back under
+        // the limit (here well under, to keep the test fast).
+        let ev = Evidence::from_pairs(n, (0..n - 12).map(|v| (v, true)));
+        assert!(marginals(&m, &ev).is_ok());
+    }
+
+    #[test]
+    fn map_respects_evidence_and_coupling() {
+        let mut b = MrfBuilder::new(3);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(1, 2, 0.9).unwrap();
+        let m = b.build();
+        let ev = Evidence::from_pairs(3, [(0, false)]);
+        let map = map_assignment(&m, &ev).unwrap();
+        assert_eq!(map, vec![false, false, false]);
+    }
+
+    #[test]
+    fn map_prefers_prior_when_uncoupled() {
+        let mut b = MrfBuilder::new(2);
+        b.set_prior(0, 0.9);
+        b.set_prior(1, 0.2);
+        let m = b.build();
+        let map = map_assignment(&m, &Evidence::none(2)).unwrap();
+        assert_eq!(map, vec![true, false]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Model definition: variables, priors, pairwise couplings.
+
+use crate::{ModelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Smallest probability the model stores; keeps all logs finite.
+pub const PROB_FLOOR: f64 = 1e-9;
+
+fn clamp_prob(p: f64) -> f64 {
+    p.clamp(PROB_FLOOR, 1.0 - PROB_FLOOR)
+}
+
+/// Builder for a [`PairwiseMrf`].
+#[derive(Debug, Clone)]
+pub struct MrfBuilder {
+    prior_up: Vec<f64>,
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl MrfBuilder {
+    /// Creates a builder for `n` binary variables with uninformative
+    /// (0.5) priors.
+    pub fn new(n: usize) -> Self {
+        MrfBuilder {
+            prior_up: vec![0.5; n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.prior_up.len()
+    }
+
+    /// Sets the prior probability that variable `v` is `true` ("up").
+    /// Clamped away from {0, 1} to keep the model proper.
+    pub fn set_prior(&mut self, v: usize, p_up: f64) {
+        self.prior_up[v] = clamp_prob(p_up);
+    }
+
+    /// Adds a coupling between `u` and `v`: `same_prob` is the potential
+    /// mass on agreeing states, i.e. `φ(s_u, s_v) = same_prob` when
+    /// `s_u == s_v` and `1 − same_prob` otherwise. `same_prob > 0.5`
+    /// couples positively (the co-trend case), `< 0.5` negatively.
+    ///
+    /// Duplicate edges are kept and act as independent factors (their
+    /// potentials multiply), matching how repeated correlation evidence
+    /// compounds; callers that want one factor per pair must deduplicate.
+    pub fn add_edge(&mut self, u: usize, v: usize, same_prob: f64) -> Result<()> {
+        let n = self.prior_up.len();
+        if u >= n {
+            return Err(ModelError::InvalidVariable(u));
+        }
+        if v >= n {
+            return Err(ModelError::InvalidVariable(v));
+        }
+        if u == v {
+            return Err(ModelError::SelfEdge(u));
+        }
+        self.edges.push((u as u32, v as u32, clamp_prob(same_prob)));
+        Ok(())
+    }
+
+    /// Freezes the model into CSR adjacency form.
+    pub fn build(self) -> PairwiseMrf {
+        let n = self.prior_up.len();
+        let mut degree = vec![0u32; n];
+        for &(u, v, _) in &self.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        for d in &degree {
+            let last = *offsets.last().expect("non-empty");
+            offsets.push(last + d);
+        }
+        let total = *offsets.last().expect("non-empty") as usize;
+        let mut targets = vec![0u32; total];
+        let mut same_prob = vec![0.0f64; total];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        // Temporarily remember the paired slot to wire `reverse`.
+        let mut slot_of = Vec::with_capacity(self.edges.len());
+        for &(u, v, p) in &self.edges {
+            let su = cursor[u as usize] as usize;
+            targets[su] = v;
+            same_prob[su] = p;
+            cursor[u as usize] += 1;
+            let sv = cursor[v as usize] as usize;
+            targets[sv] = u;
+            same_prob[sv] = p;
+            cursor[v as usize] += 1;
+            slot_of.push((su as u32, sv as u32));
+        }
+        let mut reverse = vec![0u32; total];
+        for &(su, sv) in &slot_of {
+            reverse[su as usize] = sv;
+            reverse[sv as usize] = su;
+        }
+        PairwiseMrf {
+            prior_up: self.prior_up,
+            offsets,
+            targets,
+            same_prob,
+            reverse,
+        }
+    }
+}
+
+/// An immutable pairwise binary MRF.
+///
+/// Variables are `0..num_vars()`; each directed adjacency slot `d`
+/// represents the directed edge (owner-of-slot → `targets[d]`) and
+/// `reverse[d]` is the opposite direction's slot, which is how belief
+/// propagation finds a node's inbox.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairwiseMrf {
+    pub(crate) prior_up: Vec<f64>,
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) targets: Vec<u32>,
+    pub(crate) same_prob: Vec<f64>,
+    pub(crate) reverse: Vec<u32>,
+}
+
+impl PairwiseMrf {
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.prior_up.len()
+    }
+
+    /// Number of undirected coupling edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Prior up-probability of variable `v`.
+    #[inline]
+    pub fn prior_up(&self, v: usize) -> f64 {
+        self.prior_up[v]
+    }
+
+    /// Directed adjacency slot range of variable `v`.
+    #[inline]
+    pub(crate) fn slots(&self, v: usize) -> std::ops::Range<usize> {
+        self.offsets[v] as usize..self.offsets[v + 1] as usize
+    }
+
+    /// Neighbours of `v` with the coupling strength of each edge.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.slots(v)
+            .map(move |d| (self.targets[d] as usize, self.same_prob[d]))
+    }
+
+    /// Degree of variable `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.slots(v).len()
+    }
+
+    /// Unnormalised joint weight of a full assignment — the product of
+    /// all node priors and edge potentials. Exposed for testing and for
+    /// the exact enumerator.
+    pub fn joint_weight(&self, assignment: &[bool]) -> f64 {
+        debug_assert_eq!(assignment.len(), self.num_vars());
+        let mut w = 1.0;
+        for (v, &s) in assignment.iter().enumerate() {
+            w *= if s {
+                self.prior_up[v]
+            } else {
+                1.0 - self.prior_up[v]
+            };
+        }
+        for v in 0..self.num_vars() {
+            for d in self.slots(v) {
+                let u = self.targets[d] as usize;
+                if u < v {
+                    continue; // count each undirected edge once
+                }
+                let p = self.same_prob[d];
+                w *= if assignment[v] == assignment[u] {
+                    p
+                } else {
+                    1.0 - p
+                };
+            }
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_bad_indices() {
+        let mut b = MrfBuilder::new(2);
+        assert_eq!(b.add_edge(0, 5, 0.9), Err(ModelError::InvalidVariable(5)));
+        assert_eq!(b.add_edge(1, 1, 0.9), Err(ModelError::SelfEdge(1)));
+    }
+
+    #[test]
+    fn priors_are_clamped() {
+        let mut b = MrfBuilder::new(1);
+        b.set_prior(0, 1.0);
+        let m = b.build();
+        assert!(m.prior_up(0) < 1.0 && m.prior_up(0) > 0.999);
+    }
+
+    #[test]
+    fn csr_symmetry_and_reverse() {
+        let mut b = MrfBuilder::new(3);
+        b.add_edge(0, 1, 0.8).unwrap();
+        b.add_edge(1, 2, 0.7).unwrap();
+        let m = b.build();
+        assert_eq!(m.num_edges(), 2);
+        for v in 0..3 {
+            for d in m.slots(v) {
+                let u = m.targets[d] as usize;
+                let r = m.reverse[d] as usize;
+                assert_eq!(m.targets[r] as usize, v);
+                assert!(m.slots(u).contains(&r));
+                assert_eq!(m.same_prob[d], m.same_prob[r]);
+            }
+        }
+    }
+
+    #[test]
+    fn joint_weight_two_var() {
+        let mut b = MrfBuilder::new(2);
+        b.set_prior(0, 0.6);
+        b.set_prior(1, 0.5);
+        b.add_edge(0, 1, 0.9).unwrap();
+        let m = b.build();
+        let w_uu = m.joint_weight(&[true, true]);
+        assert!((w_uu - 0.6 * 0.5 * 0.9).abs() < 1e-12);
+        let w_ud = m.joint_weight(&[true, false]);
+        assert!((w_ud - 0.6 * 0.5 * 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_edges_compound() {
+        let mut b = MrfBuilder::new(2);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(0, 1, 0.9).unwrap();
+        let m = b.build();
+        assert_eq!(m.num_edges(), 2);
+        let agree = m.joint_weight(&[true, true]);
+        let disagree = m.joint_weight(&[true, false]);
+        // Two factors of 0.9 vs two of 0.1: ratio 81.
+        assert!((agree / disagree - 81.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn neighbors_lists_couplings() {
+        let mut b = MrfBuilder::new(3);
+        b.add_edge(0, 1, 0.8).unwrap();
+        b.add_edge(0, 2, 0.6).unwrap();
+        let m = b.build();
+        let mut ns: Vec<_> = m.neighbors(0).collect();
+        ns.sort_by_key(|n| n.0);
+        assert_eq!(ns, vec![(1, 0.8), (2, 0.6)]);
+        assert_eq!(m.degree(0), 2);
+        assert_eq!(m.degree(1), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the MRF inference engines.
+
+use graphmodel::{exact, gibbs, lbp, Evidence, MrfBuilder, PairwiseMrf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random tree-structured MRF (BP is exact on trees).
+fn random_tree() -> impl Strategy<Value = PairwiseMrf> {
+    (2usize..10).prop_flat_map(|n| {
+        let priors = prop::collection::vec(0.1f64..0.9, n);
+        // parent[i] < i forms a tree over n nodes.
+        let parents: Vec<BoxedStrategy<usize>> =
+            (1..n).map(|i| (0..i).boxed()).collect();
+        let couplings = prop::collection::vec(0.15f64..0.85, n - 1);
+        (Just(n), priors, parents, couplings).prop_map(|(n, priors, parents, couplings)| {
+            let mut b = MrfBuilder::new(n);
+            for (v, p) in priors.iter().enumerate() {
+                b.set_prior(v, *p);
+            }
+            for (i, (&parent, &c)) in parents.iter().zip(&couplings).enumerate() {
+                b.add_edge(parent, i + 1, c).unwrap();
+            }
+            b.build()
+        })
+    })
+}
+
+/// Strategy: a random general (possibly loopy) MRF with mild couplings.
+fn random_mrf() -> impl Strategy<Value = PairwiseMrf> {
+    (3usize..9).prop_flat_map(|n| {
+        let priors = prop::collection::vec(0.2f64..0.8, n);
+        let edges = prop::collection::vec((0..n, 0..n, 0.35f64..0.65), 0..12);
+        (Just(n), priors, edges).prop_map(|(n, priors, edges)| {
+            let mut b = MrfBuilder::new(n);
+            for (v, p) in priors.iter().enumerate() {
+                b.set_prior(v, *p);
+            }
+            for (u, v, c) in edges {
+                if u != v {
+                    b.add_edge(u, v, c).unwrap();
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lbp_is_exact_on_trees(mrf in random_tree(), ev_state in any::<bool>()) {
+        let mut ev = Evidence::none(mrf.num_vars());
+        ev.observe(0, ev_state);
+        let exact = exact::marginals(&mrf, &ev).unwrap();
+        let lbp = lbp::run(&mrf, &ev, &lbp::LbpOptions::default());
+        prop_assert!(lbp.converged);
+        for (v, (l, e)) in lbp.marginals.iter().zip(&exact).enumerate() {
+            prop_assert!((l - e).abs() < 1e-4, "var {v}: {l} vs {e}");
+        }
+    }
+
+    #[test]
+    fn lbp_close_to_exact_with_mild_couplings(mrf in random_mrf()) {
+        let ev = Evidence::from_pairs(mrf.num_vars(), [(0, true)]);
+        let exact = exact::marginals(&mrf, &ev).unwrap();
+        let lbp = lbp::run(&mrf, &ev, &lbp::LbpOptions::default());
+        for (v, (l, e)) in lbp.marginals.iter().zip(&exact).enumerate() {
+            prop_assert!((l - e).abs() < 0.05, "var {v}: {l} vs {e}");
+        }
+    }
+
+    #[test]
+    fn marginals_are_probabilities(mrf in random_mrf()) {
+        let res = lbp::run(&mrf, &Evidence::none(mrf.num_vars()), &lbp::LbpOptions::default());
+        for m in &res.marginals {
+            prop_assert!((0.0..=1.0).contains(m));
+        }
+    }
+
+    #[test]
+    fn evidence_is_always_respected(mrf in random_mrf(), state in any::<bool>()) {
+        let ev = Evidence::from_pairs(mrf.num_vars(), [(1, state)]);
+        let lbp = lbp::run(&mrf, &ev, &lbp::LbpOptions::default());
+        prop_assert_eq!(lbp.marginals[1], if state { 1.0 } else { 0.0 });
+        let mut rng = StdRng::seed_from_u64(7);
+        let gb = gibbs::run(&mrf, &ev, &gibbs::GibbsOptions { burn_in: 10, samples: 50 }, &mut rng);
+        prop_assert_eq!(gb[1], if state { 1.0 } else { 0.0 });
+    }
+
+    #[test]
+    fn joint_weight_positive_and_bounded(mrf in random_mrf(), bits in any::<u16>()) {
+        let assignment: Vec<bool> = (0..mrf.num_vars()).map(|v| (bits >> v) & 1 == 1).collect();
+        let w = mrf.joint_weight(&assignment);
+        prop_assert!(w > 0.0 && w <= 1.0, "weight {w}");
+    }
+
+    #[test]
+    fn exact_marginals_sum_consistency(mrf in random_mrf()) {
+        // Marginal of v equals the weighted fraction of up-assignments;
+        // re-derive it by brute force independently of exact::marginals'
+        // bookkeeping.
+        let ev = Evidence::none(mrf.num_vars());
+        let marg = exact::marginals(&mrf, &ev).unwrap();
+        let n = mrf.num_vars();
+        let mut up = vec![0.0; n];
+        let mut total = 0.0;
+        for bits in 0..(1u32 << n) {
+            let assignment: Vec<bool> = (0..n).map(|v| (bits >> v) & 1 == 1).collect();
+            let w = mrf.joint_weight(&assignment);
+            total += w;
+            for (v, &s) in assignment.iter().enumerate() {
+                if s {
+                    up[v] += w;
+                }
+            }
+        }
+        for (v, m) in marg.iter().enumerate() {
+            prop_assert!((m - up[v] / total).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gibbs_is_seed_deterministic(mrf in random_mrf(), seed in any::<u64>()) {
+        let ev = Evidence::none(mrf.num_vars());
+        let opts = gibbs::GibbsOptions { burn_in: 5, samples: 20 };
+        let a = gibbs::run(&mrf, &ev, &opts, &mut StdRng::seed_from_u64(seed));
+        let b = gibbs::run(&mrf, &ev, &opts, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,148 @@
+#![warn(missing_docs)]
+
+//! Small dense linear-algebra substrate for the `crowdspeed` workspace.
+//!
+//! The hierarchical linear model in the paper only needs modest dense
+//! solves (a few dozen features per road), so this crate provides exactly
+//! that: a row-major [`Matrix`], a Cholesky/LDLᵀ factorisation for
+//! symmetric positive-definite systems, and ridge / hierarchically-shrunk
+//! least-squares solvers built on top of them.
+//!
+//! No external linear-algebra crate from the approved dependency list
+//! exists, so this is written from scratch (see `DESIGN.md` §5).
+//!
+//! # Example
+//!
+//! ```
+//! use linalg::{Matrix, ridge::ridge_fit};
+//!
+//! // Fit y = 2*x0 + 1*x1 with a tiny ridge penalty.
+//! let x = Matrix::from_rows(&[
+//!     &[1.0, 0.0],
+//!     &[0.0, 1.0],
+//!     &[1.0, 1.0],
+//!     &[2.0, 1.0],
+//! ]).unwrap();
+//! let y = [2.0, 1.0, 3.0, 5.0];
+//! let beta = ridge_fit(&x, &y, 1e-9).unwrap();
+//! assert!((beta[0] - 2.0).abs() < 1e-6);
+//! assert!((beta[1] - 1.0).abs() < 1e-6);
+//! ```
+
+pub mod cholesky;
+pub mod matrix;
+pub mod ridge;
+pub mod stats;
+
+pub use cholesky::Cholesky;
+pub use matrix::Matrix;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left operand (rows, cols).
+        lhs: (usize, usize),
+        /// Dimensions of the right operand (rows, cols).
+        rhs: (usize, usize),
+    },
+    /// The matrix is not (numerically) symmetric positive definite.
+    NotPositiveDefinite {
+        /// Index of the pivot where factorisation broke down.
+        pivot: usize,
+    },
+    /// An empty matrix or vector was supplied where data is required.
+    Empty,
+    /// Rows of irregular length were supplied to a constructor.
+    RaggedRows,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs {}x{}, rhs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::Empty => write!(f, "empty matrix or vector"),
+            LinalgError::RaggedRows => write!(f, "rows have differing lengths"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if the slices differ in length; in release
+/// builds the shorter length wins (standard `zip` semantics), which is
+/// never intended — callers must pass equal lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm of a slice.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x` for equal-length slices.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norm2_pythagorean() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = [1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, [7.0, 9.0]);
+    }
+
+    #[test]
+    fn error_display_mentions_dims() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul") && s.contains("2x3") && s.contains("4x5"));
+    }
+}

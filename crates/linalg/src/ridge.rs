@@ -1,0 +1,233 @@
+//! Ridge and hierarchically-shrunk least squares.
+//!
+//! These are the fitting primitives behind the paper's *hierarchical
+//! linear model* (step 2 of speed inference): per-road coefficient
+//! vectors are ridge-shrunk towards a group-level (road-class) prior, so
+//! roads with thin history borrow strength from their class.
+
+use crate::{Cholesky, LinalgError, Matrix, Result};
+
+/// Ordinary ridge regression: minimises `||X beta - y||^2 + lambda ||beta||^2`.
+///
+/// Solves the SPD normal equations `(XᵀX + lambda I) beta = Xᵀ y` via
+/// Cholesky. `lambda` must be `>= 0`; `lambda = 0` requires `X` to have
+/// full column rank or the factorisation fails with
+/// [`LinalgError::NotPositiveDefinite`].
+pub fn ridge_fit(x: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    shrunk_fit(x, y, lambda, None)
+}
+
+/// Ridge regression shrunk towards a prior coefficient vector:
+/// minimises `||X beta - y||^2 + lambda ||beta - prior||^2`.
+///
+/// With `prior = None` this reduces to plain ridge (prior at the
+/// origin). This is the level-1 fit of the hierarchical linear model,
+/// where `prior` is the group-level coefficient vector.
+pub fn shrunk_fit(x: &Matrix, y: &[f64], lambda: f64, prior: Option<&[f64]>) -> Result<Vec<f64>> {
+    if x.rows() != y.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "ridge_fit",
+            lhs: (x.rows(), x.cols()),
+            rhs: (y.len(), 1),
+        });
+    }
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if let Some(p) = prior {
+        if p.len() != x.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "ridge_fit prior",
+                lhs: (x.rows(), x.cols()),
+                rhs: (p.len(), 1),
+            });
+        }
+    }
+    let mut gram = x.gram();
+    gram.add_diag(lambda);
+    let mut rhs = x.tr_matvec(y)?;
+    if let Some(p) = prior {
+        for (r, pi) in rhs.iter_mut().zip(p) {
+            *r += lambda * pi;
+        }
+    }
+    let ch = Cholesky::factor(&gram)?;
+    ch.solve(&rhs)
+}
+
+/// A fitted two-level hierarchical regression.
+///
+/// Level 2 pools all groups' data into a single ridge fit (`global`);
+/// each group's level-1 fit is shrunk towards the global coefficients
+/// with strength `lambda_group`. Groups map to road classes in the
+/// traffic model.
+#[derive(Debug, Clone)]
+pub struct HierarchicalFit {
+    /// Pooled (level-2) coefficients.
+    pub global: Vec<f64>,
+    /// Per-group (level-1) coefficients, indexed by group id.
+    pub per_group: Vec<Vec<f64>>,
+}
+
+/// Fits a two-level hierarchy over `groups.len()` design/response pairs.
+///
+/// * `groups[g] = (X_g, y_g)` — the design matrix and response of group `g`;
+///   all groups must share the feature dimension.
+/// * `lambda_global` — ridge strength of the pooled fit.
+/// * `lambda_group` — shrinkage of each group towards the pooled fit.
+///   Larger values pull harder; groups with few rows end up close to the
+///   global coefficients, which is the hierarchical borrowing-of-strength.
+///
+/// Groups with zero rows receive the global coefficients verbatim.
+pub fn hierarchical_fit(
+    groups: &[(Matrix, Vec<f64>)],
+    lambda_global: f64,
+    lambda_group: f64,
+) -> Result<HierarchicalFit> {
+    if groups.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    let dim = groups
+        .iter()
+        .map(|(x, _)| x.cols())
+        .find(|&c| c > 0)
+        .ok_or(LinalgError::Empty)?;
+
+    // Level 2: pooled fit. Accumulate gram/rhs directly instead of
+    // materialising a concatenated design matrix.
+    let mut gram = Matrix::zeros(dim, dim);
+    let mut rhs = vec![0.0; dim];
+    let mut total_rows = 0usize;
+    for (x, y) in groups {
+        if x.rows() == 0 {
+            continue;
+        }
+        if x.cols() != dim {
+            return Err(LinalgError::DimensionMismatch {
+                op: "hierarchical_fit",
+                lhs: (x.rows(), x.cols()),
+                rhs: (x.rows(), dim),
+            });
+        }
+        if x.rows() != y.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "hierarchical_fit group",
+                lhs: (x.rows(), x.cols()),
+                rhs: (y.len(), 1),
+            });
+        }
+        let g = x.gram();
+        for i in 0..dim {
+            for j in 0..dim {
+                gram[(i, j)] += g[(i, j)];
+            }
+        }
+        let r = x.tr_matvec(y)?;
+        for (a, b) in rhs.iter_mut().zip(&r) {
+            *a += b;
+        }
+        total_rows += x.rows();
+    }
+    if total_rows == 0 {
+        return Err(LinalgError::Empty);
+    }
+    gram.add_diag(lambda_global.max(1e-12));
+    let global = Cholesky::factor(&gram)?.solve(&rhs)?;
+
+    // Level 1: shrink each group towards the global coefficients.
+    let mut per_group = Vec::with_capacity(groups.len());
+    for (x, y) in groups {
+        if x.rows() == 0 {
+            per_group.push(global.clone());
+        } else {
+            per_group.push(shrunk_fit(x, y, lambda_group, Some(&global))?);
+        }
+    }
+    Ok(HierarchicalFit { global, per_group })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn ridge_recovers_exact_solution_with_tiny_lambda() {
+        let x = design(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let y = [3.0, -1.0, 2.0];
+        let b = ridge_fit(&x, &y, 1e-10).unwrap();
+        assert!((b[0] - 3.0).abs() < 1e-5);
+        assert!((b[1] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero_as_lambda_grows() {
+        let x = design(&[&[1.0], &[1.0], &[1.0]]);
+        let y = [2.0, 2.0, 2.0];
+        let small = ridge_fit(&x, &y, 0.01).unwrap()[0];
+        let large = ridge_fit(&x, &y, 100.0).unwrap()[0];
+        assert!(small > large);
+        assert!(large > 0.0 && large < 0.2);
+    }
+
+    #[test]
+    fn shrunk_fit_converges_to_prior_for_huge_lambda() {
+        let x = design(&[&[1.0], &[1.0]]);
+        let y = [0.0, 0.0];
+        let b = shrunk_fit(&x, &y, 1e9, Some(&[5.0])).unwrap();
+        assert!((b[0] - 5.0).abs() < 1e-3, "{b:?}");
+    }
+
+    #[test]
+    fn shrunk_fit_rejects_bad_prior_len() {
+        let x = design(&[&[1.0, 2.0]]);
+        assert!(shrunk_fit(&x, &[1.0], 1.0, Some(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn ridge_rejects_mismatched_response() {
+        let x = design(&[&[1.0], &[2.0]]);
+        assert!(ridge_fit(&x, &[1.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn hierarchical_borrows_strength_for_thin_groups() {
+        // Group 0 has lots of data with slope 2; group 1 has one noisy
+        // point that alone would give slope 10. With shrinkage, group 1's
+        // slope must land between 2 and 10, much closer to the pool.
+        let g0 = (
+            design(&[&[1.0], &[2.0], &[3.0], &[4.0]]),
+            vec![2.0, 4.0, 6.0, 8.0],
+        );
+        let g1 = (design(&[&[1.0]]), vec![10.0]);
+        let fit = hierarchical_fit(&[g0, g1], 1e-6, 1.0).unwrap();
+        assert!((fit.global[0] - 2.0).abs() < 0.5, "{:?}", fit.global);
+        let b1 = fit.per_group[1][0];
+        assert!(b1 > fit.global[0] && b1 < 10.0, "b1 = {b1}");
+        assert!(b1 < 7.0, "shrinkage too weak: {b1}");
+    }
+
+    #[test]
+    fn hierarchical_empty_group_gets_global() {
+        let g0 = (design(&[&[1.0], &[2.0]]), vec![3.0, 6.0]);
+        let g1 = (Matrix::zeros(0, 1), vec![]);
+        let fit = hierarchical_fit(&[g0, g1], 1e-6, 1.0).unwrap();
+        assert_eq!(fit.per_group[1], fit.global);
+    }
+
+    #[test]
+    fn hierarchical_rejects_all_empty() {
+        let groups = vec![(Matrix::zeros(0, 2), vec![])];
+        assert!(hierarchical_fit(&groups, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn hierarchical_rejects_dim_mismatch_between_groups() {
+        let g0 = (design(&[&[1.0, 2.0]]), vec![1.0]);
+        let g1 = (design(&[&[1.0]]), vec![1.0]);
+        assert!(hierarchical_fit(&[g0, g1], 1.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the linear-algebra substrate.
+
+use linalg::ridge::{ridge_fit, shrunk_fit};
+use linalg::{Cholesky, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a random matrix with entries in [-10, 10].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+}
+
+/// Strategy: a random SPD matrix A = BᵀB + I.
+fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix(n + 2, n).prop_map(move |b| {
+        let mut a = b.gram();
+        a.add_diag(1.0);
+        a
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in matrix(4, 6)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diag(m in matrix(5, 4)) {
+        let g = m.gram();
+        for i in 0..4 {
+            prop_assert!(g[(i, i)] >= -1e-12, "diagonal of a Gram matrix is nonnegative");
+            for j in 0..4 {
+                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_associates_with_vectors(m in matrix(4, 4), v in prop::collection::vec(-5.0f64..5.0, 4)) {
+        // (M * M) * v == M * (M * v)
+        let left = m.matmul(&m).unwrap().matvec(&v).unwrap();
+        let right = m.matvec(&m.matvec(&v).unwrap()).unwrap();
+        for (a, b) in left.iter().zip(&right) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_solution(a in spd(5), x in prop::collection::vec(-5.0f64..5.0, 5)) {
+        let b = a.matvec(&x).unwrap();
+        let ch = Cholesky::factor(&a).unwrap();
+        let got = ch.solve(&b).unwrap();
+        for (g, want) in got.iter().zip(&x) {
+            prop_assert!((g - want).abs() < 1e-6, "{g} vs {want}");
+        }
+    }
+
+    #[test]
+    fn cholesky_factor_reconstructs(a in spd(4)) {
+        let ch = Cholesky::factor(&a).unwrap();
+        let l = ch.factor_matrix();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        prop_assert!(rec.max_abs_diff(&a).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn ridge_norm_shrinks_with_lambda(x in matrix(8, 3), y in prop::collection::vec(-5.0f64..5.0, 8)) {
+        let small = ridge_fit(&x, &y, 0.01).unwrap();
+        let large = ridge_fit(&x, &y, 100.0).unwrap();
+        let n2 = |v: &[f64]| v.iter().map(|a| a * a).sum::<f64>();
+        prop_assert!(n2(&large) <= n2(&small) + 1e-9);
+    }
+
+    #[test]
+    fn huge_shrinkage_lands_on_prior(x in matrix(6, 2), y in prop::collection::vec(-5.0f64..5.0, 6), prior in prop::collection::vec(-3.0f64..3.0, 2)) {
+        let beta = shrunk_fit(&x, &y, 1e12, Some(&prior)).unwrap();
+        for (b, p) in beta.iter().zip(&prior) {
+            prop_assert!((b - p).abs() < 1e-3, "{b} vs {p}");
+        }
+    }
+
+    #[test]
+    fn ridge_residual_is_orthogonal_ish(x in matrix(10, 3), y in prop::collection::vec(-5.0f64..5.0, 10)) {
+        // Normal equations: Xᵀ(y - X beta) = lambda * beta.
+        let lambda = 0.5;
+        let beta = ridge_fit(&x, &y, lambda).unwrap();
+        let pred = x.matvec(&beta).unwrap();
+        let resid: Vec<f64> = y.iter().zip(&pred).map(|(a, b)| a - b).collect();
+        let xtr = x.tr_matvec(&resid).unwrap();
+        for (g, b) in xtr.iter().zip(&beta) {
+            prop_assert!((g - lambda * b).abs() < 1e-6, "{g} vs {}", lambda * b);
+        }
+    }
+
+    #[test]
+    fn stats_quantile_bounded_by_extremes(xs in prop::collection::vec(-100.0f64..100.0, 1..50), q in 0.0f64..1.0) {
+        let v = linalg::stats::quantile(&xs, q);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn trimmed_mean_bounded_by_extremes(xs in prop::collection::vec(-100.0f64..100.0, 1..50), trim in 0.0f64..0.49) {
+        let v = linalg::stats::trimmed_mean(&xs, trim);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+}

@@ -1,0 +1,163 @@
+//! Incremental construction of [`RoadGraph`]s.
+
+use crate::graph::{RoadGraph, RoadId, RoadMeta};
+use crate::{NetError, Result};
+
+/// Builds a [`RoadGraph`] by adding segments and adjacencies, then
+/// freezing into CSR with [`RoadGraphBuilder::build`].
+///
+/// Duplicate adjacencies are deduplicated at build time; self-loops are
+/// rejected eagerly.
+#[derive(Debug, Default, Clone)]
+pub struct RoadGraphBuilder {
+    meta: Vec<RoadMeta>,
+    edges: Vec<(RoadId, RoadId)>,
+}
+
+impl RoadGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder expecting roughly `roads` segments and `edges`
+    /// adjacencies.
+    pub fn with_capacity(roads: usize, edges: usize) -> Self {
+        RoadGraphBuilder {
+            meta: Vec::with_capacity(roads),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a road segment, returning its id.
+    pub fn add_road(&mut self, meta: RoadMeta) -> RoadId {
+        let id = RoadId(self.meta.len() as u32);
+        self.meta.push(meta);
+        id
+    }
+
+    /// Number of roads added so far.
+    pub fn num_roads(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Declares that roads `a` and `b` meet at an intersection.
+    pub fn add_adjacency(&mut self, a: RoadId, b: RoadId) -> Result<()> {
+        let n = self.meta.len() as u32;
+        if a.0 >= n {
+            return Err(NetError::InvalidRoad(a.0));
+        }
+        if b.0 >= n {
+            return Err(NetError::InvalidRoad(b.0));
+        }
+        if a == b {
+            return Err(NetError::SelfLoop(a.0));
+        }
+        self.edges.push(if a < b { (a, b) } else { (b, a) });
+        Ok(())
+    }
+
+    /// Freezes into an immutable CSR graph. Deduplicates parallel
+    /// adjacencies and sorts each neighbour list.
+    pub fn build(mut self) -> RoadGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.meta.len();
+        let mut degrees = vec![0u32; n];
+        for &(a, b) in &self.edges {
+            degrees[a.index()] += 1;
+            degrees[b.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        for d in &degrees {
+            let last = *offsets.last().expect("offsets non-empty");
+            offsets.push(last + d);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![RoadId(0); self.edges.len() * 2];
+        for &(a, b) in &self.edges {
+            targets[cursor[a.index()] as usize] = b;
+            cursor[a.index()] += 1;
+            targets[cursor[b.index()] as usize] = a;
+            cursor[b.index()] += 1;
+        }
+        // Sort each neighbour list so `are_adjacent` can binary search.
+        for i in 0..n {
+            targets[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
+        }
+        RoadGraph {
+            offsets,
+            targets,
+            meta: self.meta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = RoadGraphBuilder::new();
+        let r = b.add_road(RoadMeta::default());
+        assert_eq!(b.add_adjacency(r, r).unwrap_err(), NetError::SelfLoop(0));
+    }
+
+    #[test]
+    fn rejects_unknown_road() {
+        let mut b = RoadGraphBuilder::new();
+        let r = b.add_road(RoadMeta::default());
+        assert_eq!(
+            b.add_adjacency(r, RoadId(5)).unwrap_err(),
+            NetError::InvalidRoad(5)
+        );
+    }
+
+    #[test]
+    fn dedups_parallel_edges() {
+        let mut b = RoadGraphBuilder::new();
+        let r0 = b.add_road(RoadMeta::default());
+        let r1 = b.add_road(RoadMeta::default());
+        b.add_adjacency(r0, r1).unwrap();
+        b.add_adjacency(r1, r0).unwrap();
+        b.add_adjacency(r0, r1).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(r0), 1);
+        assert_eq!(g.degree(r1), 1);
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = RoadGraphBuilder::new().build();
+        assert_eq!(g.num_roads(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn isolated_roads_have_no_neighbors() {
+        let mut b = RoadGraphBuilder::new();
+        let r0 = b.add_road(RoadMeta::default());
+        let _ = b.add_road(RoadMeta::default());
+        let g = b.build();
+        assert!(g.neighbors(r0).is_empty());
+    }
+
+    #[test]
+    fn star_graph_degrees() {
+        let mut b = RoadGraphBuilder::new();
+        let hub = b.add_road(RoadMeta::default());
+        let spokes: Vec<_> = (0..5).map(|_| b.add_road(RoadMeta::default())).collect();
+        for &s in &spokes {
+            b.add_adjacency(hub, s).unwrap();
+        }
+        let g = b.build();
+        assert_eq!(g.degree(hub), 5);
+        for &s in &spokes {
+            assert_eq!(g.degree(s), 1);
+            assert_eq!(g.neighbors(s), &[hub]);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Synthetic city generators.
+//!
+//! The paper evaluates on two real city maps. Real map data is not
+//! available here, so these generators produce the two standard urban
+//! topologies — a **grid** ("port-city" style) and a **ring-radial**
+//! ("metro" style, Beijing-like) — whose segment-adjacency structure is
+//! what the correlation/seed algorithms actually consume. See
+//! `DESIGN.md` §1 for the substitution argument.
+
+use crate::builder::RoadGraphBuilder;
+use crate::graph::{RoadClass, RoadGraph, RoadId, RoadMeta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Parameters of the grid-city generator.
+#[derive(Debug, Clone)]
+pub struct GridParams {
+    /// Intersections along the x axis (>= 2).
+    pub width: usize,
+    /// Intersections along the y axis (>= 2).
+    pub height: usize,
+    /// Block edge length in metres.
+    pub block_m: f64,
+    /// Every `arterial_every`-th street is an arterial (0 disables).
+    pub arterial_every: usize,
+    /// Every `collector_every`-th street is a collector (0 disables).
+    pub collector_every: usize,
+    /// RNG seed for free-flow-speed jitter.
+    pub seed: u64,
+}
+
+impl Default for GridParams {
+    fn default() -> Self {
+        GridParams {
+            width: 10,
+            height: 10,
+            block_m: 250.0,
+            arterial_every: 5,
+            collector_every: 2,
+            seed: 7,
+        }
+    }
+}
+
+/// Parameters of the ring-radial (metro-style) generator.
+#[derive(Debug, Clone)]
+pub struct RingRadialParams {
+    /// Number of concentric rings (>= 1).
+    pub rings: usize,
+    /// Number of radial spokes (>= 3).
+    pub spokes: usize,
+    /// Radius increment per ring in metres.
+    pub ring_gap_m: f64,
+    /// Every `major_spoke_every`-th spoke is an arterial corridor.
+    pub major_spoke_every: usize,
+    /// RNG seed for free-flow-speed jitter.
+    pub seed: u64,
+}
+
+impl Default for RingRadialParams {
+    fn default() -> Self {
+        RingRadialParams {
+            rings: 5,
+            spokes: 12,
+            ring_gap_m: 800.0,
+            major_spoke_every: 3,
+            seed: 11,
+        }
+    }
+}
+
+fn class_speed(class: RoadClass, rng: &mut StdRng) -> f64 {
+    // ±10 % per-segment jitter around the class base speed.
+    class.base_speed_kmh() * rng.gen_range(0.9..1.1)
+}
+
+/// Connects every pair of segments that meet at a shared intersection.
+fn connect_by_intersection(
+    builder: &mut RoadGraphBuilder,
+    intersections: &HashMap<(i64, i64), Vec<RoadId>>,
+) {
+    for roads in intersections.values() {
+        for (i, &a) in roads.iter().enumerate() {
+            for &b in &roads[i + 1..] {
+                builder
+                    .add_adjacency(a, b)
+                    .expect("generator produced invalid adjacency");
+            }
+        }
+    }
+}
+
+/// Generates a rectangular grid city.
+///
+/// Segments are the unit street pieces between adjacent intersections.
+/// The outer boundary is a highway ring; interior streets whose row or
+/// column index is a multiple of `arterial_every` are arterials, of
+/// `collector_every` collectors, and locals otherwise.
+pub fn grid_city(p: &GridParams) -> RoadGraph {
+    assert!(p.width >= 2 && p.height >= 2, "grid needs >= 2x2 intersections");
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut b = RoadGraphBuilder::with_capacity(
+        2 * p.width * p.height,
+        8 * p.width * p.height,
+    );
+    let mut at: HashMap<(i64, i64), Vec<RoadId>> = HashMap::new();
+
+    let street_class = |idx: usize, last: usize| -> RoadClass {
+        if idx == 0 || idx == last {
+            RoadClass::Highway
+        } else if p.arterial_every != 0 && idx % p.arterial_every == 0 {
+            RoadClass::Arterial
+        } else if p.collector_every != 0 && idx % p.collector_every == 0 {
+            RoadClass::Collector
+        } else {
+            RoadClass::Local
+        }
+    };
+
+    // Horizontal segments run along rows y = const.
+    for y in 0..p.height {
+        let class = street_class(y, p.height - 1);
+        for x in 0..p.width - 1 {
+            let meta = RoadMeta {
+                class,
+                length_m: p.block_m,
+                free_flow_kmh: class_speed(class, &mut rng),
+                position: ((x as f64 + 0.5) * p.block_m, y as f64 * p.block_m),
+            };
+            let id = b.add_road(meta);
+            at.entry((x as i64, y as i64)).or_default().push(id);
+            at.entry((x as i64 + 1, y as i64)).or_default().push(id);
+        }
+    }
+    // Vertical segments run along columns x = const.
+    for x in 0..p.width {
+        let class = street_class(x, p.width - 1);
+        for y in 0..p.height - 1 {
+            let meta = RoadMeta {
+                class,
+                length_m: p.block_m,
+                free_flow_kmh: class_speed(class, &mut rng),
+                position: (x as f64 * p.block_m, (y as f64 + 0.5) * p.block_m),
+            };
+            let id = b.add_road(meta);
+            at.entry((x as i64, y as i64)).or_default().push(id);
+            at.entry((x as i64, y as i64 + 1)).or_default().push(id);
+        }
+    }
+
+    connect_by_intersection(&mut b, &at);
+    b.build()
+}
+
+/// Generates a ring-radial metro city: `rings` concentric ring roads
+/// crossed by `spokes` radial corridors, all meeting at a centre point.
+///
+/// The outermost ring is a highway (ring expressway); inner rings are
+/// arterials; radial segments are collectors, upgraded to arterials on
+/// every `major_spoke_every`-th spoke; the innermost radial stubs are
+/// locals.
+pub fn ring_radial_city(p: &RingRadialParams) -> RoadGraph {
+    assert!(p.rings >= 1 && p.spokes >= 3, "need >= 1 ring and >= 3 spokes");
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut b = RoadGraphBuilder::with_capacity(
+        2 * p.rings * p.spokes,
+        8 * p.rings * p.spokes,
+    );
+    let mut at: HashMap<(i64, i64), Vec<RoadId>> = HashMap::new();
+
+    // Intersection key: (ring, spoke); the centre is (0, 0) shared by all
+    // first radial segments.
+    let key = |ring: usize, spoke: usize| -> (i64, i64) {
+        if ring == 0 {
+            (0, 0)
+        } else {
+            (ring as i64, spoke as i64)
+        }
+    };
+    let pos = |ring: usize, spoke: usize| -> (f64, f64) {
+        let r = ring as f64 * p.ring_gap_m;
+        let theta = spoke as f64 / p.spokes as f64 * std::f64::consts::TAU;
+        (r * theta.cos(), r * theta.sin())
+    };
+    let midpoint = |a: (f64, f64), c: (f64, f64)| ((a.0 + c.0) / 2.0, (a.1 + c.1) / 2.0);
+
+    // Ring segments.
+    for ring in 1..=p.rings {
+        let class = if ring == p.rings {
+            RoadClass::Highway
+        } else {
+            RoadClass::Arterial
+        };
+        let radius = ring as f64 * p.ring_gap_m;
+        let arc = std::f64::consts::TAU * radius / p.spokes as f64;
+        for spoke in 0..p.spokes {
+            let next = (spoke + 1) % p.spokes;
+            let meta = RoadMeta {
+                class,
+                length_m: arc,
+                free_flow_kmh: class_speed(class, &mut rng),
+                position: midpoint(pos(ring, spoke), pos(ring, next)),
+            };
+            let id = b.add_road(meta);
+            at.entry(key(ring, spoke)).or_default().push(id);
+            at.entry(key(ring, next)).or_default().push(id);
+        }
+    }
+    // Radial segments (ring -> ring+1 along each spoke, starting at the
+    // centre).
+    for spoke in 0..p.spokes {
+        let major = p.major_spoke_every != 0 && spoke % p.major_spoke_every == 0;
+        for ring in 0..p.rings {
+            let class = if ring == 0 {
+                RoadClass::Local
+            } else if major {
+                RoadClass::Arterial
+            } else {
+                RoadClass::Collector
+            };
+            let meta = RoadMeta {
+                class,
+                length_m: p.ring_gap_m,
+                free_flow_kmh: class_speed(class, &mut rng),
+                position: midpoint(pos(ring, spoke), pos(ring + 1, spoke)),
+            };
+            let id = b.add_road(meta);
+            at.entry(key(ring, spoke)).or_default().push(id);
+            at.entry(key(ring + 1, spoke)).or_default().push(id);
+        }
+    }
+
+    connect_by_intersection(&mut b, &at);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_segment_count() {
+        // w x h intersections: h rows of (w-1) horizontals + w cols of
+        // (h-1) verticals.
+        let g = grid_city(&GridParams {
+            width: 4,
+            height: 3,
+            ..GridParams::default()
+        });
+        assert_eq!(g.num_roads(), 3 * 3 + 4 * 2);
+    }
+
+    #[test]
+    fn grid_is_connected() {
+        let g = grid_city(&GridParams {
+            width: 6,
+            height: 5,
+            ..GridParams::default()
+        });
+        let comps = crate::path::connected_components(&g);
+        assert_eq!(comps.iter().copied().max().unwrap() + 1, 1);
+    }
+
+    #[test]
+    fn grid_has_highway_boundary() {
+        let g = grid_city(&GridParams::default());
+        let counts = g.class_counts();
+        assert!(counts[RoadClass::Highway.group()] > 0);
+        assert!(counts[RoadClass::Local.group()] > 0);
+    }
+
+    #[test]
+    fn grid_deterministic_for_same_seed() {
+        let p = GridParams::default();
+        assert_eq!(grid_city(&p), grid_city(&p));
+    }
+
+    #[test]
+    fn grid_seed_changes_speeds_only() {
+        let a = grid_city(&GridParams::default());
+        let b = grid_city(&GridParams {
+            seed: 99,
+            ..GridParams::default()
+        });
+        assert_eq!(a.num_roads(), b.num_roads());
+        assert_eq!(a.num_edges(), b.num_edges());
+        let differs = a
+            .road_ids()
+            .any(|r| a.meta(r).free_flow_kmh != b.meta(r).free_flow_kmh);
+        assert!(differs);
+    }
+
+    #[test]
+    fn ring_radial_segment_count() {
+        let p = RingRadialParams {
+            rings: 3,
+            spokes: 8,
+            ..RingRadialParams::default()
+        };
+        let g = ring_radial_city(&p);
+        // rings * spokes ring segments + spokes * rings radial segments.
+        assert_eq!(g.num_roads(), 3 * 8 + 8 * 3);
+    }
+
+    #[test]
+    fn ring_radial_is_connected() {
+        let g = ring_radial_city(&RingRadialParams::default());
+        let comps = crate::path::connected_components(&g);
+        assert_eq!(comps.iter().copied().max().unwrap() + 1, 1);
+    }
+
+    #[test]
+    fn ring_radial_outer_ring_is_highway() {
+        let p = RingRadialParams {
+            rings: 2,
+            spokes: 6,
+            ..RingRadialParams::default()
+        };
+        let g = ring_radial_city(&p);
+        let highways = g
+            .road_ids()
+            .filter(|&r| g.meta(r).class == RoadClass::Highway)
+            .count();
+        assert_eq!(highways, 6); // outer ring only
+    }
+
+    #[test]
+    fn free_flow_jitter_within_ten_percent() {
+        let g = grid_city(&GridParams::default());
+        for r in g.road_ids() {
+            let m = g.meta(r);
+            let base = m.class.base_speed_kmh();
+            assert!(m.free_flow_kmh >= base * 0.9 && m.free_flow_kmh <= base * 1.1);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Immutable CSR road graph and per-segment metadata.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a road segment; dense in `0..num_roads`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RoadId(pub u32);
+
+impl RoadId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for RoadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Functional class of a road segment. Classes double as the *groups* of
+/// the hierarchical linear model: segments of the same class share a
+/// level-2 coefficient prior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoadClass {
+    /// Grade-separated, high free-flow speed (ring roads, expressways).
+    Highway,
+    /// Major urban through-roads.
+    Arterial,
+    /// Distributor roads between arterials and locals.
+    Collector,
+    /// Neighbourhood streets.
+    Local,
+}
+
+impl RoadClass {
+    /// All classes, in descending free-flow speed order.
+    pub const ALL: [RoadClass; 4] = [
+        RoadClass::Highway,
+        RoadClass::Arterial,
+        RoadClass::Collector,
+        RoadClass::Local,
+    ];
+
+    /// Dense index of the class, used as the HLM group id.
+    #[inline]
+    pub fn group(self) -> usize {
+        match self {
+            RoadClass::Highway => 0,
+            RoadClass::Arterial => 1,
+            RoadClass::Collector => 2,
+            RoadClass::Local => 3,
+        }
+    }
+
+    /// Typical free-flow speed in km/h for the class.
+    pub fn base_speed_kmh(self) -> f64 {
+        match self {
+            RoadClass::Highway => 90.0,
+            RoadClass::Arterial => 60.0,
+            RoadClass::Collector => 45.0,
+            RoadClass::Local => 30.0,
+        }
+    }
+}
+
+impl std::fmt::Display for RoadClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RoadClass::Highway => "highway",
+            RoadClass::Arterial => "arterial",
+            RoadClass::Collector => "collector",
+            RoadClass::Local => "local",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static metadata of one road segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoadMeta {
+    /// Functional class.
+    pub class: RoadClass,
+    /// Segment length in metres.
+    pub length_m: f64,
+    /// Free-flow speed in km/h (class base speed with per-segment jitter).
+    pub free_flow_kmh: f64,
+    /// Midpoint position in metres, for spatial baselines and plotting.
+    pub position: (f64, f64),
+}
+
+impl Default for RoadMeta {
+    fn default() -> Self {
+        RoadMeta {
+            class: RoadClass::Local,
+            length_m: 200.0,
+            free_flow_kmh: RoadClass::Local.base_speed_kmh(),
+            position: (0.0, 0.0),
+        }
+    }
+}
+
+/// An immutable road-segment graph in compressed-sparse-row form.
+///
+/// Adjacency is undirected and stored symmetrically: if `b ∈ neighbors(a)`
+/// then `a ∈ neighbors(b)`. Construct via
+/// [`RoadGraphBuilder`](crate::builder::RoadGraphBuilder).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoadGraph {
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) targets: Vec<RoadId>,
+    pub(crate) meta: Vec<RoadMeta>,
+}
+
+impl RoadGraph {
+    /// Number of road segments.
+    #[inline]
+    pub fn num_roads(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Number of undirected adjacency edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Iterator over all road ids.
+    pub fn road_ids(&self) -> impl Iterator<Item = RoadId> + '_ {
+        (0..self.num_roads() as u32).map(RoadId)
+    }
+
+    /// Neighbours of `r` (sorted by id).
+    #[inline]
+    pub fn neighbors(&self, r: RoadId) -> &[RoadId] {
+        let i = r.index();
+        debug_assert!(i < self.num_roads());
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Degree of `r`.
+    #[inline]
+    pub fn degree(&self, r: RoadId) -> usize {
+        self.neighbors(r).len()
+    }
+
+    /// Metadata of `r`.
+    #[inline]
+    pub fn meta(&self, r: RoadId) -> &RoadMeta {
+        &self.meta[r.index()]
+    }
+
+    /// All metadata, indexed by road id.
+    #[inline]
+    pub fn all_meta(&self) -> &[RoadMeta] {
+        &self.meta
+    }
+
+    /// Euclidean distance between the midpoints of two segments (metres).
+    pub fn distance(&self, a: RoadId, b: RoadId) -> f64 {
+        let pa = self.meta(a).position;
+        let pb = self.meta(b).position;
+        ((pa.0 - pb.0).powi(2) + (pa.1 - pb.1).powi(2)).sqrt()
+    }
+
+    /// True when `a` and `b` are adjacent. Binary search over the sorted
+    /// neighbour list.
+    pub fn are_adjacent(&self, a: RoadId, b: RoadId) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Count of roads per class, indexed by [`RoadClass::group`].
+    pub fn class_counts(&self) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for m in &self.meta {
+            counts[m.class.group()] += 1;
+        }
+        counts
+    }
+
+    /// Average degree across all segments.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_roads() == 0 {
+            return 0.0;
+        }
+        self.targets.len() as f64 / self.num_roads() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::RoadGraphBuilder;
+
+    fn triangle() -> RoadGraph {
+        let mut b = RoadGraphBuilder::new();
+        let r0 = b.add_road(RoadMeta::default());
+        let r1 = b.add_road(RoadMeta::default());
+        let r2 = b.add_road(RoadMeta::default());
+        b.add_adjacency(r0, r1).unwrap();
+        b.add_adjacency(r1, r2).unwrap();
+        b.add_adjacency(r2, r0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn triangle_counts() {
+        let g = triangle();
+        assert_eq!(g.num_roads(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.avg_degree(), 2.0);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_symmetric() {
+        let g = triangle();
+        for r in g.road_ids() {
+            let ns = g.neighbors(r);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            for &n in ns {
+                assert!(g.are_adjacent(n, r));
+            }
+        }
+    }
+
+    #[test]
+    fn are_adjacent_negative() {
+        let mut b = RoadGraphBuilder::new();
+        let r0 = b.add_road(RoadMeta::default());
+        let r1 = b.add_road(RoadMeta::default());
+        let _r2 = b.add_road(RoadMeta::default());
+        b.add_adjacency(r0, r1).unwrap();
+        let g = b.build();
+        assert!(!g.are_adjacent(r0, RoadId(2)));
+    }
+
+    #[test]
+    fn class_group_roundtrip() {
+        for c in RoadClass::ALL {
+            assert_eq!(RoadClass::ALL[c.group()], c);
+        }
+    }
+
+    #[test]
+    fn distance_euclidean() {
+        let mut b = RoadGraphBuilder::new();
+        let r0 = b.add_road(RoadMeta {
+            position: (0.0, 0.0),
+            ..RoadMeta::default()
+        });
+        let r1 = b.add_road(RoadMeta {
+            position: (3.0, 4.0),
+            ..RoadMeta::default()
+        });
+        let g = b.build();
+        assert!((g.distance(r0, r1) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RoadId(7).to_string(), "r7");
+        assert_eq!(RoadClass::Arterial.to_string(), "arterial");
+    }
+}

@@ -1,0 +1,186 @@
+//! Plain-text serialisation of road graphs.
+//!
+//! Format (line-oriented, whitespace-separated):
+//!
+//! ```text
+//! roadnet v1
+//! roads <n>
+//! <id> <class> <length_m> <free_flow_kmh> <x> <y>     # n lines
+//! edges <m>
+//! <a> <b>                                             # m lines, a < b
+//! ```
+//!
+//! The format is meant for fixtures, debugging and dataset snapshots;
+//! it round-trips exactly for finite inputs printed at full precision.
+
+use crate::builder::RoadGraphBuilder;
+use crate::graph::{RoadClass, RoadGraph, RoadId, RoadMeta};
+use crate::{NetError, Result};
+use std::fmt::Write as _;
+
+fn class_token(c: RoadClass) -> &'static str {
+    match c {
+        RoadClass::Highway => "H",
+        RoadClass::Arterial => "A",
+        RoadClass::Collector => "C",
+        RoadClass::Local => "L",
+    }
+}
+
+fn parse_class(tok: &str) -> Result<RoadClass> {
+    match tok {
+        "H" => Ok(RoadClass::Highway),
+        "A" => Ok(RoadClass::Arterial),
+        "C" => Ok(RoadClass::Collector),
+        "L" => Ok(RoadClass::Local),
+        other => Err(NetError::Parse(format!("unknown road class {other:?}"))),
+    }
+}
+
+/// Serialises a graph to the text format.
+pub fn write_text(g: &RoadGraph) -> String {
+    let mut s = String::new();
+    s.push_str("roadnet v1\n");
+    let _ = writeln!(s, "roads {}", g.num_roads());
+    for r in g.road_ids() {
+        let m = g.meta(r);
+        let _ = writeln!(
+            s,
+            "{} {} {} {} {} {}",
+            r.0,
+            class_token(m.class),
+            m.length_m,
+            m.free_flow_kmh,
+            m.position.0,
+            m.position.1
+        );
+    }
+    let _ = writeln!(s, "edges {}", g.num_edges());
+    for a in g.road_ids() {
+        for &b in g.neighbors(a) {
+            if a < b {
+                let _ = writeln!(s, "{} {}", a.0, b.0);
+            }
+        }
+    }
+    s
+}
+
+fn parse_err(msg: impl Into<String>) -> NetError {
+    NetError::Parse(msg.into())
+}
+
+fn parse_num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T> {
+    tok.ok_or_else(|| parse_err(format!("missing {what}")))?
+        .parse::<T>()
+        .map_err(|_| parse_err(format!("bad {what}")))
+}
+
+/// Parses a graph from the text format produced by [`write_text`].
+pub fn read_text(input: &str) -> Result<RoadGraph> {
+    let mut lines = input.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| parse_err("empty input"))?;
+    if header.trim() != "roadnet v1" {
+        return Err(parse_err(format!("bad header {header:?}")));
+    }
+
+    let roads_line = lines.next().ok_or_else(|| parse_err("missing roads line"))?;
+    let mut toks = roads_line.split_whitespace();
+    if toks.next() != Some("roads") {
+        return Err(parse_err("expected `roads <n>`"));
+    }
+    let n: usize = parse_num(toks.next(), "road count")?;
+
+    let mut builder = RoadGraphBuilder::with_capacity(n, n * 3);
+    for i in 0..n {
+        let line = lines
+            .next()
+            .ok_or_else(|| parse_err(format!("missing road line {i}")))?;
+        let mut t = line.split_whitespace();
+        let id: u32 = parse_num(t.next(), "road id")?;
+        if id as usize != i {
+            return Err(parse_err(format!("road ids must be dense; got {id} at {i}")));
+        }
+        let class = parse_class(t.next().ok_or_else(|| parse_err("missing class"))?)?;
+        let length_m: f64 = parse_num(t.next(), "length")?;
+        let free_flow_kmh: f64 = parse_num(t.next(), "free-flow speed")?;
+        let x: f64 = parse_num(t.next(), "x")?;
+        let y: f64 = parse_num(t.next(), "y")?;
+        builder.add_road(RoadMeta {
+            class,
+            length_m,
+            free_flow_kmh,
+            position: (x, y),
+        });
+    }
+
+    let edges_line = lines.next().ok_or_else(|| parse_err("missing edges line"))?;
+    let mut toks = edges_line.split_whitespace();
+    if toks.next() != Some("edges") {
+        return Err(parse_err("expected `edges <m>`"));
+    }
+    let m: usize = parse_num(toks.next(), "edge count")?;
+    for i in 0..m {
+        let line = lines
+            .next()
+            .ok_or_else(|| parse_err(format!("missing edge line {i}")))?;
+        let mut t = line.split_whitespace();
+        let a: u32 = parse_num(t.next(), "edge endpoint")?;
+        let b: u32 = parse_num(t.next(), "edge endpoint")?;
+        builder.add_adjacency(RoadId(a), RoadId(b))?;
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{grid_city, GridParams};
+
+    #[test]
+    fn roundtrip_grid() {
+        let g = grid_city(&GridParams {
+            width: 4,
+            height: 4,
+            ..GridParams::default()
+        });
+        let text = write_text(&g);
+        let g2 = read_text(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(read_text("nope"), Err(NetError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_roads() {
+        let input = "roadnet v1\nroads 2\n0 L 100 30 0 0\n";
+        assert!(read_text(input).is_err());
+    }
+
+    #[test]
+    fn rejects_non_dense_ids() {
+        let input = "roadnet v1\nroads 1\n5 L 100 30 0 0\nedges 0\n";
+        assert!(read_text(input).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_class() {
+        let input = "roadnet v1\nroads 1\n0 X 100 30 0 0\nedges 0\n";
+        assert!(matches!(read_text(input), Err(NetError::Parse(msg)) if msg.contains("class")));
+    }
+
+    #[test]
+    fn rejects_edge_to_missing_road() {
+        let input = "roadnet v1\nroads 1\n0 L 100 30 0 0\nedges 1\n0 9\n";
+        assert_eq!(read_text(input).unwrap_err(), NetError::InvalidRoad(9));
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = RoadGraphBuilder::new().build();
+        assert_eq!(read_text(&write_text(&g)).unwrap(), g);
+    }
+}

@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+
+//! Urban road-network substrate for the `crowdspeed` workspace.
+//!
+//! The paper's algorithms operate on *road segments*: the entities whose
+//! speeds are estimated are segments, and two segments interact when they
+//! meet at an intersection. This crate therefore models the network as a
+//! graph whose **nodes are road segments** and whose undirected edges are
+//! segment adjacencies (the line-graph view of the street map), stored in
+//! compressed-sparse-row form for cache-friendly traversal.
+//!
+//! Provided here:
+//! * [`graph::RoadGraph`] — immutable CSR road graph with per-segment
+//!   metadata (class, length, free-flow speed, position);
+//! * [`builder::RoadGraphBuilder`] — incremental construction;
+//! * [`generate`] — synthetic city generators (grid and ring-radial),
+//!   standing in for the paper's two real city maps (see `DESIGN.md` §1);
+//! * [`path`] — BFS hop distances and Dijkstra used by the seed-selection
+//!   influence computation;
+//! * [`io`] — plain-text serialisation for datasets and debugging.
+//!
+//! # Example
+//!
+//! ```
+//! use roadnet::generate::{grid_city, GridParams};
+//!
+//! let g = grid_city(&GridParams { width: 4, height: 3, ..GridParams::default() });
+//! assert!(g.num_roads() > 0);
+//! // Every adjacency is symmetric.
+//! for r in g.road_ids() {
+//!     for &n in g.neighbors(r) {
+//!         assert!(g.neighbors(n).contains(&r));
+//!     }
+//! }
+//! ```
+
+pub mod builder;
+pub mod generate;
+pub mod graph;
+pub mod io;
+pub mod path;
+
+pub use builder::RoadGraphBuilder;
+pub use graph::{RoadClass, RoadGraph, RoadId, RoadMeta};
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A road id is out of range for the graph.
+    InvalidRoad(u32),
+    /// A self-loop adjacency was requested.
+    SelfLoop(u32),
+    /// Parse failure while reading a serialised graph.
+    Parse(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::InvalidRoad(r) => write!(f, "invalid road id {r}"),
+            NetError::SelfLoop(r) => write!(f, "self-loop on road {r}"),
+            NetError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, NetError>;

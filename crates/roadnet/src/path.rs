@@ -1,0 +1,241 @@
+//! Graph traversal: BFS hop distances, k-hop neighbourhoods, connected
+//! components, and Dijkstra over arbitrary edge weights.
+//!
+//! Seed selection needs (a) the k-hop neighbourhood of a candidate seed
+//! and (b) best-path influence products, which reduce to Dijkstra over
+//! `-ln(weight)`; both live here so other crates can reuse them.
+
+use crate::graph::{RoadGraph, RoadId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// BFS hop distance from `source` to every road, `u32::MAX` when
+/// unreachable. `max_hops` bounds the frontier (use `u32::MAX` for
+/// unbounded).
+pub fn bfs_hops(g: &RoadGraph, source: RoadId, max_hops: u32) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.num_roads()];
+    if g.num_roads() == 0 {
+        return dist;
+    }
+    let mut queue = std::collections::VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if du >= max_hops {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if dist[v.index()] == u32::MAX {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Roads within `k` hops of `source` (excluding `source` itself), paired
+/// with their hop distance, in BFS order.
+pub fn k_hop_neighborhood(g: &RoadGraph, source: RoadId, k: u32) -> Vec<(RoadId, u32)> {
+    let dist = bfs_hops(g, source, k);
+    let mut out: Vec<(RoadId, u32)> = g
+        .road_ids()
+        .filter(|r| *r != source)
+        .filter_map(|r| {
+            let d = dist[r.index()];
+            (d != u32::MAX && d <= k).then_some((r, d))
+        })
+        .collect();
+    out.sort_by_key(|&(r, d)| (d, r));
+    out
+}
+
+/// Connected-component label per road (labels are dense, assigned in
+/// ascending road-id order of each component's first member).
+pub fn connected_components(g: &RoadGraph) -> Vec<usize> {
+    let n = g.num_roads();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut stack = Vec::new();
+    for r in g.road_ids() {
+        if comp[r.index()] != usize::MAX {
+            continue;
+        }
+        comp[r.index()] = next;
+        stack.push(r);
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if comp[v.index()] == usize::MAX {
+                    comp[v.index()] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: RoadId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by cost; costs are finite non-NaN by construction.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("NaN cost in Dijkstra heap")
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra from `source` with per-edge costs supplied by `edge_cost`
+/// (must be `>= 0` and finite; return `f64::INFINITY` to forbid an
+/// edge). Expansion stops beyond `max_cost`. Returns the distance array
+/// (`f64::INFINITY` when unreachable).
+pub fn dijkstra<F>(g: &RoadGraph, source: RoadId, max_cost: f64, mut edge_cost: F) -> Vec<f64>
+where
+    F: FnMut(RoadId, RoadId) -> f64,
+{
+    let mut dist = vec![f64::INFINITY; g.num_roads()];
+    if g.num_roads() == 0 {
+        return dist;
+    }
+    dist[source.index()] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > dist[node.index()] {
+            continue; // stale entry
+        }
+        for &v in g.neighbors(node) {
+            let w = edge_cost(node, v);
+            debug_assert!(w >= 0.0, "negative edge cost in Dijkstra");
+            let nd = cost + w;
+            if nd < dist[v.index()] && nd <= max_cost {
+                dist[v.index()] = nd;
+                heap.push(HeapEntry { cost: nd, node: v });
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::RoadGraphBuilder;
+    use crate::graph::RoadMeta;
+
+    /// Path graph r0 - r1 - r2 - r3.
+    fn path4() -> RoadGraph {
+        let mut b = RoadGraphBuilder::new();
+        let ids: Vec<_> = (0..4).map(|_| b.add_road(RoadMeta::default())).collect();
+        for w in ids.windows(2) {
+            b.add_adjacency(w[0], w[1]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_hops_on_path() {
+        let g = path4();
+        let d = bfs_hops(&g, RoadId(0), u32::MAX);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_respects_max_hops() {
+        let g = path4();
+        let d = bfs_hops(&g, RoadId(0), 1);
+        assert_eq!(d, vec![0, 1, u32::MAX, u32::MAX]);
+    }
+
+    #[test]
+    fn k_hop_neighborhood_excludes_source_and_orders() {
+        let g = path4();
+        let nb = k_hop_neighborhood(&g, RoadId(1), 2);
+        assert_eq!(
+            nb,
+            vec![(RoadId(0), 1), (RoadId(2), 1), (RoadId(3), 2)]
+        );
+    }
+
+    #[test]
+    fn components_two_islands() {
+        let mut b = RoadGraphBuilder::new();
+        let r0 = b.add_road(RoadMeta::default());
+        let r1 = b.add_road(RoadMeta::default());
+        let r2 = b.add_road(RoadMeta::default());
+        let r3 = b.add_road(RoadMeta::default());
+        b.add_adjacency(r0, r1).unwrap();
+        b.add_adjacency(r2, r3).unwrap();
+        let comps = connected_components(&b.build());
+        assert_eq!(comps, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn dijkstra_uniform_matches_bfs() {
+        let g = path4();
+        let d = dijkstra(&g, RoadId(0), f64::INFINITY, |_, _| 1.0);
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheaper_path() {
+        // Square r0-r1-r3, r0-r2-r3 where the r2 route is cheaper.
+        let mut b = RoadGraphBuilder::new();
+        let ids: Vec<_> = (0..4).map(|_| b.add_road(RoadMeta::default())).collect();
+        b.add_adjacency(ids[0], ids[1]).unwrap();
+        b.add_adjacency(ids[1], ids[3]).unwrap();
+        b.add_adjacency(ids[0], ids[2]).unwrap();
+        b.add_adjacency(ids[2], ids[3]).unwrap();
+        let g = b.build();
+        let d = dijkstra(&g, ids[0], f64::INFINITY, |a, bb| {
+            if a == ids[2] || bb == ids[2] {
+                0.1
+            } else {
+                1.0
+            }
+        });
+        assert!((d[3] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dijkstra_max_cost_cuts_frontier() {
+        let g = path4();
+        let d = dijkstra(&g, RoadId(0), 1.5, |_, _| 1.0);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], 1.0);
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn dijkstra_infinite_edge_blocks() {
+        let g = path4();
+        let d = dijkstra(&g, RoadId(0), f64::INFINITY, |a, b| {
+            if a == RoadId(1) && b == RoadId(2) || a == RoadId(2) && b == RoadId(1) {
+                f64::INFINITY
+            } else {
+                1.0
+            }
+        });
+        assert!(d[2].is_infinite() && d[3].is_infinite());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the road-network substrate.
+
+use proptest::prelude::*;
+use roadnet::generate::{grid_city, ring_radial_city, GridParams, RingRadialParams};
+use roadnet::{io, path, RoadGraphBuilder, RoadId, RoadMeta};
+
+/// Strategy: a random undirected graph as (n, edge list).
+fn random_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..80);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> roadnet::RoadGraph {
+    let mut b = RoadGraphBuilder::new();
+    for _ in 0..n {
+        b.add_road(RoadMeta::default());
+    }
+    for &(x, y) in edges {
+        if x != y {
+            b.add_adjacency(RoadId(x), RoadId(y)).unwrap();
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn adjacency_is_always_symmetric((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        for r in g.road_ids() {
+            for &nb in g.neighbors(r) {
+                prop_assert!(g.are_adjacent(nb, r));
+                prop_assert!(g.are_adjacent(r, nb));
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edges((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let degree_sum: usize = g.road_ids().map(|r| g.degree(r)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn neighbor_lists_sorted_and_deduped((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        for r in g.road_ids() {
+            let ns = g.neighbors(r);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn bfs_satisfies_triangle_inequality_on_edges((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let d = path::bfs_hops(&g, RoadId(0), u32::MAX);
+        for r in g.road_ids() {
+            if d[r.index()] == u32::MAX {
+                continue;
+            }
+            for &nb in g.neighbors(r) {
+                if d[nb.index()] != u32::MAX {
+                    let a = d[r.index()] as i64;
+                    let b = d[nb.index()] as i64;
+                    prop_assert!((a - b).abs() <= 1, "adjacent hops differ by more than 1");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_unit_costs_match_bfs((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let bfs = path::bfs_hops(&g, RoadId(0), u32::MAX);
+        let dij = path::dijkstra(&g, RoadId(0), f64::INFINITY, |_, _| 1.0);
+        for r in g.road_ids() {
+            match bfs[r.index()] {
+                u32::MAX => prop_assert!(dij[r.index()].is_infinite()),
+                h => prop_assert!((dij[r.index()] - h as f64).abs() < 1e-9),
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_and_respect_edges((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let comp = path::connected_components(&g);
+        prop_assert_eq!(comp.len(), g.num_roads());
+        for r in g.road_ids() {
+            for &nb in g.neighbors(r) {
+                prop_assert_eq!(comp[r.index()], comp[nb.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn io_roundtrip_any_graph((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let text = io::write_text(&g);
+        let back = io::read_text(&text).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn grid_generator_invariants(w in 2usize..12, h in 2usize..12, seed in 0u64..1000) {
+        let g = grid_city(&GridParams { width: w, height: h, seed, ..GridParams::default() });
+        prop_assert_eq!(g.num_roads(), h * (w - 1) + w * (h - 1));
+        // Connected.
+        let comp = path::connected_components(&g);
+        prop_assert!(comp.iter().all(|&c| c == 0));
+        // Physical speeds.
+        for r in g.road_ids() {
+            prop_assert!(g.meta(r).free_flow_kmh > 0.0);
+            prop_assert!(g.meta(r).length_m > 0.0);
+        }
+    }
+
+    #[test]
+    fn ring_radial_generator_invariants(rings in 1usize..8, spokes in 3usize..16, seed in 0u64..1000) {
+        let g = ring_radial_city(&RingRadialParams { rings, spokes, seed, ..RingRadialParams::default() });
+        prop_assert_eq!(g.num_roads(), 2 * rings * spokes);
+        let comp = path::connected_components(&g);
+        prop_assert!(comp.iter().all(|&c| c == 0));
+    }
+}

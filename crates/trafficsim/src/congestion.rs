@@ -1,0 +1,276 @@
+//! Diffusing congestion events.
+//!
+//! Each event has an epicentre road, a time window and a severity. Its
+//! effect spreads over the road graph with exponential hop decay and
+//! over time with a triangular ramp, so that roads *near* an event slow
+//! down *together* — the co-trending structure the paper's correlation
+//! graph captures.
+
+use rand::Rng;
+use roadnet::{path, RoadGraph, RoadId};
+use serde::{Deserialize, Serialize};
+
+/// One congestion event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CongestionEvent {
+    /// Road at the centre of the event.
+    pub epicenter: RoadId,
+    /// First affected slot (within one day).
+    pub start_slot: usize,
+    /// Number of affected slots.
+    pub duration_slots: usize,
+    /// Peak fractional slow-down at the epicentre, in `(0, 1)`.
+    pub severity: f64,
+    /// Hop radius of the spatial spread.
+    pub radius_hops: u32,
+    /// Multiplicative decay of the effect per hop, in `(0, 1)`.
+    pub hop_decay: f64,
+}
+
+/// Parameters governing event generation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CongestionParams {
+    /// Expected number of events per day per 100 roads.
+    pub events_per_day_per_100_roads: f64,
+    /// Severity range (uniform).
+    pub severity: (f64, f64),
+    /// Duration range in slots (uniform, inclusive).
+    pub duration_slots: (usize, usize),
+    /// Spatial radius in hops.
+    pub radius_hops: u32,
+    /// Per-hop decay of the effect.
+    pub hop_decay: f64,
+    /// Bias event start times towards rush hours (probability that an
+    /// event is re-sampled near a peak instead of uniformly).
+    pub rush_bias: f64,
+}
+
+impl Default for CongestionParams {
+    fn default() -> Self {
+        CongestionParams {
+            events_per_day_per_100_roads: 3.0,
+            severity: (0.25, 0.6),
+            duration_slots: (4, 16),
+            radius_hops: 4,
+            hop_decay: 0.6,
+            rush_bias: 0.5,
+        }
+    }
+}
+
+impl CongestionEvent {
+    /// Temporal intensity of the event at `slot` (0 outside the window,
+    /// triangular ramp up to 1 at the middle inside it).
+    pub fn temporal_intensity(&self, slot: usize) -> f64 {
+        if slot < self.start_slot || slot >= self.start_slot + self.duration_slots {
+            return 0.0;
+        }
+        let pos = (slot - self.start_slot) as f64 + 0.5;
+        let half = self.duration_slots as f64 / 2.0;
+        1.0 - (pos - half).abs() / half
+    }
+
+    /// Spatial intensity at a road `hops` away from the epicentre.
+    pub fn spatial_intensity(&self, hops: u32) -> f64 {
+        if hops > self.radius_hops {
+            0.0
+        } else {
+            self.hop_decay.powi(hops as i32)
+        }
+    }
+}
+
+/// Samples one day's worth of congestion events.
+pub fn sample_events<R: Rng>(
+    graph: &RoadGraph,
+    params: &CongestionParams,
+    slots_per_day: usize,
+    rush_slots: &[usize],
+    rng: &mut R,
+) -> Vec<CongestionEvent> {
+    let lambda = params.events_per_day_per_100_roads * graph.num_roads() as f64 / 100.0;
+    let count = crate::rng_ext::poisson(rng, lambda);
+    let max_dur = params.duration_slots.1.max(params.duration_slots.0).max(1);
+    (0..count)
+        .map(|_| {
+            let epicenter = RoadId(rng.gen_range(0..graph.num_roads() as u32));
+            let duration_slots =
+                rng.gen_range(params.duration_slots.0..=params.duration_slots.1.max(1)).max(1);
+            let start_slot = if !rush_slots.is_empty() && rng.gen_bool(params.rush_bias) {
+                // Centre near a rush slot, jittered by up to half the
+                // event duration.
+                let peak = rush_slots[rng.gen_range(0..rush_slots.len())];
+                let jitter = rng.gen_range(0..=max_dur / 2 + 1) as i64
+                    * if rng.gen_bool(0.5) { 1 } else { -1 };
+                (peak as i64 + jitter)
+                    .clamp(0, slots_per_day.saturating_sub(duration_slots) as i64)
+                    as usize
+            } else {
+                rng.gen_range(0..slots_per_day.saturating_sub(duration_slots).max(1))
+            };
+            CongestionEvent {
+                epicenter,
+                start_slot,
+                duration_slots,
+                severity: rng.gen_range(params.severity.0..params.severity.1),
+                radius_hops: params.radius_hops,
+                hop_decay: params.hop_decay,
+            }
+        })
+        .collect()
+}
+
+/// Applies a set of events to a day's speed-multiplier field.
+///
+/// `multipliers` is indexed `[slot * n_roads + road]` and is multiplied
+/// in place by `(1 − effect)` per event, floored at `floor` so speeds
+/// never collapse to zero.
+pub fn apply_events(
+    graph: &RoadGraph,
+    events: &[CongestionEvent],
+    slots_per_day: usize,
+    multipliers: &mut [f64],
+    floor: f64,
+) {
+    let n = graph.num_roads();
+    debug_assert_eq!(multipliers.len(), slots_per_day * n);
+    for ev in events {
+        let hops = path::bfs_hops(graph, ev.epicenter, ev.radius_hops);
+        let affected: Vec<(usize, f64)> = hops
+            .iter()
+            .enumerate()
+            .filter(|&(_, &h)| h != u32::MAX)
+            .map(|(r, &h)| (r, ev.spatial_intensity(h)))
+            .collect();
+        let end = (ev.start_slot + ev.duration_slots).min(slots_per_day);
+        for slot in ev.start_slot..end {
+            let ti = ev.temporal_intensity(slot);
+            if ti <= 0.0 {
+                continue;
+            }
+            let row = &mut multipliers[slot * n..(slot + 1) * n];
+            for &(r, si) in &affected {
+                let effect = ev.severity * si * ti;
+                row[r] = (row[r] * (1.0 - effect)).max(floor);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use roadnet::generate::{grid_city, GridParams};
+
+    fn small_grid() -> RoadGraph {
+        grid_city(&GridParams {
+            width: 5,
+            height: 5,
+            ..GridParams::default()
+        })
+    }
+
+    fn event(epicenter: u32) -> CongestionEvent {
+        CongestionEvent {
+            epicenter: RoadId(epicenter),
+            start_slot: 4,
+            duration_slots: 8,
+            severity: 0.5,
+            radius_hops: 2,
+            hop_decay: 0.5,
+        }
+    }
+
+    #[test]
+    fn temporal_intensity_shape() {
+        let ev = event(0);
+        assert_eq!(ev.temporal_intensity(3), 0.0);
+        assert_eq!(ev.temporal_intensity(12), 0.0);
+        let mid = ev.temporal_intensity(7).max(ev.temporal_intensity(8));
+        assert!(mid > 0.8);
+        assert!(ev.temporal_intensity(4) < mid);
+        assert!(ev.temporal_intensity(11) < mid);
+    }
+
+    #[test]
+    fn spatial_intensity_decays() {
+        let ev = event(0);
+        assert_eq!(ev.spatial_intensity(0), 1.0);
+        assert_eq!(ev.spatial_intensity(1), 0.5);
+        assert_eq!(ev.spatial_intensity(2), 0.25);
+        assert_eq!(ev.spatial_intensity(3), 0.0); // beyond radius
+    }
+
+    #[test]
+    fn apply_events_slows_epicenter_most() {
+        let g = small_grid();
+        let n = g.num_roads();
+        let slots = 24;
+        let mut mult = vec![1.0; slots * n];
+        let ev = event(0);
+        apply_events(&g, std::slice::from_ref(&ev), slots, &mut mult, 0.1);
+        let mid_slot = 7;
+        let epi = mult[mid_slot * n + ev.epicenter.index()];
+        assert!(epi < 0.7);
+        // One-hop neighbours slowed, but less.
+        for &nb in g.neighbors(ev.epicenter) {
+            let v = mult[mid_slot * n + nb.index()];
+            assert!(v < 1.0 && v > epi);
+        }
+        // Slots outside the window untouched.
+        assert_eq!(mult[ev.epicenter.index()], 1.0);
+    }
+
+    #[test]
+    fn apply_events_respects_floor() {
+        let g = small_grid();
+        let n = g.num_roads();
+        let slots = 24;
+        let mut mult = vec![1.0; slots * n];
+        let severe = CongestionEvent {
+            severity: 0.99,
+            ..event(0)
+        };
+        apply_events(
+            &g,
+            &vec![severe; 10], // stacked events
+            slots,
+            &mut mult,
+            0.15,
+        );
+        assert!(mult.iter().all(|&m| m >= 0.15));
+    }
+
+    #[test]
+    fn sample_events_scales_with_network_size() {
+        let g = small_grid();
+        let params = CongestionParams {
+            events_per_day_per_100_roads: 10.0,
+            ..CongestionParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut total = 0usize;
+        let trials = 200;
+        for _ in 0..trials {
+            total += sample_events(&g, &params, 96, &[33, 72], &mut rng).len();
+        }
+        let expected = 10.0 * g.num_roads() as f64 / 100.0;
+        let mean = total as f64 / trials as f64;
+        assert!((mean - expected).abs() < expected * 0.2, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn sampled_events_are_valid() {
+        let g = small_grid();
+        let params = CongestionParams::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        for ev in sample_events(&g, &params, 96, &[33, 72], &mut rng) {
+            assert!(ev.epicenter.index() < g.num_roads());
+            assert!(ev.start_slot + ev.duration_slots <= 96 + ev.duration_slots);
+            assert!(ev.severity > 0.0 && ev.severity < 1.0);
+            assert!(ev.duration_slots >= 1);
+        }
+    }
+}

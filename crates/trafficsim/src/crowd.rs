@@ -1,0 +1,185 @@
+//! Crowdsourced speed acquisition on seed roads.
+//!
+//! Once seed selection picks `K` roads, the paper obtains their *real*
+//! speeds from crowd workers. This module simulates that channel:
+//! several workers per seed road each report the true speed corrupted by
+//! observation noise; reports may fail to arrive; the platform
+//! aggregates what it receives with a trimmed mean (robust against a
+//! sloppy reporter).
+
+use crate::rng_ext;
+use crate::simulate::SpeedField;
+use linalg::stats;
+use rand::Rng;
+use roadnet::RoadId;
+use serde::{Deserialize, Serialize};
+
+/// Crowdsourcing channel characteristics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrowdParams {
+    /// Workers asked per seed road.
+    pub workers_per_seed: usize,
+    /// Probability that an individual worker responds in time.
+    pub response_rate: f64,
+    /// Std-dev of each worker's multiplicative log-normal error.
+    pub noise_sigma: f64,
+    /// Fraction trimmed at each end before averaging reports.
+    pub trim: f64,
+}
+
+impl Default for CrowdParams {
+    fn default() -> Self {
+        CrowdParams {
+            workers_per_seed: 5,
+            response_rate: 0.9,
+            noise_sigma: 0.08,
+            trim: 0.1,
+        }
+    }
+}
+
+/// One seed road's aggregated crowd answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeedReport {
+    /// The seed road.
+    pub road: RoadId,
+    /// Aggregated speed estimate (km/h), `None` if no worker responded.
+    pub speed: Option<f64>,
+    /// Number of reports aggregated.
+    pub responses: usize,
+}
+
+/// Collects crowd reports for `seeds` against the true speeds of
+/// `truth` at `slot`.
+pub fn crowdsource<R: Rng>(
+    truth: &SpeedField,
+    slot: usize,
+    seeds: &[RoadId],
+    params: &CrowdParams,
+    rng: &mut R,
+) -> Vec<SeedReport> {
+    seeds
+        .iter()
+        .map(|&road| {
+            let true_speed = truth.speed(slot, road);
+            let mut reports = Vec::with_capacity(params.workers_per_seed);
+            for _ in 0..params.workers_per_seed {
+                if rng.gen::<f64>() < params.response_rate {
+                    reports
+                        .push(true_speed * (params.noise_sigma * rng_ext::gaussian(rng)).exp());
+                }
+            }
+            SeedReport {
+                road,
+                speed: (!reports.is_empty()).then(|| stats::trimmed_mean(&reports, params.trim)),
+                responses: reports.len(),
+            }
+        })
+        .collect()
+}
+
+/// Retains only the seeds that produced an answer, as `(road, speed)`
+/// pairs — the observation set handed to the inference pipeline.
+pub fn answered(reports: &[SeedReport]) -> Vec<(RoadId, f64)> {
+    reports
+        .iter()
+        .filter_map(|r| r.speed.map(|s| (r.road, s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn truth() -> SpeedField {
+        let mut f = SpeedField::filled(4, 3, 0.0);
+        for slot in 0..4 {
+            for r in 0..3u32 {
+                f.set_speed(slot, RoadId(r), 30.0 + 10.0 * r as f64);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn reports_cluster_around_truth() {
+        let t = truth();
+        let seeds = [RoadId(0), RoadId(2)];
+        let params = CrowdParams {
+            workers_per_seed: 50,
+            response_rate: 1.0,
+            noise_sigma: 0.05,
+            trim: 0.1,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let reports = crowdsource(&t, 1, &seeds, &params, &mut rng);
+        assert_eq!(reports.len(), 2);
+        let s0 = reports[0].speed.unwrap();
+        let s2 = reports[1].speed.unwrap();
+        assert!((s0 - 30.0).abs() < 2.0, "{s0}");
+        assert!((s2 - 50.0).abs() < 3.0, "{s2}");
+    }
+
+    #[test]
+    fn zero_response_rate_gives_no_answer() {
+        let t = truth();
+        let params = CrowdParams {
+            response_rate: 0.0,
+            ..CrowdParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let reports = crowdsource(&t, 0, &[RoadId(1)], &params, &mut rng);
+        assert_eq!(reports[0].speed, None);
+        assert_eq!(reports[0].responses, 0);
+        assert!(answered(&reports).is_empty());
+    }
+
+    #[test]
+    fn answered_filters_and_pairs() {
+        let reports = vec![
+            SeedReport {
+                road: RoadId(0),
+                speed: Some(31.0),
+                responses: 3,
+            },
+            SeedReport {
+                road: RoadId(1),
+                speed: None,
+                responses: 0,
+            },
+        ];
+        assert_eq!(answered(&reports), vec![(RoadId(0), 31.0)]);
+    }
+
+    #[test]
+    fn noiseless_workers_report_exact_truth() {
+        let t = truth();
+        let params = CrowdParams {
+            workers_per_seed: 3,
+            response_rate: 1.0,
+            noise_sigma: 0.0,
+            trim: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let reports = crowdsource(&t, 2, &[RoadId(1)], &params, &mut rng);
+        assert!((reports[0].speed.unwrap() - 40.0).abs() < 1e-12);
+        assert_eq!(reports[0].responses, 3);
+    }
+
+    #[test]
+    fn response_rate_thins_reports() {
+        let t = truth();
+        let params = CrowdParams {
+            workers_per_seed: 1000,
+            response_rate: 0.3,
+            noise_sigma: 0.0,
+            trim: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let reports = crowdsource(&t, 0, &[RoadId(0)], &params, &mut rng);
+        let n = reports[0].responses as f64;
+        assert!((n / 1000.0 - 0.3).abs() < 0.05, "{n}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Named synthetic datasets.
+//!
+//! Two city-scale presets stand in for the paper's two real datasets
+//! (`DESIGN.md` §1): **synth-metro**, a ring-radial city, and
+//! **synth-grid**, a rectangular grid city. `metro_small` is a fast
+//! variant for tests and examples.
+
+use crate::history::HistoricalData;
+use crate::probe::{ProbeParams, ProbeSampler};
+use crate::profile::SlotClock;
+use crate::simulate::{SpeedField, TrafficParams, TrafficSimulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roadnet::generate::{grid_city, ring_radial_city, GridParams, RingRadialParams};
+use roadnet::RoadGraph;
+
+/// Shared dataset-assembly parameters.
+#[derive(Debug, Clone)]
+pub struct DatasetParams {
+    /// Days of probe-observed history used for training.
+    pub training_days: usize,
+    /// Ground-truth days held out for evaluation.
+    pub test_days: usize,
+    /// Traffic generator tunables.
+    pub traffic: TrafficParams,
+    /// Probe-fleet tunables.
+    pub probe: ProbeParams,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for DatasetParams {
+    fn default() -> Self {
+        DatasetParams {
+            training_days: 20,
+            test_days: 3,
+            traffic: TrafficParams::default(),
+            probe: ProbeParams::default(),
+            seed: 2016,
+        }
+    }
+}
+
+/// A fully assembled dataset: graph, training history, held-out truth.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable dataset name.
+    pub name: &'static str,
+    /// The road network.
+    pub graph: RoadGraph,
+    /// Time discretisation.
+    pub clock: SlotClock,
+    /// Probe-observed training days.
+    pub history: HistoricalData,
+    /// Ground-truth evaluation days (follow the training days in time).
+    pub test_days: Vec<SpeedField>,
+    /// The simulator that produced everything (exposed so experiments
+    /// can generate more days on demand).
+    pub simulator: TrafficSimulator,
+}
+
+/// Summary statistics for the dataset-statistics table (experiment E1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Number of road segments.
+    pub roads: usize,
+    /// Number of segment adjacencies.
+    pub adjacencies: usize,
+    /// Average segment degree.
+    pub avg_degree: f64,
+    /// Roads per class, indexed by [`roadnet::RoadClass::group`].
+    pub class_counts: [usize; 4],
+    /// Slots per day.
+    pub slots_per_day: usize,
+    /// Training days.
+    pub training_days: usize,
+    /// Test days.
+    pub test_days: usize,
+    /// Fraction of training cells actually observed by probes.
+    pub observed_fraction: f64,
+    /// Mean observed training speed (km/h).
+    pub mean_speed_kmh: f64,
+}
+
+impl Dataset {
+    /// Assembles a dataset from a graph and parameters.
+    pub fn assemble(
+        name: &'static str,
+        graph: RoadGraph,
+        clock: SlotClock,
+        params: &DatasetParams,
+    ) -> Dataset {
+        let simulator =
+            TrafficSimulator::new(graph.clone(), clock, params.traffic.clone(), params.seed);
+        let sampler = ProbeSampler::new(params.probe.clone());
+        let mut rng = StdRng::seed_from_u64(params.seed ^ 0xC0FF_EE00);
+        let history_days: Vec<SpeedField> = (0..params.training_days as u64)
+            .map(|d| {
+                let truth = simulator.simulate_day(d);
+                sampler.observe_day(&graph, &truth, &mut rng)
+            })
+            .collect();
+        let history = HistoricalData::from_days(clock, history_days);
+        let test_days = simulator
+            .simulate_days(params.training_days as u64, params.test_days);
+        Dataset {
+            name,
+            graph,
+            clock,
+            history,
+            test_days,
+            simulator,
+        }
+    }
+
+    /// Computes the dataset-statistics row (experiment E1).
+    pub fn stats(&self) -> DatasetStats {
+        let mut observed = 0usize;
+        let mut total = 0usize;
+        let mut speed_sum = 0.0f64;
+        for day in self.history.days() {
+            for v in day.as_slice() {
+                total += 1;
+                if !v.is_nan() {
+                    observed += 1;
+                    speed_sum += v;
+                }
+            }
+        }
+        DatasetStats {
+            name: self.name,
+            roads: self.graph.num_roads(),
+            adjacencies: self.graph.num_edges(),
+            avg_degree: self.graph.avg_degree(),
+            class_counts: self.graph.class_counts(),
+            slots_per_day: self.clock.slots_per_day,
+            training_days: self.history.num_days(),
+            test_days: self.test_days.len(),
+            observed_fraction: if total > 0 {
+                observed as f64 / total as f64
+            } else {
+                0.0
+            },
+            mean_speed_kmh: if observed > 0 {
+                speed_sum / observed as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Small ring-radial city (≈100 roads, hourly slots) — fast enough for
+/// unit tests, doc-tests and the quickstart example.
+pub fn metro_small(params: &DatasetParams) -> Dataset {
+    let graph = ring_radial_city(&RingRadialParams {
+        rings: 5,
+        spokes: 10,
+        ..RingRadialParams::default()
+    });
+    Dataset::assemble("synth-metro-small", graph, SlotClock::hourly(), params)
+}
+
+/// Medium ring-radial metro city (≈1.2k roads, 15-minute slots) — the
+/// "city A" stand-in of the evaluation.
+pub fn metro_medium(params: &DatasetParams) -> Dataset {
+    let graph = ring_radial_city(&RingRadialParams {
+        rings: 15,
+        spokes: 40,
+        ring_gap_m: 500.0,
+        ..RingRadialParams::default()
+    });
+    Dataset::assemble(
+        "synth-metro",
+        graph,
+        SlotClock::quarter_hourly(),
+        params,
+    )
+}
+
+/// Medium grid city (≈1.2k roads, 15-minute slots) — the "city B"
+/// stand-in of the evaluation.
+pub fn grid_medium(params: &DatasetParams) -> Dataset {
+    let graph = grid_city(&GridParams {
+        width: 26,
+        height: 25,
+        ..GridParams::default()
+    });
+    Dataset::assemble("synth-grid", graph, SlotClock::quarter_hourly(), params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_params() -> DatasetParams {
+        DatasetParams {
+            training_days: 3,
+            test_days: 1,
+            ..DatasetParams::default()
+        }
+    }
+
+    #[test]
+    fn metro_small_assembles() {
+        let ds = metro_small(&fast_params());
+        assert_eq!(ds.history.num_days(), 3);
+        assert_eq!(ds.test_days.len(), 1);
+        assert_eq!(ds.graph.num_roads(), 100); // 5*10 ring + 10*5 radial
+        assert_eq!(ds.history.num_roads(), ds.graph.num_roads());
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let ds = metro_small(&fast_params());
+        let st = ds.stats();
+        assert_eq!(st.roads, ds.graph.num_roads());
+        assert_eq!(st.training_days, 3);
+        assert_eq!(st.class_counts.iter().sum::<usize>(), st.roads);
+        assert!(st.observed_fraction > 0.5 && st.observed_fraction <= 1.0);
+        assert!(st.mean_speed_kmh > 5.0 && st.mean_speed_kmh < 120.0);
+        assert!(st.avg_degree > 1.0);
+    }
+
+    #[test]
+    fn datasets_are_reproducible() {
+        let a = metro_small(&fast_params());
+        let b = metro_small(&fast_params());
+        // Histories contain NaN (missing probes), so compare bitwise.
+        for (da, db) in a.history.days().iter().zip(b.history.days()) {
+            let bits_equal = da
+                .as_slice()
+                .iter()
+                .zip(db.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(bits_equal);
+        }
+        assert_eq!(a.test_days, b.test_days);
+    }
+
+    #[test]
+    fn test_days_follow_training_days() {
+        let ds = metro_small(&fast_params());
+        // Test day 0 equals simulator day `training_days`.
+        let expected = ds.simulator.simulate_day(3);
+        assert_eq!(ds.test_days[0], expected);
+    }
+
+    #[test]
+    fn seed_changes_data() {
+        let a = metro_small(&fast_params());
+        let b = metro_small(&DatasetParams {
+            seed: 777,
+            ..fast_params()
+        });
+        assert_ne!(a.test_days, b.test_days);
+    }
+}

@@ -1,0 +1,292 @@
+//! Historical traffic data and its summary statistics.
+//!
+//! A [`HistoricalData`] is a stack of observed days. Observations may be
+//! missing (GPS-probe coverage gaps), encoded as `NaN` in the underlying
+//! [`SpeedField`]s. [`HistoryStats`] summarises it into the quantities
+//! the paper's model consumes: per-(slot-of-day, road) **historical
+//! average speeds** and **up-trend rates**.
+
+use crate::profile::SlotClock;
+use crate::simulate::SpeedField;
+use roadnet::RoadId;
+use serde::{Deserialize, Serialize};
+
+/// A collection of (possibly partially observed) historical days.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistoricalData {
+    clock: SlotClock,
+    days: Vec<SpeedField>,
+}
+
+impl HistoricalData {
+    /// Wraps observed days. Panics if the days disagree on shape or do
+    /// not match the clock.
+    pub fn from_days(clock: SlotClock, days: Vec<SpeedField>) -> Self {
+        assert!(!days.is_empty(), "history needs at least one day");
+        let roads = days[0].num_roads();
+        for d in &days {
+            assert_eq!(d.num_slots(), clock.slots_per_day, "day/clock mismatch");
+            assert_eq!(d.num_roads(), roads, "days disagree on road count");
+        }
+        HistoricalData { clock, days }
+    }
+
+    /// The time discretisation.
+    pub fn clock(&self) -> &SlotClock {
+        &self.clock
+    }
+
+    /// Number of days.
+    pub fn num_days(&self) -> usize {
+        self.days.len()
+    }
+
+    /// Number of roads.
+    pub fn num_roads(&self) -> usize {
+        self.days[0].num_roads()
+    }
+
+    /// Observed speed, or `None` when the probe fleet missed this
+    /// (day, slot, road).
+    #[inline]
+    pub fn speed(&self, day: usize, slot: usize, road: RoadId) -> Option<f64> {
+        let v = self.days[day].speed(slot, road);
+        (!v.is_nan()).then_some(v)
+    }
+
+    /// Borrow the raw day fields.
+    pub fn days(&self) -> &[SpeedField] {
+        &self.days
+    }
+
+    /// Truncated copy keeping only the first `days` days (used by the
+    /// training-history-size experiment E11).
+    pub fn truncated(&self, days: usize) -> HistoricalData {
+        assert!(days >= 1 && days <= self.days.len());
+        HistoricalData {
+            clock: self.clock,
+            days: self.days[..days].to_vec(),
+        }
+    }
+}
+
+/// Summary statistics of a [`HistoricalData`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistoryStats {
+    slots: usize,
+    roads: usize,
+    /// Mean observed speed per (slot-of-day, road); falls back to the
+    /// road's all-day mean, then to 0, when a cell was never observed.
+    mean: Vec<f64>,
+    /// Fraction of observed days whose speed was >= the mean, per
+    /// (slot-of-day, road) — the prior up-trend rate of the MRF.
+    up_rate: Vec<f64>,
+    /// Number of observations behind each cell.
+    obs_count: Vec<u32>,
+}
+
+impl HistoryStats {
+    /// Computes statistics from historical data.
+    pub fn compute(history: &HistoricalData) -> Self {
+        let slots = history.clock().slots_per_day;
+        let roads = history.num_roads();
+        let mut sum = vec![0.0f64; slots * roads];
+        let mut count = vec![0u32; slots * roads];
+        for day in history.days() {
+            for slot in 0..slots {
+                let row = day.slot_speeds(slot);
+                let base = slot * roads;
+                for (r, &v) in row.iter().enumerate() {
+                    if !v.is_nan() {
+                        sum[base + r] += v;
+                        count[base + r] += 1;
+                    }
+                }
+            }
+        }
+
+        // Per-road fallback mean over all slots (for never-observed cells).
+        let mut road_sum = vec![0.0f64; roads];
+        let mut road_count = vec![0u32; roads];
+        for slot in 0..slots {
+            for r in 0..roads {
+                road_sum[r] += sum[slot * roads + r];
+                road_count[r] += count[slot * roads + r];
+            }
+        }
+
+        let mut mean = vec![0.0f64; slots * roads];
+        for slot in 0..slots {
+            for r in 0..roads {
+                let i = slot * roads + r;
+                mean[i] = if count[i] > 0 {
+                    sum[i] / count[i] as f64
+                } else if road_count[r] > 0 {
+                    road_sum[r] / road_count[r] as f64
+                } else {
+                    0.0
+                };
+            }
+        }
+
+        // Up-trend rate given the means.
+        let mut up = vec![0u32; slots * roads];
+        for day in history.days() {
+            for slot in 0..slots {
+                let row = day.slot_speeds(slot);
+                let base = slot * roads;
+                for (r, &v) in row.iter().enumerate() {
+                    if !v.is_nan() && v >= mean[base + r] {
+                        up[base + r] += 1;
+                    }
+                }
+            }
+        }
+        let up_rate = up
+            .iter()
+            .zip(&count)
+            .map(|(&u, &c)| if c > 0 { u as f64 / c as f64 } else { 0.5 })
+            .collect();
+
+        HistoryStats {
+            slots,
+            roads,
+            mean,
+            up_rate,
+            obs_count: count,
+        }
+    }
+
+    /// Number of slots per day.
+    pub fn num_slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of roads.
+    pub fn num_roads(&self) -> usize {
+        self.roads
+    }
+
+    /// Historical average speed of `road` at `slot_of_day`.
+    #[inline]
+    pub fn mean(&self, slot_of_day: usize, road: RoadId) -> f64 {
+        self.mean[slot_of_day * self.roads + road.index()]
+    }
+
+    /// Historical up-trend rate of `road` at `slot_of_day`.
+    #[inline]
+    pub fn up_rate(&self, slot_of_day: usize, road: RoadId) -> f64 {
+        self.up_rate[slot_of_day * self.roads + road.index()]
+    }
+
+    /// Observations behind the (slot, road) cell.
+    #[inline]
+    pub fn obs_count(&self, slot_of_day: usize, road: RoadId) -> u32 {
+        self.obs_count[slot_of_day * self.roads + road.index()]
+    }
+
+    /// Trend of an observed speed against the historical mean:
+    /// `true` when at least the mean ("up").
+    #[inline]
+    pub fn trend_of(&self, slot_of_day: usize, road: RoadId, speed: f64) -> bool {
+        speed >= self.mean(slot_of_day, road)
+    }
+
+    /// Deviation ratio `speed / mean`, or `None` when the mean is
+    /// degenerate (never-observed road).
+    #[inline]
+    pub fn deviation_of(&self, slot_of_day: usize, road: RoadId, speed: f64) -> Option<f64> {
+        let m = self.mean(slot_of_day, road);
+        (m > 1e-9).then(|| speed / m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(slots: usize, roads: usize, f: impl Fn(usize, usize) -> f64) -> SpeedField {
+        let mut sf = SpeedField::filled(slots, roads, 0.0);
+        for s in 0..slots {
+            for r in 0..roads {
+                sf.set_speed(s, RoadId(r as u32), f(s, r));
+            }
+        }
+        sf
+    }
+
+    fn two_day_history() -> HistoricalData {
+        let clock = SlotClock { slots_per_day: 2 };
+        // Road 0: day0 = 10, day1 = 20 at both slots -> mean 15.
+        // Road 1: constant 30 -> mean 30.
+        let d0 = field(2, 2, |_, r| if r == 0 { 10.0 } else { 30.0 });
+        let d1 = field(2, 2, |_, r| if r == 0 { 20.0 } else { 30.0 });
+        HistoricalData::from_days(clock, vec![d0, d1])
+    }
+
+    #[test]
+    fn mean_is_per_cell() {
+        let stats = HistoryStats::compute(&two_day_history());
+        assert_eq!(stats.mean(0, RoadId(0)), 15.0);
+        assert_eq!(stats.mean(1, RoadId(0)), 15.0);
+        assert_eq!(stats.mean(0, RoadId(1)), 30.0);
+    }
+
+    #[test]
+    fn up_rate_counts_at_or_above_mean() {
+        let stats = HistoryStats::compute(&two_day_history());
+        // Road 0: one day below mean, one above -> 0.5.
+        assert_eq!(stats.up_rate(0, RoadId(0)), 0.5);
+        // Road 1: always exactly at the mean -> counted as up.
+        assert_eq!(stats.up_rate(0, RoadId(1)), 1.0);
+    }
+
+    #[test]
+    fn trend_and_deviation() {
+        let stats = HistoryStats::compute(&two_day_history());
+        assert!(stats.trend_of(0, RoadId(0), 16.0));
+        assert!(!stats.trend_of(0, RoadId(0), 14.0));
+        assert!((stats.deviation_of(0, RoadId(0), 30.0).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_observations_excluded() {
+        let clock = SlotClock { slots_per_day: 1 };
+        let mut d0 = field(1, 1, |_, _| 10.0);
+        let d1 = field(1, 1, |_, _| 30.0);
+        d0.set_speed(0, RoadId(0), f64::NAN);
+        let h = HistoricalData::from_days(clock, vec![d0, d1]);
+        let stats = HistoryStats::compute(&h);
+        assert_eq!(stats.mean(0, RoadId(0)), 30.0);
+        assert_eq!(stats.obs_count(0, RoadId(0)), 1);
+        assert_eq!(h.speed(0, 0, RoadId(0)), None);
+        assert_eq!(h.speed(1, 0, RoadId(0)), Some(30.0));
+    }
+
+    #[test]
+    fn never_observed_cell_falls_back_to_road_mean() {
+        let clock = SlotClock { slots_per_day: 2 };
+        let mut d0 = field(2, 1, |s, _| if s == 0 { 10.0 } else { 20.0 });
+        d0.set_speed(0, RoadId(0), f64::NAN);
+        let h = HistoricalData::from_days(clock, vec![d0]);
+        let stats = HistoryStats::compute(&h);
+        // Slot 0 never observed: falls back to road mean (20 from slot 1).
+        assert_eq!(stats.mean(0, RoadId(0)), 20.0);
+        // Unobserved cells get a neutral up-rate.
+        assert_eq!(stats.up_rate(0, RoadId(0)), 0.5);
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let h = two_day_history();
+        let t = h.truncated(1);
+        assert_eq!(t.num_days(), 1);
+        assert_eq!(t.speed(0, 0, RoadId(0)), Some(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one day")]
+    fn empty_history_panics() {
+        let _ = HistoricalData::from_days(SlotClock { slots_per_day: 1 }, vec![]);
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! Synthetic urban traffic substrate.
+//!
+//! The paper evaluates on GPS floating-car data from two real cities;
+//! that data is not available, so this crate generates the closest
+//! synthetic equivalent (see `DESIGN.md` §1). The generator is built so
+//! that the *structure the paper's model exploits* is present and
+//! controllable:
+//!
+//! * **diurnal profiles** ([`profile`]) give every road a
+//!   slot-of-day-dependent expected speed with AM/PM rush hours, so
+//!   "historical average" is a meaningful reference;
+//! * **diffusing congestion** ([`congestion`]) spawns localised events
+//!   that spread over the road graph with hop decay and persist over
+//!   time, which makes *nearby roads co-trend* — the correlation the
+//!   trend graphical model relies on;
+//! * **citywide factors** (weather-like AR(1) modulation) add the
+//!   long-range component of correlation;
+//! * **GPS probes** ([`probe`]) and **crowdsourcing** ([`crowd`])
+//!   corrupt the ground truth the way real acquisition does (coverage
+//!   gaps, reporting noise).
+//!
+//! [`dataset`] packages everything into the two named synthetic cities
+//! used throughout the evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use trafficsim::dataset::{metro_small, DatasetParams};
+//!
+//! let ds = metro_small(&DatasetParams { training_days: 4, test_days: 1, ..DatasetParams::default() });
+//! assert_eq!(ds.history.num_days(), 4);
+//! let truth = &ds.test_days[0];
+//! // Speeds are physical: positive and bounded by ~1.3x free flow.
+//! for r in ds.graph.road_ids() {
+//!     let v = truth.speed(0, r);
+//!     assert!(v > 0.0 && v < ds.graph.meta(r).free_flow_kmh * 1.5);
+//! }
+//! ```
+
+pub mod congestion;
+pub mod crowd;
+pub mod dataset;
+pub mod history;
+pub mod probe;
+pub mod profile;
+pub mod rng_ext;
+pub mod simulate;
+pub mod snapshot;
+
+pub use history::{HistoricalData, HistoryStats};
+pub use profile::SlotClock;
+pub use simulate::{SpeedField, TrafficParams, TrafficSimulator};

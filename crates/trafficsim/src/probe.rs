@@ -1,0 +1,180 @@
+//! GPS-probe sampling of ground-truth speeds.
+//!
+//! Historical data in the paper comes from taxi floating-car reports:
+//! noisy and with coverage gaps (not every road sees a probe vehicle in
+//! every slot). [`ProbeSampler`] degrades a simulated ground-truth day
+//! the same way, so the statistics the model trains on carry realistic
+//! imperfections.
+
+use crate::rng_ext;
+use crate::simulate::SpeedField;
+use rand::Rng;
+use roadnet::{RoadClass, RoadGraph};
+use serde::{Deserialize, Serialize};
+
+/// Probe-fleet characteristics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbeParams {
+    /// Probability that a (road, slot) cell is observed at all, on the
+    /// busiest class. Busier road classes see more probe vehicles.
+    pub coverage_highway: f64,
+    /// Coverage on local streets (the sparsest).
+    pub coverage_local: f64,
+    /// Std-dev of the multiplicative log-normal measurement noise.
+    pub noise_sigma: f64,
+}
+
+impl Default for ProbeParams {
+    fn default() -> Self {
+        ProbeParams {
+            coverage_highway: 0.98,
+            coverage_local: 0.75,
+            noise_sigma: 0.04,
+        }
+    }
+}
+
+impl ProbeParams {
+    /// Coverage probability for a road class, interpolated between the
+    /// local and highway endpoints by "busyness".
+    pub fn coverage(&self, class: RoadClass) -> f64 {
+        let busyness = match class {
+            RoadClass::Highway => 1.0,
+            RoadClass::Arterial => 0.8,
+            RoadClass::Collector => 0.45,
+            RoadClass::Local => 0.0,
+        };
+        self.coverage_local + (self.coverage_highway - self.coverage_local) * busyness
+    }
+}
+
+/// Samples probe observations from ground truth.
+#[derive(Debug, Clone)]
+pub struct ProbeSampler {
+    params: ProbeParams,
+}
+
+impl ProbeSampler {
+    /// Creates a sampler.
+    pub fn new(params: ProbeParams) -> Self {
+        ProbeSampler { params }
+    }
+
+    /// The sampler's parameters.
+    pub fn params(&self) -> &ProbeParams {
+        &self.params
+    }
+
+    /// Degrades a ground-truth day into a probe-observed day: missing
+    /// cells become `NaN`, observed cells get multiplicative noise.
+    pub fn observe_day<R: Rng>(
+        &self,
+        graph: &RoadGraph,
+        truth: &SpeedField,
+        rng: &mut R,
+    ) -> SpeedField {
+        assert_eq!(truth.num_roads(), graph.num_roads());
+        let mut out = truth.clone();
+        let coverage: Vec<f64> = graph
+            .all_meta()
+            .iter()
+            .map(|m| self.params.coverage(m.class))
+            .collect();
+        for slot in 0..truth.num_slots() {
+            for road in graph.road_ids() {
+                if rng.gen::<f64>() >= coverage[road.index()] {
+                    out.set_speed(slot, road, f64::NAN);
+                } else if self.params.noise_sigma > 0.0 {
+                    let noise = (self.params.noise_sigma * rng_ext::gaussian(rng)).exp();
+                    out.set_speed(slot, road, truth.speed(slot, road) * noise);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use roadnet::generate::{grid_city, GridParams};
+
+    fn setup() -> (RoadGraph, SpeedField) {
+        let g = grid_city(&GridParams {
+            width: 6,
+            height: 6,
+            ..GridParams::default()
+        });
+        let f = SpeedField::filled(24, g.num_roads(), 40.0);
+        (g, f)
+    }
+
+    #[test]
+    fn coverage_ordering_by_class() {
+        let p = ProbeParams::default();
+        assert!(p.coverage(RoadClass::Highway) > p.coverage(RoadClass::Arterial));
+        assert!(p.coverage(RoadClass::Arterial) > p.coverage(RoadClass::Collector));
+        assert!(p.coverage(RoadClass::Collector) > p.coverage(RoadClass::Local));
+        assert_eq!(p.coverage(RoadClass::Local), p.coverage_local);
+    }
+
+    #[test]
+    fn observe_day_drops_roughly_right_fraction() {
+        let (g, f) = setup();
+        let sampler = ProbeSampler::new(ProbeParams {
+            coverage_highway: 0.5,
+            coverage_local: 0.5,
+            noise_sigma: 0.0,
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs = sampler.observe_day(&g, &f, &mut rng);
+        let total = obs.as_slice().len();
+        let missing = obs.as_slice().iter().filter(|v| v.is_nan()).count();
+        let frac = missing as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.05, "missing fraction {frac}");
+    }
+
+    #[test]
+    fn zero_noise_preserves_observed_values() {
+        let (g, f) = setup();
+        let sampler = ProbeSampler::new(ProbeParams {
+            noise_sigma: 0.0,
+            ..ProbeParams::default()
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        let obs = sampler.observe_day(&g, &f, &mut rng);
+        for v in obs.as_slice() {
+            assert!(v.is_nan() || *v == 40.0);
+        }
+    }
+
+    #[test]
+    fn noise_is_unbiased_in_log_space() {
+        let (g, f) = setup();
+        let sampler = ProbeSampler::new(ProbeParams {
+            coverage_highway: 1.0,
+            coverage_local: 1.0,
+            noise_sigma: 0.1,
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let obs = sampler.observe_day(&g, &f, &mut rng);
+        let logs: Vec<f64> = obs.as_slice().iter().map(|v| (v / 40.0).ln()).collect();
+        let mean = linalg::stats::mean(&logs);
+        assert!(mean.abs() < 0.01, "log-noise mean {mean}");
+    }
+
+    #[test]
+    fn full_coverage_never_drops() {
+        let (g, f) = setup();
+        let sampler = ProbeSampler::new(ProbeParams {
+            coverage_highway: 1.0,
+            coverage_local: 1.0,
+            noise_sigma: 0.0,
+        });
+        let mut rng = StdRng::seed_from_u64(4);
+        let obs = sampler.observe_day(&g, &f, &mut rng);
+        assert!(obs.as_slice().iter().all(|v| !v.is_nan()));
+    }
+}

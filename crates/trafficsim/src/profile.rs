@@ -1,0 +1,164 @@
+//! Time discretisation and diurnal speed profiles.
+
+use roadnet::RoadClass;
+use serde::{Deserialize, Serialize};
+
+/// Discretisation of the day into equal time slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotClock {
+    /// Number of slots per day (e.g. 96 for 15-minute slots).
+    pub slots_per_day: usize,
+}
+
+impl SlotClock {
+    /// Standard 15-minute discretisation.
+    pub fn quarter_hourly() -> Self {
+        SlotClock { slots_per_day: 96 }
+    }
+
+    /// Hourly discretisation (used by fast tests).
+    pub fn hourly() -> Self {
+        SlotClock { slots_per_day: 24 }
+    }
+
+    /// Minutes per slot.
+    pub fn slot_minutes(&self) -> f64 {
+        24.0 * 60.0 / self.slots_per_day as f64
+    }
+
+    /// Fractional hour-of-day at the *middle* of slot `s`.
+    pub fn hour_of_slot(&self, s: usize) -> f64 {
+        (s as f64 + 0.5) * 24.0 / self.slots_per_day as f64
+    }
+
+    /// Slot index containing the given hour-of-day.
+    pub fn slot_of_hour(&self, hour: f64) -> usize {
+        let h = hour.rem_euclid(24.0);
+        ((h / 24.0 * self.slots_per_day as f64) as usize).min(self.slots_per_day - 1)
+    }
+}
+
+/// Diurnal profile parameters — where the rush hours fall and how deep
+/// they cut.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiurnalParams {
+    /// Centre of the morning rush, in hours.
+    pub am_peak_hour: f64,
+    /// Centre of the evening rush, in hours.
+    pub pm_peak_hour: f64,
+    /// Width (std-dev, hours) of each rush-hour dip.
+    pub peak_width_h: f64,
+    /// Fractional speed drop at the centre of a rush on the most
+    /// affected class (highways); e.g. 0.45 means 45 % slower.
+    pub max_dip: f64,
+    /// Mild overnight speed-up (fraction above daytime baseline).
+    pub night_lift: f64,
+}
+
+impl Default for DiurnalParams {
+    fn default() -> Self {
+        DiurnalParams {
+            am_peak_hour: 8.25,
+            pm_peak_hour: 18.0,
+            peak_width_h: 1.2,
+            max_dip: 0.45,
+            night_lift: 0.08,
+        }
+    }
+}
+
+/// How strongly each road class feels the rush hour. Through-traffic
+/// classes (highways, arterials) congest more than locals.
+fn class_sensitivity(class: RoadClass) -> f64 {
+    match class {
+        RoadClass::Highway => 1.0,
+        RoadClass::Arterial => 0.85,
+        RoadClass::Collector => 0.6,
+        RoadClass::Local => 0.35,
+    }
+}
+
+/// Expected-speed multiplier (relative to free flow) for a road class at
+/// slot `s`: 1.0 at free flow, lower during rushes, slightly above 1.0
+/// at night.
+pub fn diurnal_multiplier(
+    params: &DiurnalParams,
+    clock: &SlotClock,
+    class: RoadClass,
+    slot_of_day: usize,
+) -> f64 {
+    let h = clock.hour_of_slot(slot_of_day);
+    let bump = |peak: f64| -> f64 {
+        // Wrap-around distance on the 24h circle.
+        let d = (h - peak).abs();
+        let d = d.min(24.0 - d);
+        (-0.5 * (d / params.peak_width_h).powi(2)).exp()
+    };
+    let rush = bump(params.am_peak_hour).max(bump(params.pm_peak_hour));
+    let dip = params.max_dip * class_sensitivity(class) * rush;
+    // Night lift: deep night (01:00-05:00) runs slightly above baseline.
+    let night = if !(5.0..=23.0).contains(&h) || h < 5.0 {
+        params.night_lift
+    } else {
+        0.0
+    };
+    (1.0 - dip) * (1.0 + night)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_arithmetic() {
+        let c = SlotClock::quarter_hourly();
+        assert_eq!(c.slot_minutes(), 15.0);
+        assert_eq!(c.slot_of_hour(0.0), 0);
+        assert_eq!(c.slot_of_hour(12.0), 48);
+        assert_eq!(c.slot_of_hour(23.99), 95);
+        assert_eq!(c.slot_of_hour(24.5), 2); // wraps
+        assert!((c.hour_of_slot(48) - 12.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rush_hour_is_slowest() {
+        let p = DiurnalParams::default();
+        let c = SlotClock::quarter_hourly();
+        let rush = c.slot_of_hour(p.am_peak_hour);
+        let noon = c.slot_of_hour(12.5);
+        let m_rush = diurnal_multiplier(&p, &c, RoadClass::Highway, rush);
+        let m_noon = diurnal_multiplier(&p, &c, RoadClass::Highway, noon);
+        assert!(m_rush < m_noon, "rush {m_rush} vs noon {m_noon}");
+        assert!(m_rush < 0.65);
+    }
+
+    #[test]
+    fn locals_dip_less_than_highways() {
+        let p = DiurnalParams::default();
+        let c = SlotClock::quarter_hourly();
+        let rush = c.slot_of_hour(p.pm_peak_hour);
+        let hwy = diurnal_multiplier(&p, &c, RoadClass::Highway, rush);
+        let local = diurnal_multiplier(&p, &c, RoadClass::Local, rush);
+        assert!(local > hwy);
+    }
+
+    #[test]
+    fn night_runs_above_baseline() {
+        let p = DiurnalParams::default();
+        let c = SlotClock::quarter_hourly();
+        let night = diurnal_multiplier(&p, &c, RoadClass::Local, c.slot_of_hour(3.0));
+        assert!(night > 1.0);
+    }
+
+    #[test]
+    fn multiplier_bounded() {
+        let p = DiurnalParams::default();
+        let c = SlotClock::quarter_hourly();
+        for class in RoadClass::ALL {
+            for s in 0..c.slots_per_day {
+                let m = diurnal_multiplier(&p, &c, class, s);
+                assert!(m > 0.3 && m < 1.2, "class {class} slot {s}: {m}");
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Distribution helpers on top of `rand`.
+//!
+//! The approved `rand` crate (without `rand_distr`) lacks Gaussian and
+//! Poisson samplers, so the two the simulator needs are implemented
+//! here.
+
+use rand::Rng;
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * gaussian(rng)
+}
+
+/// Poisson sample via Knuth's method; adequate for the small rates
+/// (events per day) the simulator uses. Falls back to a normal
+/// approximation for large `lambda` to avoid O(lambda) time.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "poisson: negative rate");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 64.0 {
+        let x = normal(rng, lambda, lambda.sqrt());
+        return x.max(0.0).round() as u64;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = linalg::stats::mean(&samples);
+        let var = linalg::stats::variance(&samples);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 10.0, 3.0)).collect();
+        assert!((linalg::stats::mean(&samples) - 10.0).abs() < 0.1);
+        assert!((linalg::stats::std_dev(&samples) - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn poisson_mean_small_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 4.5)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 4.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_rate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn poisson_large_rate_uses_normal_approx() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 5_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 400.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 400.0).abs() < 2.0, "mean {mean}");
+    }
+}

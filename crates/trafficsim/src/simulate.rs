@@ -1,0 +1,357 @@
+//! Day-level traffic simulation.
+
+use crate::congestion::{apply_events, sample_events, CongestionParams};
+use crate::profile::{diurnal_multiplier, DiurnalParams, SlotClock};
+use crate::rng_ext;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roadnet::{RoadGraph, RoadId};
+use serde::{Deserialize, Serialize};
+
+/// All tunables of the traffic generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficParams {
+    /// Diurnal profile shape.
+    pub diurnal: DiurnalParams,
+    /// Congestion event generation.
+    pub congestion: CongestionParams,
+    /// AR(1) persistence of the citywide factor across slots, in `[0, 1)`.
+    pub citywide_rho: f64,
+    /// Innovation std-dev of the citywide factor.
+    pub citywide_sigma: f64,
+    /// Std-dev of per-(road, slot) multiplicative log-noise.
+    pub noise_sigma: f64,
+    /// Lower bound on the congestion multiplier.
+    pub congestion_floor: f64,
+    /// Absolute minimum speed (km/h) — queues crawl, they do not stop.
+    pub min_speed_kmh: f64,
+}
+
+impl Default for TrafficParams {
+    fn default() -> Self {
+        TrafficParams {
+            diurnal: DiurnalParams::default(),
+            congestion: CongestionParams::default(),
+            citywide_rho: 0.9,
+            citywide_sigma: 0.02,
+            noise_sigma: 0.05,
+            congestion_floor: 0.15,
+            min_speed_kmh: 3.0,
+        }
+    }
+}
+
+/// One day of ground-truth speeds: `speed(slot, road)` in km/h, stored
+/// row-major by slot for cache-friendly per-slot access.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedField {
+    slots: usize,
+    roads: usize,
+    data: Vec<f64>,
+}
+
+impl SpeedField {
+    /// Creates a field filled with `value`.
+    pub fn filled(slots: usize, roads: usize, value: f64) -> Self {
+        SpeedField {
+            slots,
+            roads,
+            data: vec![value; slots * roads],
+        }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of roads.
+    #[inline]
+    pub fn num_roads(&self) -> usize {
+        self.roads
+    }
+
+    /// Speed of `road` at `slot`.
+    #[inline]
+    pub fn speed(&self, slot: usize, road: RoadId) -> f64 {
+        self.data[slot * self.roads + road.index()]
+    }
+
+    /// Sets the speed of `road` at `slot`.
+    #[inline]
+    pub fn set_speed(&mut self, slot: usize, road: RoadId, v: f64) {
+        self.data[slot * self.roads + road.index()] = v;
+    }
+
+    /// All speeds at `slot`, indexed by road.
+    #[inline]
+    pub fn slot_speeds(&self, slot: usize) -> &[f64] {
+        &self.data[slot * self.roads..(slot + 1) * self.roads]
+    }
+
+    /// Raw storage (slot-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// Deterministic (seeded) multi-day traffic simulator over a road graph.
+#[derive(Debug, Clone)]
+pub struct TrafficSimulator {
+    graph: RoadGraph,
+    clock: SlotClock,
+    params: TrafficParams,
+    seed: u64,
+    rush_slots: Vec<usize>,
+}
+
+impl TrafficSimulator {
+    /// Creates a simulator. `seed` makes every day reproducible: day `d`
+    /// is generated from a generator-specific sub-seed, so days can be
+    /// produced in any order.
+    pub fn new(graph: RoadGraph, clock: SlotClock, params: TrafficParams, seed: u64) -> Self {
+        let rush_slots = vec![
+            clock.slot_of_hour(params.diurnal.am_peak_hour),
+            clock.slot_of_hour(params.diurnal.pm_peak_hour),
+        ];
+        TrafficSimulator {
+            graph,
+            clock,
+            params,
+            seed,
+            rush_slots,
+        }
+    }
+
+    /// The simulated road graph.
+    pub fn graph(&self) -> &RoadGraph {
+        &self.graph
+    }
+
+    /// The time discretisation.
+    pub fn clock(&self) -> &SlotClock {
+        &self.clock
+    }
+
+    /// The generator parameters.
+    pub fn params(&self) -> &TrafficParams {
+        &self.params
+    }
+
+    /// Expected (noise- and event-free) speed of a road at a slot — the
+    /// "idealised historical average" of the generator.
+    pub fn expected_speed(&self, road: RoadId, slot_of_day: usize) -> f64 {
+        let meta = self.graph.meta(road);
+        meta.free_flow_kmh
+            * diurnal_multiplier(&self.params.diurnal, &self.clock, meta.class, slot_of_day)
+    }
+
+    /// Generates the ground-truth speeds of day `day_index`.
+    pub fn simulate_day(&self, day_index: u64) -> SpeedField {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ day_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let n = self.graph.num_roads();
+        let slots = self.clock.slots_per_day;
+
+        // 1. Congestion multipliers, starting from 1.
+        let mut mult = vec![1.0f64; slots * n];
+        let events = sample_events(
+            &self.graph,
+            &self.params.congestion,
+            slots,
+            &self.rush_slots,
+            &mut rng,
+        );
+        apply_events(
+            &self.graph,
+            &events,
+            slots,
+            &mut mult,
+            self.params.congestion_floor,
+        );
+
+        // 2. Citywide AR(1) factor (weather-like, shared by all roads).
+        // Initialised from the stationary distribution so the morning
+        // is as (un)predictable as the afternoon — the factor models
+        // conditions that persist across midnight, not ones that reset.
+        let mut citywide = Vec::with_capacity(slots);
+        let stationary_sd = self.params.citywide_sigma
+            / (1.0 - self.params.citywide_rho * self.params.citywide_rho)
+                .max(1e-6)
+                .sqrt();
+        let mut g = 1.0 + stationary_sd * rng_ext::gaussian(&mut rng);
+        for _ in 0..slots {
+            g = 1.0
+                + self.params.citywide_rho * (g - 1.0)
+                + self.params.citywide_sigma * rng_ext::gaussian(&mut rng);
+            citywide.push(g.clamp(0.7, 1.3));
+        }
+
+        // 3. Compose: diurnal base x citywide x congestion x log-noise.
+        let mut field = SpeedField::filled(slots, n, 0.0);
+        for slot in 0..slots {
+            let cw = citywide[slot];
+            for road in self.graph.road_ids() {
+                let base = self.expected_speed(road, slot);
+                let noise = (self.params.noise_sigma * rng_ext::gaussian(&mut rng)).exp();
+                let v = base * cw * mult[slot * n + road.index()] * noise;
+                let cap = self.graph.meta(road).free_flow_kmh * 1.3;
+                field.set_speed(
+                    slot,
+                    road,
+                    v.clamp(self.params.min_speed_kmh, cap),
+                );
+            }
+        }
+        field
+    }
+
+    /// Generates `days` consecutive days starting at `first_day`.
+    pub fn simulate_days(&self, first_day: u64, days: usize) -> Vec<SpeedField> {
+        (0..days as u64)
+            .map(|d| self.simulate_day(first_day + d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::generate::{grid_city, GridParams};
+
+    fn sim() -> TrafficSimulator {
+        let g = grid_city(&GridParams {
+            width: 5,
+            height: 5,
+            ..GridParams::default()
+        });
+        TrafficSimulator::new(g, SlotClock::hourly(), TrafficParams::default(), 99)
+    }
+
+    #[test]
+    fn day_is_deterministic() {
+        let s = sim();
+        assert_eq!(s.simulate_day(3), s.simulate_day(3));
+    }
+
+    #[test]
+    fn different_days_differ() {
+        let s = sim();
+        assert_ne!(s.simulate_day(0), s.simulate_day(1));
+    }
+
+    #[test]
+    fn speeds_physical() {
+        let s = sim();
+        let day = s.simulate_day(0);
+        for slot in 0..day.num_slots() {
+            for r in s.graph().road_ids() {
+                let v = day.speed(slot, r);
+                assert!(v >= s.params().min_speed_kmh);
+                assert!(v <= s.graph().meta(r).free_flow_kmh * 1.3 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rush_hour_slower_on_average() {
+        let s = sim();
+        let days = s.simulate_days(0, 6);
+        let clock = *s.clock();
+        let rush = clock.slot_of_hour(8.25);
+        let calm = clock.slot_of_hour(12.5);
+        let mut rush_total = 0.0;
+        let mut calm_total = 0.0;
+        for d in &days {
+            rush_total += d.slot_speeds(rush).iter().sum::<f64>();
+            calm_total += d.slot_speeds(calm).iter().sum::<f64>();
+        }
+        assert!(
+            rush_total < calm_total * 0.95,
+            "rush {rush_total} vs calm {calm_total}"
+        );
+    }
+
+    #[test]
+    fn neighbours_co_trend_more_than_distant_roads() {
+        // The structural property the whole paper rests on: adjacent
+        // roads agree on trend direction more often than far-apart ones.
+        let s = sim();
+        let days: Vec<_> = s.simulate_days(0, 14);
+        let g = s.graph();
+        let n = g.num_roads();
+        let slots = s.clock().slots_per_day;
+
+        // Historical mean per (slot, road).
+        let mut mean = vec![0.0f64; slots * n];
+        for d in &days {
+            for (m, v) in mean.iter_mut().zip(d.as_slice()) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= days.len() as f64;
+        }
+        let trend = |d: &SpeedField, slot: usize, r: RoadId| {
+            d.speed(slot, r) >= mean[slot * n + r.index()]
+        };
+
+        let mut agree_adj = 0u64;
+        let mut total_adj = 0u64;
+        let mut agree_far = 0u64;
+        let mut total_far = 0u64;
+        let far_pairs: Vec<(RoadId, RoadId)> = (0..n as u32 / 2)
+            .map(|i| (RoadId(i), RoadId(n as u32 - 1 - i)))
+            .filter(|&(a, b)| {
+                !g.are_adjacent(a, b) && g.distance(a, b) > 600.0
+            })
+            .collect();
+        for d in &days {
+            for slot in 0..slots {
+                for a in g.road_ids() {
+                    for &b in g.neighbors(a) {
+                        if a < b {
+                            total_adj += 1;
+                            if trend(d, slot, a) == trend(d, slot, b) {
+                                agree_adj += 1;
+                            }
+                        }
+                    }
+                }
+                for &(a, b) in &far_pairs {
+                    total_far += 1;
+                    if trend(d, slot, a) == trend(d, slot, b) {
+                        agree_far += 1;
+                    }
+                }
+            }
+        }
+        let p_adj = agree_adj as f64 / total_adj as f64;
+        let p_far = agree_far as f64 / total_far as f64;
+        assert!(
+            p_adj > p_far + 0.03,
+            "adjacent co-trend {p_adj:.3} should exceed distant {p_far:.3}"
+        );
+        assert!(p_adj > 0.6, "adjacent co-trend too weak: {p_adj:.3}");
+    }
+
+    #[test]
+    fn expected_speed_uses_class_profile() {
+        let s = sim();
+        let r = s.graph().road_ids().next().unwrap();
+        let rush = s.clock().slot_of_hour(8.25);
+        let calm = s.clock().slot_of_hour(12.5);
+        assert!(s.expected_speed(r, rush) < s.expected_speed(r, calm));
+    }
+
+    #[test]
+    fn speed_field_accessors() {
+        let mut f = SpeedField::filled(2, 3, 1.0);
+        f.set_speed(1, RoadId(2), 42.0);
+        assert_eq!(f.speed(1, RoadId(2)), 42.0);
+        assert_eq!(f.slot_speeds(0), &[1.0, 1.0, 1.0]);
+        assert_eq!(f.slot_speeds(1), &[1.0, 1.0, 42.0]);
+        assert_eq!(f.num_slots(), 2);
+        assert_eq!(f.num_roads(), 3);
+    }
+}

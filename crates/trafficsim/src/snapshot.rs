@@ -1,0 +1,186 @@
+//! Compact binary snapshots of speed data.
+//!
+//! Real deployments archive every day of traffic data; a day of
+//! `f64` speeds for a mid-size city is a few megabytes, so snapshots
+//! use a simple length-prefixed little-endian binary layout
+//! (via `bytes`) rather than a text format. `NaN` cells (missing probe
+//! observations) round-trip bit-exactly.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "CSPD" | version u16 | slots u32 | roads u32 | data f64 * (slots*roads)
+//! ```
+
+use crate::history::HistoricalData;
+use crate::profile::SlotClock;
+use crate::simulate::SpeedField;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use roadnet::RoadId;
+
+const MAGIC: &[u8; 4] = b"CSPD";
+const VERSION: u16 = 1;
+
+/// Snapshot decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Input shorter than its headers/payload claim.
+    Truncated,
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "not a speed snapshot"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Encodes one day's speed field.
+pub fn encode_field(field: &SpeedField) -> Bytes {
+    let mut buf =
+        BytesMut::with_capacity(4 + 2 + 8 + field.num_slots() * field.num_roads() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(field.num_slots() as u32);
+    buf.put_u32_le(field.num_roads() as u32);
+    for &v in field.as_slice() {
+        buf.put_f64_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes one day's speed field.
+pub fn decode_field(mut buf: impl Buf) -> Result<SpeedField, SnapshotError> {
+    if buf.remaining() < 14 {
+        return Err(SnapshotError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let slots = buf.get_u32_le() as usize;
+    let roads = buf.get_u32_le() as usize;
+    if buf.remaining() < slots * roads * 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    let mut field = SpeedField::filled(slots, roads, 0.0);
+    for slot in 0..slots {
+        for r in 0..roads {
+            field.set_speed(slot, RoadId(r as u32), buf.get_f64_le());
+        }
+    }
+    Ok(field)
+}
+
+/// Encodes a multi-day history (day count prefix + concatenated days).
+pub fn encode_history(history: &HistoricalData) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(history.num_days() as u32);
+    for day in history.days() {
+        let enc = encode_field(day);
+        buf.put_u32_le(enc.len() as u32);
+        buf.put_slice(&enc);
+    }
+    buf.freeze()
+}
+
+/// Decodes a multi-day history.
+pub fn decode_history(
+    clock: SlotClock,
+    mut buf: impl Buf,
+) -> Result<HistoricalData, SnapshotError> {
+    if buf.remaining() < 4 {
+        return Err(SnapshotError::Truncated);
+    }
+    let days = buf.get_u32_le() as usize;
+    let mut fields = Vec::with_capacity(days);
+    for _ in 0..days {
+        if buf.remaining() < 4 {
+            return Err(SnapshotError::Truncated);
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return Err(SnapshotError::Truncated);
+        }
+        let day = buf.copy_to_bytes(len);
+        fields.push(decode_field(day)?);
+    }
+    Ok(HistoricalData::from_days(clock, fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field_with_nan() -> SpeedField {
+        let mut f = SpeedField::filled(3, 4, 30.0);
+        f.set_speed(1, RoadId(2), f64::NAN);
+        f.set_speed(2, RoadId(0), 87.125);
+        f
+    }
+
+    fn bits(f: &SpeedField) -> Vec<u64> {
+        f.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn field_roundtrips_bit_exact() {
+        let f = field_with_nan();
+        let enc = encode_field(&f);
+        let dec = decode_field(enc).unwrap();
+        assert_eq!(bits(&f), bits(&dec));
+        assert_eq!(dec.num_slots(), 3);
+        assert_eq!(dec.num_roads(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut enc = BytesMut::from(&encode_field(&field_with_nan())[..]);
+        enc[0] = b'X';
+        assert_eq!(decode_field(enc.freeze()), Err(SnapshotError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut enc = BytesMut::from(&encode_field(&field_with_nan())[..]);
+        enc[4] = 99;
+        assert_eq!(
+            decode_field(enc.freeze()),
+            Err(SnapshotError::BadVersion(99))
+        );
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let enc = encode_field(&field_with_nan());
+        let cut = enc.slice(0..enc.len() - 5);
+        assert_eq!(decode_field(cut), Err(SnapshotError::Truncated));
+        assert_eq!(decode_field(&b"CS"[..]), Err(SnapshotError::Truncated));
+    }
+
+    #[test]
+    fn history_roundtrips() {
+        let clock = SlotClock { slots_per_day: 3 };
+        let h = HistoricalData::from_days(clock, vec![field_with_nan(), field_with_nan()]);
+        let enc = encode_history(&h);
+        let dec = decode_history(clock, enc).unwrap();
+        assert_eq!(dec.num_days(), 2);
+        for (a, b) in h.days().iter().zip(dec.days()) {
+            assert_eq!(bits(a), bits(b));
+        }
+    }
+}

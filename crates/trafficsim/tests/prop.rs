@@ -1,0 +1,110 @@
+//! Property-based tests of the traffic simulator.
+
+use proptest::prelude::*;
+use roadnet::generate::{grid_city, GridParams};
+use roadnet::RoadId;
+use trafficsim::{
+    snapshot, HistoricalData, HistoryStats, SlotClock, SpeedField, TrafficParams,
+    TrafficSimulator,
+};
+
+fn small_sim(seed: u64) -> TrafficSimulator {
+    let g = grid_city(&GridParams {
+        width: 4,
+        height: 4,
+        ..GridParams::default()
+    });
+    TrafficSimulator::new(g, SlotClock { slots_per_day: 12 }, TrafficParams::default(), seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn simulated_speeds_always_physical(seed in any::<u64>(), day in 0u64..100) {
+        let sim = small_sim(seed);
+        let field = sim.simulate_day(day);
+        for slot in 0..field.num_slots() {
+            for r in sim.graph().road_ids() {
+                let v = field.speed(slot, r);
+                prop_assert!(v >= sim.params().min_speed_kmh);
+                prop_assert!(v <= sim.graph().meta(r).free_flow_kmh * 1.3 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn same_day_same_speeds(seed in any::<u64>(), day in 0u64..50) {
+        let sim = small_sim(seed);
+        prop_assert_eq!(sim.simulate_day(day), sim.simulate_day(day));
+    }
+
+    #[test]
+    fn history_stats_mean_is_between_extremes(seed in 0u64..500, days in 2usize..6) {
+        let sim = small_sim(seed);
+        let fields: Vec<SpeedField> = sim.simulate_days(0, days);
+        let h = HistoricalData::from_days(*sim.clock(), fields.clone());
+        let stats = HistoryStats::compute(&h);
+        for slot in 0..sim.clock().slots_per_day {
+            for r in sim.graph().road_ids() {
+                let values: Vec<f64> = fields.iter().map(|f| f.speed(slot, r)).collect();
+                let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let m = stats.mean(slot, r);
+                prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn up_rate_is_a_probability(seed in 0u64..500) {
+        let sim = small_sim(seed);
+        let h = HistoricalData::from_days(*sim.clock(), sim.simulate_days(0, 4));
+        let stats = HistoryStats::compute(&h);
+        for slot in 0..sim.clock().slots_per_day {
+            for r in sim.graph().road_ids() {
+                let u = stats.up_rate(slot, r);
+                prop_assert!((0.0..=1.0).contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_any_field(
+        slots in 1usize..6,
+        roads in 1usize..10,
+        values in prop::collection::vec(prop::num::f64::ANY, 60),
+    ) {
+        let mut f = SpeedField::filled(slots, roads, 0.0);
+        let mut i = 0;
+        for s in 0..slots {
+            for r in 0..roads {
+                f.set_speed(s, RoadId(r as u32), values[i % values.len()]);
+                i += 1;
+            }
+        }
+        let dec = snapshot::decode_field(snapshot::encode_field(&f)).unwrap();
+        for (a, b) in f.as_slice().iter().zip(dec.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn crowd_reports_bounded_by_noise(sigma in 0.0f64..0.3, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let truth = SpeedField::filled(1, 2, 40.0);
+        let params = trafficsim::crowd::CrowdParams {
+            workers_per_seed: 20,
+            response_rate: 1.0,
+            noise_sigma: sigma,
+            trim: 0.1,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let reports = trafficsim::crowd::crowdsource(&truth, 0, &[RoadId(0)], &params, &mut rng);
+        let s = reports[0].speed.unwrap();
+        // 20 trimmed reports with multiplicative log-normal noise:
+        // within e^{±5 sigma} of truth with overwhelming probability.
+        prop_assert!(s > 40.0 * (-5.0 * sigma - 1e-9).exp());
+        prop_assert!(s < 40.0 * (5.0 * sigma + 1e-9).exp());
+    }
+}

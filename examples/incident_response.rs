@@ -1,0 +1,113 @@
+//! Incident response: detecting a localised traffic collapse.
+//!
+//! ```text
+//! cargo run --release --example incident_response
+//! ```
+//!
+//! Injects a severe unplanned incident (think multi-car crash) into a
+//! held-out day: a neighbourhood's speeds collapse to 35 % of normal.
+//! Then compares what the city sees *with* the crowdspeed estimator
+//! versus the historical-average picture: the estimator localises the
+//! slowdown from a handful of seed observations, the static picture
+//! misses it entirely.
+
+use crowdspeed::prelude::*;
+use roadnet::{path, RoadId};
+use trafficsim::dataset::{metro_small, DatasetParams};
+
+fn main() {
+    let ds = metro_small(&DatasetParams {
+        training_days: 12,
+        test_days: 1,
+        ..DatasetParams::default()
+    });
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    let seeds = lazy_greedy(&influence, ds.graph.num_roads() / 6).seeds;
+    let est = TrafficEstimator::train(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &corr,
+        &seeds,
+        &EstimatorConfig::default(),
+    )
+    .expect("training");
+
+    // Inject the incident into the held-out day at 14:00: epicentre
+    // road 30, everything within 3 hops collapses (decaying outward).
+    let slot = ds.clock.slot_of_hour(14.0);
+    let epicenter = RoadId(30);
+    let mut truth = ds.test_days[0].clone();
+    let hops = path::bfs_hops(&ds.graph, epicenter, 3);
+    let mut zone = Vec::new();
+    for r in ds.graph.road_ids() {
+        let h = hops[r.index()];
+        if h != u32::MAX {
+            let factor = (0.35 + 0.15 * h as f64).min(1.0);
+            truth.set_speed(slot, r, truth.speed(slot, r) * factor);
+            zone.push(r);
+        }
+    }
+    println!(
+        "incident at {} ({} roads affected within 3 hops), 14:00",
+        epicenter,
+        zone.len()
+    );
+
+    // The crowd reports the seeds' (now partly collapsed) true speeds.
+    let obs: Vec<(RoadId, f64)> = seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
+    let observed_in_zone = seeds.iter().filter(|s| zone.contains(s)).count();
+    println!("seeds inside the incident zone: {observed_in_zone}/{}", seeds.len());
+
+    let r = est.estimate(slot, &obs);
+
+    // Compare pictures inside the zone (non-seed roads only).
+    let mut rows = Vec::new();
+    for &road in zone.iter().filter(|r| !seeds.contains(r)).take(10) {
+        rows.push((
+            road,
+            truth.speed(slot, road),
+            r.speeds[road.index()],
+            stats.mean(slot, road),
+        ));
+    }
+    println!("\nroad  | truth | crowdspeed | static history");
+    println!("------+-------+------------+---------------");
+    for (road, t, e, h) in &rows {
+        println!("{road:>5} | {t:>5.1} | {e:>10.1} | {h:>13.1}");
+    }
+
+    // Zone-level verdict.
+    let zone_nonseed: Vec<RoadId> = zone.iter().copied().filter(|r| !seeds.contains(r)).collect();
+    let mean = |f: &dyn Fn(RoadId) -> f64| -> f64 {
+        zone_nonseed.iter().map(|&r| f(r)).sum::<f64>() / zone_nonseed.len() as f64
+    };
+    let truth_mean = mean(&|road| truth.speed(slot, road));
+    let est_mean = mean(&|road| r.speeds[road.index()]);
+    let hist_mean = mean(&|road| stats.mean(slot, road));
+    // Flag a road when its estimated speed sits well below its usual
+    // speed (estimated deviation < 0.93) — sharper than the raw binary
+    // trend because it folds in the magnitude channel.
+    let flagged = |road: RoadId| r.speeds[road.index()] < 0.93 * stats.mean(slot, road);
+    let detected = zone_nonseed.iter().filter(|&&road| flagged(road)).count();
+    let outside: Vec<RoadId> = ds
+        .graph
+        .road_ids()
+        .filter(|road| !zone.contains(road) && !seeds.contains(road))
+        .collect();
+    let false_flags = outside.iter().filter(|&&road| flagged(road)).count();
+    println!(
+        "\nzone mean speed: truth {truth_mean:.1} km/h, crowdspeed {est_mean:.1}, static {hist_mean:.1}"
+    );
+    println!(
+        "detection: {detected}/{} zone roads flagged slow vs {false_flags}/{} outside the zone",
+        zone_nonseed.len(),
+        outside.len()
+    );
+    println!(
+        "(the static picture flags nothing anywhere; magnitude is regression-to-the-mean \
+         conservative, but the slowdown is localised correctly)"
+    );
+}

@@ -1,0 +1,107 @@
+//! Route ETA service: live travel-time estimates for commuters.
+//!
+//! ```text
+//! cargo run --release --example route_eta
+//! ```
+//!
+//! The application the paper's introduction motivates: a navigation
+//! service needs every road's current speed to answer "how long across
+//! town, right now?". This example plans the same corner-to-corner trip
+//! at several times of day with two speed pictures — crowdspeed's
+//! real-time estimates and the static historical averages — and scores
+//! each *promised* ETA against the time the trip actually takes on the
+//! simulator's true speeds.
+
+use crowdspeed::prelude::*;
+use crowdspeed::routing::fastest_route;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roadnet::generate::{grid_city, GridParams};
+use roadnet::RoadId;
+use trafficsim::crowd::{answered, crowdsource, CrowdParams};
+use trafficsim::dataset::{Dataset, DatasetParams};
+use trafficsim::SlotClock;
+
+fn main() {
+    let graph = grid_city(&GridParams {
+        width: 13,
+        height: 13,
+        ..GridParams::default()
+    });
+    let ds = Dataset::assemble(
+        "route-demo-grid",
+        graph,
+        SlotClock::hourly(),
+        &DatasetParams {
+            training_days: 14,
+            test_days: 1,
+            ..DatasetParams::default()
+        },
+    );
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    let seeds = lazy_greedy(&influence, ds.graph.num_roads() / 8).seeds;
+    let est = TrafficEstimator::train(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &corr,
+        &seeds,
+        &EstimatorConfig::default(),
+    )
+    .expect("training");
+
+    let n = ds.graph.num_roads();
+    let (from, to) = (RoadId(0), RoadId((n - 1) as u32));
+    let truth = &ds.test_days[0];
+    println!(
+        "corner-to-corner trip {from} -> {to} on a {} road grid ({} seeds observed)\n",
+        n,
+        seeds.len()
+    );
+    println!(" departure | planner    | promised | actual | promise error");
+    println!("-----------+------------+----------+--------+---------------");
+
+    let mut ours_err_total = 0.0;
+    let mut hist_err_total = 0.0;
+    let mut count = 0;
+    for hour in [7.0, 8.0, 9.0, 12.0, 15.0, 17.0, 18.0, 19.0, 22.0] {
+        let slot = ds.clock.slot_of_hour(hour);
+        let mut rng = StdRng::seed_from_u64(slot as u64);
+        let reports = crowdsource(truth, slot, &seeds, &CrowdParams::default(), &mut rng);
+        let estimate = est.estimate(slot, &answered(&reports));
+        let hist_speeds: Vec<f64> = ds.graph.road_ids().map(|r| stats.mean(slot, r)).collect();
+
+        let score = |segments: &[RoadId]| -> f64 {
+            segments
+                .iter()
+                .map(|&r| {
+                    (ds.graph.meta(r).length_m / 1000.0) / truth.speed(slot, r).max(1.0) * 60.0
+                })
+                .sum()
+        };
+        let ours = fastest_route(&ds.graph, &estimate.speeds, from, to).expect("connected");
+        let hist = fastest_route(&ds.graph, &hist_speeds, from, to).expect("connected");
+        let ours_actual = score(&ours.segments);
+        let hist_actual = score(&hist.segments);
+        let ours_err = (ours.minutes - ours_actual).abs();
+        let hist_err = (hist.minutes - hist_actual).abs();
+        ours_err_total += ours_err;
+        hist_err_total += hist_err;
+        count += 1;
+        println!(
+            "     {:>2}:00 | crowdspeed | {:>5.1} min | {:>4.1} min | {:>10.1} min",
+            hour as usize, ours.minutes, ours_actual, ours_err
+        );
+        println!(
+            "           | static     | {:>5.1} min | {:>4.1} min | {:>10.1} min",
+            hist.minutes, hist_actual, hist_err
+        );
+    }
+    println!(
+        "\nmean promise error: crowdspeed {:.2} min vs static {:.2} min",
+        ours_err_total / count as f64,
+        hist_err_total / count as f64
+    );
+}

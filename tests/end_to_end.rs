@@ -1,0 +1,194 @@
+//! Cross-crate integration: the full pipeline from synthetic city to
+//! evaluated estimates, asserting the paper's qualitative claims hold
+//! on the synthetic substrate.
+
+use crowdspeed::eval::{evaluate, EvalConfig, Method};
+use crowdspeed::prelude::*;
+use trafficsim::dataset::{metro_small, DatasetParams};
+
+fn dataset() -> trafficsim::dataset::Dataset {
+    metro_small(&DatasetParams {
+        training_days: 14,
+        test_days: 2,
+        ..DatasetParams::default()
+    })
+}
+
+fn eval_cfg(ds: &trafficsim::dataset::Dataset) -> EvalConfig {
+    EvalConfig {
+        slots: (0..ds.clock.slots_per_day).step_by(2).collect(),
+        ..EvalConfig::default()
+    }
+}
+
+fn greedy_seeds(ds: &trafficsim::dataset::Dataset, k: usize) -> Vec<roadnet::RoadId> {
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    lazy_greedy(&influence, k).seeds
+}
+
+#[test]
+fn two_step_beats_every_baseline() {
+    let ds = dataset();
+    let seeds = greedy_seeds(&ds, ds.graph.num_roads() / 10);
+    let cfg = eval_cfg(&ds);
+
+    let ours = evaluate(&ds, &seeds, &Method::TwoStep(EstimatorConfig::default()), &cfg);
+    for baseline in [
+        Method::HistoricalMean,
+        Method::KnnSpatial { k: 5 },
+        Method::GlobalRegression,
+        Method::LabelPropagation {
+            iterations: 30,
+            anchor: 0.2,
+        },
+    ] {
+        let rep = evaluate(&ds, &seeds, &baseline, &cfg);
+        assert!(
+            ours.error.mape <= rep.error.mape + 1e-9,
+            "two-step MAPE {:.4} should not lose to {} MAPE {:.4}",
+            ours.error.mape,
+            rep.method,
+            rep.error.mape
+        );
+    }
+}
+
+#[test]
+fn more_seeds_help() {
+    let ds = dataset();
+    let cfg = eval_cfg(&ds);
+    let method = Method::TwoStep(EstimatorConfig::default());
+    let small = evaluate(&ds, &greedy_seeds(&ds, 4), &method, &cfg);
+    let large = evaluate(&ds, &greedy_seeds(&ds, 25), &method, &cfg);
+    assert!(
+        large.error.mape < small.error.mape,
+        "25 seeds ({:.4}) should beat 4 seeds ({:.4})",
+        large.error.mape,
+        small.error.mape
+    );
+}
+
+#[test]
+fn trend_inference_beats_prior_only() {
+    let ds = dataset();
+    let seeds = greedy_seeds(&ds, ds.graph.num_roads() / 10);
+    let cfg = eval_cfg(&ds);
+    let lbp = evaluate(&ds, &seeds, &Method::TwoStep(EstimatorConfig::default()), &cfg);
+    let prior = evaluate(
+        &ds,
+        &seeds,
+        &Method::TwoStep(EstimatorConfig {
+            engine: TrendEngine::PriorOnly,
+            ..EstimatorConfig::default()
+        }),
+        &cfg,
+    );
+    assert!(
+        lbp.trend_accuracy > prior.trend_accuracy,
+        "LBP trend accuracy {:.4} should beat prior-only {:.4}",
+        lbp.trend_accuracy,
+        prior.trend_accuracy
+    );
+}
+
+#[test]
+fn greedy_seeds_beat_random_on_coverage_and_error() {
+    let ds = dataset();
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    let obj = SeedObjective::new(&influence);
+    let k = ds.graph.num_roads() / 10;
+
+    let greedy_sel = lazy_greedy(&influence, k);
+    // Average random coverage over a few draws.
+    let mut random_cov = 0.0;
+    for seed in 0..5 {
+        let rs = random_seeds(ds.graph.num_roads(), k, seed);
+        random_cov += obj.value(&rs);
+    }
+    random_cov /= 5.0;
+    assert!(
+        greedy_sel.objective > random_cov,
+        "greedy coverage {:.1} should beat mean random coverage {:.1}",
+        greedy_sel.objective,
+        random_cov
+    );
+}
+
+#[test]
+fn estimator_is_deterministic() {
+    let ds = dataset();
+    let seeds = greedy_seeds(&ds, 10);
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let est1 = TrafficEstimator::train(&ds.graph, &ds.history, &stats, &corr, &seeds, &EstimatorConfig::default()).unwrap();
+    let est2 = TrafficEstimator::train(&ds.graph, &ds.history, &stats, &corr, &seeds, &EstimatorConfig::default()).unwrap();
+    let truth = &ds.test_days[0];
+    let slot = 9;
+    let obs: Vec<(roadnet::RoadId, f64)> =
+        seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
+    let r1 = est1.estimate(slot, &obs);
+    let r2 = est2.estimate(slot, &obs);
+    assert_eq!(r1.speeds, r2.speeds);
+    assert_eq!(r1.p_up, r2.p_up);
+}
+
+#[test]
+fn confidence_is_calibrated_with_error() {
+    // The per-road confidence exposed by the estimator is the seed
+    // objective's coverage term; if the objective is the right thing to
+    // maximise, high-confidence roads must carry lower error.
+    let ds = dataset();
+    let seeds = greedy_seeds(&ds, ds.graph.num_roads() / 10);
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let est = TrafficEstimator::train(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &corr,
+        &seeds,
+        &EstimatorConfig::default(),
+    )
+    .unwrap();
+
+    let mut high_truth = Vec::new();
+    let mut high_est = Vec::new();
+    let mut low_truth = Vec::new();
+    let mut low_est = Vec::new();
+    for (day, truth) in ds.test_days.iter().enumerate() {
+        for slot in (0..ds.clock.slots_per_day).step_by(2) {
+            let _ = day;
+            let obs: Vec<(roadnet::RoadId, f64)> =
+                seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
+            let r = est.estimate(slot, &obs);
+            for road in ds.graph.road_ids().filter(|ro| !seeds.contains(ro)) {
+                let (t, e) = (truth.speed(slot, road), r.speeds[road.index()]);
+                if r.confidence[road.index()] >= 0.5 {
+                    high_truth.push(t);
+                    high_est.push(e);
+                } else {
+                    low_truth.push(t);
+                    low_est.push(e);
+                }
+            }
+        }
+    }
+    assert!(
+        high_truth.len() > 100 && low_truth.len() > 100,
+        "degenerate split: {} vs {}",
+        high_truth.len(),
+        low_truth.len()
+    );
+    let high = crowdspeed::metrics::ErrorStats::from_pairs(high_truth.iter().zip(&high_est));
+    let low = crowdspeed::metrics::ErrorStats::from_pairs(low_truth.iter().zip(&low_est));
+    assert!(
+        high.mape < low.mape,
+        "high-confidence MAPE {:.4} should beat low-confidence {:.4}",
+        high.mape,
+        low.mape
+    );
+}

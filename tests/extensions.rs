@@ -1,0 +1,146 @@
+//! Integration tests for the beyond-the-paper extensions: online
+//! correlation maintenance, temporal seed plans, routing, and the
+//! confidence channel, exercised together on one dataset.
+
+use crowdspeed::online::OnlineCorrelation;
+use crowdspeed::prelude::*;
+use crowdspeed::routing::{eta_minutes, fastest_route};
+use crowdspeed::seed::temporal::{standard_periods, TemporalSeedPlan};
+use roadnet::RoadId;
+use trafficsim::dataset::{metro_small, DatasetParams};
+
+fn dataset() -> trafficsim::dataset::Dataset {
+    metro_small(&DatasetParams {
+        training_days: 10,
+        test_days: 2,
+        ..DatasetParams::default()
+    })
+}
+
+#[test]
+fn online_model_feeds_a_working_estimator() {
+    // Bootstrap online correlation, ingest a fresh day, and train an
+    // estimator from its live graph — the production refresh loop.
+    let ds = dataset();
+    let mut online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &CorrelationConfig::default());
+    online.ingest_day(&ds.test_days[0]);
+    let corr = online.correlation_graph();
+    let stats = HistoryStats::compute(&ds.history);
+    let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    let seeds = lazy_greedy(&influence, 10).seeds;
+    let est = TrafficEstimator::train(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &corr,
+        &seeds,
+        &EstimatorConfig::default(),
+    )
+    .unwrap();
+    let truth = &ds.test_days[1];
+    let obs: Vec<(RoadId, f64)> = seeds.iter().map(|&s| (s, truth.speed(9, s))).collect();
+    let r = est.estimate(9, &obs);
+    assert!(r.speeds.iter().all(|v| v.is_finite() && *v > 0.0));
+}
+
+#[test]
+fn temporal_plan_drives_per_period_estimators() {
+    let ds = dataset();
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let plan = TemporalSeedPlan::select(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+        &InfluenceConfig::default(),
+        standard_periods(ds.clock.slots_per_day),
+        8,
+    );
+    // One estimator per period; estimate a slot from each period's own
+    // seeds.
+    let truth = &ds.test_days[0];
+    for i in 0..plan.periods().len() {
+        let seeds = plan.period_seeds(i).to_vec();
+        let est = TrafficEstimator::train(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &corr,
+            &seeds,
+            &EstimatorConfig::default(),
+        )
+        .unwrap();
+        let slot = plan.periods()[i].slots[0];
+        let obs: Vec<(RoadId, f64)> = seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
+        let r = est.estimate(slot, &obs);
+        assert_eq!(r.speeds.len(), ds.graph.num_roads());
+        assert_eq!(plan.seeds_for_slot(slot), &seeds[..]);
+    }
+}
+
+#[test]
+fn estimated_speeds_produce_consistent_routes() {
+    let ds = dataset();
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    let seeds = lazy_greedy(&influence, 10).seeds;
+    let est = TrafficEstimator::train(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &corr,
+        &seeds,
+        &EstimatorConfig::default(),
+    )
+    .unwrap();
+    let truth = &ds.test_days[0];
+    let slot = 8;
+    let obs: Vec<(RoadId, f64)> = seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
+    let r = est.estimate(slot, &obs);
+
+    let from = RoadId(0);
+    let etas = eta_minutes(&ds.graph, &r.speeds, from);
+    // The city is connected, so every ETA is finite, and every
+    // reconstructed route's promised time matches the ETA matrix.
+    for to in ds.graph.road_ids() {
+        assert!(etas[to.index()].is_finite(), "{to} unreachable");
+        let route = fastest_route(&ds.graph, &r.speeds, from, to).expect("reachable");
+        assert!(
+            (route.minutes - etas[to.index()]).abs() < 1e-6,
+            "{to}: route {} vs eta {}",
+            route.minutes,
+            etas[to.index()]
+        );
+        assert_eq!(route.segments.first(), Some(&from));
+        assert_eq!(route.segments.last(), Some(&to));
+    }
+}
+
+#[test]
+fn confidence_rises_with_budget() {
+    let ds = dataset();
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    let mean_conf = |k: usize| -> f64 {
+        let seeds = lazy_greedy(&influence, k).seeds;
+        let est = TrafficEstimator::train(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &corr,
+            &seeds,
+            &EstimatorConfig::default(),
+        )
+        .unwrap();
+        linalg::stats::mean(est.coverage())
+    };
+    let small = mean_conf(5);
+    let large = mean_conf(25);
+    assert!(
+        large > small,
+        "confidence must grow with the budget: {small} vs {large}"
+    );
+}

@@ -1,0 +1,232 @@
+//! Inference-engine consistency on correlation structure derived from
+//! the synthetic city: LBP and Gibbs must track exact marginals.
+
+use crowdspeed::inference::trend_model::{TrendEngine, TrendModel, TrendModelConfig};
+use crowdspeed::prelude::*;
+use graphmodel::gibbs::GibbsOptions;
+use roadnet::RoadId;
+use trafficsim::dataset::{metro_small, DatasetParams};
+
+/// Builds a trend model over a sub-city small enough for exact
+/// inference (<= `n` roads).
+fn small_trend_model(n: usize) -> (TrendModel, HistoryStats) {
+    let ds = metro_small(&DatasetParams {
+        training_days: 10,
+        test_days: 1,
+        ..DatasetParams::default()
+    });
+    let stats = HistoryStats::compute(&ds.history);
+    let full = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig {
+            min_cotrend: 0.6,
+            min_co_observations: 6,
+            ..CorrelationConfig::default()
+        },
+    );
+    let edges: Vec<_> = full
+        .edges()
+        .iter()
+        .filter(|e| e.a.index() < n && e.b.index() < n)
+        .copied()
+        .collect();
+    let corr = CorrelationGraph::from_edges(n, edges);
+    // Stats cover the full city; the model only reads the first n road
+    // priors, which is fine because road ids are shared.
+    let sub_stats = stats_restricted(&stats, n);
+    let model = TrendModel::new(corr, &sub_stats, TrendModelConfig::default());
+    (model, sub_stats)
+}
+
+/// Restrict HistoryStats to the first `n` roads by rebuilding from a
+/// truncated history. (HistoryStats has no public truncation; rebuild.)
+fn stats_restricted(stats: &HistoryStats, n: usize) -> HistoryStats {
+    // Rebuild a minimal HistoricalData whose means/up-rates match the
+    // first n roads of `stats` exactly: one day at the mean (counts as
+    // "up"), and one day slightly below (counts as "down") gives
+    // up-rate 0.5 and the same mean is *not* preserved exactly — so
+    // instead, replay two days around the recorded mean.
+    let slots = stats.num_slots();
+    let mut d_up = trafficsim::SpeedField::filled(slots, n, 0.0);
+    let mut d_down = trafficsim::SpeedField::filled(slots, n, 0.0);
+    for slot in 0..slots {
+        for r in 0..n {
+            let m = stats.mean(slot, RoadId(r as u32));
+            d_up.set_speed(slot, RoadId(r as u32), m * 1.1);
+            d_down.set_speed(slot, RoadId(r as u32), m * 0.9);
+        }
+    }
+    let h = trafficsim::HistoricalData::from_days(
+        trafficsim::SlotClock {
+            slots_per_day: slots,
+        },
+        vec![d_up, d_down],
+    );
+    HistoryStats::compute(&h)
+}
+
+/// Restricts a model's correlation edges to a BFS spanning forest —
+/// LBP is exact on trees, so the comparison there is tight.
+fn spanning_forest_model(n: usize) -> TrendModel {
+    let (model, stats) = small_trend_model(n);
+    let corr = model.correlation();
+    let mut parent_known = vec![false; n];
+    let mut keep = Vec::new();
+    for root in 0..n {
+        if parent_known[root] {
+            continue;
+        }
+        parent_known[root] = true;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            for (v, _) in corr.neighbors(RoadId(u as u32)) {
+                if !parent_known[v.index()] {
+                    parent_known[v.index()] = true;
+                    let e = corr
+                        .edges()
+                        .iter()
+                        .find(|e| {
+                            (e.a.index() == u && e.b == v) || (e.b.index() == u && e.a == v)
+                        })
+                        .expect("edge exists");
+                    keep.push(*e);
+                    queue.push_back(v.index());
+                }
+            }
+        }
+    }
+    let tree = CorrelationGraph::from_edges(n, keep);
+    TrendModel::new(tree, &stats, TrendModelConfig::default())
+}
+
+#[test]
+fn lbp_exact_on_tree_structured_correlation() {
+    let model = spanning_forest_model(18);
+    let obs = [(RoadId(0), true), (RoadId(7), false)];
+    let exact = model.infer(0, &obs, &TrendEngine::Exact);
+    let lbp = model.infer(0, &obs, &TrendEngine::default());
+    for (v, (l, e)) in lbp.p_up.iter().zip(&exact.p_up).enumerate() {
+        assert!(
+            (l - e).abs() < 1e-4,
+            "road {v}: LBP {l:.4} vs exact {e:.4}"
+        );
+    }
+}
+
+#[test]
+fn lbp_tracks_exact_marginals_on_loopy_graph() {
+    // The first 18 roads of the metro city form a dense, highly loopy
+    // correlation cluster (they meet at the city centre), which is the
+    // known worst case for LBP. Decisions on *confident* roads must
+    // still match exact inference, and the average marginal gap must be
+    // modest.
+    let (model, _) = small_trend_model(18);
+    let obs = [(RoadId(0), true), (RoadId(7), false)];
+    let exact = model.infer(0, &obs, &TrendEngine::Exact);
+    let lbp = model.infer(0, &obs, &TrendEngine::default());
+    let mut gap_sum = 0.0;
+    for (v, (l, e)) in lbp.p_up.iter().zip(&exact.p_up).enumerate() {
+        gap_sum += (l - e).abs();
+        if (e - 0.5).abs() > 0.2 {
+            assert_eq!(
+                *l >= 0.5,
+                *e >= 0.5,
+                "road {v}: confident decision flipped (LBP {l:.3} vs exact {e:.3})"
+            );
+        }
+    }
+    let mean_gap = gap_sum / lbp.p_up.len() as f64;
+    assert!(mean_gap < 0.12, "mean marginal gap too large: {mean_gap:.4}");
+}
+
+#[test]
+fn gibbs_tracks_exact_marginals() {
+    let (model, _) = small_trend_model(16);
+    let obs = [(RoadId(2), false)];
+    let exact = model.infer(0, &obs, &TrendEngine::Exact);
+    let gibbs = model.infer(
+        0,
+        &obs,
+        &TrendEngine::Gibbs {
+            options: GibbsOptions {
+                burn_in: 500,
+                samples: 8000,
+            },
+            seed: 17,
+        },
+    );
+    for (v, (g, e)) in gibbs.p_up.iter().zip(&exact.p_up).enumerate() {
+        assert!(
+            (g - e).abs() < 0.05,
+            "road {v}: Gibbs {g:.4} vs exact {e:.4}"
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_hard_decisions_at_scale() {
+    // On the full small city (no exact available) LBP and a well-mixed
+    // Gibbs run must agree on nearly all hard trend calls.
+    let ds = metro_small(&DatasetParams {
+        training_days: 10,
+        test_days: 1,
+        ..DatasetParams::default()
+    });
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let model = TrendModel::new(corr, &stats, TrendModelConfig::default());
+    let truth = &ds.test_days[0];
+    let slot = 8;
+    let obs: Vec<(RoadId, bool)> = (0..12u32)
+        .map(|i| RoadId(i * 8))
+        .map(|r| (r, stats.trend_of(slot, r, truth.speed(slot, r))))
+        .collect();
+    let lbp = model.infer(slot, &obs, &TrendEngine::default());
+    let gibbs = model.infer(
+        slot,
+        &obs,
+        &TrendEngine::Gibbs {
+            options: GibbsOptions::default(),
+            seed: 23,
+        },
+    );
+    // Roads whose marginal hovers at 0.5 decide by coin flip in both
+    // engines, so agreement is only meaningful where both are
+    // confident.
+    let mut agree = 0usize;
+    let mut confident = 0usize;
+    let mut gap_sum = 0.0;
+    for (l, g) in lbp.p_up.iter().zip(&gibbs.p_up) {
+        gap_sum += (l - g).abs();
+        if (l - 0.5).abs() > 0.15 && (g - 0.5).abs() > 0.15 {
+            confident += 1;
+            if (*l >= 0.5) == (*g >= 0.5) {
+                agree += 1;
+            }
+        }
+    }
+    assert!(confident > 10, "too few confident roads ({confident}) to compare");
+    let frac = agree as f64 / confident as f64;
+    assert!(
+        frac > 0.85,
+        "confident-decision agreement only {frac:.3} over {confident} roads"
+    );
+    let mean_gap = gap_sum / lbp.p_up.len() as f64;
+    assert!(mean_gap < 0.2, "mean marginal gap {mean_gap:.3}");
+}
+
+#[test]
+fn stronger_evidence_moves_posteriors_further() {
+    let (model, _) = small_trend_model(20);
+    let weak = model.infer(0, &[(RoadId(0), false)], &TrendEngine::default());
+    let strong_obs: Vec<(RoadId, bool)> = (0..6u32).map(|i| (RoadId(i), false)).collect();
+    let strong = model.infer(0, &strong_obs, &TrendEngine::default());
+    let mean_weak = linalg::stats::mean(&weak.p_up);
+    let mean_strong = linalg::stats::mean(&strong.p_up);
+    assert!(
+        mean_strong < mean_weak,
+        "six down-observations ({mean_strong:.3}) should depress posteriors more than one ({mean_weak:.3})"
+    );
+}

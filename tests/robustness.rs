@@ -1,0 +1,181 @@
+//! Failure-injection and degradation tests: the system must degrade
+//! gracefully, not fall over, as its inputs get worse.
+
+use crowdspeed::eval::{evaluate, EvalConfig, Method};
+use crowdspeed::prelude::*;
+use roadnet::RoadId;
+use trafficsim::crowd::CrowdParams;
+use trafficsim::dataset::{metro_small, DatasetParams};
+
+fn dataset() -> trafficsim::dataset::Dataset {
+    metro_small(&DatasetParams {
+        training_days: 12,
+        test_days: 1,
+        ..DatasetParams::default()
+    })
+}
+
+fn seeds_for(ds: &trafficsim::dataset::Dataset, k: usize) -> Vec<RoadId> {
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    lazy_greedy(&influence, k).seeds
+}
+
+fn mape_with_crowd(ds: &trafficsim::dataset::Dataset, seeds: &[RoadId], crowd: CrowdParams) -> f64 {
+    let rep = evaluate(
+        ds,
+        seeds,
+        &Method::TwoStep(EstimatorConfig::default()),
+        &EvalConfig {
+            slots: (0..ds.clock.slots_per_day).step_by(2).collect(),
+            crowd,
+            ..EvalConfig::default()
+        },
+    );
+    rep.error.mape
+}
+
+#[test]
+fn extreme_worker_noise_degrades_but_stays_bounded() {
+    let ds = dataset();
+    let seeds = seeds_for(&ds, ds.graph.num_roads() / 10);
+    let clean = mape_with_crowd(
+        &ds,
+        &seeds,
+        CrowdParams {
+            noise_sigma: 0.0,
+            ..CrowdParams::default()
+        },
+    );
+    let noisy = mape_with_crowd(
+        &ds,
+        &seeds,
+        CrowdParams {
+            noise_sigma: 0.8, // wildly unreliable workers
+            ..CrowdParams::default()
+        },
+    );
+    assert!(noisy >= clean, "noise cannot improve accuracy");
+    assert!(
+        noisy < 0.5,
+        "even garbage workers must not blow up the estimator: {noisy}"
+    );
+}
+
+#[test]
+fn total_crowd_silence_falls_back_to_history() {
+    let ds = dataset();
+    let seeds = seeds_for(&ds, 10);
+    let silent = mape_with_crowd(
+        &ds,
+        &seeds,
+        CrowdParams {
+            response_rate: 0.0,
+            ..CrowdParams::default()
+        },
+    );
+    // With zero observations the estimator still answers; its error
+    // should be in the same ballpark as the pure-history baseline.
+    let hist = evaluate(
+        &ds,
+        &seeds,
+        &Method::HistoricalMean,
+        &EvalConfig {
+            slots: (0..ds.clock.slots_per_day).step_by(2).collect(),
+            ..EvalConfig::default()
+        },
+    );
+    assert!(silent < hist.error.mape * 1.5, "silent {silent} vs hist {}", hist.error.mape);
+}
+
+#[test]
+fn sparse_crowd_worse_than_full_crowd() {
+    let ds = dataset();
+    let seeds = seeds_for(&ds, ds.graph.num_roads() / 10);
+    let full = mape_with_crowd(
+        &ds,
+        &seeds,
+        CrowdParams {
+            response_rate: 1.0,
+            noise_sigma: 0.05,
+            ..CrowdParams::default()
+        },
+    );
+    let sparse = mape_with_crowd(
+        &ds,
+        &seeds,
+        CrowdParams {
+            response_rate: 0.2,
+            workers_per_seed: 1,
+            noise_sigma: 0.05,
+            ..CrowdParams::default()
+        },
+    );
+    assert!(
+        sparse >= full,
+        "an 80%-silent crowd ({sparse:.4}) cannot beat a full crowd ({full:.4})"
+    );
+}
+
+#[test]
+fn estimator_survives_adversarial_observations() {
+    // Crowd answers that are wildly wrong (10x / 0.1x true speed) must
+    // produce finite, clamped estimates.
+    let ds = dataset();
+    let seeds = seeds_for(&ds, 10);
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let est = TrafficEstimator::train(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &corr,
+        &seeds,
+        &EstimatorConfig::default(),
+    )
+    .unwrap();
+    let truth = &ds.test_days[0];
+    for factor in [0.1, 10.0] {
+        let obs: Vec<(RoadId, f64)> = seeds
+            .iter()
+            .map(|&s| (s, truth.speed(8, s) * factor))
+            .collect();
+        let r = est.estimate(8, &obs);
+        for (i, v) in r.speeds.iter().enumerate() {
+            assert!(
+                v.is_finite() && *v >= 0.0,
+                "factor {factor}: road {i} got {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn isolated_roads_still_get_estimates() {
+    // Strict correlation thresholds leave some roads with no edges at
+    // all; they must still receive sane fallback estimates.
+    let ds = dataset();
+    let stats = HistoryStats::compute(&ds.history);
+    let strict = CorrelationConfig {
+        min_cotrend: 0.95, // nearly nothing passes
+        ..CorrelationConfig::default()
+    };
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &strict);
+    let seeds: Vec<RoadId> = (0..10u32).map(|i| RoadId(i * 9)).collect();
+    let est = TrafficEstimator::train(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &corr,
+        &seeds,
+        &EstimatorConfig::default(),
+    )
+    .unwrap();
+    let truth = &ds.test_days[0];
+    let obs: Vec<(RoadId, f64)> = seeds.iter().map(|&s| (s, truth.speed(8, s))).collect();
+    let r = est.estimate(8, &obs);
+    for (i, v) in r.speeds.iter().enumerate() {
+        assert!(v.is_finite() && *v > 0.0, "road {i}: {v}");
+    }
+}

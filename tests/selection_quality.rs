@@ -1,0 +1,139 @@
+//! Seed-selection quality: greedy family vs the exhaustive optimum on
+//! correlation graphs derived from real (synthetic-city) history, not
+//! just hand-built toys.
+
+use crowdspeed::prelude::*;
+use crowdspeed::seed::partition::partition_greedy;
+use roadnet::RoadId;
+use trafficsim::dataset::{metro_small, DatasetParams};
+
+/// A small real correlation graph: restrict the metro-small city's
+/// correlation graph to its first `n` roads.
+fn small_real_influence(n: usize) -> (crowdspeed::correlation::CorrelationGraph, InfluenceModel) {
+    let ds = metro_small(&DatasetParams {
+        training_days: 10,
+        test_days: 1,
+        ..DatasetParams::default()
+    });
+    let stats = HistoryStats::compute(&ds.history);
+    let full = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig {
+            min_cotrend: 0.6,
+            min_co_observations: 6,
+            ..CorrelationConfig::default()
+        },
+    );
+    let edges: Vec<_> = full
+        .edges()
+        .iter()
+        .filter(|e| e.a.index() < n && e.b.index() < n)
+        .copied()
+        .collect();
+    let corr = CorrelationGraph::from_edges(n, edges);
+    let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    (corr, model)
+}
+
+#[test]
+fn greedy_within_guarantee_of_optimum_on_real_graph() {
+    let (_, model) = small_real_influence(14);
+    for k in [2usize, 3, 4] {
+        let opt = exhaustive(&model, k);
+        let g = greedy(&model, k);
+        assert!(
+            g.objective >= 0.632 * opt.objective - 1e-9,
+            "k={k}: greedy {:.3} below guarantee of optimum {:.3}",
+            g.objective,
+            opt.objective
+        );
+        assert!(g.objective <= opt.objective + 1e-9);
+    }
+}
+
+#[test]
+fn lazy_greedy_matches_plain_greedy_exactly() {
+    let (_, model) = small_real_influence(60);
+    for k in [3usize, 10, 25] {
+        let a = greedy(&model, k);
+        let b = lazy_greedy(&model, k);
+        assert!(
+            (a.objective - b.objective).abs() < 1e-9,
+            "k={k}: {} vs {}",
+            a.objective,
+            b.objective
+        );
+        assert!(b.evaluations <= a.evaluations);
+    }
+}
+
+#[test]
+fn partition_greedy_quality_and_validity() {
+    let (corr, model) = small_real_influence(80);
+    let k = 12;
+    let plain = greedy(&model, k);
+    let obj = SeedObjective::new(&model);
+    for parts in [2usize, 4, 8] {
+        let res = partition_greedy(&corr, &InfluenceConfig::default(), k, parts);
+        assert_eq!(res.seeds.len(), k, "parts={parts}");
+        let mut s = res.seeds.clone();
+        s.sort();
+        s.dedup();
+        assert_eq!(s.len(), k, "parts={parts}: duplicates");
+        // Fair comparison: re-score on the shared full-graph objective
+        // (the result's own objective is the cut-graph lower bound).
+        let scored = obj.value(&res.seeds);
+        assert!(
+            scored >= plain.objective * 0.6,
+            "parts={parts}: partition {scored:.2} too far below greedy {:.2}",
+            plain.objective
+        );
+        assert!(res.objective <= scored + 1e-9, "parts={parts}: bound violated");
+    }
+}
+
+#[test]
+fn coverage_is_monotone_in_k() {
+    let (_, model) = small_real_influence(60);
+    let obj = SeedObjective::new(&model);
+    let sel = lazy_greedy(&model, 30);
+    let mut prev = 0.0;
+    for k in 1..=sel.seeds.len() {
+        let v = obj.value(&sel.seeds[..k]);
+        assert!(v >= prev - 1e-9, "objective must be monotone");
+        prev = v;
+    }
+}
+
+#[test]
+fn all_selectors_return_valid_road_ids() {
+    let ds = metro_small(&DatasetParams {
+        training_days: 8,
+        test_days: 1,
+        ..DatasetParams::default()
+    });
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let n = ds.graph.num_roads();
+    let k = 9;
+    let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    let selections: Vec<(&str, Vec<RoadId>)> = vec![
+        ("greedy", greedy(&influence, k).seeds),
+        ("lazy", lazy_greedy(&influence, k).seeds),
+        ("random", random_seeds(n, k, 1)),
+        ("degree", top_degree(&corr, k)),
+        ("variance", top_variance(&ds.history, &stats, k)),
+        ("pagerank", pagerank_seeds(&corr, k, 0.85, 30)),
+        ("kcenter", k_center(&corr, k)),
+    ];
+    for (name, seeds) in selections {
+        assert_eq!(seeds.len(), k, "{name}");
+        assert!(seeds.iter().all(|r| r.index() < n), "{name}");
+        let mut s = seeds.clone();
+        s.sort();
+        s.dedup();
+        assert_eq!(s.len(), k, "{name}: duplicates");
+    }
+}

@@ -1,0 +1,72 @@
+//! Serialisation round-trips across crates: road-network text format
+//! and binary speed snapshots, on real generated data.
+
+use roadnet::io::{read_text, write_text};
+use trafficsim::dataset::{metro_small, DatasetParams};
+use trafficsim::snapshot;
+
+fn dataset() -> trafficsim::dataset::Dataset {
+    metro_small(&DatasetParams {
+        training_days: 4,
+        test_days: 1,
+        ..DatasetParams::default()
+    })
+}
+
+#[test]
+fn road_network_text_roundtrip() {
+    let ds = dataset();
+    let text = write_text(&ds.graph);
+    let back = read_text(&text).expect("parse");
+    assert_eq!(back, ds.graph);
+    // And the format is stable under a second pass.
+    assert_eq!(write_text(&back), text);
+}
+
+#[test]
+fn ground_truth_day_snapshot_roundtrip() {
+    let ds = dataset();
+    let day = &ds.test_days[0];
+    let enc = snapshot::encode_field(day);
+    let dec = snapshot::decode_field(enc).expect("decode");
+    assert_eq!(day, &dec);
+}
+
+#[test]
+fn probe_history_snapshot_preserves_missing_cells() {
+    let ds = dataset();
+    let enc = snapshot::encode_history(&ds.history);
+    let dec = snapshot::decode_history(ds.clock, enc).expect("decode");
+    assert_eq!(dec.num_days(), ds.history.num_days());
+    let mut nan_cells = 0usize;
+    for (a, b) in ds.history.days().iter().zip(dec.days()) {
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+            if x.is_nan() {
+                nan_cells += 1;
+            }
+        }
+    }
+    assert!(nan_cells > 0, "probe history should contain missing cells");
+}
+
+#[test]
+fn snapshot_size_is_predictable() {
+    let ds = dataset();
+    let day = &ds.test_days[0];
+    let enc = snapshot::encode_field(day);
+    let expected = 4 + 2 + 4 + 4 + 8 * day.num_slots() * day.num_roads();
+    assert_eq!(enc.len(), expected);
+}
+
+#[test]
+fn corrupted_snapshots_are_rejected_not_misread() {
+    let ds = dataset();
+    let enc = snapshot::encode_field(&ds.test_days[0]);
+    // Truncation at several cut points must error, never panic or
+    // return a wrong-shaped field.
+    for cut in [0usize, 3, 10, enc.len() / 2, enc.len() - 1] {
+        let sliced = enc.slice(0..cut);
+        assert!(snapshot::decode_field(sliced).is_err(), "cut at {cut}");
+    }
+}
