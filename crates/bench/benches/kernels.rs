@@ -143,6 +143,49 @@ fn end_to_end_estimate(c: &mut Criterion) {
     c.bench_function("estimate_one_slot", |b| {
         b.iter(|| black_box(est.estimate(slot, &obs)))
     });
+    // Serving path: same estimate with a reused per-worker scratch —
+    // no MRF rebuilds, no workspace allocations after warm-up.
+    let mut scratch = EstimateScratch::new();
+    c.bench_function("estimate_one_slot_warm", |b| {
+        b.iter(|| black_box(est.estimate_with(slot, &obs, &mut scratch)))
+    });
+}
+
+fn serve_throughput(c: &mut Criterion) {
+    let p = prepare();
+    let est = TrafficEstimator::train(
+        &p.ds.graph,
+        &p.ds.history,
+        &p.stats,
+        &p.corr,
+        &p.seeds,
+        &EstimatorConfig::default(),
+    )
+    .unwrap();
+    let truth = &p.ds.test_days[0];
+    let requests: Vec<EstimateRequest> = (0..p.ds.clock.slots_per_day)
+        .map(|slot| EstimateRequest {
+            slot_of_day: slot,
+            observations: p.seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect(),
+        })
+        .collect();
+    let mut g = c.benchmark_group("serve_throughput");
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(crowdspeed::serve::serve_batch(
+                        &est,
+                        &requests,
+                        &ServeOptions { threads },
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
 }
 
 fn deviation_propagation(c: &mut Criterion) {
@@ -172,7 +215,7 @@ fn online_ingest_day(c: &mut Criterion) {
     let day = p.ds.test_days[0].clone();
     c.bench_function("online_ingest_day", |b| {
         b.iter(|| {
-            online.ingest_day(black_box(&day));
+            online.ingest_day(black_box(&day)).unwrap();
         })
     });
 }
@@ -199,12 +242,7 @@ fn meanfield_inference(c: &mut Criterion) {
 
 fn route_planning(c: &mut Criterion) {
     let p = prepare();
-    let speeds: Vec<f64> = p
-        .ds
-        .graph
-        .road_ids()
-        .map(|r| p.stats.mean(8, r))
-        .collect();
+    let speeds: Vec<f64> = p.ds.graph.road_ids().map(|r| p.stats.mean(8, r)).collect();
     let n = p.ds.graph.num_roads();
     c.bench_function("fastest_route", |b| {
         b.iter(|| {
@@ -226,6 +264,7 @@ criterion_group!(
     correlation_build,
     simulator_day,
     end_to_end_estimate,
+    serve_throughput,
     deviation_propagation,
     online_ingest_day,
     meanfield_inference,

@@ -86,7 +86,10 @@ fn main() {
         ),
     ];
 
-    println!("E10: ablations on {} (K = {k}, seeds via lazy greedy)", ds.name);
+    println!(
+        "E10: ablations on {} (K = {k}, seeds via lazy greedy)",
+        ds.name
+    );
     let mut t = Table::new(&["variant", "mape", "mae", "trend-acc"]);
     for (name, config) in variants {
         let rep = evaluate(&ds, &seeds, &Method::TwoStep(config), &eval_cfg);

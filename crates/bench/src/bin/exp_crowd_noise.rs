@@ -40,7 +40,10 @@ fn main() {
         (rep.error.mape, rep.trend_accuracy)
     };
 
-    println!("E9a: worker noise sweep on {} (K = {k}, 5 workers/seed)", ds.name);
+    println!(
+        "E9a: worker noise sweep on {} (K = {k}, 5 workers/seed)",
+        ds.name
+    );
     let mut t = Table::new(&["noise-sigma", "mape", "trend-acc"]);
     for sigma in [0.0, 0.05, 0.10, 0.20, 0.40] {
         let (mape, tacc) = run(CrowdParams {

@@ -9,6 +9,7 @@
 //! decisions agree, to show LBP's speed costs no accuracy.
 
 use bench::{f3, timed, Table};
+use crowdspeed::inference::trend_model::TrendScratch;
 use crowdspeed::prelude::*;
 use graphmodel::gibbs::GibbsOptions;
 use roadnet::generate::{grid_city, GridParams};
@@ -46,6 +47,7 @@ fn main() {
         "roads",
         "corr-edges",
         "lbp-ms",
+        "lbp-warm-ms",
         "lbp-iters",
         "gibbs-ms",
         "exact-ms",
@@ -79,6 +81,12 @@ fn main() {
             .collect();
 
         let (lbp, lbp_ms) = timed(|| model.infer(slot, &obs, &TrendEngine::default()));
+        // Warm serving path: same inference with a reused workspace —
+        // no message-buffer allocations after the first call.
+        let mut scratch = TrendScratch::new();
+        model.infer_with(slot, &obs, &TrendEngine::default(), &mut scratch);
+        let (_, lbp_warm_ms) =
+            timed(|| model.infer_with(slot, &obs, &TrendEngine::default(), &mut scratch));
         // A sampler must mix across the whole graph; thousands of
         // sweeps are the standard budget for marginals one would trust
         // at this scale (the consistency tests use the same order).
@@ -115,6 +123,7 @@ fn main() {
             n.to_string(),
             corr.num_edges().to_string(),
             f3(lbp_ms),
+            f3(lbp_warm_ms),
             lbp.iterations.to_string(),
             f3(gibbs_ms),
             exact_ms,
@@ -124,4 +133,70 @@ fn main() {
     }
     t.print();
     println!("(gibbs/lbp is the efficiency gap; decision-agree shows no accuracy is traded)");
+
+    serving_throughput();
+}
+
+/// End-to-end serving throughput through the batch front end: the full
+/// two-step estimator answering one day of requests, sequential vs
+/// parallel workers (each with its own reusable workspace).
+fn serving_throughput() {
+    let ds = dataset_of_width(12);
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+    );
+    let k = (ds.graph.num_roads() / 10).max(2);
+    let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    let seeds = lazy_greedy(&influence, k).seeds;
+    let est = TrafficEstimator::train(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &corr,
+        &seeds,
+        &EstimatorConfig::default(),
+    )
+    .expect("training failed");
+
+    let truth = &ds.test_days[0];
+    let repeats = if bench::quick_mode() { 2 } else { 8 };
+    let requests: Vec<EstimateRequest> = (0..repeats)
+        .flat_map(|_| {
+            let seeds = &seeds;
+            (0..ds.clock.slots_per_day).map(move |slot| EstimateRequest {
+                slot_of_day: slot,
+                observations: seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect(),
+            })
+        })
+        .collect();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!();
+    println!(
+        "serving throughput ({} roads, {} requests, two-step estimator, {} core(s) available):",
+        ds.graph.num_roads(),
+        requests.len(),
+        cores
+    );
+    if cores < 2 {
+        println!("  (single-core host: parallel scaling cannot exceed x1.0 here)");
+    }
+    let mut base = 0.0;
+    for threads in [1usize, 2, 4] {
+        let out = serve_batch(&est, &requests, &ServeOptions { threads });
+        let tput = out.metrics.throughput();
+        if threads == 1 {
+            base = tput;
+        }
+        println!(
+            "  {threads} thread(s): {:>8.1} req/s  (x{:.2} vs sequential, mean latency {:?})",
+            tput,
+            if base > 0.0 { tput / base } else { 0.0 },
+            out.metrics.mean_latency(),
+        );
+    }
 }

@@ -22,7 +22,12 @@ fn main() {
         presets::metro()
     };
     let stats = HistoryStats::compute(&ds.history);
-    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+    );
     let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
     let seeds = lazy_greedy(&influence, (ds.graph.num_roads() / 10).max(5)).seeds;
     let n = ds.graph.num_roads();
@@ -31,7 +36,10 @@ fn main() {
         "E13: degree_norm sweep on {} (n = {n}, corr edges = {}, max corr degree = {})",
         ds.name,
         corr.num_edges(),
-        (0..n as u32).map(|r| corr.degree(RoadId(r))).max().unwrap_or(0)
+        (0..n as u32)
+            .map(|r| corr.degree(RoadId(r)))
+            .max()
+            .unwrap_or(0)
     );
     let mut t = Table::new(&[
         "degree_norm",

@@ -44,7 +44,13 @@ fn main() {
         ds.name,
         plan.all_roads().len()
     );
-    let mut t = Table::new(&["period", "static mape", "temporal mape", "static tacc", "temporal tacc"]);
+    let mut t = Table::new(&[
+        "period",
+        "static mape",
+        "temporal mape",
+        "static tacc",
+        "temporal tacc",
+    ]);
 
     let method = Method::TwoStep(EstimatorConfig::default());
     let mut static_total = 0.0;

@@ -46,7 +46,12 @@ fn main() {
             correlation: corr_cfg.clone(),
             ..EvalConfig::default()
         };
-        let ours = evaluate(&ds, &seeds, &Method::TwoStep(EstimatorConfig::default()), &cfg);
+        let ours = evaluate(
+            &ds,
+            &seeds,
+            &Method::TwoStep(EstimatorConfig::default()),
+            &cfg,
+        );
         let hist = evaluate(&ds, &seeds, &Method::HistoricalMean, &cfg);
         let knn = evaluate(&ds, &seeds, &Method::KnnSpatial { k: 5 }, &cfg);
         t.row(&[

@@ -23,7 +23,10 @@ fn engines() -> Vec<(&'static str, TrendEngine)> {
                 seed: 11,
             },
         ),
-        ("mean-field", TrendEngine::MeanField(MeanFieldOptions::default())),
+        (
+            "mean-field",
+            TrendEngine::MeanField(MeanFieldOptions::default()),
+        ),
         ("prior-only", TrendEngine::PriorOnly),
     ]
 }

@@ -52,7 +52,12 @@ pub fn generate(args: &Args) -> Result<String> {
 /// Loads (graph, history, stats, correlation) from a dataset dir.
 fn load_model_inputs(
     dir: &Path,
-) -> Result<(roadnet::RoadGraph, HistoricalData, HistoryStats, CorrelationGraph)> {
+) -> Result<(
+    roadnet::RoadGraph,
+    HistoricalData,
+    HistoryStats,
+    CorrelationGraph,
+)> {
     let graph = store::read_network(dir)?;
     let history = store::read_history(dir)?;
     if history.num_roads() != graph.num_roads() {
@@ -150,7 +155,11 @@ pub fn estimate(args: &Args) -> Result<String> {
             "{} {:.2} {}\n",
             r.0,
             result.speeds[r.index()],
-            if result.trends[r.index()] { "up" } else { "down" }
+            if result.trends[r.index()] {
+                "up"
+            } else {
+                "down"
+            }
         ));
     }
     print!("{out}");
@@ -161,22 +170,27 @@ pub fn estimate(args: &Args) -> Result<String> {
     ))
 }
 
+/// Parses `--method` into an evaluation [`Method`] (default two-step).
+fn parse_method(args: &Args) -> Result<Method> {
+    match args.get("method").unwrap_or("two-step") {
+        "two-step" => Ok(Method::TwoStep(EstimatorConfig::default())),
+        "hist-mean" => Ok(Method::HistoricalMean),
+        "knn" => Ok(Method::KnnSpatial { k: 5 }),
+        "global-lr" => Ok(Method::GlobalRegression),
+        "label-prop" => Ok(Method::LabelPropagation {
+            iterations: 30,
+            anchor: 0.2,
+        }),
+        other => Err(CliError::new(format!("unknown --method {other:?}"))),
+    }
+}
+
 /// `eval --dir DIR [--method two-step|hist-mean|knn|global-lr|label-prop] [--truth-days N]`
 pub fn eval(args: &Args) -> Result<String> {
     let dir = dataset_dir(args)?;
     let (graph, history, _stats, _corr) = load_model_inputs(&dir)?;
     let seeds = store::read_seeds(&dir, graph.num_roads())?;
-    let method = match args.get("method").unwrap_or("two-step") {
-        "two-step" => Method::TwoStep(EstimatorConfig::default()),
-        "hist-mean" => Method::HistoricalMean,
-        "knn" => Method::KnnSpatial { k: 5 },
-        "global-lr" => Method::GlobalRegression,
-        "label-prop" => Method::LabelPropagation {
-            iterations: 30,
-            anchor: 0.2,
-        },
-        other => return Err(CliError::new(format!("unknown --method {other:?}"))),
-    };
+    let method = parse_method(args)?;
     // Rebuild a Dataset shell for the harness from on-disk pieces.
     let mut test_days = Vec::new();
     let mut d = 0;
@@ -229,6 +243,67 @@ pub fn eval(args: &Args) -> Result<String> {
     ))
 }
 
+/// `serve --dir DIR [--method M] [--threads N] [--truth-day D] [--repeat R]`
+///
+/// Replays every slot of a truth day as one batch of estimation
+/// requests through the parallel serving front end and reports
+/// throughput and per-request latency. `--repeat` replays the day R
+/// times to lengthen the batch for stable numbers.
+pub fn serve(args: &Args) -> Result<String> {
+    let dir = dataset_dir(args)?;
+    let (graph, history, stats, corr) = load_model_inputs(&dir)?;
+    let seeds = store::read_seeds(&dir, graph.num_roads())?;
+    let method = parse_method(args)?;
+    let threads: usize = args.num::<usize>("threads", 4)?.max(1);
+    let repeat: usize = args.num("repeat", 1)?;
+    let day: usize = args.num("truth-day", 0)?;
+    let truth = store::read_truth(&dir, day)?;
+    let clock = *history.clock();
+
+    let requests: Vec<EstimateRequest> = (0..repeat.max(1))
+        .flat_map(|_| {
+            let truth = &truth;
+            let seeds = &seeds;
+            (0..clock.slots_per_day).map(move |slot| EstimateRequest {
+                slot_of_day: slot,
+                observations: seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect(),
+            })
+        })
+        .collect();
+
+    // Dataset shell so any method can be built through the shared
+    // serving interface.
+    let simulator = trafficsim::TrafficSimulator::new(
+        graph.clone(),
+        clock,
+        trafficsim::TrafficParams::default(),
+        0,
+    );
+    let ds = Dataset {
+        name: "on-disk",
+        graph,
+        clock,
+        history,
+        test_days: vec![truth.clone()],
+        simulator,
+    };
+    let model = crowdspeed::eval::build_model(&ds, &stats, &corr, &seeds, &method);
+
+    let out = serve_batch(model.as_ref(), &requests, &ServeOptions { threads });
+    let m = out.metrics;
+    Ok(format!(
+        "{}: served {} requests on {} thread(s): {:.1} req/s (wall {:?}), latency mean {:?} / min {:?} / max {:?}",
+        method.name(),
+        m.requests,
+        threads,
+        m.throughput(),
+        m.wall_time,
+        m.mean_latency(),
+        m.min_latency,
+        m.max_latency,
+    ))
+}
+
 /// `route --dir DIR --slot S --from A --to B (--obs FILE | --truth-day D)`
 ///
 /// Plans the fastest route between two road segments under live
@@ -272,8 +347,7 @@ pub fn route(args: &Args) -> Result<String> {
     )
     .map_err(|e| CliError::new(format!("training failed: {e}")))?;
     let estimate = est.estimate(slot, &obs);
-    let Some(plan) = crowdspeed::routing::fastest_route(&graph, &estimate.speeds, from, to)
-    else {
+    let Some(plan) = crowdspeed::routing::fastest_route(&graph, &estimate.speeds, from, to) else {
         return Err(CliError::new(format!("{to} unreachable from {from}")));
     };
     let ids: Vec<String> = plan.segments.iter().map(|r| r.0.to_string()).collect();
@@ -296,6 +370,7 @@ USAGE:
                       [--algo lazy|greedy|partition|random|degree|pagerank|variance]
   crowdspeed estimate --dir DIR --slot S (--obs FILE | --truth-day D)
   crowdspeed eval     --dir DIR [--method two-step|hist-mean|knn|global-lr|label-prop]
+  crowdspeed serve    --dir DIR [--method M] [--threads N] [--truth-day D] [--repeat R]
   crowdspeed route    --dir DIR --slot S --from A --to B (--obs FILE | --truth-day D)
   crowdspeed help
 
@@ -335,6 +410,12 @@ mod tests {
 
         let msg = eval(&parse(&format!("--dir {dirs} --method hist-mean"))).unwrap();
         assert!(msg.contains("MAPE"), "{msg}");
+
+        let msg = serve(&parse(&format!(
+            "--dir {dirs} --method hist-mean --threads 2 --truth-day 0"
+        )))
+        .unwrap();
+        assert!(msg.contains("req/s"), "{msg}");
 
         let msg = route(&parse(&format!(
             "--dir {dirs} --slot 8 --from 0 --to 99 --truth-day 0"

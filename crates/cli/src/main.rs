@@ -19,6 +19,7 @@ fn main() {
         "select" => commands::select(&parsed),
         "estimate" => commands::estimate(&parsed),
         "eval" => commands::eval(&parsed),
+        "serve" => commands::serve(&parsed),
         "route" => commands::route(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::usage());

@@ -59,7 +59,10 @@ pub fn read_history(dir: &Path) -> Result<HistoricalData> {
 
 /// Writes ground-truth day `d`.
 pub fn write_truth(dir: &Path, d: usize, field: &SpeedField) -> Result<()> {
-    std::fs::write(dir.join(format!("truth-{d}.snap")), snapshot::encode_field(field))?;
+    std::fs::write(
+        dir.join(format!("truth-{d}.snap")),
+        snapshot::encode_field(field),
+    )?;
     Ok(())
 }
 
@@ -116,7 +119,12 @@ pub fn parse_observations(text: &str, n: usize) -> Result<Vec<(RoadId, f64)>> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let bad = || CliError::new(format!("observations line {}: expected `road speed`", lineno + 1));
+        let bad = || {
+            CliError::new(format!(
+                "observations line {}: expected `road speed`",
+                lineno + 1
+            ))
+        };
         let id: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
         let speed: f64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
         if id as usize >= n {

@@ -3,9 +3,12 @@
 //! Each baseline consumes the same inputs as the two-step estimator —
 //! history statistics plus crowdsourced seed observations — and returns
 //! a full per-road speed vector, so [`crate::eval`] can treat every
-//! method uniformly.
+//! method uniformly. The free functions are the primitive forms; the
+//! `*Estimator` adapters at the bottom wrap them behind the common
+//! [`SpeedEstimator`] serving interface.
 
 use crate::correlation::CorrelationGraph;
+use crate::inference::pipeline::{EstimateScratch, SpeedEstimate, SpeedEstimator};
 use linalg::ridge::ridge_fit;
 use linalg::Matrix;
 use roadnet::{RoadGraph, RoadId};
@@ -171,6 +174,120 @@ pub fn label_propagation(
         .collect()
 }
 
+/// [`historical_mean`] behind the [`SpeedEstimator`] interface.
+#[derive(Debug, Clone)]
+pub struct HistoricalMeanEstimator<'a> {
+    /// History statistics supplying the per-slot averages.
+    pub stats: &'a HistoryStats,
+}
+
+impl SpeedEstimator for HistoricalMeanEstimator<'_> {
+    fn name(&self) -> &'static str {
+        "hist-mean"
+    }
+
+    fn estimate(
+        &self,
+        slot_of_day: usize,
+        _observations: &[(RoadId, f64)],
+        _scratch: &mut EstimateScratch,
+    ) -> SpeedEstimate {
+        SpeedEstimate::from_speeds(historical_mean(self.stats, slot_of_day))
+    }
+}
+
+/// [`knn_spatial`] behind the [`SpeedEstimator`] interface.
+#[derive(Debug, Clone)]
+pub struct KnnSpatialEstimator<'a> {
+    /// Road network supplying pairwise distances.
+    pub graph: &'a RoadGraph,
+    /// History statistics supplying averages and deviations.
+    pub stats: &'a HistoryStats,
+    /// Number of nearest seeds interpolated per road.
+    pub k: usize,
+}
+
+impl SpeedEstimator for KnnSpatialEstimator<'_> {
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+
+    fn estimate(
+        &self,
+        slot_of_day: usize,
+        observations: &[(RoadId, f64)],
+        _scratch: &mut EstimateScratch,
+    ) -> SpeedEstimate {
+        SpeedEstimate::from_speeds(knn_spatial(
+            self.graph,
+            self.stats,
+            slot_of_day,
+            observations,
+            self.k,
+        ))
+    }
+}
+
+/// A trained [`GlobalRegression`] behind the [`SpeedEstimator`]
+/// interface.
+#[derive(Debug, Clone)]
+pub struct GlobalRegressionEstimator<'a> {
+    /// The fitted two-parameter model.
+    pub model: GlobalRegression,
+    /// History statistics supplying averages and deviations.
+    pub stats: &'a HistoryStats,
+}
+
+impl SpeedEstimator for GlobalRegressionEstimator<'_> {
+    fn name(&self) -> &'static str {
+        "global-lr"
+    }
+
+    fn estimate(
+        &self,
+        slot_of_day: usize,
+        observations: &[(RoadId, f64)],
+        _scratch: &mut EstimateScratch,
+    ) -> SpeedEstimate {
+        SpeedEstimate::from_speeds(self.model.predict(self.stats, slot_of_day, observations))
+    }
+}
+
+/// [`label_propagation`] behind the [`SpeedEstimator`] interface.
+#[derive(Debug, Clone)]
+pub struct LabelPropagationEstimator<'a> {
+    /// Correlation graph the deviations diffuse over.
+    pub corr: &'a CorrelationGraph,
+    /// History statistics supplying averages and deviations.
+    pub stats: &'a HistoryStats,
+    /// Averaging sweeps.
+    pub iterations: usize,
+    /// Neutral-anchor weight.
+    pub anchor: f64,
+}
+
+impl SpeedEstimator for LabelPropagationEstimator<'_> {
+    fn name(&self) -> &'static str {
+        "label-prop"
+    }
+
+    fn estimate(
+        &self,
+        slot_of_day: usize,
+        observations: &[(RoadId, f64)],
+        _scratch: &mut EstimateScratch,
+    ) -> SpeedEstimate {
+        SpeedEstimate::from_speeds(label_propagation(
+            self.corr,
+            self.stats,
+            slot_of_day,
+            observations,
+            self.iterations,
+            self.anchor,
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,9 +330,8 @@ mod tests {
             .collect();
         let v = knn_spatial(&ds.graph, &stats, slot, &obs, 3);
         let h = historical_mean(&stats, slot);
-        let mean_ratio = linalg::stats::mean(
-            &v.iter().zip(&h).map(|(a, b)| a / b).collect::<Vec<_>>(),
-        );
+        let mean_ratio =
+            linalg::stats::mean(&v.iter().zip(&h).map(|(a, b)| a / b).collect::<Vec<_>>());
         assert!((mean_ratio - 0.6).abs() < 0.05, "ratio {mean_ratio}");
     }
 
@@ -298,8 +414,7 @@ mod tests {
         let slot = 8;
         let truth = &ds.test_days[0];
         let seeds: Vec<RoadId> = (0..12u32).map(|i| RoadId(i * 8)).collect();
-        let obs: Vec<(RoadId, f64)> =
-            seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
+        let obs: Vec<(RoadId, f64)> = seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
         for v in [
             historical_mean(&stats, slot),
             knn_spatial(&ds.graph, &stats, slot, &obs, 5),

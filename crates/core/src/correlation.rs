@@ -169,8 +169,7 @@ impl CorrelationGraph {
                 if co < config.min_co_observations {
                     continue;
                 }
-                let p = (agree as f64 + config.laplace)
-                    / (co as f64 + 2.0 * config.laplace);
+                let p = (agree as f64 + config.laplace) / (co as f64 + 2.0 * config.laplace);
                 if p >= config.min_cotrend || p <= 1.0 - config.min_cotrend {
                     edges.push(CorrelationEdge {
                         a,

@@ -5,9 +5,14 @@
 //! metrics the experiments tabulate. All methods flow through the same
 //! loop so comparisons are apples-to-apples.
 
-use crate::baselines::{self, GlobalRegression};
+use crate::baselines::{
+    GlobalRegression, GlobalRegressionEstimator, HistoricalMeanEstimator, KnnSpatialEstimator,
+    LabelPropagationEstimator,
+};
 use crate::correlation::{CorrelationConfig, CorrelationGraph};
-use crate::inference::pipeline::{EstimatorConfig, TrafficEstimator};
+use crate::inference::pipeline::{
+    EstimateScratch, EstimatorConfig, SpeedEstimator, TrafficEstimator,
+};
 use crate::metrics::{trend_accuracy, ErrorStats};
 use parking_lot::Mutex;
 use roadnet::RoadId;
@@ -99,48 +104,37 @@ pub struct EvalReport {
     pub rounds: usize,
 }
 
-enum Model<'a> {
-    TwoStep(Box<TrafficEstimator>),
-    HistoricalMean,
-    Knn {
-        k: usize,
-    },
-    Global(GlobalRegression),
-    LabelProp {
-        iterations: usize,
-        anchor: f64,
-        corr: &'a CorrelationGraph,
-    },
-}
-
-impl Model<'_> {
-    fn estimate(
-        &self,
-        ds: &Dataset,
-        stats: &HistoryStats,
-        slot: usize,
-        obs: &[(RoadId, f64)],
-    ) -> (Vec<f64>, Option<Vec<bool>>) {
-        match self {
-            Model::TwoStep(est) => {
-                let r = est.estimate(slot, obs);
-                (r.speeds, Some(r.trends))
-            }
-            Model::HistoricalMean => (baselines::historical_mean(stats, slot), None),
-            Model::Knn { k } => (
-                baselines::knn_spatial(&ds.graph, stats, slot, obs, *k),
-                None,
-            ),
-            Model::Global(g) => (g.predict(stats, slot, obs), None),
-            Model::LabelProp {
-                iterations,
-                anchor,
-                corr,
-            } => (
-                baselines::label_propagation(corr, stats, slot, obs, *iterations, *anchor),
-                None,
-            ),
-        }
+/// Builds the serving-interface model for a method. Exposed to the
+/// experiment binaries so they can drive any method through
+/// [`SpeedEstimator`] (e.g. via [`crate::serve`]).
+pub fn build_model<'a>(
+    ds: &'a Dataset,
+    stats: &'a HistoryStats,
+    corr: &'a CorrelationGraph,
+    seeds: &[RoadId],
+    method: &Method,
+) -> Box<dyn SpeedEstimator + 'a> {
+    match method {
+        Method::TwoStep(config) => Box::new(
+            TrafficEstimator::train(&ds.graph, &ds.history, stats, corr, seeds, config)
+                .expect("estimator training failed"),
+        ),
+        Method::HistoricalMean => Box::new(HistoricalMeanEstimator { stats }),
+        Method::KnnSpatial { k } => Box::new(KnnSpatialEstimator {
+            graph: &ds.graph,
+            stats,
+            k: *k,
+        }),
+        Method::GlobalRegression => Box::new(GlobalRegressionEstimator {
+            model: GlobalRegression::train(&ds.history, stats, seeds),
+            stats,
+        }),
+        Method::LabelPropagation { iterations, anchor } => Box::new(LabelPropagationEstimator {
+            corr,
+            stats,
+            iterations: *iterations,
+            anchor: *anchor,
+        }),
     }
 }
 
@@ -150,22 +144,7 @@ pub fn evaluate(ds: &Dataset, seeds: &[RoadId], method: &Method, cfg: &EvalConfi
     let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &cfg.correlation);
 
     let t0 = Instant::now();
-    let model = match method {
-        Method::TwoStep(config) => Model::TwoStep(Box::new(
-            TrafficEstimator::train(&ds.graph, &ds.history, &stats, &corr, seeds, config)
-                .expect("estimator training failed"),
-        )),
-        Method::HistoricalMean => Model::HistoricalMean,
-        Method::KnnSpatial { k } => Model::Knn { k: *k },
-        Method::GlobalRegression => {
-            Model::Global(GlobalRegression::train(&ds.history, &stats, seeds))
-        }
-        Method::LabelPropagation { iterations, anchor } => Model::LabelProp {
-            iterations: *iterations,
-            anchor: *anchor,
-            corr: &corr,
-        },
-    };
+    let model = build_model(ds, &stats, &corr, seeds, method);
     let train_time = t0.elapsed();
 
     // Work list: (day, slot).
@@ -192,31 +171,32 @@ pub fn evaluate(ds: &Dataset, seeds: &[RoadId], method: &Method, cfg: &EvalConfi
     });
     let next = AtomicUsize::new(0);
 
-    let run_task = |&(day, slot): &(usize, usize)| {
+    let run_task = |&(day, slot): &(usize, usize), scratch: &mut EstimateScratch| {
         use rand::SeedableRng;
         let truth = &ds.test_days[day];
-        let mut rng = rand::rngs::StdRng::seed_from_u64(
-            cfg.rng_seed ^ ((day as u64) << 32) ^ slot as u64,
-        );
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(cfg.rng_seed ^ ((day as u64) << 32) ^ slot as u64);
         let reports = crowdsource(truth, slot, seeds, &cfg.crowd, &mut rng);
         let obs = answered(&reports);
 
         let t = Instant::now();
-        let (speeds, trends) = model.estimate(ds, &stats, slot, &obs);
+        let est = model.estimate(slot, &obs, scratch);
         let took = t.elapsed();
+        let (speeds, trends) = (est.speeds, est.trends);
 
         let truth_v: Vec<f64> = ds.graph.road_ids().map(|r| truth.speed(slot, r)).collect();
         let err = ErrorStats::from_road_vectors(&truth_v, &speeds, seeds);
 
         // Trend accuracy: derive predicted trends from speeds when the
-        // method has no explicit trend output.
-        let predicted: Vec<bool> = match trends {
-            Some(t) => t,
-            None => ds
-                .graph
+        // method has no explicit trend output (the baselines leave
+        // `trends` empty).
+        let predicted: Vec<bool> = if trends.is_empty() {
+            ds.graph
                 .road_ids()
                 .map(|r| stats.trend_of(slot, r, speeds[r.index()]))
-                .collect(),
+                .collect()
+        } else {
+            trends
         };
         let truth_t: Vec<bool> = ds
             .graph
@@ -234,16 +214,22 @@ pub fn evaluate(ds: &Dataset, seeds: &[RoadId], method: &Method, cfg: &EvalConfi
 
     let threads = cfg.threads.max(1).min(tasks.len().max(1));
     if threads <= 1 {
-        tasks.iter().for_each(run_task);
+        let mut scratch = EstimateScratch::new();
+        for task in &tasks {
+            run_task(task, &mut scratch);
+        }
     } else {
         crossbeam::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= tasks.len() {
-                        break;
+                scope.spawn(|_| {
+                    let mut scratch = EstimateScratch::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks.len() {
+                            break;
+                        }
+                        run_task(&tasks[i], &mut scratch);
                     }
-                    run_task(&tasks[i]);
                 });
             }
         })
@@ -316,7 +302,12 @@ mod tests {
             let rep = evaluate(&ds, &seeds, &m, &cfg);
             assert_eq!(rep.rounds, 4, "{}", rep.method);
             assert!(rep.error.count > 0);
-            assert!(rep.error.mape > 0.0 && rep.error.mape < 1.0, "{}: {:?}", rep.method, rep.error);
+            assert!(
+                rep.error.mape > 0.0 && rep.error.mape < 1.0,
+                "{}: {:?}",
+                rep.method,
+                rep.error
+            );
             assert!(rep.trend_accuracy > 0.0 && rep.trend_accuracy <= 1.0);
         }
     }
@@ -326,7 +317,12 @@ mod tests {
         let ds = small_ds();
         let seeds = random_seeds(ds.graph.num_roads(), 20, 3);
         let cfg = fast_cfg();
-        let ours = evaluate(&ds, &seeds, &Method::TwoStep(EstimatorConfig::default()), &cfg);
+        let ours = evaluate(
+            &ds,
+            &seeds,
+            &Method::TwoStep(EstimatorConfig::default()),
+            &cfg,
+        );
         let base = evaluate(&ds, &seeds, &Method::HistoricalMean, &cfg);
         assert!(
             ours.error.mape < base.error.mape,

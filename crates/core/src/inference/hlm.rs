@@ -31,6 +31,7 @@
 
 use crate::correlation::CorrelationGraph;
 use crate::inference::trend_model::{TrendEngine, TrendModel};
+use crate::propagate::PropagateScratch;
 use crate::seed::objective::{InfluenceConfig, InfluenceModel};
 use crate::{CoreError, Result};
 use linalg::ridge::{hierarchical_fit, shrunk_fit};
@@ -122,7 +123,7 @@ impl Default for HlmConfig {
 #[derive(Debug, Clone)]
 struct RegimeCoefs {
     city: Vec<f64>,
-    class: Vec<Vec<f64>>,       // [class][feature]
+    class: Vec<Vec<f64>>,        // [class][feature]
     road: Vec<Option<Vec<f64>>>, // [road] -> None = fall back to class
 }
 
@@ -131,9 +132,7 @@ impl RegimeCoefs {
         match pooling {
             Pooling::GlobalOnly => &self.city,
             Pooling::ClassOnly => &self.class[class],
-            Pooling::Full => self.road[road]
-                .as_deref()
-                .unwrap_or(&self.class[class]),
+            Pooling::Full => self.road[road].as_deref().unwrap_or(&self.class[class]),
         }
     }
 }
@@ -156,6 +155,33 @@ pub struct HlmModel {
     /// regimes[0] = "up", regimes[1] = "down"; when
     /// `config.split_regimes` is false only regimes[0] is meaningful.
     regimes: [RegimeCoefs; 2],
+}
+
+/// Reusable buffers for repeated HLM predictions: the propagation
+/// ping-pong buffers, the per-road feature staging vectors, and the
+/// output deviations all survive between calls to
+/// [`HlmModel::predict_deviations_with`].
+#[derive(Debug, Clone, Default)]
+pub struct HlmScratch {
+    propagate: PropagateScratch,
+    cell_seed_devs: Vec<(RoadId, f64)>,
+    avail: Vec<f64>,
+    nb: Vec<(f64, f64)>,
+    sp: Vec<(f64, f64)>,
+    devs: Vec<f64>,
+}
+
+impl HlmScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        HlmScratch::default()
+    }
+
+    /// Deviations written by the most recent
+    /// [`HlmModel::predict_deviations_with`].
+    pub fn deviations(&self) -> &[f64] {
+        &self.devs
+    }
 }
 
 /// Weighted mean of `(weight, value)` pairs, or `fallback` when empty.
@@ -209,13 +235,16 @@ fn features(
 ) -> [f64; NUM_FEATURES] {
     let top = neighbor_devs
         .iter()
-        .fold((0.0, citywide), |best, &(q, d)| {
-            if q > best.0 {
-                (q, d)
-            } else {
-                best
-            }
-        })
+        .fold(
+            (0.0, citywide),
+            |best, &(q, d)| {
+                if q > best.0 {
+                    (q, d)
+                } else {
+                    best
+                }
+            },
+        )
         .1;
     let spatial = weighted_mean(spatial_devs, citywide);
     [1.0, local_field, top, citywide, spatial, trend]
@@ -295,8 +324,7 @@ impl HlmModel {
                     .filter(|&(_, &s)| s != road)
                     .map(|(si, &s)| (si, graph.distance(road, s)))
                     .collect();
-                by_dist
-                    .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distance NaN"));
+                by_dist.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distance NaN"));
                 by_dist.truncate(config.spatial_neighbors);
                 by_dist
                     .into_iter()
@@ -314,9 +342,11 @@ impl HlmModel {
         let num_regimes = if config.split_regimes { 2 } else { 1 };
 
         // Row storage: per (road, regime) design+response.
-        let mut road_x: Vec<Vec<Matrix>> =
-            (0..n).map(|_| vec![Matrix::zeros(0, 0); num_regimes]).collect();
-        let mut road_y: Vec<Vec<Vec<f64>>> = (0..n).map(|_| vec![Vec::new(); num_regimes]).collect();
+        let mut road_x: Vec<Vec<Matrix>> = (0..n)
+            .map(|_| vec![Matrix::zeros(0, 0); num_regimes])
+            .collect();
+        let mut road_y: Vec<Vec<Vec<f64>>> =
+            (0..n).map(|_| vec![Vec::new(); num_regimes]).collect();
 
         let mut cell = 0usize;
         let mut seed_devs: Vec<Option<f64>> = vec![None; seeds.len()];
@@ -365,10 +395,8 @@ impl HlmModel {
                 let cell_p_up: Option<Vec<f64>> = match trend_ctx {
                     None => None, // fall back to true trends
                     Some((tm, engine)) => {
-                        let obs: Vec<(RoadId, bool)> = cell_seed_devs
-                            .iter()
-                            .map(|&(s, d)| (s, d >= 1.0))
-                            .collect();
+                        let obs: Vec<(RoadId, bool)> =
+                            cell_seed_devs.iter().map(|&(s, d)| (s, d >= 1.0)).collect();
                         let train_engine = match engine {
                             TrendEngine::Gibbs { .. } => TrendEngine::default(),
                             e => e.clone(),
@@ -440,9 +468,8 @@ impl HlmModel {
         // Fit each regime's hierarchy.
         let fit_regime = |regime: usize| -> Result<RegimeCoefs> {
             // Class-level pooled designs.
-            let mut class_groups: Vec<(Matrix, Vec<f64>)> = (0..4)
-                .map(|_| (Matrix::zeros(0, 0), Vec::new()))
-                .collect();
+            let mut class_groups: Vec<(Matrix, Vec<f64>)> =
+                (0..4).map(|_| (Matrix::zeros(0, 0), Vec::new())).collect();
             for r in 0..n {
                 let (x, y) = (&road_x[r][regime], &road_y[r][regime]);
                 if y.is_empty() {
@@ -519,69 +546,106 @@ impl HlmModel {
     /// * `p_up[r]` — step-1 posterior for every road.
     ///
     /// Returns deviations clamped to `config.deviation_clamp`.
+    /// Allocates fresh buffers per call; serving paths should hold an
+    /// [`HlmScratch`] and call [`HlmModel::predict_deviations_with`].
     pub fn predict_deviations(&self, seed_devs: &[Option<f64>], p_up: &[f64]) -> Vec<f64> {
+        let mut ws = HlmScratch::new();
+        self.predict_deviations_with(seed_devs, p_up, &mut ws);
+        std::mem::take(&mut ws.devs)
+    }
+
+    /// Predicts per-road deviations reusing the buffers in `ws`;
+    /// identical arithmetic and iteration order to
+    /// [`HlmModel::predict_deviations`], so the deviations (readable via
+    /// [`HlmScratch::deviations`]) are bit-identical.
+    pub fn predict_deviations_with(
+        &self,
+        seed_devs: &[Option<f64>],
+        p_up: &[f64],
+        ws: &mut HlmScratch,
+    ) {
         assert_eq!(seed_devs.len(), self.seeds.len(), "seed deviation arity");
         let n = self.seed_neighbors.len();
         assert_eq!(p_up.len(), n, "p_up arity");
 
-        let avail: Vec<f64> = seed_devs.iter().flatten().copied().collect();
+        // Split borrows: the staging buffers are used simultaneously.
+        let HlmScratch {
+            propagate,
+            cell_seed_devs,
+            avail,
+            nb,
+            sp,
+            devs,
+        } = ws;
+
+        avail.clear();
+        avail.extend(seed_devs.iter().flatten().copied());
         let citywide = if avail.is_empty() {
             1.0
         } else {
-            linalg::stats::mean(&avail)
+            linalg::stats::mean(avail)
         };
-        let cell_seed_devs: Vec<(RoadId, f64)> = self
-            .seeds
-            .iter()
-            .zip(seed_devs)
-            .filter_map(|(&s, d)| d.map(|d| (s, d)))
-            .collect();
-        let field = crate::propagate::propagate_deviations(
+        cell_seed_devs.clear();
+        cell_seed_devs.extend(
+            self.seeds
+                .iter()
+                .zip(seed_devs)
+                .filter_map(|(&s, d)| d.map(|d| (s, d))),
+        );
+        crate::propagate::propagate_deviations_into(
             &self.corr,
-            &cell_seed_devs,
+            cell_seed_devs,
             self.config.propagation_iters,
             self.config.propagation_anchor,
+            propagate,
         );
+        let field = propagate.field();
 
         let ls = self.config.log_space;
-        (0..n)
-            .map(|r| {
-                let nb: Vec<(f64, f64)> = self.seed_neighbors[r]
+        devs.clear();
+        devs.reserve(n);
+        for r in 0..n {
+            nb.clear();
+            nb.extend(
+                self.seed_neighbors[r]
                     .iter()
-                    .filter_map(|&(si, q)| seed_devs[si].map(|d| (q, encode_dev(d, ls))))
-                    .collect();
-                let sp: Vec<(f64, f64)> = self.spatial_neighbors[r]
+                    .filter_map(|&(si, q)| seed_devs[si].map(|d| (q, encode_dev(d, ls)))),
+            );
+            sp.clear();
+            sp.extend(
+                self.spatial_neighbors[r]
                     .iter()
-                    .filter_map(|&(si, w)| seed_devs[si].map(|d| (w, encode_dev(d, ls))))
-                    .collect();
-                let x = features(
-                    encode_dev(field[r], ls),
-                    &nb,
-                    &sp,
-                    encode_dev(citywide, ls),
-                    2.0 * p_up[r] - 1.0,
+                    .filter_map(|&(si, w)| seed_devs[si].map(|d| (w, encode_dev(d, ls)))),
+            );
+            let x = features(
+                encode_dev(field[r], ls),
+                nb,
+                sp,
+                encode_dev(citywide, ls),
+                2.0 * p_up[r] - 1.0,
+            );
+            let class = self.road_class[r];
+            let y = if self.config.split_regimes {
+                let up = linalg::dot(
+                    self.regimes[0].coefficients_for(r, class, self.config.pooling),
+                    &x,
                 );
-                let class = self.road_class[r];
-                let y = if self.config.split_regimes {
-                    let up = linalg::dot(
-                        self.regimes[0].coefficients_for(r, class, self.config.pooling),
-                        &x,
-                    );
-                    let down = linalg::dot(
-                        self.regimes[1].coefficients_for(r, class, self.config.pooling),
-                        &x,
-                    );
-                    p_up[r] * up + (1.0 - p_up[r]) * down
-                } else {
-                    linalg::dot(
-                        self.regimes[0].coefficients_for(r, class, self.config.pooling),
-                        &x,
-                    )
-                };
+                let down = linalg::dot(
+                    self.regimes[1].coefficients_for(r, class, self.config.pooling),
+                    &x,
+                );
+                p_up[r] * up + (1.0 - p_up[r]) * down
+            } else {
+                linalg::dot(
+                    self.regimes[0].coefficients_for(r, class, self.config.pooling),
+                    &x,
+                )
+            };
+            devs.push(
                 decode_dev(y, ls)
-                    .clamp(self.config.deviation_clamp.0, self.config.deviation_clamp.1)
-            })
-            .collect()
+                    .clamp(self.config.deviation_clamp.0, self.config.deviation_clamp.1),
+            );
+        }
     }
 }
 
@@ -591,7 +655,12 @@ mod tests {
     use crate::correlation::CorrelationConfig;
     use trafficsim::dataset::{metro_small, DatasetParams};
 
-    fn trained() -> (trafficsim::dataset::Dataset, HistoryStats, HlmModel, Vec<RoadId>) {
+    fn trained() -> (
+        trafficsim::dataset::Dataset,
+        HistoryStats,
+        HlmModel,
+        Vec<RoadId>,
+    ) {
         let ds = metro_small(&DatasetParams {
             training_days: 10,
             test_days: 1,
@@ -641,7 +710,13 @@ mod tests {
     #[test]
     fn spatial_feature_weights_by_inverse_distance() {
         // Two spatial seeds, the nearer one dominates.
-        let f = features(1.0, &[], &[(1.0 / 100.0, 2.0), (1.0 / 1000.0, 1.0)], 1.5, 0.0);
+        let f = features(
+            1.0,
+            &[],
+            &[(1.0 / 100.0, 2.0), (1.0 / 1000.0, 1.0)],
+            1.5,
+            0.0,
+        );
         let expected = (2.0 / 100.0 + 1.0 / 1000.0) / (1.0 / 100.0 + 1.0 / 1000.0);
         assert!((f[4] - expected).abs() < 1e-12);
     }
@@ -660,8 +735,15 @@ mod tests {
             &stats,
             &CorrelationConfig::default(),
         );
-        let err = HlmModel::train(&ds.graph, &ds.history, &stats, &corr, &[], &HlmConfig::default())
-            .unwrap_err();
+        let err = HlmModel::train(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &corr,
+            &[],
+            &HlmConfig::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, CoreError::InsufficientData(_)));
     }
 

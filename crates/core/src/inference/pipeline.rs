@@ -1,11 +1,13 @@
-//! The end-to-end two-step estimator.
+//! The end-to-end two-step estimator, the [`SpeedEstimator`] serving
+//! interface, and the reusable [`EstimateScratch`] workspace.
 
 use crate::correlation::CorrelationGraph;
-use crate::inference::hlm::{HlmConfig, HlmModel};
+use crate::inference::hlm::{HlmConfig, HlmModel, HlmScratch};
+use crate::inference::trend_model::{TrendEngine, TrendModel, TrendModelConfig, TrendScratch};
 use crate::seed::objective::{InfluenceModel, SeedObjective};
-use crate::inference::trend_model::{TrendEngine, TrendModel, TrendModelConfig};
 use crate::{CoreError, Result};
 use roadnet::{RoadGraph, RoadId};
+use std::sync::Arc;
 use trafficsim::{HistoricalData, HistoryStats};
 
 /// Configuration of the full estimator.
@@ -33,12 +35,80 @@ pub struct SpeedEstimate {
     /// set pins the road down under the influence model — exactly the
     /// per-road term of the seed-selection objective
     /// (`1 − Π_{s∈S} (1 − q(s → r))`). Seeds report 1. Static per seed
-    /// set; exposed per estimate for convenience. The integration tests
+    /// set; shared (not copied) across estimates. The integration tests
     /// verify it is *calibrated*: high-confidence roads carry lower
     /// error.
-    pub confidence: Vec<f64>,
+    pub confidence: Arc<Vec<f64>>,
     /// Iterations the trend engine used.
     pub trend_iterations: usize,
+    /// Observations that named a road outside the estimator's seed set
+    /// and were skipped. Always 0 on a clean feed; a persistent nonzero
+    /// count means the caller is routing the wrong crowd stream at this
+    /// estimator.
+    pub ignored_observations: usize,
+}
+
+impl SpeedEstimate {
+    /// Wraps a bare speed vector — for estimators (the baselines) that
+    /// produce no trend posterior or confidence channel.
+    pub fn from_speeds(speeds: Vec<f64>) -> SpeedEstimate {
+        SpeedEstimate {
+            speeds,
+            p_up: Vec::new(),
+            trends: Vec::new(),
+            confidence: Arc::new(Vec::new()),
+            trend_iterations: 0,
+            ignored_observations: 0,
+        }
+    }
+}
+
+/// Reusable buffers for repeated estimates: trend-inference workspaces
+/// (messages, marginals, sampler state), HLM staging buffers, and the
+/// observation-translation vectors all survive between calls. Hold one
+/// per worker thread; after the first call on a given estimator, an
+/// estimate does no MRF rebuilds and no workspace allocations.
+#[derive(Debug, Default)]
+pub struct EstimateScratch {
+    trend: TrendScratch,
+    hlm: HlmScratch,
+    seed_devs: Vec<Option<f64>>,
+    trend_obs: Vec<(RoadId, bool)>,
+}
+
+impl EstimateScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        EstimateScratch::default()
+    }
+}
+
+/// A serving-time speed estimator: anything that can answer "what is
+/// every road's speed at this slot, given these crowdsourced
+/// observations". Implemented by [`TrafficEstimator`] and by every
+/// baseline in [`crate::baselines`], so evaluation, benchmarks, and the
+/// batch server ([`crate::serve`]) drive all methods through one
+/// interface.
+///
+/// `scratch` carries reusable buffers (one per worker thread);
+/// implementations that do not need them ignore it. Estimators must be
+/// shareable across threads — training happens before serving, so
+/// `&self` here is read-only.
+pub trait SpeedEstimator: Send + Sync {
+    /// Short stable name for tables and logs.
+    fn name(&self) -> &'static str;
+
+    /// Estimates every road's speed at `slot_of_day` from crowdsourced
+    /// observations `(road, speed)`.
+    ///
+    /// Baselines that produce no trend posterior leave `p_up` and
+    /// `trends` empty.
+    fn estimate(
+        &self,
+        slot_of_day: usize,
+        observations: &[(RoadId, f64)],
+        scratch: &mut EstimateScratch,
+    ) -> SpeedEstimate;
 }
 
 /// A trained two-step estimator, bound to a seed set.
@@ -54,7 +124,7 @@ pub struct TrafficEstimator {
     seeds: Vec<RoadId>,
     seed_index: Vec<Option<usize>>, // road -> seed slot
     engine: TrendEngine,
-    coverage: Vec<f64>,
+    coverage: Arc<Vec<f64>>,
 }
 
 impl TrafficEstimator {
@@ -94,7 +164,7 @@ impl TrafficEstimator {
         for &s in seeds {
             objective.apply(&mut miss, s);
         }
-        let coverage: Vec<f64> = miss.into_iter().map(|m| 1.0 - m).collect();
+        let coverage: Arc<Vec<f64>> = Arc::new(miss.into_iter().map(|m| 1.0 - m).collect());
         Ok(TrafficEstimator {
             stats: stats.clone(),
             trend_model,
@@ -125,19 +195,44 @@ impl TrafficEstimator {
     /// Estimates every road's speed at `slot_of_day` from crowdsourced
     /// seed observations `(road, speed)`.
     ///
-    /// Observations for roads outside the seed set are ignored (with a
-    /// debug assertion); seeds with no observation simply contribute no
-    /// evidence — the estimator degrades gracefully when the crowd is
-    /// late.
+    /// Observations for roads outside the seed set are skipped and
+    /// counted in [`SpeedEstimate::ignored_observations`]; seeds with no
+    /// observation simply contribute no evidence — the estimator
+    /// degrades gracefully when the crowd is late.
+    ///
+    /// Allocates fresh workspaces per call; serving loops should hold an
+    /// [`EstimateScratch`] per worker and call
+    /// [`TrafficEstimator::estimate_with`].
     pub fn estimate(&self, slot_of_day: usize, observations: &[(RoadId, f64)]) -> SpeedEstimate {
+        self.estimate_with(slot_of_day, observations, &mut EstimateScratch::new())
+    }
+
+    /// Estimates reusing the buffers in `scratch`; identical arithmetic
+    /// and iteration order to [`TrafficEstimator::estimate`], so the
+    /// outputs are bit-identical (given the same engine seed).
+    pub fn estimate_with(
+        &self,
+        slot_of_day: usize,
+        observations: &[(RoadId, f64)],
+        scratch: &mut EstimateScratch,
+    ) -> SpeedEstimate {
         let n = self.trend_model.num_roads();
+        // Split borrows: translation buffers feed both inference steps.
+        let EstimateScratch {
+            trend,
+            hlm,
+            seed_devs,
+            trend_obs,
+        } = scratch;
 
         // Translate observations into trend evidence + seed deviations.
-        let mut seed_devs: Vec<Option<f64>> = vec![None; self.seeds.len()];
-        let mut trend_obs: Vec<(RoadId, bool)> = Vec::with_capacity(observations.len());
+        seed_devs.clear();
+        seed_devs.resize(self.seeds.len(), None);
+        trend_obs.clear();
+        let mut ignored = 0usize;
         for &(road, speed) in observations {
             let Some(si) = self.seed_index.get(road.index()).copied().flatten() else {
-                debug_assert!(false, "observation for non-seed road {road}");
+                ignored += 1;
                 continue;
             };
             trend_obs.push((road, self.stats.trend_of(slot_of_day, road, speed)));
@@ -145,12 +240,14 @@ impl TrafficEstimator {
         }
 
         // Step 1: trend posterior.
-        let inference = self
+        let stats = self
             .trend_model
-            .infer(slot_of_day, &trend_obs, &self.engine);
+            .infer_with(slot_of_day, trend_obs, &self.engine, trend);
 
         // Step 2: deviations -> speeds.
-        let devs = self.hlm.predict_deviations(&seed_devs, &inference.p_up);
+        self.hlm
+            .predict_deviations_with(seed_devs, &trend.p_up, hlm);
+        let devs = hlm.deviations();
         let mut speeds: Vec<f64> = (0..n)
             .map(|r| {
                 let road = RoadId(r as u32);
@@ -159,19 +256,41 @@ impl TrafficEstimator {
             .collect();
         // Seeds report their crowd-observed speeds verbatim.
         for &(road, speed) in observations {
-            if self.seed_index[road.index()].is_some() {
+            if self
+                .seed_index
+                .get(road.index())
+                .copied()
+                .flatten()
+                .is_some()
+            {
                 speeds[road.index()] = speed;
             }
         }
 
-        let trends = inference.decisions();
+        let trends: Vec<bool> = trend.p_up.iter().map(|&p| p >= 0.5).collect();
         SpeedEstimate {
             speeds,
-            p_up: inference.p_up,
+            p_up: trend.p_up.clone(),
             trends,
-            confidence: self.coverage.clone(),
-            trend_iterations: inference.iterations,
+            confidence: Arc::clone(&self.coverage),
+            trend_iterations: stats.iterations,
+            ignored_observations: ignored,
         }
+    }
+}
+
+impl SpeedEstimator for TrafficEstimator {
+    fn name(&self) -> &'static str {
+        "two-step"
+    }
+
+    fn estimate(
+        &self,
+        slot_of_day: usize,
+        observations: &[(RoadId, f64)],
+        scratch: &mut EstimateScratch,
+    ) -> SpeedEstimate {
+        self.estimate_with(slot_of_day, observations, scratch)
     }
 }
 
@@ -257,7 +376,11 @@ mod tests {
         for slot in [7, 8, 12, 17, 18] {
             let obs = observe(truth, slot, &seeds);
             let r = est.estimate(slot, &obs);
-            let truth_v: Vec<f64> = ds.graph.road_ids().map(|ro| truth.speed(slot, ro)).collect();
+            let truth_v: Vec<f64> = ds
+                .graph
+                .road_ids()
+                .map(|ro| truth.speed(slot, ro))
+                .collect();
             let hist: Vec<f64> = ds.graph.road_ids().map(|ro| stats.mean(slot, ro)).collect();
             ours = ours.merge(ErrorStats::from_road_vectors(&truth_v, &r.speeds, &seeds));
             base = base.merge(ErrorStats::from_road_vectors(&truth_v, &hist, &seeds));

@@ -1,11 +1,15 @@
 //! Step 1 — trend inference with a pairwise MRF.
 
 use crate::correlation::CorrelationGraph;
-use graphmodel::{exact, gibbs, lbp, meanfield, Evidence, MrfBuilder, PairwiseMrf};
+use graphmodel::{
+    exact, gibbs, lbp, meanfield, Evidence, GibbsWorkspace, LbpWorkspace, MeanFieldWorkspace,
+    MrfBuilder, PairwiseMrf,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use roadnet::RoadId;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use trafficsim::HistoryStats;
 
 /// Which engine computes the trend posterior.
@@ -87,6 +91,64 @@ impl TrendInference {
     }
 }
 
+/// Per-slot MRFs compiled once at model construction.
+///
+/// The priors and the degree-normalised edge potentials of a slot's MRF
+/// depend only on the frozen history statistics and the correlation
+/// graph, so the whole per-slot model family can be materialised up
+/// front. Serving then looks a slot's model up instead of paying the
+/// `O(edges)` rebuild on every request. Shared via [`Arc`] so cloning a
+/// [`TrendModel`] (or anything holding one) never copies the models.
+#[derive(Debug)]
+pub struct CompiledSlots {
+    mrfs: Vec<PairwiseMrf>,
+}
+
+impl CompiledSlots {
+    /// The compiled MRF for a slot of day.
+    pub fn slot(&self, slot_of_day: usize) -> &PairwiseMrf {
+        &self.mrfs[slot_of_day]
+    }
+
+    /// Number of compiled slots.
+    pub fn num_slots(&self) -> usize {
+        self.mrfs.len()
+    }
+}
+
+/// Reusable per-worker buffers for repeated trend inference.
+///
+/// Holds one workspace per iterative engine plus the evidence buffer,
+/// so a serving worker performs zero message-buffer allocations after
+/// its first request.
+#[derive(Debug, Default)]
+pub struct TrendScratch {
+    evidence: Evidence,
+    lbp: LbpWorkspace,
+    meanfield: MeanFieldWorkspace,
+    gibbs: GibbsWorkspace,
+    /// Posterior up-probability per road, written by
+    /// [`TrendModel::infer_with`].
+    pub p_up: Vec<f64>,
+}
+
+impl TrendScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        TrendScratch::default()
+    }
+}
+
+/// Convergence statistics of a scratch-based trend inference; the
+/// posterior itself lives in the [`TrendScratch`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrendStats {
+    /// Sweeps/iterations the engine used (0 for exact / prior-only).
+    pub iterations: usize,
+    /// Whether an iterative engine reported convergence.
+    pub converged: bool,
+}
+
 /// The trend model: correlation structure + historical priors.
 #[derive(Debug, Clone)]
 pub struct TrendModel {
@@ -95,10 +157,15 @@ pub struct TrendModel {
     /// Per-slot-of-day prior up-rates, row-major `[slot][road]`.
     priors: Vec<f64>,
     slots: usize,
+    /// Per-slot MRFs, compiled once and shared across clones/threads.
+    compiled: Arc<CompiledSlots>,
 }
 
 impl TrendModel {
     /// Builds the model from a correlation graph and history statistics.
+    ///
+    /// Compiles the per-slot MRFs eagerly; `infer`/`infer_with` never
+    /// rebuild them.
     pub fn new(corr: CorrelationGraph, stats: &HistoryStats, config: TrendModelConfig) -> Self {
         let slots = stats.num_slots();
         let n = corr.num_roads();
@@ -110,12 +177,21 @@ impl TrendModel {
                 priors.push(p.clamp(config.prior_clamp, 1.0 - config.prior_clamp));
             }
         }
-        TrendModel {
+        let mut model = TrendModel {
             corr,
             config,
             priors,
             slots,
-        }
+            compiled: Arc::new(CompiledSlots { mrfs: Vec::new() }),
+        };
+        let mrfs = (0..slots).map(|s| model.build_mrf_for_slot(s)).collect();
+        model.compiled = Arc::new(CompiledSlots { mrfs });
+        model
+    }
+
+    /// The per-slot compiled MRFs.
+    pub fn compiled_slots(&self) -> &Arc<CompiledSlots> {
+        &self.compiled
     }
 
     /// The correlation graph the model couples over.
@@ -128,9 +204,18 @@ impl TrendModel {
         self.corr.num_roads()
     }
 
-    /// Materialises the MRF for a slot of day.
+    /// Materialises a fresh MRF for a slot of day.
+    ///
+    /// This is the reference construction path — [`CompiledSlots`] holds
+    /// exactly what this returns, built once per slot at `new`. Serving
+    /// code should use [`TrendModel::compiled_slots`] instead of paying
+    /// the rebuild.
     pub fn mrf_for_slot(&self, slot_of_day: usize) -> PairwiseMrf {
         assert!(slot_of_day < self.slots, "slot out of range");
+        self.build_mrf_for_slot(slot_of_day)
+    }
+
+    fn build_mrf_for_slot(&self, slot_of_day: usize) -> PairwiseMrf {
         let n = self.corr.num_roads();
         let mut b = MrfBuilder::new(n);
         let row = &self.priors[slot_of_day * n..(slot_of_day + 1) * n];
@@ -152,64 +237,95 @@ impl TrendModel {
     }
 
     /// Infers trend posteriors given observed seed trends.
+    ///
+    /// Allocates fresh buffers per call; serving paths should hold a
+    /// [`TrendScratch`] and call [`TrendModel::infer_with`], which
+    /// produces bit-identical posteriors.
     pub fn infer(
         &self,
         slot_of_day: usize,
         observations: &[(RoadId, bool)],
         engine: &TrendEngine,
     ) -> TrendInference {
+        let mut scratch = TrendScratch::new();
+        let stats = self.infer_with(slot_of_day, observations, engine, &mut scratch);
+        TrendInference {
+            p_up: std::mem::take(&mut scratch.p_up),
+            iterations: stats.iterations,
+            converged: stats.converged,
+        }
+    }
+
+    /// Infers trend posteriors reusing the compiled slot model and the
+    /// buffers in `scratch`; writes the posterior to `scratch.p_up`.
+    ///
+    /// Performs no MRF rebuild and, for the iterative engines, no
+    /// message-buffer allocation once the scratch has warmed up.
+    pub fn infer_with(
+        &self,
+        slot_of_day: usize,
+        observations: &[(RoadId, bool)],
+        engine: &TrendEngine,
+        scratch: &mut TrendScratch,
+    ) -> TrendStats {
         let n = self.corr.num_roads();
-        let evidence = Evidence::from_pairs(n, observations.iter().map(|&(r, t)| (r.index(), t)));
+        scratch.evidence.reset(n);
+        for &(r, t) in observations {
+            scratch.evidence.observe(r.index(), t);
+        }
+        let evidence = &scratch.evidence;
         match engine {
             TrendEngine::PriorOnly => {
                 let row = &self.priors[slot_of_day * n..(slot_of_day + 1) * n];
-                let p_up = (0..n)
-                    .map(|r| match evidence.get(r) {
-                        Some(true) => 1.0,
-                        Some(false) => 0.0,
-                        None => row[r],
-                    })
-                    .collect();
-                TrendInference {
-                    p_up,
+                scratch.p_up.clear();
+                scratch.p_up.extend((0..n).map(|r| match evidence.get(r) {
+                    Some(true) => 1.0,
+                    Some(false) => 0.0,
+                    None => row[r],
+                }));
+                TrendStats {
                     iterations: 0,
                     converged: true,
                 }
             }
             TrendEngine::Lbp(opts) => {
-                let mrf = self.mrf_for_slot(slot_of_day);
-                let res = lbp::run(&mrf, &evidence, opts);
-                TrendInference {
-                    p_up: res.marginals,
+                let mrf = self.compiled.slot(slot_of_day);
+                let res = lbp::run_with(mrf, evidence, opts, &mut scratch.lbp);
+                scratch.p_up.clear();
+                scratch.p_up.extend_from_slice(scratch.lbp.marginals());
+                TrendStats {
                     iterations: res.iterations,
                     converged: res.converged,
                 }
             }
             TrendEngine::MeanField(opts) => {
-                let mrf = self.mrf_for_slot(slot_of_day);
-                let res = meanfield::run(&mrf, &evidence, opts);
-                TrendInference {
-                    p_up: res.marginals,
+                let mrf = self.compiled.slot(slot_of_day);
+                let res = meanfield::run_with(mrf, evidence, opts, &mut scratch.meanfield);
+                scratch.p_up.clear();
+                scratch
+                    .p_up
+                    .extend_from_slice(scratch.meanfield.marginals());
+                TrendStats {
                     iterations: res.iterations,
                     converged: res.converged,
                 }
             }
             TrendEngine::Gibbs { options, seed } => {
-                let mrf = self.mrf_for_slot(slot_of_day);
+                let mrf = self.compiled.slot(slot_of_day);
                 let mut rng = StdRng::seed_from_u64(*seed);
-                let p_up = gibbs::run(&mrf, &evidence, options, &mut rng);
-                TrendInference {
-                    p_up,
+                gibbs::run_with(mrf, evidence, options, &mut rng, &mut scratch.gibbs);
+                scratch.p_up.clear();
+                scratch.p_up.extend_from_slice(scratch.gibbs.marginals());
+                TrendStats {
                     iterations: options.burn_in + options.samples,
                     converged: true,
                 }
             }
             TrendEngine::Exact => {
-                let mrf = self.mrf_for_slot(slot_of_day);
-                let p_up = exact::marginals(&mrf, &evidence)
+                let mrf = self.compiled.slot(slot_of_day);
+                scratch.p_up = exact::marginals(mrf, evidence)
                     .expect("exact inference infeasible on this graph size");
-                TrendInference {
-                    p_up,
+                TrendStats {
                     iterations: 0,
                     converged: true,
                 }

@@ -60,6 +60,7 @@ pub mod online;
 pub mod propagate;
 pub mod routing;
 pub mod seed;
+pub mod serve;
 
 /// Convenient re-exports of the main public types.
 pub mod prelude {
@@ -67,7 +68,9 @@ pub mod prelude {
     pub use crate::correlation::{CorrelationConfig, CorrelationGraph};
     pub use crate::eval::{evaluate, EvalConfig, EvalReport};
     pub use crate::inference::hlm::{HlmConfig, HlmModel};
-    pub use crate::inference::pipeline::{EstimatorConfig, SpeedEstimate, TrafficEstimator};
+    pub use crate::inference::pipeline::{
+        EstimateScratch, EstimatorConfig, SpeedEstimate, SpeedEstimator, TrafficEstimator,
+    };
     pub use crate::inference::trend_model::{TrendEngine, TrendModel};
     pub use crate::metrics::ErrorStats;
     pub use crate::seed::baseline::{
@@ -78,6 +81,9 @@ pub mod prelude {
     pub use crate::seed::lazy_greedy::lazy_greedy;
     pub use crate::seed::objective::{InfluenceConfig, InfluenceModel, SeedObjective};
     pub use crate::seed::partition::partition_greedy;
+    pub use crate::serve::{
+        serve_batch, BatchOutcome, EstimateRequest, ServeMetrics, ServeOptions,
+    };
     pub use trafficsim::{HistoricalData, HistoryStats};
 }
 
@@ -90,6 +96,13 @@ pub enum CoreError {
     InsufficientData(String),
     /// An internal numerical step failed (e.g. a degenerate solve).
     Numerical(String),
+    /// An input's dimensions disagree with the model it was fed to.
+    ShapeMismatch {
+        /// What the model expected (e.g. "24 slots x 96 roads").
+        expected: String,
+        /// What the input provided.
+        got: String,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -98,6 +111,9 @@ impl std::fmt::Display for CoreError {
             CoreError::InvalidRoad(r) => write!(f, "invalid road id {r}"),
             CoreError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
             CoreError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            CoreError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
         }
     }
 }

@@ -16,6 +16,7 @@
 //! means; [`OnlineCorrelation::rebootstrap`] does exactly that.
 
 use crate::correlation::{CorrelationConfig, CorrelationEdge, CorrelationGraph};
+use crate::{CoreError, Result};
 use roadnet::{path, RoadGraph, RoadId};
 use trafficsim::{HistoricalData, HistoryStats, SpeedField};
 
@@ -59,16 +60,30 @@ impl OnlineCorrelation {
             days: 0,
         };
         for day in history.days() {
-            this.ingest_day(day);
+            this.ingest_day(day)
+                .expect("bootstrap window days share the history's shape");
         }
         this
     }
 
     /// Ingests one observed day (may contain `NaN` cells), updating the
     /// per-pair counters against the frozen reference means.
-    pub fn ingest_day(&mut self, day: &SpeedField) {
-        assert_eq!(day.num_roads(), self.stats.num_roads(), "road count mismatch");
-        assert_eq!(day.num_slots(), self.stats.num_slots(), "slot count mismatch");
+    ///
+    /// A day whose dimensions disagree with the frozen reference (wrong
+    /// road count or slot grid — a mis-routed feed, not a programming
+    /// error) is rejected with [`CoreError::ShapeMismatch`] and leaves
+    /// the counters untouched.
+    pub fn ingest_day(&mut self, day: &SpeedField) -> Result<()> {
+        if day.num_roads() != self.stats.num_roads() || day.num_slots() != self.stats.num_slots() {
+            return Err(CoreError::ShapeMismatch {
+                expected: format!(
+                    "{} slots x {} roads",
+                    self.stats.num_slots(),
+                    self.stats.num_roads()
+                ),
+                got: format!("{} slots x {} roads", day.num_slots(), day.num_roads()),
+            });
+        }
         let slots = day.num_slots();
         // Per-slot trend cache: 0 = unobserved, 1 = down, 2 = up.
         let n = day.num_roads();
@@ -96,6 +111,7 @@ impl OnlineCorrelation {
             }
         }
         self.days += 1;
+        Ok(())
     }
 
     /// Number of days ingested (including the bootstrap window).
@@ -119,8 +135,8 @@ impl OnlineCorrelation {
                 if co < self.config.min_co_observations {
                     return None;
                 }
-                let p = (agree as f64 + self.config.laplace)
-                    / (co as f64 + 2.0 * self.config.laplace);
+                let p =
+                    (agree as f64 + self.config.laplace) / (co as f64 + 2.0 * self.config.laplace);
                 (p >= self.config.min_cotrend || p <= 1.0 - self.config.min_cotrend).then_some(
                     CorrelationEdge {
                         a,
@@ -188,7 +204,7 @@ mod tests {
         let ds = dataset();
         let mut online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
         let before: u32 = online.counts.iter().map(|&(co, _)| co).sum();
-        online.ingest_day(&ds.test_days[0]);
+        online.ingest_day(&ds.test_days[0]).unwrap();
         let after: u32 = online.counts.iter().map(|&(co, _)| co).sum();
         assert!(after > before);
         assert_eq!(online.days_ingested(), 9);
@@ -201,7 +217,7 @@ mod tests {
         let ds = dataset();
         let mut online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
         for day in &ds.test_days {
-            online.ingest_day(day);
+            online.ingest_day(day).unwrap();
         }
         // Batch recount with frozen means: extend the history but reuse
         // the original stats.
@@ -233,12 +249,31 @@ mod tests {
         let mut online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
         let thin_edges = online.correlation_graph().num_edges();
         for day in &ds.test_days {
-            online.ingest_day(day);
+            online.ingest_day(day).unwrap();
         }
         let rich_edges = online.correlation_graph().num_edges();
         // With min support 6 and a 3-day bootstrap, edges can only be
         // confirmed once more days arrive.
         assert!(rich_edges >= thin_edges, "{rich_edges} vs {thin_edges}");
+    }
+
+    #[test]
+    fn ingest_rejects_mismatched_day() {
+        let ds = dataset();
+        let mut online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
+        let days_before = online.days_ingested();
+        let counts_before: u32 = online.counts.iter().map(|&(co, _)| co).sum();
+        // Wrong road count.
+        let bad = SpeedField::filled(ds.clock.slots_per_day, ds.graph.num_roads() + 1, 30.0);
+        let err = online.ingest_day(&bad).unwrap_err();
+        assert!(matches!(err, CoreError::ShapeMismatch { .. }), "{err}");
+        // Wrong slot grid.
+        let bad = SpeedField::filled(ds.clock.slots_per_day + 1, ds.graph.num_roads(), 30.0);
+        assert!(online.ingest_day(&bad).is_err());
+        // Counters untouched by rejected days.
+        assert_eq!(online.days_ingested(), days_before);
+        let counts_after: u32 = online.counts.iter().map(|&(co, _)| co).sum();
+        assert_eq!(counts_after, counts_before);
     }
 
     #[test]
@@ -251,9 +286,9 @@ mod tests {
         let re = online.rebootstrap(&ds.graph, &extended);
         assert_eq!(re.days_ingested(), 10);
         // Means differ once the window grows.
-        let differs = (0..ds.graph.num_roads() as u32).map(RoadId).any(|r| {
-            (re.stats().mean(8, r) - online.stats().mean(8, r)).abs() > 1e-9
-        });
+        let differs = (0..ds.graph.num_roads() as u32)
+            .map(RoadId)
+            .any(|r| (re.stats().mean(8, r) - online.stats().mean(8, r)).abs() > 1e-9);
         assert!(differs);
     }
 }

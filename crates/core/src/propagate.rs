@@ -13,6 +13,30 @@ use crate::correlation::CorrelationGraph;
 use crate::seed::objective::edge_strength;
 use roadnet::RoadId;
 
+/// Reusable buffers for repeated propagation runs.
+///
+/// Holds the two ping-pong field buffers and the clamp mask, so a
+/// serving loop pays their allocation once per worker.
+#[derive(Debug, Clone, Default)]
+pub struct PropagateScratch {
+    dev: Vec<f64>,
+    clamped: Vec<bool>,
+    next: Vec<f64>,
+}
+
+impl PropagateScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        PropagateScratch::default()
+    }
+
+    /// The propagated field written by the most recent
+    /// [`propagate_deviations_into`].
+    pub fn field(&self) -> &[f64] {
+        &self.dev
+    }
+}
+
 /// Propagates seed deviations over the correlation graph.
 ///
 /// * `seed_devs` — observed `(road, deviation)` pairs, clamped in place;
@@ -20,21 +44,42 @@ use roadnet::RoadId;
 /// * `anchor` — weight pulling unobserved roads towards deviation 1.0
 ///   (guards against drift in sparsely seeded regions).
 ///
-/// Returns one deviation per road.
+/// Returns one deviation per road. Allocates fresh buffers per call;
+/// serving paths should hold a [`PropagateScratch`] and call
+/// [`propagate_deviations_into`].
 pub fn propagate_deviations(
     corr: &CorrelationGraph,
     seed_devs: &[(RoadId, f64)],
     iterations: usize,
     anchor: f64,
 ) -> Vec<f64> {
+    let mut ws = PropagateScratch::new();
+    propagate_deviations_into(corr, seed_devs, iterations, anchor, &mut ws);
+    std::mem::take(&mut ws.dev)
+}
+
+/// Propagates seed deviations reusing the buffers in `ws`; identical
+/// sweep order and arithmetic to [`propagate_deviations`], so the field
+/// (readable via [`PropagateScratch::field`]) is bit-identical.
+pub fn propagate_deviations_into(
+    corr: &CorrelationGraph,
+    seed_devs: &[(RoadId, f64)],
+    iterations: usize,
+    anchor: f64,
+    ws: &mut PropagateScratch,
+) {
     let n = corr.num_roads();
-    let mut dev = vec![1.0f64; n];
-    let mut clamped = vec![false; n];
+    let PropagateScratch { dev, clamped, next } = ws;
+    dev.clear();
+    dev.resize(n, 1.0);
+    clamped.clear();
+    clamped.resize(n, false);
     for &(s, d) in seed_devs {
         dev[s.index()] = d;
         clamped[s.index()] = true;
     }
-    let mut next = dev.clone();
+    next.clear();
+    next.extend_from_slice(dev);
     for _ in 0..iterations {
         for r in 0..n {
             if clamped[r] {
@@ -49,9 +94,8 @@ pub fn propagate_deviations(
             }
             next[r] = dsum / wsum;
         }
-        std::mem::swap(&mut dev, &mut next);
+        std::mem::swap(dev, next);
     }
-    dev
 }
 
 #[cfg(test)]
@@ -83,7 +127,10 @@ mod tests {
         let corr = chain(5, 0.9);
         let dev = propagate_deviations(&corr, &[(RoadId(0), 0.4)], 50, 0.2);
         for w in dev.windows(2) {
-            assert!(w[0] <= w[1] + 1e-9, "field must relax monotonically: {dev:?}");
+            assert!(
+                w[0] <= w[1] + 1e-9,
+                "field must relax monotonically: {dev:?}"
+            );
         }
         assert!(dev[4] < 1.0, "far roads still feel a strong seed");
         assert!(dev[4] > dev[1], "attenuation with distance");
@@ -101,7 +148,10 @@ mod tests {
         let corr = chain(5, 0.95);
         let dev = propagate_deviations(&corr, &[(RoadId(0), 0.5), (RoadId(4), 1.5)], 100, 0.01);
         assert!(dev[2] > dev[1] && dev[3] > dev[2], "{dev:?}");
-        assert!((dev[2] - 1.0).abs() < 0.1, "midpoint near the average: {dev:?}");
+        assert!(
+            (dev[2] - 1.0).abs() < 0.1,
+            "midpoint near the average: {dev:?}"
+        );
     }
 
     #[test]

@@ -35,12 +35,7 @@ pub struct Route {
 /// `from == to` the route is the single segment with half its traversal
 /// time (enter at one end, leave at the midpoint — consistent with the
 /// midpoint-to-midpoint costing).
-pub fn fastest_route(
-    graph: &RoadGraph,
-    speeds: &[f64],
-    from: RoadId,
-    to: RoadId,
-) -> Option<Route> {
+pub fn fastest_route(graph: &RoadGraph, speeds: &[f64], from: RoadId, to: RoadId) -> Option<Route> {
     assert_eq!(speeds.len(), graph.num_roads(), "speed vector arity");
     // Midpoint-to-midpoint edge cost: half of each segment.
     let dist = path::dijkstra(graph, from, f64::INFINITY, |a, b| {
@@ -55,8 +50,8 @@ pub fn fastest_route(
     while current != from {
         let dc = dist[current.index()];
         let prev = graph.neighbors(current).iter().copied().find(|&p| {
-            let w = 0.5
-                * (segment_minutes(graph, speeds, p) + segment_minutes(graph, speeds, current));
+            let w =
+                0.5 * (segment_minutes(graph, speeds, p) + segment_minutes(graph, speeds, current));
             (dist[p.index()] + w - dc).abs() < 1e-9
         });
         match prev {

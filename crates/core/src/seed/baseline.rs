@@ -66,7 +66,12 @@ pub fn top_variance(history: &HistoricalData, stats: &HistoryStats, k: usize) ->
 
 /// The `k` roads with the highest PageRank on the correlation graph
 /// (edge weights as transition propensities).
-pub fn pagerank_seeds(corr: &CorrelationGraph, k: usize, damping: f64, iters: usize) -> Vec<RoadId> {
+pub fn pagerank_seeds(
+    corr: &CorrelationGraph,
+    k: usize,
+    damping: f64,
+    iters: usize,
+) -> Vec<RoadId> {
     let n = corr.num_roads();
     if n == 0 {
         return Vec::new();
@@ -74,7 +79,11 @@ pub fn pagerank_seeds(corr: &CorrelationGraph, k: usize, damping: f64, iters: us
     let mut rank = vec![1.0 / n as f64; n];
     let mut next = vec![0.0f64; n];
     let out_weight: Vec<f64> = (0..n)
-        .map(|r| corr.neighbors(RoadId(r as u32)).map(|(_, w)| w).sum::<f64>())
+        .map(|r| {
+            corr.neighbors(RoadId(r as u32))
+                .map(|(_, w)| w)
+                .sum::<f64>()
+        })
         .collect();
     for _ in 0..iters {
         let base = (1.0 - damping) / n as f64;

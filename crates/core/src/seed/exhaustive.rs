@@ -121,10 +121,7 @@ mod tests {
             cotrend: 0.9,
             support: 100,
         };
-        let corr = CorrelationGraph::from_edges(
-            6,
-            vec![e(0, 1), e(0, 2), e(0, 3), e(4, 5)],
-        );
+        let corr = CorrelationGraph::from_edges(6, vec![e(0, 1), e(0, 2), e(0, 3), e(4, 5)]);
         let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
         let res = exhaustive(&model, 2);
         let mut s = res.seeds.clone();

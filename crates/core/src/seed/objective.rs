@@ -273,10 +273,8 @@ mod tests {
             cotrend: p,
             support: 100,
         };
-        let corr = CorrelationGraph::from_edges(
-            3,
-            vec![e(0, 1, 0.95), e(1, 2, 0.95), e(0, 2, 0.55)],
-        );
+        let corr =
+            CorrelationGraph::from_edges(3, vec![e(0, 1, 0.95), e(1, 2, 0.95), e(0, 2, 0.55)]);
         let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
         assert!((model.influence(RoadId(0), RoadId(2)) - 0.81).abs() < 1e-12);
     }

@@ -123,7 +123,13 @@ fn bfs_partition(corr: &CorrelationGraph, parts: usize) -> Vec<usize> {
     bfs_layer(corr, 0, &mut dist);
     while sources.len() < parts {
         let far = (0..n)
-            .max_by_key(|&r| if dist[r] == u32::MAX { u32::MAX } else { dist[r] })
+            .max_by_key(|&r| {
+                if dist[r] == u32::MAX {
+                    u32::MAX
+                } else {
+                    dist[r]
+                }
+            })
             .expect("n > 0");
         if sources.contains(&far) {
             break;

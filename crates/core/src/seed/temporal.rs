@@ -72,8 +72,8 @@ impl TemporalSeedPlan {
                 // short periods still produce a usable graph.
                 let frac = p.slots.len() as f64 / stats.num_slots() as f64;
                 let scaled = CorrelationConfig {
-                    min_co_observations: ((corr_config.min_co_observations as f64 * frac)
-                        .round() as u32)
+                    min_co_observations: ((corr_config.min_co_observations as f64 * frac).round()
+                        as u32)
                         .max(4),
                     ..corr_config.clone()
                 };
@@ -178,8 +178,8 @@ mod tests {
         // Rush and night correlation structure differ, so at least one
         // pair of period seed sets should differ.
         let (_, plan) = plan(10);
-        let distinct = (1..plan.periods().len())
-            .any(|i| plan.period_seeds(i) != plan.period_seeds(0));
+        let distinct =
+            (1..plan.periods().len()).any(|i| plan.period_seeds(i) != plan.period_seeds(0));
         assert!(distinct, "all periods picked identical seeds");
     }
 

@@ -1,0 +1,298 @@
+//! Batch serving front end.
+//!
+//! At serving time a city produces a burst of estimation requests —
+//! many slots, many crowd snapshots — and the estimator itself is
+//! read-only once trained. This module fans a batch of requests across
+//! worker threads, each holding one reusable [`EstimateScratch`], so
+//! the per-request cost after warm-up is pure inference: no MRF
+//! rebuilds (the [`TrendModel`](crate::inference::trend_model::TrendModel)
+//! precompiles per-slot models) and no workspace allocations.
+//!
+//! Requests are independent, so the parallel batch is bit-identical to
+//! the sequential one — the equivalence tests pin this down.
+
+use crate::inference::pipeline::{EstimateScratch, SpeedEstimate, SpeedEstimator};
+use parking_lot::Mutex;
+use roadnet::RoadId;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// One serving request: estimate every road at `slot_of_day` given the
+/// crowdsourced `(road, speed)` observations.
+#[derive(Debug, Clone)]
+pub struct EstimateRequest {
+    /// Slot of day the observations belong to.
+    pub slot_of_day: usize,
+    /// Crowdsourced seed observations.
+    pub observations: Vec<(RoadId, f64)>,
+}
+
+/// Batch serving options.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads (1 = sequential, no thread spawn).
+    pub threads: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { threads: 1 }
+    }
+}
+
+/// Per-request latency counters aggregated over one batch.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeMetrics {
+    /// Requests served.
+    pub requests: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall_time: Duration,
+    /// Sum of per-request latencies across all workers (≥ `wall_time`
+    /// when more than one worker is busy).
+    pub busy_time: Duration,
+    /// Fastest single request.
+    pub min_latency: Duration,
+    /// Slowest single request.
+    pub max_latency: Duration,
+}
+
+impl ServeMetrics {
+    /// Mean per-request latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.requests == 0 {
+            Duration::ZERO
+        } else {
+            self.busy_time / self.requests as u32
+        }
+    }
+
+    /// Requests per second of wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.requests as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Result of [`serve_batch`]: one estimate per request, in request
+/// order, plus the latency counters.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// `estimates[i]` answers `requests[i]`.
+    pub estimates: Vec<SpeedEstimate>,
+    /// Latency counters for the batch.
+    pub metrics: ServeMetrics,
+}
+
+/// Tracks per-worker latency extremes and totals without locking.
+#[derive(Debug, Clone, Copy)]
+struct LatencyAcc {
+    busy: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl LatencyAcc {
+    fn new() -> Self {
+        LatencyAcc {
+            busy: Duration::ZERO,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+        }
+    }
+
+    fn record(&mut self, took: Duration) {
+        self.busy += took;
+        self.min = self.min.min(took);
+        self.max = self.max.max(took);
+    }
+
+    fn merge(&mut self, other: LatencyAcc) {
+        self.busy += other.busy;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Serves a batch of requests through any [`SpeedEstimator`].
+///
+/// With `threads <= 1` the batch runs on the calling thread with a
+/// single scratch. Otherwise workers steal request indices from a
+/// shared counter, each with its own [`EstimateScratch`], so buffers
+/// are reused within a worker and never shared across workers.
+pub fn serve_batch(
+    estimator: &dyn SpeedEstimator,
+    requests: &[EstimateRequest],
+    opts: &ServeOptions,
+) -> BatchOutcome {
+    let t0 = Instant::now();
+    let threads = opts.threads.max(1).min(requests.len().max(1));
+
+    let mut estimates: Vec<Option<SpeedEstimate>> = Vec::with_capacity(requests.len());
+    estimates.resize_with(requests.len(), || None);
+    let mut latency = LatencyAcc::new();
+
+    if threads <= 1 {
+        let mut scratch = EstimateScratch::new();
+        for (slot, req) in estimates.iter_mut().zip(requests) {
+            let t = Instant::now();
+            let est = estimator.estimate(req.slot_of_day, &req.observations, &mut scratch);
+            latency.record(t.elapsed());
+            *slot = Some(est);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let done = Mutex::new((&mut estimates, &mut latency));
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    let mut scratch = EstimateScratch::new();
+                    let mut local: Vec<(usize, SpeedEstimate)> = Vec::new();
+                    let mut acc = LatencyAcc::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(req) = requests.get(i) else { break };
+                        let t = Instant::now();
+                        let est =
+                            estimator.estimate(req.slot_of_day, &req.observations, &mut scratch);
+                        acc.record(t.elapsed());
+                        local.push((i, est));
+                    }
+                    let mut guard = done.lock();
+                    for (i, est) in local {
+                        guard.0[i] = Some(est);
+                    }
+                    guard.1.merge(acc);
+                });
+            }
+        })
+        .expect("serving worker panicked");
+    }
+
+    let estimates: Vec<SpeedEstimate> = estimates
+        .into_iter()
+        .map(|e| e.expect("every request index was claimed by a worker"))
+        .collect();
+    let requests_served = estimates.len();
+    BatchOutcome {
+        estimates,
+        metrics: ServeMetrics {
+            requests: requests_served,
+            wall_time: t0.elapsed(),
+            busy_time: latency.busy,
+            min_latency: if requests_served == 0 {
+                Duration::ZERO
+            } else {
+                latency.min
+            },
+            max_latency: latency.max,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::{CorrelationConfig, CorrelationGraph};
+    use crate::inference::pipeline::{EstimatorConfig, TrafficEstimator};
+    use trafficsim::dataset::{metro_small, DatasetParams};
+    use trafficsim::HistoryStats;
+
+    fn trained() -> (trafficsim::dataset::Dataset, TrafficEstimator, Vec<RoadId>) {
+        let ds = metro_small(&DatasetParams {
+            training_days: 8,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let stats = HistoryStats::compute(&ds.history);
+        let corr = CorrelationGraph::build(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &CorrelationConfig {
+                min_cotrend: 0.6,
+                min_co_observations: 6,
+                ..CorrelationConfig::default()
+            },
+        );
+        let seeds: Vec<RoadId> = (0..12u32).map(|i| RoadId(i * 8)).collect();
+        let est = TrafficEstimator::train(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &corr,
+            &seeds,
+            &EstimatorConfig::default(),
+        )
+        .unwrap();
+        (ds, est, seeds)
+    }
+
+    fn requests(
+        ds: &trafficsim::dataset::Dataset,
+        seeds: &[RoadId],
+        slots: &[usize],
+    ) -> Vec<EstimateRequest> {
+        let truth = &ds.test_days[0];
+        slots
+            .iter()
+            .map(|&slot| EstimateRequest {
+                slot_of_day: slot,
+                observations: seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_answers_every_request_in_order() {
+        let (ds, est, seeds) = trained();
+        let reqs = requests(&ds, &seeds, &[6, 7, 8, 9]);
+        let out = serve_batch(&est, &reqs, &ServeOptions { threads: 1 });
+        assert_eq!(out.estimates.len(), reqs.len());
+        assert_eq!(out.metrics.requests, reqs.len());
+        for (req, est) in reqs.iter().zip(&out.estimates) {
+            // Seeds echo their observations, which pin the request order.
+            for &(road, speed) in &req.observations {
+                assert_eq!(est.speeds[road.index()], speed);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let (ds, est, seeds) = trained();
+        let reqs = requests(&ds, &seeds, &[5, 6, 7, 8, 9, 10, 11, 12]);
+        let seq = serve_batch(&est, &reqs, &ServeOptions { threads: 1 });
+        let par = serve_batch(&est, &reqs, &ServeOptions { threads: 4 });
+        for (a, b) in seq.estimates.iter().zip(&par.estimates) {
+            assert_eq!(a.speeds, b.speeds);
+            assert_eq!(a.p_up, b.p_up);
+            assert_eq!(a.trends, b.trends);
+        }
+    }
+
+    #[test]
+    fn metrics_are_consistent() {
+        let (ds, est, seeds) = trained();
+        let reqs = requests(&ds, &seeds, &[7, 8, 9]);
+        let out = serve_batch(&est, &reqs, &ServeOptions { threads: 2 });
+        let m = out.metrics;
+        assert_eq!(m.requests, 3);
+        assert!(m.min_latency <= m.max_latency);
+        assert!(m.busy_time >= m.max_latency);
+        assert!(m.mean_latency() >= m.min_latency && m.mean_latency() <= m.max_latency);
+        assert!(m.throughput() > 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (_, est, _) = trained();
+        let out = serve_batch(&est, &[], &ServeOptions { threads: 4 });
+        assert!(out.estimates.is_empty());
+        assert_eq!(out.metrics.requests, 0);
+        assert_eq!(out.metrics.mean_latency(), Duration::ZERO);
+    }
+}

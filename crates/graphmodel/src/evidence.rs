@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 /// A partial assignment: which variables have been observed, and their
 /// values. In the traffic model the observed variables are the seed
 /// roads, with trends derived from crowdsourced speeds.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Evidence {
     observed: Vec<Option<bool>>,
 }
@@ -46,6 +46,15 @@ impl Evidence {
     /// Removes the observation on `v`, if any.
     pub fn clear(&mut self, v: usize) {
         self.observed[v] = None;
+    }
+
+    /// Drops every observation and re-sizes to cover `n` variables,
+    /// keeping the allocation. Equivalent to `*self = Evidence::none(n)`
+    /// without the reallocation; lets serving loops reuse one evidence
+    /// buffer across requests.
+    pub fn reset(&mut self, n: usize) {
+        self.observed.clear();
+        self.observed.resize(n, None);
     }
 
     /// The observation on `v`.

@@ -26,26 +26,73 @@ impl Default for GibbsOptions {
     }
 }
 
+/// Reusable buffers for repeated Gibbs runs: the chain state, the
+/// up-sweep counters, and the marginal vector survive between calls to
+/// [`run_with`].
+#[derive(Debug, Clone, Default)]
+pub struct GibbsWorkspace {
+    state: Vec<bool>,
+    up_counts: Vec<u64>,
+    marginals: Vec<f64>,
+}
+
+impl GibbsWorkspace {
+    /// An empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        GibbsWorkspace::default()
+    }
+
+    /// Estimated marginals written by the most recent [`run_with`].
+    pub fn marginals(&self) -> &[f64] {
+        &self.marginals
+    }
+}
+
 /// Runs Gibbs sampling and returns estimated up-probabilities per
 /// variable. Observed variables stay clamped to their evidence and
 /// report hard 0/1 marginals.
+///
+/// Allocates fresh buffers per call; serving paths should hold a
+/// [`GibbsWorkspace`] and call [`run_with`].
 pub fn run<R: Rng>(
     mrf: &PairwiseMrf,
     evidence: &Evidence,
     opts: &GibbsOptions,
     rng: &mut R,
 ) -> Vec<f64> {
+    let mut ws = GibbsWorkspace::new();
+    run_with(mrf, evidence, opts, rng, &mut ws);
+    std::mem::take(&mut ws.marginals)
+}
+
+/// Runs Gibbs sampling reusing the buffers in `ws`; identical sampling
+/// schedule and RNG consumption to [`run`], so results are bit-identical
+/// for the same seed.
+pub fn run_with<R: Rng>(
+    mrf: &PairwiseMrf,
+    evidence: &Evidence,
+    opts: &GibbsOptions,
+    rng: &mut R,
+    ws: &mut GibbsWorkspace,
+) {
     let n = mrf.num_vars();
     assert_eq!(evidence.len(), n, "evidence covers a different model");
 
+    // Split borrows: all three buffers are used simultaneously.
+    let GibbsWorkspace {
+        state,
+        up_counts,
+        marginals,
+    } = ws;
+
     // Initialise: evidence clamped, free variables from their priors.
-    let mut state: Vec<bool> = (0..n)
-        .map(|v| match evidence.get(v) {
-            Some(s) => s,
-            None => rng.gen_bool(mrf.prior_up(v)),
-        })
-        .collect();
-    let mut up_counts = vec![0u64; n];
+    state.clear();
+    state.extend((0..n).map(|v| match evidence.get(v) {
+        Some(s) => s,
+        None => rng.gen_bool(mrf.prior_up(v)),
+    }));
+    up_counts.clear();
+    up_counts.resize(n, 0);
 
     for sweep in 0..opts.burn_in + opts.samples {
         for v in 0..n {
@@ -77,13 +124,12 @@ pub fn run<R: Rng>(
         }
     }
 
-    (0..n)
-        .map(|v| match evidence.get(v) {
-            Some(true) => 1.0,
-            Some(false) => 0.0,
-            None => up_counts[v] as f64 / opts.samples.max(1) as f64,
-        })
-        .collect()
+    marginals.clear();
+    marginals.extend((0..n).map(|v| match evidence.get(v) {
+        Some(true) => 1.0,
+        Some(false) => 0.0,
+        None => up_counts[v] as f64 / opts.samples.max(1) as f64,
+    }));
 }
 
 #[cfg(test)]

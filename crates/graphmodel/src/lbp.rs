@@ -54,6 +54,42 @@ impl LbpResult {
     }
 }
 
+/// Convergence statistics of a workspace-based LBP run; the marginals
+/// themselves live in the [`LbpWorkspace`].
+#[derive(Debug, Clone, Copy)]
+pub struct LbpStats {
+    /// Number of sweeps performed.
+    pub iterations: usize,
+    /// Whether the message updates fell below `tol`.
+    pub converged: bool,
+    /// Final sweep's maximum message change.
+    pub max_delta: f64,
+}
+
+/// Reusable buffers for repeated LBP runs.
+///
+/// A workspace keeps the per-directed-slot message vector and the
+/// marginal vector alive between calls to [`run_with`], so a serving
+/// loop pays the allocation cost once per worker instead of once per
+/// request. Buffers grow to the largest model seen and are then reused.
+#[derive(Debug, Clone, Default)]
+pub struct LbpWorkspace {
+    messages: Vec<f64>,
+    marginals: Vec<f64>,
+}
+
+impl LbpWorkspace {
+    /// An empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        LbpWorkspace::default()
+    }
+
+    /// Posterior marginals written by the most recent [`run_with`].
+    pub fn marginals(&self) -> &[f64] {
+        &self.marginals
+    }
+}
+
 #[inline]
 fn clamp_msg(p: f64) -> f64 {
     p.clamp(PROB_FLOOR, 1.0 - PROB_FLOOR)
@@ -74,12 +110,39 @@ fn node_up(mrf: &PairwiseMrf, evidence: &Evidence, v: usize) -> f64 {
 /// Messages are stored per directed adjacency slot as the normalised
 /// probability of the "up" state; products are accumulated in log space
 /// so high-degree nodes stay numerically stable.
+///
+/// Allocates fresh buffers per call; serving paths that answer many
+/// queries should hold an [`LbpWorkspace`] and call [`run_with`].
 pub fn run(mrf: &PairwiseMrf, evidence: &Evidence, opts: &LbpOptions) -> LbpResult {
+    let mut ws = LbpWorkspace::new();
+    let stats = run_with(mrf, evidence, opts, &mut ws);
+    LbpResult {
+        marginals: std::mem::take(&mut ws.marginals),
+        iterations: stats.iterations,
+        converged: stats.converged,
+        max_delta: stats.max_delta,
+    }
+}
+
+/// Runs LBP reusing the buffers in `ws`; identical message schedule and
+/// arithmetic to [`run`], so results are bit-identical.
+pub fn run_with(
+    mrf: &PairwiseMrf,
+    evidence: &Evidence,
+    opts: &LbpOptions,
+    ws: &mut LbpWorkspace,
+) -> LbpStats {
     let n = mrf.num_vars();
     assert_eq!(evidence.len(), n, "evidence covers a different model");
     let nslots = mrf.targets.len();
+    // Split borrows: messages and marginals are used simultaneously.
+    let LbpWorkspace {
+        messages: m,
+        marginals,
+    } = ws;
     // m[d]: message from the owner of slot d to targets[d], as P(up).
-    let mut m = vec![0.5f64; nslots];
+    m.clear();
+    m.resize(nslots, 0.5);
 
     let mut iterations = 0;
     let mut max_delta = f64::INFINITY;
@@ -129,7 +192,8 @@ pub fn run(mrf: &PairwiseMrf, evidence: &Evidence, opts: &LbpOptions) -> LbpResu
     }
 
     // Beliefs.
-    let mut marginals = Vec::with_capacity(n);
+    marginals.clear();
+    marginals.reserve(n);
     for v in 0..n {
         if let Some(s) = evidence.get(v) {
             marginals.push(if s { 1.0 } else { 0.0 });
@@ -149,8 +213,7 @@ pub fn run(mrf: &PairwiseMrf, evidence: &Evidence, opts: &LbpOptions) -> LbpResu
         marginals.push(eu / (eu + ed));
     }
 
-    LbpResult {
-        marginals,
+    LbpStats {
         iterations,
         converged,
         max_delta,

@@ -49,6 +49,9 @@ pub mod meanfield;
 pub mod mrf;
 
 pub use evidence::Evidence;
+pub use gibbs::GibbsWorkspace;
+pub use lbp::LbpWorkspace;
+pub use meanfield::MeanFieldWorkspace;
 pub use mrf::{MrfBuilder, PairwiseMrf};
 
 /// Errors produced by this crate.

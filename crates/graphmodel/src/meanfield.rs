@@ -50,19 +50,68 @@ pub struct MeanFieldResult {
     pub converged: bool,
 }
 
+/// Convergence statistics of a workspace-based mean-field run; the
+/// marginals themselves live in the [`MeanFieldWorkspace`].
+#[derive(Debug, Clone, Copy)]
+pub struct MeanFieldStats {
+    /// Sweeps performed.
+    pub iterations: usize,
+    /// Whether updates fell below `tol`.
+    pub converged: bool,
+}
+
+/// Reusable buffer for repeated mean-field runs: the factorised
+/// marginal vector `q` survives between calls to [`run_with`].
+#[derive(Debug, Clone, Default)]
+pub struct MeanFieldWorkspace {
+    q: Vec<f64>,
+}
+
+impl MeanFieldWorkspace {
+    /// An empty workspace; the buffer is sized lazily on first use.
+    pub fn new() -> Self {
+        MeanFieldWorkspace::default()
+    }
+
+    /// Approximate marginals written by the most recent [`run_with`].
+    pub fn marginals(&self) -> &[f64] {
+        &self.q
+    }
+}
+
 /// Runs naive mean-field coordinate ascent.
+///
+/// Allocates a fresh buffer per call; serving paths should hold a
+/// [`MeanFieldWorkspace`] and call [`run_with`].
 pub fn run(mrf: &PairwiseMrf, evidence: &Evidence, opts: &MeanFieldOptions) -> MeanFieldResult {
+    let mut ws = MeanFieldWorkspace::new();
+    let stats = run_with(mrf, evidence, opts, &mut ws);
+    MeanFieldResult {
+        marginals: std::mem::take(&mut ws.q),
+        iterations: stats.iterations,
+        converged: stats.converged,
+    }
+}
+
+/// Runs mean-field reusing the buffer in `ws`; identical update order
+/// and arithmetic to [`run`], so results are bit-identical.
+pub fn run_with(
+    mrf: &PairwiseMrf,
+    evidence: &Evidence,
+    opts: &MeanFieldOptions,
+    ws: &mut MeanFieldWorkspace,
+) -> MeanFieldStats {
     let n = mrf.num_vars();
     assert_eq!(evidence.len(), n, "evidence covers a different model");
 
     // q[v] = current approximate P(v = up); evidence clamped.
-    let mut q: Vec<f64> = (0..n)
-        .map(|v| match evidence.get(v) {
-            Some(true) => 1.0,
-            Some(false) => 0.0,
-            None => mrf.prior_up(v),
-        })
-        .collect();
+    let q = &mut ws.q;
+    q.clear();
+    q.extend((0..n).map(|v| match evidence.get(v) {
+        Some(true) => 1.0,
+        Some(false) => 0.0,
+        None => mrf.prior_up(v),
+    }));
 
     let logit = |p: f64| {
         let p = p.clamp(PROB_FLOOR, 1.0 - PROB_FLOOR);
@@ -93,8 +142,7 @@ pub fn run(mrf: &PairwiseMrf, evidence: &Evidence, opts: &MeanFieldOptions) -> M
         }
     }
 
-    MeanFieldResult {
-        marginals: q,
+    MeanFieldStats {
         iterations,
         converged,
     }

@@ -10,8 +10,7 @@ fn random_tree() -> impl Strategy<Value = PairwiseMrf> {
     (2usize..10).prop_flat_map(|n| {
         let priors = prop::collection::vec(0.1f64..0.9, n);
         // parent[i] < i forms a tree over n nodes.
-        let parents: Vec<BoxedStrategy<usize>> =
-            (1..n).map(|i| (0..i).boxed()).collect();
+        let parents: Vec<BoxedStrategy<usize>> = (1..n).map(|i| (0..i).boxed()).collect();
         let couplings = prop::collection::vec(0.15f64..0.85, n - 1);
         (Just(n), priors, parents, couplings).prop_map(|(n, priors, parents, couplings)| {
             let mut b = MrfBuilder::new(n);

@@ -98,12 +98,12 @@ fn connect_by_intersection(
 /// column index is a multiple of `arterial_every` are arterials, of
 /// `collector_every` collectors, and locals otherwise.
 pub fn grid_city(p: &GridParams) -> RoadGraph {
-    assert!(p.width >= 2 && p.height >= 2, "grid needs >= 2x2 intersections");
-    let mut rng = StdRng::seed_from_u64(p.seed);
-    let mut b = RoadGraphBuilder::with_capacity(
-        2 * p.width * p.height,
-        8 * p.width * p.height,
+    assert!(
+        p.width >= 2 && p.height >= 2,
+        "grid needs >= 2x2 intersections"
     );
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut b = RoadGraphBuilder::with_capacity(2 * p.width * p.height, 8 * p.width * p.height);
     let mut at: HashMap<(i64, i64), Vec<RoadId>> = HashMap::new();
 
     let street_class = |idx: usize, last: usize| -> RoadClass {
@@ -161,12 +161,12 @@ pub fn grid_city(p: &GridParams) -> RoadGraph {
 /// every `major_spoke_every`-th spoke; the innermost radial stubs are
 /// locals.
 pub fn ring_radial_city(p: &RingRadialParams) -> RoadGraph {
-    assert!(p.rings >= 1 && p.spokes >= 3, "need >= 1 ring and >= 3 spokes");
-    let mut rng = StdRng::seed_from_u64(p.seed);
-    let mut b = RoadGraphBuilder::with_capacity(
-        2 * p.rings * p.spokes,
-        8 * p.rings * p.spokes,
+    assert!(
+        p.rings >= 1 && p.spokes >= 3,
+        "need >= 1 ring and >= 3 spokes"
     );
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut b = RoadGraphBuilder::with_capacity(2 * p.rings * p.spokes, 8 * p.rings * p.spokes);
     let mut at: HashMap<(i64, i64), Vec<RoadId>> = HashMap::new();
 
     // Intersection key: (ring, spoke); the centre is (0, 0) shared by all

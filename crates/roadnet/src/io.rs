@@ -84,7 +84,9 @@ pub fn read_text(input: &str) -> Result<RoadGraph> {
         return Err(parse_err(format!("bad header {header:?}")));
     }
 
-    let roads_line = lines.next().ok_or_else(|| parse_err("missing roads line"))?;
+    let roads_line = lines
+        .next()
+        .ok_or_else(|| parse_err("missing roads line"))?;
     let mut toks = roads_line.split_whitespace();
     if toks.next() != Some("roads") {
         return Err(parse_err("expected `roads <n>`"));
@@ -99,7 +101,9 @@ pub fn read_text(input: &str) -> Result<RoadGraph> {
         let mut t = line.split_whitespace();
         let id: u32 = parse_num(t.next(), "road id")?;
         if id as usize != i {
-            return Err(parse_err(format!("road ids must be dense; got {id} at {i}")));
+            return Err(parse_err(format!(
+                "road ids must be dense; got {id} at {i}"
+            )));
         }
         let class = parse_class(t.next().ok_or_else(|| parse_err("missing class"))?)?;
         let length_m: f64 = parse_num(t.next(), "length")?;
@@ -114,7 +118,9 @@ pub fn read_text(input: &str) -> Result<RoadGraph> {
         });
     }
 
-    let edges_line = lines.next().ok_or_else(|| parse_err("missing edges line"))?;
+    let edges_line = lines
+        .next()
+        .ok_or_else(|| parse_err("missing edges line"))?;
     let mut toks = edges_line.split_whitespace();
     if toks.next() != Some("edges") {
         return Err(parse_err("expected `edges <m>`"));

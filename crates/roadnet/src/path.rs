@@ -171,10 +171,7 @@ mod tests {
     fn k_hop_neighborhood_excludes_source_and_orders() {
         let g = path4();
         let nb = k_hop_neighborhood(&g, RoadId(1), 2);
-        assert_eq!(
-            nb,
-            vec![(RoadId(0), 1), (RoadId(2), 1), (RoadId(3), 2)]
-        );
+        assert_eq!(nb, vec![(RoadId(0), 1), (RoadId(2), 1), (RoadId(3), 2)]);
     }
 
     #[test]

@@ -94,16 +94,16 @@ pub fn sample_events<R: Rng>(
     (0..count)
         .map(|_| {
             let epicenter = RoadId(rng.gen_range(0..graph.num_roads() as u32));
-            let duration_slots =
-                rng.gen_range(params.duration_slots.0..=params.duration_slots.1.max(1)).max(1);
+            let duration_slots = rng
+                .gen_range(params.duration_slots.0..=params.duration_slots.1.max(1))
+                .max(1);
             let start_slot = if !rush_slots.is_empty() && rng.gen_bool(params.rush_bias) {
                 // Centre near a rush slot, jittered by up to half the
                 // event duration.
                 let peak = rush_slots[rng.gen_range(0..rush_slots.len())];
                 let jitter = rng.gen_range(0..=max_dur / 2 + 1) as i64
                     * if rng.gen_bool(0.5) { 1 } else { -1 };
-                (peak as i64 + jitter)
-                    .clamp(0, slots_per_day.saturating_sub(duration_slots) as i64)
+                (peak as i64 + jitter).clamp(0, slots_per_day.saturating_sub(duration_slots) as i64)
                     as usize
             } else {
                 rng.gen_range(0..slots_per_day.saturating_sub(duration_slots).max(1))
@@ -258,7 +258,10 @@ mod tests {
         }
         let expected = 10.0 * g.num_roads() as f64 / 100.0;
         let mean = total as f64 / trials as f64;
-        assert!((mean - expected).abs() < expected * 0.2, "mean {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() < expected * 0.2,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]

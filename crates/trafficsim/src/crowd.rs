@@ -65,8 +65,7 @@ pub fn crowdsource<R: Rng>(
             let mut reports = Vec::with_capacity(params.workers_per_seed);
             for _ in 0..params.workers_per_seed {
                 if rng.gen::<f64>() < params.response_rate {
-                    reports
-                        .push(true_speed * (params.noise_sigma * rng_ext::gaussian(rng)).exp());
+                    reports.push(true_speed * (params.noise_sigma * rng_ext::gaussian(rng)).exp());
                 }
             }
             SeedReport {

@@ -103,8 +103,7 @@ impl Dataset {
             })
             .collect();
         let history = HistoricalData::from_days(clock, history_days);
-        let test_days = simulator
-            .simulate_days(params.training_days as u64, params.test_days);
+        let test_days = simulator.simulate_days(params.training_days as u64, params.test_days);
         Dataset {
             name,
             graph,
@@ -172,12 +171,7 @@ pub fn metro_medium(params: &DatasetParams) -> Dataset {
         ring_gap_m: 500.0,
         ..RingRadialParams::default()
     });
-    Dataset::assemble(
-        "synth-metro",
-        graph,
-        SlotClock::quarter_hourly(),
-        params,
-    )
+    Dataset::assemble("synth-metro", graph, SlotClock::quarter_hourly(), params)
 }
 
 /// Medium grid city (≈1.2k roads, 15-minute slots) — the "city B"

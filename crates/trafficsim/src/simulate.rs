@@ -149,7 +149,8 @@ impl TrafficSimulator {
 
     /// Generates the ground-truth speeds of day `day_index`.
     pub fn simulate_day(&self, day_index: u64) -> SpeedField {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ day_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ day_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let n = self.graph.num_roads();
         let slots = self.clock.slots_per_day;
 
@@ -196,11 +197,7 @@ impl TrafficSimulator {
                 let noise = (self.params.noise_sigma * rng_ext::gaussian(&mut rng)).exp();
                 let v = base * cw * mult[slot * n + road.index()] * noise;
                 let cap = self.graph.meta(road).free_flow_kmh * 1.3;
-                field.set_speed(
-                    slot,
-                    road,
-                    v.clamp(self.params.min_speed_kmh, cap),
-                );
+                field.set_speed(slot, road, v.clamp(self.params.min_speed_kmh, cap));
             }
         }
         field
@@ -292,9 +289,8 @@ mod tests {
         for m in &mut mean {
             *m /= days.len() as f64;
         }
-        let trend = |d: &SpeedField, slot: usize, r: RoadId| {
-            d.speed(slot, r) >= mean[slot * n + r.index()]
-        };
+        let trend =
+            |d: &SpeedField, slot: usize, r: RoadId| d.speed(slot, r) >= mean[slot * n + r.index()];
 
         let mut agree_adj = 0u64;
         let mut total_adj = 0u64;
@@ -302,9 +298,7 @@ mod tests {
         let mut total_far = 0u64;
         let far_pairs: Vec<(RoadId, RoadId)> = (0..n as u32 / 2)
             .map(|i| (RoadId(i), RoadId(n as u32 - 1 - i)))
-            .filter(|&(a, b)| {
-                !g.are_adjacent(a, b) && g.distance(a, b) > 600.0
-            })
+            .filter(|&(a, b)| !g.are_adjacent(a, b) && g.distance(a, b) > 600.0)
             .collect();
         for d in &days {
             for slot in 0..slots {

@@ -46,8 +46,7 @@ impl std::error::Error for SnapshotError {}
 
 /// Encodes one day's speed field.
 pub fn encode_field(field: &SpeedField) -> Bytes {
-    let mut buf =
-        BytesMut::with_capacity(4 + 2 + 8 + field.num_slots() * field.num_roads() * 8);
+    let mut buf = BytesMut::with_capacity(4 + 2 + 8 + field.num_slots() * field.num_roads() * 8);
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
     buf.put_u32_le(field.num_slots() as u32);

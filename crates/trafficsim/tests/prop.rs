@@ -4,8 +4,7 @@ use proptest::prelude::*;
 use roadnet::generate::{grid_city, GridParams};
 use roadnet::RoadId;
 use trafficsim::{
-    snapshot, HistoricalData, HistoryStats, SlotClock, SpeedField, TrafficParams,
-    TrafficSimulator,
+    snapshot, HistoricalData, HistoryStats, SlotClock, SpeedField, TrafficParams, TrafficSimulator,
 };
 
 fn small_sim(seed: u64) -> TrafficSimulator {
@@ -14,7 +13,12 @@ fn small_sim(seed: u64) -> TrafficSimulator {
         height: 4,
         ..GridParams::default()
     });
-    TrafficSimulator::new(g, SlotClock { slots_per_day: 12 }, TrafficParams::default(), seed)
+    TrafficSimulator::new(
+        g,
+        SlotClock { slots_per_day: 12 },
+        TrafficParams::default(),
+        seed,
+    )
 }
 
 proptest! {

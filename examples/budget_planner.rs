@@ -52,7 +52,12 @@ fn main() {
     };
     for k in [2usize, 5, 10, 15, 20, 25] {
         let seeds = full.seeds[..k.min(full.seeds.len())].to_vec();
-        let rep = evaluate(&ds, &seeds, &Method::TwoStep(EstimatorConfig::default()), &cfg);
+        let rep = evaluate(
+            &ds,
+            &seeds,
+            &Method::TwoStep(EstimatorConfig::default()),
+            &cfg,
+        );
         println!(
             "{:>3} | {:>12.1}% | {:>13.1}%",
             k,

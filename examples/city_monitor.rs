@@ -24,7 +24,12 @@ fn main() {
         ..DatasetParams::default()
     });
     let stats = HistoryStats::compute(&ds.history);
-    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+    );
     let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
     let seeds = lazy_greedy(&influence, ds.graph.num_roads() / 10).seeds;
     let est = TrafficEstimator::train(
@@ -55,7 +60,11 @@ fn main() {
         let obs = answered(&reports);
         let r = est.estimate(slot, &obs);
 
-        let truth_v: Vec<f64> = ds.graph.road_ids().map(|ro| truth.speed(slot, ro)).collect();
+        let truth_v: Vec<f64> = ds
+            .graph
+            .road_ids()
+            .map(|ro| truth.speed(slot, ro))
+            .collect();
         let err = ErrorStats::from_road_vectors(&truth_v, &r.speeds, &seeds);
         day_err = day_err.merge(err);
 

@@ -22,7 +22,12 @@ fn main() {
         ..DatasetParams::default()
     });
     let stats = HistoryStats::compute(&ds.history);
-    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+    );
     let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
     let seeds = lazy_greedy(&influence, ds.graph.num_roads() / 6).seeds;
     let est = TrafficEstimator::train(
@@ -59,7 +64,10 @@ fn main() {
     // The crowd reports the seeds' (now partly collapsed) true speeds.
     let obs: Vec<(RoadId, f64)> = seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
     let observed_in_zone = seeds.iter().filter(|s| zone.contains(s)).count();
-    println!("seeds inside the incident zone: {observed_in_zone}/{}", seeds.len());
+    println!(
+        "seeds inside the incident zone: {observed_in_zone}/{}",
+        seeds.len()
+    );
 
     let r = est.estimate(slot, &obs);
 
@@ -80,7 +88,11 @@ fn main() {
     }
 
     // Zone-level verdict.
-    let zone_nonseed: Vec<RoadId> = zone.iter().copied().filter(|r| !seeds.contains(r)).collect();
+    let zone_nonseed: Vec<RoadId> = zone
+        .iter()
+        .copied()
+        .filter(|r| !seeds.contains(r))
+        .collect();
     let mean = |f: &dyn Fn(RoadId) -> f64| -> f64 {
         zone_nonseed.iter().map(|&r| f(r)).sum::<f64>() / zone_nonseed.len() as f64
     };

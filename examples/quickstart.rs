@@ -36,7 +36,12 @@ fn main() {
 
     // 2. Correlation graph.
     let stats = HistoryStats::compute(&ds.history);
-    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+    );
     println!(
         "correlation graph: {} edges (avg degree {:.1})",
         corr.num_edges(),
@@ -68,9 +73,19 @@ fn main() {
     let slot = ds.clock.slot_of_hour(8.25);
     let truth = &ds.test_days[0];
     let mut rng = StdRng::seed_from_u64(1);
-    let reports = crowdsource(truth, slot, &selection.seeds, &CrowdParams::default(), &mut rng);
+    let reports = crowdsource(
+        truth,
+        slot,
+        &selection.seeds,
+        &CrowdParams::default(),
+        &mut rng,
+    );
     let obs = answered(&reports);
-    println!("crowd answered on {}/{} seeds", obs.len(), selection.seeds.len());
+    println!(
+        "crowd answered on {}/{} seeds",
+        obs.len(),
+        selection.seeds.len()
+    );
 
     let result = est.estimate(slot, &obs);
     let truth_v: Vec<f64> = ds.graph.road_ids().map(|r| truth.speed(slot, r)).collect();
@@ -79,13 +94,22 @@ fn main() {
     let base = ErrorStats::from_road_vectors(&truth_v, &hist, &selection.seeds);
 
     println!("\n-- 08:15 estimates (first 8 non-seed roads) --");
-    for r in ds.graph.road_ids().filter(|r| !selection.seeds.contains(r)).take(8) {
+    for r in ds
+        .graph
+        .road_ids()
+        .filter(|r| !selection.seeds.contains(r))
+        .take(8)
+    {
         println!(
             "  {r}: estimated {:5.1} km/h  (truth {:5.1}, historical {:5.1}, trend {})",
             result.speeds[r.index()],
             truth.speed(slot, r),
             stats.mean(slot, r),
-            if result.trends[r.index()] { "up" } else { "down" }
+            if result.trends[r.index()] {
+                "up"
+            } else {
+                "down"
+            }
         );
     }
     println!(

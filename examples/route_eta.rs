@@ -39,7 +39,12 @@ fn main() {
         },
     );
     let stats = HistoryStats::compute(&ds.history);
-    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+    );
     let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
     let seeds = lazy_greedy(&influence, ds.graph.num_roads() / 8).seeds;
     let est = TrafficEstimator::train(

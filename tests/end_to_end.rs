@@ -23,7 +23,12 @@ fn eval_cfg(ds: &trafficsim::dataset::Dataset) -> EvalConfig {
 
 fn greedy_seeds(ds: &trafficsim::dataset::Dataset, k: usize) -> Vec<roadnet::RoadId> {
     let stats = HistoryStats::compute(&ds.history);
-    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+    );
     let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
     lazy_greedy(&influence, k).seeds
 }
@@ -34,7 +39,12 @@ fn two_step_beats_every_baseline() {
     let seeds = greedy_seeds(&ds, ds.graph.num_roads() / 10);
     let cfg = eval_cfg(&ds);
 
-    let ours = evaluate(&ds, &seeds, &Method::TwoStep(EstimatorConfig::default()), &cfg);
+    let ours = evaluate(
+        &ds,
+        &seeds,
+        &Method::TwoStep(EstimatorConfig::default()),
+        &cfg,
+    );
     for baseline in [
         Method::HistoricalMean,
         Method::KnnSpatial { k: 5 },
@@ -75,7 +85,12 @@ fn trend_inference_beats_prior_only() {
     let ds = dataset();
     let seeds = greedy_seeds(&ds, ds.graph.num_roads() / 10);
     let cfg = eval_cfg(&ds);
-    let lbp = evaluate(&ds, &seeds, &Method::TwoStep(EstimatorConfig::default()), &cfg);
+    let lbp = evaluate(
+        &ds,
+        &seeds,
+        &Method::TwoStep(EstimatorConfig::default()),
+        &cfg,
+    );
     let prior = evaluate(
         &ds,
         &seeds,
@@ -97,7 +112,12 @@ fn trend_inference_beats_prior_only() {
 fn greedy_seeds_beat_random_on_coverage_and_error() {
     let ds = dataset();
     let stats = HistoryStats::compute(&ds.history);
-    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+    );
     let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
     let obj = SeedObjective::new(&influence);
     let k = ds.graph.num_roads() / 10;
@@ -123,9 +143,30 @@ fn estimator_is_deterministic() {
     let ds = dataset();
     let seeds = greedy_seeds(&ds, 10);
     let stats = HistoryStats::compute(&ds.history);
-    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
-    let est1 = TrafficEstimator::train(&ds.graph, &ds.history, &stats, &corr, &seeds, &EstimatorConfig::default()).unwrap();
-    let est2 = TrafficEstimator::train(&ds.graph, &ds.history, &stats, &corr, &seeds, &EstimatorConfig::default()).unwrap();
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+    );
+    let est1 = TrafficEstimator::train(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &corr,
+        &seeds,
+        &EstimatorConfig::default(),
+    )
+    .unwrap();
+    let est2 = TrafficEstimator::train(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &corr,
+        &seeds,
+        &EstimatorConfig::default(),
+    )
+    .unwrap();
     let truth = &ds.test_days[0];
     let slot = 9;
     let obs: Vec<(roadnet::RoadId, f64)> =
@@ -144,7 +185,12 @@ fn confidence_is_calibrated_with_error() {
     let ds = dataset();
     let seeds = greedy_seeds(&ds, ds.graph.num_roads() / 10);
     let stats = HistoryStats::compute(&ds.history);
-    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+    );
     let est = TrafficEstimator::train(
         &ds.graph,
         &ds.history,

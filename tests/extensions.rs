@@ -22,8 +22,9 @@ fn online_model_feeds_a_working_estimator() {
     // Bootstrap online correlation, ingest a fresh day, and train an
     // estimator from its live graph — the production refresh loop.
     let ds = dataset();
-    let mut online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &CorrelationConfig::default());
-    online.ingest_day(&ds.test_days[0]);
+    let mut online =
+        OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &CorrelationConfig::default());
+    online.ingest_day(&ds.test_days[0]).unwrap();
     let corr = online.correlation_graph();
     let stats = HistoryStats::compute(&ds.history);
     let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
@@ -47,7 +48,12 @@ fn online_model_feeds_a_working_estimator() {
 fn temporal_plan_drives_per_period_estimators() {
     let ds = dataset();
     let stats = HistoryStats::compute(&ds.history);
-    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+    );
     let plan = TemporalSeedPlan::select(
         &ds.graph,
         &ds.history,
@@ -83,7 +89,12 @@ fn temporal_plan_drives_per_period_estimators() {
 fn estimated_speeds_produce_consistent_routes() {
     let ds = dataset();
     let stats = HistoryStats::compute(&ds.history);
-    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+    );
     let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
     let seeds = lazy_greedy(&influence, 10).seeds;
     let est = TrafficEstimator::train(
@@ -122,7 +133,12 @@ fn estimated_speeds_produce_consistent_routes() {
 fn confidence_rises_with_budget() {
     let ds = dataset();
     let stats = HistoryStats::compute(&ds.history);
-    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+    );
     let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
     let mean_conf = |k: usize| -> f64 {
         let seeds = lazy_greedy(&influence, k).seeds;

@@ -87,9 +87,7 @@ fn spanning_forest_model(n: usize) -> TrendModel {
                     let e = corr
                         .edges()
                         .iter()
-                        .find(|e| {
-                            (e.a.index() == u && e.b == v) || (e.b.index() == u && e.a == v)
-                        })
+                        .find(|e| (e.a.index() == u && e.b == v) || (e.b.index() == u && e.a == v))
                         .expect("edge exists");
                     keep.push(*e);
                     queue.push_back(v.index());
@@ -108,10 +106,7 @@ fn lbp_exact_on_tree_structured_correlation() {
     let exact = model.infer(0, &obs, &TrendEngine::Exact);
     let lbp = model.infer(0, &obs, &TrendEngine::default());
     for (v, (l, e)) in lbp.p_up.iter().zip(&exact.p_up).enumerate() {
-        assert!(
-            (l - e).abs() < 1e-4,
-            "road {v}: LBP {l:.4} vs exact {e:.4}"
-        );
+        assert!((l - e).abs() < 1e-4, "road {v}: LBP {l:.4} vs exact {e:.4}");
     }
 }
 
@@ -138,7 +133,10 @@ fn lbp_tracks_exact_marginals_on_loopy_graph() {
         }
     }
     let mean_gap = gap_sum / lbp.p_up.len() as f64;
-    assert!(mean_gap < 0.12, "mean marginal gap too large: {mean_gap:.4}");
+    assert!(
+        mean_gap < 0.12,
+        "mean marginal gap too large: {mean_gap:.4}"
+    );
 }
 
 #[test]
@@ -175,7 +173,12 @@ fn engines_agree_on_hard_decisions_at_scale() {
         ..DatasetParams::default()
     });
     let stats = HistoryStats::compute(&ds.history);
-    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+    );
     let model = TrendModel::new(corr, &stats, TrendModelConfig::default());
     let truth = &ds.test_days[0];
     let slot = 8;
@@ -207,7 +210,10 @@ fn engines_agree_on_hard_decisions_at_scale() {
             }
         }
     }
-    assert!(confident > 10, "too few confident roads ({confident}) to compare");
+    assert!(
+        confident > 10,
+        "too few confident roads ({confident}) to compare"
+    );
     let frac = agree as f64 / confident as f64;
     assert!(
         frac > 0.85,

@@ -17,7 +17,12 @@ fn dataset() -> trafficsim::dataset::Dataset {
 
 fn seeds_for(ds: &trafficsim::dataset::Dataset, k: usize) -> Vec<RoadId> {
     let stats = HistoryStats::compute(&ds.history);
-    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+    );
     let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
     lazy_greedy(&influence, k).seeds
 }
@@ -86,7 +91,11 @@ fn total_crowd_silence_falls_back_to_history() {
             ..EvalConfig::default()
         },
     );
-    assert!(silent < hist.error.mape * 1.5, "silent {silent} vs hist {}", hist.error.mape);
+    assert!(
+        silent < hist.error.mape * 1.5,
+        "silent {silent} vs hist {}",
+        hist.error.mape
+    );
 }
 
 #[test]
@@ -125,7 +134,12 @@ fn estimator_survives_adversarial_observations() {
     let ds = dataset();
     let seeds = seeds_for(&ds, 10);
     let stats = HistoryStats::compute(&ds.history);
-    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+    );
     let est = TrafficEstimator::train(
         &ds.graph,
         &ds.history,

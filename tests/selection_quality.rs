@@ -90,7 +90,10 @@ fn partition_greedy_quality_and_validity() {
             "parts={parts}: partition {scored:.2} too far below greedy {:.2}",
             plain.objective
         );
-        assert!(res.objective <= scored + 1e-9, "parts={parts}: bound violated");
+        assert!(
+            res.objective <= scored + 1e-9,
+            "parts={parts}: bound violated"
+        );
     }
 }
 
@@ -115,7 +118,12 @@ fn all_selectors_return_valid_road_ids() {
         ..DatasetParams::default()
     });
     let stats = HistoryStats::compute(&ds.history);
-    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &CorrelationConfig::default());
+    let corr = CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        &stats,
+        &CorrelationConfig::default(),
+    );
     let n = ds.graph.num_roads();
     let k = 9;
     let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());

@@ -1,0 +1,236 @@
+//! Serving-path equivalence tests.
+//!
+//! The serving refactor (compiled per-slot MRFs, reusable inference
+//! workspaces, parallel batch serving) is pure plumbing: every fast
+//! path must be *bit-identical* to the fresh-allocation path it
+//! replaces. These tests pin that down at each layer — engine
+//! workspaces, the compiled slot cache, the end-to-end estimator
+//! scratch, and the parallel batch server.
+
+use crowdspeed::prelude::*;
+use crowdspeed::serve::{serve_batch, EstimateRequest, ServeOptions};
+use graphmodel::gibbs::{self, GibbsOptions, GibbsWorkspace};
+use graphmodel::lbp::{self, LbpOptions, LbpWorkspace};
+use graphmodel::meanfield::{self, MeanFieldOptions, MeanFieldWorkspace};
+use graphmodel::{Evidence, MrfBuilder, PairwiseMrf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roadnet::RoadId;
+use trafficsim::dataset::{metro_small, Dataset, DatasetParams};
+
+/// A loopy MRF with mixed priors and couplings, plus a few evidence
+/// patterns to sweep.
+fn fixture() -> (PairwiseMrf, Vec<Evidence>) {
+    let n = 12;
+    let mut b = MrfBuilder::new(n);
+    for v in 0..n {
+        b.set_prior(v, 0.3 + 0.04 * v as f64);
+    }
+    for v in 0..n - 1 {
+        b.add_edge(v, v + 1, 0.8).unwrap();
+    }
+    b.add_edge(0, n - 1, 0.7).unwrap(); // ring closure
+    b.add_edge(2, 7, 0.35).unwrap(); // negative coupling chord
+    let mrf = b.build();
+    let evidences = vec![
+        Evidence::none(n),
+        Evidence::from_pairs(n, [(0, true)]),
+        Evidence::from_pairs(n, [(3, false), (9, true)]),
+        Evidence::from_pairs(n, [(1, true), (5, true), (10, false)]),
+    ];
+    (mrf, evidences)
+}
+
+#[test]
+fn lbp_workspace_reuse_is_bit_identical() {
+    let (mrf, evidences) = fixture();
+    let opts = LbpOptions::default();
+    let mut ws = LbpWorkspace::new();
+    for ev in &evidences {
+        let fresh = lbp::run(&mrf, ev, &opts);
+        let stats = lbp::run_with(&mrf, ev, &opts, &mut ws);
+        assert_eq!(fresh.marginals, ws.marginals(), "marginals must match");
+        assert_eq!(fresh.iterations, stats.iterations);
+        assert_eq!(fresh.converged, stats.converged);
+    }
+}
+
+#[test]
+fn meanfield_workspace_reuse_is_bit_identical() {
+    let (mrf, evidences) = fixture();
+    let opts = MeanFieldOptions::default();
+    let mut ws = MeanFieldWorkspace::new();
+    for ev in &evidences {
+        let fresh = meanfield::run(&mrf, ev, &opts);
+        let stats = meanfield::run_with(&mrf, ev, &opts, &mut ws);
+        assert_eq!(fresh.marginals, ws.marginals(), "marginals must match");
+        assert_eq!(fresh.iterations, stats.iterations);
+        assert_eq!(fresh.converged, stats.converged);
+    }
+}
+
+#[test]
+fn gibbs_workspace_reuse_is_bit_identical() {
+    let (mrf, evidences) = fixture();
+    let opts = GibbsOptions {
+        burn_in: 50,
+        samples: 400,
+    };
+    let mut ws = GibbsWorkspace::new();
+    for (i, ev) in evidences.iter().enumerate() {
+        let fresh = gibbs::run(&mrf, ev, &opts, &mut StdRng::seed_from_u64(i as u64));
+        gibbs::run_with(
+            &mrf,
+            ev,
+            &opts,
+            &mut StdRng::seed_from_u64(i as u64),
+            &mut ws,
+        );
+        assert_eq!(fresh, ws.marginals(), "same seed must sample identically");
+    }
+}
+
+fn dataset() -> Dataset {
+    metro_small(&DatasetParams {
+        training_days: 8,
+        test_days: 1,
+        ..DatasetParams::default()
+    })
+}
+
+fn correlation(ds: &Dataset, stats: &HistoryStats) -> CorrelationGraph {
+    CorrelationGraph::build(
+        &ds.graph,
+        &ds.history,
+        stats,
+        &CorrelationConfig {
+            min_cotrend: 0.6,
+            min_co_observations: 6,
+            ..CorrelationConfig::default()
+        },
+    )
+}
+
+#[test]
+fn compiled_slots_reproduce_mrf_for_slot_exactly() {
+    let ds = dataset();
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = correlation(&ds, &stats);
+    let model =
+        crowdspeed::inference::trend_model::TrendModel::new(corr, &stats, Default::default());
+    let compiled = model.compiled_slots();
+    assert_eq!(compiled.num_slots(), ds.clock.slots_per_day);
+    for slot in 0..ds.clock.slots_per_day {
+        assert_eq!(
+            compiled.slot(slot),
+            &model.mrf_for_slot(slot),
+            "compiled MRF for slot {slot} must equal the on-demand build"
+        );
+    }
+}
+
+/// Trains one estimator per engine worth checking on the serving path.
+fn estimators() -> (Dataset, Vec<TrafficEstimator>, Vec<RoadId>) {
+    let ds = dataset();
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = correlation(&ds, &stats);
+    let seeds: Vec<RoadId> = (0..12u32).map(|i| RoadId(i * 8)).collect();
+    let engines = vec![
+        TrendEngine::default(),
+        TrendEngine::Gibbs {
+            options: GibbsOptions {
+                burn_in: 20,
+                samples: 100,
+            },
+            seed: 11,
+        },
+    ];
+    let ests = engines
+        .into_iter()
+        .map(|engine| {
+            TrafficEstimator::train(
+                &ds.graph,
+                &ds.history,
+                &stats,
+                &corr,
+                &seeds,
+                &EstimatorConfig {
+                    engine,
+                    ..EstimatorConfig::default()
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    (ds, ests, seeds)
+}
+
+#[test]
+fn estimate_scratch_reuse_is_bit_identical() {
+    let (ds, ests, seeds) = estimators();
+    let truth = &ds.test_days[0];
+    for est in &ests {
+        let mut scratch = EstimateScratch::new();
+        for slot in [6usize, 8, 12, 18] {
+            let obs: Vec<(RoadId, f64)> =
+                seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
+            let fresh = est.estimate(slot, &obs);
+            let warm = est.estimate_with(slot, &obs, &mut scratch);
+            assert_eq!(fresh.speeds, warm.speeds);
+            assert_eq!(fresh.p_up, warm.p_up);
+            assert_eq!(fresh.trends, warm.trends);
+            assert_eq!(fresh.confidence, warm.confidence);
+            assert_eq!(fresh.trend_iterations, warm.trend_iterations);
+            assert_eq!(fresh.ignored_observations, warm.ignored_observations);
+        }
+    }
+}
+
+#[test]
+fn parallel_batch_serving_matches_sequential() {
+    let (ds, ests, seeds) = estimators();
+    let truth = &ds.test_days[0];
+    let requests: Vec<EstimateRequest> = (0..ds.clock.slots_per_day)
+        .map(|slot| EstimateRequest {
+            slot_of_day: slot,
+            observations: seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect(),
+        })
+        .collect();
+    for est in &ests {
+        let seq = serve_batch(est, &requests, &ServeOptions { threads: 1 });
+        let par = serve_batch(est, &requests, &ServeOptions { threads: 4 });
+        assert_eq!(seq.estimates.len(), par.estimates.len());
+        for (slot, (a, b)) in seq.estimates.iter().zip(&par.estimates).enumerate() {
+            assert_eq!(
+                a.speeds, b.speeds,
+                "slot {slot}: speeds must match road-for-road"
+            );
+            assert_eq!(a.p_up, b.p_up, "slot {slot}");
+            assert_eq!(a.trends, b.trends, "slot {slot}");
+        }
+    }
+}
+
+#[test]
+fn non_seed_observations_are_counted_not_fatal() {
+    let (ds, ests, seeds) = estimators();
+    let truth = &ds.test_days[0];
+    let est = &ests[0];
+    let slot = 8;
+    let mut obs: Vec<(RoadId, f64)> = seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
+    let clean = est.estimate(slot, &obs);
+    assert_eq!(clean.ignored_observations, 0);
+    // A stray report for a non-seed road and one past the road range.
+    let non_seed = (0..ds.graph.num_roads() as u32)
+        .map(RoadId)
+        .find(|r| !seeds.contains(r))
+        .unwrap();
+    obs.push((non_seed, 25.0));
+    obs.push((RoadId(u32::MAX), 25.0));
+    let noisy = est.estimate(slot, &obs);
+    assert_eq!(noisy.ignored_observations, 2);
+    assert_eq!(
+        noisy.speeds, clean.speeds,
+        "stray reports must not change estimates"
+    );
+}
