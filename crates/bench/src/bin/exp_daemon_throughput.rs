@@ -1,0 +1,132 @@
+//! Experiment E10 — daemon serving throughput vs concurrency.
+//!
+//! Boots `crowdspeedd` in-process and drives it closed-loop from a
+//! growing number of client connections, measuring end-to-end wire
+//! throughput and latency (frame codec + admission queue + estimator,
+//! the full serving stack a deployment would see). A final column
+//! compares against the in-process `serve_batch` ceiling so the wire
+//! overhead is visible rather than implied.
+
+use bench::{f3, Table};
+use crowdspeed::prelude::*;
+use crowdspeed::serve::{serve_batch, EstimateRequest, ServeOptions};
+use crowdspeed_server::{Client, Daemon, DaemonConfig, TrainState};
+use roadnet::RoadId;
+use std::sync::Arc;
+use std::time::Instant;
+use trafficsim::dataset::{metro_small, Dataset, DatasetParams};
+
+fn dataset() -> Dataset {
+    metro_small(&DatasetParams {
+        training_days: 8,
+        test_days: 1,
+        ..DatasetParams::default()
+    })
+}
+
+fn seeds() -> Vec<RoadId> {
+    (0..12u32).map(|i| RoadId(i * 8)).collect()
+}
+
+fn main() {
+    let quick = bench::quick_mode();
+    let concurrencies: Vec<usize> = if quick {
+        vec![1, 4]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
+    let requests_per_conn = if quick { 50 } else { 400 };
+
+    let ds = dataset();
+    let train = TrainState::new(
+        ds.graph.clone(),
+        &ds.history,
+        seeds(),
+        &CorrelationConfig::default(),
+        EstimatorConfig::default(),
+    );
+    let reference = train.train().expect("estimator trains");
+    let handle = Daemon::spawn(train, DaemonConfig::default()).expect("daemon boots");
+    let addr = handle.addr();
+
+    let truth = &ds.test_days[0];
+    let slots = ds.clock.slots_per_day;
+    let obs_for = |slot: usize| -> Vec<(u32, f64)> {
+        seeds()
+            .iter()
+            .map(|&s| (s.0, truth.speed(slot, s)))
+            .collect()
+    };
+    let all_obs: Arc<Vec<Vec<(u32, f64)>>> = Arc::new((0..slots).map(obs_for).collect());
+
+    println!("E10: daemon throughput vs closed-loop client connections (metro-small)");
+    let mut t = Table::new(&[
+        "conns",
+        "requests",
+        "wall-ms",
+        "req/s",
+        "mean-us",
+        "overloaded",
+    ]);
+
+    for &conns in &concurrencies {
+        let started = Instant::now();
+        let threads: Vec<_> = (0..conns)
+            .map(|c| {
+                let all_obs = Arc::clone(&all_obs);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    let mut total_us = 0u64;
+                    let mut served = 0u64;
+                    for i in 0..requests_per_conn {
+                        let slot = (c + i) % all_obs.len();
+                        let t0 = Instant::now();
+                        client
+                            .estimate(slot, all_obs[slot].clone(), None)
+                            .expect("estimate succeeds");
+                        total_us += t0.elapsed().as_micros() as u64;
+                        served += 1;
+                    }
+                    (served, total_us)
+                })
+            })
+            .collect();
+        let mut served = 0u64;
+        let mut total_us = 0u64;
+        for thread in threads {
+            let (s, us) = thread.join().expect("client thread");
+            served += s;
+            total_us += us;
+        }
+        let wall = started.elapsed();
+        let mut stats_client = Client::connect(addr).expect("stats client");
+        let stats = stats_client.stats().expect("stats");
+        t.row(&[
+            conns.to_string(),
+            served.to_string(),
+            f3(wall.as_secs_f64() * 1e3),
+            f3(served as f64 / wall.as_secs_f64()),
+            f3(total_us as f64 / served.max(1) as f64),
+            stats.rejected_overload.to_string(),
+        ]);
+    }
+    t.print();
+
+    // The in-process ceiling: the same request mix through serve_batch
+    // on as many threads as the daemon has workers.
+    let requests: Vec<EstimateRequest> = (0..slots)
+        .map(|slot| EstimateRequest {
+            slot_of_day: slot,
+            observations: all_obs[slot].iter().map(|&(r, v)| (RoadId(r), v)).collect(),
+        })
+        .collect();
+    let out = serve_batch(&reference, &requests, &ServeOptions { threads: 4 });
+    println!(
+        "in-process ceiling: {} req/s (serve_batch, 4 threads, no wire)",
+        f3(out.metrics.throughput())
+    );
+
+    let mut shutdown_client = Client::connect(addr).expect("shutdown client");
+    shutdown_client.shutdown().expect("clean shutdown");
+    handle.join();
+}

@@ -290,9 +290,10 @@ pub fn serve(args: &Args) -> Result<String> {
     let model = crowdspeed::eval::build_model(&ds, &stats, &corr, &seeds, &method);
 
     let out = serve_batch(model.as_ref(), &requests, &ServeOptions { threads });
+    let errors = out.estimates.iter().filter(|e| e.is_err()).count();
     let m = out.metrics;
     Ok(format!(
-        "{}: served {} requests on {} thread(s): {:.1} req/s (wall {:?}), latency mean {:?} / min {:?} / max {:?}",
+        "{}: served {} requests ({errors} errors) on {} thread(s): {:.1} req/s (wall {:?}), latency mean {:?} / min {:?} / max {:?}",
         method.name(),
         m.requests,
         threads,
@@ -302,6 +303,148 @@ pub fn serve(args: &Args) -> Result<String> {
         m.min_latency,
         m.max_latency,
     ))
+}
+
+/// `daemon --dir DIR [--addr HOST:PORT] [--workers N] [--queue N] [--deadline-ms D]`
+///
+/// Trains an estimator from the dataset dir and serves it over TCP
+/// until a `SHUTDOWN` frame arrives. Prints `listening on ADDR` once
+/// reachable (scripts wait for that line).
+pub fn daemon(args: &Args) -> Result<String> {
+    use std::io::Write;
+    let dir = dataset_dir(args)?;
+    let graph = store::read_network(&dir)?;
+    let history = store::read_history(&dir)?;
+    if history.num_roads() != graph.num_roads() {
+        return Err(CliError::new("history and network disagree on road count"));
+    }
+    let seeds = store::read_seeds(&dir, graph.num_roads())?;
+    let train = crowdspeed_server::TrainState::new(
+        graph,
+        &history,
+        seeds,
+        &CorrelationConfig::default(),
+        EstimatorConfig::default(),
+    );
+    let deadline_ms: u64 = args.num("deadline-ms", 0)?;
+    let config = crowdspeed_server::DaemonConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7700").to_string(),
+        workers: args.num::<usize>("workers", 4)?.max(1),
+        queue_capacity: args.num::<usize>("queue", 64)?.max(1),
+        default_deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
+        ..crowdspeed_server::DaemonConfig::default()
+    };
+    let handle = crowdspeed_server::Daemon::spawn(train, config)
+        .map_err(|e| CliError::new(format!("daemon failed to start: {e}")))?;
+    let addr = handle.addr();
+    println!("listening on {addr}");
+    std::io::stdout().flush().ok();
+    handle.wait();
+    Ok(format!("daemon on {addr} shut down cleanly"))
+}
+
+/// Parses `--key value` flags shared by the client actions.
+fn client_connect(args: &Args) -> Result<crowdspeed_server::Client> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7700");
+    crowdspeed_server::Client::connect(addr)
+        .map_err(|e| CliError::new(format!("cannot reach daemon at {addr}: {e}")))
+}
+
+/// `client ACTION --addr HOST:PORT ...` where ACTION is one of
+/// `estimate`, `ingest`, `stats`, `shutdown`.
+pub fn client(action: &str, args: &Args) -> Result<String> {
+    let mut client = client_connect(args)?;
+    match action {
+        // `client estimate --slot S (--obs FILE | --dir DIR --truth-day D)`
+        "estimate" => {
+            let slot: usize = args.num("slot", usize::MAX)?;
+            if slot == usize::MAX {
+                return Err(CliError::new("missing required flag --slot"));
+            }
+            let obs: Vec<(u32, f64)> = if let Some(path) = args.get("obs") {
+                let text = std::fs::read_to_string(path)?;
+                store::parse_observations(&text, u32::MAX as usize)?
+                    .into_iter()
+                    .map(|(r, v)| (r.0, v))
+                    .collect()
+            } else {
+                let dir = dataset_dir(args)?;
+                let day: usize = args.num("truth-day", 0)?;
+                let truth = store::read_truth(&dir, day)?;
+                let seeds = store::read_seeds(&dir, truth.num_roads())?;
+                seeds.iter().map(|&s| (s.0, truth.speed(slot, s))).collect()
+            };
+            let deadline: u64 = args.num("deadline-ms", 0)?;
+            let reply = client
+                .estimate(slot, obs, (deadline > 0).then_some(deadline))
+                .map_err(|e| CliError::new(format!("estimate failed: {e}")))?;
+            let mut out = String::new();
+            for (road, &speed) in reply.speeds.iter().enumerate() {
+                let trend = match reply.trends.get(road) {
+                    Some(true) => "up",
+                    Some(false) => "down",
+                    None => "-",
+                };
+                out.push_str(&format!("{road} {speed:.2} {trend}\n"));
+            }
+            print!("{out}");
+            Ok(format!(
+                "estimated {} roads at slot {slot} (model epoch {}, {} ignored observations)",
+                reply.speeds.len(),
+                reply.epoch,
+                reply.ignored_observations
+            ))
+        }
+        // `client ingest --dir DIR --truth-day D`
+        "ingest" => {
+            let dir = dataset_dir(args)?;
+            let day: usize = args.num("truth-day", 0)?;
+            let field = store::read_truth(&dir, day)?;
+            let rows: Vec<Vec<f64>> = (0..field.num_slots())
+                .map(|slot| field.slot_speeds(slot).to_vec())
+                .collect();
+            let (epoch, days) = client
+                .ingest_day(rows)
+                .map_err(|e| CliError::new(format!("ingest failed: {e}")))?;
+            Ok(format!(
+                "ingested truth day {day}: model epoch {epoch}, {days} days total"
+            ))
+        }
+        "stats" => {
+            let stats = client
+                .stats()
+                .map_err(|e| CliError::new(format!("stats failed: {e}")))?;
+            let mut out = format!(
+                "epoch {} | uptime {}ms | {} days ingested | rejected: {} overload, {} deadline\n",
+                stats.epoch,
+                stats.uptime_ms,
+                stats.days_ingested,
+                stats.rejected_overload,
+                stats.rejected_deadline
+            );
+            for (name, c) in &stats.commands {
+                out.push_str(&format!(
+                    "  {name}: {} received, {} ok, {} errors\n",
+                    c.received, c.ok, c.errors
+                ));
+            }
+            print!("{out}");
+            Ok(format!(
+                "daemon serving epoch {} ({} estimates ok)",
+                stats.epoch,
+                stats.commands.first().map_or(0, |(_, c)| c.ok)
+            ))
+        }
+        "shutdown" => {
+            client
+                .shutdown()
+                .map_err(|e| CliError::new(format!("shutdown failed: {e}")))?;
+            Ok("daemon acknowledged shutdown".to_string())
+        }
+        other => Err(CliError::new(format!(
+            "unknown client action {other:?} (estimate | ingest | stats | shutdown)"
+        ))),
+    }
 }
 
 /// `route --dir DIR --slot S --from A --to B (--obs FILE | --truth-day D)`
@@ -372,6 +515,12 @@ USAGE:
   crowdspeed eval     --dir DIR [--method two-step|hist-mean|knn|global-lr|label-prop]
   crowdspeed serve    --dir DIR [--method M] [--threads N] [--truth-day D] [--repeat R]
   crowdspeed route    --dir DIR --slot S --from A --to B (--obs FILE | --truth-day D)
+  crowdspeed daemon   --dir DIR [--addr HOST:PORT] [--workers N] [--queue N]
+                      [--deadline-ms D]
+  crowdspeed client   estimate --slot S (--obs FILE | --dir DIR --truth-day D)
+                      [--addr HOST:PORT] [--deadline-ms D]
+  crowdspeed client   ingest --dir DIR --truth-day D [--addr HOST:PORT]
+  crowdspeed client   stats|shutdown [--addr HOST:PORT]
   crowdspeed help
 
 Observation files are `road_id speed_kmh` lines; `#` starts a comment."
@@ -423,6 +572,55 @@ mod tests {
         .unwrap();
         assert!(msg.contains("ETA"), "{msg}");
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn client_commands_talk_to_a_live_daemon() {
+        let dir = tmpdir("daemon");
+        let dirs = dir.display().to_string();
+        generate(&parse(&format!(
+            "--city metro-small --dir {dirs} --training-days 6 --test-days 1"
+        )))
+        .unwrap();
+        select(&parse(&format!("--dir {dirs} --k 10"))).unwrap();
+        // Boot the daemon in-process on an ephemeral port; the CLI
+        // `daemon` subcommand is this same path plus a blocking wait.
+        let graph = store::read_network(&dir).unwrap();
+        let history = store::read_history(&dir).unwrap();
+        let seeds = store::read_seeds(&dir, graph.num_roads()).unwrap();
+        let train = crowdspeed_server::TrainState::new(
+            graph,
+            &history,
+            seeds,
+            &CorrelationConfig::default(),
+            EstimatorConfig::default(),
+        );
+        let handle =
+            crowdspeed_server::Daemon::spawn(train, crowdspeed_server::DaemonConfig::default())
+                .unwrap();
+        let addr = handle.addr();
+
+        let msg = client(
+            "estimate",
+            &parse(&format!(
+                "--addr {addr} --dir {dirs} --slot 5 --truth-day 0"
+            )),
+        )
+        .unwrap();
+        assert!(msg.contains("model epoch 1"), "{msg}");
+        let msg = client("ingest", &parse(&format!("--addr {addr} --dir {dirs}"))).unwrap();
+        assert!(msg.contains("epoch 2"), "{msg}");
+        let msg = client("stats", &parse(&format!("--addr {addr}"))).unwrap();
+        assert!(msg.contains("epoch 2"), "{msg}");
+        let msg = client("shutdown", &parse(&format!("--addr {addr}"))).unwrap();
+        assert!(msg.contains("shutdown"), "{msg}");
+        handle.join();
+
+        let err = client("dance", &parse(&format!("--addr {addr}"))).unwrap_err();
+        assert!(
+            err.message.contains("unknown client action") || err.message.contains("cannot reach")
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

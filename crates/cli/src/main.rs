@@ -6,6 +6,20 @@ use crowdspeed_cli::commands;
 fn main() {
     let mut argv = std::env::args().skip(1);
     let sub = argv.next().unwrap_or_else(|| "help".to_string());
+    // `client` carries an action token (`client estimate --addr ...`)
+    // ahead of the flag list; pop it before flag parsing.
+    let action = if sub == "client" {
+        match argv.next() {
+            Some(a) if !a.starts_with("--") => Some(a),
+            _ => {
+                eprintln!("error: client needs an action (estimate | ingest | stats | shutdown)");
+                eprintln!("{}", commands::usage());
+                std::process::exit(2);
+            }
+        }
+    } else {
+        None
+    };
     let parsed = match Args::parse(argv) {
         Ok(a) => a,
         Err(e) => {
@@ -21,6 +35,8 @@ fn main() {
         "eval" => commands::eval(&parsed),
         "serve" => commands::serve(&parsed),
         "route" => commands::route(&parsed),
+        "daemon" => commands::daemon(&parsed),
+        "client" => commands::client(action.as_deref().unwrap_or_default(), &parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::usage());
             return;

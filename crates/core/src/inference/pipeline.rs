@@ -109,6 +109,27 @@ pub trait SpeedEstimator: Send + Sync {
         observations: &[(RoadId, f64)],
         scratch: &mut EstimateScratch,
     ) -> SpeedEstimate;
+
+    /// Serving-path entry point: like [`SpeedEstimator::estimate`] but
+    /// rejects an empty observation list with
+    /// [`CoreError::NoObservations`] instead of silently estimating
+    /// from nothing.
+    ///
+    /// Batch and network serving ([`crate::serve`], the daemon) route
+    /// every request through this method so an empty crowd feed turns
+    /// into a clean typed error, never a historical-mean answer dressed
+    /// up as a live estimate.
+    fn try_estimate(
+        &self,
+        slot_of_day: usize,
+        observations: &[(RoadId, f64)],
+        scratch: &mut EstimateScratch,
+    ) -> Result<SpeedEstimate> {
+        if observations.is_empty() {
+            return Err(CoreError::NoObservations);
+        }
+        Ok(self.estimate(slot_of_day, observations, scratch))
+    }
 }
 
 /// A trained two-step estimator, bound to a seed set.
@@ -395,10 +416,27 @@ mod tests {
 
     #[test]
     fn degrades_gracefully_with_no_observations() {
+        // A *direct* caller asking with an explicitly empty list gets
+        // the documented fallback (prior-driven estimate, no NaNs)...
         let (ds, _, est, _) = setup();
         let r = est.estimate(8, &[]);
         assert_eq!(r.speeds.len(), ds.graph.num_roads());
         assert!(r.speeds.iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    #[test]
+    fn serving_path_rejects_empty_observations() {
+        // ...but the serving path refuses to dress that fallback up as
+        // a live estimate: `try_estimate` returns the typed error the
+        // daemon maps onto the wire.
+        let (ds, _, est, seeds) = setup();
+        let mut scratch = EstimateScratch::new();
+        let err = SpeedEstimator::try_estimate(&est, 8, &[], &mut scratch).unwrap_err();
+        assert_eq!(err, CoreError::NoObservations);
+        // Non-empty requests are untouched by the guard.
+        let obs = observe(&ds.test_days[0], 8, &seeds);
+        let ok = SpeedEstimator::try_estimate(&est, 8, &obs, &mut scratch).unwrap();
+        assert_eq!(ok.speeds, est.estimate(8, &obs).speeds);
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub mod prelude {
     pub use crate::seed::objective::{InfluenceConfig, InfluenceModel, SeedObjective};
     pub use crate::seed::partition::partition_greedy;
     pub use crate::serve::{
-        serve_batch, BatchOutcome, EstimateRequest, ServeMetrics, ServeOptions,
+        serve_batch, BatchOutcome, EstimateRequest, ServeJob, ServeMetrics, ServeOptions, ServePool,
     };
     pub use trafficsim::{HistoricalData, HistoryStats};
 }
@@ -103,6 +103,13 @@ pub enum CoreError {
         /// What the input provided.
         got: String,
     },
+    /// An estimation request carried no crowdsourced observations.
+    ///
+    /// Serving paths reject such requests with this typed error rather
+    /// than silently falling back to the historical mean — a request
+    /// with no evidence is almost always a mis-routed or empty crowd
+    /// feed, and the caller should know.
+    NoObservations,
 }
 
 impl std::fmt::Display for CoreError {
@@ -113,6 +120,9 @@ impl std::fmt::Display for CoreError {
             CoreError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
             CoreError::ShapeMismatch { expected, got } => {
                 write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+            CoreError::NoObservations => {
+                write!(f, "estimation request carried no observations")
             }
         }
     }

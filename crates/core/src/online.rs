@@ -240,6 +240,95 @@ mod tests {
     }
 
     #[test]
+    fn rebootstrap_refreshes_reference_means() {
+        let ds = dataset();
+        let mut online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
+        for day in &ds.test_days {
+            online.ingest_day(day).unwrap();
+        }
+        // A drifted city: every speed drops by 20%, so the reference
+        // means must drop with it after a rebootstrap.
+        let drifted_days: Vec<SpeedField> = ds
+            .history
+            .days()
+            .iter()
+            .map(|day| {
+                let mut scaled = SpeedField::filled(day.num_slots(), day.num_roads(), f64::NAN);
+                for slot in 0..day.num_slots() {
+                    for (r, &v) in day.slot_speeds(slot).iter().enumerate() {
+                        scaled.set_speed(slot, RoadId(r as u32), v * 0.8);
+                    }
+                }
+                scaled
+            })
+            .collect();
+        let drifted = HistoricalData::from_days(*ds.history.clock(), drifted_days);
+        let rebooted = online.rebootstrap(&ds.graph, &drifted);
+        let road = RoadId(0);
+        let old_mean = online.stats().mean(0, road);
+        let new_mean = rebooted.stats().mean(0, road);
+        assert!(
+            (new_mean - old_mean * 0.8).abs() < 1e-9,
+            "rebootstrap must recompute means from the new window \
+             ({new_mean} vs {} expected)",
+            old_mean * 0.8
+        );
+        // The counters restart from the new calibration window alone —
+        // the pre-reboot ingests are gone.
+        assert_eq!(rebooted.days_ingested(), drifted.num_days());
+        let fresh = OnlineCorrelation::bootstrap(&ds.graph, &drifted, &config());
+        assert_eq!(rebooted.pairs, fresh.pairs);
+        assert_eq!(rebooted.counts, fresh.counts);
+    }
+
+    #[test]
+    fn rebootstrap_reenumerates_candidate_pairs() {
+        let ds = dataset();
+        let online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
+        // A different road network: candidate pairs must be rebuilt
+        // for the new topology, not carried over.
+        let ds2 = trafficsim::dataset::grid_medium(&DatasetParams {
+            training_days: 4,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        assert_ne!(ds.graph.num_roads(), ds2.graph.num_roads());
+        let rebooted = online.rebootstrap(&ds2.graph, &ds2.history);
+        let fresh = OnlineCorrelation::bootstrap(&ds2.graph, &ds2.history, &config());
+        assert_eq!(rebooted.pairs, fresh.pairs);
+        assert_ne!(rebooted.pairs, online.pairs);
+        assert!(rebooted
+            .pairs
+            .iter()
+            .all(|&(a, b)| a < b && b.index() < ds2.graph.num_roads()));
+    }
+
+    #[test]
+    fn rebootstrap_rejects_old_shape_ingest() {
+        let ds = dataset();
+        let online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
+        let ds2 = trafficsim::dataset::grid_medium(&DatasetParams {
+            training_days: 4,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let mut rebooted = online.rebootstrap(&ds2.graph, &ds2.history);
+        // A day shaped for the *old* city is a mis-routed feed now.
+        let counts_before = rebooted.counts.clone();
+        let days_before = rebooted.days_ingested();
+        let err = rebooted.ingest_day(&ds.test_days[0]).unwrap_err();
+        assert!(matches!(err, crate::CoreError::ShapeMismatch { .. }));
+        assert_eq!(
+            rebooted.counts, counts_before,
+            "rejected ingest must not mutate"
+        );
+        assert_eq!(rebooted.days_ingested(), days_before);
+        // Days shaped for the new city are still welcome.
+        rebooted.ingest_day(&ds2.test_days[0]).unwrap();
+        assert_eq!(rebooted.days_ingested(), days_before + 1);
+    }
+
+    #[test]
     fn more_data_tightens_estimates() {
         let ds = metro_small(&DatasetParams {
             training_days: 3,

@@ -15,6 +15,7 @@ use crate::inference::pipeline::{EstimateScratch, SpeedEstimate, SpeedEstimator}
 use parking_lot::Mutex;
 use roadnet::RoadId;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// One serving request: estimate every road at `slot_of_day` given the
@@ -77,12 +78,16 @@ impl ServeMetrics {
     }
 }
 
-/// Result of [`serve_batch`]: one estimate per request, in request
+/// Result of [`serve_batch`]: one result per request, in request
 /// order, plus the latency counters.
+///
+/// A request can fail individually (e.g. an empty observation list is
+/// rejected with [`CoreError::NoObservations`](crate::CoreError));
+/// failures never abort the rest of the batch.
 #[derive(Debug)]
 pub struct BatchOutcome {
     /// `estimates[i]` answers `requests[i]`.
-    pub estimates: Vec<SpeedEstimate>,
+    pub estimates: Vec<crate::Result<SpeedEstimate>>,
     /// Latency counters for the batch.
     pub metrics: ServeMetrics,
 }
@@ -123,6 +128,10 @@ impl LatencyAcc {
 /// single scratch. Otherwise workers steal request indices from a
 /// shared counter, each with its own [`EstimateScratch`], so buffers
 /// are reused within a worker and never shared across workers.
+///
+/// Requests are routed through [`SpeedEstimator::try_estimate`], so a
+/// request with an empty observation list yields
+/// `Err(CoreError::NoObservations)` in its slot.
 pub fn serve_batch(
     estimator: &dyn SpeedEstimator,
     requests: &[EstimateRequest],
@@ -131,7 +140,8 @@ pub fn serve_batch(
     let t0 = Instant::now();
     let threads = opts.threads.max(1).min(requests.len().max(1));
 
-    let mut estimates: Vec<Option<SpeedEstimate>> = Vec::with_capacity(requests.len());
+    let mut estimates: Vec<Option<crate::Result<SpeedEstimate>>> =
+        Vec::with_capacity(requests.len());
     estimates.resize_with(requests.len(), || None);
     let mut latency = LatencyAcc::new();
 
@@ -139,7 +149,7 @@ pub fn serve_batch(
         let mut scratch = EstimateScratch::new();
         for (slot, req) in estimates.iter_mut().zip(requests) {
             let t = Instant::now();
-            let est = estimator.estimate(req.slot_of_day, &req.observations, &mut scratch);
+            let est = estimator.try_estimate(req.slot_of_day, &req.observations, &mut scratch);
             latency.record(t.elapsed());
             *slot = Some(est);
         }
@@ -150,14 +160,17 @@ pub fn serve_batch(
             for _ in 0..threads {
                 scope.spawn(|_| {
                     let mut scratch = EstimateScratch::new();
-                    let mut local: Vec<(usize, SpeedEstimate)> = Vec::new();
+                    let mut local: Vec<(usize, crate::Result<SpeedEstimate>)> = Vec::new();
                     let mut acc = LatencyAcc::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(req) = requests.get(i) else { break };
                         let t = Instant::now();
-                        let est =
-                            estimator.estimate(req.slot_of_day, &req.observations, &mut scratch);
+                        let est = estimator.try_estimate(
+                            req.slot_of_day,
+                            &req.observations,
+                            &mut scratch,
+                        );
                         acc.record(t.elapsed());
                         local.push((i, est));
                     }
@@ -172,7 +185,7 @@ pub fn serve_batch(
         .expect("serving worker panicked");
     }
 
-    let estimates: Vec<SpeedEstimate> = estimates
+    let estimates: Vec<crate::Result<SpeedEstimate>> = estimates
         .into_iter()
         .map(|e| e.expect("every request index was claimed by a worker"))
         .collect();
@@ -190,6 +203,111 @@ pub fn serve_batch(
             },
             max_latency: latency.max,
         },
+    }
+}
+
+/// A unit of work executed on a serving worker: the closure receives
+/// the worker's private [`EstimateScratch`] and must deliver its result
+/// through whatever channel it captured.
+pub type ServeJob = Box<dyn FnOnce(&mut EstimateScratch) + Send + 'static>;
+
+/// A persistent serving worker pool with a bounded admission queue.
+///
+/// Unlike [`serve_batch`] — which fans one finite batch across
+/// short-lived scoped threads — a `ServePool` keeps its workers (and
+/// their scratch buffers) alive for the process lifetime, consuming
+/// jobs from a bounded queue. This is the execution engine behind the
+/// network daemon (`crowdspeed-server`): connection handlers submit
+/// jobs with [`ServePool::try_submit`] and get *admission control* for
+/// free — when the queue is full the job is handed back immediately
+/// instead of queueing without bound, so overload turns into a typed
+/// rejection at the protocol layer rather than unbounded memory growth
+/// and collapsing tail latency.
+///
+/// Each worker owns one [`EstimateScratch`], preserving the
+/// one-scratch-per-thread reuse discipline (and therefore bit-identical
+/// results) of the batch path.
+pub struct ServePool {
+    tx: Option<std::sync::mpsc::SyncSender<ServeJob>>,
+    workers: Vec<JoinHandle<()>>,
+    queue_capacity: usize,
+}
+
+impl std::fmt::Debug for ServePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServePool")
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.queue_capacity)
+            .finish()
+    }
+}
+
+impl ServePool {
+    /// Spawns `workers` (at least 1) threads consuming from a queue
+    /// that admits at most `queue_capacity` waiting jobs. A capacity of
+    /// 0 is a rendezvous queue: a job is admitted only when a worker is
+    /// ready to take it right now.
+    pub fn new(workers: usize, queue_capacity: usize) -> ServePool {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<ServeJob>(queue_capacity);
+        let rx = std::sync::Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = std::sync::Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("crowdspeed-serve-{i}"))
+                    .spawn(move || {
+                        let mut scratch = EstimateScratch::new();
+                        loop {
+                            // Hold the receiver lock only to dequeue;
+                            // the job itself runs lock-free.
+                            let job = rx.lock().recv();
+                            match job {
+                                Ok(job) => job(&mut scratch),
+                                Err(_) => break, // pool dropped
+                            }
+                        }
+                    })
+                    .expect("failed to spawn serving worker")
+            })
+            .collect();
+        ServePool {
+            tx: Some(tx),
+            workers,
+            queue_capacity,
+        }
+    }
+
+    /// Submits a job without blocking. When the queue is full the job
+    /// is returned so the caller can reject the request (admission
+    /// control) instead of waiting.
+    pub fn try_submit(&self, job: ServeJob) -> std::result::Result<(), ServeJob> {
+        let tx = self.tx.as_ref().expect("pool sender lives until drop");
+        match tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(std::sync::mpsc::TrySendError::Full(job))
+            | Err(std::sync::mpsc::TrySendError::Disconnected(job)) => Err(job),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Maximum number of jobs that may wait in the queue.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+}
+
+impl Drop for ServePool {
+    /// Closes the queue and waits for workers to drain what was
+    /// already admitted — every submitted job runs exactly once.
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for h in self.workers.drain(..) {
+            h.join().expect("serving worker panicked");
+        }
     }
 }
 
@@ -254,6 +372,7 @@ mod tests {
         assert_eq!(out.estimates.len(), reqs.len());
         assert_eq!(out.metrics.requests, reqs.len());
         for (req, est) in reqs.iter().zip(&out.estimates) {
+            let est = est.as_ref().unwrap();
             // Seeds echo their observations, which pin the request order.
             for &(road, speed) in &req.observations {
                 assert_eq!(est.speeds[road.index()], speed);
@@ -268,10 +387,81 @@ mod tests {
         let seq = serve_batch(&est, &reqs, &ServeOptions { threads: 1 });
         let par = serve_batch(&est, &reqs, &ServeOptions { threads: 4 });
         for (a, b) in seq.estimates.iter().zip(&par.estimates) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
             assert_eq!(a.speeds, b.speeds);
             assert_eq!(a.p_up, b.p_up);
             assert_eq!(a.trends, b.trends);
         }
+    }
+
+    #[test]
+    fn empty_observation_requests_get_typed_errors() {
+        let (ds, est, seeds) = trained();
+        let mut reqs = requests(&ds, &seeds, &[6, 7]);
+        reqs.insert(
+            1,
+            EstimateRequest {
+                slot_of_day: 8,
+                observations: Vec::new(),
+            },
+        );
+        let out = serve_batch(&est, &reqs, &ServeOptions { threads: 2 });
+        assert!(out.estimates[0].is_ok());
+        assert_eq!(
+            out.estimates[1].as_ref().unwrap_err(),
+            &crate::CoreError::NoObservations
+        );
+        assert!(out.estimates[2].is_ok());
+        // The failed request still counts toward the batch metrics.
+        assert_eq!(out.metrics.requests, 3);
+    }
+
+    #[test]
+    fn pool_runs_every_admitted_job() {
+        use std::sync::mpsc;
+        let pool = ServePool::new(3, 64);
+        assert_eq!(pool.worker_count(), 3);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..32usize {
+            let tx = tx.clone();
+            pool.try_submit(Box::new(move |_scratch| {
+                tx.send(i).unwrap();
+            }))
+            .unwrap_or_else(|_| panic!("queue of 64 rejected job {i}"));
+        }
+        let mut got: Vec<usize> = rx.iter().take(32).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_overload_hands_the_job_back() {
+        use std::sync::mpsc;
+        // One worker blocked on a gate + capacity 1: the third submit
+        // must be refused and hand back the original closure.
+        let pool = ServePool::new(1, 1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        pool.try_submit(Box::new(move |_| {
+            gate_rx.recv().ok();
+        }))
+        .unwrap_or_else(|_| panic!("first job admitted"));
+        // Give the worker a moment to pick up the blocking job so the
+        // queue slot is genuinely free for the second one.
+        let t0 = Instant::now();
+        loop {
+            let probe = pool.try_submit(Box::new(|_| {}));
+            match probe {
+                Ok(()) => break, // occupies the single queue slot
+                Err(_) if t0.elapsed() < Duration::from_secs(5) => {
+                    std::thread::yield_now();
+                }
+                Err(_) => panic!("worker never drained the gate job"),
+            }
+        }
+        // Queue now holds one job while the worker is gated: full.
+        let rejected = pool.try_submit(Box::new(|_| {}));
+        assert!(rejected.is_err(), "overloaded pool must refuse the job");
+        drop(gate_tx); // unblock, let Drop join cleanly
     }
 
     #[test]

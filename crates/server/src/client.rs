@@ -1,0 +1,95 @@
+//! Blocking TCP client for `crowdspeedd`, shared by the `crowdspeed
+//! client` subcommand, the daemon throughput bench, and the
+//! integration suite — everyone speaks the wire through this one
+//! implementation.
+
+use crate::protocol::{
+    read_frame, write_frame, EstimateReply, Request, Response, StatsReply, DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
+use crate::ServerError;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client. One request in flight at a time (the protocol
+/// is strict request/response per connection).
+pub struct Client {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServerError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ServerError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let (version, payload) = read_frame(&mut self.stream, self.max_frame_bytes, &|| false)
+            .map_err(ServerError::Wire)?;
+        if version != PROTOCOL_VERSION {
+            return Err(ServerError::UnexpectedResponse(format!(
+                "server answered with protocol version {version}"
+            )));
+        }
+        Response::decode(&payload).map_err(ServerError::UnexpectedResponse)
+    }
+
+    /// Requests an estimate; a typed daemon error becomes
+    /// [`ServerError::Remote`].
+    pub fn estimate(
+        &mut self,
+        slot_of_day: usize,
+        observations: Vec<(u32, f64)>,
+        deadline_ms: Option<u64>,
+    ) -> Result<EstimateReply, ServerError> {
+        match self.request(&Request::Estimate {
+            slot_of_day,
+            observations,
+            deadline_ms,
+        })? {
+            Response::Estimate(reply) => Ok(reply),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ingests one day and waits for the new epoch.
+    pub fn ingest_day(&mut self, rows: Vec<Vec<f64>>) -> Result<(u64, u64), ServerError> {
+        match self.request(&Request::IngestDay { rows })? {
+            Response::Ingested {
+                epoch,
+                days_ingested,
+            } => Ok((epoch, days_ingested)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the metrics snapshot.
+    pub fn stats(&mut self) -> Result<StatsReply, ServerError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the daemon to shut down; `Ok(())` once acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), ServerError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(response: Response) -> ServerError {
+    match response {
+        Response::Error { kind, message } => ServerError::Remote { kind, message },
+        other => ServerError::UnexpectedResponse(format!("mismatched response: {other:?}")),
+    }
+}

@@ -1,0 +1,449 @@
+//! The `crowdspeedd` daemon: acceptor, per-connection handlers, and
+//! the admission-controlled serving path.
+//!
+//! # Thread layout
+//!
+//! ```text
+//!            ┌──────────┐  accept   ┌─────────────────────┐
+//!   TCP ───▶ │ acceptor │ ────────▶ │ handler (per conn)  │──┐
+//!            └──────────┘           │ decode / respond    │  │ try_submit
+//!                                   └─────────────────────┘  ▼
+//!                                        ▲            ┌─────────────┐
+//!                                        │ reply via  │  ServePool  │
+//!                                        └────────────│  workers    │
+//!                                          rendezvous │ (1 scratch  │
+//!                                            channel  │  each)      │
+//!                                                     └─────────────┘
+//! ```
+//!
+//! `ESTIMATE` is the only command that crosses into the worker pool;
+//! it is the latency-sensitive hot path and the only one subject to
+//! admission control and deadlines. `INGEST_DAY` retrains on the
+//! *connection* thread under the [`TrainState`] mutex — expensive, but
+//! off the serving path by construction — and publishes the new model
+//! with a pointer swap. `STATS` and `SHUTDOWN` are answered inline.
+//!
+//! # Backpressure policy
+//!
+//! The worker queue is a bounded channel sized by
+//! [`DaemonConfig::queue_capacity`]. When it is full the daemon does
+//! not block the connection: it immediately answers
+//! [`ErrorKind::Overloaded`] and counts the rejection. Clients own the
+//! retry policy; the daemon's only promise is a fast, typed "no".
+
+use crate::metrics::{Command, Metrics};
+use crate::protocol::{
+    read_frame, write_frame, ErrorKind, EstimateReply, Request, Response, WireError,
+    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use crate::state::{ModelSlot, TrainState};
+use crate::ServerError;
+use crowdspeed::prelude::*;
+use crowdspeed::CoreError;
+use parking_lot::Mutex;
+use roadnet::RoadId;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tunables for [`Daemon::spawn`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`DaemonHandle::addr`]).
+    pub addr: String,
+    /// Estimate worker threads (each owns one `EstimateScratch`).
+    pub workers: usize,
+    /// Bounded admission queue depth; a full queue answers
+    /// `Overloaded` instead of blocking.
+    pub queue_capacity: usize,
+    /// Frames declaring more payload than this are refused.
+    pub max_frame_bytes: usize,
+    /// Deadline applied to estimates that do not carry their own.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// State shared by the acceptor, connection handlers, and workers.
+struct Shared {
+    model: ModelSlot,
+    train: Mutex<TrainState>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    pool: ServePool,
+    config: DaemonConfig,
+}
+
+/// A running daemon (see [`Daemon::spawn`]).
+pub struct Daemon;
+
+/// Handle to a spawned daemon: its bound address and lifecycle control.
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Trains the initial model from `train_state`, binds the listener,
+    /// and starts the acceptor. Returns once the daemon is reachable.
+    pub fn spawn(
+        train_state: TrainState,
+        config: DaemonConfig,
+    ) -> Result<DaemonHandle, ServerError> {
+        let estimator = train_state.train().map_err(ServerError::Core)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let metrics = Metrics::new(1, train_state.days_ingested());
+        let shared = Arc::new(Shared {
+            model: ModelSlot::new(estimator),
+            train: Mutex::new(train_state),
+            metrics,
+            shutdown: AtomicBool::new(false),
+            pool: ServePool::new(config.workers.max(1), config.queue_capacity.max(1)),
+            config,
+        });
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("crowdspeedd-accept".to_string())
+            .spawn(move || accept_loop(listener, acceptor_shared))
+            .expect("spawn acceptor thread");
+        Ok(DaemonHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+impl DaemonHandle {
+    /// The address the daemon is listening on (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current model epoch (the `STATS` gauge).
+    pub fn epoch(&self) -> u64 {
+        self.shared.metrics.epoch()
+    }
+
+    /// Asks the daemon to stop: the acceptor refuses new connections
+    /// and handlers abort at their next read-timeout tick.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Signals shutdown and blocks until the acceptor (and every
+    /// connection handler it spawned) has exited.
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the daemon stops on its own (a `SHUTDOWN` frame or
+    /// a [`DaemonHandle::shutdown`] from another thread) — the
+    /// foreground mode of the `crowdspeed daemon` subcommand.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("crowdspeedd-conn".to_string())
+                    .spawn(move || handle_connection(stream, conn_shared))
+                    .expect("spawn connection handler");
+                handlers.push(handle);
+                // Reap finished handlers so a long-lived daemon does
+                // not accumulate one join handle per past connection.
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    // Short read timeouts keep handlers responsive to shutdown without
+    // busy-polling; `read_frame` retries timeouts via its abort hook.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let shutdown = {
+        let shared = Arc::clone(&shared);
+        move || shared.shutdown.load(Ordering::SeqCst)
+    };
+    loop {
+        let (version, payload) =
+            match read_frame(&mut stream, shared.config.max_frame_bytes, &shutdown) {
+                Ok(frame) => frame,
+                Err(WireError::Oversized { declared, max }) => {
+                    // Closing with unread bytes in the receive buffer
+                    // makes TCP reset the connection, destroying the
+                    // queued error response. Drain modestly oversized
+                    // frames so the typed error is actually delivered;
+                    // pathological lengths just get the hang-up.
+                    const DRAIN_CAP: usize = 1 << 20;
+                    if declared < DRAIN_CAP && drain(&mut stream, declared + 1, &shutdown) {
+                        let _ = respond(
+                            &mut stream,
+                            &error_response(
+                                ErrorKind::FrameTooLarge,
+                                format!("frame of {declared} bytes exceeds limit of {max}"),
+                            ),
+                        );
+                    }
+                    // Either way the stream cannot be resynchronised.
+                    return;
+                }
+                // Clean close, mid-frame close, shutdown, or I/O
+                // failure: nothing sensible left to say.
+                Err(_) => return,
+            };
+        if version != PROTOCOL_VERSION {
+            let survived = respond(
+                &mut stream,
+                &error_response(
+                    ErrorKind::UnsupportedVersion,
+                    format!("speak version {PROTOCOL_VERSION}, got {version}"),
+                ),
+            );
+            if survived {
+                continue;
+            }
+            return;
+        }
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err((kind, message)) => {
+                // Unknown command / malformed body: typed error, but
+                // the connection survives (framing is still intact).
+                if respond(&mut stream, &error_response(kind, message)) {
+                    continue;
+                }
+                return;
+            }
+        };
+        let command = match &request {
+            Request::Estimate { .. } => Command::Estimate,
+            Request::IngestDay { .. } => Command::IngestDay,
+            Request::Stats => Command::Stats,
+            Request::Shutdown => Command::Shutdown,
+        };
+        shared.metrics.received(command);
+        let response = match request {
+            Request::Estimate {
+                slot_of_day,
+                observations,
+                deadline_ms,
+            } => serve_estimate(&shared, slot_of_day, observations, deadline_ms),
+            Request::IngestDay { rows } => serve_ingest(&shared, rows),
+            Request::Stats => Response::Stats(shared.metrics.snapshot()),
+            Request::Shutdown => Response::ShuttingDown,
+        };
+        match &response {
+            Response::Error { kind, message: _ } => {
+                shared.metrics.error(command);
+                match kind {
+                    ErrorKind::Overloaded => shared.metrics.reject_overload(),
+                    ErrorKind::DeadlineExceeded => shared.metrics.reject_deadline(),
+                    _ => {}
+                }
+            }
+            _ => shared.metrics.ok(command),
+        }
+        let survived = respond(&mut stream, &response);
+        if matches!(response, Response::ShuttingDown) {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+        if !survived {
+            return;
+        }
+    }
+}
+
+/// Writes `response` as a frame; `false` means the connection is dead.
+fn respond(stream: &mut TcpStream, response: &Response) -> bool {
+    write_frame(stream, &response.encode()).is_ok()
+}
+
+/// Reads and discards `remaining` bytes (a refused frame's body);
+/// `false` means the connection died or shutdown fired first.
+fn drain(stream: &mut TcpStream, mut remaining: usize, abort: &dyn Fn() -> bool) -> bool {
+    use std::io::Read;
+    let mut sink = [0u8; 4096];
+    while remaining > 0 {
+        let want = remaining.min(sink.len());
+        match stream.read(&mut sink[..want]) {
+            Ok(0) => return false,
+            Ok(n) => remaining -= n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if abort() {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+fn error_response(kind: ErrorKind, message: String) -> Response {
+    Response::Error { kind, message }
+}
+
+/// The admission-controlled estimate path: hand the request to the
+/// worker pool (bounded queue), or answer `Overloaded` right away.
+fn serve_estimate(
+    shared: &Arc<Shared>,
+    slot_of_day: usize,
+    observations: Vec<(u32, f64)>,
+    deadline_ms: Option<u64>,
+) -> Response {
+    let admitted = Instant::now();
+    let deadline = deadline_ms
+        .or(shared.config.default_deadline_ms)
+        .map(Duration::from_millis);
+    // Rendezvous channel: the worker always sends exactly one reply.
+    let (reply_tx, reply_rx) = sync_channel::<Response>(1);
+    let job_shared = Arc::clone(shared);
+    let job: ServeJob = Box::new(move |scratch: &mut EstimateScratch| {
+        let response = if deadline.is_some_and(|d| admitted.elapsed() > d) {
+            // Admitted but queued past its deadline: cheaper to drop
+            // here than to compute an answer nobody is waiting for.
+            error_response(
+                ErrorKind::DeadlineExceeded,
+                "deadline expired while queued".to_string(),
+            )
+        } else {
+            let model = job_shared.model.current();
+            let obs: Vec<(RoadId, f64)> = observations
+                .iter()
+                .map(|&(road, speed)| (RoadId(road), speed))
+                .collect();
+            match model.estimator.try_estimate(slot_of_day, &obs, scratch) {
+                Ok(estimate) => {
+                    job_shared
+                        .metrics
+                        .observe_latency_us(admitted.elapsed().as_micros() as u64);
+                    Response::Estimate(EstimateReply {
+                        epoch: model.epoch,
+                        speeds: estimate.speeds,
+                        p_up: estimate.p_up,
+                        trends: estimate.trends,
+                        ignored_observations: estimate.ignored_observations as u64,
+                    })
+                }
+                Err(CoreError::NoObservations) => error_response(
+                    ErrorKind::NoObservations,
+                    "estimation request carried no observations".to_string(),
+                ),
+                Err(e) => error_response(ErrorKind::Internal, e.to_string()),
+            }
+        };
+        let _ = reply_tx.send(response);
+    });
+    match shared.pool.try_submit(job) {
+        Ok(()) => reply_rx.recv().unwrap_or_else(|_| {
+            error_response(
+                ErrorKind::Internal,
+                "worker pool dropped the request".to_string(),
+            )
+        }),
+        Err(_rejected_job) => error_response(
+            ErrorKind::Overloaded,
+            format!(
+                "admission queue full ({} slots)",
+                shared.pool.queue_capacity()
+            ),
+        ),
+    }
+}
+
+/// `INGEST_DAY`: fold a day into the online model, retrain on this
+/// connection's thread, and atomically publish the new epoch.
+fn serve_ingest(shared: &Arc<Shared>, rows: Vec<Vec<f64>>) -> Response {
+    let mut train = shared.train.lock();
+    let (slots, roads) = train.day_shape();
+    if rows.len() != slots || rows.iter().any(|row| row.len() != roads) {
+        let got_roads = rows.first().map_or(0, Vec::len);
+        return error_response(
+            ErrorKind::ShapeMismatch,
+            format!(
+                "expected {slots} slots x {roads} roads, got {} slots x {} roads",
+                rows.len(),
+                got_roads
+            ),
+        );
+    }
+    let mut day = trafficsim::SpeedField::filled(slots, roads, f64::NAN);
+    for (slot, row) in rows.iter().enumerate() {
+        for (road, &speed) in row.iter().enumerate() {
+            day.set_speed(slot, RoadId(road as u32), speed);
+        }
+    }
+    if let Err(e) = train.ingest_day(day) {
+        let kind = match e {
+            CoreError::ShapeMismatch { .. } => ErrorKind::ShapeMismatch,
+            _ => ErrorKind::Internal,
+        };
+        return error_response(kind, e.to_string());
+    }
+    let estimator = match train.train() {
+        Ok(estimator) => estimator,
+        Err(e) => return error_response(ErrorKind::Internal, format!("retrain failed: {e}")),
+    };
+    let epoch = shared.model.publish(estimator);
+    shared.metrics.set_epoch(epoch);
+    let days_ingested = train.days_ingested();
+    shared.metrics.set_days_ingested(days_ingested);
+    Response::Ingested {
+        epoch,
+        days_ingested,
+    }
+}

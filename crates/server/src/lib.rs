@@ -1,0 +1,103 @@
+//! `crowdspeed-server`: a persistent TCP serving daemon for the
+//! crowdsourced speed estimator.
+//!
+//! The crate turns the batch serving path in `crowdspeed::serve` into
+//! a long-running process:
+//!
+//! * [`daemon`] — acceptor + per-connection handlers feeding the
+//!   `ServePool` worker threads, with bounded-queue admission control
+//!   and per-request deadlines.
+//! * [`state`] — the hot-swappable model slot (epoch pointer behind a
+//!   `parking_lot::RwLock`) and the [`state::TrainState`] that folds
+//!   `INGEST_DAY` feeds into the online correlation model and retrains
+//!   off the serving path.
+//! * [`protocol`] — the length-prefixed, versioned JSON frame format
+//!   (`ESTIMATE`, `INGEST_DAY`, `STATS`, `SHUTDOWN`).
+//! * [`client`] — the blocking client used by the CLI, the bench, and
+//!   the integration suite.
+//! * [`metrics`] — per-command counters, rejection counts, the
+//!   model-epoch gauge, and a fixed-bucket latency histogram, all
+//!   surfaced through `STATS`.
+//! * [`json`] — a dependency-free JSON codec with bit-exact `f64`
+//!   round-trips, so wire estimates are bit-identical to in-process
+//!   ones.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod state;
+
+pub use client::Client;
+pub use daemon::{Daemon, DaemonConfig, DaemonHandle};
+pub use protocol::{ErrorKind, Request, Response};
+pub use state::{ModelSlot, TrainState};
+
+use crowdspeed::CoreError;
+use protocol::WireError;
+
+/// Errors surfaced by the daemon and client.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Framing-level failure.
+    Wire(WireError),
+    /// A core-crate failure (training, estimation).
+    Core(CoreError),
+    /// The daemon answered with a typed error.
+    Remote {
+        /// Failure class reported by the daemon.
+        kind: ErrorKind,
+        /// Daemon-provided detail.
+        message: String,
+    },
+    /// The daemon's reply could not be interpreted.
+    UnexpectedResponse(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "io error: {e}"),
+            ServerError::Wire(e) => write!(f, "wire error: {e}"),
+            ServerError::Core(e) => write!(f, "core error: {e}"),
+            ServerError::Remote { kind, message } => {
+                write!(f, "daemon error ({kind}): {message}")
+            }
+            ServerError::UnexpectedResponse(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            ServerError::Wire(e) => Some(e),
+            ServerError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<WireError> for ServerError {
+    fn from(e: WireError) -> Self {
+        ServerError::Wire(e)
+    }
+}
+
+impl From<CoreError> for ServerError {
+    fn from(e: CoreError) -> Self {
+        ServerError::Core(e)
+    }
+}

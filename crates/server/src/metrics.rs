@@ -1,0 +1,191 @@
+//! Lock-free serving metrics, surfaced through the `STATS` command.
+//!
+//! Every counter is a relaxed [`AtomicU64`]: serving-path updates are
+//! single increments with no cross-counter invariants, so the snapshot
+//! read by `STATS` is allowed to be torn across counters (each counter
+//! is individually consistent, which is all dashboards need).
+
+use crate::protocol::{CommandStats, StatsReply, LATENCY_BUCKET_BOUNDS_US};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Command slots tracked by the per-command counters, in wire order.
+pub const COMMAND_NAMES: [&str; 4] = ["estimate", "ingest_day", "stats", "shutdown"];
+
+/// Index into [`COMMAND_NAMES`] / [`Metrics::commands`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// `ESTIMATE` frames.
+    Estimate = 0,
+    /// `INGEST_DAY` frames.
+    IngestDay = 1,
+    /// `STATS` frames.
+    Stats = 2,
+    /// `SHUTDOWN` frames.
+    Shutdown = 3,
+}
+
+#[derive(Default)]
+struct CommandCounters {
+    received: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// The daemon-wide metrics registry.
+pub struct Metrics {
+    started: Instant,
+    commands: [CommandCounters; 4],
+    rejected_overload: AtomicU64,
+    rejected_deadline: AtomicU64,
+    epoch: AtomicU64,
+    days_ingested: AtomicU64,
+    /// One count per bound in [`LATENCY_BUCKET_BOUNDS_US`] plus a
+    /// final overflow bucket.
+    latency: [AtomicU64; LATENCY_BUCKET_BOUNDS_US.len() + 1],
+}
+
+impl Metrics {
+    /// Fresh registry; the epoch gauge starts at `epoch`.
+    pub fn new(epoch: u64, days_ingested: u64) -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            commands: Default::default(),
+            rejected_overload: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
+            epoch: AtomicU64::new(epoch),
+            days_ingested: AtomicU64::new(days_ingested),
+            latency: Default::default(),
+        }
+    }
+
+    /// Marks a decoded frame of command `cmd`.
+    pub fn received(&self, cmd: Command) {
+        self.commands[cmd as usize]
+            .received
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a successful completion of `cmd`.
+    pub fn ok(&self, cmd: Command) {
+        self.commands[cmd as usize]
+            .ok
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a typed-error completion of `cmd`.
+    pub fn error(&self, cmd: Command) {
+        self.commands[cmd as usize]
+            .errors
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an estimate refused by admission control.
+    pub fn reject_overload(&self) {
+        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an estimate dropped for an expired deadline.
+    pub fn reject_deadline(&self) {
+        self.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes a new model epoch to the gauge.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// Current model-epoch gauge.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Updates the ingested-days gauge.
+    pub fn set_days_ingested(&self, days: u64) {
+        self.days_ingested.store(days, Ordering::Relaxed);
+    }
+
+    /// Records one served-estimate latency in the histogram.
+    pub fn observe_latency_us(&self, micros: u64) {
+        let bucket = LATENCY_BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(LATENCY_BUCKET_BOUNDS_US.len());
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot for the `STATS` response.
+    pub fn snapshot(&self) -> StatsReply {
+        StatsReply {
+            epoch: self.epoch.load(Ordering::Relaxed),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            days_ingested: self.days_ingested.load(Ordering::Relaxed),
+            commands: COMMAND_NAMES
+                .iter()
+                .zip(&self.commands)
+                .map(|(&name, c)| {
+                    (
+                        name.to_string(),
+                        CommandStats {
+                            received: c.received.load(Ordering::Relaxed),
+                            ok: c.ok.load(Ordering::Relaxed),
+                            errors: c.errors.load(Ordering::Relaxed),
+                        },
+                    )
+                })
+                .collect(),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            latency_counts: self
+                .latency
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = Metrics::new(1, 5);
+        m.received(Command::Estimate);
+        m.received(Command::Estimate);
+        m.ok(Command::Estimate);
+        m.error(Command::Estimate);
+        m.received(Command::Stats);
+        m.ok(Command::Stats);
+        m.reject_overload();
+        m.reject_deadline();
+        m.set_epoch(7);
+        m.set_days_ingested(6);
+        let snap = m.snapshot();
+        assert_eq!(snap.epoch, 7);
+        assert_eq!(snap.days_ingested, 6);
+        let est = &snap.commands[Command::Estimate as usize];
+        assert_eq!(est.0, "estimate");
+        assert_eq!((est.1.received, est.1.ok, est.1.errors), (2, 1, 1));
+        let stats = &snap.commands[Command::Stats as usize];
+        assert_eq!((stats.1.received, stats.1.ok, stats.1.errors), (1, 1, 0));
+        assert_eq!(snap.rejected_overload, 1);
+        assert_eq!(snap.rejected_deadline, 1);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_by_bound() {
+        let m = Metrics::new(1, 0);
+        m.observe_latency_us(10); // first bucket (<= 50)
+        m.observe_latency_us(50); // first bucket boundary is inclusive
+        m.observe_latency_us(51); // second bucket
+        m.observe_latency_us(u64::MAX); // overflow bucket
+        let counts = m.snapshot().latency_counts;
+        assert_eq!(counts.len(), LATENCY_BUCKET_BOUNDS_US.len() + 1);
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[1], 1);
+        assert_eq!(*counts.last().unwrap(), 1);
+        assert_eq!(counts.iter().sum::<u64>(), 4);
+    }
+}

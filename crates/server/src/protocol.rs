@@ -1,0 +1,794 @@
+//! The `crowdspeedd` wire protocol.
+//!
+//! Every message is one **frame**:
+//!
+//! ```text
+//! ┌────────────────┬───────────┬──────────────────────────┐
+//! │ length: u32 BE │ version:u8│ payload: compact JSON    │
+//! └────────────────┴───────────┴──────────────────────────┘
+//!        length counts the version byte + payload
+//! ```
+//!
+//! The version byte rides in the binary header — not the JSON — so a
+//! server can refuse a frame from the future without parsing it.
+//! Payloads are JSON objects with a `"cmd"` (requests) or `"ok"` /
+//! `"err"` (responses) discriminator; unknown commands decode into a
+//! typed error and leave the connection usable.
+//!
+//! Speeds cross the wire with Rust's shortest round-trip `f64`
+//! formatting (see [`crate::json`]), so an estimate served over TCP is
+//! bit-identical to one computed in-process — the `daemon` integration
+//! suite extends the repo's `serving_equivalence` guarantee across the
+//! wire on exactly this property.
+
+use crate::json::{nan_to_json, num_or_nan, Json};
+use std::io::{Read, Write};
+
+/// Protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Frames larger than this are rejected with
+/// [`ErrorKind::FrameTooLarge`] before the payload is read.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 32 * 1024 * 1024;
+
+/// Upper bucket bounds (µs) of the serving latency histogram; the
+/// final implicit bucket is unbounded.
+pub const LATENCY_BUCKET_BOUNDS_US: [u64; 12] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000, 500_000, 1_000_000,
+];
+
+/// A client → daemon command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Estimate every road's speed at a slot from crowd observations.
+    Estimate {
+        /// Slot of day the observations belong to.
+        slot_of_day: usize,
+        /// Crowdsourced `(road id, speed)` seed observations.
+        observations: Vec<(u32, f64)>,
+        /// Optional per-request deadline, measured from admission; an
+        /// expired request is dropped with
+        /// [`ErrorKind::DeadlineExceeded`] instead of wasting a worker.
+        deadline_ms: Option<u64>,
+    },
+    /// Feed one observed day into the online correlation model,
+    /// retrain off the serving path, and atomically publish the new
+    /// model epoch.
+    IngestDay {
+        /// Slot-major speed rows (`rows[slot][road]`), NaN = missing.
+        rows: Vec<Vec<f64>>,
+    },
+    /// Fetch the metrics snapshot.
+    Stats,
+    /// Ask the daemon to stop accepting and drain.
+    Shutdown,
+}
+
+/// Typed failure classes a daemon can answer with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Admission queue full — retry later (backpressure, not failure).
+    Overloaded,
+    /// The request deadline expired before a worker picked it up.
+    DeadlineExceeded,
+    /// An estimate request carried no observations.
+    NoObservations,
+    /// An ingested day's dimensions disagree with the model.
+    ShapeMismatch,
+    /// The frame's JSON payload was unparseable or missing fields.
+    BadRequest,
+    /// The `"cmd"` discriminator named no known command.
+    UnknownCommand,
+    /// The frame header carried an unsupported protocol version.
+    UnsupportedVersion,
+    /// The frame length exceeded the daemon's limit.
+    FrameTooLarge,
+    /// Anything else (training failure, internal channel breakage).
+    Internal,
+}
+
+impl ErrorKind {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::NoObservations => "no_observations",
+            ErrorKind::ShapeMismatch => "shape_mismatch",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::UnknownCommand => "unknown_command",
+            ErrorKind::UnsupportedVersion => "unsupported_version",
+            ErrorKind::FrameTooLarge => "frame_too_large",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<ErrorKind> {
+        Some(match name {
+            "overloaded" => ErrorKind::Overloaded,
+            "deadline_exceeded" => ErrorKind::DeadlineExceeded,
+            "no_observations" => ErrorKind::NoObservations,
+            "shape_mismatch" => ErrorKind::ShapeMismatch,
+            "bad_request" => ErrorKind::BadRequest,
+            "unknown_command" => ErrorKind::UnknownCommand,
+            "unsupported_version" => ErrorKind::UnsupportedVersion,
+            "frame_too_large" => ErrorKind::FrameTooLarge,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One slot's estimate as served over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateReply {
+    /// Model epoch that served the request (see `STATS` gauge).
+    pub epoch: u64,
+    /// Estimated speed (km/h) per road.
+    pub speeds: Vec<f64>,
+    /// Step-1 posterior up-probability per road (empty for baselines).
+    pub p_up: Vec<f64>,
+    /// Hard trend decisions per road (empty for baselines).
+    pub trends: Vec<bool>,
+    /// Observations skipped for naming non-seed roads.
+    pub ignored_observations: u64,
+}
+
+/// Per-command counters as reported by `STATS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommandStats {
+    /// Frames decoded into this command.
+    pub received: u64,
+    /// Completed successfully.
+    pub ok: u64,
+    /// Completed with a typed error.
+    pub errors: u64,
+}
+
+/// The `STATS` response body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReply {
+    /// Current model epoch (starts at 1, bumps on every publish).
+    pub epoch: u64,
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Days the online correlation model has ingested (bootstrap
+    /// window included).
+    pub days_ingested: u64,
+    /// Counters per command, in wire order
+    /// (`estimate`, `ingest_day`, `stats`, `shutdown`).
+    pub commands: Vec<(String, CommandStats)>,
+    /// Estimate requests refused because the admission queue was full.
+    pub rejected_overload: u64,
+    /// Estimate requests dropped because their deadline expired.
+    pub rejected_deadline: u64,
+    /// Serving latency histogram: counts per bucket of
+    /// [`LATENCY_BUCKET_BOUNDS_US`] plus a final overflow bucket.
+    pub latency_counts: Vec<u64>,
+}
+
+/// A daemon → client reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful estimate.
+    Estimate(EstimateReply),
+    /// Day ingested and a new model epoch published.
+    Ingested {
+        /// Epoch of the freshly published model.
+        epoch: u64,
+        /// Total days the online model has now ingested.
+        days_ingested: u64,
+    },
+    /// Metrics snapshot.
+    Stats(StatsReply),
+    /// Shutdown acknowledged; the daemon is draining.
+    ShuttingDown,
+    /// Typed failure.
+    Error {
+        /// Failure class.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn obs_to_json(observations: &[(u32, f64)]) -> Json {
+    Json::Arr(
+        observations
+            .iter()
+            .map(|&(road, speed)| Json::Arr(vec![Json::Num(road as f64), nan_to_json(speed)]))
+            .collect(),
+    )
+}
+
+fn f64s_to_json(values: &[f64]) -> Json {
+    Json::Arr(values.iter().map(|&v| nan_to_json(v)).collect())
+}
+
+fn u64s_to_json(values: &[u64]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::Num(v as f64)).collect())
+}
+
+fn json_to_f64s(v: &Json, what: &str) -> Result<Vec<f64>, String> {
+    v.as_arr()
+        .ok_or_else(|| format!("{what}: expected array"))?
+        .iter()
+        .map(|item| num_or_nan(item).ok_or_else(|| format!("{what}: expected number")))
+        .collect()
+}
+
+fn json_to_u64s(v: &Json, what: &str) -> Result<Vec<u64>, String> {
+    v.as_arr()
+        .ok_or_else(|| format!("{what}: expected array"))?
+        .iter()
+        .map(|item| {
+            item.as_u64()
+                .ok_or_else(|| format!("{what}: expected integer"))
+        })
+        .collect()
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+impl Request {
+    /// Encodes to a JSON payload (no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let json = match self {
+            Request::Estimate {
+                slot_of_day,
+                observations,
+                deadline_ms,
+            } => Json::Obj(vec![
+                ("cmd".into(), Json::Str("estimate".into())),
+                ("slot".into(), Json::Num(*slot_of_day as f64)),
+                ("obs".into(), obs_to_json(observations)),
+                (
+                    "deadline_ms".into(),
+                    deadline_ms.map_or(Json::Null, |d| Json::Num(d as f64)),
+                ),
+            ]),
+            Request::IngestDay { rows } => Json::Obj(vec![
+                ("cmd".into(), Json::Str("ingest_day".into())),
+                (
+                    "rows".into(),
+                    Json::Arr(rows.iter().map(|row| f64s_to_json(row)).collect()),
+                ),
+            ]),
+            Request::Stats => Json::Obj(vec![("cmd".into(), Json::Str("stats".into()))]),
+            Request::Shutdown => Json::Obj(vec![("cmd".into(), Json::Str("shutdown".into()))]),
+        };
+        json.encode().into_bytes()
+    }
+
+    /// Decodes a JSON payload. `Err((kind, message))` distinguishes an
+    /// unknown command from a malformed body so the daemon can answer
+    /// with the right typed error — in both cases the connection
+    /// survives.
+    pub fn decode(payload: &[u8]) -> Result<Request, (ErrorKind, String)> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| (ErrorKind::BadRequest, "payload is not utf-8".to_string()))?;
+        let json =
+            Json::parse(text).map_err(|e| (ErrorKind::BadRequest, format!("bad json: {e}")))?;
+        let cmd = json
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or_else(|| (ErrorKind::BadRequest, "missing \"cmd\"".to_string()))?;
+        let bad = |m: String| (ErrorKind::BadRequest, m);
+        match cmd {
+            "estimate" => {
+                let slot = field(&json, "slot")
+                    .and_then(|v| v.as_u64().ok_or_else(|| "slot: expected integer".into()))
+                    .map_err(bad)?;
+                let obs = field(&json, "obs")
+                    .and_then(|v| {
+                        v.as_arr()
+                            .ok_or_else(|| "obs: expected array".to_string())?
+                            .iter()
+                            .map(|pair| {
+                                let pair = pair
+                                    .as_arr()
+                                    .ok_or_else(|| "obs: expected pairs".to_string())?;
+                                let (road, speed) = match pair {
+                                    [r, s] => (r, s),
+                                    _ => return Err("obs: expected [road, speed]".to_string()),
+                                };
+                                let road = road
+                                    .as_u64()
+                                    .filter(|&r| r <= u32::MAX as u64)
+                                    .ok_or_else(|| "obs: bad road id".to_string())?;
+                                let speed = num_or_nan(speed)
+                                    .ok_or_else(|| "obs: bad speed".to_string())?;
+                                Ok((road as u32, speed))
+                            })
+                            .collect::<Result<Vec<_>, String>>()
+                    })
+                    .map_err(bad)?;
+                let deadline_ms = match json.get("deadline_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_u64()
+                            .ok_or_else(|| bad("deadline_ms: expected integer".into()))?,
+                    ),
+                };
+                Ok(Request::Estimate {
+                    slot_of_day: slot as usize,
+                    observations: obs,
+                    deadline_ms,
+                })
+            }
+            "ingest_day" => {
+                let rows = field(&json, "rows")
+                    .and_then(|v| {
+                        v.as_arr()
+                            .ok_or_else(|| "rows: expected array".to_string())?
+                            .iter()
+                            .map(|row| json_to_f64s(row, "rows"))
+                            .collect::<Result<Vec<_>, String>>()
+                    })
+                    .map_err(bad)?;
+                Ok(Request::IngestDay { rows })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err((
+                ErrorKind::UnknownCommand,
+                format!("unknown command {other:?}"),
+            )),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes to a JSON payload (no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let json = match self {
+            Response::Estimate(reply) => Json::Obj(vec![
+                ("ok".into(), Json::Str("estimate".into())),
+                ("epoch".into(), Json::Num(reply.epoch as f64)),
+                ("speeds".into(), f64s_to_json(&reply.speeds)),
+                ("p_up".into(), f64s_to_json(&reply.p_up)),
+                (
+                    "trends".into(),
+                    Json::Arr(reply.trends.iter().map(|&t| Json::Bool(t)).collect()),
+                ),
+                (
+                    "ignored".into(),
+                    Json::Num(reply.ignored_observations as f64),
+                ),
+            ]),
+            Response::Ingested {
+                epoch,
+                days_ingested,
+            } => Json::Obj(vec![
+                ("ok".into(), Json::Str("ingest_day".into())),
+                ("epoch".into(), Json::Num(*epoch as f64)),
+                ("days".into(), Json::Num(*days_ingested as f64)),
+            ]),
+            Response::Stats(stats) => Json::Obj(vec![
+                ("ok".into(), Json::Str("stats".into())),
+                ("epoch".into(), Json::Num(stats.epoch as f64)),
+                ("uptime_ms".into(), Json::Num(stats.uptime_ms as f64)),
+                ("days".into(), Json::Num(stats.days_ingested as f64)),
+                (
+                    "commands".into(),
+                    Json::Obj(
+                        stats
+                            .commands
+                            .iter()
+                            .map(|(name, c)| {
+                                (
+                                    name.clone(),
+                                    Json::Obj(vec![
+                                        ("received".into(), Json::Num(c.received as f64)),
+                                        ("ok".into(), Json::Num(c.ok as f64)),
+                                        ("errors".into(), Json::Num(c.errors as f64)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "rejected_overload".into(),
+                    Json::Num(stats.rejected_overload as f64),
+                ),
+                (
+                    "rejected_deadline".into(),
+                    Json::Num(stats.rejected_deadline as f64),
+                ),
+                (
+                    "latency_bounds_us".into(),
+                    u64s_to_json(&LATENCY_BUCKET_BOUNDS_US),
+                ),
+                ("latency_counts".into(), u64s_to_json(&stats.latency_counts)),
+            ]),
+            Response::ShuttingDown => Json::Obj(vec![("ok".into(), Json::Str("shutdown".into()))]),
+            Response::Error { kind, message } => Json::Obj(vec![
+                ("err".into(), Json::Str(kind.name().into())),
+                ("message".into(), Json::Str(message.clone())),
+            ]),
+        };
+        json.encode().into_bytes()
+    }
+
+    /// Decodes a JSON payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "payload is not utf-8".to_string())?;
+        let json = Json::parse(text).map_err(|e| format!("bad json: {e}"))?;
+        if let Some(err) = json.get("err") {
+            let name = err.as_str().ok_or("err: expected string")?;
+            let kind =
+                ErrorKind::from_name(name).ok_or_else(|| format!("unknown error kind {name:?}"))?;
+            let message = json
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            return Ok(Response::Error { kind, message });
+        }
+        let ok = json
+            .get("ok")
+            .and_then(Json::as_str)
+            .ok_or("missing \"ok\"/\"err\"")?;
+        match ok {
+            "estimate" => Ok(Response::Estimate(EstimateReply {
+                epoch: field(&json, "epoch")?
+                    .as_u64()
+                    .ok_or("epoch: bad integer")?,
+                speeds: json_to_f64s(field(&json, "speeds")?, "speeds")?,
+                p_up: json_to_f64s(field(&json, "p_up")?, "p_up")?,
+                trends: field(&json, "trends")?
+                    .as_arr()
+                    .ok_or("trends: expected array")?
+                    .iter()
+                    .map(|v| v.as_bool().ok_or("trends: expected bool".to_string()))
+                    .collect::<Result<Vec<_>, _>>()?,
+                ignored_observations: field(&json, "ignored")?
+                    .as_u64()
+                    .ok_or("ignored: bad integer")?,
+            })),
+            "ingest_day" => Ok(Response::Ingested {
+                epoch: field(&json, "epoch")?
+                    .as_u64()
+                    .ok_or("epoch: bad integer")?,
+                days_ingested: field(&json, "days")?.as_u64().ok_or("days: bad integer")?,
+            }),
+            "stats" => {
+                let commands = match field(&json, "commands")? {
+                    Json::Obj(fields) => fields
+                        .iter()
+                        .map(|(name, c)| {
+                            Ok((
+                                name.clone(),
+                                CommandStats {
+                                    received: field(c, "received")?
+                                        .as_u64()
+                                        .ok_or("received: bad integer")?,
+                                    ok: field(c, "ok")?.as_u64().ok_or("ok: bad integer")?,
+                                    errors: field(c, "errors")?
+                                        .as_u64()
+                                        .ok_or("errors: bad integer")?,
+                                },
+                            ))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                    _ => return Err("commands: expected object".into()),
+                };
+                Ok(Response::Stats(StatsReply {
+                    epoch: field(&json, "epoch")?
+                        .as_u64()
+                        .ok_or("epoch: bad integer")?,
+                    uptime_ms: field(&json, "uptime_ms")?
+                        .as_u64()
+                        .ok_or("uptime_ms: bad integer")?,
+                    days_ingested: field(&json, "days")?.as_u64().ok_or("days: bad integer")?,
+                    commands,
+                    rejected_overload: field(&json, "rejected_overload")?
+                        .as_u64()
+                        .ok_or("rejected_overload: bad integer")?,
+                    rejected_deadline: field(&json, "rejected_deadline")?
+                        .as_u64()
+                        .ok_or("rejected_deadline: bad integer")?,
+                    latency_counts: json_to_u64s(
+                        field(&json, "latency_counts")?,
+                        "latency_counts",
+                    )?,
+                }))
+            }
+            "shutdown" => Ok(Response::ShuttingDown),
+            other => Err(format!("unknown response {other:?}")),
+        }
+    }
+}
+
+/// Framing-layer failures (before a payload can be interpreted).
+#[derive(Debug)]
+pub enum WireError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The connection died mid-frame.
+    Truncated,
+    /// The declared frame length exceeds the configured limit.
+    Oversized {
+        /// Declared payload length.
+        declared: usize,
+        /// Configured limit.
+        max: usize,
+    },
+    /// The frame declared an impossible length (shorter than the
+    /// version byte).
+    BadLength,
+    /// The abort callback fired while waiting for bytes.
+    Aborted,
+    /// Any other I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Truncated => write!(f, "connection closed mid-frame"),
+            WireError::Oversized { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds limit of {max}")
+            }
+            WireError::BadLength => write!(f, "frame length shorter than header"),
+            WireError::Aborted => write!(f, "read aborted by shutdown"),
+            WireError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one frame: `[len u32 BE][version u8][payload]`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = (payload.len() + 1) as u32;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&[PROTOCOL_VERSION])?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads exactly `buf.len()` bytes, retrying timeouts and interrupts.
+/// `started` tells the caller whether any byte of the current frame
+/// was consumed before a failure (truncation vs. clean close). The
+/// `abort` callback is polled on every timeout so a daemon shutdown
+/// unblocks connection handlers within one read-timeout tick.
+fn read_exact_abortable(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    started: bool,
+    abort: &dyn Fn() -> bool,
+) -> Result<(), WireError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if started || filled > 0 {
+                    WireError::Truncated
+                } else {
+                    WireError::Closed
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if abort() {
+                    return Err(WireError::Aborted);
+                }
+            }
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame, returning `(version, payload)`.
+///
+/// Returns [`WireError::Closed`] on a clean EOF between frames, and
+/// [`WireError::Oversized`] *without consuming the payload* when the
+/// declared length exceeds `max_frame_bytes` — the caller should send
+/// a typed error and drop the connection, since the stream can no
+/// longer be resynchronised.
+pub fn read_frame(
+    r: &mut impl Read,
+    max_frame_bytes: usize,
+    abort: &dyn Fn() -> bool,
+) -> Result<(u8, Vec<u8>), WireError> {
+    let mut len_buf = [0u8; 4];
+    read_exact_abortable(r, &mut len_buf, false, abort)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len < 1 {
+        return Err(WireError::BadLength);
+    }
+    if len - 1 > max_frame_bytes {
+        return Err(WireError::Oversized {
+            declared: len - 1,
+            max: max_frame_bytes,
+        });
+    }
+    let mut version = [0u8; 1];
+    read_exact_abortable(r, &mut version, true, abort)?;
+    let mut payload = vec![0u8; len - 1];
+    read_exact_abortable(r, &mut payload, true, abort)?;
+    Ok((version[0], payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const NO_ABORT: fn() -> bool = || false;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"cmd\":\"stats\"}").unwrap();
+        let mut cursor = Cursor::new(buf);
+        let (ver, payload) = read_frame(&mut cursor, 1024, &NO_ABORT).unwrap();
+        assert_eq!(ver, PROTOCOL_VERSION);
+        assert_eq!(payload, b"{\"cmd\":\"stats\"}");
+        // Clean EOF after the frame.
+        assert!(matches!(
+            read_frame(&mut cursor, 1024, &NO_ABORT),
+            Err(WireError::Closed)
+        ));
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_distinguished() {
+        // Two bytes of a length prefix, then EOF: mid-frame close.
+        let mut cursor = Cursor::new(vec![0u8, 0]);
+        assert!(matches!(
+            read_frame(&mut cursor, 1024, &NO_ABORT),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_distinguished() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"cmd\":\"stats\"}").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cursor = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor, 1024, &NO_ABORT),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_up_front() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[b' '; 100]).unwrap();
+        let mut cursor = Cursor::new(buf);
+        match read_frame(&mut cursor, 64, &NO_ABORT) {
+            Err(WireError::Oversized { declared, max }) => {
+                assert_eq!((declared, max), (100, 64));
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_length_frame_is_rejected() {
+        let mut cursor = Cursor::new(vec![0u8, 0, 0, 0]);
+        assert!(matches!(
+            read_frame(&mut cursor, 64, &NO_ABORT),
+            Err(WireError::BadLength)
+        ));
+    }
+
+    #[test]
+    fn unknown_command_decodes_to_typed_error() {
+        let (kind, _) = Request::decode(b"{\"cmd\":\"frobnicate\"}").unwrap_err();
+        assert_eq!(kind, ErrorKind::UnknownCommand);
+        let (kind, _) = Request::decode(b"{\"slot\":3}").unwrap_err();
+        assert_eq!(kind, ErrorKind::BadRequest);
+        let (kind, _) = Request::decode(b"not json at all").unwrap_err();
+        assert_eq!(kind, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn request_variants_roundtrip() {
+        let reqs = [
+            Request::Estimate {
+                slot_of_day: 17,
+                observations: vec![(3, 42.5), (9, 31.25)],
+                deadline_ms: Some(250),
+            },
+            Request::Estimate {
+                slot_of_day: 0,
+                observations: vec![],
+                deadline_ms: None,
+            },
+            Request::IngestDay {
+                rows: vec![vec![30.0, 22.5], vec![28.0, 19.75]],
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn ingest_nan_survives_as_null() {
+        let req = Request::IngestDay {
+            rows: vec![vec![30.0, f64::NAN]],
+        };
+        let decoded = Request::decode(&req.encode()).unwrap();
+        let Request::IngestDay { rows } = decoded else {
+            panic!("wrong variant");
+        };
+        assert_eq!(rows[0][0], 30.0);
+        assert!(rows[0][1].is_nan());
+    }
+
+    #[test]
+    fn response_variants_roundtrip() {
+        let resps = [
+            Response::Estimate(EstimateReply {
+                epoch: 3,
+                speeds: vec![31.5, 20.25],
+                p_up: vec![0.75, 0.5],
+                trends: vec![true, false],
+                ignored_observations: 2,
+            }),
+            Response::Ingested {
+                epoch: 4,
+                days_ingested: 9,
+            },
+            Response::Stats(StatsReply {
+                epoch: 4,
+                uptime_ms: 1234,
+                days_ingested: 9,
+                commands: vec![
+                    (
+                        "estimate".into(),
+                        CommandStats {
+                            received: 10,
+                            ok: 9,
+                            errors: 1,
+                        },
+                    ),
+                    ("stats".into(), CommandStats::default()),
+                ],
+                rejected_overload: 5,
+                rejected_deadline: 1,
+                latency_counts: vec![0; LATENCY_BUCKET_BOUNDS_US.len() + 1],
+            }),
+            Response::ShuttingDown,
+            Response::Error {
+                kind: ErrorKind::Overloaded,
+                message: "queue full".into(),
+            },
+        ];
+        for resp in resps {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Shared daemon state: the hot-swappable model slot and the training
+//! state that produces new epochs.
+//!
+//! # Epoch-swap invariants
+//!
+//! * Readers take the [`parking_lot::RwLock`] read lock only long
+//!   enough to clone the `Arc<ModelEpoch>`; every estimate is computed
+//!   against that clone, outside any lock.
+//! * [`ModelSlot::publish`] takes the write lock only to swap the
+//!   pointer and bump the epoch — never while training. Training runs
+//!   on the ingesting connection's thread under the separate
+//!   [`TrainState`] mutex, so serving throughput is unaffected by a
+//!   retrain in progress.
+//! * In-flight requests admitted before a swap finish on the epoch
+//!   they started with; requests admitted after see the new epoch.
+//!   There is no window in which an estimate mixes two models.
+
+use crowdspeed::prelude::*;
+use crowdspeed::CoreError;
+use parking_lot::RwLock;
+use roadnet::RoadGraph;
+use std::sync::Arc;
+use trafficsim::{SlotClock, SpeedField};
+
+/// One published model generation.
+pub struct ModelEpoch {
+    /// Monotonic generation counter (first publish = 1).
+    pub epoch: u64,
+    /// The trained estimator serving this generation.
+    pub estimator: TrafficEstimator,
+}
+
+/// The serving-side pointer to the current model, swappable with zero
+/// downtime.
+pub struct ModelSlot {
+    current: RwLock<Arc<ModelEpoch>>,
+}
+
+impl ModelSlot {
+    /// Wraps a freshly trained estimator as epoch 1.
+    pub fn new(estimator: TrafficEstimator) -> ModelSlot {
+        ModelSlot {
+            current: RwLock::new(Arc::new(ModelEpoch {
+                epoch: 1,
+                estimator,
+            })),
+        }
+    }
+
+    /// Snapshot of the current model; cheap (one `Arc` clone under a
+    /// read lock).
+    pub fn current(&self) -> Arc<ModelEpoch> {
+        self.current.read().clone()
+    }
+
+    /// Atomically publishes `estimator` as the next epoch and returns
+    /// the new epoch number. Readers holding the previous `Arc` are
+    /// unaffected.
+    pub fn publish(&self, estimator: TrafficEstimator) -> u64 {
+        let mut slot = self.current.write();
+        let epoch = slot.epoch + 1;
+        *slot = Arc::new(ModelEpoch { epoch, estimator });
+        epoch
+    }
+}
+
+/// Everything needed to retrain off the serving path: the road graph,
+/// the growing day history, the online correlation model, and the seed
+/// set + estimator configuration frozen at startup.
+pub struct TrainState {
+    graph: RoadGraph,
+    clock: SlotClock,
+    days: Vec<SpeedField>,
+    online: crowdspeed::online::OnlineCorrelation,
+    seeds: Vec<roadnet::RoadId>,
+    config: EstimatorConfig,
+}
+
+impl TrainState {
+    /// Bootstraps the online correlation model from `history` and
+    /// freezes the training inputs.
+    pub fn new(
+        graph: RoadGraph,
+        history: &HistoricalData,
+        seeds: Vec<roadnet::RoadId>,
+        corr_config: &CorrelationConfig,
+        config: EstimatorConfig,
+    ) -> TrainState {
+        let online = crowdspeed::online::OnlineCorrelation::bootstrap(&graph, history, corr_config);
+        TrainState {
+            graph,
+            clock: *history.clock(),
+            days: history.days().to_vec(),
+            online,
+            seeds,
+            config,
+        }
+    }
+
+    /// Trains a fresh estimator from the current history and the live
+    /// correlation counters. Deterministic given the same ingested
+    /// days, which is what lets the integration suite assert a
+    /// post-swap daemon serves bit-identical estimates to an
+    /// independently trained model.
+    pub fn train(&self) -> Result<TrafficEstimator, CoreError> {
+        let history = HistoricalData::from_days(self.clock, self.days.clone());
+        TrafficEstimator::train(
+            &self.graph,
+            &history,
+            self.online.stats(),
+            &self.online.correlation_graph(),
+            &self.seeds,
+            &self.config,
+        )
+    }
+
+    /// Feeds one observed day into the online correlation model and
+    /// the training history. Rejects shape mismatches without mutating
+    /// either.
+    pub fn ingest_day(&mut self, day: SpeedField) -> Result<(), CoreError> {
+        self.online.ingest_day(&day)?;
+        self.days.push(day);
+        Ok(())
+    }
+
+    /// Days the online model has ingested (bootstrap window included).
+    pub fn days_ingested(&self) -> u64 {
+        self.online.days_ingested() as u64
+    }
+
+    /// Expected `(slots, roads)` shape for an ingested day.
+    pub fn day_shape(&self) -> (usize, usize) {
+        (self.clock.slots_per_day, self.graph.num_roads())
+    }
+}

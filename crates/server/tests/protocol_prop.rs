@@ -1,0 +1,239 @@
+//! Property tests for the `crowdspeedd` wire protocol: every frame
+//! type round-trips through encode → decode, and malformed frames fail
+//! with typed errors instead of panics or desyncs.
+
+use crowdspeed_server::protocol::{
+    read_frame, write_frame, CommandStats, ErrorKind, EstimateReply, Request, Response, StatsReply,
+    WireError, LATENCY_BUCKET_BOUNDS_US,
+};
+use proptest::prelude::*;
+
+/// Largest integer the JSON wire carries exactly (numbers travel as
+/// `f64`).
+const MAX_EXACT: u64 = 1 << 53;
+
+/// Wire equality for speeds: finite values round-trip bit-exactly;
+/// every non-finite value intentionally collapses to JSON `null` and
+/// comes back as NaN.
+fn float_eq_wire(sent: f64, got: f64) -> bool {
+    if sent.is_finite() {
+        sent.to_bits() == got.to_bits()
+    } else {
+        got.is_nan()
+    }
+}
+
+proptest! {
+    #[test]
+    fn estimate_requests_roundtrip(
+        slot in 0usize..100_000,
+        obs in prop::collection::vec((any::<u32>(), any::<f64>()), 0..16),
+        deadline in 0u64..1_000_000,
+        has_deadline in any::<bool>(),
+    ) {
+        let req = Request::Estimate {
+            slot_of_day: slot,
+            observations: obs.clone(),
+            deadline_ms: has_deadline.then_some(deadline),
+        };
+        let decoded = Request::decode(&req.encode()).map_err(|(k, m)| format!("{k}: {m}"))?;
+        let Request::Estimate {
+            slot_of_day,
+            observations,
+            deadline_ms,
+        } = decoded
+        else {
+            return Err("wrong variant".to_string());
+        };
+        prop_assert_eq!(slot_of_day, slot);
+        prop_assert_eq!(deadline_ms, has_deadline.then_some(deadline));
+        prop_assert_eq!(observations.len(), obs.len());
+        for (&(road_a, speed_a), &(road_b, speed_b)) in obs.iter().zip(&observations) {
+            prop_assert_eq!(road_a, road_b);
+            prop_assert!(
+                float_eq_wire(speed_a, speed_b),
+                "speed {speed_a:?} came back as {speed_b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ingest_requests_roundtrip(
+        rows in prop::collection::vec(prop::collection::vec(any::<f64>(), 0..8), 0..8),
+    ) {
+        let req = Request::IngestDay { rows: rows.clone() };
+        let decoded = Request::decode(&req.encode()).map_err(|(k, m)| format!("{k}: {m}"))?;
+        let Request::IngestDay { rows: got } = decoded else {
+            return Err("wrong variant".to_string());
+        };
+        prop_assert_eq!(got.len(), rows.len());
+        for (sent_row, got_row) in rows.iter().zip(&got) {
+            prop_assert_eq!(sent_row.len(), got_row.len());
+            for (&s, &g) in sent_row.iter().zip(got_row) {
+                prop_assert!(float_eq_wire(s, g), "cell {s:?} came back as {g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bare_requests_roundtrip(which in 0usize..2) {
+        let req = match which {
+            0 => Request::Stats,
+            _ => Request::Shutdown,
+        };
+        let decoded = Request::decode(&req.encode()).map_err(|(k, m)| format!("{k}: {m}"))?;
+        prop_assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn estimate_responses_roundtrip(
+        epoch in 0u64..MAX_EXACT,
+        speeds in prop::collection::vec(any::<f64>(), 0..16),
+        p_up in prop::collection::vec(0.0f64..1.0, 0..16),
+        trends in prop::collection::vec(any::<bool>(), 0..16),
+        ignored in 0u64..MAX_EXACT,
+    ) {
+        let resp = Response::Estimate(EstimateReply {
+            epoch,
+            speeds: speeds.clone(),
+            p_up: p_up.clone(),
+            trends: trends.clone(),
+            ignored_observations: ignored,
+        });
+        let decoded = Response::decode(&resp.encode())?;
+        let Response::Estimate(reply) = decoded else {
+            return Err("wrong variant".to_string());
+        };
+        prop_assert_eq!(reply.epoch, epoch);
+        prop_assert_eq!(reply.ignored_observations, ignored);
+        prop_assert_eq!(&reply.p_up, &p_up);
+        prop_assert_eq!(&reply.trends, &trends);
+        prop_assert_eq!(reply.speeds.len(), speeds.len());
+        for (&s, &g) in speeds.iter().zip(&reply.speeds) {
+            prop_assert!(float_eq_wire(s, g), "speed {s:?} came back as {g:?}");
+        }
+    }
+
+    #[test]
+    fn ingested_error_and_shutdown_responses_roundtrip(
+        which in 0usize..3,
+        epoch in 0u64..MAX_EXACT,
+        days in 0u64..MAX_EXACT,
+        kind_idx in 0usize..9,
+        message_idx in 0usize..4,
+    ) {
+        let kinds = [
+            ErrorKind::Overloaded,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::NoObservations,
+            ErrorKind::ShapeMismatch,
+            ErrorKind::BadRequest,
+            ErrorKind::UnknownCommand,
+            ErrorKind::UnsupportedVersion,
+            ErrorKind::FrameTooLarge,
+            ErrorKind::Internal,
+        ];
+        let messages = ["", "queue full", "weird \"quotes\" \\ and \u{e9}\u{1f600}", "line\nbreak\ttab"];
+        let resp = match which {
+            0 => Response::Ingested {
+                epoch,
+                days_ingested: days,
+            },
+            1 => Response::ShuttingDown,
+            _ => Response::Error {
+                kind: kinds[kind_idx],
+                message: messages[message_idx].to_string(),
+            },
+        };
+        let decoded = Response::decode(&resp.encode())?;
+        prop_assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn stats_responses_roundtrip(
+        epoch in 0u64..MAX_EXACT,
+        uptime_ms in 0u64..MAX_EXACT,
+        days in 0u64..MAX_EXACT,
+        counters in prop::collection::vec((0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT), 4usize),
+        rejected_overload in 0u64..MAX_EXACT,
+        rejected_deadline in 0u64..MAX_EXACT,
+        latency in prop::collection::vec(0u64..MAX_EXACT, LATENCY_BUCKET_BOUNDS_US.len() + 1),
+    ) {
+        let names = ["estimate", "ingest_day", "stats", "shutdown"];
+        let resp = Response::Stats(StatsReply {
+            epoch,
+            uptime_ms,
+            days_ingested: days,
+            commands: names
+                .iter()
+                .zip(&counters)
+                .map(|(&name, &(received, ok, errors))| {
+                    (name.to_string(), CommandStats { received, ok, errors })
+                })
+                .collect(),
+            rejected_overload,
+            rejected_deadline,
+            latency_counts: latency,
+        });
+        let decoded = Response::decode(&resp.encode())?;
+        prop_assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn truncated_frames_fail_without_panicking(
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        cut in 0usize..80,
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        // Any strict prefix of a frame must fail to read cleanly.
+        buf.truncate(cut.min(buf.len() - 1));
+        let mut cursor = std::io::Cursor::new(buf);
+        let result = read_frame(&mut cursor, 1 << 20, &|| false);
+        prop_assert!(
+            matches!(result, Err(WireError::Closed | WireError::Truncated)),
+            "got {result:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_declarations_are_rejected_before_the_payload(
+        max in 0usize..64,
+        excess in 1usize..1000,
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &vec![0u8; max + excess]).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        match read_frame(&mut cursor, max, &|| false) {
+            Err(WireError::Oversized { declared, max: got_max }) => {
+                prop_assert_eq!(declared, max + excess);
+                prop_assert_eq!(got_max, max);
+            }
+            other => return Err(format!("expected Oversized, got {other:?}")),
+        }
+    }
+
+    #[test]
+    fn unknown_commands_decode_to_typed_errors(letters in prop::collection::vec(0u8..26, 1..12)) {
+        let name: String = letters.iter().map(|&l| (b'a' + l) as char).collect();
+        prop_assume!(!matches!(
+            name.as_str(),
+            "estimate" | "ingest" | "stats" | "shutdown"
+        ));
+        let payload = format!("{{\"cmd\":{:?}}}", name);
+        match Request::decode(payload.as_bytes()) {
+            // "ingest_day" cannot be generated (no underscore in the
+            // alphabet), so every name is either unknown or a known
+            // command with missing fields.
+            Err((ErrorKind::UnknownCommand | ErrorKind::BadRequest, _)) => {}
+            other => return Err(format!("expected a typed error, got {other:?}")),
+        }
+    }
+
+    #[test]
+    fn garbage_payloads_never_panic(payload in prop::collection::vec(any::<u8>(), 0..128)) {
+        // Either parses or fails with a typed error — must not panic.
+        let _ = Request::decode(&payload);
+        let _ = Response::decode(&payload);
+    }
+}

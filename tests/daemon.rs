@@ -1,0 +1,419 @@
+//! End-to-end tests for the `crowdspeedd` TCP daemon.
+//!
+//! The daemon's core promise is that putting a socket in front of the
+//! estimator changes *nothing* about the numbers: estimates served
+//! over the wire are bit-identical to direct in-process calls, before
+//! and after a hot model swap. The wire format's shortest-roundtrip
+//! `f64` encoding is what makes asserting `==` on speeds legitimate.
+
+use crowdspeed::prelude::*;
+use crowdspeed_server::daemon::{Daemon, DaemonConfig, DaemonHandle};
+use crowdspeed_server::protocol::{
+    read_frame, write_frame, ErrorKind, Request, Response, PROTOCOL_VERSION,
+};
+use crowdspeed_server::state::TrainState;
+use crowdspeed_server::{Client, ServerError};
+use roadnet::RoadId;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use trafficsim::dataset::{metro_small, Dataset, DatasetParams};
+
+fn dataset() -> Dataset {
+    metro_small(&DatasetParams {
+        training_days: 6,
+        test_days: 2,
+        ..DatasetParams::default()
+    })
+}
+
+fn seeds() -> Vec<RoadId> {
+    (0..12u32).map(|i| RoadId(i * 8)).collect()
+}
+
+fn corr_config() -> CorrelationConfig {
+    CorrelationConfig {
+        min_cotrend: 0.6,
+        min_co_observations: 6,
+        ..CorrelationConfig::default()
+    }
+}
+
+/// Builds a fresh training state from the dataset; calling this twice
+/// yields two states whose `train()` outputs are identical, which is
+/// what lets the tests hold an out-of-process reference model.
+fn train_state(ds: &Dataset) -> TrainState {
+    TrainState::new(
+        ds.graph.clone(),
+        &ds.history,
+        seeds(),
+        &corr_config(),
+        EstimatorConfig::default(),
+    )
+}
+
+fn spawn(ds: &Dataset, config: DaemonConfig) -> DaemonHandle {
+    Daemon::spawn(train_state(ds), config).expect("daemon spawns")
+}
+
+fn observations_at(ds: &Dataset, slot: usize) -> Vec<(u32, f64)> {
+    let truth = &ds.test_days[0];
+    seeds()
+        .iter()
+        .map(|&s| (s.0, truth.speed(slot, s)))
+        .collect()
+}
+
+fn day_rows(day: &trafficsim::SpeedField) -> Vec<Vec<f64>> {
+    (0..day.num_slots())
+        .map(|slot| day.slot_speeds(slot).to_vec())
+        .collect()
+}
+
+#[test]
+fn concurrent_connections_serve_bit_identical_estimates() {
+    let ds = dataset();
+    let handle = spawn(&ds, DaemonConfig::default());
+    let reference = Arc::new(train_state(&ds).train().expect("reference trains"));
+    let ds = Arc::new(ds);
+    let addr = handle.addr();
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let reference = Arc::clone(&reference);
+            let ds = Arc::clone(&ds);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let mut scratch = EstimateScratch::new();
+                for round in 0..3 {
+                    let slot = (t * 3 + round) % ds.clock.slots_per_day;
+                    let obs = observations_at(&ds, slot);
+                    let reply = client.estimate(slot, obs.clone(), None).expect("estimate");
+                    let direct_obs: Vec<(RoadId, f64)> =
+                        obs.iter().map(|&(r, v)| (RoadId(r), v)).collect();
+                    let direct = reference
+                        .try_estimate(slot, &direct_obs, &mut scratch)
+                        .expect("direct estimate");
+                    assert_eq!(reply.epoch, 1, "no swap happened");
+                    assert_eq!(reply.speeds, direct.speeds, "slot {slot}: wire == direct");
+                    assert_eq!(reply.p_up, direct.p_up, "slot {slot}");
+                    assert_eq!(reply.trends, direct.trends, "slot {slot}");
+                    assert_eq!(
+                        reply.ignored_observations,
+                        direct.ignored_observations as u64
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().expect("stats");
+    let estimate = &stats.commands[0];
+    assert_eq!(estimate.0, "estimate");
+    assert_eq!(estimate.1.received, 12);
+    assert_eq!(estimate.1.ok, 12);
+    assert_eq!(estimate.1.errors, 0);
+    assert_eq!(
+        stats.latency_counts.iter().sum::<u64>(),
+        12,
+        "every served estimate lands in one latency bucket"
+    );
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+#[test]
+fn hot_swap_under_traffic_is_invisible_to_clients() {
+    let ds = dataset();
+    let handle = spawn(&ds, DaemonConfig::default());
+    let addr = handle.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let ds = Arc::new(ds);
+    // Keep estimate traffic in flight for the whole swap.
+    let traffic: Vec<_> = (0..4)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            let ds = Arc::clone(&ds);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("traffic client connects");
+                let mut slot = t;
+                while !stop.load(Ordering::Relaxed) {
+                    slot = (slot + 1) % ds.clock.slots_per_day;
+                    let obs = observations_at(&ds, slot);
+                    let reply = client
+                        .estimate(slot, obs, None)
+                        .expect("estimates keep succeeding across the swap");
+                    assert!(reply.epoch == 1 || reply.epoch == 2);
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    // Let the traffic threads get going before swapping.
+    while served.load(Ordering::Relaxed) < 8 {
+        std::thread::yield_now();
+    }
+    assert_eq!(handle.epoch(), 1);
+    let new_day = &ds.test_days[1];
+    let mut ingest_client = Client::connect(addr).expect("ingest client connects");
+    let (epoch, _days) = ingest_client
+        .ingest_day(day_rows(new_day))
+        .expect("ingest + republish");
+    assert_eq!(epoch, 2, "publish bumps the epoch gauge");
+    assert_eq!(handle.epoch(), 2);
+    // Traffic must survive the swap itself, not just precede it.
+    let after_swap = served.load(Ordering::Relaxed);
+    while served.load(Ordering::Relaxed) < after_swap + 8 {
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for t in traffic {
+        t.join().expect("traffic thread");
+    }
+    // Post-swap estimates match a model trained independently on the
+    // same extended history.
+    let mut reference_state = train_state(&ds);
+    reference_state
+        .ingest_day(new_day.clone())
+        .expect("reference ingest");
+    let reference = reference_state.train().expect("reference retrain");
+    let mut scratch = EstimateScratch::new();
+    let mut client = Client::connect(addr).expect("post-swap client");
+    for slot in [3usize, 9, 15] {
+        let obs = observations_at(&ds, slot);
+        let reply = client.estimate(slot, obs.clone(), None).expect("estimate");
+        let direct_obs: Vec<(RoadId, f64)> = obs.iter().map(|&(r, v)| (RoadId(r), v)).collect();
+        let direct = reference
+            .try_estimate(slot, &direct_obs, &mut scratch)
+            .expect("direct estimate");
+        assert_eq!(reply.epoch, 2);
+        assert_eq!(
+            reply.speeds, direct.speeds,
+            "slot {slot}: post-swap wire == freshly trained model"
+        );
+        assert_eq!(reply.p_up, direct.p_up, "slot {slot}");
+        assert_eq!(reply.trends, direct.trends, "slot {slot}");
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.epoch, 2);
+    let ingest = &stats.commands[1];
+    assert_eq!(ingest.0, "ingest_day");
+    assert_eq!((ingest.1.received, ingest.1.ok, ingest.1.errors), (1, 1, 0));
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+#[test]
+fn tiny_admission_queue_sheds_load_with_typed_rejections() {
+    let ds = dataset();
+    let handle = spawn(
+        &ds,
+        DaemonConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..DaemonConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    let ds = Arc::new(ds);
+    let rejected = Arc::new(AtomicU64::new(0));
+    let succeeded = Arc::new(AtomicU64::new(0));
+    // Retry rounds make the race deterministic-enough: with eight
+    // closed-loop connections against one worker and one queue slot,
+    // some submission must find both occupied almost immediately.
+    for _round in 0..20 {
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let ds = Arc::clone(&ds);
+                let rejected = Arc::clone(&rejected);
+                let succeeded = Arc::clone(&succeeded);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    for round in 0..20 {
+                        let slot = (t + round) % ds.clock.slots_per_day;
+                        match client.estimate(slot, observations_at(&ds, slot), None) {
+                            Ok(_) => {
+                                succeeded.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(ServerError::Remote {
+                                kind: ErrorKind::Overloaded,
+                                ..
+                            }) => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("only Overloaded is acceptable, got {e}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("load thread");
+        }
+        if rejected.load(Ordering::Relaxed) > 0 {
+            break;
+        }
+    }
+    let observed_rejections = rejected.load(Ordering::Relaxed);
+    assert!(
+        observed_rejections > 0,
+        "a 1-deep queue under 8 closed-loop connections must shed load"
+    );
+    assert!(succeeded.load(Ordering::Relaxed) > 0, "but not all of it");
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.rejected_overload, observed_rejections,
+        "every client-visible rejection is counted"
+    );
+    let estimate = &stats.commands[0];
+    assert_eq!(estimate.1.errors, observed_rejections);
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+#[test]
+fn empty_observations_and_expired_deadlines_get_typed_errors() {
+    let ds = dataset();
+    let handle = spawn(&ds, DaemonConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    match client.estimate(5, vec![], None) {
+        Err(ServerError::Remote {
+            kind: ErrorKind::NoObservations,
+            ..
+        }) => {}
+        other => panic!("expected NoObservations, got {other:?}"),
+    }
+    // A zero deadline has always expired by the time a worker runs.
+    match client.estimate(5, observations_at(&ds, 5), Some(0)) {
+        Err(ServerError::Remote {
+            kind: ErrorKind::DeadlineExceeded,
+            ..
+        }) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    // The connection survives both errors and the daemon still serves.
+    let reply = client
+        .estimate(5, observations_at(&ds, 5), None)
+        .expect("healthy request after typed errors");
+    assert_eq!(reply.epoch, 1);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.rejected_deadline, 1);
+    let estimate = &stats.commands[0];
+    assert_eq!(estimate.1.received, 3);
+    assert_eq!(estimate.1.ok, 1);
+    assert_eq!(estimate.1.errors, 2);
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+#[test]
+fn shape_mismatched_ingest_is_rejected_without_a_swap() {
+    let ds = dataset();
+    let handle = spawn(&ds, DaemonConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    match client.ingest_day(vec![vec![30.0; 3]; 2]) {
+        Err(ServerError::Remote {
+            kind: ErrorKind::ShapeMismatch,
+            ..
+        }) => {}
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+    assert_eq!(handle.epoch(), 1, "a rejected ingest must not publish");
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_and_the_connection_survives() {
+    let ds = dataset();
+    let handle = spawn(
+        &ds,
+        DaemonConfig {
+            max_frame_bytes: 4096,
+            ..DaemonConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(handle.addr()).expect("raw connect");
+    let no_abort = || false;
+
+    // Unknown command: typed error, connection survives.
+    write_frame(&mut stream, b"{\"cmd\":\"frobnicate\"}").unwrap();
+    let (_, payload) = read_frame(&mut stream, 1 << 20, &no_abort).expect("error frame");
+    match Response::decode(&payload).expect("decodes") {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::UnknownCommand),
+        other => panic!("expected typed error, got {other:?}"),
+    }
+
+    // Unparseable JSON: typed error, connection survives.
+    write_frame(&mut stream, b"this is not json").unwrap();
+    let (_, payload) = read_frame(&mut stream, 1 << 20, &no_abort).expect("error frame");
+    match Response::decode(&payload).expect("decodes") {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::BadRequest),
+        other => panic!("expected typed error, got {other:?}"),
+    }
+
+    // Wrong protocol version byte: typed error, connection survives.
+    let payload = Request::Stats.encode();
+    let len = (payload.len() + 1) as u32;
+    use std::io::Write;
+    stream.write_all(&len.to_be_bytes()).unwrap();
+    stream.write_all(&[PROTOCOL_VERSION + 41]).unwrap();
+    stream.write_all(&payload).unwrap();
+    let (_, payload) = read_frame(&mut stream, 1 << 20, &no_abort).expect("error frame");
+    match Response::decode(&payload).expect("decodes") {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::UnsupportedVersion),
+        other => panic!("expected typed error, got {other:?}"),
+    }
+
+    // After all that abuse the same connection still serves.
+    write_frame(&mut stream, &Request::Stats.encode()).unwrap();
+    let (_, payload) = read_frame(&mut stream, 1 << 20, &no_abort).expect("stats frame");
+    match Response::decode(&payload).expect("decodes") {
+        Response::Stats(stats) => assert_eq!(stats.epoch, 1),
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    // An oversized frame gets a typed error, then the daemon hangs up
+    // (an unread payload cannot be resynchronised).
+    write_frame(&mut stream, &vec![b' '; 8192]).unwrap();
+    let (_, payload) = read_frame(&mut stream, 1 << 20, &no_abort).expect("error frame");
+    match Response::decode(&payload).expect("decodes") {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::FrameTooLarge),
+        other => panic!("expected typed error, got {other:?}"),
+    }
+
+    let mut client = Client::connect(handle.addr()).expect("fresh client");
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+#[test]
+fn shutdown_drains_and_joins() {
+    let ds = dataset();
+    let handle = spawn(&ds, DaemonConfig::default());
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("client connects");
+    client
+        .estimate(0, observations_at(&ds, 0), None)
+        .expect("estimate before shutdown");
+    client.shutdown().expect("shutdown acknowledged");
+    // join() returns only after the acceptor and every connection
+    // handler have exited.
+    handle.join();
+    // The listener is gone: a fresh connection must fail (either
+    // refused outright or dead on first use).
+    let unreachable = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(stream) => {
+            let mut stream = stream;
+            write_frame(&mut stream, &Request::Stats.encode()).is_err()
+                || read_frame(&mut stream, 1 << 20, &|| false).is_err()
+        }
+    };
+    assert!(unreachable, "daemon must stop serving after shutdown");
+}

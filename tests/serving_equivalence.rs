@@ -201,6 +201,8 @@ fn parallel_batch_serving_matches_sequential() {
         let par = serve_batch(est, &requests, &ServeOptions { threads: 4 });
         assert_eq!(seq.estimates.len(), par.estimates.len());
         for (slot, (a, b)) in seq.estimates.iter().zip(&par.estimates).enumerate() {
+            let a = a.as_ref().expect("sequential request succeeded");
+            let b = b.as_ref().expect("parallel request succeeded");
             assert_eq!(
                 a.speeds, b.speeds,
                 "slot {slot}: speeds must match road-for-road"
