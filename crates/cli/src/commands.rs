@@ -170,6 +170,36 @@ pub fn estimate(args: &Args) -> Result<String> {
     ))
 }
 
+/// `train --dir DIR [--train-threads N]`
+///
+/// Trains the full two-step estimator (trend MRFs + HLM) from the
+/// dataset dir's seeds on `N` worker threads (`0` = all cores, the
+/// default; `1` = serial) and reports wall-clock timing. The trained
+/// model is bit-identical for every thread count, so this doubles as a
+/// scaling smoke check on the target machine.
+pub fn train(args: &Args) -> Result<String> {
+    let dir = dataset_dir(args)?;
+    let (graph, history, stats, corr) = load_model_inputs(&dir)?;
+    let seeds = store::read_seeds(&dir, graph.num_roads())?;
+    let config = EstimatorConfig {
+        train_threads: args.num("train-threads", 0)?,
+        ..EstimatorConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let est = TrafficEstimator::train(&graph, &history, &stats, &corr, &seeds, &config)
+        .map_err(|e| CliError::new(format!("training failed: {e}")))?;
+    let elapsed = start.elapsed();
+    let threads = crowdspeed::parallel::resolve_threads(config.train_threads);
+    let covered = est.coverage().iter().filter(|&&c| c > 0.5).count();
+    Ok(format!(
+        "trained two-step estimator in {elapsed:?} on {threads} thread(s): \
+         {} seeds, {} corr edges, {covered}/{} roads covered (>0.5 confidence)",
+        est.seeds().len(),
+        corr.num_edges(),
+        graph.num_roads()
+    ))
+}
+
 /// Parses `--method` into an evaluation [`Method`] (default two-step).
 fn parse_method(args: &Args) -> Result<Method> {
     match args.get("method").unwrap_or("two-step") {
@@ -324,7 +354,12 @@ pub fn daemon(args: &Args) -> Result<String> {
         &history,
         seeds,
         &CorrelationConfig::default(),
-        EstimatorConfig::default(),
+        EstimatorConfig {
+            // Initial training and INGEST_DAY retrains both run off the
+            // serving path, so they can use every core by default.
+            train_threads: args.num("train-threads", 0)?,
+            ..EstimatorConfig::default()
+        },
     );
     let deadline_ms: u64 = args.num("deadline-ms", 0)?;
     let config = crowdspeed_server::DaemonConfig {
@@ -511,12 +546,13 @@ USAGE:
                       [--training-days N] [--test-days N] [--seed S]
   crowdspeed select   --dir DIR --k N
                       [--algo lazy|greedy|partition|random|degree|pagerank|variance]
+  crowdspeed train    --dir DIR [--train-threads N]
   crowdspeed estimate --dir DIR --slot S (--obs FILE | --truth-day D)
   crowdspeed eval     --dir DIR [--method two-step|hist-mean|knn|global-lr|label-prop]
   crowdspeed serve    --dir DIR [--method M] [--threads N] [--truth-day D] [--repeat R]
   crowdspeed route    --dir DIR --slot S --from A --to B (--obs FILE | --truth-day D)
   crowdspeed daemon   --dir DIR [--addr HOST:PORT] [--workers N] [--queue N]
-                      [--deadline-ms D]
+                      [--deadline-ms D] [--train-threads N]
   crowdspeed client   estimate --slot S (--obs FILE | --dir DIR --truth-day D)
                       [--addr HOST:PORT] [--deadline-ms D]
   crowdspeed client   ingest --dir DIR --truth-day D [--addr HOST:PORT]
@@ -553,6 +589,9 @@ mod tests {
 
         let msg = select(&parse(&format!("--dir {dirs} --k 10"))).unwrap();
         assert!(msg.contains("10 seeds"), "{msg}");
+
+        let msg = train(&parse(&format!("--dir {dirs} --train-threads 2"))).unwrap();
+        assert!(msg.contains("2 thread(s)"), "{msg}");
 
         let msg = estimate(&parse(&format!("--dir {dirs} --slot 8 --truth-day 0"))).unwrap();
         assert!(msg.contains("100 roads"), "{msg}");

@@ -31,6 +31,7 @@ fn main() {
     let result = match sub.as_str() {
         "generate" => commands::generate(&parsed),
         "select" => commands::select(&parsed),
+        "train" => commands::train(&parsed),
         "estimate" => commands::estimate(&parsed),
         "eval" => commands::eval(&parsed),
         "serve" => commands::serve(&parsed),

@@ -373,7 +373,7 @@ mod tests {
             cotrend: 0.95,
             support: 50,
         };
-        let corr = CorrelationGraph::from_edges(3, vec![e(0, 1), e(1, 2)]);
+        let corr = CorrelationGraph::from_edges(3, vec![e(0, 1), e(1, 2)]).unwrap();
         // Stats with mean 30 everywhere.
         let clock = trafficsim::SlotClock { slots_per_day: 1 };
         let day = trafficsim::SpeedField::filled(1, 3, 30.0);
@@ -387,7 +387,7 @@ mod tests {
 
     #[test]
     fn label_propagation_idles_to_history_without_seeds() {
-        let corr = CorrelationGraph::from_edges(2, vec![]);
+        let corr = CorrelationGraph::from_edges(2, vec![]).unwrap();
         let clock = trafficsim::SlotClock { slots_per_day: 1 };
         let day = trafficsim::SpeedField::filled(1, 2, 25.0);
         let h = trafficsim::HistoricalData::from_days(clock, vec![day.clone(), day]);

@@ -13,6 +13,7 @@
 //! over all historical `(day, slot)` cells, so each candidate pair costs
 //! a few dozen word operations.
 
+use crate::CoreError;
 use roadnet::{path, RoadGraph, RoadId};
 use serde::{Deserialize, Serialize};
 use trafficsim::{HistoricalData, HistoryStats};
@@ -81,7 +82,8 @@ impl TrendBits {
     fn compute(
         history: &HistoricalData,
         stats: &HistoryStats,
-        slot_filter: &impl Fn(usize) -> bool,
+        slot_filter: &(impl Fn(usize) -> bool + Sync),
+        threads: usize,
     ) -> TrendBits {
         let n = history.num_roads();
         let slots = history.clock().slots_per_day;
@@ -89,23 +91,32 @@ impl TrendBits {
         let words = cells.div_ceil(64);
         let mut observed = vec![0u64; n * words];
         let mut up = vec![0u64; n * words];
-        for day in 0..history.num_days() {
-            for slot in 0..slots {
-                if !slot_filter(slot) {
-                    continue;
-                }
-                let cell = day * slots + slot;
-                let (w, bit) = (cell / 64, cell % 64);
-                for r in 0..n {
-                    let road = RoadId(r as u32);
-                    if let Some(v) = history.speed(day, slot, road) {
-                        observed[r * words + w] |= 1 << bit;
-                        if stats.trend_of(slot, road, v) {
-                            up[r * words + w] |= 1 << bit;
+        if words > 0 {
+            // Each road owns one disjoint `words`-sized row in both
+            // bitsets, so the per-road fills parallelize with no shared
+            // writes; bit contents are independent of iteration order.
+            let mut rows: Vec<(&mut [u64], &mut [u64])> = observed
+                .chunks_mut(words)
+                .zip(up.chunks_mut(words))
+                .collect();
+            crate::parallel::for_each_mut(threads, &mut rows, |r, (obs_row, up_row)| {
+                let road = RoadId(r as u32);
+                for day in 0..history.num_days() {
+                    for slot in 0..slots {
+                        if !slot_filter(slot) {
+                            continue;
+                        }
+                        let cell = day * slots + slot;
+                        let (w, bit) = (cell / 64, cell % 64);
+                        if let Some(v) = history.speed(day, slot, road) {
+                            obs_row[w] |= 1 << bit;
+                            if stats.trend_of(slot, road, v) {
+                                up_row[w] |= 1 << bit;
+                            }
                         }
                     }
                 }
-            }
+            });
         }
         TrendBits {
             words,
@@ -142,6 +153,21 @@ impl CorrelationGraph {
         Self::build_for_slots(graph, history, stats, config, |_| true)
     }
 
+    /// [`CorrelationGraph::build`] with bitset filling and per-pair
+    /// counting spread over `threads` workers (`0` = all cores). Each
+    /// source road's candidate scan is independent and its edge
+    /// sub-list is concatenated in road order, so the edge list — and
+    /// therefore the graph — is bit-identical for every thread count.
+    pub fn build_threaded(
+        graph: &RoadGraph,
+        history: &HistoricalData,
+        stats: &HistoryStats,
+        config: &CorrelationConfig,
+        threads: usize,
+    ) -> CorrelationGraph {
+        Self::build_for_slots_threaded(graph, history, stats, config, |_| true, threads)
+    }
+
     /// Builds the correlation graph counting only historical cells whose
     /// slot-of-day satisfies `slot_filter`. Per-period correlation (rush
     /// hours correlate differently from night) underpins
@@ -151,16 +177,33 @@ impl CorrelationGraph {
         history: &HistoricalData,
         stats: &HistoryStats,
         config: &CorrelationConfig,
-        slot_filter: impl Fn(usize) -> bool,
+        slot_filter: impl Fn(usize) -> bool + Sync,
+    ) -> CorrelationGraph {
+        Self::build_for_slots_threaded(graph, history, stats, config, slot_filter, 1)
+    }
+
+    /// [`CorrelationGraph::build_for_slots`] on `threads` workers; see
+    /// [`CorrelationGraph::build_threaded`] for the determinism
+    /// contract.
+    pub fn build_for_slots_threaded(
+        graph: &RoadGraph,
+        history: &HistoricalData,
+        stats: &HistoryStats,
+        config: &CorrelationConfig,
+        slot_filter: impl Fn(usize) -> bool + Sync,
+        threads: usize,
     ) -> CorrelationGraph {
         assert_eq!(graph.num_roads(), history.num_roads());
         let n = graph.num_roads();
-        let bits = TrendBits::compute(history, stats, &slot_filter);
+        let bits = TrendBits::compute(history, stats, &slot_filter, threads);
 
-        let mut edges = Vec::new();
-        for a in graph.road_ids() {
-            // Candidate pairs: within max_hops, larger id only (each
-            // undirected pair once).
+        // Candidate pairs: within max_hops, larger id only (each
+        // undirected pair once). Per-source sub-lists are produced into
+        // index-ordered slots and flattened in source order, matching
+        // the serial push order exactly.
+        let per_source: Vec<Vec<CorrelationEdge>> = crate::parallel::fill(threads, n, |a| {
+            let a = RoadId(a as u32);
+            let mut out = Vec::new();
             for (b, _hops) in path::k_hop_neighborhood(graph, a, config.max_hops) {
                 if b <= a {
                     continue;
@@ -171,7 +214,7 @@ impl CorrelationGraph {
                 }
                 let p = (agree as f64 + config.laplace) / (co as f64 + 2.0 * config.laplace);
                 if p >= config.min_cotrend || p <= 1.0 - config.min_cotrend {
-                    edges.push(CorrelationEdge {
+                    out.push(CorrelationEdge {
                         a,
                         b,
                         cotrend: p,
@@ -179,13 +222,29 @@ impl CorrelationGraph {
                     });
                 }
             }
-        }
-        Self::from_edges(n, edges)
+            out
+        });
+        let edges: Vec<CorrelationEdge> = per_source.into_iter().flatten().collect();
+        Self::from_edges(n, edges).expect("Laplace-smoothed co-trend probabilities lie in (0, 1)")
     }
 
     /// Builds directly from an edge list (used by tests and by graph
     /// sweeps that re-threshold without re-counting).
-    pub fn from_edges(n: usize, edges: Vec<CorrelationEdge>) -> CorrelationGraph {
+    ///
+    /// Every `cotrend` must be a probability: NaN or out-of-`[0, 1]`
+    /// weights are rejected with [`CoreError::InvalidEdgeWeight`] so
+    /// downstream consumers (influence search, CELF heaps, MRF
+    /// couplings) never see a non-finite comparison.
+    pub fn from_edges(n: usize, edges: Vec<CorrelationEdge>) -> crate::Result<CorrelationGraph> {
+        for e in &edges {
+            if !(0.0..=1.0).contains(&e.cotrend) {
+                return Err(CoreError::InvalidEdgeWeight {
+                    a: e.a.0,
+                    b: e.b.0,
+                    cotrend: e.cotrend,
+                });
+            }
+        }
         let mut degree = vec![0u32; n];
         for e in &edges {
             degree[e.a.index()] += 1;
@@ -211,13 +270,13 @@ impl CorrelationGraph {
             weights[ib] = e.cotrend;
             cursor[e.b.index()] += 1;
         }
-        CorrelationGraph {
+        Ok(CorrelationGraph {
             n,
             edges,
             offsets,
             targets,
             weights,
-        }
+        })
     }
 
     /// Re-thresholds the edge list at a stricter τ without recounting
@@ -229,7 +288,7 @@ impl CorrelationGraph {
             .filter(|e| e.cotrend >= min_cotrend || e.cotrend <= 1.0 - min_cotrend)
             .copied()
             .collect();
-        Self::from_edges(self.n, edges)
+        Self::from_edges(self.n, edges).expect("edges were validated at construction")
     }
 
     /// Number of roads.
@@ -374,7 +433,7 @@ mod tests {
                 support: 10,
             },
         ];
-        let g = CorrelationGraph::from_edges(3, edges);
+        let g = CorrelationGraph::from_edges(3, edges).unwrap();
         assert_eq!(g.degree(RoadId(0)), 2);
         assert_eq!(g.degree(RoadId(1)), 1);
         assert_eq!(g.degree(RoadId(2)), 1);
@@ -399,12 +458,70 @@ mod tests {
         }
         let h = HistoricalData::from_days(clock, vec![day]);
         let stats = HistoryStats::compute(&h);
-        let bits = TrendBits::compute(&h, &stats, &|_| true);
+        let bits = TrendBits::compute(&h, &stats, &|_| true, 1);
         let (co, agree) = bits.co_trend(0, 1);
         assert_eq!(co, 3);
         // With a 1-day history the per-(slot,road) mean equals the
         // observation, so every observed cell trends "up" (>= mean);
         // all 3 co-observed cells agree.
         assert_eq!(agree, 3);
+    }
+
+    #[test]
+    fn from_edges_rejects_invalid_weights() {
+        let edge = |cotrend: f64| CorrelationEdge {
+            a: RoadId(0),
+            b: RoadId(1),
+            cotrend,
+            support: 10,
+        };
+        for bad in [f64::NAN, -0.1, 1.5, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = CorrelationGraph::from_edges(2, vec![edge(bad)]).unwrap_err();
+            match err {
+                CoreError::InvalidEdgeWeight {
+                    a: 0,
+                    b: 1,
+                    cotrend,
+                } => {
+                    assert!(cotrend.is_nan() == bad.is_nan());
+                    if !bad.is_nan() {
+                        assert_eq!(cotrend, bad);
+                    }
+                }
+                other => panic!("wrong error for {bad}: {other:?}"),
+            }
+        }
+        // Boundary probabilities are valid.
+        assert!(CorrelationGraph::from_edges(2, vec![edge(0.0)]).is_ok());
+        assert!(CorrelationGraph::from_edges(2, vec![edge(1.0)]).is_ok());
+    }
+
+    #[test]
+    fn threaded_build_is_bit_identical_to_serial() {
+        let ds = metro_small(&DatasetParams {
+            training_days: 8,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let stats = HistoryStats::compute(&ds.history);
+        let config = CorrelationConfig {
+            min_cotrend: 0.6,
+            min_co_observations: 8,
+            ..CorrelationConfig::default()
+        };
+        let serial = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &config);
+        for threads in [2, 8] {
+            let par =
+                CorrelationGraph::build_threaded(&ds.graph, &ds.history, &stats, &config, threads);
+            assert_eq!(par.edges, serial.edges, "threads={threads}");
+            assert_eq!(par.offsets, serial.offsets, "threads={threads}");
+            assert_eq!(par.targets, serial.targets, "threads={threads}");
+            let same_bits = par
+                .weights
+                .iter()
+                .zip(&serial.weights)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same_bits, "threads={threads}");
+        }
     }
 }

@@ -289,6 +289,30 @@ impl HlmModel {
         config: &HlmConfig,
         trend_ctx: Option<(&TrendModel, &TrendEngine)>,
     ) -> Result<HlmModel> {
+        Self::train_with_trends_threaded(graph, history, stats, corr, seeds, config, trend_ctx, 1)
+    }
+
+    /// [`HlmModel::train_with_trends`] on `threads` workers (`0` = all
+    /// cores).
+    ///
+    /// The expensive kernels parallelize over disjoint index-ordered
+    /// outputs — per-cell contexts (propagated field + trend posterior),
+    /// per-road row assembly, and per-road ridge fits — while every
+    /// order-sensitive aggregation (class-pooled designs, first-error
+    /// selection) stays serial in index order, so the trained model is
+    /// bit-identical for every thread count
+    /// (`tests/train_parallel_equivalence.rs`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_with_trends_threaded(
+        graph: &RoadGraph,
+        history: &HistoricalData,
+        stats: &HistoryStats,
+        corr: &CorrelationGraph,
+        seeds: &[RoadId],
+        config: &HlmConfig,
+        trend_ctx: Option<(&TrendModel, &TrendEngine)>,
+        threads: usize,
+    ) -> Result<HlmModel> {
         let n = graph.num_roads();
         if seeds.is_empty() {
             return Err(CoreError::InsufficientData("empty seed set".into()));
@@ -300,10 +324,10 @@ impl HlmModel {
         }
 
         // Attach each road to its influential seeds.
-        let influence = InfluenceModel::build(corr, &config.influence);
+        let influence = InfluenceModel::build_threaded(corr, &config.influence, threads);
         let mut seed_neighbors: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
         for (si, &s) in seeds.iter().enumerate() {
-            for &(r, q) in influence.reach(s) {
+            for (r, q) in influence.reach(s).iter() {
                 if r != s {
                     seed_neighbors[r.index()].push((si, q));
                 }
@@ -314,24 +338,23 @@ impl HlmModel {
             list.truncate(config.max_seed_neighbors);
         }
 
-        // Spatially nearest seeds per road (IDW weights).
-        let spatial_neighbors: Vec<Vec<(usize, f64)>> = (0..n)
-            .map(|r| {
-                let road = RoadId(r as u32);
-                let mut by_dist: Vec<(usize, f64)> = seeds
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &s)| s != road)
-                    .map(|(si, &s)| (si, graph.distance(road, s)))
-                    .collect();
-                by_dist.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distance NaN"));
-                by_dist.truncate(config.spatial_neighbors);
-                by_dist
-                    .into_iter()
-                    .map(|(si, d)| (si, 1.0 / (d + SPATIAL_SOFTENING_M)))
-                    .collect()
-            })
-            .collect();
+        // Spatially nearest seeds per road (IDW weights); each road's
+        // list is independent of the others.
+        let spatial_neighbors: Vec<Vec<(usize, f64)>> = crate::parallel::fill(threads, n, |r| {
+            let road = RoadId(r as u32);
+            let mut by_dist: Vec<(usize, f64)> = seeds
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s != road)
+                .map(|(si, &s)| (si, graph.distance(road, s)))
+                .collect();
+            by_dist.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distance NaN"));
+            by_dist.truncate(config.spatial_neighbors);
+            by_dist
+                .into_iter()
+                .map(|(si, d)| (si, 1.0 / (d + SPATIAL_SOFTENING_M)))
+                .collect()
+        });
 
         let road_class: Vec<usize> = graph.all_meta().iter().map(|m| m.class.group()).collect();
 
@@ -341,25 +364,44 @@ impl HlmModel {
         let stride = total_cells.div_ceil(config.max_cells_per_road).max(1);
         let num_regimes = if config.split_regimes { 2 } else { 1 };
 
-        // Row storage: per (road, regime) design+response.
-        let mut road_x: Vec<Vec<Matrix>> = (0..n)
-            .map(|_| vec![Matrix::zeros(0, 0); num_regimes])
+        // The stride-sampled (day, slot) cells, in scan order.
+        let sampled: Vec<(usize, usize)> = (0..history.num_days())
+            .flat_map(|day| (0..slots).map(move |slot| (day, slot)))
+            .enumerate()
+            .filter(|&(cell, _)| cell % stride == 0)
+            .map(|(_, cell)| cell)
             .collect();
-        let mut road_y: Vec<Vec<Vec<f64>>> =
-            (0..n).map(|_| vec![Vec::new(); num_regimes]).collect();
 
-        let mut cell = 0usize;
-        let mut seed_devs: Vec<Option<f64>> = vec![None; seeds.len()];
-        for day in 0..history.num_days() {
-            for slot in 0..slots {
-                let take = cell % stride == 0;
-                cell += 1;
-                if !take {
-                    continue;
-                }
-                // Seed deviations at this cell, from history.
+        // A Gibbs engine is replaced by LBP during training (see the
+        // `train_with_trends` docs); the substitution is cell-invariant.
+        let train_engine = trend_ctx.map(|(_, engine)| match engine {
+            TrendEngine::Gibbs { .. } => TrendEngine::default(),
+            e => e.clone(),
+        });
+
+        // Phase A — one context per sampled cell: the seeds' historical
+        // deviations, the propagated deviation field, and the trend
+        // posterior the serving-time inference would produce. Cells are
+        // independent, so they fill index-ordered slots in parallel;
+        // `None` marks cells with no observed seed (skipped downstream,
+        // exactly like the serial `continue`).
+        struct CellCtx {
+            day: usize,
+            slot: usize,
+            seed_devs: Vec<Option<f64>>,
+            citywide: f64,
+            field: Vec<f64>,
+            p_up: Option<Vec<f64>>,
+        }
+        let ctxs: Vec<Option<CellCtx>> = crate::parallel::fill_with(
+            threads,
+            sampled.len(),
+            crate::propagate::PropagateScratch::default,
+            |propagate, i| {
+                let (day, slot) = sampled[i];
                 let mut city_sum = 0.0;
                 let mut city_count = 0usize;
+                let mut seed_devs: Vec<Option<f64>> = vec![None; seeds.len()];
                 for (si, &s) in seeds.iter().enumerate() {
                     seed_devs[si] = history
                         .speed(day, slot, s)
@@ -370,7 +412,7 @@ impl HlmModel {
                     }
                 }
                 if city_count == 0 {
-                    continue;
+                    return None;
                 }
                 let citywide = city_sum / city_count as f64;
 
@@ -381,93 +423,111 @@ impl HlmModel {
                     .zip(&seed_devs)
                     .filter_map(|(&s, d)| d.map(|d| (s, d)))
                     .collect();
-                let field = crate::propagate::propagate_deviations(
+                crate::propagate::propagate_deviations_into(
                     corr,
                     &cell_seed_devs,
                     config.propagation_iters,
                     config.propagation_anchor,
+                    propagate,
                 );
+                let field = propagate.field().to_vec();
 
                 // Trend posteriors for this cell: what the serving-time
                 // inference would say, given the seeds' trends. Used
                 // both as the trend feature and for soft regime
                 // weighting.
-                let cell_p_up: Option<Vec<f64>> = match trend_ctx {
-                    None => None, // fall back to true trends
-                    Some((tm, engine)) => {
+                let p_up: Option<Vec<f64>> = match (trend_ctx, &train_engine) {
+                    (Some((tm, _)), Some(engine)) => {
                         let obs: Vec<(RoadId, bool)> =
                             cell_seed_devs.iter().map(|&(s, d)| (s, d >= 1.0)).collect();
-                        let train_engine = match engine {
-                            TrendEngine::Gibbs { .. } => TrendEngine::default(),
-                            e => e.clone(),
-                        };
-                        Some(tm.infer(slot, &obs, &train_engine).p_up)
+                        Some(tm.infer(slot, &obs, engine).p_up)
+                    }
+                    _ => None, // fall back to true trends
+                };
+                Some(CellCtx {
+                    day,
+                    slot,
+                    seed_devs,
+                    citywide,
+                    field,
+                    p_up,
+                })
+            },
+        );
+
+        // Phase B — per-road row assembly. Each road scans the cell
+        // contexts in order and appends its weighted feature rows, so
+        // the per-(road, regime) row sequence is identical to the
+        // serial cells-outer/roads-inner loop.
+        let ls = config.log_space;
+        type RoadRows = (Vec<Matrix>, Vec<Vec<f64>>);
+        let rows: Vec<RoadRows> = crate::parallel::fill(threads, n, |r| {
+            let road = RoadId(r as u32);
+            let mut xs = vec![Matrix::zeros(0, 0); num_regimes];
+            let mut ys: Vec<Vec<f64>> = vec![Vec::new(); num_regimes];
+            for ctx in ctxs.iter().flatten() {
+                let Some(v) = history.speed(ctx.day, ctx.slot, road) else {
+                    continue;
+                };
+                let Some(dev) = stats.deviation_of(ctx.slot, road, v) else {
+                    continue;
+                };
+                let nb: Vec<(f64, f64)> = seed_neighbors[r]
+                    .iter()
+                    .filter_map(|&(si, q)| ctx.seed_devs[si].map(|d| (q, encode_dev(d, ls))))
+                    .collect();
+                let sp: Vec<(f64, f64)> = spatial_neighbors[r]
+                    .iter()
+                    .filter_map(|&(si, w)| ctx.seed_devs[si].map(|d| (w, encode_dev(d, ls))))
+                    .collect();
+                let p_up_r = match &ctx.p_up {
+                    Some(p) => p[r],
+                    // No trend model supplied: the true trend.
+                    None => {
+                        if dev >= 1.0 {
+                            1.0
+                        } else {
+                            0.0
+                        }
                     }
                 };
+                let x = features(
+                    encode_dev(ctx.field[r], ls),
+                    &nb,
+                    &sp,
+                    encode_dev(ctx.citywide, ls),
+                    2.0 * p_up_r - 1.0,
+                );
 
-                let ls = config.log_space;
-                for r in 0..n {
-                    let road = RoadId(r as u32);
-                    let Some(v) = history.speed(day, slot, road) else {
+                // Soft regime assignment: each row enters both
+                // regimes, weighted by the trend posterior
+                // (weighted least squares via sqrt-scaling).
+                let (w_up, w_down) = if config.split_regimes {
+                    (p_up_r, 1.0 - p_up_r)
+                } else {
+                    (1.0, 0.0)
+                };
+                let y = encode_dev(dev, ls);
+                for (regime, w) in [(0usize, w_up), (1, w_down)] {
+                    if regime >= num_regimes || w < 0.02 {
                         continue;
-                    };
-                    let Some(dev) = stats.deviation_of(slot, road, v) else {
-                        continue;
-                    };
-                    let nb: Vec<(f64, f64)> = seed_neighbors[r]
-                        .iter()
-                        .filter_map(|&(si, q)| seed_devs[si].map(|d| (q, encode_dev(d, ls))))
-                        .collect();
-                    let sp: Vec<(f64, f64)> = spatial_neighbors[r]
-                        .iter()
-                        .filter_map(|&(si, w)| seed_devs[si].map(|d| (w, encode_dev(d, ls))))
-                        .collect();
-                    let p_up_r = match &cell_p_up {
-                        Some(p) => p[r],
-                        // No trend model supplied: the true trend.
-                        None => {
-                            if dev >= 1.0 {
-                                1.0
-                            } else {
-                                0.0
-                            }
-                        }
-                    };
-                    let x = features(
-                        encode_dev(field[r], ls),
-                        &nb,
-                        &sp,
-                        encode_dev(citywide, ls),
-                        2.0 * p_up_r - 1.0,
-                    );
-
-                    // Soft regime assignment: each row enters both
-                    // regimes, weighted by the trend posterior
-                    // (weighted least squares via sqrt-scaling).
-                    let (w_up, w_down) = if config.split_regimes {
-                        (p_up_r, 1.0 - p_up_r)
-                    } else {
-                        (1.0, 0.0)
-                    };
-                    let y = encode_dev(dev, ls);
-                    for (regime, w) in [(0usize, w_up), (1, w_down)] {
-                        if regime >= num_regimes || w < 0.02 {
-                            continue;
-                        }
-                        let sw = w.sqrt();
-                        let row: Vec<f64> = x.iter().map(|v| v * sw).collect();
-                        road_x[r][regime]
-                            .push_row(&row)
-                            .expect("feature rows share NUM_FEATURES");
-                        road_y[r][regime].push(y * sw);
                     }
+                    let sw = w.sqrt();
+                    let row: Vec<f64> = x.iter().map(|v| v * sw).collect();
+                    xs[regime]
+                        .push_row(&row)
+                        .expect("feature rows share NUM_FEATURES");
+                    ys[regime].push(y * sw);
                 }
             }
-        }
+            (xs, ys)
+        });
+        let (road_x, road_y): (Vec<Vec<Matrix>>, Vec<Vec<Vec<f64>>>) = rows.into_iter().unzip();
 
         // Fit each regime's hierarchy.
         let fit_regime = |regime: usize| -> Result<RegimeCoefs> {
-            // Class-level pooled designs.
+            // Class-level pooled designs (serial: rows append in road
+            // order, which fixes the pooled design's row order).
             let mut class_groups: Vec<(Matrix, Vec<f64>)> =
                 (0..4).map(|_| (Matrix::zeros(0, 0), Vec::new())).collect();
             for r in 0..n {
@@ -488,20 +548,21 @@ impl HlmModel {
 
             let mut road_coefs: Vec<Option<Vec<f64>>> = vec![None; n];
             if config.pooling == Pooling::Full {
-                for r in 0..n {
+                // Per-road fits are independent; collect them in index
+                // order, then scan serially so the first error reported
+                // matches the serial loop's.
+                let fits: Vec<Result<Option<Vec<f64>>>> = crate::parallel::fill(threads, n, |r| {
                     let (x, y) = (&road_x[r][regime], &road_y[r][regime]);
                     if y.len() < config.min_road_rows {
-                        continue;
+                        return Ok(None);
                     }
                     let prior = &hf.per_group[road_class[r]];
-                    match shrunk_fit(x, y, config.lambda_road, Some(prior)) {
-                        Ok(beta) => road_coefs[r] = Some(beta),
-                        Err(e) => {
-                            return Err(CoreError::Numerical(format!(
-                                "road {r} fit ({regime}): {e}"
-                            )))
-                        }
-                    }
+                    shrunk_fit(x, y, config.lambda_road, Some(prior))
+                        .map(Some)
+                        .map_err(|e| CoreError::Numerical(format!("road {r} fit ({regime}): {e}")))
+                });
+                for (r, fit) in fits.into_iter().enumerate() {
+                    road_coefs[r] = fit?;
                 }
             }
             Ok(RegimeCoefs {

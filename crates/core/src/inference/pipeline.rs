@@ -19,6 +19,11 @@ pub struct EstimatorConfig {
     pub engine: TrendEngine,
     /// Step-2 hierarchical linear model.
     pub hlm: HlmConfig,
+    /// Worker threads for the training pipeline (`0` = all cores,
+    /// `1` = serial). The trained model is bit-identical for every
+    /// value (see [`crate::parallel`]), so `0` is always safe; serving
+    /// is unaffected.
+    pub train_threads: usize,
 }
 
 /// One slot's estimation output.
@@ -161,10 +166,12 @@ impl TrafficEstimator {
         if seeds.is_empty() {
             return Err(CoreError::InsufficientData("empty seed set".into()));
         }
-        let trend_model = TrendModel::new(corr.clone(), stats, config.trend.clone());
+        let threads = crate::parallel::resolve_threads(config.train_threads);
+        let trend_model =
+            TrendModel::new_threaded(corr.clone(), stats, config.trend.clone(), threads);
         // Training sees the same kind of (noisy) trend posteriors the
         // estimator will mix regimes by at serving time.
-        let hlm = HlmModel::train_with_trends(
+        let hlm = HlmModel::train_with_trends_threaded(
             graph,
             history,
             stats,
@@ -172,6 +179,7 @@ impl TrafficEstimator {
             seeds,
             &config.hlm,
             Some((&trend_model, &config.engine)),
+            threads,
         )?;
         let mut seed_index = vec![None; graph.num_roads()];
         for (si, s) in seeds.iter().enumerate() {
@@ -179,7 +187,7 @@ impl TrafficEstimator {
         }
         // Per-road coverage under the influence model = estimate
         // confidence (see `SpeedEstimate::confidence`).
-        let influence = InfluenceModel::build(corr, &config.hlm.influence);
+        let influence = InfluenceModel::build_threaded(corr, &config.hlm.influence, threads);
         let objective = SeedObjective::new(&influence);
         let mut miss = objective.initial_miss();
         for &s in seeds {

@@ -157,6 +157,11 @@ pub struct TrendModel {
     /// Per-slot-of-day prior up-rates, row-major `[slot][road]`.
     priors: Vec<f64>,
     slots: usize,
+    /// Degree-normalised same-trend probability per correlation edge,
+    /// aligned with `corr.edges()`. Slot-independent, so it is computed
+    /// once and every slot's MRF compilation streams this flat array
+    /// instead of re-deriving degrees and attenuation per edge.
+    couplings: Vec<f64>,
     /// Per-slot MRFs, compiled once and shared across clones/threads.
     compiled: Arc<CompiledSlots>,
 }
@@ -167,6 +172,20 @@ impl TrendModel {
     /// Compiles the per-slot MRFs eagerly; `infer`/`infer_with` never
     /// rebuild them.
     pub fn new(corr: CorrelationGraph, stats: &HistoryStats, config: TrendModelConfig) -> Self {
+        Self::new_threaded(corr, stats, config, 1)
+    }
+
+    /// [`TrendModel::new`] compiling the per-slot MRFs on `threads`
+    /// workers (`0` = all cores).
+    ///
+    /// Slots are independent and fill index-ordered output slots, so
+    /// the compiled family is bit-identical for every thread count.
+    pub fn new_threaded(
+        corr: CorrelationGraph,
+        stats: &HistoryStats,
+        config: TrendModelConfig,
+        threads: usize,
+    ) -> Self {
         let slots = stats.num_slots();
         let n = corr.num_roads();
         assert_eq!(n, stats.num_roads(), "correlation/stats road mismatch");
@@ -177,14 +196,30 @@ impl TrendModel {
                 priors.push(p.clamp(config.prior_clamp, 1.0 - config.prior_clamp));
             }
         }
+        // The degree-normalised couplings do not depend on the slot;
+        // hoist them out of the per-slot compilation.
+        let couplings: Vec<f64> = corr
+            .edges()
+            .iter()
+            .map(|e| {
+                let mut scale = config.coupling_scale;
+                if config.degree_norm > 0.0 {
+                    let da = corr.degree(e.a) as f64;
+                    let db = corr.degree(e.b) as f64;
+                    scale *= (config.degree_norm / (da * db).sqrt()).min(1.0);
+                }
+                0.5 + scale * (e.cotrend - 0.5)
+            })
+            .collect();
         let mut model = TrendModel {
             corr,
             config,
             priors,
             slots,
+            couplings,
             compiled: Arc::new(CompiledSlots { mrfs: Vec::new() }),
         };
-        let mrfs = (0..slots).map(|s| model.build_mrf_for_slot(s)).collect();
+        let mrfs = crate::parallel::fill(threads, slots, |s| model.build_mrf_for_slot(s));
         model.compiled = Arc::new(CompiledSlots { mrfs });
         model
     }
@@ -197,6 +232,11 @@ impl TrendModel {
     /// The correlation graph the model couples over.
     pub fn correlation(&self) -> &CorrelationGraph {
         &self.corr
+    }
+
+    /// The MRF-construction configuration the model was built with.
+    pub fn config(&self) -> &TrendModelConfig {
+        &self.config
     }
 
     /// Number of roads.
@@ -222,14 +262,7 @@ impl TrendModel {
         for (r, &p) in row.iter().enumerate() {
             b.set_prior(r, p);
         }
-        for e in self.corr.edges() {
-            let mut scale = self.config.coupling_scale;
-            if self.config.degree_norm > 0.0 {
-                let da = self.corr.degree(e.a) as f64;
-                let db = self.corr.degree(e.b) as f64;
-                scale *= (self.config.degree_norm / (da * db).sqrt()).min(1.0);
-            }
-            let same = 0.5 + scale * (e.cotrend - 0.5);
+        for (e, &same) in self.corr.edges().iter().zip(&self.couplings) {
             b.add_edge(e.a.index(), e.b.index(), same)
                 .expect("correlation edges are valid");
         }
@@ -350,7 +383,7 @@ mod tests {
             cotrend: 0.9,
             support: 50,
         };
-        let corr = CorrelationGraph::from_edges(3, vec![e(0, 1), e(1, 2)]);
+        let corr = CorrelationGraph::from_edges(3, vec![e(0, 1), e(1, 2)]).unwrap();
         // Build stats from a 2-day flat history (up-rate 1.0, clamped).
         let clock = trafficsim::SlotClock { slots_per_day: 1 };
         let day = trafficsim::SpeedField::filled(1, 3, 30.0);
@@ -459,6 +492,49 @@ mod tests {
             converged: true,
         };
         assert_eq!(inf.decisions(), vec![false, true, true]);
+    }
+
+    #[test]
+    fn threaded_compilation_is_bit_identical_to_serial() {
+        let ds = metro_small(&DatasetParams {
+            training_days: 8,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let stats = HistoryStats::compute(&ds.history);
+        let corr = CorrelationGraph::build(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &CorrelationConfig {
+                min_cotrend: 0.6,
+                min_co_observations: 6,
+                ..CorrelationConfig::default()
+            },
+        );
+        let serial = TrendModel::new(corr.clone(), &stats, TrendModelConfig::default());
+        let obs = [(RoadId(0), true), (RoadId(24), false)];
+        let reference = serial.infer(8, &obs, &TrendEngine::default());
+        for threads in [2usize, 8] {
+            let t = TrendModel::new_threaded(
+                corr.clone(),
+                &stats,
+                TrendModelConfig::default(),
+                threads,
+            );
+            assert_eq!(
+                t.compiled_slots().num_slots(),
+                serial.compiled_slots().num_slots()
+            );
+            let inf = t.infer(8, &obs, &TrendEngine::default());
+            for (r, (a, b)) in inf.p_up.iter().zip(&reference.p_up).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "threads={threads}, road {r}: {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

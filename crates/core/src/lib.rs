@@ -57,6 +57,7 @@ pub mod eval;
 pub mod inference;
 pub mod metrics;
 pub mod online;
+pub mod parallel;
 pub mod propagate;
 pub mod routing;
 pub mod seed;
@@ -110,6 +111,22 @@ pub enum CoreError {
     /// with no evidence is almost always a mis-routed or empty crowd
     /// feed, and the caller should know.
     NoObservations,
+    /// A correlation edge carried a co-trend weight outside `[0, 1]`
+    /// (or NaN).
+    ///
+    /// `CorrelationGraph::from_edges` rejects such edges up front so
+    /// everything downstream — influence search, the CELF heap, MRF
+    /// couplings — can assume finite in-range weights; the `expect`
+    /// comparators in `seed::objective` / `seed::lazy_greedy` are
+    /// unreachable on validated graphs.
+    InvalidEdgeWeight {
+        /// One endpoint of the offending edge.
+        a: u32,
+        /// The other endpoint.
+        b: u32,
+        /// The rejected co-trend probability.
+        cotrend: f64,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -123,6 +140,12 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::NoObservations => {
                 write!(f, "estimation request carried no observations")
+            }
+            CoreError::InvalidEdgeWeight { a, b, cotrend } => {
+                write!(
+                    f,
+                    "invalid co-trend weight {cotrend} on edge ({a}, {b}): must lie in [0, 1]"
+                )
             }
         }
     }

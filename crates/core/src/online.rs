@@ -148,6 +148,7 @@ impl OnlineCorrelation {
             })
             .collect();
         CorrelationGraph::from_edges(self.stats.num_roads(), edges)
+            .expect("Laplace-smoothed co-trend probabilities lie in (0, 1)")
     }
 
     /// Rebuilds the model from a fresh calibration window (refreshing

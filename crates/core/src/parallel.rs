@@ -1,0 +1,195 @@
+//! Deterministic parallel-for helpers for the training pipeline.
+//!
+//! The serving path (`core::serve`) established the workspace's
+//! threading policy: crossbeam scoped threads, no global pool, and —
+//! above all — **bit-determinism**. Training doubles down on that
+//! policy with a stricter discipline than serving needs:
+//!
+//! * **Static index-ordered chunking.** Work item `i` always produces
+//!   output slot `i`; items are split into contiguous chunks so the
+//!   assignment of items to workers is a pure function of `(n,
+//!   threads)`, never of timing. (Serving uses an atomic work-stealing
+//!   counter, which is fine there because each reply is independent;
+//!   training results are *aggregated*, so the aggregation must see a
+//!   fixed order.)
+//! * **Disjoint pre-sized output slots.** Workers write results into
+//!   `out[i]` for their own `i` only — no shared accumulator, no
+//!   reduction whose float result could depend on arrival order. Any
+//!   order-sensitive fold (heap pushes, row appends, `+=` chains) is
+//!   done by the caller, serially, in index order over the collected
+//!   per-item outputs.
+//! * **`threads <= 1` is the exact serial path.** The closure runs on
+//!   the calling thread in index order with a single scratch state, so
+//!   a `train_threads = 1` run is byte-for-byte the code a serial
+//!   implementation would execute. `tests/train_parallel_equivalence.rs`
+//!   pins that `threads ∈ {1, 2, 8}` all produce bit-identical models.
+//!
+//! Under this discipline parallel output is bit-identical to serial
+//! output for any closure that is a pure function of its index (plus
+//! read-only captures): each item's floats are computed by the same
+//! instruction sequence regardless of which thread runs it, and the
+//! caller's serial aggregation fixes the combination order.
+
+use std::num::NonZeroUsize;
+
+/// Resolves a `train_threads`-style knob to a concrete worker count:
+/// `0` means "all available cores", anything else is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Deterministic parallel map: computes `f(i)` for `i in 0..n` and
+/// returns the results in index order.
+///
+/// See [`fill_with`] for the determinism contract; this is the common
+/// case where workers need no per-thread scratch state.
+pub fn fill<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    fill_with(threads, n, || (), move |(), i| f(i))
+}
+
+/// Deterministic parallel map with per-worker scratch state.
+///
+/// Splits `0..n` into `threads` contiguous chunks, runs one scoped
+/// thread per chunk, and writes `f(&mut state, i)` into the pre-sized
+/// output slot `i`. Each worker gets its own `state = init()`; scratch
+/// reuse must not change results (the workspace-reuse contract already
+/// pinned by `tests/serving_equivalence.rs`).
+///
+/// With `threads <= 1` (after [`resolve_threads`]) this degenerates to
+/// the exact serial loop `for i in 0..n { out.push(f(&mut state, i)) }`
+/// on the calling thread, so output is bit-identical across thread
+/// counts whenever `f` is a pure function of `i` and its read-only
+/// captures.
+pub fn fill_with<R, S, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (c, slots) in out.chunks_mut(chunk).enumerate() {
+            let init = &init;
+            let f = &f;
+            scope.spawn(move |_| {
+                let mut state = init();
+                let base = c * chunk;
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(&mut state, base + j));
+                }
+            });
+        }
+    })
+    .expect("training worker panicked");
+    out.into_iter()
+        .map(|r| r.expect("static chunking covers every index"))
+        .collect()
+}
+
+/// Deterministic parallel for-each over disjoint mutable items.
+///
+/// Each worker owns a contiguous chunk of `items` and calls
+/// `f(i, &mut items[i])` in index order within its chunk. Because every
+/// item is visited exactly once by exactly one worker and writes are
+/// confined to that item, the result is identical to the serial loop
+/// for any `f` that is a pure function of `(i, items[i])` and read-only
+/// captures. `threads <= 1` *is* that serial loop.
+pub fn for_each_mut<T, F>(threads: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (c, part) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                let base = c * chunk;
+                for (j, item) in part.iter_mut().enumerate() {
+                    f(base + j, item);
+                }
+            });
+        }
+    })
+    .expect("training worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_zero_means_all_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn fill_matches_serial_for_any_thread_count() {
+        let serial: Vec<f64> = (0..101).map(|i| (i as f64).sqrt().sin()).collect();
+        for threads in [1, 2, 3, 8, 64, 200] {
+            let par = fill(threads, 101, |i| (i as f64).sqrt().sin());
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fill_with_gives_each_worker_its_own_state() {
+        // The scratch counts calls; results must not depend on it.
+        let out = fill_with(
+            4,
+            10,
+            || 0usize,
+            |calls, i| {
+                *calls += 1;
+                i * 2
+            },
+        );
+        assert_eq!(out, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_handles_empty_and_tiny_inputs() {
+        assert!(fill(8, 0, |i| i).is_empty());
+        assert_eq!(fill(8, 1, |i| i), vec![0]);
+        assert_eq!(fill(8, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn for_each_mut_visits_every_item_once() {
+        for threads in [1, 2, 5, 16] {
+            let mut items = vec![0u32; 37];
+            for_each_mut(threads, &mut items, |i, v| *v += i as u32 + 1);
+            let want: Vec<u32> = (0..37).map(|i| i + 1).collect();
+            assert_eq!(items, want, "threads={threads}");
+        }
+        let mut empty: Vec<u32> = Vec::new();
+        for_each_mut(4, &mut empty, |_, _| unreachable!());
+    }
+}

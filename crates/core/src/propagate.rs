@@ -112,7 +112,7 @@ mod tests {
                 support: 50,
             })
             .collect();
-        CorrelationGraph::from_edges(n, edges)
+        CorrelationGraph::from_edges(n, edges).unwrap()
     }
 
     #[test]

@@ -182,6 +182,7 @@ mod tests {
                 e(5, 6, 0.8),
             ],
         )
+        .unwrap()
     }
 
     #[test]
@@ -216,7 +217,7 @@ mod tests {
 
     #[test]
     fn pagerank_handles_empty_graph() {
-        let corr = CorrelationGraph::from_edges(0, vec![]);
+        let corr = CorrelationGraph::from_edges(0, vec![]).unwrap();
         assert!(pagerank_seeds(&corr, 3, 0.85, 10).is_empty());
     }
 

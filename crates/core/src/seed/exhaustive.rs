@@ -100,7 +100,7 @@ mod tests {
                 }
             }
         }
-        let corr = CorrelationGraph::from_edges(n, edges);
+        let corr = CorrelationGraph::from_edges(n, edges).unwrap();
         InfluenceModel::build(&corr, &InfluenceConfig::default())
     }
 
@@ -121,7 +121,8 @@ mod tests {
             cotrend: 0.9,
             support: 100,
         };
-        let corr = CorrelationGraph::from_edges(6, vec![e(0, 1), e(0, 2), e(0, 3), e(4, 5)]);
+        let corr =
+            CorrelationGraph::from_edges(6, vec![e(0, 1), e(0, 2), e(0, 3), e(4, 5)]).unwrap();
         let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
         let res = exhaustive(&model, 2);
         let mut s = res.seeds.clone();

@@ -33,9 +33,12 @@ pub fn greedy(model: &super::objective::InfluenceModel, k: usize) -> SelectionRe
                 best = Some((RoadId(c), g));
             }
         }
-        let Some((pick, gain)) = best else { break };
+        let Some((pick, _)) = best else { break };
         selected[pick.index()] = true;
-        obj.apply(&mut miss, pick);
+        // Single-pass commit: recomputes the winner's gain (bit-equal
+        // to the scanned value, same summation order) while updating
+        // `miss`, instead of traversing the reach a second time.
+        let gain = obj.commit(&mut miss, pick);
         objective += gain;
         seeds.push(pick);
         gains.push(gain);
@@ -74,7 +77,8 @@ mod tests {
                 edge(0, 3, 0.9),
                 edge(4, 5, 0.9),
             ],
-        );
+        )
+        .unwrap();
         InfluenceModel::build(&corr, &InfluenceConfig::default())
     }
 

@@ -34,13 +34,49 @@ pub fn edge_strength(cotrend: f64) -> f64 {
     (2.0 * cotrend - 1.0).abs().min(1.0)
 }
 
-/// Precomputed `q(s → r)` influence lists for every candidate seed.
+/// Precomputed `q(s → r)` influence lists for every candidate seed,
+/// stored CSR-style (offsets + structure-of-arrays payload) so the
+/// greedy hot loops stream two contiguous slices per candidate instead
+/// of chasing one heap allocation per source.
 #[derive(Debug, Clone)]
 pub struct InfluenceModel {
     n: usize,
-    /// coverage[s] = (road, q) pairs with q >= min_influence, including
-    /// (s, 1.0) itself, sorted by road id.
-    coverage: Vec<Vec<(RoadId, f64)>>,
+    /// CSR row offsets into `roads` / `q`; length `n + 1`.
+    offsets: Vec<u32>,
+    /// Reached road ids; each source's run is sorted by road id and
+    /// includes the source itself (with influence 1).
+    roads: Vec<RoadId>,
+    /// Influence values `q(s → road)`, aligned with `roads`.
+    q: Vec<f64>,
+}
+
+/// One candidate's influence list as a pair of parallel slices (a CSR
+/// row view). `roads[i]` is reached with influence `q[i]`; rows are
+/// sorted by road id.
+#[derive(Debug, Clone, Copy)]
+pub struct Reach<'a> {
+    /// Reached road ids, sorted ascending (the source is included with
+    /// influence 1).
+    pub roads: &'a [RoadId],
+    /// Influence values aligned with `roads`.
+    pub q: &'a [f64],
+}
+
+impl<'a> Reach<'a> {
+    /// Number of reached roads.
+    pub fn len(&self) -> usize {
+        self.roads.len()
+    }
+
+    /// True when the reach is empty (only possible for an empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.roads.is_empty()
+    }
+
+    /// Iterates `(road, q)` pairs in road-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RoadId, f64)> + 'a {
+        self.roads.iter().copied().zip(self.q.iter().copied())
+    }
 }
 
 #[derive(PartialEq)]
@@ -52,7 +88,8 @@ struct Entry {
 impl Eq for Entry {}
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap on influence.
+        // Max-heap on influence. Edge weights are validated at
+        // `CorrelationGraph::from_edges`, so `q` is never NaN here.
         self.q
             .partial_cmp(&other.q)
             .expect("NaN influence")
@@ -67,58 +104,93 @@ impl PartialOrd for Entry {
 
 impl InfluenceModel {
     /// Builds influence lists by best-path (max-product) search from
-    /// every road over the correlation graph.
+    /// every road over the correlation graph (serial).
     pub fn build(corr: &CorrelationGraph, config: &InfluenceConfig) -> InfluenceModel {
+        Self::build_threaded(corr, config, 1)
+    }
+
+    /// [`InfluenceModel::build`] with the per-source searches spread
+    /// over `threads` workers (`0` = all cores). Each source's search
+    /// is independent and its list lands in a pre-sized index-ordered
+    /// slot, so the result is bit-identical for every thread count.
+    pub fn build_threaded(
+        corr: &CorrelationGraph,
+        config: &InfluenceConfig,
+        threads: usize,
+    ) -> InfluenceModel {
         let n = corr.num_roads();
-        let mut coverage = Vec::with_capacity(n);
-        let mut best = vec![0.0f64; n];
-        let mut touched: Vec<u32> = Vec::new();
-        for s in 0..n as u32 {
-            // Dijkstra-style max-product search, bounded by hops and
-            // min_influence.
-            let mut heap = BinaryHeap::new();
-            best[s as usize] = 1.0;
-            touched.push(s);
-            heap.push(Entry {
-                q: 1.0,
-                hops: 0,
-                node: s,
-            });
-            while let Some(Entry { q, hops, node }) = heap.pop() {
-                if q < best[node as usize] {
-                    continue; // stale
-                }
-                if hops >= config.max_hops {
-                    continue;
-                }
-                for (nb, w) in corr.neighbors(RoadId(node)) {
-                    let nq = q * edge_strength(w);
-                    if nq >= config.min_influence && nq > best[nb.index()] {
-                        if best[nb.index()] == 0.0 {
-                            touched.push(nb.0);
+        let lists: Vec<Vec<(RoadId, f64)>> = crate::parallel::fill_with(
+            threads,
+            n,
+            // Per-worker scratch: the dense best-influence array plus
+            // the list of indices dirtied for the current source.
+            || (vec![0.0f64; n], Vec::<u32>::new()),
+            |(best, touched), s| {
+                let s = s as u32;
+                // Dijkstra-style max-product search, bounded by hops
+                // and min_influence.
+                let mut heap = BinaryHeap::new();
+                best[s as usize] = 1.0;
+                touched.push(s);
+                heap.push(Entry {
+                    q: 1.0,
+                    hops: 0,
+                    node: s,
+                });
+                while let Some(Entry { q, hops, node }) = heap.pop() {
+                    if q < best[node as usize] {
+                        continue; // stale
+                    }
+                    if hops >= config.max_hops {
+                        continue;
+                    }
+                    for (nb, w) in corr.neighbors(RoadId(node)) {
+                        let nq = q * edge_strength(w);
+                        if nq >= config.min_influence && nq > best[nb.index()] {
+                            if best[nb.index()] == 0.0 {
+                                touched.push(nb.0);
+                            }
+                            best[nb.index()] = nq;
+                            heap.push(Entry {
+                                q: nq,
+                                hops: hops + 1,
+                                node: nb.0,
+                            });
                         }
-                        best[nb.index()] = nq;
-                        heap.push(Entry {
-                            q: nq,
-                            hops: hops + 1,
-                            node: nb.0,
-                        });
                     }
                 }
+                let mut list: Vec<(RoadId, f64)> = touched
+                    .iter()
+                    .map(|&r| (RoadId(r), best[r as usize]))
+                    .collect();
+                list.sort_by_key(|&(r, _)| r);
+                // Reset the scratch arrays for the next source.
+                for &r in touched.iter() {
+                    best[r as usize] = 0.0;
+                }
+                touched.clear();
+                list
+            },
+        );
+        // Flatten into CSR in source order (serial, deterministic).
+        let total: usize = lists.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut roads = Vec::with_capacity(total);
+        let mut q = Vec::with_capacity(total);
+        for list in lists {
+            for (r, v) in list {
+                roads.push(r);
+                q.push(v);
             }
-            let mut list: Vec<(RoadId, f64)> = touched
-                .iter()
-                .map(|&r| (RoadId(r), best[r as usize]))
-                .collect();
-            list.sort_by_key(|&(r, _)| r);
-            // Reset the scratch arrays for the next source.
-            for &r in &touched {
-                best[r as usize] = 0.0;
-            }
-            touched.clear();
-            coverage.push(list);
+            offsets.push(roads.len() as u32);
         }
-        InfluenceModel { n, coverage }
+        InfluenceModel {
+            n,
+            offsets,
+            roads,
+            q,
+        }
     }
 
     /// Number of roads.
@@ -126,16 +198,23 @@ impl InfluenceModel {
         self.n
     }
 
-    /// Influence list of candidate `s`: `(road, q(s → road))`.
-    pub fn reach(&self, s: RoadId) -> &[(RoadId, f64)] {
-        &self.coverage[s.index()]
+    /// Influence list of candidate `s` as a CSR row view.
+    pub fn reach(&self, s: RoadId) -> Reach<'_> {
+        let lo = self.offsets[s.index()] as usize;
+        let hi = self.offsets[s.index() + 1] as usize;
+        Reach {
+            roads: &self.roads[lo..hi],
+            q: &self.q[lo..hi],
+        }
     }
 
     /// Point influence `q(s → r)` (0 when out of reach).
     pub fn influence(&self, s: RoadId, r: RoadId) -> f64 {
-        self.coverage[s.index()]
-            .binary_search_by_key(&r, |&(road, _)| road)
-            .map(|i| self.coverage[s.index()][i].1)
+        let reach = self.reach(s);
+        reach
+            .roads
+            .binary_search(&r)
+            .map(|i| reach.q[i])
             .unwrap_or(0.0)
     }
 
@@ -144,7 +223,7 @@ impl InfluenceModel {
         if self.n == 0 {
             0.0
         } else {
-            self.coverage.iter().map(Vec::len).sum::<usize>() as f64 / self.n as f64
+            self.roads.len() as f64 / self.n as f64
         }
     }
 }
@@ -177,18 +256,38 @@ impl<'a> SeedObjective<'a> {
     /// Marginal gain of adding `s` given the current `miss` state.
     #[inline]
     pub fn gain(&self, miss: &[f64], s: RoadId) -> f64 {
-        self.model
-            .reach(s)
+        let reach = self.model.reach(s);
+        reach
+            .roads
             .iter()
-            .map(|&(r, q)| q * miss[r.index()])
+            .zip(reach.q)
+            .map(|(&r, &q)| q * miss[r.index()])
             .sum()
     }
 
     /// Commits `s` into the `miss` state.
     pub fn apply(&self, miss: &mut [f64], s: RoadId) {
-        for &(r, q) in self.model.reach(s) {
+        let reach = self.model.reach(s);
+        for (&r, &q) in reach.roads.iter().zip(reach.q) {
             miss[r.index()] *= 1.0 - q;
         }
+    }
+
+    /// Fused [`SeedObjective::gain`] + [`SeedObjective::apply`]:
+    /// commits `s` into `miss` in a single pass over its reach and
+    /// returns the marginal gain. The gain accumulates in the same
+    /// road-id order as `gain`'s sum, so the returned value is
+    /// bit-identical to calling `gain` then `apply`.
+    #[inline]
+    pub fn commit(&self, miss: &mut [f64], s: RoadId) -> f64 {
+        let reach = self.model.reach(s);
+        let mut gain = 0.0;
+        for (&r, &q) in reach.roads.iter().zip(reach.q) {
+            let m = &mut miss[r.index()];
+            gain += q * *m;
+            *m *= 1.0 - q;
+        }
+        gain
     }
 
     /// Objective value of an arbitrary seed set (non-incremental).
@@ -214,7 +313,7 @@ mod tests {
             cotrend: p,
             support: 100,
         };
-        CorrelationGraph::from_edges(3, vec![e(0, 1, 0.9), e(1, 2, 0.9)])
+        CorrelationGraph::from_edges(3, vec![e(0, 1, 0.9), e(1, 2, 0.9)]).unwrap()
     }
 
     #[test]
@@ -274,9 +373,27 @@ mod tests {
             support: 100,
         };
         let corr =
-            CorrelationGraph::from_edges(3, vec![e(0, 1, 0.95), e(1, 2, 0.95), e(0, 2, 0.55)]);
+            CorrelationGraph::from_edges(3, vec![e(0, 1, 0.95), e(1, 2, 0.95), e(0, 2, 0.55)])
+                .unwrap();
         let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
         assert!((model.influence(RoadId(0), RoadId(2)) - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_threaded_is_bit_identical_to_serial() {
+        let corr = path_corr();
+        let serial = InfluenceModel::build(&corr, &InfluenceConfig::default());
+        for threads in [2, 3, 8] {
+            let par = InfluenceModel::build_threaded(&corr, &InfluenceConfig::default(), threads);
+            assert_eq!(par.offsets, serial.offsets, "threads={threads}");
+            assert_eq!(par.roads, serial.roads, "threads={threads}");
+            let same_bits = par
+                .q
+                .iter()
+                .zip(&serial.q)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same_bits, "threads={threads}");
+        }
     }
 
     #[test]
@@ -302,6 +419,26 @@ mod tests {
         let g2 = obj.gain(&miss, RoadId(2));
         let delta = obj.value(&[RoadId(0), RoadId(2)]) - obj.value(&[RoadId(0)]);
         assert!((g2 - delta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn commit_is_bitwise_gain_then_apply() {
+        let corr = path_corr();
+        let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
+        let obj = SeedObjective::new(&model);
+        let mut miss_a = obj.initial_miss();
+        let mut miss_b = obj.initial_miss();
+        for s in [RoadId(1), RoadId(0), RoadId(2)] {
+            let g = obj.gain(&miss_a, s);
+            obj.apply(&mut miss_a, s);
+            let c = obj.commit(&mut miss_b, s);
+            assert_eq!(g.to_bits(), c.to_bits());
+        }
+        let same = miss_a
+            .iter()
+            .zip(&miss_b)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same);
     }
 
     #[test]

@@ -83,7 +83,8 @@ pub fn partition_greedy(
                 support: e.support,
             })
             .collect();
-        let local_corr = CorrelationGraph::from_edges(members.len(), local_edges);
+        let local_corr = CorrelationGraph::from_edges(members.len(), local_edges)
+            .expect("re-indexed edges keep their validated weights");
         let model = InfluenceModel::build(&local_corr, config);
         let res = lazy_greedy(&model, budgets[p]);
         evaluations += res.evaluations;
@@ -204,7 +205,7 @@ mod tests {
                 }
             }
         }
-        CorrelationGraph::from_edges(n, edges)
+        CorrelationGraph::from_edges(n, edges).unwrap()
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn small_trend_model(n: usize) -> (TrendModel, HistoryStats) {
         .filter(|e| e.a.index() < n && e.b.index() < n)
         .copied()
         .collect();
-    let corr = CorrelationGraph::from_edges(n, edges);
+    let corr = CorrelationGraph::from_edges(n, edges).unwrap();
     // Stats cover the full city; the model only reads the first n road
     // priors, which is fine because road ids are shared.
     let sub_stats = stats_restricted(&stats, n);
@@ -95,7 +95,7 @@ fn spanning_forest_model(n: usize) -> TrendModel {
             }
         }
     }
-    let tree = CorrelationGraph::from_edges(n, keep);
+    let tree = CorrelationGraph::from_edges(n, keep).unwrap();
     TrendModel::new(tree, &stats, TrendModelConfig::default())
 }
 

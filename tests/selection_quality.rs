@@ -32,7 +32,7 @@ fn small_real_influence(n: usize) -> (crowdspeed::correlation::CorrelationGraph,
         .filter(|e| e.a.index() < n && e.b.index() < n)
         .copied()
         .collect();
-    let corr = CorrelationGraph::from_edges(n, edges);
+    let corr = CorrelationGraph::from_edges(n, edges).unwrap();
     let model = InfluenceModel::build(&corr, &InfluenceConfig::default());
     (corr, model)
 }

@@ -1,0 +1,211 @@
+//! Parallel-training determinism tests.
+//!
+//! The training pipeline parallelizes its embarrassingly parallel
+//! kernels (per-pair co-trend counting, per-source influence search,
+//! the CELF initial gain pass, per-slot MRF compilation, and the HLM's
+//! per-cell/per-road passes) with static index-ordered chunking over
+//! disjoint output slots (`crowdspeed::parallel`). That layout is a
+//! *determinism contract*: every floating-point reduction keeps its
+//! serial summation order, so a model trained on 8 threads is
+//! bit-identical to one trained on 1. These tests pin that contract at
+//! every layer for `threads ∈ {1, 2, 8}`.
+
+use crowdspeed::correlation::CorrelationConfig;
+use crowdspeed::inference::trend_model::TrendEngine;
+use crowdspeed::prelude::*;
+use crowdspeed::seed::lazy_greedy::lazy_greedy_threads;
+use roadnet::RoadId;
+use trafficsim::dataset::{metro_small, Dataset, DatasetParams};
+
+const THREADS: [usize; 2] = [2, 8];
+
+fn dataset() -> Dataset {
+    metro_small(&DatasetParams {
+        training_days: 8,
+        test_days: 1,
+        ..DatasetParams::default()
+    })
+}
+
+fn corr_config() -> CorrelationConfig {
+    CorrelationConfig {
+        min_cotrend: 0.6,
+        min_co_observations: 6,
+        ..CorrelationConfig::default()
+    }
+}
+
+fn seeds() -> Vec<RoadId> {
+    (0..12u32).map(|i| RoadId(i * 8)).collect()
+}
+
+#[test]
+fn correlation_build_is_bit_identical_across_thread_counts() {
+    let ds = dataset();
+    let stats = HistoryStats::compute(&ds.history);
+    let serial = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &corr_config());
+    for threads in THREADS {
+        let par = CorrelationGraph::build_threaded(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &corr_config(),
+            threads,
+        );
+        assert_eq!(par.num_edges(), serial.num_edges(), "threads={threads}");
+        for (a, b) in par.edges().iter().zip(serial.edges()) {
+            assert_eq!((a.a, a.b, a.support), (b.a, b.b, b.support));
+            assert_eq!(
+                a.cotrend.to_bits(),
+                b.cotrend.to_bits(),
+                "threads={threads}: edge ({}, {})",
+                a.a,
+                a.b
+            );
+        }
+    }
+}
+
+#[test]
+fn influence_build_is_bit_identical_across_thread_counts() {
+    let ds = dataset();
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &corr_config());
+    let serial = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    for threads in THREADS {
+        let par = InfluenceModel::build_threaded(&corr, &InfluenceConfig::default(), threads);
+        for s in 0..corr.num_roads() as u32 {
+            let a = par.reach(RoadId(s));
+            let b = serial.reach(RoadId(s));
+            assert_eq!(a.roads, b.roads, "threads={threads}: source {s}");
+            for ((r, qa), (_, qb)) in a.iter().zip(b.iter()) {
+                assert_eq!(
+                    qa.to_bits(),
+                    qb.to_bits(),
+                    "threads={threads}: q({s} -> {r})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lazy_greedy_selection_is_bit_identical_across_thread_counts() {
+    let ds = dataset();
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &corr_config());
+    let influence = InfluenceModel::build(&corr, &InfluenceConfig::default());
+    let k = 16;
+    let serial = lazy_greedy(&influence, k);
+    for threads in THREADS {
+        let par = lazy_greedy_threads(&influence, k, threads);
+        assert_eq!(par.seeds, serial.seeds, "threads={threads}");
+        assert_eq!(par.evaluations, serial.evaluations, "threads={threads}");
+        assert_eq!(
+            par.objective.to_bits(),
+            serial.objective.to_bits(),
+            "threads={threads}"
+        );
+        for (round, (a, b)) in par.gains.iter().zip(&serial.gains).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}, round {round}");
+        }
+    }
+}
+
+/// The headline contract: the *entire* trained estimator — trend MRFs,
+/// HLM coefficients, coverage — is bit-identical for every thread
+/// count, verified through the serving outputs it produces.
+#[test]
+fn trained_estimator_is_bit_identical_across_thread_counts() {
+    let ds = dataset();
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &corr_config());
+    let seeds = seeds();
+    let train = |train_threads: usize| {
+        TrafficEstimator::train(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &corr,
+            &seeds,
+            &EstimatorConfig {
+                engine: TrendEngine::default(),
+                train_threads,
+                ..EstimatorConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let reference = train(1);
+    let truth = &ds.test_days[0];
+    let slots = [6usize, 8, 12, 18];
+    let ref_estimates: Vec<_> = slots
+        .iter()
+        .map(|&slot| {
+            let obs: Vec<(RoadId, f64)> =
+                seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
+            reference.estimate(slot, &obs)
+        })
+        .collect();
+    for threads in THREADS {
+        let est = train(threads);
+        assert_eq!(est.seeds(), reference.seeds(), "threads={threads}");
+        for (c, r) in est.coverage().iter().zip(reference.coverage()) {
+            assert_eq!(c.to_bits(), r.to_bits(), "threads={threads}: coverage");
+        }
+        for (&slot, want) in slots.iter().zip(&ref_estimates) {
+            let obs: Vec<(RoadId, f64)> =
+                seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
+            let got = est.estimate(slot, &obs);
+            for (r, (a, b)) in got.speeds.iter().zip(&want.speeds).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "threads={threads}, slot {slot}, road {r}: speed {a} vs {b}"
+                );
+            }
+            for (r, (a, b)) in got.p_up.iter().zip(&want.p_up).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "threads={threads}, slot {slot}, road {r}: p_up {a} vs {b}"
+                );
+            }
+            assert_eq!(got.trends, want.trends, "threads={threads}, slot {slot}");
+        }
+    }
+}
+
+/// `train_threads = 0` (auto) must resolve to some positive worker
+/// count and still produce the bit-identical model — the knob is safe
+/// to leave on auto everywhere.
+#[test]
+fn auto_thread_count_matches_serial() {
+    let ds = dataset();
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &corr_config());
+    let seeds = seeds();
+    let train = |train_threads: usize| {
+        TrafficEstimator::train(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &corr,
+            &seeds,
+            &EstimatorConfig {
+                train_threads,
+                ..EstimatorConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    assert!(crowdspeed::parallel::resolve_threads(0) >= 1);
+    let auto = train(0);
+    let serial = train(1);
+    let truth = &ds.test_days[0];
+    let obs: Vec<(RoadId, f64)> = seeds.iter().map(|&s| (s, truth.speed(8, s))).collect();
+    let a = auto.estimate(8, &obs);
+    let b = serial.estimate(8, &obs);
+    assert_eq!(a.speeds, b.speeds);
+    assert_eq!(a.p_up, b.p_up);
+}
