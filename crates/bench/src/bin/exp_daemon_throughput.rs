@@ -10,10 +10,10 @@
 use bench::{f3, Table};
 use crowdspeed::prelude::*;
 use crowdspeed::serve::{serve_batch, EstimateRequest, ServeOptions};
-use crowdspeed_server::{Client, Daemon, DaemonConfig, TrainState};
+use crowdspeed_server::{Client, ClientConfig, Daemon, DaemonConfig, TrainState};
 use roadnet::RoadId;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use trafficsim::dataset::{metro_small, Dataset, DatasetParams};
 
 fn dataset() -> Dataset {
@@ -59,6 +59,18 @@ fn main() {
     };
     let all_obs: Arc<Vec<Vec<(u32, f64)>>> = Arc::new((0..slots).map(obs_for).collect());
 
+    // Bounded everything: a wedged daemon fails the bench in seconds
+    // instead of hanging it, and transient Overloaded answers are
+    // retried with backoff rather than crashing a client thread.
+    let client_config = || ClientConfig {
+        connect_timeout: Some(Duration::from_secs(5)),
+        request_timeout: Some(Duration::from_secs(10)),
+        write_timeout: Some(Duration::from_secs(10)),
+        retries: 3,
+        backoff_base: Duration::from_millis(5),
+        ..ClientConfig::default()
+    };
+
     println!("E10: daemon throughput vs closed-loop client connections (metro-small)");
     let mut t = Table::new(&[
         "conns",
@@ -74,8 +86,9 @@ fn main() {
         let threads: Vec<_> = (0..conns)
             .map(|c| {
                 let all_obs = Arc::clone(&all_obs);
+                let config = client_config();
                 std::thread::spawn(move || {
-                    let mut client = Client::connect(addr).expect("client connects");
+                    let mut client = Client::connect_with(addr, config).expect("client connects");
                     let mut total_us = 0u64;
                     let mut served = 0u64;
                     for i in 0..requests_per_conn {
@@ -99,7 +112,7 @@ fn main() {
             total_us += us;
         }
         let wall = started.elapsed();
-        let mut stats_client = Client::connect(addr).expect("stats client");
+        let mut stats_client = Client::connect_with(addr, client_config()).expect("stats client");
         let stats = stats_client.stats().expect("stats");
         t.row(&[
             conns.to_string(),

@@ -367,6 +367,7 @@ pub fn daemon(args: &Args) -> Result<String> {
         workers: args.num::<usize>("workers", 4)?.max(1),
         queue_capacity: args.num::<usize>("queue", 64)?.max(1),
         default_deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
+        max_connections: args.num::<usize>("max-connections", 1024)?.max(1),
         ..crowdspeed_server::DaemonConfig::default()
     };
     let handle = crowdspeed_server::Daemon::spawn(train, config)
@@ -378,10 +379,32 @@ pub fn daemon(args: &Args) -> Result<String> {
     Ok(format!("daemon on {addr} shut down cleanly"))
 }
 
-/// Parses `--key value` flags shared by the client actions.
+/// Parses `--key value` flags shared by the client actions and builds
+/// a client with the requested timeout/retry policy. Defaults mirror
+/// [`crowdspeed_server::ClientConfig::default`]; `--timeout-ms 0` or
+/// `--connect-timeout-ms 0` disables the respective bound.
 fn client_connect(args: &Args) -> Result<crowdspeed_server::Client> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:7700");
-    crowdspeed_server::Client::connect(addr)
+    let defaults = crowdspeed_server::ClientConfig::default();
+    let timeout_ms: u64 = args.num(
+        "timeout-ms",
+        defaults.request_timeout.map_or(0, |t| t.as_millis() as u64),
+    )?;
+    let connect_timeout_ms: u64 = args.num(
+        "connect-timeout-ms",
+        defaults.connect_timeout.map_or(0, |t| t.as_millis() as u64),
+    )?;
+    let backoff_ms: u64 = args.num("backoff-ms", defaults.backoff_base.as_millis() as u64)?;
+    let config = crowdspeed_server::ClientConfig {
+        connect_timeout: (connect_timeout_ms > 0)
+            .then(|| std::time::Duration::from_millis(connect_timeout_ms)),
+        request_timeout: (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)),
+        write_timeout: (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)),
+        retries: args.num("retries", defaults.retries)?,
+        backoff_base: std::time::Duration::from_millis(backoff_ms.max(1)),
+        ..defaults
+    };
+    crowdspeed_server::Client::connect_with(addr, config)
         .map_err(|e| CliError::new(format!("cannot reach daemon at {addr}: {e}")))
 }
 
@@ -457,6 +480,10 @@ pub fn client(action: &str, args: &Args) -> Result<String> {
                 stats.rejected_overload,
                 stats.rejected_deadline
             );
+            out.push_str(&format!(
+                "faults: {} worker panics, {} retrain failures, {} rejected connections\n",
+                stats.worker_panics, stats.retrain_failures, stats.rejected_connections
+            ));
             for (name, c) in &stats.commands {
                 out.push_str(&format!(
                     "  {name}: {} received, {} ok, {} errors\n",
@@ -552,12 +579,16 @@ USAGE:
   crowdspeed serve    --dir DIR [--method M] [--threads N] [--truth-day D] [--repeat R]
   crowdspeed route    --dir DIR --slot S --from A --to B (--obs FILE | --truth-day D)
   crowdspeed daemon   --dir DIR [--addr HOST:PORT] [--workers N] [--queue N]
-                      [--deadline-ms D] [--train-threads N]
+                      [--deadline-ms D] [--train-threads N] [--max-connections N]
   crowdspeed client   estimate --slot S (--obs FILE | --dir DIR --truth-day D)
                       [--addr HOST:PORT] [--deadline-ms D]
   crowdspeed client   ingest --dir DIR --truth-day D [--addr HOST:PORT]
   crowdspeed client   stats|shutdown [--addr HOST:PORT]
   crowdspeed help
+
+Client actions also accept [--timeout-ms MS] [--connect-timeout-ms MS]
+[--retries N] [--backoff-ms MS]; 0 disables a timeout, and retries
+apply only to the idempotent estimate/stats actions.
 
 Observation files are `road_id speed_kmh` lines; `#` starts a comment."
 }

@@ -29,6 +29,21 @@ pub struct CorrelationConfig {
     pub min_cotrend: f64,
     /// Minimum number of co-observed cells for a pair to be considered
     /// (guards against spurious correlation from thin data).
+    ///
+    /// The unit is **slot-level co-observations** — `(day, slot)` cells
+    /// where *both* roads were observed — not days. One fully observed
+    /// day contributes up to `slots_per_day` co-observations per pair,
+    /// so e.g. `min_co_observations: 12` is satisfied by a single
+    /// 96-slot day; days full of `NaN` holes contribute fewer.
+    ///
+    /// Under online maintenance ([`crate::online::OnlineCorrelation`])
+    /// the threshold is re-evaluated at every materialisation: support
+    /// only grows, but the co-trend probability moves freely, so an
+    /// edge can be **promoted** when support first crosses this floor
+    /// *and later demoted* if new evidence drags its probability into
+    /// the indeterminate band `(1 − min_cotrend, min_cotrend)` — and
+    /// re-promoted again after that. Edge presence is a property of
+    /// the counters at materialisation time, not a one-way latch.
     pub min_co_observations: u32,
     /// Laplace smoothing added to agree/disagree counts.
     pub laplace: f64,

@@ -329,22 +329,125 @@ mod tests {
         assert_eq!(rebooted.days_ingested(), days_before + 1);
     }
 
+    /// What more data actually guarantees. The edge *count* is not
+    /// monotone in ingested days — a pair promoted on a thin bootstrap
+    /// can be demoted when new evidence pulls its co-trend probability
+    /// into the indeterminate band (see
+    /// `edges_demote_and_repromote_as_evidence_drifts`). The true
+    /// invariants are: per-pair support only grows, and the
+    /// materialised graph always equals a batch recount of the full
+    /// ingested history against the frozen reference means.
     #[test]
-    fn more_data_tightens_estimates() {
+    fn more_data_grows_support_and_matches_frozen_recount() {
         let ds = metro_small(&DatasetParams {
             training_days: 3,
             test_days: 6,
             ..DatasetParams::default()
         });
         let mut online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
-        let thin_edges = online.correlation_graph().num_edges();
+        let frozen_stats = HistoryStats::compute(&ds.history);
+        let mut ingested = ds.history.days().to_vec();
         for day in &ds.test_days {
+            let support_before: Vec<u32> = online.counts.iter().map(|&(co, _)| co).collect();
             online.ingest_day(day).unwrap();
+            for (pair, (&before, &(after, agree))) in online
+                .pairs
+                .iter()
+                .zip(support_before.iter().zip(&online.counts))
+            {
+                assert!(
+                    after >= before,
+                    "pair {pair:?}: support shrank {before} -> {after}"
+                );
+                assert!(agree <= after, "pair {pair:?}: agree exceeds support");
+            }
+            ingested.push(day.clone());
+            // The materialised graph is exactly what a from-scratch
+            // recount over everything ingested so far would produce
+            // (with the bootstrap-window means), however many edges
+            // that happens to be.
+            let extended = HistoricalData::from_days(ds.clock, ingested.clone());
+            let batch = CorrelationGraph::build(&ds.graph, &extended, &frozen_stats, &config());
+            let og = online.correlation_graph();
+            assert_eq!(og.num_edges(), batch.num_edges());
+            let mut a: Vec<_> = og.edges().to_vec();
+            let mut b: Vec<_> = batch.edges().to_vec();
+            let key = |e: &CorrelationEdge| (e.a, e.b);
+            a.sort_by_key(key);
+            b.sort_by_key(key);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!((x.a, x.b, x.support), (y.a, y.b, y.support));
+                assert!((x.cotrend - y.cotrend).abs() < 1e-12, "{x:?} vs {y:?}");
+            }
         }
-        let rich_edges = online.correlation_graph().num_edges();
-        // With min support 6 and a 3-day bootstrap, edges can only be
-        // confirmed once more days arrive.
-        assert!(rich_edges >= thin_edges, "{rich_edges} vs {thin_edges}");
+    }
+
+    /// Regression for the broken `rich_edges >= thin_edges` assertion
+    /// this suite used to make: edges are *not* permanent. A pair
+    /// promoted on early agreement demotes when disagreeing days pull
+    /// its co-trend probability inside the indeterminate band, and
+    /// re-promotes as an anti-correlated edge once the evidence
+    /// becomes decisively contrarian.
+    #[test]
+    fn edges_demote_and_repromote_as_evidence_drifts() {
+        let mut builder = roadnet::RoadGraphBuilder::new();
+        let r0 = builder.add_road(roadnet::RoadMeta::default());
+        let r1 = builder.add_road(roadnet::RoadMeta::default());
+        builder.add_adjacency(r0, r1).unwrap();
+        let graph = builder.build();
+        let clock = trafficsim::SlotClock { slots_per_day: 4 };
+        let config = CorrelationConfig {
+            max_hops: 1,
+            min_cotrend: 0.6,
+            min_co_observations: 4,
+            laplace: 1.0,
+        };
+        // Calibration window: one fast day, one slow day, both roads in
+        // lockstep. Means are 30 everywhere; the window itself counts
+        // co = 8, agree = 8 for the single pair.
+        let uniform_day = |v: f64| SpeedField::filled(clock.slots_per_day, 2, v);
+        let history = HistoricalData::from_days(clock, vec![uniform_day(40.0), uniform_day(20.0)]);
+        let mut online = OnlineCorrelation::bootstrap(&graph, &history, &config);
+        // Smoothed p = (8 + 1) / (8 + 2) = 0.9 >= 0.6: promoted.
+        assert_eq!(online.correlation_graph().num_edges(), 1);
+        // A day where the roads move in opposite directions against
+        // the frozen means: road 0 up, road 1 down, in every slot.
+        let disagreeing_day = || {
+            let mut day = SpeedField::filled(clock.slots_per_day, 2, f64::NAN);
+            for slot in 0..clock.slots_per_day {
+                day.set_speed(slot, r0, 40.0);
+                day.set_speed(slot, r1, 20.0);
+            }
+            day
+        };
+        for _ in 0..2 {
+            online.ingest_day(&disagreeing_day()).unwrap();
+        }
+        // co = 16, agree = 8: p = 9/18 = 0.5, inside (0.4, 0.6) —
+        // support kept growing, yet the edge is *demoted*.
+        assert_eq!(
+            online.correlation_graph().num_edges(),
+            0,
+            "indeterminate evidence must demote the edge"
+        );
+        for _ in 0..8 {
+            online.ingest_day(&disagreeing_day()).unwrap();
+        }
+        // co = 48, agree = 8: p = 9/50 = 0.18 <= 0.4 — re-promoted as
+        // an anti-correlated edge.
+        let graph_again = online.correlation_graph();
+        assert_eq!(
+            graph_again.num_edges(),
+            1,
+            "decisively contrarian evidence must re-promote the edge"
+        );
+        let edge = &graph_again.edges()[0];
+        assert!(
+            edge.cotrend <= 0.4,
+            "cotrend {} not contrarian",
+            edge.cotrend
+        );
+        assert_eq!(edge.support, 48);
     }
 
     #[test]

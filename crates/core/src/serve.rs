@@ -227,19 +227,70 @@ pub type ServeJob = Box<dyn FnOnce(&mut EstimateScratch) + Send + 'static>;
 /// Each worker owns one [`EstimateScratch`], preserving the
 /// one-scratch-per-thread reuse discipline (and therefore bit-identical
 /// results) of the batch path.
+///
+/// # Fault isolation
+///
+/// A job that panics does not kill its worker: the panic is caught in
+/// the worker loop, the worker's scratch is rebuilt (a panicking job
+/// may have left it half-written), and the worker goes back to the
+/// queue. The panic is counted ([`ServePool::panics_caught`]) and the
+/// job's reply channel is simply dropped, which the submitting side
+/// observes as a failed rendezvous. As a second line of defense,
+/// [`ServePool::try_submit`] respawns any worker thread that died
+/// anyway (e.g. a panic escaping the catch via a panicking `Drop`), so
+/// the pool never shrinks permanently.
 pub struct ServePool {
     tx: Option<std::sync::mpsc::SyncSender<ServeJob>>,
-    workers: Vec<JoinHandle<()>>,
+    rx: std::sync::Arc<Mutex<std::sync::mpsc::Receiver<ServeJob>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_target: usize,
+    next_worker_id: AtomicUsize,
+    panics: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    respawned: std::sync::atomic::AtomicU64,
     queue_capacity: usize,
 }
 
 impl std::fmt::Debug for ServePool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServePool")
-            .field("workers", &self.workers.len())
+            .field("workers", &self.worker_target)
             .field("queue_capacity", &self.queue_capacity)
             .finish()
     }
+}
+
+fn spawn_pool_worker(
+    id: usize,
+    rx: std::sync::Arc<Mutex<std::sync::mpsc::Receiver<ServeJob>>>,
+    panics: std::sync::Arc<std::sync::atomic::AtomicU64>,
+) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(format!("crowdspeed-serve-{id}"))
+        .spawn(move || {
+            let mut scratch = EstimateScratch::new();
+            loop {
+                // Hold the receiver lock only to dequeue; the job
+                // itself runs lock-free.
+                let job = rx.lock().recv();
+                match job {
+                    Ok(job) => {
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                job(&mut scratch)
+                            }));
+                        if outcome.is_err() {
+                            // The job unwound mid-write: its reply
+                            // channel is gone (the submitter sees a
+                            // dropped rendezvous) and the scratch may
+                            // hold torn state — rebuild it.
+                            scratch = EstimateScratch::new();
+                            panics.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(_) => break, // pool dropped
+                }
+            }
+        })
 }
 
 impl ServePool {
@@ -250,30 +301,55 @@ impl ServePool {
     pub fn new(workers: usize, queue_capacity: usize) -> ServePool {
         let (tx, rx) = std::sync::mpsc::sync_channel::<ServeJob>(queue_capacity);
         let rx = std::sync::Arc::new(Mutex::new(rx));
-        let workers = (0..workers.max(1))
+        let panics = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let worker_target = workers.max(1);
+        let workers = (0..worker_target)
             .map(|i| {
-                let rx = std::sync::Arc::clone(&rx);
-                std::thread::Builder::new()
-                    .name(format!("crowdspeed-serve-{i}"))
-                    .spawn(move || {
-                        let mut scratch = EstimateScratch::new();
-                        loop {
-                            // Hold the receiver lock only to dequeue;
-                            // the job itself runs lock-free.
-                            let job = rx.lock().recv();
-                            match job {
-                                Ok(job) => job(&mut scratch),
-                                Err(_) => break, // pool dropped
-                            }
-                        }
-                    })
-                    .expect("failed to spawn serving worker")
+                spawn_pool_worker(
+                    i,
+                    std::sync::Arc::clone(&rx),
+                    std::sync::Arc::clone(&panics),
+                )
+                .expect("failed to spawn serving worker")
             })
             .collect();
         ServePool {
             tx: Some(tx),
-            workers,
+            rx,
+            workers: Mutex::new(workers),
+            worker_target,
+            next_worker_id: AtomicUsize::new(worker_target),
+            panics,
+            respawned: std::sync::atomic::AtomicU64::new(0),
             queue_capacity,
+        }
+    }
+
+    /// Replaces any worker thread that has exited while the pool is
+    /// still serving, so the pool's capacity never shrinks permanently.
+    /// Cheap when nothing died (one `is_finished` load per worker).
+    fn respawn_dead_workers(&self) {
+        let mut workers = self.workers.lock();
+        for slot in workers.iter_mut() {
+            if !slot.is_finished() {
+                continue;
+            }
+            let id = self.next_worker_id.fetch_add(1, Ordering::Relaxed);
+            match spawn_pool_worker(
+                id,
+                std::sync::Arc::clone(&self.rx),
+                std::sync::Arc::clone(&self.panics),
+            ) {
+                Ok(fresh) => {
+                    let dead = std::mem::replace(slot, fresh);
+                    let _ = dead.join();
+                    self.respawned.fetch_add(1, Ordering::Relaxed);
+                }
+                // Spawn failed (thread exhaustion): keep the dead
+                // handle and retry on the next submit instead of
+                // panicking the serving path.
+                Err(_) => break,
+            }
         }
     }
 
@@ -281,6 +357,7 @@ impl ServePool {
     /// is returned so the caller can reject the request (admission
     /// control) instead of waiting.
     pub fn try_submit(&self, job: ServeJob) -> std::result::Result<(), ServeJob> {
+        self.respawn_dead_workers();
         let tx = self.tx.as_ref().expect("pool sender lives until drop");
         match tx.try_send(job) {
             Ok(()) => Ok(()),
@@ -291,7 +368,17 @@ impl ServePool {
 
     /// Number of worker threads.
     pub fn worker_count(&self) -> usize {
-        self.workers.len()
+        self.workers.lock().len()
+    }
+
+    /// Job panics caught and isolated by the worker loop.
+    pub fn panics_caught(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Dead worker threads replaced by [`ServePool::try_submit`].
+    pub fn workers_respawned(&self) -> u64 {
+        self.respawned.load(Ordering::Relaxed)
     }
 
     /// Maximum number of jobs that may wait in the queue.
@@ -302,11 +389,12 @@ impl ServePool {
 
 impl Drop for ServePool {
     /// Closes the queue and waits for workers to drain what was
-    /// already admitted — every submitted job runs exactly once.
+    /// already admitted — every submitted job runs exactly once (jobs
+    /// that panic count as run; their reply channel is dropped).
     fn drop(&mut self) {
         drop(self.tx.take());
-        for h in self.workers.drain(..) {
-            h.join().expect("serving worker panicked");
+        for h in self.workers.lock().drain(..) {
+            let _ = h.join();
         }
     }
 }
@@ -462,6 +550,53 @@ mod tests {
         let rejected = pool.try_submit(Box::new(|_| {}));
         assert!(rejected.is_err(), "overloaded pool must refuse the job");
         drop(gate_tx); // unblock, let Drop join cleanly
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_its_worker() {
+        use std::sync::mpsc;
+        let pool = ServePool::new(1, 8);
+        pool.try_submit(Box::new(|_| panic!("injected job panic")))
+            .unwrap_or_else(|_| panic!("panicking job admitted"));
+        // The single worker must survive the panic and run this job.
+        let (tx, rx) = mpsc::channel();
+        pool.try_submit(Box::new(move |_| {
+            tx.send(42usize).unwrap();
+        }))
+        .unwrap_or_else(|_| panic!("follow-up job admitted"));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(10)),
+            Ok(42),
+            "worker must keep serving after an isolated panic"
+        );
+        assert_eq!(pool.panics_caught(), 1);
+        assert_eq!(pool.worker_count(), 1);
+    }
+
+    #[test]
+    fn every_panicking_job_is_isolated_and_counted() {
+        use std::sync::mpsc;
+        let pool = ServePool::new(2, 64);
+        for _ in 0..10 {
+            pool.try_submit(Box::new(|_| panic!("boom")))
+                .unwrap_or_else(|_| panic!("panicking job admitted"));
+        }
+        // Both workers are still alive: two gate jobs can run at once.
+        let (tx, rx) = mpsc::channel();
+        for i in 0..2usize {
+            let tx = tx.clone();
+            pool.try_submit(Box::new(move |_| {
+                tx.send(i).unwrap();
+            }))
+            .unwrap_or_else(|_| panic!("follow-up job admitted"));
+        }
+        let mut got: Vec<usize> = (0..2)
+            .map(|_| rx.recv_timeout(Duration::from_secs(10)).unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+        assert_eq!(pool.panics_caught(), 10);
+        assert_eq!(pool.workers_respawned(), 0, "isolation beats respawn");
     }
 
     #[test]

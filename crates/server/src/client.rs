@@ -2,37 +2,147 @@
 //! client` subcommand, the daemon throughput bench, and the
 //! integration suite — everyone speaks the wire through this one
 //! implementation.
+//!
+//! # Resilience model
+//!
+//! Every attempt is bounded: connects respect
+//! [`ClientConfig::connect_timeout`], writes respect
+//! [`ClientConfig::write_timeout`], and each request carries an
+//! overall read deadline ([`ClientConfig::request_timeout`]) enforced
+//! through `read_frame`'s abort hook — a hung daemon costs the caller
+//! the configured timeout, never forever. After a timeout the
+//! connection is poisoned (a late reply would desync the strict
+//! request/response framing), so the next attempt reconnects.
+//!
+//! Retries are opt-in ([`ClientConfig::retries`], default 0) and apply
+//! **only** to the idempotent commands `ESTIMATE` and `STATS`, with
+//! exponential backoff. `INGEST_DAY` is never retried: a retry after a
+//! timed-out ingest could fold the same day into the model twice.
 
 use crate::protocol::{
-    read_frame, write_frame, EstimateReply, Request, Response, StatsReply, DEFAULT_MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
+    read_frame, write_frame, ErrorKind, EstimateReply, Request, Response, StatsReply, WireError,
+    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use crate::ServerError;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Granularity at which a blocked read re-checks the request deadline.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Timeouts and retry policy for a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection; `None` blocks
+    /// indefinitely.
+    pub connect_timeout: Option<Duration>,
+    /// Overall bound on waiting for one response; `None` waits
+    /// forever. Expiry surfaces as [`ServerError::TimedOut`] and
+    /// forces a reconnect before the next request.
+    pub request_timeout: Option<Duration>,
+    /// Bound on each socket write; `None` blocks indefinitely.
+    pub write_timeout: Option<Duration>,
+    /// Extra attempts after the first for the idempotent commands
+    /// (`ESTIMATE`, `STATS`). `INGEST_DAY` and `SHUTDOWN` never retry.
+    pub retries: u32,
+    /// First retry delay; doubled per attempt up to [`backoff_max`].
+    ///
+    /// [`backoff_max`]: ClientConfig::backoff_max
+    pub backoff_base: Duration,
+    /// Ceiling on the exponential backoff delay.
+    pub backoff_max: Duration,
+    /// Frames declaring more payload than this are refused.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            request_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            retries: 0,
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
 
 /// A connected client. One request in flight at a time (the protocol
 /// is strict request/response per connection).
 pub struct Client {
+    addrs: Vec<SocketAddr>,
     stream: TcpStream,
-    max_frame_bytes: usize,
+    config: ClientConfig,
+    /// Set when the stream can no longer be trusted to be in sync
+    /// (timeout mid-response, write failure, dead socket); the next
+    /// attempt reconnects first.
+    needs_reconnect: bool,
 }
 
 impl Client {
-    /// Connects to a running daemon.
+    /// Connects to a running daemon with the default config (bounded
+    /// connect/read/write, no retries).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServerError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with an explicit timeout/retry policy.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Client, ServerError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(ServerError::Io(std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            )));
+        }
+        let stream = open_stream(&addrs, &config)?;
         Ok(Client {
+            addrs,
             stream,
-            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            config,
+            needs_reconnect: false,
         })
     }
 
-    /// Sends one request and blocks for its response.
+    /// The active timeout/retry policy.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Sends one request and blocks for its response — a single
+    /// attempt, no retries, but still bounded by the configured
+    /// timeouts.
     pub fn request(&mut self, request: &Request) -> Result<Response, ServerError> {
-        write_frame(&mut self.stream, &request.encode())?;
-        let (version, payload) = read_frame(&mut self.stream, self.max_frame_bytes, &|| false)
-            .map_err(ServerError::Wire)?;
+        if self.needs_reconnect {
+            self.stream = open_stream(&self.addrs, &self.config)?;
+            self.needs_reconnect = false;
+        }
+        let deadline = self.config.request_timeout.map(|t| Instant::now() + t);
+        if let Err(e) = write_frame(&mut self.stream, &request.encode()) {
+            self.needs_reconnect = true;
+            return Err(ServerError::Io(e));
+        }
+        let expired = || deadline.is_some_and(|d| Instant::now() >= d);
+        let (version, payload) =
+            match read_frame(&mut self.stream, self.config.max_frame_bytes, &expired) {
+                Ok(frame) => frame,
+                Err(WireError::Aborted) => {
+                    // A reply may still arrive later; reading it as the
+                    // answer to the *next* request would desync the
+                    // stream, so poison the connection.
+                    self.needs_reconnect = true;
+                    return Err(ServerError::TimedOut);
+                }
+                Err(e) => {
+                    self.needs_reconnect = true;
+                    return Err(ServerError::Wire(e));
+                }
+            };
         if version != PROTOCOL_VERSION {
             return Err(ServerError::UnexpectedResponse(format!(
                 "server answered with protocol version {version}"
@@ -41,15 +151,35 @@ impl Client {
         Response::decode(&payload).map_err(ServerError::UnexpectedResponse)
     }
 
+    /// Retry loop for idempotent requests: up to `1 + retries`
+    /// attempts, exponential backoff, reconnect handled by
+    /// [`Client::request`].
+    fn request_idempotent(&mut self, request: &Request) -> Result<Response, ServerError> {
+        let mut backoff = self.config.backoff_base;
+        let mut attempt = 0u32;
+        loop {
+            match self.request(request) {
+                Ok(response) => return Ok(response),
+                Err(e) if attempt < self.config.retries && retryable(&e) => {
+                    attempt += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(self.config.backoff_max);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Requests an estimate; a typed daemon error becomes
-    /// [`ServerError::Remote`].
+    /// [`ServerError::Remote`]. Retried per [`ClientConfig::retries`]
+    /// (estimation is idempotent).
     pub fn estimate(
         &mut self,
         slot_of_day: usize,
         observations: Vec<(u32, f64)>,
         deadline_ms: Option<u64>,
     ) -> Result<EstimateReply, ServerError> {
-        match self.request(&Request::Estimate {
+        match self.request_idempotent(&Request::Estimate {
             slot_of_day,
             observations,
             deadline_ms,
@@ -59,7 +189,9 @@ impl Client {
         }
     }
 
-    /// Ingests one day and waits for the new epoch.
+    /// Ingests one day and waits for the new epoch. Never retried —
+    /// a lost reply does not prove the day was not ingested, and
+    /// double-ingesting skews the model.
     pub fn ingest_day(&mut self, rows: Vec<Vec<f64>>) -> Result<(u64, u64), ServerError> {
         match self.request(&Request::IngestDay { rows })? {
             Response::Ingested {
@@ -70,21 +202,61 @@ impl Client {
         }
     }
 
-    /// Fetches the metrics snapshot.
+    /// Fetches the metrics snapshot. Retried per
+    /// [`ClientConfig::retries`] (read-only).
     pub fn stats(&mut self) -> Result<StatsReply, ServerError> {
-        match self.request(&Request::Stats)? {
+        match self.request_idempotent(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
             other => Err(unexpected(other)),
         }
     }
 
-    /// Asks the daemon to shut down; `Ok(())` once acknowledged.
+    /// Asks the daemon to shut down; `Ok(())` once acknowledged. Not
+    /// retried.
     pub fn shutdown(&mut self) -> Result<(), ServerError> {
         match self.request(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
             other => Err(unexpected(other)),
         }
     }
+}
+
+/// Transient failures worth another attempt: transport-level errors,
+/// deadline expiry, and the daemon's explicit `Overloaded` (its typed
+/// "retry later"). Any other remote error is deterministic — retrying
+/// the same request would fail the same way.
+fn retryable(e: &ServerError) -> bool {
+    match e {
+        ServerError::Io(_) | ServerError::Wire(_) | ServerError::TimedOut => true,
+        ServerError::Remote { kind, .. } => *kind == ErrorKind::Overloaded,
+        _ => false,
+    }
+}
+
+/// Opens a socket to the first reachable address, honouring the
+/// connect timeout, and arms the per-read tick + write timeout.
+fn open_stream(addrs: &[SocketAddr], config: &ClientConfig) -> Result<TcpStream, ServerError> {
+    let mut last_err: Option<std::io::Error> = None;
+    for addr in addrs {
+        let attempt = match config.connect_timeout {
+            Some(timeout) => TcpStream::connect_timeout(addr, timeout),
+            None => TcpStream::connect(addr),
+        };
+        match attempt {
+            Ok(stream) => {
+                stream.set_nodelay(true)?;
+                // Short read timeout so `read_frame` wakes up to poll
+                // the request deadline instead of blocking forever.
+                stream.set_read_timeout(Some(READ_TICK))?;
+                stream.set_write_timeout(config.write_timeout)?;
+                return Ok(stream);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(ServerError::Io(last_err.unwrap_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no address to try")
+    })))
 }
 
 fn unexpected(response: Response) -> ServerError {

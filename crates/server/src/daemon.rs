@@ -36,14 +36,15 @@ use crate::protocol::{
     read_frame, write_frame, ErrorKind, EstimateReply, Request, Response, WireError,
     DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
-use crate::state::{ModelSlot, TrainState};
+use crate::state::{panic_message, ModelSlot, RetrainError, TrainState};
 use crate::ServerError;
 use crowdspeed::prelude::*;
 use crowdspeed::CoreError;
 use parking_lot::Mutex;
 use roadnet::RoadId;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -63,6 +64,12 @@ pub struct DaemonConfig {
     pub max_frame_bytes: usize,
     /// Deadline applied to estimates that do not carry their own.
     pub default_deadline_ms: Option<u64>,
+    /// Maximum simultaneous connections. The connection past the cap
+    /// is answered with a typed [`ErrorKind::Overloaded`] frame and
+    /// closed instead of spawning an unbounded number of handler
+    /// threads (one slow client per thread is how daemons run out of
+    /// threads under a flood).
+    pub max_connections: usize,
 }
 
 impl Default for DaemonConfig {
@@ -73,6 +80,7 @@ impl Default for DaemonConfig {
             queue_capacity: 64,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             default_deadline_ms: None,
+            max_connections: 1024,
         }
     }
 }
@@ -85,6 +93,18 @@ struct Shared {
     shutdown: AtomicBool,
     pool: ServePool,
     config: DaemonConfig,
+    /// Live connection handlers, bounded by `config.max_connections`.
+    active_conns: AtomicUsize,
+}
+
+/// Decrements the live-connection count when a handler exits, however
+/// it exits (return, panic, or unwound assertion).
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A running daemon (see [`Daemon::spawn`]).
@@ -116,6 +136,7 @@ impl Daemon {
             shutdown: AtomicBool::new(false),
             pool: ServePool::new(config.workers.max(1), config.queue_capacity.max(1)),
             config,
+            active_conns: AtomicUsize::new(0),
         });
         let acceptor_shared = Arc::clone(&shared);
         let acceptor = std::thread::Builder::new()
@@ -180,17 +201,50 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let conn_shared = Arc::clone(&shared);
-                let handle = std::thread::Builder::new()
-                    .name("crowdspeedd-conn".to_string())
-                    .spawn(move || handle_connection(stream, conn_shared))
-                    .expect("spawn connection handler");
-                handlers.push(handle);
                 // Reap finished handlers so a long-lived daemon does
                 // not accumulate one join handle per past connection.
                 handlers.retain(|h| !h.is_finished());
+                let cap = shared.config.max_connections.max(1);
+                if shared.active_conns.load(Ordering::SeqCst) >= cap {
+                    refuse_connection(stream, &shared, format!("connection limit reached ({cap})"));
+                    continue;
+                }
+                if crate::failpoint::fire("conn_spawn") {
+                    // Injected thread exhaustion: same shedding path a
+                    // real spawn failure takes, but the stream is still
+                    // in hand so the peer gets the typed frame.
+                    refuse_connection(
+                        stream,
+                        &shared,
+                        "cannot spawn connection handler".to_string(),
+                    );
+                    continue;
+                }
+                shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("crowdspeedd-conn".to_string())
+                    .spawn(move || {
+                        let _guard = ConnGuard(Arc::clone(&conn_shared));
+                        handle_connection(stream, conn_shared);
+                    });
+                match spawned {
+                    Ok(handle) => handlers.push(handle),
+                    // Thread exhaustion is overload, not a reason to
+                    // kill the acceptor deaf: count the shed connection
+                    // and keep listening. (`spawn` consumed the closure
+                    // — and the stream with it — so the peer sees a
+                    // hang-up rather than a typed frame here.)
+                    Err(_) => {
+                        shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                        shared.metrics.reject_connection();
+                    }
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Reap here too: an idle daemon must not hold one
+                // exited-thread handle per historical connection.
+                handlers.retain(|h| !h.is_finished());
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
@@ -199,6 +253,15 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     for handle in handlers {
         let _ = handle.join();
     }
+}
+
+/// Sheds a connection the daemon cannot serve: best-effort typed
+/// `Overloaded` frame (short write timeout so a deaf peer cannot stall
+/// the acceptor), then hang up. Counted in `rejected_connections`.
+fn refuse_connection(mut stream: TcpStream, shared: &Arc<Shared>, message: String) {
+    shared.metrics.reject_connection();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = respond(&mut stream, &error_response(ErrorKind::Overloaded, message));
 }
 
 fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
@@ -361,31 +424,49 @@ fn serve_estimate(
                 "deadline expired while queued".to_string(),
             )
         } else {
-            let model = job_shared.model.current();
-            let obs: Vec<(RoadId, f64)> = observations
-                .iter()
-                .map(|&(road, speed)| (RoadId(road), speed))
-                .collect();
-            match model.estimator.try_estimate(slot_of_day, &obs, scratch) {
-                Ok(estimate) => {
-                    job_shared
-                        .metrics
-                        .observe_latency_us(admitted.elapsed().as_micros() as u64);
-                    Response::Estimate(EstimateReply {
+            // A panicking estimate must cost exactly one request, not a
+            // worker thread: catch it here, answer a typed `Internal`,
+            // and rebuild the scratch (its buffers may be mid-update).
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                crate::failpoint::fire("estimate");
+                let model = job_shared.model.current();
+                let obs: Vec<(RoadId, f64)> = observations
+                    .iter()
+                    .map(|&(road, speed)| (RoadId(road), speed))
+                    .collect();
+                match model.estimator.try_estimate(slot_of_day, &obs, scratch) {
+                    Ok(estimate) => Response::Estimate(EstimateReply {
                         epoch: model.epoch,
                         speeds: estimate.speeds,
                         p_up: estimate.p_up,
                         trends: estimate.trends,
                         ignored_observations: estimate.ignored_observations as u64,
-                    })
+                    }),
+                    Err(CoreError::NoObservations) => error_response(
+                        ErrorKind::NoObservations,
+                        "estimation request carried no observations".to_string(),
+                    ),
+                    Err(e) => error_response(ErrorKind::Internal, e.to_string()),
                 }
-                Err(CoreError::NoObservations) => error_response(
-                    ErrorKind::NoObservations,
-                    "estimation request carried no observations".to_string(),
-                ),
-                Err(e) => error_response(ErrorKind::Internal, e.to_string()),
+            }));
+            match outcome {
+                Ok(response) => response,
+                Err(payload) => {
+                    *scratch = EstimateScratch::new();
+                    job_shared.metrics.worker_panic();
+                    error_response(
+                        ErrorKind::Internal,
+                        format!("estimate worker panicked: {}", panic_message(payload)),
+                    )
+                }
             }
         };
+        // Latency is recorded for every outcome the worker produced —
+        // errors included — so the histogram reflects what clients
+        // actually waited, not just the happy path.
+        job_shared
+            .metrics
+            .observe_latency_us(admitted.elapsed().as_micros() as u64);
         let _ = reply_tx.send(response);
     });
     match shared.pool.try_submit(job) {
@@ -427,23 +508,34 @@ fn serve_ingest(shared: &Arc<Shared>, rows: Vec<Vec<f64>>) -> Response {
             day.set_speed(slot, RoadId(road as u32), speed);
         }
     }
-    if let Err(e) = train.ingest_day(day) {
-        let kind = match e {
-            CoreError::ShapeMismatch { .. } => ErrorKind::ShapeMismatch,
-            _ => ErrorKind::Internal,
-        };
-        return error_response(kind, e.to_string());
-    }
-    let estimator = match train.train() {
-        Ok(estimator) => estimator,
-        Err(e) => return error_response(ErrorKind::Internal, format!("retrain failed: {e}")),
-    };
-    let epoch = shared.model.publish(estimator);
-    shared.metrics.set_epoch(epoch);
-    let days_ingested = train.days_ingested();
-    shared.metrics.set_days_ingested(days_ingested);
-    Response::Ingested {
-        epoch,
-        days_ingested,
+    match train.ingest_and_train(day) {
+        Ok((estimator, days_ingested)) => {
+            let epoch = shared.model.publish(estimator);
+            shared.metrics.set_epoch(epoch);
+            shared.metrics.set_days_ingested(days_ingested);
+            Response::Ingested {
+                epoch,
+                days_ingested,
+            }
+        }
+        Err(RetrainError::Core(e)) => {
+            let kind = match e {
+                CoreError::ShapeMismatch { .. } => ErrorKind::ShapeMismatch,
+                _ => {
+                    shared.metrics.retrain_failure();
+                    ErrorKind::Internal
+                }
+            };
+            error_response(kind, e.to_string())
+        }
+        // The panic was contained and the train state rolled back; the
+        // previously published epoch keeps serving untouched.
+        Err(e @ RetrainError::Panicked(_)) => {
+            shared.metrics.retrain_failure();
+            error_response(
+                ErrorKind::Internal,
+                format!("{e}; previous model epoch still serving"),
+            )
+        }
     }
 }

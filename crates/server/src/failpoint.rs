@@ -1,0 +1,197 @@
+//! Fault-injection hooks for the daemon's resilience tests.
+//!
+//! A **failpoint** is a named site in the serving path where a test (or
+//! an operator running a chaos drill) can inject a fault: a panic, a
+//! stall, or a simulated resource failure. The daemon calls
+//! [`fire`] at each site; with no failpoints configured the call is a
+//! single relaxed atomic load, so the hooks are compiled into release
+//! builds without measurable cost and the CI smoke job can exercise
+//! them against the real binary.
+//!
+//! # Sites
+//!
+//! | site         | where it fires                                      |
+//! |--------------|-----------------------------------------------------|
+//! | `estimate`   | on a serving worker, before the estimate runs       |
+//! | `retrain`    | on the ingest path, before the fold + retrain       |
+//! | `conn_spawn` | in the acceptor, in place of spawning a handler     |
+//!
+//! # Activation
+//!
+//! Programmatic (integration tests): [`configure`] / [`clear_all`].
+//! Environmental (CI smoke against a real daemon process): set
+//! `CROWDSPEED_FAILPOINTS` before the process starts, e.g.
+//!
+//! ```text
+//! CROWDSPEED_FAILPOINTS="estimate=panic:1,conn_spawn=fail:2,retrain=stall:100"
+//! ```
+//!
+//! Each entry is `site=action`, where the action is `panic[:times]`,
+//! `fail[:times]`, or `stall:millis[:times]`; `times` bounds how often
+//! the fault fires (unbounded when omitted).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// What a triggered failpoint does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Panic at the site (the daemon must isolate it).
+    Panic,
+    /// Report a simulated resource failure ([`fire`] returns `true`);
+    /// the site treats it like the real failure it stands in for
+    /// (e.g. a thread-spawn error).
+    Fail,
+    /// Sleep for the given number of milliseconds before continuing.
+    Stall(u64),
+}
+
+struct Armed {
+    action: Action,
+    /// Remaining triggers; `None` = unbounded.
+    remaining: Option<u32>,
+}
+
+struct Registry {
+    /// Fast path: false ⇒ no failpoint is configured anywhere.
+    any: AtomicBool,
+    sites: Mutex<HashMap<String, Armed>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let reg = Registry {
+            any: AtomicBool::new(false),
+            sites: Mutex::new(HashMap::new()),
+        };
+        if let Ok(spec) = std::env::var("CROWDSPEED_FAILPOINTS") {
+            let mut sites = reg.sites.lock();
+            for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+                match parse_entry(entry.trim()) {
+                    Some((site, armed)) => {
+                        sites.insert(site, armed);
+                    }
+                    None => eprintln!("failpoint: ignoring malformed entry {entry:?}"),
+                }
+            }
+            let any = !sites.is_empty();
+            drop(sites);
+            reg.any.store(any, Ordering::Release);
+        }
+        reg
+    })
+}
+
+fn parse_entry(entry: &str) -> Option<(String, Armed)> {
+    let (site, action) = entry.split_once('=')?;
+    let mut parts = action.split(':');
+    let kind = parts.next()?;
+    let (action, remaining) = match kind {
+        "panic" | "fail" => {
+            let remaining = match parts.next() {
+                None => None,
+                Some(n) => Some(n.parse().ok()?),
+            };
+            let action = if kind == "panic" {
+                Action::Panic
+            } else {
+                Action::Fail
+            };
+            (action, remaining)
+        }
+        "stall" => {
+            let ms: u64 = parts.next()?.parse().ok()?;
+            let remaining = match parts.next() {
+                None => None,
+                Some(n) => Some(n.parse().ok()?),
+            };
+            (Action::Stall(ms), remaining)
+        }
+        _ => return None,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((site.to_string(), Armed { action, remaining }))
+}
+
+/// Arms `site` with `action`, firing at most `times` times (`None` =
+/// every time). Replaces any previous configuration of the site.
+pub fn configure(site: &str, action: Action, times: Option<u32>) {
+    let reg = registry();
+    let mut sites = reg.sites.lock();
+    sites.insert(
+        site.to_string(),
+        Armed {
+            action,
+            remaining: times,
+        },
+    );
+    reg.any.store(true, Ordering::Release);
+}
+
+/// Disarms every failpoint (tests call this between scenarios).
+pub fn clear_all() {
+    let reg = registry();
+    let mut sites = reg.sites.lock();
+    sites.clear();
+    reg.any.store(false, Ordering::Release);
+}
+
+/// Fires the failpoint at `site`. Returns `true` when the caller must
+/// simulate a resource failure ([`Action::Fail`]); [`Action::Panic`]
+/// panics here, [`Action::Stall`] sleeps here, and an unarmed site
+/// returns `false` after one relaxed atomic load.
+pub fn fire(site: &str) -> bool {
+    let reg = registry();
+    if !reg.any.load(Ordering::Acquire) {
+        return false;
+    }
+    let action = {
+        let mut sites = reg.sites.lock();
+        let Some(armed) = sites.get_mut(site) else {
+            return false;
+        };
+        match &mut armed.remaining {
+            Some(0) => return false,
+            Some(n) => *n -= 1,
+            None => {}
+        }
+        armed.action
+    };
+    match action {
+        Action::Panic => panic!("failpoint {site:?} injected a panic"),
+        Action::Fail => true,
+        Action::Stall(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_entry_understands_the_env_syntax() {
+        let (site, armed) = parse_entry("estimate=panic:2").unwrap();
+        assert_eq!(site, "estimate");
+        assert_eq!(armed.action, Action::Panic);
+        assert_eq!(armed.remaining, Some(2));
+        let (_, armed) = parse_entry("conn_spawn=fail").unwrap();
+        assert_eq!(armed.action, Action::Fail);
+        assert_eq!(armed.remaining, None);
+        let (_, armed) = parse_entry("retrain=stall:250:1").unwrap();
+        assert_eq!(armed.action, Action::Stall(250));
+        assert_eq!(armed.remaining, Some(1));
+        assert!(parse_entry("nonsense").is_none());
+        assert!(parse_entry("x=explode").is_none());
+        assert!(parse_entry("x=stall").is_none());
+        assert!(parse_entry("x=panic:1:extra").is_none());
+    }
+}

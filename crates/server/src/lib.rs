@@ -21,20 +21,24 @@
 //! * [`json`] — a dependency-free JSON codec with bit-exact `f64`
 //!   round-trips, so wire estimates are bit-identical to in-process
 //!   ones.
+//! * [`failpoint`] — a test-only fault-injection hook (panics, stalls,
+//!   spawn failures) that stays a single relaxed atomic load when
+//!   unarmed; the fault-tolerance suite drives the daemon through it.
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod daemon;
+pub mod failpoint;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
 pub mod state;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig};
 pub use daemon::{Daemon, DaemonConfig, DaemonHandle};
 pub use protocol::{ErrorKind, Request, Response};
-pub use state::{ModelSlot, TrainState};
+pub use state::{ModelSlot, RetrainError, TrainState};
 
 use crowdspeed::CoreError;
 use protocol::WireError;
@@ -57,6 +61,9 @@ pub enum ServerError {
     },
     /// The daemon's reply could not be interpreted.
     UnexpectedResponse(String),
+    /// The configured request timeout expired before a response
+    /// arrived; the client reconnects before its next request.
+    TimedOut,
 }
 
 impl std::fmt::Display for ServerError {
@@ -69,6 +76,7 @@ impl std::fmt::Display for ServerError {
                 write!(f, "daemon error ({kind}): {message}")
             }
             ServerError::UnexpectedResponse(m) => write!(f, "unexpected response: {m}"),
+            ServerError::TimedOut => write!(f, "request timed out"),
         }
     }
 }

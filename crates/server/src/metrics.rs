@@ -38,6 +38,9 @@ pub struct Metrics {
     commands: [CommandCounters; 4],
     rejected_overload: AtomicU64,
     rejected_deadline: AtomicU64,
+    rejected_connections: AtomicU64,
+    worker_panics: AtomicU64,
+    retrain_failures: AtomicU64,
     epoch: AtomicU64,
     days_ingested: AtomicU64,
     /// One count per bound in [`LATENCY_BUCKET_BOUNDS_US`] plus a
@@ -53,6 +56,9 @@ impl Metrics {
             commands: Default::default(),
             rejected_overload: AtomicU64::new(0),
             rejected_deadline: AtomicU64::new(0),
+            rejected_connections: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            retrain_failures: AtomicU64::new(0),
             epoch: AtomicU64::new(epoch),
             days_ingested: AtomicU64::new(days_ingested),
             latency: Default::default(),
@@ -88,6 +94,23 @@ impl Metrics {
     /// Counts an estimate dropped for an expired deadline.
     pub fn reject_deadline(&self) {
         self.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection refused at the acceptor (connection cap hit
+    /// or a handler thread could not be spawned).
+    pub fn reject_connection(&self) {
+        self.rejected_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a serving-worker panic that was isolated to one request.
+    pub fn worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a retrain that failed (panic or training error) after
+    /// passing the shape check; the previous model keeps serving.
+    pub fn retrain_failure(&self) {
+        self.retrain_failures.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Publishes a new model epoch to the gauge.
@@ -136,6 +159,9 @@ impl Metrics {
                 .collect(),
             rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            retrain_failures: self.retrain_failures.load(Ordering::Relaxed),
             latency_counts: self
                 .latency
                 .iter()
@@ -160,6 +186,10 @@ mod tests {
         m.ok(Command::Stats);
         m.reject_overload();
         m.reject_deadline();
+        m.reject_connection();
+        m.reject_connection();
+        m.worker_panic();
+        m.retrain_failure();
         m.set_epoch(7);
         m.set_days_ingested(6);
         let snap = m.snapshot();
@@ -172,6 +202,9 @@ mod tests {
         assert_eq!((stats.1.received, stats.1.ok, stats.1.errors), (1, 1, 0));
         assert_eq!(snap.rejected_overload, 1);
         assert_eq!(snap.rejected_deadline, 1);
+        assert_eq!(snap.rejected_connections, 2);
+        assert_eq!(snap.worker_panics, 1);
+        assert_eq!(snap.retrain_failures, 1);
     }
 
     #[test]

@@ -168,6 +168,15 @@ pub struct StatsReply {
     pub rejected_overload: u64,
     /// Estimate requests dropped because their deadline expired.
     pub rejected_deadline: u64,
+    /// Connections refused at the acceptor (connection cap hit, or a
+    /// handler thread failed to spawn).
+    pub rejected_connections: u64,
+    /// Serving-worker panics isolated to a single request; the worker
+    /// pool keeps its size and the daemon keeps answering.
+    pub worker_panics: u64,
+    /// Retrains that failed (panic or training error) after the shape
+    /// check; each left the previous model epoch serving.
+    pub retrain_failures: u64,
     /// Serving latency histogram: counts per bucket of
     /// [`LATENCY_BUCKET_BOUNDS_US`] plus a final overflow bucket.
     pub latency_counts: Vec<u64>,
@@ -405,6 +414,18 @@ impl Response {
                     Json::Num(stats.rejected_deadline as f64),
                 ),
                 (
+                    "rejected_connections".into(),
+                    Json::Num(stats.rejected_connections as f64),
+                ),
+                (
+                    "worker_panics".into(),
+                    Json::Num(stats.worker_panics as f64),
+                ),
+                (
+                    "retrain_failures".into(),
+                    Json::Num(stats.retrain_failures as f64),
+                ),
+                (
                     "latency_bounds_us".into(),
                     u64s_to_json(&LATENCY_BUCKET_BOUNDS_US),
                 ),
@@ -497,6 +518,15 @@ impl Response {
                     rejected_deadline: field(&json, "rejected_deadline")?
                         .as_u64()
                         .ok_or("rejected_deadline: bad integer")?,
+                    rejected_connections: field(&json, "rejected_connections")?
+                        .as_u64()
+                        .ok_or("rejected_connections: bad integer")?,
+                    worker_panics: field(&json, "worker_panics")?
+                        .as_u64()
+                        .ok_or("worker_panics: bad integer")?,
+                    retrain_failures: field(&json, "retrain_failures")?
+                        .as_u64()
+                        .ok_or("retrain_failures: bad integer")?,
                     latency_counts: json_to_u64s(
                         field(&json, "latency_counts")?,
                         "latency_counts",
@@ -779,6 +809,9 @@ mod tests {
                 ],
                 rejected_overload: 5,
                 rejected_deadline: 1,
+                rejected_connections: 3,
+                worker_panics: 2,
+                retrain_failures: 1,
                 latency_counts: vec![0; LATENCY_BUCKET_BOUNDS_US.len() + 1],
             }),
             Response::ShuttingDown,

@@ -19,8 +19,42 @@ use crowdspeed::prelude::*;
 use crowdspeed::CoreError;
 use parking_lot::RwLock;
 use roadnet::RoadGraph;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use trafficsim::{SlotClock, SpeedField};
+
+/// Why a retrain produced no new model.
+#[derive(Debug)]
+pub enum RetrainError {
+    /// The training pipeline returned a typed error.
+    Core(CoreError),
+    /// The training pipeline panicked; the payload message is carried
+    /// for the daemon's typed `Internal` response. The [`TrainState`]
+    /// was rolled back to its pre-ingest counters, so the next ingest
+    /// starts from a consistent model.
+    Panicked(String),
+}
+
+impl std::fmt::Display for RetrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetrainError::Core(e) => write!(f, "retrain failed: {e}"),
+            RetrainError::Panicked(m) => write!(f, "retrain panicked: {m}"),
+        }
+    }
+}
+
+/// Best-effort text of a caught panic payload (`&str` and `String`
+/// payloads; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// One published model generation.
 pub struct ModelEpoch {
@@ -121,6 +155,40 @@ impl TrainState {
         self.online.ingest_day(&day)?;
         self.days.push(day);
         Ok(())
+    }
+
+    /// The daemon's fault-isolated retrain: folds `day` in and trains a
+    /// new estimator, catching any panic along the way.
+    ///
+    /// On a panic the online counters and day history are rolled back
+    /// to their pre-ingest snapshot, so a fault mid-fold cannot leave
+    /// half-updated statistics behind — the state either advances by
+    /// exactly one day with a freshly trained model, or not at all.
+    /// The caller keeps serving the previous epoch either way
+    /// (graceful degradation); `parking_lot` mutexes are not poisoned
+    /// by design, so the train path stays usable after the rollback.
+    pub fn ingest_and_train(
+        &mut self,
+        day: SpeedField,
+    ) -> Result<(TrafficEstimator, u64), RetrainError> {
+        let online_snapshot = self.online.clone();
+        let days_before = self.days.len();
+        let this = &mut *self;
+        let outcome = catch_unwind(AssertUnwindSafe(move || -> Result<_, CoreError> {
+            crate::failpoint::fire("retrain");
+            this.ingest_day(day)?;
+            let estimator = this.train()?;
+            Ok(estimator)
+        }));
+        match outcome {
+            Ok(Ok(estimator)) => Ok((estimator, self.days_ingested())),
+            Ok(Err(e)) => Err(RetrainError::Core(e)),
+            Err(payload) => {
+                self.online = online_snapshot;
+                self.days.truncate(days_before);
+                Err(RetrainError::Panicked(panic_message(payload)))
+            }
+        }
     }
 
     /// Days the online model has ingested (bootstrap window included).

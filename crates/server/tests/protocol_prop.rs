@@ -157,8 +157,11 @@ proptest! {
         counters in prop::collection::vec((0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT), 4usize),
         rejected_overload in 0u64..MAX_EXACT,
         rejected_deadline in 0u64..MAX_EXACT,
+        // Bundled: proptest strategy tuples cap out at 8 parameters.
+        faults in (0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT),
         latency in prop::collection::vec(0u64..MAX_EXACT, LATENCY_BUCKET_BOUNDS_US.len() + 1),
     ) {
+        let (rejected_connections, worker_panics, retrain_failures) = faults;
         let names = ["estimate", "ingest_day", "stats", "shutdown"];
         let resp = Response::Stats(StatsReply {
             epoch,
@@ -173,6 +176,9 @@ proptest! {
                 .collect(),
             rejected_overload,
             rejected_deadline,
+            rejected_connections,
+            worker_panics,
+            retrain_failures,
             latency_counts: latency,
         });
         let decoded = Response::decode(&resp.encode())?;

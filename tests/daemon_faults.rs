@@ -1,0 +1,349 @@
+//! Fault-tolerance tests for the `crowdspeedd` TCP daemon: injected
+//! panics, stalled peers, connection floods, thread-spawn failures, and
+//! hung sockets. The daemon's promise under fault is graceful
+//! degradation — every failure is answered with a typed error (or a
+//! bounded timeout on the client side) and the process keeps serving.
+//!
+//! The failpoint registry is process-global, and cargo runs the tests
+//! in this binary on parallel threads, so every test that talks to a
+//! daemon serialises on [`FAULT_LOCK`] and clears the registry on both
+//! sides of its scenario.
+
+use crowdspeed::prelude::*;
+use crowdspeed_server::daemon::{Daemon, DaemonConfig, DaemonHandle};
+use crowdspeed_server::failpoint::{self, Action};
+use crowdspeed_server::protocol::{read_frame, ErrorKind, Request, Response};
+use crowdspeed_server::state::TrainState;
+use crowdspeed_server::{Client, ClientConfig, ServerError};
+use roadnet::RoadId;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use trafficsim::dataset::{metro_small, Dataset, DatasetParams};
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialises fault scenarios (the failpoint registry is global) and
+/// guarantees a clean registry even if the previous holder panicked.
+fn fault_guard() -> MutexGuard<'static, ()> {
+    let guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    failpoint::clear_all();
+    guard
+}
+
+fn dataset() -> Dataset {
+    metro_small(&DatasetParams {
+        training_days: 6,
+        test_days: 2,
+        ..DatasetParams::default()
+    })
+}
+
+fn seeds() -> Vec<RoadId> {
+    (0..12u32).map(|i| RoadId(i * 8)).collect()
+}
+
+fn corr_config() -> CorrelationConfig {
+    CorrelationConfig {
+        min_cotrend: 0.6,
+        min_co_observations: 6,
+        ..CorrelationConfig::default()
+    }
+}
+
+fn train_state(ds: &Dataset) -> TrainState {
+    TrainState::new(
+        ds.graph.clone(),
+        &ds.history,
+        seeds(),
+        &corr_config(),
+        EstimatorConfig::default(),
+    )
+}
+
+fn spawn(ds: &Dataset, config: DaemonConfig) -> DaemonHandle {
+    Daemon::spawn(train_state(ds), config).expect("daemon spawns")
+}
+
+fn observations_at(ds: &Dataset, slot: usize) -> Vec<(u32, f64)> {
+    let truth = &ds.test_days[0];
+    seeds()
+        .iter()
+        .map(|&s| (s.0, truth.speed(slot, s)))
+        .collect()
+}
+
+fn day_rows(day: &trafficsim::SpeedField) -> Vec<Vec<f64>> {
+    (0..day.num_slots())
+        .map(|slot| day.slot_speeds(slot).to_vec())
+        .collect()
+}
+
+/// Scenario 1: a panic inside an estimate worker answers a typed
+/// `Internal` error, the (single!) worker survives to serve the next
+/// request on the same connection, and STATS both still answers and
+/// counts the panic.
+#[test]
+fn worker_panic_answers_typed_internal_and_the_pool_survives() {
+    let _guard = fault_guard();
+    let ds = dataset();
+    let handle = spawn(
+        &ds,
+        DaemonConfig {
+            workers: 1,
+            ..DaemonConfig::default()
+        },
+    );
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    failpoint::configure("estimate", Action::Panic, Some(1));
+    match client.estimate(3, observations_at(&ds, 3), None) {
+        Err(ServerError::Remote {
+            kind: ErrorKind::Internal,
+            message,
+        }) => assert!(
+            message.contains("panicked"),
+            "error should say the worker panicked, got {message:?}"
+        ),
+        other => panic!("expected a typed Internal error, got {other:?}"),
+    }
+    // With exactly one worker, this request only succeeds if that
+    // worker outlived the panic.
+    let reply = client
+        .estimate(3, observations_at(&ds, 3), None)
+        .expect("the worker survives its panic");
+    assert_eq!(reply.epoch, 1);
+    let stats = client.stats().expect("STATS answers after a worker panic");
+    assert_eq!(stats.worker_panics, 1, "the panic is counted");
+    let estimate = &stats.commands[0];
+    assert_eq!(estimate.0, "estimate");
+    assert_eq!(
+        (estimate.1.received, estimate.1.ok, estimate.1.errors),
+        (2, 1, 1)
+    );
+    assert_eq!(
+        stats.latency_counts.iter().sum::<u64>(),
+        2,
+        "latency is recorded for error outcomes too"
+    );
+    failpoint::clear_all();
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+/// Scenario 2: a peer that opens a connection, sends half a frame, and
+/// stalls forever must not affect other connections — and must not
+/// prevent shutdown from draining.
+#[test]
+fn stalled_peer_leaves_other_connections_unaffected() {
+    let _guard = fault_guard();
+    let ds = dataset();
+    let handle = spawn(&ds, DaemonConfig::default());
+    // Declare a 65-byte frame, deliver 11 bytes, then go silent. The
+    // handler thread is now parked mid-frame on its read-timeout tick.
+    let mut stalled = TcpStream::connect(handle.addr()).expect("stalled peer connects");
+    stalled
+        .write_all(&65u32.to_be_bytes())
+        .expect("length prefix");
+    stalled.write_all(&[1u8; 11]).expect("partial payload");
+    stalled.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(100));
+    // Other connections are served normally while the peer stalls.
+    let mut client = Client::connect(handle.addr()).expect("healthy client connects");
+    for slot in [0usize, 5, 11] {
+        let reply = client
+            .estimate(slot, observations_at(&ds, slot), None)
+            .expect("estimates unaffected by the stalled peer");
+        assert_eq!(reply.epoch, 1);
+    }
+    let stats = client
+        .stats()
+        .expect("stats unaffected by the stalled peer");
+    assert_eq!(stats.commands[0].1.ok, 3);
+    client.shutdown().expect("clean shutdown");
+    // join() must return even though the stalled peer never completed
+    // its frame: the handler aborts at its next read-timeout tick.
+    handle.join();
+    drop(stalled);
+}
+
+/// Scenario 3: a connection flood past `max_connections` gets typed
+/// `Overloaded` frames, an injected thread-spawn failure sheds exactly
+/// one connection the same way, and the acceptor survives both to
+/// serve the next client.
+#[test]
+fn connection_flood_and_spawn_failure_are_shed_with_typed_overloaded() {
+    let _guard = fault_guard();
+    let ds = dataset();
+    let handle = spawn(
+        &ds,
+        DaemonConfig {
+            max_connections: 2,
+            ..DaemonConfig::default()
+        },
+    );
+    // Fill the connection budget with two idle peers.
+    let idle_a = TcpStream::connect(handle.addr()).expect("idle peer A");
+    let idle_b = TcpStream::connect(handle.addr()).expect("idle peer B");
+    std::thread::sleep(Duration::from_millis(100));
+    // The third connection is refused before any request is sent: the
+    // daemon pushes a typed Overloaded frame and hangs up.
+    let mut flooded = TcpStream::connect(handle.addr()).expect("flood connection");
+    let (_, payload) = read_frame(&mut flooded, 1 << 20, &|| false).expect("refusal frame");
+    match Response::decode(&payload).expect("refusal decodes") {
+        Response::Error { kind, message } => {
+            assert_eq!(kind, ErrorKind::Overloaded);
+            assert!(
+                message.contains("connection limit"),
+                "refusal names the cap, got {message:?}"
+            );
+        }
+        other => panic!("expected typed Overloaded, got {other:?}"),
+    }
+    drop(flooded);
+    // Free the budget and let the handlers notice the hang-ups.
+    drop(idle_a);
+    drop(idle_b);
+    std::thread::sleep(Duration::from_millis(200));
+    // Injected thread exhaustion: the next connection is shed the same
+    // way, and the acceptor keeps accepting afterwards.
+    failpoint::configure("conn_spawn", Action::Fail, Some(1));
+    let mut starved = TcpStream::connect(handle.addr()).expect("starved connection");
+    let (_, payload) = read_frame(&mut starved, 1 << 20, &|| false).expect("refusal frame");
+    match Response::decode(&payload).expect("refusal decodes") {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Overloaded),
+        other => panic!("expected typed Overloaded, got {other:?}"),
+    }
+    drop(starved);
+    // The acceptor survived the flood and the spawn failure.
+    let mut client = Client::connect(handle.addr()).expect("post-flood client connects");
+    let reply = client
+        .estimate(7, observations_at(&ds, 7), None)
+        .expect("daemon serves after the flood");
+    assert_eq!(reply.epoch, 1);
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.rejected_connections, 2,
+        "one cap refusal + one injected spawn failure"
+    );
+    failpoint::clear_all();
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+/// Scenario 4: a panic mid-retrain answers a typed `Internal` error,
+/// rolls the training state back, and leaves the old epoch serving —
+/// and because the rollback is complete, re-ingesting the same day
+/// afterwards produces exactly the model an untouched pipeline would.
+#[test]
+fn retrain_panic_keeps_the_old_epoch_serving_and_rolls_back_cleanly() {
+    let _guard = fault_guard();
+    let ds = dataset();
+    let handle = spawn(&ds, DaemonConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    let new_day = &ds.test_days[1];
+    failpoint::configure("retrain", Action::Panic, Some(1));
+    match client.ingest_day(day_rows(new_day)) {
+        Err(ServerError::Remote {
+            kind: ErrorKind::Internal,
+            message,
+        }) => assert!(
+            message.contains("panicked"),
+            "error should say the retrain panicked, got {message:?}"
+        ),
+        other => panic!("expected a typed Internal error, got {other:?}"),
+    }
+    assert_eq!(handle.epoch(), 1, "a failed retrain must not publish");
+    // The old model keeps serving.
+    let reply = client
+        .estimate(4, observations_at(&ds, 4), None)
+        .expect("estimates survive a retrain panic");
+    assert_eq!(reply.epoch, 1);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.retrain_failures, 1, "the failed retrain is counted");
+    // Re-ingesting the same day now succeeds, and the resulting model
+    // is bit-identical to one trained by a pipeline that never saw the
+    // fault — proof the rollback left no half-updated counters behind.
+    let (epoch, _days) = client
+        .ingest_day(day_rows(new_day))
+        .expect("ingest succeeds after the rollback");
+    assert_eq!(epoch, 2);
+    let mut reference_state = train_state(&ds);
+    reference_state
+        .ingest_day(new_day.clone())
+        .expect("reference ingest");
+    let reference = reference_state.train().expect("reference retrain");
+    let mut scratch = EstimateScratch::new();
+    for slot in [2usize, 10] {
+        let obs = observations_at(&ds, slot);
+        let reply = client.estimate(slot, obs.clone(), None).expect("estimate");
+        let direct_obs: Vec<(RoadId, f64)> = obs.iter().map(|&(r, v)| (RoadId(r), v)).collect();
+        let direct = reference
+            .try_estimate(slot, &direct_obs, &mut scratch)
+            .expect("direct estimate");
+        assert_eq!(reply.epoch, 2);
+        assert_eq!(
+            reply.speeds, direct.speeds,
+            "slot {slot}: post-rollback model == fault-free model"
+        );
+    }
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+/// Scenario 5: against a socket that accepts and then never answers,
+/// the client fails with [`ServerError::TimedOut`] within its
+/// configured budget, and retries reconnect (counted as fresh accepts)
+/// rather than waiting on the poisoned stream.
+#[test]
+fn client_times_out_against_a_hung_socket_and_retries_reconnect() {
+    // No daemon and no failpoints here — a bare listener plays the
+    // hung server, so the global registry is untouched.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("hung listener binds");
+    let addr = listener.local_addr().expect("addr");
+    let accepts = Arc::new(AtomicU64::new(0));
+    let accept_counter = Arc::clone(&accepts);
+    std::thread::spawn(move || {
+        // Hold every accepted socket open forever, never answering.
+        let mut held = Vec::new();
+        while let Ok((stream, _)) = listener.accept() {
+            accept_counter.fetch_add(1, Ordering::SeqCst);
+            held.push(stream);
+        }
+    });
+    let config = ClientConfig {
+        request_timeout: Some(Duration::from_millis(200)),
+        retries: 2,
+        backoff_base: Duration::from_millis(10),
+        ..ClientConfig::default()
+    };
+    let mut client = Client::connect_with(addr, config).expect("client connects");
+    let started = Instant::now();
+    match client.request(&Request::Stats) {
+        Err(ServerError::TimedOut) => {}
+        other => panic!("expected TimedOut from the raw request path, got {other:?}"),
+    }
+    let single = started.elapsed();
+    assert!(
+        single < Duration::from_secs(5),
+        "a hung socket must cost the timeout, not forever (took {single:?})"
+    );
+    // The idempotent path retries: each attempt reconnects (the timed
+    // out stream is poisoned) and times out again.
+    let started = Instant::now();
+    match client.stats() {
+        Err(ServerError::TimedOut) => {}
+        other => panic!("expected TimedOut after retries, got {other:?}"),
+    }
+    let retried = started.elapsed();
+    assert!(
+        retried < Duration::from_secs(10),
+        "three bounded attempts, not an unbounded wait (took {retried:?})"
+    );
+    assert_eq!(
+        accepts.load(Ordering::SeqCst),
+        4,
+        "initial connect + one reconnect per attempt of the retried request"
+    );
+}

@@ -1,0 +1,107 @@
+//! Property tests for the online correlation model: whatever sequence
+//! of days gets ingested (including sparse days full of unobserved
+//! cells), every edge the model materialises satisfies the configured
+//! thresholds — support of at least `min_co_observations` slot-level
+//! co-observations, and a smoothed co-trend probability outside the
+//! indeterminate band. Edges may come and go between materialisations
+//! (promotion *and* demotion are legal); meeting the thresholds at the
+//! moment of materialisation is the invariant.
+
+use crowdspeed::online::OnlineCorrelation;
+use crowdspeed::prelude::*;
+use proptest::prelude::*;
+use roadnet::{RoadGraph, RoadGraphBuilder, RoadId, RoadMeta};
+use trafficsim::{HistoricalData, SlotClock, SpeedField};
+
+/// A line topology: road i adjacent to road i+1. Small enough for the
+/// proptest to run hundreds of ingest sequences quickly, connected
+/// enough that `max_hops > 1` yields non-trivial candidate pairs.
+fn line_graph(roads: usize) -> RoadGraph {
+    let mut builder = RoadGraphBuilder::new();
+    let ids: Vec<RoadId> = (0..roads)
+        .map(|_| builder.add_road(RoadMeta::default()))
+        .collect();
+    for pair in ids.windows(2) {
+        builder.add_adjacency(pair[0], pair[1]).unwrap();
+    }
+    builder.build()
+}
+
+/// Materialises `cells` (flat, possibly-NaN) into a day of the given
+/// shape, reading cells by index so one fixed-size strategy serves
+/// every generated shape.
+fn day_from_cells(slots: usize, roads: usize, cells: &[f64]) -> SpeedField {
+    let mut day = SpeedField::filled(slots, roads, f64::NAN);
+    for slot in 0..slots {
+        for road in 0..roads {
+            let v = cells[(slot * roads + road) % cells.len()];
+            day.set_speed(slot, RoadId(road as u32), v);
+        }
+    }
+    day
+}
+
+/// One cell: usually an observed speed, sometimes an unobserved hole.
+fn cell() -> impl Strategy<Value = f64> {
+    (0u32..5, 5.0f64..60.0).prop_map(|(hole, v)| if hole == 0 { f64::NAN } else { v })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn materialised_edges_always_meet_the_thresholds(
+        roads in 3usize..6,
+        slots in 2usize..5,
+        max_hops in 1u32..3,
+        min_cotrend in 0.55f64..0.95,
+        min_co_observations in 1u32..12,
+        laplace in 0.5f64..2.0,
+        bootstrap_cells in prop::collection::vec(prop::collection::vec(cell(), 20), 1..4),
+        ingest_cells in prop::collection::vec(prop::collection::vec(cell(), 20), 0..6),
+    ) {
+        let graph = line_graph(roads);
+        let clock = SlotClock { slots_per_day: slots };
+        let config = CorrelationConfig {
+            max_hops,
+            min_cotrend,
+            min_co_observations,
+            laplace,
+        };
+        let bootstrap_days: Vec<SpeedField> = bootstrap_cells
+            .iter()
+            .map(|cells| day_from_cells(slots, roads, cells))
+            .collect();
+        let history = HistoricalData::from_days(clock, bootstrap_days);
+        let mut online = OnlineCorrelation::bootstrap(&graph, &history, &config);
+        // The invariant must hold at every materialisation point, not
+        // just the final one — edges demoted mid-sequence must actually
+        // disappear from the graph.
+        for cells in std::iter::once(None).chain(ingest_cells.iter().map(Some)) {
+            if let Some(cells) = cells {
+                online
+                    .ingest_day(&day_from_cells(slots, roads, cells))
+                    .unwrap();
+            }
+            let corr = online.correlation_graph();
+            for edge in corr.edges() {
+                prop_assert!(
+                    edge.support >= min_co_observations,
+                    "edge {:?}-{:?} materialised with support {} < {min_co_observations}",
+                    edge.a, edge.b, edge.support
+                );
+                prop_assert!(
+                    edge.cotrend >= min_cotrend || edge.cotrend <= 1.0 - min_cotrend,
+                    "edge {:?}-{:?} materialised inside the indeterminate band: \
+                     cotrend {} in ({}, {min_cotrend})",
+                    edge.a, edge.b, edge.cotrend, 1.0 - min_cotrend
+                );
+                prop_assert!(
+                    edge.cotrend > 0.0 && edge.cotrend < 1.0,
+                    "Laplace smoothing keeps cotrend strictly inside (0, 1), got {}",
+                    edge.cotrend
+                );
+            }
+        }
+    }
+}
