@@ -335,10 +335,13 @@ pub fn serve(args: &Args) -> Result<String> {
     ))
 }
 
-/// `daemon --dir DIR [--addr HOST:PORT] [--workers N] [--queue N] [--deadline-ms D]`
+/// `daemon --dir DIR [--addr HOST:PORT] [--workers N] [--queue N] [--deadline-ms D]
+/// [--snapshot-dir DIR] [--snapshot-keep N] [--frame-deadline-ms D]`
 ///
 /// Trains an estimator from the dataset dir and serves it over TCP
-/// until a `SHUTDOWN` frame arrives. Prints `listening on ADDR` once
+/// until a `SHUTDOWN` frame arrives. With `--snapshot-dir` the daemon
+/// resumes from the newest valid snapshot instead of retraining (and
+/// persists every epoch it publishes). Prints `listening on ADDR` once
 /// reachable (scripts wait for that line).
 pub fn daemon(args: &Args) -> Result<String> {
     use std::io::Write;
@@ -349,28 +352,36 @@ pub fn daemon(args: &Args) -> Result<String> {
         return Err(CliError::new("history and network disagree on road count"));
     }
     let seeds = store::read_seeds(&dir, graph.num_roads())?;
-    let train = crowdspeed_server::TrainState::new(
+    let inputs = crowdspeed_server::TrainInputs {
         graph,
-        &history,
+        history,
         seeds,
-        &CorrelationConfig::default(),
-        EstimatorConfig {
+        corr_config: CorrelationConfig::default(),
+        config: EstimatorConfig {
             // Initial training and INGEST_DAY retrains both run off the
             // serving path, so they can use every core by default.
             train_threads: args.num("train-threads", 0)?,
             ..EstimatorConfig::default()
         },
-    );
+    };
     let deadline_ms: u64 = args.num("deadline-ms", 0)?;
+    let defaults = crowdspeed_server::DaemonConfig::default();
+    let frame_deadline_ms: u64 =
+        args.num("frame-deadline-ms", defaults.frame_deadline_ms.unwrap_or(0))?;
     let config = crowdspeed_server::DaemonConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7700").to_string(),
         workers: args.num::<usize>("workers", 4)?.max(1),
         queue_capacity: args.num::<usize>("queue", 64)?.max(1),
         default_deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
         max_connections: args.num::<usize>("max-connections", 1024)?.max(1),
-        ..crowdspeed_server::DaemonConfig::default()
+        snapshot_dir: args.get("snapshot-dir").map(PathBuf::from),
+        snapshot_keep: args
+            .num::<usize>("snapshot-keep", defaults.snapshot_keep)?
+            .max(1),
+        frame_deadline_ms: (frame_deadline_ms > 0).then_some(frame_deadline_ms),
+        ..defaults
     };
-    let handle = crowdspeed_server::Daemon::spawn(train, config)
+    let handle = crowdspeed_server::Daemon::spawn_from(inputs, config)
         .map_err(|e| CliError::new(format!("daemon failed to start: {e}")))?;
     let addr = handle.addr();
     println!("listening on {addr}");
@@ -409,7 +420,7 @@ fn client_connect(args: &Args) -> Result<crowdspeed_server::Client> {
 }
 
 /// `client ACTION --addr HOST:PORT ...` where ACTION is one of
-/// `estimate`, `ingest`, `stats`, `shutdown`.
+/// `estimate`, `ingest`, `stats`, `snapshot`, `shutdown`.
 pub fn client(action: &str, args: &Args) -> Result<String> {
     let mut client = client_connect(args)?;
     match action {
@@ -484,6 +495,21 @@ pub fn client(action: &str, args: &Args) -> Result<String> {
                 "faults: {} worker panics, {} retrain failures, {} rejected connections\n",
                 stats.worker_panics, stats.retrain_failures, stats.rejected_connections
             ));
+            out.push_str(&format!(
+                "snapshots: {} written, {} write failures, resumed={} | {} ignored observations\n",
+                stats.snapshot_writes,
+                stats.snapshot_write_failures,
+                stats.snapshot_resumed,
+                stats.ignored_observations
+            ));
+            let rejected: u64 = stats.snapshot_rejects.iter().map(|(_, c)| c).sum();
+            if rejected > 0 {
+                out.push_str("snapshot rejects:");
+                for (reason, count) in stats.snapshot_rejects.iter().filter(|(_, c)| *c > 0) {
+                    out.push_str(&format!(" {reason}={count}"));
+                }
+                out.push('\n');
+            }
             for (name, c) in &stats.commands {
                 out.push_str(&format!(
                     "  {name}: {} received, {} ok, {} errors\n",
@@ -497,6 +523,14 @@ pub fn client(action: &str, args: &Args) -> Result<String> {
                 stats.commands.first().map_or(0, |(_, c)| c.ok)
             ))
         }
+        // `client snapshot [--addr HOST:PORT]` — forces a snapshot write
+        // and prints where it landed.
+        "snapshot" => {
+            let (epoch, path) = client
+                .snapshot()
+                .map_err(|e| CliError::new(format!("snapshot failed: {e}")))?;
+            Ok(format!("snapshotted model epoch {epoch} to {path}"))
+        }
         "shutdown" => {
             client
                 .shutdown()
@@ -504,7 +538,7 @@ pub fn client(action: &str, args: &Args) -> Result<String> {
             Ok("daemon acknowledged shutdown".to_string())
         }
         other => Err(CliError::new(format!(
-            "unknown client action {other:?} (estimate | ingest | stats | shutdown)"
+            "unknown client action {other:?} (estimate | ingest | stats | snapshot | shutdown)"
         ))),
     }
 }
@@ -580,11 +614,18 @@ USAGE:
   crowdspeed route    --dir DIR --slot S --from A --to B (--obs FILE | --truth-day D)
   crowdspeed daemon   --dir DIR [--addr HOST:PORT] [--workers N] [--queue N]
                       [--deadline-ms D] [--train-threads N] [--max-connections N]
+                      [--snapshot-dir DIR] [--snapshot-keep N] [--frame-deadline-ms D]
   crowdspeed client   estimate --slot S (--obs FILE | --dir DIR --truth-day D)
                       [--addr HOST:PORT] [--deadline-ms D]
   crowdspeed client   ingest --dir DIR --truth-day D [--addr HOST:PORT]
-  crowdspeed client   stats|shutdown [--addr HOST:PORT]
+  crowdspeed client   stats|snapshot|shutdown [--addr HOST:PORT]
   crowdspeed help
+
+With --snapshot-dir the daemon persists every published model epoch
+(keeping the newest --snapshot-keep files, default 3) and on restart
+resumes from the newest valid snapshot instead of retraining;
+--frame-deadline-ms bounds how long a connection may take to deliver
+one request frame (0 disables; default 30000).
 
 Client actions also accept [--timeout-ms MS] [--connect-timeout-ms MS]
 [--retries N] [--backoff-ms MS]; 0 disables a timeout, and retries

@@ -1,0 +1,492 @@
+//! Length-prefixed little-endian binary codec for model state.
+//!
+//! Extends the snapshot codec style of `trafficsim::snapshot` (raw
+//! `bytes` put/get, `NaN`-bit-exact `f64`s, no serde) to the model
+//! types the serving daemon persists: configuration blocks, the
+//! correlation graph, and — via in-module methods on the private types
+//! themselves — the online accumulator and the trained estimator.
+//!
+//! Every `encode_*` here is canonical (a value has exactly one
+//! encoding), so the same functions double as the input to the
+//! snapshot header's config hash.
+
+use crate::correlation::{CorrelationConfig, CorrelationEdge, CorrelationGraph};
+use crate::inference::hlm::{HlmConfig, Pooling};
+use crate::inference::trend_model::{TrendEngine, TrendModelConfig};
+use crate::seed::objective::InfluenceConfig;
+use bytes::{Buf, BufMut, BytesMut};
+use graphmodel::{gibbs, lbp, meanfield};
+use roadnet::RoadId;
+
+/// Model-codec decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input shorter than its layout claims.
+    Truncated,
+    /// Structurally well-formed bytes describing an invalid value
+    /// (e.g. an out-of-range enum tag or a mismatched vector length).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "model snapshot truncated"),
+            DecodeError::Corrupt(msg) => write!(f, "model snapshot corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<trafficsim::snapshot::SnapshotError> for DecodeError {
+    fn from(e: trafficsim::snapshot::SnapshotError) -> Self {
+        use trafficsim::snapshot::SnapshotError;
+        match e {
+            SnapshotError::Truncated => DecodeError::Truncated,
+            SnapshotError::BadMagic => DecodeError::Corrupt("bad field magic".into()),
+            SnapshotError::BadVersion(v) => {
+                DecodeError::Corrupt(format!("unsupported field version {v}"))
+            }
+        }
+    }
+}
+
+/// Convenience alias for codec results.
+pub type DecodeResult<T> = std::result::Result<T, DecodeError>;
+
+// ---------------------------------------------------------------------
+// Primitives.
+
+#[inline]
+fn need(buf: &impl Buf, n: usize) -> DecodeResult<()> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Reads a `u8`.
+pub fn get_u8(buf: &mut impl Buf) -> DecodeResult<u8> {
+    need(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+/// Reads a little-endian `u32`.
+pub fn get_u32(buf: &mut impl Buf) -> DecodeResult<u32> {
+    need(buf, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+/// Reads a little-endian `u64`.
+pub fn get_u64(buf: &mut impl Buf) -> DecodeResult<u64> {
+    need(buf, 8)?;
+    Ok(buf.get_u64_le())
+}
+
+/// Reads a little-endian `f64` (bit-exact, `NaN`s included).
+pub fn get_f64(buf: &mut impl Buf) -> DecodeResult<f64> {
+    need(buf, 8)?;
+    Ok(buf.get_f64_le())
+}
+
+/// Writes a `usize` as a little-endian `u64`.
+pub fn put_usize(buf: &mut BytesMut, v: usize) {
+    buf.put_u64_le(v as u64);
+}
+
+/// Reads a `usize` written by [`put_usize`].
+pub fn get_usize(buf: &mut impl Buf) -> DecodeResult<usize> {
+    let v = get_u64(buf)?;
+    usize::try_from(v).map_err(|_| DecodeError::Corrupt(format!("length {v} overflows usize")))
+}
+
+/// Writes a `bool` as one byte.
+pub fn put_bool(buf: &mut BytesMut, v: bool) {
+    buf.put_u8(v as u8);
+}
+
+/// Reads a `bool` written by [`put_bool`].
+pub fn get_bool(buf: &mut impl Buf) -> DecodeResult<bool> {
+    match get_u8(buf)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(DecodeError::Corrupt(format!("bad bool byte {other}"))),
+    }
+}
+
+/// Writes an `f64` slice with a `u32` length prefix.
+pub fn put_f64_slice(buf: &mut BytesMut, v: &[f64]) {
+    buf.put_u32_le(v.len() as u32);
+    for &x in v {
+        buf.put_f64_le(x);
+    }
+}
+
+/// Reads an `f64` vector written by [`put_f64_slice`].
+pub fn get_f64_vec(buf: &mut impl Buf) -> DecodeResult<Vec<f64>> {
+    let len = get_u32(buf)? as usize;
+    need(buf, len.saturating_mul(8))?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(buf.get_f64_le());
+    }
+    Ok(out)
+}
+
+/// Writes a `u32` slice with a `u32` length prefix.
+pub fn put_u32_slice(buf: &mut BytesMut, v: &[u32]) {
+    buf.put_u32_le(v.len() as u32);
+    for &x in v {
+        buf.put_u32_le(x);
+    }
+}
+
+/// Reads a `u32` vector written by [`put_u32_slice`].
+pub fn get_u32_vec(buf: &mut impl Buf) -> DecodeResult<Vec<u32>> {
+    let len = get_u32(buf)? as usize;
+    need(buf, len.saturating_mul(4))?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(buf.get_u32_le());
+    }
+    Ok(out)
+}
+
+/// Writes a `RoadId` slice with a `u32` length prefix.
+pub fn put_road_slice(buf: &mut BytesMut, v: &[RoadId]) {
+    buf.put_u32_le(v.len() as u32);
+    for r in v {
+        buf.put_u32_le(r.0);
+    }
+}
+
+/// Reads a `RoadId` vector written by [`put_road_slice`].
+pub fn get_road_vec(buf: &mut impl Buf) -> DecodeResult<Vec<RoadId>> {
+    Ok(get_u32_vec(buf)?.into_iter().map(RoadId).collect())
+}
+
+// ---------------------------------------------------------------------
+// Configuration blocks.
+
+/// Encodes a [`CorrelationConfig`].
+pub fn encode_correlation_config(c: &CorrelationConfig, buf: &mut BytesMut) {
+    buf.put_u32_le(c.max_hops);
+    buf.put_f64_le(c.min_cotrend);
+    buf.put_u32_le(c.min_co_observations);
+    buf.put_f64_le(c.laplace);
+}
+
+/// Decodes a [`CorrelationConfig`].
+pub fn decode_correlation_config(buf: &mut impl Buf) -> DecodeResult<CorrelationConfig> {
+    Ok(CorrelationConfig {
+        max_hops: get_u32(buf)?,
+        min_cotrend: get_f64(buf)?,
+        min_co_observations: get_u32(buf)?,
+        laplace: get_f64(buf)?,
+    })
+}
+
+/// Encodes a [`TrendModelConfig`].
+pub fn encode_trend_model_config(c: &TrendModelConfig, buf: &mut BytesMut) {
+    buf.put_f64_le(c.coupling_scale);
+    buf.put_f64_le(c.degree_norm);
+    buf.put_f64_le(c.prior_clamp);
+}
+
+/// Decodes a [`TrendModelConfig`].
+pub fn decode_trend_model_config(buf: &mut impl Buf) -> DecodeResult<TrendModelConfig> {
+    Ok(TrendModelConfig {
+        coupling_scale: get_f64(buf)?,
+        degree_norm: get_f64(buf)?,
+        prior_clamp: get_f64(buf)?,
+    })
+}
+
+/// Encodes an [`InfluenceConfig`].
+pub fn encode_influence_config(c: &InfluenceConfig, buf: &mut BytesMut) {
+    buf.put_u32_le(c.max_hops);
+    buf.put_f64_le(c.min_influence);
+}
+
+/// Decodes an [`InfluenceConfig`].
+pub fn decode_influence_config(buf: &mut impl Buf) -> DecodeResult<InfluenceConfig> {
+    Ok(InfluenceConfig {
+        max_hops: get_u32(buf)?,
+        min_influence: get_f64(buf)?,
+    })
+}
+
+/// Encodes an [`HlmConfig`].
+pub fn encode_hlm_config(c: &HlmConfig, buf: &mut BytesMut) {
+    buf.put_f64_le(c.lambda_city);
+    buf.put_f64_le(c.lambda_class);
+    buf.put_f64_le(c.lambda_road);
+    put_usize(buf, c.min_road_rows);
+    put_usize(buf, c.max_cells_per_road);
+    buf.put_f64_le(c.deviation_clamp.0);
+    buf.put_f64_le(c.deviation_clamp.1);
+    put_bool(buf, c.log_space);
+    put_usize(buf, c.max_seed_neighbors);
+    put_usize(buf, c.spatial_neighbors);
+    put_usize(buf, c.propagation_iters);
+    buf.put_f64_le(c.propagation_anchor);
+    buf.put_u8(match c.pooling {
+        Pooling::Full => 0,
+        Pooling::ClassOnly => 1,
+        Pooling::GlobalOnly => 2,
+    });
+    put_bool(buf, c.split_regimes);
+    encode_influence_config(&c.influence, buf);
+}
+
+/// Decodes an [`HlmConfig`].
+pub fn decode_hlm_config(buf: &mut impl Buf) -> DecodeResult<HlmConfig> {
+    Ok(HlmConfig {
+        lambda_city: get_f64(buf)?,
+        lambda_class: get_f64(buf)?,
+        lambda_road: get_f64(buf)?,
+        min_road_rows: get_usize(buf)?,
+        max_cells_per_road: get_usize(buf)?,
+        deviation_clamp: (get_f64(buf)?, get_f64(buf)?),
+        log_space: get_bool(buf)?,
+        max_seed_neighbors: get_usize(buf)?,
+        spatial_neighbors: get_usize(buf)?,
+        propagation_iters: get_usize(buf)?,
+        propagation_anchor: get_f64(buf)?,
+        pooling: match get_u8(buf)? {
+            0 => Pooling::Full,
+            1 => Pooling::ClassOnly,
+            2 => Pooling::GlobalOnly,
+            t => return Err(DecodeError::Corrupt(format!("bad pooling tag {t}"))),
+        },
+        split_regimes: get_bool(buf)?,
+        influence: decode_influence_config(buf)?,
+    })
+}
+
+/// Encodes a [`TrendEngine`] (tagged union).
+pub fn encode_engine(e: &TrendEngine, buf: &mut BytesMut) {
+    match e {
+        TrendEngine::Lbp(o) => {
+            buf.put_u8(0);
+            put_usize(buf, o.max_iters);
+            buf.put_f64_le(o.tol);
+            buf.put_f64_le(o.damping);
+        }
+        TrendEngine::Gibbs { options, seed } => {
+            buf.put_u8(1);
+            put_usize(buf, options.burn_in);
+            put_usize(buf, options.samples);
+            buf.put_u64_le(*seed);
+        }
+        TrendEngine::MeanField(o) => {
+            buf.put_u8(2);
+            put_usize(buf, o.max_iters);
+            buf.put_f64_le(o.tol);
+            buf.put_f64_le(o.damping);
+        }
+        TrendEngine::Exact => buf.put_u8(3),
+        TrendEngine::PriorOnly => buf.put_u8(4),
+    }
+}
+
+/// Decodes a [`TrendEngine`] written by [`encode_engine`].
+pub fn decode_engine(buf: &mut impl Buf) -> DecodeResult<TrendEngine> {
+    match get_u8(buf)? {
+        0 => Ok(TrendEngine::Lbp(lbp::LbpOptions {
+            max_iters: get_usize(buf)?,
+            tol: get_f64(buf)?,
+            damping: get_f64(buf)?,
+        })),
+        1 => Ok(TrendEngine::Gibbs {
+            options: gibbs::GibbsOptions {
+                burn_in: get_usize(buf)?,
+                samples: get_usize(buf)?,
+            },
+            seed: get_u64(buf)?,
+        }),
+        2 => Ok(TrendEngine::MeanField(meanfield::MeanFieldOptions {
+            max_iters: get_usize(buf)?,
+            tol: get_f64(buf)?,
+            damping: get_f64(buf)?,
+        })),
+        3 => Ok(TrendEngine::Exact),
+        4 => Ok(TrendEngine::PriorOnly),
+        t => Err(DecodeError::Corrupt(format!("bad engine tag {t}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Correlation graph.
+
+/// Encodes a [`CorrelationGraph`] as `(n, edge list)`; the CSR
+/// adjacency is rebuilt deterministically by
+/// [`CorrelationGraph::from_edges`] on decode, so the round-trip is
+/// bit-identical (every construction path ends in `from_edges`).
+pub fn encode_correlation_graph(g: &CorrelationGraph, buf: &mut BytesMut) {
+    buf.put_u32_le(g.num_roads() as u32);
+    buf.put_u32_le(g.num_edges() as u32);
+    for e in g.edges() {
+        buf.put_u32_le(e.a.0);
+        buf.put_u32_le(e.b.0);
+        buf.put_f64_le(e.cotrend);
+        buf.put_u32_le(e.support);
+    }
+}
+
+/// Decodes a graph written by [`encode_correlation_graph`].
+pub fn decode_correlation_graph(buf: &mut impl Buf) -> DecodeResult<CorrelationGraph> {
+    let n = get_u32(buf)? as usize;
+    let m = get_u32(buf)? as usize;
+    need(buf, m.saturating_mul(20))?;
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let a = RoadId(buf.get_u32_le());
+        let b = RoadId(buf.get_u32_le());
+        let cotrend = buf.get_f64_le();
+        let support = buf.get_u32_le();
+        if a.index() >= n || b.index() >= n {
+            return Err(DecodeError::Corrupt(format!(
+                "edge ({a}, {b}) outside {n} roads"
+            )));
+        }
+        edges.push(CorrelationEdge {
+            a,
+            b,
+            cotrend,
+            support,
+        });
+    }
+    CorrelationGraph::from_edges(n, edges).map_err(|e| DecodeError::Corrupt(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_graph(g: &CorrelationGraph) -> CorrelationGraph {
+        let mut buf = BytesMut::new();
+        encode_correlation_graph(g, &mut buf);
+        decode_correlation_graph(&mut buf.freeze()).unwrap()
+    }
+
+    #[test]
+    fn correlation_graph_roundtrips_bit_exact() {
+        let e = |a: u32, b: u32, p: f64| CorrelationEdge {
+            a: RoadId(a),
+            b: RoadId(b),
+            cotrend: p,
+            support: a + b,
+        };
+        let g = CorrelationGraph::from_edges(4, vec![e(0, 1, 0.9), e(1, 3, 0.15)]).unwrap();
+        let d = roundtrip_graph(&g);
+        assert_eq!(d.num_roads(), 4);
+        assert_eq!(d.edges().len(), 2);
+        for (x, y) in g.edges().iter().zip(d.edges()) {
+            assert_eq!((x.a, x.b, x.support), (y.a, y.b, y.support));
+            assert_eq!(x.cotrend.to_bits(), y.cotrend.to_bits());
+        }
+        // CSR adjacency is rebuilt identically.
+        for r in 0..4 {
+            let a: Vec<_> = g.neighbors(RoadId(r)).collect();
+            let b: Vec<_> = d.neighbors(RoadId(r)).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn correlation_graph_rejects_out_of_range_edge() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(2); // n
+        buf.put_u32_le(1); // edges
+        buf.put_u32_le(0);
+        buf.put_u32_le(7); // outside n
+        buf.put_f64_le(0.9);
+        buf.put_u32_le(3);
+        assert!(matches!(
+            decode_correlation_graph(&mut buf.freeze()),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn configs_roundtrip() {
+        let mut buf = BytesMut::new();
+        let cc = CorrelationConfig {
+            max_hops: 3,
+            min_cotrend: 0.7,
+            min_co_observations: 9,
+            laplace: 0.5,
+        };
+        encode_correlation_config(&cc, &mut buf);
+        let hc = HlmConfig {
+            pooling: Pooling::ClassOnly,
+            split_regimes: false,
+            ..HlmConfig::default()
+        };
+        encode_hlm_config(&hc, &mut buf);
+        encode_trend_model_config(&TrendModelConfig::default(), &mut buf);
+        let mut b = buf.freeze();
+        let cc2 = decode_correlation_config(&mut b).unwrap();
+        assert_eq!(
+            (cc2.max_hops, cc2.min_co_observations),
+            (cc.max_hops, cc.min_co_observations)
+        );
+        assert_eq!(cc2.min_cotrend.to_bits(), cc.min_cotrend.to_bits());
+        let hc2 = decode_hlm_config(&mut b).unwrap();
+        assert_eq!(hc2.pooling, Pooling::ClassOnly);
+        assert!(!hc2.split_regimes);
+        assert_eq!(hc2.max_seed_neighbors, hc.max_seed_neighbors);
+        let tc = decode_trend_model_config(&mut b).unwrap();
+        assert_eq!(
+            tc.coupling_scale.to_bits(),
+            TrendModelConfig::default().coupling_scale.to_bits()
+        );
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn engines_roundtrip() {
+        for engine in [
+            TrendEngine::default(),
+            TrendEngine::Gibbs {
+                options: gibbs::GibbsOptions::default(),
+                seed: 42,
+            },
+            TrendEngine::MeanField(meanfield::MeanFieldOptions::default()),
+            TrendEngine::Exact,
+            TrendEngine::PriorOnly,
+        ] {
+            let mut buf = BytesMut::new();
+            encode_engine(&engine, &mut buf);
+            let d = decode_engine(&mut buf.freeze()).unwrap();
+            // Canonical encodings compare equal byte-for-byte.
+            let mut a = BytesMut::new();
+            let mut b = BytesMut::new();
+            encode_engine(&engine, &mut a);
+            encode_engine(&d, &mut b);
+            assert_eq!(a, b);
+        }
+        let mut bad = BytesMut::new();
+        bad.put_u8(9);
+        assert!(matches!(
+            decode_engine(&mut bad.freeze()),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn bool_and_length_guards() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(2);
+        assert!(matches!(
+            get_bool(&mut buf.freeze()),
+            Err(DecodeError::Corrupt(_))
+        ));
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(10); // claims 10 f64s, provides none
+        assert_eq!(get_f64_vec(&mut buf.freeze()), Err(DecodeError::Truncated));
+    }
+}

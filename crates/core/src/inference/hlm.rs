@@ -600,6 +600,154 @@ impl HlmModel {
         &self.config
     }
 
+    /// Serialises the trained body (config, seeds, neighbour tables,
+    /// road classes, both regimes' ridge coefficients) in the snapshot
+    /// codec style. The correlation graph is *not* written — the
+    /// enclosing estimator snapshot stores it once and hands it back to
+    /// [`HlmModel::decode_snapshot_from`].
+    pub fn encode_snapshot_into(&self, buf: &mut bytes::BytesMut) {
+        use crate::codec::{put_f64_slice, put_road_slice, put_usize};
+        use bytes::BufMut;
+        crate::codec::encode_hlm_config(&self.config, buf);
+        put_road_slice(buf, &self.seeds);
+        let put_neighbors = |buf: &mut bytes::BytesMut, table: &[Vec<(usize, f64)>]| {
+            buf.put_u32_le(table.len() as u32);
+            for list in table {
+                buf.put_u32_le(list.len() as u32);
+                for &(si, w) in list {
+                    buf.put_u32_le(si as u32);
+                    buf.put_f64_le(w);
+                }
+            }
+        };
+        put_neighbors(buf, &self.seed_neighbors);
+        put_neighbors(buf, &self.spatial_neighbors);
+        buf.put_u32_le(self.road_class.len() as u32);
+        for &c in &self.road_class {
+            put_usize(buf, c);
+        }
+        for regime in &self.regimes {
+            put_f64_slice(buf, &regime.city);
+            buf.put_u32_le(regime.class.len() as u32);
+            for coefs in &regime.class {
+                put_f64_slice(buf, coefs);
+            }
+            buf.put_u32_le(regime.road.len() as u32);
+            for road in &regime.road {
+                match road {
+                    Some(coefs) => {
+                        buf.put_u8(1);
+                        put_f64_slice(buf, coefs);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+        }
+    }
+
+    /// Decodes a model written by [`HlmModel::encode_snapshot_into`].
+    pub fn decode_snapshot_from(
+        corr: CorrelationGraph,
+        buf: &mut impl bytes::Buf,
+    ) -> std::result::Result<HlmModel, crate::codec::DecodeError> {
+        use crate::codec::{self, DecodeError};
+        fn get_neighbors<B: bytes::Buf>(
+            buf: &mut B,
+            num_seeds: usize,
+        ) -> std::result::Result<Vec<Vec<(usize, f64)>>, DecodeError> {
+            let n = codec::get_u32(buf)? as usize;
+            let mut table = Vec::with_capacity(n);
+            for _ in 0..n {
+                let len = codec::get_u32(buf)? as usize;
+                if buf.remaining() < len.saturating_mul(12) {
+                    return Err(DecodeError::Truncated);
+                }
+                let mut list = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let si = buf.get_u32_le() as usize;
+                    if si >= num_seeds {
+                        return Err(DecodeError::Corrupt(format!(
+                            "neighbour references seed {si} of {num_seeds}"
+                        )));
+                    }
+                    list.push((si, buf.get_f64_le()));
+                }
+                table.push(list);
+            }
+            Ok(table)
+        }
+        fn decode_regime<B: bytes::Buf>(
+            buf: &mut B,
+        ) -> std::result::Result<RegimeCoefs, DecodeError> {
+            let city = codec::get_f64_vec(buf)?;
+            let classes = codec::get_u32(buf)? as usize;
+            let mut class = Vec::with_capacity(classes);
+            for _ in 0..classes {
+                class.push(codec::get_f64_vec(buf)?);
+            }
+            let roads = codec::get_u32(buf)? as usize;
+            let mut road = Vec::with_capacity(roads);
+            for _ in 0..roads {
+                road.push(match codec::get_u8(buf)? {
+                    0 => None,
+                    1 => Some(codec::get_f64_vec(buf)?),
+                    t => {
+                        return Err(DecodeError::Corrupt(format!(
+                            "bad road-coefficient tag {t}"
+                        )))
+                    }
+                });
+            }
+            Ok(RegimeCoefs { city, class, road })
+        }
+        let config = codec::decode_hlm_config(buf)?;
+        let seeds = codec::get_road_vec(buf)?;
+        let num_seeds = seeds.len();
+        let seed_neighbors = get_neighbors(buf, num_seeds)?;
+        let spatial_neighbors = get_neighbors(buf, num_seeds)?;
+        let n_class = codec::get_u32(buf)? as usize;
+        let mut road_class = Vec::with_capacity(n_class);
+        for _ in 0..n_class {
+            road_class.push(codec::get_usize(buf)?);
+        }
+        let up = decode_regime(buf)?;
+        let down = decode_regime(buf)?;
+        let n = corr.num_roads();
+        if seed_neighbors.len() != n || spatial_neighbors.len() != n || road_class.len() != n {
+            return Err(DecodeError::Corrupt(format!(
+                "per-road tables ({}, {}, {}) disagree with {n} roads",
+                seed_neighbors.len(),
+                spatial_neighbors.len(),
+                road_class.len()
+            )));
+        }
+        for regime in [&up, &down] {
+            if regime.road.len() != n {
+                return Err(DecodeError::Corrupt(format!(
+                    "regime road coefficients ({}) disagree with {n} roads",
+                    regime.road.len()
+                )));
+            }
+            for c in &road_class {
+                if *c >= regime.class.len() {
+                    return Err(DecodeError::Corrupt(format!(
+                        "road class {c} outside {} fitted classes",
+                        regime.class.len()
+                    )));
+                }
+            }
+        }
+        Ok(HlmModel {
+            config,
+            seeds,
+            corr,
+            seed_neighbors,
+            spatial_neighbors,
+            road_class,
+            regimes: [up, down],
+        })
+    }
+
     /// Predicts per-road deviations.
     ///
     /// * `seed_devs[si]` — observed deviation of seed `si` (`None` when

@@ -210,6 +210,68 @@ impl TrafficEstimator {
         &self.seeds
     }
 
+    /// Serialises the trained estimator in the snapshot codec style:
+    /// history statistics, the correlation graph (written once, shared
+    /// by both models on decode), the trend-model and HLM bodies, the
+    /// seed set, the serving engine, and the coverage vector. Derived
+    /// structures (compiled slot MRFs, the seed index, the CSR
+    /// adjacency) are rebuilt deterministically on decode, so a decoded
+    /// estimator answers [`TrafficEstimator::estimate_with`]
+    /// bit-identically to the encoder's.
+    pub fn encode_snapshot_into(&self, buf: &mut bytes::BytesMut) {
+        self.stats.encode_into(buf);
+        crate::codec::encode_correlation_graph(self.trend_model.correlation(), buf);
+        self.trend_model.encode_snapshot_into(buf);
+        self.hlm.encode_snapshot_into(buf);
+        crate::codec::put_road_slice(buf, &self.seeds);
+        crate::codec::encode_engine(&self.engine, buf);
+        crate::codec::put_f64_slice(buf, &self.coverage);
+    }
+
+    /// Decodes an estimator written by
+    /// [`TrafficEstimator::encode_snapshot_into`].
+    pub fn decode_snapshot_from(
+        buf: &mut impl bytes::Buf,
+    ) -> std::result::Result<TrafficEstimator, crate::codec::DecodeError> {
+        use crate::codec::{self, DecodeError};
+        let stats = HistoryStats::decode_from(buf)?;
+        let corr = codec::decode_correlation_graph(buf)?;
+        let n = corr.num_roads();
+        if n != stats.num_roads() {
+            return Err(DecodeError::Corrupt(format!(
+                "correlation graph spans {n} roads, statistics {}",
+                stats.num_roads()
+            )));
+        }
+        let trend_model = TrendModel::decode_snapshot_from(corr.clone(), buf)?;
+        let hlm = HlmModel::decode_snapshot_from(corr, buf)?;
+        let seeds = codec::get_road_vec(buf)?;
+        let engine = codec::decode_engine(buf)?;
+        let coverage = codec::get_f64_vec(buf)?;
+        if coverage.len() != n {
+            return Err(DecodeError::Corrupt(format!(
+                "coverage vector holds {} roads, expected {n}",
+                coverage.len()
+            )));
+        }
+        let mut seed_index = vec![None; n];
+        for (si, s) in seeds.iter().enumerate() {
+            if s.index() >= n {
+                return Err(DecodeError::Corrupt(format!("seed {s} outside {n} roads")));
+            }
+            seed_index[s.index()] = Some(si);
+        }
+        Ok(TrafficEstimator {
+            stats,
+            trend_model,
+            hlm,
+            seeds,
+            seed_index,
+            engine,
+            coverage: Arc::new(coverage),
+        })
+    }
+
     /// The trained trend model (exposed for experiments).
     pub fn trend_model(&self) -> &TrendModel {
         &self.trend_model
@@ -470,6 +532,33 @@ mod tests {
             &EstimatorConfig::default()
         )
         .is_err());
+    }
+
+    #[test]
+    fn snapshot_codec_roundtrip_serves_bit_identically() {
+        let (ds, _, est, seeds) = setup();
+        let mut buf = bytes::BytesMut::new();
+        est.encode_snapshot_into(&mut buf);
+        let decoded = TrafficEstimator::decode_snapshot_from(&mut buf.clone().freeze()).unwrap();
+        // Canonical codec: re-encoding reproduces the exact bytes.
+        let mut buf2 = bytes::BytesMut::new();
+        decoded.encode_snapshot_into(&mut buf2);
+        assert_eq!(buf, buf2);
+        // ...and the decoded estimator answers bit-identically.
+        for slot in [0, 8, 17] {
+            let obs = observe(&ds.test_days[0], slot, &seeds);
+            let a = est.estimate(slot, &obs);
+            let b = decoded.estimate(slot, &obs);
+            for (x, y) in a.speeds.iter().zip(&b.speeds) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in a.p_up.iter().zip(&b.p_up) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in a.confidence.iter().zip(b.confidence.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -244,6 +244,62 @@ impl TrendModel {
         self.corr.num_roads()
     }
 
+    /// Serialises the trained body (config, priors, couplings) in the
+    /// snapshot codec style. The correlation graph is *not* written —
+    /// the enclosing estimator snapshot stores it once and hands it
+    /// back to [`TrendModel::decode_snapshot_from`]; the compiled
+    /// per-slot MRFs are rebuilt deterministically on decode, so the
+    /// round-trip serves bit-identically.
+    pub fn encode_snapshot_into(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        crate::codec::encode_trend_model_config(&self.config, buf);
+        buf.put_u32_le(self.slots as u32);
+        crate::codec::put_f64_slice(buf, &self.priors);
+        crate::codec::put_f64_slice(buf, &self.couplings);
+    }
+
+    /// Decodes a model written by [`TrendModel::encode_snapshot_into`],
+    /// recompiling the per-slot MRFs from the decoded priors/couplings
+    /// (the compilation is deterministic — see
+    /// [`TrendModel::new_threaded`] — so the compiled family is
+    /// bit-identical to the encoder's).
+    pub fn decode_snapshot_from(
+        corr: CorrelationGraph,
+        buf: &mut impl bytes::Buf,
+    ) -> std::result::Result<TrendModel, crate::codec::DecodeError> {
+        use crate::codec::{self, DecodeError};
+        let config = codec::decode_trend_model_config(buf)?;
+        let slots = codec::get_u32(buf)? as usize;
+        let priors = codec::get_f64_vec(buf)?;
+        let couplings = codec::get_f64_vec(buf)?;
+        if priors.len() != slots * corr.num_roads() {
+            return Err(DecodeError::Corrupt(format!(
+                "prior table holds {} cells, expected {} slots x {} roads",
+                priors.len(),
+                slots,
+                corr.num_roads()
+            )));
+        }
+        if couplings.len() != corr.num_edges() {
+            return Err(DecodeError::Corrupt(format!(
+                "{} couplings for {} correlation edges",
+                couplings.len(),
+                corr.num_edges()
+            )));
+        }
+        let mut model = TrendModel {
+            corr,
+            config,
+            priors,
+            slots,
+            couplings,
+            compiled: Arc::new(CompiledSlots { mrfs: Vec::new() }),
+        };
+        let mrfs = (0..slots).map(|s| model.build_mrf_for_slot(s)).collect();
+        model.compiled = Arc::new(CompiledSlots { mrfs });
+        Ok(model)
+    }
+
     /// Materialises a fresh MRF for a slot of day.
     ///
     /// This is the reference construction path — [`CompiledSlots`] holds

@@ -52,6 +52,7 @@
 //! ```
 
 pub mod baselines;
+pub mod codec;
 pub mod correlation;
 pub mod eval;
 pub mod inference;

@@ -124,6 +124,79 @@ impl OnlineCorrelation {
         &self.stats
     }
 
+    /// The bootstrap-time configuration.
+    pub fn config(&self) -> &CorrelationConfig {
+        &self.config
+    }
+
+    /// Serialises the full accumulator state (config, frozen reference
+    /// statistics, candidate pairs, live counters, day count) in the
+    /// snapshot codec style. `decode_from` restores a bit-identical
+    /// accumulator: same pairs in the same order, same counters, same
+    /// frozen means, so every future [`OnlineCorrelation::ingest_day`]
+    /// and [`OnlineCorrelation::correlation_graph`] behaves exactly as
+    /// in the process that encoded it.
+    pub fn encode_into(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        crate::codec::encode_correlation_config(&self.config, buf);
+        self.stats.encode_into(buf);
+        buf.put_u32_le(self.pairs.len() as u32);
+        for &(a, b) in &self.pairs {
+            buf.put_u32_le(a.0);
+            buf.put_u32_le(b.0);
+        }
+        for &(co, agree) in &self.counts {
+            buf.put_u32_le(co);
+            buf.put_u32_le(agree);
+        }
+        crate::codec::put_usize(buf, self.days);
+    }
+
+    /// Decodes an accumulator written by
+    /// [`OnlineCorrelation::encode_into`].
+    pub fn decode_from(
+        buf: &mut impl bytes::Buf,
+    ) -> std::result::Result<OnlineCorrelation, crate::codec::DecodeError> {
+        use crate::codec::{self, DecodeError};
+        let config = codec::decode_correlation_config(buf)?;
+        let stats = HistoryStats::decode_from(buf)?;
+        let len = codec::get_u32(buf)? as usize;
+        if buf.remaining() < len.saturating_mul(16) {
+            return Err(DecodeError::Truncated);
+        }
+        let n = stats.num_roads();
+        let mut pairs = Vec::with_capacity(len);
+        for _ in 0..len {
+            let a = RoadId(buf.get_u32_le());
+            let b = RoadId(buf.get_u32_le());
+            if a >= b || b.index() >= n {
+                return Err(DecodeError::Corrupt(format!(
+                    "candidate pair ({a}, {b}) invalid for {n} roads"
+                )));
+            }
+            pairs.push((a, b));
+        }
+        let mut counts = Vec::with_capacity(len);
+        for _ in 0..len {
+            let co = buf.get_u32_le();
+            let agree = buf.get_u32_le();
+            if agree > co {
+                return Err(DecodeError::Corrupt(format!(
+                    "pair counter agree {agree} exceeds co-observed {co}"
+                )));
+            }
+            counts.push((co, agree));
+        }
+        let days = codec::get_usize(buf)?;
+        Ok(OnlineCorrelation {
+            config,
+            stats,
+            pairs,
+            counts,
+            days,
+        })
+    }
+
     /// Materialises the current correlation graph by thresholding the
     /// live counters with the bootstrap configuration.
     pub fn correlation_graph(&self) -> CorrelationGraph {
@@ -448,6 +521,64 @@ mod tests {
             edge.cotrend
         );
         assert_eq!(edge.support, 48);
+    }
+
+    #[test]
+    fn codec_roundtrip_is_bit_identical() {
+        let ds = dataset();
+        let mut online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
+        online.ingest_day(&ds.test_days[0]).unwrap();
+        let mut buf = bytes::BytesMut::new();
+        online.encode_into(&mut buf);
+        let mut decoded = OnlineCorrelation::decode_from(&mut buf.clone().freeze()).unwrap();
+        assert_eq!(decoded.pairs, online.pairs);
+        assert_eq!(decoded.counts, online.counts);
+        assert_eq!(decoded.days_ingested(), online.days_ingested());
+        // Re-encoding the decoded state reproduces the exact bytes.
+        let mut buf2 = bytes::BytesMut::new();
+        decoded.encode_into(&mut buf2);
+        assert_eq!(buf, buf2);
+        // Future ingests behave identically on both sides.
+        decoded.ingest_day(&ds.test_days[1]).unwrap();
+        online.ingest_day(&ds.test_days[1]).unwrap();
+        assert_eq!(decoded.counts, online.counts);
+        let a = online.correlation_graph();
+        let b = decoded.correlation_graph();
+        assert_eq!(a.edges().len(), b.edges().len());
+        for (x, y) in a.edges().iter().zip(b.edges()) {
+            assert_eq!((x.a, x.b, x.support), (y.a, y.b, y.support));
+            assert_eq!(x.cotrend.to_bits(), y.cotrend.to_bits());
+        }
+    }
+
+    #[test]
+    fn codec_rejects_inconsistent_counters() {
+        let ds = dataset();
+        let online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
+        let mut buf = bytes::BytesMut::new();
+        online.encode_into(&mut buf);
+        // Flip a counter pair so agree > co: structurally valid bytes,
+        // semantically impossible state.
+        let mut raw = buf.to_vec();
+        let pairs_at = {
+            // config (4+8+4+8) + stats header/body.
+            let mut probe = &raw[..];
+            let before = probe.len();
+            let _ = crate::codec::decode_correlation_config(&mut probe).unwrap();
+            let _ = HistoryStats::decode_from(&mut probe).unwrap();
+            let len = crate::codec::get_u32(&mut probe).unwrap() as usize;
+            (before - probe.len(), len)
+        };
+        let (counts_offset, len) = (pairs_at.0 + pairs_at.1 * 8, pairs_at.1);
+        assert!(len > 0);
+        // First pair's (co, agree): set co = 0, agree = 1.
+        raw[counts_offset..counts_offset + 4].copy_from_slice(&0u32.to_le_bytes());
+        raw[counts_offset + 4..counts_offset + 8].copy_from_slice(&1u32.to_le_bytes());
+        let err = OnlineCorrelation::decode_from(&mut &raw[..]).unwrap_err();
+        assert!(
+            matches!(err, crate::codec::DecodeError::Corrupt(_)),
+            "{err}"
+        );
     }
 
     #[test]

@@ -595,6 +595,13 @@ mod tests {
             .collect();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1]);
+        // The counter is bumped after catch_unwind returns, so the
+        // other worker can finish both gate jobs while the last unwind
+        // is still in flight — wait for it to land.
+        let t0 = std::time::Instant::now();
+        while pool.panics_caught() < 10 && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::yield_now();
+        }
         assert_eq!(pool.panics_caught(), 10);
         assert_eq!(pool.workers_respawned(), 0, "isolation beats respawn");
     }

@@ -211,6 +211,18 @@ impl Client {
         }
     }
 
+    /// Forces a model snapshot to disk, returning the captured epoch
+    /// and the written path. Retried per [`ClientConfig::retries`]
+    /// (rewriting the same epoch's file is idempotent). A daemon
+    /// running without a snapshot directory answers
+    /// [`ErrorKind::SnapshotUnavailable`].
+    pub fn snapshot(&mut self) -> Result<(u64, String), ServerError> {
+        match self.request_idempotent(&Request::Snapshot)? {
+            Response::Snapshotted { epoch, path } => Ok((epoch, path)),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Asks the daemon to shut down; `Ok(())` once acknowledged. Not
     /// retried.
     pub fn shutdown(&mut self) -> Result<(), ServerError> {

@@ -33,10 +33,11 @@
 
 use crate::metrics::{Command, Metrics};
 use crate::protocol::{
-    read_frame, write_frame, ErrorKind, EstimateReply, Request, Response, WireError,
+    read_frame_with_deadline, write_frame, ErrorKind, EstimateReply, Request, Response, WireError,
     DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
-use crate::state::{panic_message, ModelSlot, RetrainError, TrainState};
+use crate::snapshot::{self, RejectReason};
+use crate::state::{panic_message, ModelSlot, RetrainError, TrainInputs, TrainState};
 use crate::ServerError;
 use crowdspeed::prelude::*;
 use crowdspeed::CoreError;
@@ -44,6 +45,7 @@ use parking_lot::Mutex;
 use roadnet::RoadId;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
@@ -70,6 +72,19 @@ pub struct DaemonConfig {
     /// threads (one slow client per thread is how daemons run out of
     /// threads under a flood).
     pub max_connections: usize,
+    /// Directory for persistent model snapshots. `Some` makes every
+    /// epoch publish write a snapshot atomically, and lets
+    /// [`Daemon::spawn_from`] resume from the newest valid one instead
+    /// of retraining. `None` disables persistence (and `SNAPSHOT`
+    /// answers [`ErrorKind::SnapshotUnavailable`]).
+    pub snapshot_dir: Option<PathBuf>,
+    /// How many snapshot files to retain (oldest pruned first).
+    pub snapshot_keep: usize,
+    /// Per-frame read deadline: once the first byte of a frame
+    /// arrives, the rest must follow within this budget or the
+    /// connection is dropped — a trickling peer (slow loris) cannot
+    /// pin a handler thread forever. `None` disables the deadline.
+    pub frame_deadline_ms: Option<u64>,
 }
 
 impl Default for DaemonConfig {
@@ -81,6 +96,9 @@ impl Default for DaemonConfig {
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             default_deadline_ms: None,
             max_connections: 1024,
+            snapshot_dir: None,
+            snapshot_keep: 3,
+            frame_deadline_ms: Some(30_000),
         }
     }
 }
@@ -93,6 +111,9 @@ struct Shared {
     shutdown: AtomicBool,
     pool: ServePool,
     config: DaemonConfig,
+    /// Config hash stamped into every snapshot this process writes
+    /// (computed once at spawn; see [`snapshot::config_hash`]).
+    snapshot_hash: u64,
     /// Live connection handlers, bounded by `config.max_connections`.
     active_conns: AtomicUsize,
 }
@@ -125,29 +146,145 @@ impl Daemon {
         config: DaemonConfig,
     ) -> Result<DaemonHandle, ServerError> {
         let estimator = train_state.train().map_err(ServerError::Core)?;
-        let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let metrics = Metrics::new(1, train_state.days_ingested());
-        let shared = Arc::new(Shared {
-            model: ModelSlot::new(estimator),
-            train: Mutex::new(train_state),
-            metrics,
-            shutdown: AtomicBool::new(false),
-            pool: ServePool::new(config.workers.max(1), config.queue_capacity.max(1)),
-            config,
-            active_conns: AtomicUsize::new(0),
+        spawn_inner(train_state, estimator, 1, false, Vec::new(), config)
+    }
+
+    /// Starts a daemon that resumes from the newest valid snapshot in
+    /// [`DaemonConfig::snapshot_dir`] when one exists — skipping both
+    /// the online-correlation bootstrap and the initial train — and
+    /// falls back to [`Daemon::spawn`]'s train-from-scratch path when
+    /// the directory is empty, missing, or every file is rejected
+    /// (each rejection lands in the `snapshot_rejected_*` counters
+    /// with its typed reason). A resumed daemon answers its first
+    /// `ESTIMATE` bit-identically to the process that wrote the file.
+    pub fn spawn_from(
+        inputs: TrainInputs,
+        config: DaemonConfig,
+    ) -> Result<DaemonHandle, ServerError> {
+        let expected = snapshot::config_hash(
+            inputs.graph.num_roads(),
+            inputs.history.clock().slots_per_day,
+            &inputs.seeds,
+            &inputs.corr_config,
+            &inputs.config,
+        );
+        let mut rejects: Vec<RejectReason> = Vec::new();
+        let loaded = config.snapshot_dir.as_deref().and_then(|dir| {
+            snapshot::load_newest(dir, expected, |reason, _path| rejects.push(reason))
         });
-        let acceptor_shared = Arc::clone(&shared);
-        let acceptor = std::thread::Builder::new()
-            .name("crowdspeedd-accept".to_string())
-            .spawn(move || accept_loop(listener, acceptor_shared))
-            .expect("spawn acceptor thread");
-        Ok(DaemonHandle {
-            addr,
-            shared,
-            acceptor: Some(acceptor),
-        })
+        match loaded {
+            Some(outcome) => {
+                let payload = outcome.payload;
+                let train_state = TrainState::resume(
+                    inputs.graph,
+                    inputs.seeds,
+                    inputs.config,
+                    payload.clock,
+                    payload.days,
+                    payload.online,
+                );
+                spawn_inner(
+                    train_state,
+                    payload.estimator,
+                    payload.epoch,
+                    true,
+                    rejects,
+                    config,
+                )
+            }
+            None => {
+                let train_state = TrainState::new(
+                    inputs.graph,
+                    &inputs.history,
+                    inputs.seeds,
+                    &inputs.corr_config,
+                    inputs.config,
+                );
+                let estimator = train_state.train().map_err(ServerError::Core)?;
+                spawn_inner(train_state, estimator, 1, false, rejects, config)
+            }
+        }
+    }
+}
+
+/// Shared tail of [`Daemon::spawn`] / [`Daemon::spawn_from`]: binds
+/// the listener, seeds the metrics (resume gauge + reject counters),
+/// persists the initial epoch when it was freshly trained, and starts
+/// the acceptor.
+fn spawn_inner(
+    train_state: TrainState,
+    estimator: TrafficEstimator,
+    epoch: u64,
+    resumed: bool,
+    rejects: Vec<RejectReason>,
+    config: DaemonConfig,
+) -> Result<DaemonHandle, ServerError> {
+    let snapshot_hash = snapshot::train_state_hash(&train_state);
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let metrics = Metrics::new(epoch, train_state.days_ingested());
+    metrics.set_snapshot_resumed(resumed);
+    for reason in rejects {
+        metrics.snapshot_reject(reason);
+    }
+    let shared = Arc::new(Shared {
+        model: ModelSlot::with_epoch(estimator, epoch),
+        train: Mutex::new(train_state),
+        metrics,
+        shutdown: AtomicBool::new(false),
+        pool: ServePool::new(config.workers.max(1), config.queue_capacity.max(1)),
+        config,
+        snapshot_hash,
+        active_conns: AtomicUsize::new(0),
+    });
+    if !resumed && shared.config.snapshot_dir.is_some() {
+        // Persist the freshly trained epoch before accepting traffic,
+        // so even a crash right after startup has a resume point.
+        let model = shared.model.current();
+        let train = shared.train.lock();
+        persist_epoch(&shared, &train, &model.estimator, model.epoch);
+    }
+    let acceptor_shared = Arc::clone(&shared);
+    let acceptor = std::thread::Builder::new()
+        .name("crowdspeedd-accept".to_string())
+        .spawn(move || accept_loop(listener, acceptor_shared))
+        .expect("spawn acceptor thread");
+    Ok(DaemonHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+    })
+}
+
+/// Encodes and atomically writes one epoch to the snapshot directory,
+/// counting the outcome. Returns the written path, or `None` when no
+/// directory is configured or the write failed (serving continues
+/// either way — persistence is never allowed to take the daemon down).
+fn persist_epoch(
+    shared: &Shared,
+    train: &TrainState,
+    estimator: &TrafficEstimator,
+    epoch: u64,
+) -> Option<PathBuf> {
+    let dir = shared.config.snapshot_dir.as_deref()?;
+    let bytes = snapshot::encode_snapshot(
+        epoch,
+        train.clock(),
+        train.days(),
+        train.online(),
+        estimator,
+        shared.snapshot_hash,
+    );
+    match snapshot::write_snapshot(dir, shared.config.snapshot_keep, epoch, &bytes) {
+        Ok(path) => {
+            shared.metrics.snapshot_write();
+            Some(path)
+        }
+        Err(_) => {
+            shared.metrics.snapshot_write_failure();
+            None
+        }
     }
 }
 
@@ -273,33 +410,39 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
         let shared = Arc::clone(&shared);
         move || shared.shutdown.load(Ordering::SeqCst)
     };
+    let frame_deadline = shared.config.frame_deadline_ms.map(Duration::from_millis);
     loop {
-        let (version, payload) =
-            match read_frame(&mut stream, shared.config.max_frame_bytes, &shutdown) {
-                Ok(frame) => frame,
-                Err(WireError::Oversized { declared, max }) => {
-                    // Closing with unread bytes in the receive buffer
-                    // makes TCP reset the connection, destroying the
-                    // queued error response. Drain modestly oversized
-                    // frames so the typed error is actually delivered;
-                    // pathological lengths just get the hang-up.
-                    const DRAIN_CAP: usize = 1 << 20;
-                    if declared < DRAIN_CAP && drain(&mut stream, declared + 1, &shutdown) {
-                        let _ = respond(
-                            &mut stream,
-                            &error_response(
-                                ErrorKind::FrameTooLarge,
-                                format!("frame of {declared} bytes exceeds limit of {max}"),
-                            ),
-                        );
-                    }
-                    // Either way the stream cannot be resynchronised.
-                    return;
+        let (version, payload) = match read_frame_with_deadline(
+            &mut stream,
+            shared.config.max_frame_bytes,
+            &shutdown,
+            frame_deadline,
+        ) {
+            Ok(frame) => frame,
+            Err(WireError::Oversized { declared, max }) => {
+                // Closing with unread bytes in the receive buffer
+                // makes TCP reset the connection, destroying the
+                // queued error response. Drain modestly oversized
+                // frames so the typed error is actually delivered;
+                // pathological lengths just get the hang-up.
+                const DRAIN_CAP: usize = 1 << 20;
+                if declared < DRAIN_CAP && drain(&mut stream, declared + 1, &shutdown) {
+                    let _ = respond(
+                        &mut stream,
+                        &error_response(
+                            ErrorKind::FrameTooLarge,
+                            format!("frame of {declared} bytes exceeds limit of {max}"),
+                        ),
+                    );
                 }
-                // Clean close, mid-frame close, shutdown, or I/O
-                // failure: nothing sensible left to say.
-                Err(_) => return,
-            };
+                // Either way the stream cannot be resynchronised.
+                return;
+            }
+            // Clean close, mid-frame close, shutdown, expired
+            // frame deadline (slow loris — the thread is reclaimed
+            // here), or I/O failure: nothing sensible left to say.
+            Err(_) => return,
+        };
         if version != PROTOCOL_VERSION {
             let survived = respond(
                 &mut stream,
@@ -329,6 +472,7 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
             Request::IngestDay { .. } => Command::IngestDay,
             Request::Stats => Command::Stats,
             Request::Shutdown => Command::Shutdown,
+            Request::Snapshot => Command::Snapshot,
         };
         shared.metrics.received(command);
         let response = match request {
@@ -340,6 +484,7 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
             Request::IngestDay { rows } => serve_ingest(&shared, rows),
             Request::Stats => Response::Stats(shared.metrics.snapshot()),
             Request::Shutdown => Response::ShuttingDown,
+            Request::Snapshot => serve_snapshot(&shared),
         };
         match &response {
             Response::Error { kind, message: _ } => {
@@ -365,6 +510,23 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
 
 /// Writes `response` as a frame; `false` means the connection is dead.
 fn respond(stream: &mut TcpStream, response: &Response) -> bool {
+    if crate::failpoint::fire("conn_write") {
+        // Injected short write: emit only the first half of the frame,
+        // then sever the socket — the client sees a mid-frame
+        // truncation and must poison the connection, exactly as if the
+        // daemon died between two TCP segments.
+        use std::io::Write;
+        let payload = response.encode();
+        let mut frame = Vec::with_capacity(5 + payload.len());
+        frame.extend_from_slice(&((payload.len() + 1) as u32).to_be_bytes());
+        frame.push(PROTOCOL_VERSION);
+        frame.extend_from_slice(&payload);
+        let half = frame.len() / 2;
+        let _ = stream.write_all(&frame[..half]);
+        let _ = stream.flush();
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        return false;
+    }
     write_frame(stream, &response.encode()).is_ok()
 }
 
@@ -435,13 +597,22 @@ fn serve_estimate(
                     .map(|&(road, speed)| (RoadId(road), speed))
                     .collect();
                 match model.estimator.try_estimate(slot_of_day, &obs, scratch) {
-                    Ok(estimate) => Response::Estimate(EstimateReply {
-                        epoch: model.epoch,
-                        speeds: estimate.speeds,
-                        p_up: estimate.p_up,
-                        trends: estimate.trends,
-                        ignored_observations: estimate.ignored_observations as u64,
-                    }),
+                    Ok(estimate) => {
+                        // Counted here — on the serve path itself — so
+                        // the counter behaves identically whether the
+                        // process trained at startup or resumed from a
+                        // snapshot.
+                        job_shared
+                            .metrics
+                            .add_ignored_observations(estimate.ignored_observations as u64);
+                        Response::Estimate(EstimateReply {
+                            epoch: model.epoch,
+                            speeds: estimate.speeds,
+                            p_up: estimate.p_up,
+                            trends: estimate.trends,
+                            ignored_observations: estimate.ignored_observations as u64,
+                        })
+                    }
                     Err(CoreError::NoObservations) => error_response(
                         ErrorKind::NoObservations,
                         "estimation request carried no observations".to_string(),
@@ -513,6 +684,11 @@ fn serve_ingest(shared: &Arc<Shared>, rows: Vec<Vec<f64>>) -> Response {
             let epoch = shared.model.publish(estimator);
             shared.metrics.set_epoch(epoch);
             shared.metrics.set_days_ingested(days_ingested);
+            // Persist while still holding the train lock: the written
+            // day history, online counters, and published model cannot
+            // skew against each other.
+            let model = shared.model.current();
+            persist_epoch(shared, &train, &model.estimator, epoch);
             Response::Ingested {
                 epoch,
                 days_ingested,
@@ -537,5 +713,27 @@ fn serve_ingest(shared: &Arc<Shared>, rows: Vec<Vec<f64>>) -> Response {
                 format!("{e}; previous model epoch still serving"),
             )
         }
+    }
+}
+
+/// `SNAPSHOT`: force a write of the currently published epoch. Taking
+/// the train lock pins the model/train pair — `INGEST_DAY` publishes
+/// under the same lock, so the file can never mix an old model with
+/// new counters.
+fn serve_snapshot(shared: &Arc<Shared>) -> Response {
+    if shared.config.snapshot_dir.is_none() {
+        return error_response(
+            ErrorKind::SnapshotUnavailable,
+            "daemon started without a snapshot directory".to_string(),
+        );
+    }
+    let train = shared.train.lock();
+    let model = shared.model.current();
+    match persist_epoch(shared, &train, &model.estimator, model.epoch) {
+        Some(path) => Response::Snapshotted {
+            epoch: model.epoch,
+            path: path.display().to_string(),
+        },
+        None => error_response(ErrorKind::Internal, "snapshot write failed".to_string()),
     }
 }

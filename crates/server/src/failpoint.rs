@@ -15,6 +15,9 @@
 //! | `estimate`   | on a serving worker, before the estimate runs       |
 //! | `retrain`    | on the ingest path, before the fold + retrain       |
 //! | `conn_spawn` | in the acceptor, in place of spawning a handler     |
+//! | `conn_write` | in the response writer: with `fail`, only half the  |
+//! |              | frame is written before the socket is severed (a    |
+//! |              | mid-frame daemon death, as seen by the client)      |
 //!
 //! # Activation
 //!

@@ -21,9 +21,14 @@
 //! * [`json`] — a dependency-free JSON codec with bit-exact `f64`
 //!   round-trips, so wire estimates are bit-identical to in-process
 //!   ones.
+//! * [`snapshot`] — the persistent model-snapshot layer: a versioned,
+//!   checksummed binary format written atomically on every epoch
+//!   publish, from which a restarted daemon resumes bit-identically
+//!   instead of retraining.
 //! * [`failpoint`] — a test-only fault-injection hook (panics, stalls,
-//!   spawn failures) that stays a single relaxed atomic load when
-//!   unarmed; the fault-tolerance suite drives the daemon through it.
+//!   spawn failures, short writes) that stays a single relaxed atomic
+//!   load when unarmed; the fault-tolerance suite drives the daemon
+//!   through it.
 
 #![warn(missing_docs)]
 
@@ -33,12 +38,14 @@ pub mod failpoint;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
+pub mod snapshot;
 pub mod state;
 
 pub use client::{Client, ClientConfig};
 pub use daemon::{Daemon, DaemonConfig, DaemonHandle};
 pub use protocol::{ErrorKind, Request, Response};
-pub use state::{ModelSlot, RetrainError, TrainState};
+pub use snapshot::RejectReason;
+pub use state::{ModelSlot, RetrainError, TrainInputs, TrainState};
 
 use crowdspeed::CoreError;
 use protocol::WireError;

@@ -6,11 +6,12 @@
 //! is individually consistent, which is all dashboards need).
 
 use crate::protocol::{CommandStats, StatsReply, LATENCY_BUCKET_BOUNDS_US};
+use crate::snapshot::RejectReason;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Command slots tracked by the per-command counters, in wire order.
-pub const COMMAND_NAMES: [&str; 4] = ["estimate", "ingest_day", "stats", "shutdown"];
+pub const COMMAND_NAMES: [&str; 5] = ["estimate", "ingest_day", "stats", "shutdown", "snapshot"];
 
 /// Index into [`COMMAND_NAMES`] / [`Metrics::commands`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +24,8 @@ pub enum Command {
     Stats = 2,
     /// `SHUTDOWN` frames.
     Shutdown = 3,
+    /// `SNAPSHOT` frames.
+    Snapshot = 4,
 }
 
 #[derive(Default)]
@@ -35,7 +38,7 @@ struct CommandCounters {
 /// The daemon-wide metrics registry.
 pub struct Metrics {
     started: Instant,
-    commands: [CommandCounters; 4],
+    commands: [CommandCounters; 5],
     rejected_overload: AtomicU64,
     rejected_deadline: AtomicU64,
     rejected_connections: AtomicU64,
@@ -43,6 +46,16 @@ pub struct Metrics {
     retrain_failures: AtomicU64,
     epoch: AtomicU64,
     days_ingested: AtomicU64,
+    snapshot_writes: AtomicU64,
+    snapshot_write_failures: AtomicU64,
+    /// Gauge: 1 when this process resumed from a snapshot instead of
+    /// training at startup, else 0.
+    snapshot_resumed: AtomicU64,
+    /// One count per [`RejectReason`], indexed by discriminant.
+    snapshot_rejects: [AtomicU64; RejectReason::ALL.len()],
+    /// Cumulative non-seed observations skipped across all served
+    /// estimates.
+    ignored_observations: AtomicU64,
     /// One count per bound in [`LATENCY_BUCKET_BOUNDS_US`] plus a
     /// final overflow bucket.
     latency: [AtomicU64; LATENCY_BUCKET_BOUNDS_US.len() + 1],
@@ -61,6 +74,11 @@ impl Metrics {
             retrain_failures: AtomicU64::new(0),
             epoch: AtomicU64::new(epoch),
             days_ingested: AtomicU64::new(days_ingested),
+            snapshot_writes: AtomicU64::new(0),
+            snapshot_write_failures: AtomicU64::new(0),
+            snapshot_resumed: AtomicU64::new(0),
+            snapshot_rejects: Default::default(),
+            ignored_observations: AtomicU64::new(0),
             latency: Default::default(),
         }
     }
@@ -128,6 +146,33 @@ impl Metrics {
         self.days_ingested.store(days, Ordering::Relaxed);
     }
 
+    /// Counts a snapshot file written (initial train, post-ingest
+    /// publish, or an explicit `SNAPSHOT` command).
+    pub fn snapshot_write(&self) {
+        self.snapshot_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a snapshot write that failed; serving continues.
+    pub fn snapshot_write_failure(&self) {
+        self.snapshot_write_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks whether this process resumed from a snapshot at startup.
+    pub fn set_snapshot_resumed(&self, resumed: bool) {
+        self.snapshot_resumed
+            .store(resumed as u64, Ordering::Relaxed);
+    }
+
+    /// Counts a snapshot file refused during the resume scan.
+    pub fn snapshot_reject(&self, reason: RejectReason) {
+        self.snapshot_rejects[reason as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` skipped non-seed observations from one served estimate.
+    pub fn add_ignored_observations(&self, n: u64) {
+        self.ignored_observations.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records one served-estimate latency in the histogram.
     pub fn observe_latency_us(&self, micros: u64) {
         let bucket = LATENCY_BUCKET_BOUNDS_US
@@ -162,6 +207,15 @@ impl Metrics {
             rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             retrain_failures: self.retrain_failures.load(Ordering::Relaxed),
+            snapshot_writes: self.snapshot_writes.load(Ordering::Relaxed),
+            snapshot_write_failures: self.snapshot_write_failures.load(Ordering::Relaxed),
+            snapshot_resumed: self.snapshot_resumed.load(Ordering::Relaxed),
+            snapshot_rejects: RejectReason::ALL
+                .iter()
+                .zip(&self.snapshot_rejects)
+                .map(|(r, c)| (r.name().to_string(), c.load(Ordering::Relaxed)))
+                .collect(),
+            ignored_observations: self.ignored_observations.load(Ordering::Relaxed),
             latency_counts: self
                 .latency
                 .iter()
@@ -192,9 +246,30 @@ mod tests {
         m.retrain_failure();
         m.set_epoch(7);
         m.set_days_ingested(6);
+        m.snapshot_write();
+        m.snapshot_write();
+        m.snapshot_write_failure();
+        m.set_snapshot_resumed(true);
+        m.snapshot_reject(RejectReason::BadChecksum);
+        m.snapshot_reject(RejectReason::BadChecksum);
+        m.snapshot_reject(RejectReason::ConfigMismatch);
+        m.add_ignored_observations(3);
         let snap = m.snapshot();
         assert_eq!(snap.epoch, 7);
         assert_eq!(snap.days_ingested, 6);
+        assert_eq!(snap.snapshot_writes, 2);
+        assert_eq!(snap.snapshot_write_failures, 1);
+        assert_eq!(snap.snapshot_resumed, 1);
+        assert_eq!(snap.ignored_observations, 3);
+        let reject = |name: &str| {
+            snap.snapshot_rejects
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, c)| *c)
+        };
+        assert_eq!(reject("bad_checksum"), Some(2));
+        assert_eq!(reject("config_mismatch"), Some(1));
+        assert_eq!(reject("io"), Some(0));
         let est = &snap.commands[Command::Estimate as usize];
         assert_eq!(est.0, "estimate");
         assert_eq!((est.1.received, est.1.ok, est.1.errors), (2, 1, 1));

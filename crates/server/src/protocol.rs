@@ -62,6 +62,9 @@ pub enum Request {
     Stats,
     /// Ask the daemon to stop accepting and drain.
     Shutdown,
+    /// Force a model snapshot to disk right now (requires the daemon
+    /// to have been started with a snapshot directory).
+    Snapshot,
 }
 
 /// Typed failure classes a daemon can answer with.
@@ -83,6 +86,9 @@ pub enum ErrorKind {
     UnsupportedVersion,
     /// The frame length exceeded the daemon's limit.
     FrameTooLarge,
+    /// A `SNAPSHOT` command reached a daemon running without a
+    /// snapshot directory.
+    SnapshotUnavailable,
     /// Anything else (training failure, internal channel breakage).
     Internal,
 }
@@ -99,6 +105,7 @@ impl ErrorKind {
             ErrorKind::UnknownCommand => "unknown_command",
             ErrorKind::UnsupportedVersion => "unsupported_version",
             ErrorKind::FrameTooLarge => "frame_too_large",
+            ErrorKind::SnapshotUnavailable => "snapshot_unavailable",
             ErrorKind::Internal => "internal",
         }
     }
@@ -113,6 +120,7 @@ impl ErrorKind {
             "unknown_command" => ErrorKind::UnknownCommand,
             "unsupported_version" => ErrorKind::UnsupportedVersion,
             "frame_too_large" => ErrorKind::FrameTooLarge,
+            "snapshot_unavailable" => ErrorKind::SnapshotUnavailable,
             "internal" => ErrorKind::Internal,
             _ => return None,
         })
@@ -177,6 +185,21 @@ pub struct StatsReply {
     /// Retrains that failed (panic or training error) after the shape
     /// check; each left the previous model epoch serving.
     pub retrain_failures: u64,
+    /// Snapshot files written (initial train, post-ingest publishes,
+    /// and explicit `SNAPSHOT` commands).
+    pub snapshot_writes: u64,
+    /// Snapshot writes that failed; the daemon kept serving.
+    pub snapshot_write_failures: u64,
+    /// 1 when this process resumed from a snapshot instead of training
+    /// at startup, else 0.
+    pub snapshot_resumed: u64,
+    /// Snapshot files refused during the resume scan, by typed reason
+    /// (`io`, `bad_magic`, `bad_version`, `truncated`, `bad_checksum`,
+    /// `config_mismatch`, `decode`).
+    pub snapshot_rejects: Vec<(String, u64)>,
+    /// Cumulative non-seed observations skipped across all served
+    /// estimates.
+    pub ignored_observations: u64,
     /// Serving latency histogram: counts per bucket of
     /// [`LATENCY_BUCKET_BOUNDS_US`] plus a final overflow bucket.
     pub latency_counts: Vec<u64>,
@@ -196,6 +219,13 @@ pub enum Response {
     },
     /// Metrics snapshot.
     Stats(StatsReply),
+    /// A model snapshot was forced to disk.
+    Snapshotted {
+        /// Epoch the written file captured.
+        epoch: u64,
+        /// Path of the written snapshot file.
+        path: String,
+    },
     /// Shutdown acknowledged; the daemon is draining.
     ShuttingDown,
     /// Typed failure.
@@ -273,6 +303,7 @@ impl Request {
             ]),
             Request::Stats => Json::Obj(vec![("cmd".into(), Json::Str("stats".into()))]),
             Request::Shutdown => Json::Obj(vec![("cmd".into(), Json::Str("shutdown".into()))]),
+            Request::Snapshot => Json::Obj(vec![("cmd".into(), Json::Str("snapshot".into()))]),
         };
         json.encode().into_bytes()
     }
@@ -347,6 +378,7 @@ impl Request {
             }
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
+            "snapshot" => Ok(Request::Snapshot),
             other => Err((
                 ErrorKind::UnknownCommand,
                 format!("unknown command {other:?}"),
@@ -426,10 +458,41 @@ impl Response {
                     Json::Num(stats.retrain_failures as f64),
                 ),
                 (
+                    "snapshot_writes".into(),
+                    Json::Num(stats.snapshot_writes as f64),
+                ),
+                (
+                    "snapshot_write_failures".into(),
+                    Json::Num(stats.snapshot_write_failures as f64),
+                ),
+                (
+                    "snapshot_resumed".into(),
+                    Json::Num(stats.snapshot_resumed as f64),
+                ),
+                (
+                    "snapshot_rejects".into(),
+                    Json::Obj(
+                        stats
+                            .snapshot_rejects
+                            .iter()
+                            .map(|(name, count)| (name.clone(), Json::Num(*count as f64)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "ignored_observations".into(),
+                    Json::Num(stats.ignored_observations as f64),
+                ),
+                (
                     "latency_bounds_us".into(),
                     u64s_to_json(&LATENCY_BUCKET_BOUNDS_US),
                 ),
                 ("latency_counts".into(), u64s_to_json(&stats.latency_counts)),
+            ]),
+            Response::Snapshotted { epoch, path } => Json::Obj(vec![
+                ("ok".into(), Json::Str("snapshot".into())),
+                ("epoch".into(), Json::Num(*epoch as f64)),
+                ("path".into(), Json::Str(path.clone())),
             ]),
             Response::ShuttingDown => Json::Obj(vec![("ok".into(), Json::Str("shutdown".into()))]),
             Response::Error { kind, message } => Json::Obj(vec![
@@ -527,12 +590,45 @@ impl Response {
                     retrain_failures: field(&json, "retrain_failures")?
                         .as_u64()
                         .ok_or("retrain_failures: bad integer")?,
+                    snapshot_writes: field(&json, "snapshot_writes")?
+                        .as_u64()
+                        .ok_or("snapshot_writes: bad integer")?,
+                    snapshot_write_failures: field(&json, "snapshot_write_failures")?
+                        .as_u64()
+                        .ok_or("snapshot_write_failures: bad integer")?,
+                    snapshot_resumed: field(&json, "snapshot_resumed")?
+                        .as_u64()
+                        .ok_or("snapshot_resumed: bad integer")?,
+                    snapshot_rejects: match field(&json, "snapshot_rejects")? {
+                        Json::Obj(fields) => fields
+                            .iter()
+                            .map(|(name, c)| {
+                                Ok((
+                                    name.clone(),
+                                    c.as_u64().ok_or("snapshot_rejects: bad integer")?,
+                                ))
+                            })
+                            .collect::<Result<Vec<_>, String>>()?,
+                        _ => return Err("snapshot_rejects: expected object".into()),
+                    },
+                    ignored_observations: field(&json, "ignored_observations")?
+                        .as_u64()
+                        .ok_or("ignored_observations: bad integer")?,
                     latency_counts: json_to_u64s(
                         field(&json, "latency_counts")?,
                         "latency_counts",
                     )?,
                 }))
             }
+            "snapshot" => Ok(Response::Snapshotted {
+                epoch: field(&json, "epoch")?
+                    .as_u64()
+                    .ok_or("epoch: bad integer")?,
+                path: field(&json, "path")?
+                    .as_str()
+                    .ok_or("path: expected string")?
+                    .to_string(),
+            }),
             "shutdown" => Ok(Response::ShuttingDown),
             other => Err(format!("unknown response {other:?}")),
         }
@@ -558,6 +654,9 @@ pub enum WireError {
     BadLength,
     /// The abort callback fired while waiting for bytes.
     Aborted,
+    /// The per-frame read deadline expired mid-frame (a trickling
+    /// peer); the connection cannot be resynchronised.
+    DeadlineExpired,
     /// Any other I/O failure.
     Io(std::io::Error),
 }
@@ -572,6 +671,7 @@ impl std::fmt::Display for WireError {
             }
             WireError::BadLength => write!(f, "frame length shorter than header"),
             WireError::Aborted => write!(f, "read aborted by shutdown"),
+            WireError::DeadlineExpired => write!(f, "frame read deadline expired"),
             WireError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -594,16 +694,52 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
     w.flush()
 }
 
+/// Per-frame read deadline, measured from the **first byte** of the
+/// frame — an idle connection between frames never expires, but a peer
+/// trickling one byte at a time cannot hold a handler thread past the
+/// limit (the slow-loris defence).
+struct FrameTimer {
+    limit: Option<std::time::Duration>,
+    started: Option<std::time::Instant>,
+}
+
+impl FrameTimer {
+    fn new(limit: Option<std::time::Duration>) -> FrameTimer {
+        FrameTimer {
+            limit,
+            started: None,
+        }
+    }
+
+    /// Starts the clock at the first consumed byte of the frame.
+    fn mark(&mut self) {
+        if self.limit.is_some() && self.started.is_none() {
+            self.started = Some(std::time::Instant::now());
+        }
+    }
+
+    fn expired(&self) -> bool {
+        match (self.limit, self.started) {
+            (Some(limit), Some(started)) => started.elapsed() > limit,
+            _ => false,
+        }
+    }
+}
+
 /// Reads exactly `buf.len()` bytes, retrying timeouts and interrupts.
 /// `started` tells the caller whether any byte of the current frame
 /// was consumed before a failure (truncation vs. clean close). The
 /// `abort` callback is polled on every timeout so a daemon shutdown
-/// unblocks connection handlers within one read-timeout tick.
+/// unblocks connection handlers within one read-timeout tick; the
+/// frame timer is checked both after successful partial reads and on
+/// timeouts, so a trickling peer that never lets the socket block
+/// still hits the deadline.
 fn read_exact_abortable(
     r: &mut impl Read,
     buf: &mut [u8],
     started: bool,
     abort: &dyn Fn() -> bool,
+    timer: &mut FrameTimer,
 ) -> Result<(), WireError> {
     let mut filled = 0usize;
     while filled < buf.len() {
@@ -615,7 +751,13 @@ fn read_exact_abortable(
                     WireError::Closed
                 });
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                timer.mark();
+                if timer.expired() {
+                    return Err(WireError::DeadlineExpired);
+                }
+            }
             Err(e)
                 if matches!(
                     e.kind(),
@@ -626,6 +768,9 @@ fn read_exact_abortable(
             {
                 if abort() {
                     return Err(WireError::Aborted);
+                }
+                if timer.expired() {
+                    return Err(WireError::DeadlineExpired);
                 }
             }
             Err(e) => return Err(WireError::Io(e)),
@@ -646,8 +791,22 @@ pub fn read_frame(
     max_frame_bytes: usize,
     abort: &dyn Fn() -> bool,
 ) -> Result<(u8, Vec<u8>), WireError> {
+    read_frame_with_deadline(r, max_frame_bytes, abort, None)
+}
+
+/// [`read_frame`] with a per-frame deadline: once the first byte of a
+/// frame arrives, the rest must follow within `deadline` or the read
+/// fails with [`WireError::DeadlineExpired`]. `None` waits forever
+/// (between-frame idleness is never limited either way).
+pub fn read_frame_with_deadline(
+    r: &mut impl Read,
+    max_frame_bytes: usize,
+    abort: &dyn Fn() -> bool,
+    deadline: Option<std::time::Duration>,
+) -> Result<(u8, Vec<u8>), WireError> {
+    let mut timer = FrameTimer::new(deadline);
     let mut len_buf = [0u8; 4];
-    read_exact_abortable(r, &mut len_buf, false, abort)?;
+    read_exact_abortable(r, &mut len_buf, false, abort, &mut timer)?;
     let len = u32::from_be_bytes(len_buf) as usize;
     if len < 1 {
         return Err(WireError::BadLength);
@@ -659,9 +818,9 @@ pub fn read_frame(
         });
     }
     let mut version = [0u8; 1];
-    read_exact_abortable(r, &mut version, true, abort)?;
+    read_exact_abortable(r, &mut version, true, abort, &mut timer)?;
     let mut payload = vec![0u8; len - 1];
-    read_exact_abortable(r, &mut payload, true, abort)?;
+    read_exact_abortable(r, &mut payload, true, abort, &mut timer)?;
     Ok((version[0], payload))
 }
 
@@ -732,6 +891,49 @@ mod tests {
     }
 
     #[test]
+    fn frame_deadline_fires_on_a_trickling_reader() {
+        // One byte per read with a delay and never a WouldBlock — the
+        // deadline must still fire, because expiry is checked after
+        // successful partial reads too.
+        struct Trickle {
+            data: Vec<u8>,
+            pos: usize,
+        }
+        impl Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                if self.pos >= self.data.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let mut framed = Vec::new();
+        write_frame(&mut framed, b"{\"cmd\":\"stats\"}").unwrap();
+        let mut r = Trickle {
+            data: framed.clone(),
+            pos: 0,
+        };
+        let result = read_frame_with_deadline(
+            &mut r,
+            1024,
+            &NO_ABORT,
+            Some(std::time::Duration::from_millis(60)),
+        );
+        assert!(matches!(result, Err(WireError::DeadlineExpired)));
+        // The same trickle completes when no deadline is armed.
+        let mut r = Trickle {
+            data: framed,
+            pos: 0,
+        };
+        let (ver, payload) = read_frame_with_deadline(&mut r, 1024, &NO_ABORT, None).unwrap();
+        assert_eq!(ver, PROTOCOL_VERSION);
+        assert_eq!(payload, b"{\"cmd\":\"stats\"}");
+    }
+
+    #[test]
     fn unknown_command_decodes_to_typed_error() {
         let (kind, _) = Request::decode(b"{\"cmd\":\"frobnicate\"}").unwrap_err();
         assert_eq!(kind, ErrorKind::UnknownCommand);
@@ -759,6 +961,7 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::Snapshot,
         ];
         for req in reqs {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
@@ -812,8 +1015,17 @@ mod tests {
                 rejected_connections: 3,
                 worker_panics: 2,
                 retrain_failures: 1,
+                snapshot_writes: 4,
+                snapshot_write_failures: 1,
+                snapshot_resumed: 1,
+                snapshot_rejects: vec![("bad_checksum".into(), 2), ("io".into(), 0)],
+                ignored_observations: 6,
                 latency_counts: vec![0; LATENCY_BUCKET_BOUNDS_US.len() + 1],
             }),
+            Response::Snapshotted {
+                epoch: 5,
+                path: "/tmp/snapshots/epoch-00000000000000000005.csnap".into(),
+            },
             Response::ShuttingDown,
             Response::Error {
                 kind: ErrorKind::Overloaded,

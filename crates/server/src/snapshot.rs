@@ -1,0 +1,448 @@
+//! Persistent model snapshots: the on-disk format, atomic writes, and
+//! the newest-valid-first resume scan.
+//!
+//! A snapshot file captures one published [`crate::state::ModelEpoch`]
+//! together with everything the trainer needs to keep going — the day
+//! history and the full online correlation accumulator — so a restarted
+//! daemon serves its first `ESTIMATE` **bit-identically** to the
+//! process that wrote the file, and further `INGEST_DAY`s continue the
+//! exact same model trajectory.
+//!
+//! # File format
+//!
+//! ```text
+//! ┌──────────────┬─────────────┬──────────────────┬──────────────────┬───────────────┐
+//! │ magic "CSSN" │ version u16 │ config_hash u64  │ payload_len u64  │ checksum u64  │
+//! └──────────────┴─────────────┴──────────────────┴──────────────────┴───────────────┘
+//! ┌───────────────────────────────────────────────────────────────────────────────────┐
+//! │ payload: epoch u64 | slots_per_day | day history | OnlineCorrelation | estimator   │
+//! └───────────────────────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! All integers are little-endian (matching `trafficsim::snapshot`,
+//! whose field codec carries each history day). The checksum is
+//! FNV-1a-64 over the payload bytes; `config_hash` is FNV-1a-64 over
+//! the canonical encoding of every input that shapes the model (graph
+//! size, slot clock, seed set, correlation + estimator configuration —
+//! see [`config_hash`]), so a daemon started with different settings
+//! refuses the file instead of silently serving the wrong model.
+//!
+//! # Atomicity and retention
+//!
+//! [`write_snapshot`] writes to a dot-prefixed temp file in the target
+//! directory and `rename`s it into place — a crash mid-write leaves at
+//! worst a temp file, never a half-written `.csnap` — then prunes all
+//! but the newest `keep` snapshots. File names embed the epoch
+//! zero-padded to 20 digits, so lexicographic order **is** epoch order.
+//!
+//! # Fallback policy
+//!
+//! [`load_newest`] scans newest-first and returns the first file that
+//! passes every check. Each rejected file is reported through a typed
+//! [`RejectReason`] (surfaced as the `snapshot_rejected_*` family in
+//! `STATS`); when nothing survives, the daemon falls back to a full
+//! retrain. A corrupt snapshot can cost startup time, never
+//! correctness.
+
+use crate::state::TrainState;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crowdspeed::codec;
+use crowdspeed::online::OnlineCorrelation;
+use crowdspeed::prelude::*;
+use roadnet::RoadId;
+use std::io;
+use std::path::{Path, PathBuf};
+use trafficsim::{SlotClock, SpeedField};
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 4] = b"CSSN";
+
+/// Format version written by this build.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Extension of snapshot files (`epoch-<epoch>.csnap`).
+pub const SNAPSHOT_EXT: &str = "csnap";
+
+/// magic + version + config_hash + payload_len + checksum.
+const HEADER_LEN: usize = 4 + 2 + 8 + 8 + 8;
+
+/// Why a snapshot file was refused during the resume scan. Every
+/// reason maps to a stable metrics name so operators can tell a stale
+/// config apart from disk rot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The file could not be read at all.
+    Io = 0,
+    /// The file does not start with `CSSN`.
+    BadMagic = 1,
+    /// The header names a format version this build does not speak.
+    BadVersion = 2,
+    /// The file is shorter than its header or declared payload.
+    Truncated = 3,
+    /// The payload checksum does not match (disk rot, torn write).
+    BadChecksum = 4,
+    /// The snapshot was written under a different model configuration.
+    ConfigMismatch = 5,
+    /// The payload passed the checksum but decoded to an invalid model.
+    Decode = 6,
+}
+
+impl RejectReason {
+    /// Every reason, in metrics order (index = discriminant).
+    pub const ALL: [RejectReason; 7] = [
+        RejectReason::Io,
+        RejectReason::BadMagic,
+        RejectReason::BadVersion,
+        RejectReason::Truncated,
+        RejectReason::BadChecksum,
+        RejectReason::ConfigMismatch,
+        RejectReason::Decode,
+    ];
+
+    /// Stable metrics / wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::Io => "io",
+            RejectReason::BadMagic => "bad_magic",
+            RejectReason::BadVersion => "bad_version",
+            RejectReason::Truncated => "truncated",
+            RejectReason::BadChecksum => "bad_checksum",
+            RejectReason::ConfigMismatch => "config_mismatch",
+            RejectReason::Decode => "decode",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — the dependency-free checksum shared by
+/// the payload integrity check and [`config_hash`].
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Hashes every configuration input that shapes the trained model:
+/// graph size, slot clock, the frozen seed set, the correlation-graph
+/// thresholds, and the estimator configuration. `train_threads` is
+/// deliberately excluded — the training pipeline is bit-identical
+/// across thread counts, so a snapshot written by an 8-thread daemon
+/// resumes cleanly on a 1-thread one.
+pub fn config_hash(
+    num_roads: usize,
+    slots_per_day: usize,
+    seeds: &[RoadId],
+    corr_config: &CorrelationConfig,
+    config: &EstimatorConfig,
+) -> u64 {
+    let mut buf = BytesMut::new();
+    codec::put_usize(&mut buf, num_roads);
+    codec::put_usize(&mut buf, slots_per_day);
+    codec::put_road_slice(&mut buf, seeds);
+    codec::encode_correlation_config(corr_config, &mut buf);
+    codec::encode_trend_model_config(&config.trend, &mut buf);
+    codec::encode_engine(&config.engine, &mut buf);
+    codec::encode_hlm_config(&config.hlm, &mut buf);
+    fnv1a(&buf)
+}
+
+/// [`config_hash`] for a live [`TrainState`] (the daemon computes it
+/// once at spawn and stamps every snapshot it writes with it).
+pub fn train_state_hash(train: &TrainState) -> u64 {
+    config_hash(
+        train.graph().num_roads(),
+        train.clock().slots_per_day,
+        train.seeds(),
+        train.online().config(),
+        train.config(),
+    )
+}
+
+/// Everything a resumed daemon restores from a snapshot file.
+pub struct SnapshotPayload {
+    /// Model epoch the file captured (the resumed `STATS` gauge).
+    pub epoch: u64,
+    /// Slot discretisation of the day history.
+    pub clock: SlotClock,
+    /// Full day history, bootstrap window plus every ingested day.
+    pub days: Vec<SpeedField>,
+    /// The online correlation accumulator, counters intact.
+    pub online: OnlineCorrelation,
+    /// The published estimator, decoded ready to serve.
+    pub estimator: TrafficEstimator,
+}
+
+/// Serialises one epoch (header + checksummed payload).
+pub fn encode_snapshot(
+    epoch: u64,
+    clock: SlotClock,
+    days: &[SpeedField],
+    online: &OnlineCorrelation,
+    estimator: &TrafficEstimator,
+    config_hash: u64,
+) -> Bytes {
+    let mut body = BytesMut::new();
+    body.put_u64_le(epoch);
+    codec::put_usize(&mut body, clock.slots_per_day);
+    body.put_u32_le(days.len() as u32);
+    for day in days {
+        let field = trafficsim::snapshot::encode_field(day);
+        body.put_u32_le(field.len() as u32);
+        body.put_slice(&field);
+    }
+    online.encode_into(&mut body);
+    estimator.encode_snapshot_into(&mut body);
+    let mut out = BytesMut::with_capacity(HEADER_LEN + body.len());
+    out.put_slice(SNAPSHOT_MAGIC);
+    out.put_u16_le(SNAPSHOT_VERSION);
+    out.put_u64_le(config_hash);
+    out.put_u64_le(body.len() as u64);
+    out.put_u64_le(fnv1a(&body));
+    out.put_slice(&body);
+    out.freeze()
+}
+
+/// Validates and decodes a snapshot file image. Every failure mode
+/// maps to exactly one [`RejectReason`], checked in header order:
+/// length, magic, version, declared payload length, checksum, config
+/// hash, and finally the payload decode itself.
+pub fn decode_snapshot(bytes: &[u8], expected_hash: u64) -> Result<SnapshotPayload, RejectReason> {
+    if bytes.len() < HEADER_LEN {
+        return Err(RejectReason::Truncated);
+    }
+    let mut header = &bytes[..HEADER_LEN];
+    if &header[..4] != SNAPSHOT_MAGIC {
+        return Err(RejectReason::BadMagic);
+    }
+    header.advance(4);
+    let version = header.get_u16_le();
+    if version != SNAPSHOT_VERSION {
+        return Err(RejectReason::BadVersion);
+    }
+    let file_hash = header.get_u64_le();
+    let payload_len = header.get_u64_le() as usize;
+    let checksum = header.get_u64_le();
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() < payload_len {
+        return Err(RejectReason::Truncated);
+    }
+    let payload = &payload[..payload_len];
+    if fnv1a(payload) != checksum {
+        return Err(RejectReason::BadChecksum);
+    }
+    if file_hash != expected_hash {
+        return Err(RejectReason::ConfigMismatch);
+    }
+    decode_payload(payload).map_err(|_| RejectReason::Decode)
+}
+
+fn decode_payload(payload: &[u8]) -> Result<SnapshotPayload, codec::DecodeError> {
+    use codec::DecodeError;
+    let mut buf = payload;
+    let epoch = codec::get_u64(&mut buf)?;
+    let slots_per_day = codec::get_usize(&mut buf)?;
+    let clock = SlotClock { slots_per_day };
+    let num_days = codec::get_u32(&mut buf)? as usize;
+    let mut days: Vec<SpeedField> = Vec::with_capacity(num_days.min(4096));
+    for _ in 0..num_days {
+        let len = codec::get_u32(&mut buf)? as usize;
+        if buf.remaining() < len {
+            return Err(DecodeError::Truncated);
+        }
+        let day = trafficsim::snapshot::decode_field(&buf[..len])?;
+        buf.advance(len);
+        if day.num_slots() != slots_per_day {
+            return Err(DecodeError::Corrupt(format!(
+                "history day spans {} slots, clock says {slots_per_day}",
+                day.num_slots()
+            )));
+        }
+        if days
+            .first()
+            .is_some_and(|first| day.num_roads() != first.num_roads())
+        {
+            return Err(DecodeError::Corrupt(format!(
+                "history day spans {} roads, first day {}",
+                day.num_roads(),
+                days[0].num_roads()
+            )));
+        }
+        days.push(day);
+    }
+    let online = OnlineCorrelation::decode_from(&mut buf)?;
+    let estimator = TrafficEstimator::decode_snapshot_from(&mut buf)?;
+    if buf.remaining() != 0 {
+        return Err(DecodeError::Corrupt(format!(
+            "{} trailing bytes after the estimator",
+            buf.remaining()
+        )));
+    }
+    Ok(SnapshotPayload {
+        epoch,
+        clock,
+        days,
+        online,
+        estimator,
+    })
+}
+
+/// The canonical file name for an epoch: zero-padded so lexicographic
+/// order equals epoch order.
+pub fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("epoch-{epoch:020}.{SNAPSHOT_EXT}"))
+}
+
+/// Atomically persists an encoded snapshot: temp file + `rename`, then
+/// prunes all but the newest `keep` snapshots (best-effort). Returns
+/// the final path.
+pub fn write_snapshot(dir: &Path, keep: usize, epoch: u64, bytes: &[u8]) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = snapshot_path(dir, epoch);
+    let tmp = dir.join(format!(".epoch-{epoch:020}.{SNAPSHOT_EXT}.tmp"));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, &path)?;
+    let files = list_snapshots(dir);
+    if files.len() > keep.max(1) {
+        for stale in &files[..files.len() - keep.max(1)] {
+            let _ = std::fs::remove_file(stale);
+        }
+    }
+    Ok(path)
+}
+
+/// Snapshot files in `dir`, oldest first (a missing directory is an
+/// empty list, not an error — a fresh `--snapshot-dir` means a fresh
+/// train, nothing to reject).
+pub fn list_snapshots(dir: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut files: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().is_some_and(|ext| ext == SNAPSHOT_EXT)
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("epoch-"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// A successfully resumed snapshot.
+pub struct LoadOutcome {
+    /// The decoded model state.
+    pub payload: SnapshotPayload,
+    /// The file it came from.
+    pub path: PathBuf,
+}
+
+/// Scans `dir` newest-first and returns the first snapshot that passes
+/// every check. Each refused file is reported through `on_reject`
+/// before the scan moves to the next-older candidate; `None` means the
+/// caller must retrain from scratch.
+pub fn load_newest(
+    dir: &Path,
+    expected_hash: u64,
+    mut on_reject: impl FnMut(RejectReason, &Path),
+) -> Option<LoadOutcome> {
+    for path in list_snapshots(dir).iter().rev() {
+        match std::fs::read(path) {
+            Err(_) => on_reject(RejectReason::Io, path),
+            Ok(bytes) => match decode_snapshot(&bytes, expected_hash) {
+                Ok(payload) => {
+                    return Some(LoadOutcome {
+                        payload,
+                        path: path.clone(),
+                    })
+                }
+                Err(reason) => on_reject(reason, path),
+            },
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn config_hash_ignores_train_threads() {
+        let seeds = [RoadId(1), RoadId(5)];
+        let corr = CorrelationConfig::default();
+        let a = EstimatorConfig::default();
+        let mut b = a.clone();
+        b.train_threads = 7;
+        assert_eq!(
+            config_hash(10, 24, &seeds, &corr, &a),
+            config_hash(10, 24, &seeds, &corr, &b)
+        );
+        let mut c = a.clone();
+        c.hlm.lambda_city += 1.0;
+        assert_ne!(
+            config_hash(10, 24, &seeds, &corr, &a),
+            config_hash(10, 24, &seeds, &corr, &c)
+        );
+        assert_ne!(
+            config_hash(10, 24, &seeds, &corr, &a),
+            config_hash(11, 24, &seeds, &corr, &a)
+        );
+    }
+
+    #[test]
+    fn header_rejections_map_to_typed_reasons() {
+        assert!(matches!(
+            decode_snapshot(b"CSS", 0),
+            Err(RejectReason::Truncated)
+        ));
+        let mut bytes = vec![0u8; HEADER_LEN];
+        bytes[..4].copy_from_slice(b"NOPE");
+        assert!(matches!(
+            decode_snapshot(&bytes, 0),
+            Err(RejectReason::BadMagic)
+        ));
+        let mut bytes = vec![0u8; HEADER_LEN];
+        bytes[..4].copy_from_slice(SNAPSHOT_MAGIC);
+        bytes[4] = 99; // version 99
+        assert!(matches!(
+            decode_snapshot(&bytes, 0),
+            Err(RejectReason::BadVersion)
+        ));
+    }
+
+    #[test]
+    fn snapshot_file_names_sort_by_epoch() {
+        let dir = Path::new("/tmp");
+        let a = snapshot_path(dir, 9);
+        let b = snapshot_path(dir, 10);
+        let c = snapshot_path(dir, 9_999_999_999);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn reject_reason_names_align_with_indices() {
+        for (i, r) in RejectReason::ALL.iter().enumerate() {
+            assert_eq!(*r as usize, i);
+        }
+        assert_eq!(RejectReason::ConfigMismatch.name(), "config_mismatch");
+    }
+}

@@ -87,6 +87,16 @@ impl ModelSlot {
         self.current.read().clone()
     }
 
+    /// Wraps an estimator restored from a snapshot, continuing the
+    /// epoch sequence the writing process had reached rather than
+    /// restarting at 1 — `STATS` gauges and `Ingested` replies stay
+    /// monotonic across a restart.
+    pub fn with_epoch(estimator: TrafficEstimator, epoch: u64) -> ModelSlot {
+        ModelSlot {
+            current: RwLock::new(Arc::new(ModelEpoch { epoch, estimator })),
+        }
+    }
+
     /// Atomically publishes `estimator` as the next epoch and returns
     /// the new epoch number. Readers holding the previous `Arc` are
     /// unaffected.
@@ -96,6 +106,23 @@ impl ModelSlot {
         *slot = Arc::new(ModelEpoch { epoch, estimator });
         epoch
     }
+}
+
+/// The daemon's startup inputs, bundled so [`crate::Daemon::spawn_from`]
+/// can decide between resuming a persisted snapshot and bootstrapping
+/// from the history — without the caller pre-committing to either path.
+pub struct TrainInputs {
+    /// The road network.
+    pub graph: RoadGraph,
+    /// Bootstrap history (ignored when a valid snapshot resumes —
+    /// the snapshot's own day history supersedes it).
+    pub history: HistoricalData,
+    /// The frozen seed set.
+    pub seeds: Vec<roadnet::RoadId>,
+    /// Correlation-graph thresholds for the online model.
+    pub corr_config: CorrelationConfig,
+    /// Estimator configuration.
+    pub config: EstimatorConfig,
 }
 
 /// Everything needed to retrain off the serving path: the road graph,
@@ -129,6 +156,60 @@ impl TrainState {
             seeds,
             config,
         }
+    }
+
+    /// Rebuilds the training state from a persisted snapshot: the day
+    /// history and online accumulator come back exactly as written, so
+    /// **no** bootstrap pass runs — the whole point of resuming is to
+    /// skip that work — and a subsequent [`TrainState::train`] or
+    /// `INGEST_DAY` continues the identical model trajectory the
+    /// writing process was on.
+    pub fn resume(
+        graph: RoadGraph,
+        seeds: Vec<roadnet::RoadId>,
+        config: EstimatorConfig,
+        clock: SlotClock,
+        days: Vec<SpeedField>,
+        online: crowdspeed::online::OnlineCorrelation,
+    ) -> TrainState {
+        TrainState {
+            graph,
+            clock,
+            days,
+            online,
+            seeds,
+            config,
+        }
+    }
+
+    /// The road network the model spans.
+    pub fn graph(&self) -> &RoadGraph {
+        &self.graph
+    }
+
+    /// The slot discretisation of the day history.
+    pub fn clock(&self) -> SlotClock {
+        self.clock
+    }
+
+    /// The full day history (bootstrap window plus ingested days).
+    pub fn days(&self) -> &[SpeedField] {
+        &self.days
+    }
+
+    /// The live online correlation accumulator.
+    pub fn online(&self) -> &crowdspeed::online::OnlineCorrelation {
+        &self.online
+    }
+
+    /// The frozen seed set.
+    pub fn seeds(&self) -> &[roadnet::RoadId] {
+        &self.seeds
+    }
+
+    /// The estimator configuration frozen at startup.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
     }
 
     /// Trains a fresh estimator from the current history and the live

@@ -76,10 +76,11 @@ proptest! {
     }
 
     #[test]
-    fn bare_requests_roundtrip(which in 0usize..2) {
+    fn bare_requests_roundtrip(which in 0usize..3) {
         let req = match which {
             0 => Request::Stats,
-            _ => Request::Shutdown,
+            1 => Request::Shutdown,
+            _ => Request::Snapshot,
         };
         let decoded = Request::decode(&req.encode()).map_err(|(k, m)| format!("{k}: {m}"))?;
         prop_assert_eq!(decoded, req);
@@ -154,15 +155,17 @@ proptest! {
         epoch in 0u64..MAX_EXACT,
         uptime_ms in 0u64..MAX_EXACT,
         days in 0u64..MAX_EXACT,
-        counters in prop::collection::vec((0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT), 4usize),
-        rejected_overload in 0u64..MAX_EXACT,
-        rejected_deadline in 0u64..MAX_EXACT,
+        counters in prop::collection::vec((0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT), 5usize),
         // Bundled: proptest strategy tuples cap out at 8 parameters.
-        faults in (0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT),
+        faults in (0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT),
+        snaps in (0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..2, 0u64..MAX_EXACT),
+        snapshot_rejects in prop::collection::vec(0u64..MAX_EXACT, 7usize),
         latency in prop::collection::vec(0u64..MAX_EXACT, LATENCY_BUCKET_BOUNDS_US.len() + 1),
     ) {
-        let (rejected_connections, worker_panics, retrain_failures) = faults;
-        let names = ["estimate", "ingest_day", "stats", "shutdown"];
+        let (rejected_overload, rejected_deadline, rejected_connections, worker_panics, retrain_failures) = faults;
+        let (snapshot_writes, snapshot_write_failures, snapshot_resumed, ignored_observations) = snaps;
+        let names = ["estimate", "ingest_day", "stats", "shutdown", "snapshot"];
+        let reasons = ["io", "bad_magic", "bad_version", "truncated", "bad_checksum", "config_mismatch", "decode"];
         let resp = Response::Stats(StatsReply {
             epoch,
             uptime_ms,
@@ -180,6 +183,15 @@ proptest! {
             worker_panics,
             retrain_failures,
             latency_counts: latency,
+            snapshot_writes,
+            snapshot_write_failures,
+            snapshot_resumed,
+            snapshot_rejects: reasons
+                .iter()
+                .zip(&snapshot_rejects)
+                .map(|(&name, &count)| (name.to_string(), count))
+                .collect(),
+            ignored_observations,
         });
         let decoded = Response::decode(&resp.encode())?;
         prop_assert_eq!(decoded, resp);
@@ -224,7 +236,7 @@ proptest! {
         let name: String = letters.iter().map(|&l| (b'a' + l) as char).collect();
         prop_assume!(!matches!(
             name.as_str(),
-            "estimate" | "ingest" | "stats" | "shutdown"
+            "estimate" | "ingest" | "stats" | "shutdown" | "snapshot"
         ));
         let payload = format!("{{\"cmd\":{:?}}}", name);
         match Request::decode(payload.as_bytes()) {

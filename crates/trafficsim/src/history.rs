@@ -199,6 +199,56 @@ impl HistoryStats {
         let m = self.mean(slot_of_day, road);
         (m > 1e-9).then(|| speed / m)
     }
+
+    /// Serialises the statistics in the snapshot codec style
+    /// (length-prefixed little-endian, `NaN`-bit-exact `f64`s).
+    pub fn encode_into(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u32_le(self.slots as u32);
+        buf.put_u32_le(self.roads as u32);
+        for &v in &self.mean {
+            buf.put_f64_le(v);
+        }
+        for &v in &self.up_rate {
+            buf.put_f64_le(v);
+        }
+        for &v in &self.obs_count {
+            buf.put_u32_le(v);
+        }
+    }
+
+    /// Decodes statistics written by [`HistoryStats::encode_into`].
+    pub fn decode_from(buf: &mut impl bytes::Buf) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        if buf.remaining() < 8 {
+            return Err(SnapshotError::Truncated);
+        }
+        let slots = buf.get_u32_le() as usize;
+        let roads = buf.get_u32_le() as usize;
+        let cells = slots * roads;
+        if buf.remaining() < cells.saturating_mul(8 + 8 + 4) {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut mean = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            mean.push(buf.get_f64_le());
+        }
+        let mut up_rate = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            up_rate.push(buf.get_f64_le());
+        }
+        let mut obs_count = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            obs_count.push(buf.get_u32_le());
+        }
+        Ok(HistoryStats {
+            slots,
+            roads,
+            mean,
+            up_rate,
+            obs_count,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -292,6 +292,140 @@ fn retrain_panic_keeps_the_old_epoch_serving_and_rolls_back_cleanly() {
     handle.join();
 }
 
+/// Scenario 4b: a mid-frame short write (the daemon dies between two
+/// TCP segments of a response, injected via the `conn_write`
+/// failpoint). The client must treat the truncated reply as a poisoned
+/// connection, and its idempotent retry path must resync on a fresh
+/// connection and return a reply bit-identical to an unfaulted one.
+#[test]
+fn short_written_reply_resyncs_through_client_retry_bit_identically() {
+    let _guard = fault_guard();
+    let ds = dataset();
+    let handle = spawn(&ds, DaemonConfig::default());
+    let config = ClientConfig {
+        retries: 2,
+        backoff_base: Duration::from_millis(10),
+        ..ClientConfig::default()
+    };
+    let mut client = Client::connect_with(handle.addr(), config).expect("client connects");
+    // Reference reply over a healthy wire.
+    let reference = client
+        .estimate(6, observations_at(&ds, 6), None)
+        .expect("reference estimate");
+    // The next response is cut off halfway through the frame and the
+    // socket severed; the retry reconnects and must get the same bits.
+    failpoint::configure("conn_write", Action::Fail, Some(1));
+    let retried = client
+        .estimate(6, observations_at(&ds, 6), None)
+        .expect("retry resyncs past the short write");
+    assert_eq!(retried.epoch, reference.epoch);
+    assert_eq!(
+        retried.speeds, reference.speeds,
+        "resynced reply is bit-identical to the unfaulted one"
+    );
+    assert_eq!(retried.p_up, reference.p_up);
+    assert_eq!(retried.trends, reference.trends);
+    // Without retries the same fault surfaces as a typed transport
+    // error, never a mangled reply.
+    failpoint::configure("conn_write", Action::Fail, Some(1));
+    let mut plain = Client::connect(handle.addr()).expect("no-retry client connects");
+    match plain.estimate(6, observations_at(&ds, 6), None) {
+        Err(ServerError::Wire(_) | ServerError::Io(_)) => {}
+        other => panic!("expected a transport error from the torn frame, got {other:?}"),
+    }
+    failpoint::clear_all();
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+/// Scenario 4c: a short-written `INGEST_DAY` reply. The client must
+/// surface a transport error (ingest is never retried — the day may
+/// have landed), and here it did land: the epoch advanced server-side,
+/// and a reconnecting client sees the new model.
+#[test]
+fn short_written_ingest_reply_errors_but_the_day_was_ingested() {
+    let _guard = fault_guard();
+    let ds = dataset();
+    let handle = spawn(&ds, DaemonConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    failpoint::configure("conn_write", Action::Fail, Some(1));
+    match client.ingest_day(day_rows(&ds.test_days[1])) {
+        Err(ServerError::Wire(_) | ServerError::Io(_)) => {}
+        other => panic!("expected a transport error, got {other:?}"),
+    }
+    failpoint::clear_all();
+    // The reply was torn, not the ingest: the new epoch is serving.
+    assert_eq!(handle.epoch(), 2, "the ingest itself completed");
+    let reply = client
+        .estimate(4, observations_at(&ds, 4), None)
+        .expect("estimate after reconnecting");
+    assert_eq!(reply.epoch, 2);
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+/// Scenario 6: a slow loris — a peer that starts a frame and then
+/// trickles one byte at a time, never blocking long enough to look
+/// dead. The per-frame read deadline must drop it and reclaim the
+/// handler thread: with `max_connections: 1`, a fresh client can only
+/// be served if the trickler's slot was actually freed.
+#[test]
+fn trickling_peer_hits_the_frame_deadline_and_frees_its_thread() {
+    let _guard = fault_guard();
+    let ds = dataset();
+    let handle = spawn(
+        &ds,
+        DaemonConfig {
+            max_connections: 1,
+            frame_deadline_ms: Some(300),
+            ..DaemonConfig::default()
+        },
+    );
+    // The loris declares a 64-byte frame and feeds it a byte every
+    // 50 ms — each read makes progress, so only the frame deadline can
+    // end this.
+    let mut loris = TcpStream::connect(handle.addr()).expect("loris connects");
+    loris
+        .write_all(&64u32.to_be_bytes())
+        .expect("length prefix");
+    loris.flush().expect("flush");
+    let trickler = std::thread::spawn(move || {
+        for _ in 0..20 {
+            if loris.write_all(&[0x5a]).is_err() || loris.flush().is_err() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        loris
+    });
+    // While the loris occupies the only connection slot, new
+    // connections are refused — then the deadline (300 ms after the
+    // first byte) fires, the handler exits, and the slot frees. Poll
+    // until the daemon serves again; a missing deadline would leave the
+    // slot pinned and this loop exhausted.
+    let started = Instant::now();
+    let (mut client, reply) = loop {
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "connection slot never freed: the trickling peer pinned its handler thread"
+        );
+        let mut client = match Client::connect(handle.addr()) {
+            Ok(client) => client,
+            Err(_) => continue,
+        };
+        match client.estimate(9, observations_at(&ds, 9), None) {
+            Ok(reply) => break (client, reply),
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    assert_eq!(reply.epoch, 1);
+    // The loris's writes eventually fail against its severed socket.
+    let loris = trickler.join().expect("trickler thread");
+    drop(loris);
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
 /// Scenario 5: against a socket that accepts and then never answers,
 /// the client fails with [`ServerError::TimedOut`] within its
 /// configured budget, and retries reconnect (counted as fresh accepts)

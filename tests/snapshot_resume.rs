@@ -1,0 +1,481 @@
+//! Persistence tests for the snapshot layer: a daemon restarted from a
+//! valid snapshot serves bit-identically to the process that wrote it
+//! (including after further ingests), and every corrupt or mismatched
+//! file degrades to a clean retrain with a typed reject reason — never
+//! a crash, never a silently wrong model.
+
+use crowdspeed::online::OnlineCorrelation;
+use crowdspeed::prelude::*;
+use crowdspeed_server::daemon::{Daemon, DaemonConfig, DaemonHandle};
+use crowdspeed_server::protocol::StatsReply;
+use crowdspeed_server::snapshot::{self, RejectReason};
+use crowdspeed_server::state::TrainInputs;
+use crowdspeed_server::{Client, ErrorKind, ServerError};
+use proptest::prelude::*;
+use roadnet::RoadId;
+use std::path::{Path, PathBuf};
+use trafficsim::dataset::{metro_small, Dataset, DatasetParams};
+use trafficsim::{SlotClock, SpeedField};
+
+fn dataset() -> Dataset {
+    metro_small(&DatasetParams {
+        training_days: 6,
+        test_days: 2,
+        ..DatasetParams::default()
+    })
+}
+
+fn seeds() -> Vec<RoadId> {
+    (0..12u32).map(|i| RoadId(i * 8)).collect()
+}
+
+fn corr_config() -> CorrelationConfig {
+    CorrelationConfig {
+        min_cotrend: 0.6,
+        min_co_observations: 6,
+        ..CorrelationConfig::default()
+    }
+}
+
+fn inputs(ds: &Dataset) -> TrainInputs {
+    TrainInputs {
+        graph: ds.graph.clone(),
+        history: ds.history.clone(),
+        seeds: seeds(),
+        corr_config: corr_config(),
+        config: EstimatorConfig::default(),
+    }
+}
+
+/// A fresh per-test snapshot directory (removed on drop so reruns
+/// never resume from a previous process's files).
+struct SnapDir(PathBuf);
+
+impl SnapDir {
+    fn new(tag: &str) -> SnapDir {
+        let dir =
+            std::env::temp_dir().join(format!("crowdspeed-snaptest-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        SnapDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for SnapDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn spawn_with_dir(ds: &Dataset, dir: &Path) -> DaemonHandle {
+    Daemon::spawn_from(
+        inputs(ds),
+        DaemonConfig {
+            snapshot_dir: Some(dir.to_path_buf()),
+            ..DaemonConfig::default()
+        },
+    )
+    .expect("daemon spawns")
+}
+
+/// Seed observations for `slot`, plus one deliberate non-seed road so
+/// every estimate bumps the `ignored_observations` counter.
+fn observations_at(ds: &Dataset, slot: usize) -> Vec<(u32, f64)> {
+    let truth = &ds.test_days[0];
+    let mut obs: Vec<(u32, f64)> = seeds()
+        .iter()
+        .map(|&s| (s.0, truth.speed(slot, s)))
+        .collect();
+    obs.push((1, 30.0)); // RoadId(1) is not a seed
+    obs
+}
+
+fn day_rows(day: &SpeedField) -> Vec<Vec<f64>> {
+    (0..day.num_slots())
+        .map(|slot| day.slot_speeds(slot).to_vec())
+        .collect()
+}
+
+fn reject_count(stats: &StatsReply, name: &str) -> u64 {
+    stats
+        .snapshot_rejects
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, c)| *c)
+        .unwrap_or_else(|| panic!("STATS carries no snapshot reject counter named {name:?}"))
+}
+
+/// The single snapshot file a one-epoch daemon run leaves behind.
+fn only_snapshot(dir: &Path) -> PathBuf {
+    let files = snapshot::list_snapshots(dir);
+    assert_eq!(files.len(), 1, "expected exactly one snapshot in {dir:?}");
+    files[0].clone()
+}
+
+/// Scenario 1: save → kill → restart. The resumed daemon reports the
+/// resume in STATS, skips retraining, and answers every estimate —
+/// speeds, trend probabilities, trend bits, ignored-observation counts
+/// — bit-identically to the process that wrote the snapshot, with the
+/// STATS gauges (epoch, days ingested, ignored observations) in parity.
+#[test]
+fn resumed_daemon_serves_bit_identical_estimates_with_stats_parity() {
+    let ds = dataset();
+    let snap = SnapDir::new("resume");
+    let slots = [0usize, 3, 7, 11];
+
+    let handle = spawn_with_dir(&ds, snap.path());
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    let mut first_run = Vec::new();
+    for &slot in &slots {
+        first_run.push(
+            client
+                .estimate(slot, observations_at(&ds, slot), None)
+                .expect("estimate before the restart"),
+        );
+    }
+    let stats_before = client.stats().expect("stats before the restart");
+    assert_eq!(stats_before.snapshot_resumed, 0, "first run trained fresh");
+    assert!(
+        stats_before.snapshot_writes >= 1,
+        "the freshly trained epoch is persisted at startup"
+    );
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+
+    // "Crash": the process state is gone, only the snapshot dir remains.
+    let handle = spawn_with_dir(&ds, snap.path());
+    let mut client = Client::connect(handle.addr()).expect("client reconnects");
+    for (&slot, before) in slots.iter().zip(&first_run) {
+        let after = client
+            .estimate(slot, observations_at(&ds, slot), None)
+            .expect("estimate after the restart");
+        assert_eq!(after.epoch, before.epoch, "slot {slot}: epoch continues");
+        assert_eq!(
+            after.speeds, before.speeds,
+            "slot {slot}: speeds bit-identical across the restart"
+        );
+        assert_eq!(
+            after.p_up, before.p_up,
+            "slot {slot}: trend probabilities bit-identical"
+        );
+        assert_eq!(after.trends, before.trends, "slot {slot}: trend bits");
+        assert_eq!(
+            after.ignored_observations, before.ignored_observations,
+            "slot {slot}: the non-seed observation is ignored identically"
+        );
+    }
+    let stats_after = client.stats().expect("stats after the restart");
+    assert_eq!(stats_after.snapshot_resumed, 1, "STATS reports the resume");
+    assert_eq!(stats_after.epoch, stats_before.epoch);
+    assert_eq!(stats_after.days_ingested, stats_before.days_ingested);
+    assert_eq!(
+        stats_after.ignored_observations, stats_before.ignored_observations,
+        "identical requests ignore identical observation counts"
+    );
+    assert_eq!(
+        stats_after
+            .snapshot_rejects
+            .iter()
+            .map(|(_, c)| c)
+            .sum::<u64>(),
+        0,
+        "a valid snapshot is accepted without rejecting anything"
+    );
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+/// Scenario 2: resume-then-ingest equals never-restarted. A daemon that
+/// resumes from a snapshot and then ingests a day publishes the same
+/// epoch number and serves bit-identical estimates to a daemon that
+/// lived through the whole sequence without restarting — the snapshot
+/// carries the full trainer state, not just the published model.
+#[test]
+fn resume_then_ingest_matches_an_unbroken_run() {
+    let ds = dataset();
+    let new_day = &ds.test_days[1];
+    let slots = [2usize, 6, 10];
+
+    // Reference: one unbroken process, train + ingest, no restart.
+    let unbroken = SnapDir::new("unbroken");
+    let handle = spawn_with_dir(&ds, unbroken.path());
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    let (epoch, days) = client.ingest_day(day_rows(new_day)).expect("ingest");
+    assert_eq!(epoch, 2);
+    let mut reference = Vec::new();
+    for &slot in &slots {
+        reference.push(
+            client
+                .estimate(slot, observations_at(&ds, slot), None)
+                .expect("reference estimate"),
+        );
+    }
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+
+    // Candidate: train, snapshot, die, resume, then ingest the day.
+    let snap = SnapDir::new("resume-ingest");
+    let handle = spawn_with_dir(&ds, snap.path());
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    client.shutdown().expect("shutdown before any ingest");
+    handle.join();
+
+    let handle = spawn_with_dir(&ds, snap.path());
+    let mut client = Client::connect(handle.addr()).expect("client reconnects");
+    let (resumed_epoch, resumed_days) = client
+        .ingest_day(day_rows(new_day))
+        .expect("resumed ingest");
+    assert_eq!(
+        resumed_epoch, epoch,
+        "the resumed daemon continues the epoch sequence"
+    );
+    assert_eq!(resumed_days, days);
+    for (&slot, reference) in slots.iter().zip(&reference) {
+        let resumed = client
+            .estimate(slot, observations_at(&ds, slot), None)
+            .expect("resumed estimate");
+        assert_eq!(resumed.epoch, reference.epoch);
+        assert_eq!(
+            resumed.speeds, reference.speeds,
+            "slot {slot}: resume-then-ingest == never-restarted, bit for bit"
+        );
+        assert_eq!(resumed.p_up, reference.p_up, "slot {slot}");
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.snapshot_resumed, 1);
+    assert!(
+        stats.snapshot_writes >= 1,
+        "the post-ingest epoch is persisted too"
+    );
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+/// Writes one valid snapshot into a fresh dir by running a daemon for
+/// a single epoch, then returns the file's bytes and path.
+fn valid_snapshot(ds: &Dataset, snap: &SnapDir) -> (Vec<u8>, PathBuf) {
+    let handle = spawn_with_dir(ds, snap.path());
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+    let path = only_snapshot(snap.path());
+    let bytes = std::fs::read(&path).expect("snapshot readable");
+    (bytes, path)
+}
+
+/// Spawns over a (possibly corrupted) snapshot dir and asserts the
+/// fallback contract: the daemon comes up anyway, retrains (resume
+/// gauge 0), serves estimates at epoch 1, and counts exactly one
+/// reject under `reason`.
+fn assert_falls_back_to_retrain(ds: &Dataset, dir: &Path, reason: RejectReason) {
+    let handle = spawn_with_dir(ds, dir);
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    let reply = client
+        .estimate(5, observations_at(ds, 5), None)
+        .expect("the fallback daemon serves");
+    assert_eq!(reply.epoch, 1, "fallback retrains from scratch");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.snapshot_resumed, 0,
+        "{reason}: a refused file must not count as a resume"
+    );
+    assert_eq!(
+        reject_count(&stats, reason.name()),
+        1,
+        "{reason}: the refusal is counted under its typed reason"
+    );
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+/// Scenario 3: the corruption matrix. Each way a snapshot file can be
+/// bad — scribbled magic, unknown version, truncation, a flipped
+/// payload bit, a config change — degrades to a fresh retrain with the
+/// right typed reject reason in STATS.
+#[test]
+fn corrupt_or_mismatched_snapshots_fall_back_to_retrain_with_typed_reasons() {
+    let ds = dataset();
+    let snap = SnapDir::new("corrupt");
+    let (bytes, path) = valid_snapshot(&ds, &snap);
+
+    // Corrupted magic: not our file.
+    let mut mutated = bytes.clone();
+    mutated[..4].copy_from_slice(b"NOPE");
+    std::fs::write(&path, &mutated).expect("write mutated file");
+    assert_falls_back_to_retrain(&ds, snap.path(), RejectReason::BadMagic);
+
+    // A format version this build does not speak. (The fallback daemon
+    // rewrote a valid epoch-1 file above, so corrupt it afresh.)
+    let mut mutated = bytes.clone();
+    mutated[4] = 99;
+    mutated[5] = 0;
+    std::fs::write(&path, &mutated).expect("write mutated file");
+    assert_falls_back_to_retrain(&ds, snap.path(), RejectReason::BadVersion);
+
+    // Truncated mid-payload: declared length cannot be satisfied.
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("write truncated file");
+    assert_falls_back_to_retrain(&ds, snap.path(), RejectReason::Truncated);
+
+    // One flipped payload bit: header intact, checksum catches it.
+    let mut mutated = bytes.clone();
+    let mid = 30 + (mutated.len() - 30) / 2; // header is 30 bytes
+    mutated[mid] ^= 0x01;
+    std::fs::write(&path, &mutated).expect("write mutated file");
+    assert_falls_back_to_retrain(&ds, snap.path(), RejectReason::BadChecksum);
+
+    // Same file, different daemon configuration: refused as a config
+    // mismatch rather than silently serving a model trained under
+    // other thresholds.
+    std::fs::write(&path, &bytes).expect("restore the valid file");
+    let mut mismatched = inputs(&ds);
+    mismatched.corr_config.min_cotrend = 0.8;
+    let handle = Daemon::spawn_from(
+        mismatched,
+        DaemonConfig {
+            snapshot_dir: Some(snap.path().to_path_buf()),
+            ..DaemonConfig::default()
+        },
+    )
+    .expect("mismatched daemon spawns");
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.snapshot_resumed, 0);
+    assert_eq!(reject_count(&stats, RejectReason::ConfigMismatch.name()), 1);
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+/// Scenario 4: the `SNAPSHOT` command. A daemon without a snapshot
+/// directory answers the typed `SnapshotUnavailable`; one with a
+/// directory writes the file on demand and reports it in STATS.
+#[test]
+fn snapshot_command_forces_a_write_or_answers_typed_unavailable() {
+    let ds = dataset();
+
+    // No --snapshot-dir: typed refusal, not a crash or a silent no-op.
+    let handle = Daemon::spawn_from(inputs(&ds), DaemonConfig::default()).expect("daemon spawns");
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    match client.snapshot() {
+        Err(ServerError::Remote {
+            kind: ErrorKind::SnapshotUnavailable,
+            message,
+        }) => assert!(
+            message.contains("snapshot directory"),
+            "refusal names the missing directory, got {message:?}"
+        ),
+        other => panic!("expected typed SnapshotUnavailable, got {other:?}"),
+    }
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+
+    // With a directory: the command writes and names the file.
+    let snap = SnapDir::new("command");
+    let handle = spawn_with_dir(&ds, snap.path());
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    let (epoch, path) = client.snapshot().expect("forced snapshot");
+    assert_eq!(epoch, 1);
+    assert!(
+        Path::new(&path).is_file(),
+        "the daemon reports a path that exists: {path}"
+    );
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.snapshot_writes >= 2,
+        "startup write + forced write are both counted, got {}",
+        stats.snapshot_writes
+    );
+    assert_eq!(stats.snapshot_write_failures, 0);
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+/// Scenario 5: retention. `write_snapshot` keeps only the newest
+/// `keep` files, and the pruning respects epoch order even across
+/// digit-count boundaries.
+#[test]
+fn write_snapshot_prunes_to_the_newest_keep_files() {
+    let snap = SnapDir::new("prune");
+    for epoch in [1u64, 2, 9, 10, 11] {
+        snapshot::write_snapshot(snap.path(), 2, epoch, b"payload-bytes").expect("write");
+    }
+    let kept = snapshot::list_snapshots(snap.path());
+    let names: Vec<String> = kept
+        .iter()
+        .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(
+        names,
+        vec![
+            format!("epoch-{:020}.csnap", 10),
+            format!("epoch-{:020}.csnap", 11)
+        ],
+        "only the two newest epochs survive pruning"
+    );
+}
+
+/// Builds a deterministic pseudo-random day: roughly `density` of the
+/// road/slot cells carry a speed, the rest stay NaN (unobserved).
+fn random_day(rng: &mut u64, slots: usize, roads: usize, density: u64) -> SpeedField {
+    let mut day = SpeedField::filled(slots, roads, f64::NAN);
+    for slot in 0..slots {
+        for road in 0..roads {
+            // xorshift64
+            *rng ^= *rng << 13;
+            *rng ^= *rng >> 7;
+            *rng ^= *rng << 17;
+            if *rng % 100 < density {
+                let speed = 5.0 + (*rng % 1000) as f64 / 12.5;
+                day.set_speed(slot, RoadId(road as u32), speed);
+            }
+        }
+    }
+    day
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: any reachable `OnlineCorrelation` state — bootstrapped
+    /// from random history, then fed a random number of further random
+    /// days — round-trips through the codec byte-exactly. Re-encoding
+    /// the decoded accumulator reproduces the original encoding, so
+    /// resumed counters can never drift from the written ones.
+    #[test]
+    fn online_correlation_roundtrips_random_states(
+        seed in any::<u64>(),
+        bootstrap_days in 2usize..5,
+        extra_days in 0usize..4,
+        density in 30u64..95,
+    ) {
+        use bytes::BytesMut;
+
+        let ds = dataset();
+        let clock = SlotClock { slots_per_day: 12 };
+        let roads = ds.graph.num_roads();
+        let mut rng = seed | 1;
+        let days: Vec<SpeedField> = (0..bootstrap_days)
+            .map(|_| random_day(&mut rng, clock.slots_per_day, roads, density))
+            .collect();
+        let history = HistoricalData::from_days(clock, days);
+        let mut online = OnlineCorrelation::bootstrap(&ds.graph, &history, &corr_config());
+        for _ in 0..extra_days {
+            let day = random_day(&mut rng, clock.slots_per_day, roads, density);
+            online.ingest_day(&day).expect("random day ingests");
+        }
+
+        let mut encoded = BytesMut::new();
+        online.encode_into(&mut encoded);
+        let mut buf = &encoded[..];
+        let decoded = OnlineCorrelation::decode_from(&mut buf).expect("decodes");
+        // Decode must consume the whole encoding.
+        prop_assert_eq!(buf.len(), 0);
+        let mut reencoded = BytesMut::new();
+        decoded.encode_into(&mut reencoded);
+        // Re-encoding the decoded state is byte-identical.
+        prop_assert_eq!(&encoded[..], &reencoded[..]);
+        prop_assert_eq!(decoded.days_ingested(), online.days_ingested());
+    }
+}
