@@ -38,7 +38,7 @@ fn main() {
     let requests_per_conn = if quick { 50 } else { 400 };
 
     let ds = dataset();
-    let train = TrainState::new(
+    let mut train = TrainState::new(
         ds.graph.clone(),
         &ds.history,
         seeds(),

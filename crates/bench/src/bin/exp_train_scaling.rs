@@ -1,21 +1,32 @@
-//! Experiment E11 — parallel training scaling across thread counts.
+//! Experiment E11 — parallel training scaling across thread counts,
+//! plus full-vs-incremental `INGEST_DAY` retrain timings.
 //!
-//! Times every stage of the training pipeline (correlation build,
-//! influence model, CELF seed selection, end-to-end estimator training,
-//! and a daemon-style `INGEST_DAY` retrain through [`TrainState`]) at
-//! `--train-threads` 1, 2, 4, 8 (1, 2 under `--quick`). Before any
-//! timing is reported, every thread count's outputs are asserted
-//! **bit-identical** to the serial run — the parallel pipeline is a
-//! pure wall-clock optimisation, never a numerics change. Results are
-//! written to `BENCH_train.json` for CI artifacts and trend tracking.
+//! Part one times every stage of the training pipeline (correlation
+//! build, influence model, CELF seed selection, end-to-end estimator
+//! training, and a daemon-style `INGEST_DAY` retrain through
+//! [`TrainState`]) at `--train-threads` 1, 2, 4, 8 (1, 2 under
+//! `--quick`). Before any timing is reported, every thread count's
+//! outputs are asserted **bit-identical** to the serial run — the
+//! parallel pipeline is a pure wall-clock optimisation, never a
+//! numerics change.
+//!
+//! Part two ingests the same crowdsourced-style sparse day twice —
+//! once through a standing [`IncrementalTrainer`]'s delta-propagation
+//! path and once as a from-scratch rebuild — asserts the two
+//! estimators byte-identical, and reports the speedup. The full run
+//! covers the medium metro and the ≈4k-road large metro, where one
+//! day's delta is a small fraction of the network. Results are written
+//! to `BENCH_train.json` for CI artifacts and trend tracking.
 
 use bench::{f3, timed, Table};
 use crowdspeed::prelude::*;
 use crowdspeed::seed::lazy_greedy::lazy_greedy_threads;
 use crowdspeed_server::json::Json;
+use crowdspeed_server::state::RetrainMode;
 use crowdspeed_server::TrainState;
 use roadnet::RoadId;
 use trafficsim::dataset::Dataset;
+use trafficsim::SpeedField;
 
 /// All stage timings for one thread count, in milliseconds.
 struct Run {
@@ -130,6 +141,117 @@ fn run_at(
     )
 }
 
+/// One full-vs-incremental `INGEST_DAY` measurement.
+struct IngestRun {
+    dataset: &'static str,
+    roads: usize,
+    threads: usize,
+    full_ms: f64,
+    incremental_ms: f64,
+    edges_changed: u64,
+    rows_folded: usize,
+}
+
+impl IngestRun {
+    fn speedup(&self) -> f64 {
+        self.full_ms / self.incremental_ms
+    }
+}
+
+/// Crowdsourced-style thinning: keeps roughly `keep_pct`% of `day`'s
+/// observed cells, NaNs the rest (deterministic xorshift, so the
+/// experiment is reproducible).
+fn sparse_day(day: &SpeedField, keep_pct: u64) -> SpeedField {
+    let mut rng = 0x5DEE_CE66_D123_4567u64;
+    let mut out = SpeedField::filled(day.num_slots(), day.num_roads(), f64::NAN);
+    for slot in 0..day.num_slots() {
+        for road in 0..day.num_roads() {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let road = RoadId(road as u32);
+            let v = day.speed(slot, road);
+            if !v.is_nan() && rng % 100 < keep_pct {
+                out.set_speed(slot, road, v);
+            }
+        }
+    }
+    out
+}
+
+/// The estimator's snapshot encoding — the byte string the full and
+/// incremental paths must agree on.
+fn estimator_bytes(est: &TrafficEstimator) -> Vec<u8> {
+    let mut buf = bytes::BytesMut::new();
+    est.encode_snapshot_into(&mut buf);
+    buf.to_vec()
+}
+
+/// Ingests the same sparse day through both retrain paths on `ds`,
+/// asserting the resulting estimators byte-identical before reporting
+/// the timings. The coverage budget is unlimited so the decision
+/// matrix cannot fall back to a re-anchor mid-measurement.
+fn ingest_comparison(ds: &Dataset, threads: usize) -> IngestRun {
+    let k = (ds.graph.num_roads() / 8).max(4);
+    let stats = HistoryStats::compute(&ds.history);
+    let corr =
+        CorrelationGraph::build_threaded(&ds.graph, &ds.history, &stats, &corr_config(), threads);
+    let influence = InfluenceModel::build_threaded(&corr, &InfluenceConfig::default(), threads);
+    let seeds = lazy_greedy_threads(&influence, k, threads).seeds;
+    let config = EstimatorConfig {
+        train_threads: threads,
+        max_incremental_fraction: f64::INFINITY,
+        ..EstimatorConfig::default()
+    };
+    let day = sparse_day(&ds.test_days[0], 10);
+
+    // Full path: plain ingest, then a from-scratch rebuild.
+    let mut full_state = TrainState::new(
+        ds.graph.clone(),
+        &ds.history,
+        seeds.clone(),
+        &corr_config(),
+        config.clone(),
+    );
+    full_state
+        .ingest_day(day.clone())
+        .expect("full-path ingest");
+    let (full_est, full_ms) = timed(|| full_state.train().expect("full retrain"));
+
+    // Incremental path: establish a standing trainer (untimed), then
+    // time the delta-propagated ingest of the same day.
+    let mut inc_state =
+        TrainState::new(ds.graph.clone(), &ds.history, seeds, &corr_config(), config);
+    inc_state.train().expect("initial train");
+    let (outcome, incremental_ms) = timed(|| {
+        inc_state
+            .ingest_and_train(day.clone())
+            .expect("incremental retrain")
+    });
+    assert_eq!(
+        outcome.mode,
+        RetrainMode::Incremental,
+        "{}: unlimited budget must take the incremental arm",
+        ds.name
+    );
+    assert_eq!(
+        estimator_bytes(&outcome.estimator),
+        estimator_bytes(&full_est),
+        "{}: incremental and full retrains must agree byte for byte",
+        ds.name
+    );
+    let s = &outcome.stats;
+    IngestRun {
+        dataset: ds.name,
+        roads: ds.graph.num_roads(),
+        threads,
+        full_ms,
+        incremental_ms,
+        edges_changed: (s.edges_updated + s.edges_added + s.edges_removed) as u64,
+        rows_folded: s.fold.rows_folded,
+    }
+}
+
 fn main() {
     let quick = bench::quick_mode();
     let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
@@ -184,6 +306,41 @@ fn main() {
     }
     t.print();
 
+    // Part two: full-vs-incremental INGEST_DAY on a sparse crowd day.
+    let ingest_threads = *thread_counts.last().unwrap();
+    let ingest_datasets: Vec<Dataset> = if quick {
+        vec![bench::presets::quick()]
+    } else {
+        vec![bench::presets::metro(), bench::presets::large()]
+    };
+    println!("\nINGEST_DAY retrain: full rebuild vs incremental delta propagation ({ingest_threads} threads)");
+    let ingest_runs: Vec<IngestRun> = ingest_datasets
+        .iter()
+        .map(|ds| ingest_comparison(ds, ingest_threads))
+        .collect();
+    let mut t = Table::new(&[
+        "dataset",
+        "roads",
+        "full-ms",
+        "incremental-ms",
+        "speedup",
+        "edges-changed",
+        "rows-folded",
+    ]);
+    for run in &ingest_runs {
+        t.row(&[
+            run.dataset.to_string(),
+            run.roads.to_string(),
+            f3(run.full_ms),
+            f3(run.incremental_ms),
+            f3(run.speedup()),
+            run.edges_changed.to_string(),
+            run.rows_folded.to_string(),
+        ]);
+    }
+    t.print();
+    println!("bit-identity: every incremental ingest matched its full rebuild byte for byte");
+
     let json = Json::Obj(vec![
         ("experiment".into(), Json::Str("train_scaling".into())),
         ("dataset".into(), Json::Str(ds.name.to_string())),
@@ -209,6 +366,26 @@ fn main() {
                             ("retrain_ms".into(), Json::Num(r.retrain_ms)),
                             ("total_ms".into(), Json::Num(r.total_ms())),
                             ("speedup".into(), Json::Num(serial_total / r.total_ms())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "ingest".into(),
+            Json::Arr(
+                ingest_runs
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("dataset".into(), Json::Str(r.dataset.to_string())),
+                            ("roads".into(), Json::Num(r.roads as f64)),
+                            ("threads".into(), Json::Num(r.threads as f64)),
+                            ("full_ms".into(), Json::Num(r.full_ms)),
+                            ("incremental_ms".into(), Json::Num(r.incremental_ms)),
+                            ("speedup".into(), Json::Num(r.speedup())),
+                            ("edges_changed".into(), Json::Num(r.edges_changed as f64)),
+                            ("rows_folded".into(), Json::Num(r.rows_folded as f64)),
                         ])
                     })
                     .collect(),

@@ -12,7 +12,9 @@ use std::time::Instant;
 
 /// Standard evaluation datasets used by most experiments.
 pub mod presets {
-    use trafficsim::dataset::{grid_medium, metro_medium, metro_small, Dataset, DatasetParams};
+    use trafficsim::dataset::{
+        grid_medium, metro_large, metro_medium, metro_small, Dataset, DatasetParams,
+    };
 
     /// The default number of training days in evaluation datasets.
     pub const TRAINING_DAYS: usize = 20;
@@ -34,6 +36,13 @@ pub mod presets {
     /// The grid evaluation city.
     pub fn grid() -> Dataset {
         grid_medium(&eval_params())
+    }
+
+    /// The large ring-radial city (≈4k roads) — the incremental-ingest
+    /// scaling target, where one day's delta is a small fraction of
+    /// the network.
+    pub fn large() -> Dataset {
+        metro_large(&eval_params())
     }
 
     /// A fast small city for smoke runs (`--quick`).

@@ -361,6 +361,13 @@ pub fn daemon(args: &Args) -> Result<String> {
             // Initial training and INGEST_DAY retrains both run off the
             // serving path, so they can use every core by default.
             train_threads: args.num("train-threads", 0)?,
+            // Largest fraction of the live graph's edges one day's
+            // delta may touch before the retrain re-anchors and falls
+            // back to a full rebuild.
+            max_incremental_fraction: args.num(
+                "max-incremental-fraction",
+                EstimatorConfig::default().max_incremental_fraction,
+            )?,
             ..EstimatorConfig::default()
         },
     };
@@ -502,6 +509,19 @@ pub fn client(action: &str, args: &Args) -> Result<String> {
                 stats.snapshot_resumed,
                 stats.ignored_observations
             ));
+            let total_retrains: u64 = stats.retrains.iter().map(|(_, c)| c).sum();
+            if total_retrains > 0 {
+                out.push_str("retrains:");
+                for (mode, count) in stats.retrains.iter().filter(|(_, c)| *c > 0) {
+                    out.push_str(&format!(" {mode}={count}"));
+                }
+                out.push_str(&format!(
+                    " | {} edges changed, {} rows folded, {}ms incremental\n",
+                    stats.retrain_edges_changed,
+                    stats.retrain_rows_folded,
+                    stats.retrain_incremental_ms
+                ));
+            }
             let rejected: u64 = stats.snapshot_rejects.iter().map(|(_, c)| c).sum();
             if rejected > 0 {
                 out.push_str("snapshot rejects:");

@@ -83,6 +83,24 @@ pub struct CorrelationGraph {
     weights: Vec<f64>,
 }
 
+/// Summary of one [`CorrelationGraph::apply_delta`] application.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaApply {
+    /// Edges whose weight/support changed in place.
+    pub updated: usize,
+    /// Edges inserted.
+    pub added: usize,
+    /// Edges removed.
+    pub removed: usize,
+    /// Whether the edge set itself changed (any add or remove). When
+    /// `false` the CSR topology — `offsets` and `targets` — is
+    /// guaranteed unchanged, so downstream structures indexed by edge
+    /// or adjacency position stay valid and can be weight-patched.
+    pub membership_changed: bool,
+    /// Roads incident to any changed edge, deduplicated, ascending.
+    pub touched: Vec<RoadId>,
+}
+
 /// Per-road trend bitsets across all historical (day, slot) cells.
 struct TrendBits {
     words: usize,
@@ -292,6 +310,132 @@ impl CorrelationGraph {
             targets,
             weights,
         })
+    }
+
+    /// Applies an [`crate::online::IngestDelta`]'s edge changes in
+    /// place, avoiding a from-scratch rebuild.
+    ///
+    /// Two regimes:
+    ///
+    /// * **Weight-only** (every change is [`EdgeChange::Updated`]): the
+    ///   edge list entry and both directed CSR weights are patched
+    ///   directly; `offsets`/`targets` are untouched. The result is
+    ///   bit-identical to rebuilding via [`Self::from_edges`] with the
+    ///   updated edge list, because `from_edges` copies `cotrend` into
+    ///   both directions verbatim.
+    /// * **Membership change** (any add/remove): the sorted edge list
+    ///   is spliced and the CSR is rebuilt with [`Self::from_edges`] —
+    ///   adjacency layout shifts, so there is nothing cheaper that
+    ///   stays bit-identical.
+    ///
+    /// Edge lookups are by the `(a, b)` key on the edge list, which is
+    /// `(a, b)`-sorted for every online-materialised graph (pairs are
+    /// sorted at bootstrap). A change that disagrees with the graph —
+    /// update/remove of an absent edge, insert of a present one, which
+    /// happens when the delta was produced against a different graph
+    /// revision — fails with [`CoreError::DeltaMismatch`] *before any
+    /// mutation*, so the caller can fall back to a full rebuild.
+    pub fn apply_delta(
+        &mut self,
+        changes: &[crate::online::EdgeChange],
+    ) -> crate::Result<DeltaApply> {
+        use crate::online::EdgeChange;
+
+        let mut summary = DeltaApply::default();
+        for c in changes {
+            let (a, b) = c.pair();
+            if b.index() >= self.n || a >= b {
+                return Err(CoreError::InvalidRoad(b.0.max(a.0)));
+            }
+            summary.touched.push(a);
+            summary.touched.push(b);
+        }
+        summary.touched.sort_unstable();
+        summary.touched.dedup();
+        summary.membership_changed = changes.iter().any(EdgeChange::changes_membership);
+
+        if !summary.membership_changed {
+            // Weight-only fast path. Validate every change and resolve
+            // every index before touching anything, so a mismatch
+            // mid-list cannot leave the graph half-patched.
+            let mut patches: Vec<(usize, &CorrelationEdge)> = Vec::with_capacity(changes.len());
+            for c in changes {
+                let EdgeChange::Updated(e) = c else {
+                    unreachable!("membership_changed is false");
+                };
+                if !(0.0..=1.0).contains(&e.cotrend) {
+                    return Err(CoreError::InvalidEdgeWeight {
+                        a: e.a.0,
+                        b: e.b.0,
+                        cotrend: e.cotrend,
+                    });
+                }
+                let idx = self
+                    .edges
+                    .binary_search_by_key(&(e.a, e.b), |x| (x.a, x.b))
+                    .map_err(|_| CoreError::DeltaMismatch {
+                        a: e.a.0,
+                        b: e.b.0,
+                        present: false,
+                    })?;
+                patches.push((idx, e));
+            }
+            for (idx, e) in patches {
+                self.edges[idx] = *e;
+                for (u, v) in [(e.a, e.b), (e.b, e.a)] {
+                    let lo = self.offsets[u.index()] as usize;
+                    let hi = self.offsets[u.index() + 1] as usize;
+                    // Linear row scan: correct regardless of row order,
+                    // and rows are short (avg degree is single digits).
+                    let slot = self.targets[lo..hi]
+                        .iter()
+                        .position(|&t| t == v)
+                        .expect("edge present in list implies CSR adjacency");
+                    self.weights[lo + slot] = e.cotrend;
+                }
+            }
+            summary.updated = changes.len();
+            return Ok(summary);
+        }
+
+        // Membership changed: splice a copy of the sorted edge list,
+        // then rebuild the CSR. Working on a clone keeps `self` intact
+        // if any change (or `from_edges` validation) rejects.
+        let mut edges = self.edges.clone();
+        for c in changes {
+            let (a, b) = c.pair();
+            let found = edges.binary_search_by_key(&(a, b), |x| (x.a, x.b));
+            match (c, found) {
+                (EdgeChange::Updated(e), Ok(i)) => {
+                    edges[i] = *e;
+                    summary.updated += 1;
+                }
+                (EdgeChange::Added(e), Err(i)) => {
+                    edges.insert(i, *e);
+                    summary.added += 1;
+                }
+                (EdgeChange::Removed { .. }, Ok(i)) => {
+                    edges.remove(i);
+                    summary.removed += 1;
+                }
+                (EdgeChange::Added(_), Ok(_)) => {
+                    return Err(CoreError::DeltaMismatch {
+                        a: a.0,
+                        b: b.0,
+                        present: true,
+                    });
+                }
+                (_, Err(_)) => {
+                    return Err(CoreError::DeltaMismatch {
+                        a: a.0,
+                        b: b.0,
+                        present: false,
+                    });
+                }
+            }
+        }
+        *self = Self::from_edges(self.n, edges)?;
+        Ok(summary)
     }
 
     /// Re-thresholds the edge list at a stricter τ without recounting
@@ -509,6 +653,174 @@ mod tests {
         // Boundary probabilities are valid.
         assert!(CorrelationGraph::from_edges(2, vec![edge(0.0)]).is_ok());
         assert!(CorrelationGraph::from_edges(2, vec![edge(1.0)]).is_ok());
+    }
+
+    fn assert_graphs_bitwise_equal(got: &CorrelationGraph, want: &CorrelationGraph, ctx: &str) {
+        assert_eq!(got.n, want.n, "{ctx}: road count");
+        assert_eq!(got.edges.len(), want.edges.len(), "{ctx}: edge count");
+        for (g, w) in got.edges.iter().zip(&want.edges) {
+            assert_eq!((g.a, g.b, g.support), (w.a, w.b, w.support), "{ctx}");
+            assert_eq!(g.cotrend.to_bits(), w.cotrend.to_bits(), "{ctx}");
+        }
+        assert_eq!(got.offsets, want.offsets, "{ctx}: offsets");
+        assert_eq!(got.targets, want.targets, "{ctx}: targets");
+        let same_bits = got
+            .weights
+            .iter()
+            .zip(&want.weights)
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same_bits, "{ctx}: weights");
+    }
+
+    #[test]
+    fn apply_delta_matches_fresh_materialisation() {
+        use crate::online::{EdgeChange, OnlineCorrelation};
+        let ds = metro_small(&DatasetParams {
+            training_days: 3,
+            test_days: 8,
+            ..DatasetParams::default()
+        });
+        let mut online = OnlineCorrelation::bootstrap(
+            &ds.graph,
+            &ds.history,
+            &CorrelationConfig {
+                min_co_observations: 24,
+                ..CorrelationConfig::default()
+            },
+        );
+        let mut live = online.correlation_graph();
+        let mut memberships = 0;
+        let mut weight_only = 0;
+        for (i, day) in ds.test_days.iter().enumerate() {
+            let delta = online.ingest_day_delta(day).unwrap();
+            // Apply the weight-only part and the membership part as
+            // two separate deltas — each change names a distinct edge,
+            // so splitting cannot reorder effects, and it exercises
+            // the fast path even on days that also flip membership.
+            let (updates, flips): (Vec<EdgeChange>, Vec<EdgeChange>) = delta
+                .changes
+                .iter()
+                .cloned()
+                .partition(|c| !c.changes_membership());
+            if !updates.is_empty() {
+                let s = live.apply_delta(&updates).unwrap();
+                assert!(!s.membership_changed, "day {i}");
+                assert_eq!(s.updated, updates.len(), "day {i}");
+                weight_only += 1;
+            }
+            if !flips.is_empty() {
+                let s = live.apply_delta(&flips).unwrap();
+                assert!(s.membership_changed, "day {i}");
+                memberships += 1;
+            }
+            assert_graphs_bitwise_equal(&live, &online.correlation_graph(), &format!("day {i}"));
+        }
+        // The sequence must exercise both apply_delta regimes, or the
+        // equivalence above proves less than it claims. The low
+        // bootstrap support (3 days) guarantees early promotions;
+        // every ingested day nudges some retained edge's weight.
+        assert!(memberships > 0, "no day changed edge membership");
+        assert!(weight_only > 0, "no day hit the weight-only fast path");
+    }
+
+    /// A graph whose edge list is `(a, b)`-sorted, as every
+    /// online-materialised graph is — the layout `apply_delta`'s edge
+    /// lookup is specified against.
+    fn sorted_corr() -> CorrelationGraph {
+        let ds = metro_small(&DatasetParams {
+            training_days: 10,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let online = crate::online::OnlineCorrelation::bootstrap(
+            &ds.graph,
+            &ds.history,
+            &CorrelationConfig::default(),
+        );
+        let corr = online.correlation_graph();
+        assert!(corr
+            .edges()
+            .windows(2)
+            .all(|w| (w[0].a, w[0].b) < (w[1].a, w[1].b)));
+        assert!(corr.num_edges() > 0);
+        corr
+    }
+
+    #[test]
+    fn apply_delta_rejects_mismatched_changes_without_mutation() {
+        use crate::online::EdgeChange;
+        let corr = sorted_corr();
+        let absent = {
+            // A pair no edge connects: take an existing edge's `a` and
+            // pair it with a road id beyond any of its neighbours.
+            let e = corr.edges()[0];
+            let b = RoadId(corr.num_roads() as u32 - 1);
+            assert!(corr.neighbors(e.a).all(|(t, _)| t != b) && e.a < b);
+            (e.a, b)
+        };
+        let present = (corr.edges()[0].a, corr.edges()[0].b);
+        let make = |(a, b): (RoadId, RoadId)| CorrelationEdge {
+            a,
+            b,
+            cotrend: 0.9,
+            support: 99,
+        };
+
+        let cases: Vec<(Vec<EdgeChange>, (RoadId, RoadId), bool)> = vec![
+            (vec![EdgeChange::Updated(make(absent))], absent, false),
+            (vec![EdgeChange::Added(make(present))], present, true),
+            (
+                vec![EdgeChange::Removed {
+                    a: absent.0,
+                    b: absent.1,
+                }],
+                absent,
+                false,
+            ),
+            // Valid first change, bad second: the weight-only path
+            // must reject atomically, leaving the first unapplied.
+            (
+                vec![
+                    EdgeChange::Updated(make(present)),
+                    EdgeChange::Updated(make(absent)),
+                ],
+                absent,
+                false,
+            ),
+        ];
+        for (changes, want_pair, want_present) in cases {
+            let mut g = corr.clone();
+            match g.apply_delta(&changes) {
+                Err(CoreError::DeltaMismatch { a, b, present }) => {
+                    assert_eq!((RoadId(a), RoadId(b)), want_pair);
+                    assert_eq!(present, want_present);
+                }
+                other => panic!("expected DeltaMismatch, got {other:?}"),
+            }
+            assert_graphs_bitwise_equal(&g, &corr, "rejected delta must not mutate");
+        }
+    }
+
+    #[test]
+    fn apply_delta_weight_only_matches_rebuild() {
+        let corr = sorted_corr();
+        // Nudge every third edge's weight; patched graph must equal a
+        // from_edges rebuild with the same edited list, bit for bit.
+        let mut edited = corr.edges().to_vec();
+        let mut changes = Vec::new();
+        for (i, e) in edited.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                e.cotrend = (e.cotrend * 0.97).max(1.0 - e.cotrend);
+                e.support += 4;
+                changes.push(crate::online::EdgeChange::Updated(*e));
+            }
+        }
+        let mut patched = corr.clone();
+        let summary = patched.apply_delta(&changes).unwrap();
+        assert!(!summary.membership_changed);
+        assert_eq!(summary.updated, changes.len());
+        let rebuilt = CorrelationGraph::from_edges(corr.num_roads(), edited).unwrap();
+        assert_graphs_bitwise_equal(&patched, &rebuilt, "weight-only patch");
     }
 
     #[test]

@@ -30,12 +30,11 @@
 //! per-neighbour structure instead.
 
 use crate::correlation::CorrelationGraph;
-use crate::inference::trend_model::{TrendEngine, TrendModel};
+use crate::inference::trend_model::{TrendEngine, TrendModel, TrendScratch};
 use crate::propagate::PropagateScratch;
 use crate::seed::objective::{InfluenceConfig, InfluenceModel};
 use crate::{CoreError, Result};
-use linalg::ridge::{hierarchical_fit, shrunk_fit};
-use linalg::Matrix;
+use linalg::ridge::{hierarchical_fit_grams, shrunk_fit_gram, GramSystem};
 use roadnet::{RoadGraph, RoadId};
 use serde::{Deserialize, Serialize};
 use trafficsim::{HistoricalData, HistoryStats};
@@ -313,281 +312,10 @@ impl HlmModel {
         trend_ctx: Option<(&TrendModel, &TrendEngine)>,
         threads: usize,
     ) -> Result<HlmModel> {
-        let n = graph.num_roads();
-        if seeds.is_empty() {
-            return Err(CoreError::InsufficientData("empty seed set".into()));
-        }
-        for s in seeds {
-            if s.index() >= n {
-                return Err(CoreError::InvalidRoad(s.0));
-            }
-        }
-
-        // Attach each road to its influential seeds.
-        let influence = InfluenceModel::build_threaded(corr, &config.influence, threads);
-        let mut seed_neighbors: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-        for (si, &s) in seeds.iter().enumerate() {
-            for (r, q) in influence.reach(s).iter() {
-                if r != s {
-                    seed_neighbors[r.index()].push((si, q));
-                }
-            }
-        }
-        for list in &mut seed_neighbors {
-            list.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN influence"));
-            list.truncate(config.max_seed_neighbors);
-        }
-
-        // Spatially nearest seeds per road (IDW weights); each road's
-        // list is independent of the others.
-        let spatial_neighbors: Vec<Vec<(usize, f64)>> = crate::parallel::fill(threads, n, |r| {
-            let road = RoadId(r as u32);
-            let mut by_dist: Vec<(usize, f64)> = seeds
-                .iter()
-                .enumerate()
-                .filter(|&(_, &s)| s != road)
-                .map(|(si, &s)| (si, graph.distance(road, s)))
-                .collect();
-            by_dist.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distance NaN"));
-            by_dist.truncate(config.spatial_neighbors);
-            by_dist
-                .into_iter()
-                .map(|(si, d)| (si, 1.0 / (d + SPATIAL_SOFTENING_M)))
-                .collect()
-        });
-
-        let road_class: Vec<usize> = graph.all_meta().iter().map(|m| m.class.group()).collect();
-
-        // Assemble training rows.
-        let slots = history.clock().slots_per_day;
-        let total_cells = history.num_days() * slots;
-        let stride = total_cells.div_ceil(config.max_cells_per_road).max(1);
-        let num_regimes = if config.split_regimes { 2 } else { 1 };
-
-        // The stride-sampled (day, slot) cells, in scan order.
-        let sampled: Vec<(usize, usize)> = (0..history.num_days())
-            .flat_map(|day| (0..slots).map(move |slot| (day, slot)))
-            .enumerate()
-            .filter(|&(cell, _)| cell % stride == 0)
-            .map(|(_, cell)| cell)
-            .collect();
-
-        // A Gibbs engine is replaced by LBP during training (see the
-        // `train_with_trends` docs); the substitution is cell-invariant.
-        let train_engine = trend_ctx.map(|(_, engine)| match engine {
-            TrendEngine::Gibbs { .. } => TrendEngine::default(),
-            e => e.clone(),
-        });
-
-        // Phase A — one context per sampled cell: the seeds' historical
-        // deviations, the propagated deviation field, and the trend
-        // posterior the serving-time inference would produce. Cells are
-        // independent, so they fill index-ordered slots in parallel;
-        // `None` marks cells with no observed seed (skipped downstream,
-        // exactly like the serial `continue`).
-        struct CellCtx {
-            day: usize,
-            slot: usize,
-            seed_devs: Vec<Option<f64>>,
-            citywide: f64,
-            field: Vec<f64>,
-            p_up: Option<Vec<f64>>,
-        }
-        let ctxs: Vec<Option<CellCtx>> = crate::parallel::fill_with(
-            threads,
-            sampled.len(),
-            crate::propagate::PropagateScratch::default,
-            |propagate, i| {
-                let (day, slot) = sampled[i];
-                let mut city_sum = 0.0;
-                let mut city_count = 0usize;
-                let mut seed_devs: Vec<Option<f64>> = vec![None; seeds.len()];
-                for (si, &s) in seeds.iter().enumerate() {
-                    seed_devs[si] = history
-                        .speed(day, slot, s)
-                        .and_then(|v| stats.deviation_of(slot, s, v));
-                    if let Some(d) = seed_devs[si] {
-                        city_sum += d;
-                        city_count += 1;
-                    }
-                }
-                if city_count == 0 {
-                    return None;
-                }
-                let citywide = city_sum / city_count as f64;
-
-                // Local deviation field for this cell (one propagation
-                // shared by all roads).
-                let cell_seed_devs: Vec<(RoadId, f64)> = seeds
-                    .iter()
-                    .zip(&seed_devs)
-                    .filter_map(|(&s, d)| d.map(|d| (s, d)))
-                    .collect();
-                crate::propagate::propagate_deviations_into(
-                    corr,
-                    &cell_seed_devs,
-                    config.propagation_iters,
-                    config.propagation_anchor,
-                    propagate,
-                );
-                let field = propagate.field().to_vec();
-
-                // Trend posteriors for this cell: what the serving-time
-                // inference would say, given the seeds' trends. Used
-                // both as the trend feature and for soft regime
-                // weighting.
-                let p_up: Option<Vec<f64>> = match (trend_ctx, &train_engine) {
-                    (Some((tm, _)), Some(engine)) => {
-                        let obs: Vec<(RoadId, bool)> =
-                            cell_seed_devs.iter().map(|&(s, d)| (s, d >= 1.0)).collect();
-                        Some(tm.infer(slot, &obs, engine).p_up)
-                    }
-                    _ => None, // fall back to true trends
-                };
-                Some(CellCtx {
-                    day,
-                    slot,
-                    seed_devs,
-                    citywide,
-                    field,
-                    p_up,
-                })
-            },
-        );
-
-        // Phase B — per-road row assembly. Each road scans the cell
-        // contexts in order and appends its weighted feature rows, so
-        // the per-(road, regime) row sequence is identical to the
-        // serial cells-outer/roads-inner loop.
-        let ls = config.log_space;
-        type RoadRows = (Vec<Matrix>, Vec<Vec<f64>>);
-        let rows: Vec<RoadRows> = crate::parallel::fill(threads, n, |r| {
-            let road = RoadId(r as u32);
-            let mut xs = vec![Matrix::zeros(0, 0); num_regimes];
-            let mut ys: Vec<Vec<f64>> = vec![Vec::new(); num_regimes];
-            for ctx in ctxs.iter().flatten() {
-                let Some(v) = history.speed(ctx.day, ctx.slot, road) else {
-                    continue;
-                };
-                let Some(dev) = stats.deviation_of(ctx.slot, road, v) else {
-                    continue;
-                };
-                let nb: Vec<(f64, f64)> = seed_neighbors[r]
-                    .iter()
-                    .filter_map(|&(si, q)| ctx.seed_devs[si].map(|d| (q, encode_dev(d, ls))))
-                    .collect();
-                let sp: Vec<(f64, f64)> = spatial_neighbors[r]
-                    .iter()
-                    .filter_map(|&(si, w)| ctx.seed_devs[si].map(|d| (w, encode_dev(d, ls))))
-                    .collect();
-                let p_up_r = match &ctx.p_up {
-                    Some(p) => p[r],
-                    // No trend model supplied: the true trend.
-                    None => {
-                        if dev >= 1.0 {
-                            1.0
-                        } else {
-                            0.0
-                        }
-                    }
-                };
-                let x = features(
-                    encode_dev(ctx.field[r], ls),
-                    &nb,
-                    &sp,
-                    encode_dev(ctx.citywide, ls),
-                    2.0 * p_up_r - 1.0,
-                );
-
-                // Soft regime assignment: each row enters both
-                // regimes, weighted by the trend posterior
-                // (weighted least squares via sqrt-scaling).
-                let (w_up, w_down) = if config.split_regimes {
-                    (p_up_r, 1.0 - p_up_r)
-                } else {
-                    (1.0, 0.0)
-                };
-                let y = encode_dev(dev, ls);
-                for (regime, w) in [(0usize, w_up), (1, w_down)] {
-                    if regime >= num_regimes || w < 0.02 {
-                        continue;
-                    }
-                    let sw = w.sqrt();
-                    let row: Vec<f64> = x.iter().map(|v| v * sw).collect();
-                    xs[regime]
-                        .push_row(&row)
-                        .expect("feature rows share NUM_FEATURES");
-                    ys[regime].push(y * sw);
-                }
-            }
-            (xs, ys)
-        });
-        let (road_x, road_y): (Vec<Vec<Matrix>>, Vec<Vec<Vec<f64>>>) = rows.into_iter().unzip();
-
-        // Fit each regime's hierarchy.
-        let fit_regime = |regime: usize| -> Result<RegimeCoefs> {
-            // Class-level pooled designs (serial: rows append in road
-            // order, which fixes the pooled design's row order).
-            let mut class_groups: Vec<(Matrix, Vec<f64>)> =
-                (0..4).map(|_| (Matrix::zeros(0, 0), Vec::new())).collect();
-            for r in 0..n {
-                let (x, y) = (&road_x[r][regime], &road_y[r][regime]);
-                if y.is_empty() {
-                    continue;
-                }
-                let g = &mut class_groups[road_class[r]];
-                for row in 0..x.rows() {
-                    g.0.push_row(x.row(row)).expect("same dims");
-                }
-                g.1.extend_from_slice(y);
-            }
-            // Keep empty classes representable: hierarchical_fit hands
-            // them the city coefficients.
-            let hf = hierarchical_fit(&class_groups, config.lambda_city, config.lambda_class)
-                .map_err(|e| CoreError::Numerical(format!("class fit ({regime}): {e}")))?;
-
-            let mut road_coefs: Vec<Option<Vec<f64>>> = vec![None; n];
-            if config.pooling == Pooling::Full {
-                // Per-road fits are independent; collect them in index
-                // order, then scan serially so the first error reported
-                // matches the serial loop's.
-                let fits: Vec<Result<Option<Vec<f64>>>> = crate::parallel::fill(threads, n, |r| {
-                    let (x, y) = (&road_x[r][regime], &road_y[r][regime]);
-                    if y.len() < config.min_road_rows {
-                        return Ok(None);
-                    }
-                    let prior = &hf.per_group[road_class[r]];
-                    shrunk_fit(x, y, config.lambda_road, Some(prior))
-                        .map(Some)
-                        .map_err(|e| CoreError::Numerical(format!("road {r} fit ({regime}): {e}")))
-                });
-                for (r, fit) in fits.into_iter().enumerate() {
-                    road_coefs[r] = fit?;
-                }
-            }
-            Ok(RegimeCoefs {
-                city: hf.global,
-                class: hf.per_group,
-                road: road_coefs,
-            })
-        };
-
-        let up = fit_regime(0)?;
-        let down = if config.split_regimes {
-            fit_regime(1)?
-        } else {
-            up.clone()
-        };
-
-        Ok(HlmModel {
-            config: config.clone(),
-            seeds: seeds.to_vec(),
-            corr: corr.clone(),
-            seed_neighbors,
-            spatial_neighbors,
-            road_class,
-            regimes: [up, down],
-        })
+        let trend_ctx = trend_ctx.map(|(tm, engine)| (tm.clone(), engine.clone()));
+        let mut trainer = HlmTrainer::new(graph, corr, seeds, config, trend_ctx, threads)?;
+        trainer.fold(history, stats, threads)?;
+        trainer.fit(threads)
     }
 
     /// The seed set the model was trained for.
@@ -858,6 +586,471 @@ impl HlmModel {
     }
 }
 
+/// One sampled historical cell's training context, shared by every
+/// road's row assembly: the seeds' historical deviations, the
+/// propagated deviation field, and the trend posterior serving-time
+/// inference would produce for the cell.
+struct CellCtx {
+    day: usize,
+    slot: usize,
+    seed_devs: Vec<Option<f64>>,
+    citywide: f64,
+    field: Vec<f64>,
+    p_up: Option<Vec<f64>>,
+}
+
+/// What one [`HlmTrainer::fold`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FoldStats {
+    /// Days newly folded into the accumulators by this call.
+    pub new_days: usize,
+    /// Stride-sampled cells whose training contexts were computed.
+    pub cells_sampled: usize,
+    /// Weighted regression rows pushed into the accumulators.
+    pub rows_folded: usize,
+    /// The sampling stride changed, so the accumulators were refolded
+    /// from day zero (`cells_sampled`/`rows_folded` then count the
+    /// whole history, not just the new days).
+    pub refolded: bool,
+}
+
+/// Streaming HLM trainer: the propagation context (correlation graph,
+/// seed attachment, spatial neighbours, trend model) is frozen at
+/// construction, and per-`(road, regime)` normal equations accumulate
+/// day by day, so appending a day costs `O(new sampled cells)` instead
+/// of a from-scratch pass over the whole history.
+///
+/// Determinism contract: folding days `0..k` and then `k..d` leaves the
+/// accumulators bit-identical to folding `0..d` in one call — a
+/// [`GramSystem`] folds rows in push order, and a new day's sampled
+/// cells extend the cell scan in order — and [`HlmTrainer::fit`] is a
+/// pure function of the accumulators.
+/// [`HlmModel::train_with_trends_threaded`] routes through this type,
+/// so an incrementally-maintained model is bit-identical to a full
+/// retrain *by construction*. The caller must hand every `fold` the
+/// same frozen `stats` and a history that only grows; the serving
+/// pipeline freezes both at bootstrap.
+///
+/// One exception to the append-only pattern is handled internally: the
+/// cell-sampling stride depends on the total day count, so when a new
+/// day shifts it the trainer transparently refolds the whole history
+/// under the new stride (reported via [`FoldStats::refolded`]).
+pub struct HlmTrainer {
+    config: HlmConfig,
+    seeds: Vec<RoadId>,
+    corr: CorrelationGraph,
+    seed_neighbors: Vec<Vec<(usize, f64)>>,
+    spatial_neighbors: Vec<Vec<(usize, f64)>>,
+    road_class: Vec<usize>,
+    /// Frozen trend context (engine already Gibbs→LBP substituted).
+    trend_ctx: Option<(TrendModel, TrendEngine)>,
+    num_regimes: usize,
+    slots: Option<usize>,
+    stride: Option<usize>,
+    folded_days: usize,
+    /// `accums[road][regime]` — the folded normal equations.
+    accums: Vec<Vec<GramSystem>>,
+}
+
+impl HlmTrainer {
+    /// Freezes the training context for a seed set: validates the
+    /// seeds, attaches each road to its influential and spatially
+    /// nearest seeds over `corr`, and substitutes a `Gibbs` trend
+    /// engine with LBP once (see [`HlmModel::train_with_trends`]).
+    pub fn new(
+        graph: &RoadGraph,
+        corr: &CorrelationGraph,
+        seeds: &[RoadId],
+        config: &HlmConfig,
+        trend_ctx: Option<(TrendModel, TrendEngine)>,
+        threads: usize,
+    ) -> Result<HlmTrainer> {
+        let n = graph.num_roads();
+        if seeds.is_empty() {
+            return Err(CoreError::InsufficientData("empty seed set".into()));
+        }
+        for s in seeds {
+            if s.index() >= n {
+                return Err(CoreError::InvalidRoad(s.0));
+            }
+        }
+
+        // Attach each road to its influential seeds.
+        let influence = InfluenceModel::build_threaded(corr, &config.influence, threads);
+        let mut seed_neighbors: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for (si, &s) in seeds.iter().enumerate() {
+            for (r, q) in influence.reach(s).iter() {
+                if r != s {
+                    seed_neighbors[r.index()].push((si, q));
+                }
+            }
+        }
+        for list in &mut seed_neighbors {
+            list.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN influence"));
+            list.truncate(config.max_seed_neighbors);
+        }
+
+        // Spatially nearest seeds per road (IDW weights); each road's
+        // list is independent of the others.
+        let spatial_neighbors: Vec<Vec<(usize, f64)>> = crate::parallel::fill(threads, n, |r| {
+            let road = RoadId(r as u32);
+            let mut by_dist: Vec<(usize, f64)> = seeds
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s != road)
+                .map(|(si, &s)| (si, graph.distance(road, s)))
+                .collect();
+            by_dist.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distance NaN"));
+            by_dist.truncate(config.spatial_neighbors);
+            by_dist
+                .into_iter()
+                .map(|(si, d)| (si, 1.0 / (d + SPATIAL_SOFTENING_M)))
+                .collect()
+        });
+
+        let road_class: Vec<usize> = graph.all_meta().iter().map(|m| m.class.group()).collect();
+
+        // A Gibbs engine is replaced by LBP during training (see the
+        // `train_with_trends` docs); the substitution is cell-invariant
+        // so it happens once here.
+        let trend_ctx = trend_ctx.map(|(tm, engine)| {
+            let engine = match engine {
+                TrendEngine::Gibbs { .. } => TrendEngine::default(),
+                e => e,
+            };
+            (tm, engine)
+        });
+
+        let num_regimes = if config.split_regimes { 2 } else { 1 };
+        let accums = (0..n)
+            .map(|_| {
+                (0..num_regimes)
+                    .map(|_| GramSystem::new(NUM_FEATURES))
+                    .collect()
+            })
+            .collect();
+        Ok(HlmTrainer {
+            config: config.clone(),
+            seeds: seeds.to_vec(),
+            corr: corr.clone(),
+            seed_neighbors,
+            spatial_neighbors,
+            road_class,
+            trend_ctx,
+            num_regimes,
+            slots: None,
+            stride: None,
+            folded_days: 0,
+            accums,
+        })
+    }
+
+    /// Days folded into the accumulators so far.
+    pub fn folded_days(&self) -> usize {
+        self.folded_days
+    }
+
+    /// The current cell-sampling stride (`None` before the first fold).
+    pub fn stride(&self) -> Option<usize> {
+        self.stride
+    }
+
+    /// The frozen propagation/feature context graph.
+    pub fn context(&self) -> &CorrelationGraph {
+        &self.corr
+    }
+
+    /// The seed set the trainer was built for.
+    pub fn seeds(&self) -> &[RoadId] {
+        &self.seeds
+    }
+
+    /// The sampling stride the next fold over a `days`-long history
+    /// will use — lets callers predict a refold before paying for it.
+    pub fn stride_for(&self, days: usize, slots: usize) -> usize {
+        (days * slots)
+            .div_ceil(self.config.max_cells_per_road)
+            .max(1)
+    }
+
+    /// Folds the not-yet-seen tail of `history` into the per-road
+    /// normal equations. Passing the same history again is a no-op;
+    /// passing a longer one folds only the new days (unless the stride
+    /// shifted — then the whole history refolds under the new stride).
+    pub fn fold(
+        &mut self,
+        history: &HistoricalData,
+        stats: &HistoryStats,
+        threads: usize,
+    ) -> Result<FoldStats> {
+        let n = self.seed_neighbors.len();
+        let slots = history.clock().slots_per_day;
+        if history.num_roads() != n
+            || stats.num_roads() != n
+            || stats.num_slots() != slots
+            || self.slots.is_some_and(|s| s != slots)
+        {
+            return Err(CoreError::ShapeMismatch {
+                expected: format!("{} slots x {n} roads", self.slots.unwrap_or(slots)),
+                got: format!(
+                    "history {slots} slots x {} roads, stats {} slots x {} roads",
+                    history.num_roads(),
+                    stats.num_slots(),
+                    stats.num_roads()
+                ),
+            });
+        }
+        let days = history.num_days();
+        if days < self.folded_days {
+            return Err(CoreError::ShapeMismatch {
+                expected: format!("at least the {} days already folded", self.folded_days),
+                got: format!("{days} days"),
+            });
+        }
+        self.slots = Some(slots);
+        let stride = self.stride_for(days, slots);
+        let mut refolded = false;
+        if self.stride != Some(stride) {
+            if self.folded_days > 0 {
+                refolded = true;
+                for regs in &mut self.accums {
+                    for g in regs {
+                        g.clear();
+                    }
+                }
+            }
+            self.folded_days = 0;
+            self.stride = Some(stride);
+        }
+        let from_day = self.folded_days;
+
+        // The stride-sampled (day, slot) cells of the unfolded days, in
+        // scan order — the suffix of the full enumeration a
+        // from-scratch fold would visit (sampling is prefix-stable:
+        // membership of cell `day*slots + slot` never depends on the
+        // day count while the stride holds).
+        let sampled: Vec<(usize, usize)> = (from_day..days)
+            .flat_map(|day| (0..slots).map(move |slot| (day, slot)))
+            .filter(|&(day, slot)| (day * slots + slot) % stride == 0)
+            .collect();
+
+        // Phase A — one context per new sampled cell. Cells are
+        // independent, so they fill index-ordered slots in parallel;
+        // `None` marks cells with no observed seed (skipped downstream,
+        // exactly like the serial `continue`). Each worker reuses its
+        // propagation and trend-inference buffers across cells.
+        let seeds = &self.seeds;
+        let corr = &self.corr;
+        let config = &self.config;
+        let trend_ctx = &self.trend_ctx;
+        let ctxs: Vec<Option<CellCtx>> = crate::parallel::fill_with(
+            threads,
+            sampled.len(),
+            || (PropagateScratch::default(), TrendScratch::new()),
+            |(propagate, trend_ws), i| {
+                let (day, slot) = sampled[i];
+                let mut city_sum = 0.0;
+                let mut city_count = 0usize;
+                let mut seed_devs: Vec<Option<f64>> = vec![None; seeds.len()];
+                for (si, &s) in seeds.iter().enumerate() {
+                    seed_devs[si] = history
+                        .speed(day, slot, s)
+                        .and_then(|v| stats.deviation_of(slot, s, v));
+                    if let Some(d) = seed_devs[si] {
+                        city_sum += d;
+                        city_count += 1;
+                    }
+                }
+                if city_count == 0 {
+                    return None;
+                }
+                let citywide = city_sum / city_count as f64;
+
+                // Local deviation field for this cell (one propagation
+                // shared by all roads).
+                let cell_seed_devs: Vec<(RoadId, f64)> = seeds
+                    .iter()
+                    .zip(&seed_devs)
+                    .filter_map(|(&s, d)| d.map(|d| (s, d)))
+                    .collect();
+                crate::propagate::propagate_deviations_into(
+                    corr,
+                    &cell_seed_devs,
+                    config.propagation_iters,
+                    config.propagation_anchor,
+                    propagate,
+                );
+                let field = propagate.field().to_vec();
+
+                // Trend posteriors for this cell: what the serving-time
+                // inference would say, given the seeds' trends. Used
+                // both as the trend feature and for soft regime
+                // weighting.
+                let p_up: Option<Vec<f64>> = trend_ctx.as_ref().map(|(tm, engine)| {
+                    let obs: Vec<(RoadId, bool)> =
+                        cell_seed_devs.iter().map(|&(s, d)| (s, d >= 1.0)).collect();
+                    tm.infer_with(slot, &obs, engine, trend_ws);
+                    trend_ws.p_up.clone()
+                });
+                Some(CellCtx {
+                    day,
+                    slot,
+                    seed_devs,
+                    citywide,
+                    field,
+                    p_up,
+                })
+            },
+        );
+        let cells_sampled = ctxs.len();
+
+        // Phase B — per-road row folding. Each road scans the new cell
+        // contexts in order and folds its weighted feature rows into
+        // its own accumulators, so the per-(road, regime) row sequence
+        // is identical to the serial cells-outer/roads-inner loop.
+        // Roads own disjoint accumulators: bit-identical at any thread
+        // count.
+        let rows_before: usize = self.accums.iter().flatten().map(GramSystem::rows).sum();
+        let ls = self.config.log_space;
+        let num_regimes = self.num_regimes;
+        let seed_neighbors = &self.seed_neighbors;
+        let spatial_neighbors = &self.spatial_neighbors;
+        crate::parallel::for_each_mut(threads, &mut self.accums, |r, regs| {
+            let road = RoadId(r as u32);
+            for ctx in ctxs.iter().flatten() {
+                let Some(v) = history.speed(ctx.day, ctx.slot, road) else {
+                    continue;
+                };
+                let Some(dev) = stats.deviation_of(ctx.slot, road, v) else {
+                    continue;
+                };
+                let nb: Vec<(f64, f64)> = seed_neighbors[r]
+                    .iter()
+                    .filter_map(|&(si, q)| ctx.seed_devs[si].map(|d| (q, encode_dev(d, ls))))
+                    .collect();
+                let sp: Vec<(f64, f64)> = spatial_neighbors[r]
+                    .iter()
+                    .filter_map(|&(si, w)| ctx.seed_devs[si].map(|d| (w, encode_dev(d, ls))))
+                    .collect();
+                let p_up_r = match &ctx.p_up {
+                    Some(p) => p[r],
+                    // No trend model supplied: the true trend.
+                    None => {
+                        if dev >= 1.0 {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+                let x = features(
+                    encode_dev(ctx.field[r], ls),
+                    &nb,
+                    &sp,
+                    encode_dev(ctx.citywide, ls),
+                    2.0 * p_up_r - 1.0,
+                );
+
+                // Soft regime assignment: each row enters both
+                // regimes, weighted by the trend posterior
+                // (weighted least squares via sqrt-scaling).
+                let (w_up, w_down) = if config.split_regimes {
+                    (p_up_r, 1.0 - p_up_r)
+                } else {
+                    (1.0, 0.0)
+                };
+                let y = encode_dev(dev, ls);
+                for (regime, w) in [(0usize, w_up), (1, w_down)] {
+                    if regime >= num_regimes || w < 0.02 {
+                        continue;
+                    }
+                    let sw = w.sqrt();
+                    let row: [f64; NUM_FEATURES] = std::array::from_fn(|j| x[j] * sw);
+                    regs[regime].push_row(&row, y * sw);
+                }
+            }
+        });
+        let rows_after: usize = self.accums.iter().flatten().map(GramSystem::rows).sum();
+
+        self.folded_days = days;
+        Ok(FoldStats {
+            new_days: days - from_day,
+            cells_sampled,
+            rows_folded: rows_after - rows_before,
+            refolded,
+        })
+    }
+
+    /// Solves the coefficient hierarchy from the current accumulators
+    /// and assembles a serving model. Pure in the accumulators; can be
+    /// called after every fold.
+    pub fn fit(&self, threads: usize) -> Result<HlmModel> {
+        let up = self.fit_regime(0, threads)?;
+        let down = if self.config.split_regimes {
+            self.fit_regime(1, threads)?
+        } else {
+            up.clone()
+        };
+        Ok(HlmModel {
+            config: self.config.clone(),
+            seeds: self.seeds.clone(),
+            corr: self.corr.clone(),
+            seed_neighbors: self.seed_neighbors.clone(),
+            spatial_neighbors: self.spatial_neighbors.clone(),
+            road_class: self.road_class.clone(),
+            regimes: [up, down],
+        })
+    }
+
+    fn fit_regime(&self, regime: usize, threads: usize) -> Result<RegimeCoefs> {
+        let n = self.accums.len();
+        // Class-level pooled systems (serial: per-road systems merge in
+        // road order, which fixes the pooled sums' association order).
+        let mut class_groups: Vec<GramSystem> =
+            (0..4).map(|_| GramSystem::new(NUM_FEATURES)).collect();
+        for r in 0..n {
+            let g = &self.accums[r][regime];
+            if g.rows() == 0 {
+                continue;
+            }
+            class_groups[self.road_class[r]].merge(g);
+        }
+        // Keep empty classes representable: hierarchical_fit_grams
+        // hands them the city coefficients.
+        let hf = hierarchical_fit_grams(
+            &class_groups,
+            self.config.lambda_city,
+            self.config.lambda_class,
+        )
+        .map_err(|e| CoreError::Numerical(format!("class fit ({regime}): {e}")))?;
+
+        let mut road_coefs: Vec<Option<Vec<f64>>> = vec![None; n];
+        if self.config.pooling == Pooling::Full {
+            // Per-road fits are independent; collect them in index
+            // order, then scan serially so the first error reported
+            // matches the serial loop's.
+            let fits: Vec<Result<Option<Vec<f64>>>> = crate::parallel::fill(threads, n, |r| {
+                let g = &self.accums[r][regime];
+                if g.rows() < self.config.min_road_rows {
+                    return Ok(None);
+                }
+                let prior = &hf.per_group[self.road_class[r]];
+                shrunk_fit_gram(g, self.config.lambda_road, Some(prior))
+                    .map(Some)
+                    .map_err(|e| CoreError::Numerical(format!("road {r} fit ({regime}): {e}")))
+            });
+            for (r, fit) in fits.into_iter().enumerate() {
+                road_coefs[r] = fit?;
+            }
+        }
+        Ok(RegimeCoefs {
+            city: hf.global,
+            class: hf.per_group,
+            road: road_coefs,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1079,5 +1272,151 @@ mod tests {
                 assert!((pred[r] - first).abs() < 1e-12);
             }
         }
+    }
+
+    fn encoded(model: &HlmModel) -> bytes::BytesMut {
+        let mut buf = bytes::BytesMut::new();
+        model.encode_snapshot_into(&mut buf);
+        buf
+    }
+
+    fn training_fixture(
+        days: usize,
+    ) -> (
+        trafficsim::dataset::Dataset,
+        HistoryStats,
+        CorrelationGraph,
+        Vec<RoadId>,
+    ) {
+        let ds = metro_small(&DatasetParams {
+            training_days: days,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let stats = HistoryStats::compute(&ds.history);
+        let corr = CorrelationGraph::build(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &CorrelationConfig {
+                min_cotrend: 0.6,
+                min_co_observations: 6,
+                ..CorrelationConfig::default()
+            },
+        );
+        let seeds: Vec<RoadId> = (0..15u32).map(|i| RoadId(i * 6)).collect();
+        (ds, stats, corr, seeds)
+    }
+
+    #[test]
+    fn incremental_fold_is_bit_identical_to_full_train() {
+        let (ds, stats, corr, seeds) = training_fixture(8);
+        let config = HlmConfig::default();
+        let trend = crate::inference::trend_model::TrendModel::new(
+            corr.clone(),
+            &stats,
+            crate::inference::trend_model::TrendModelConfig::default(),
+        );
+        let engine = TrendEngine::default();
+
+        let full = HlmModel::train_with_trends_threaded(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &corr,
+            &seeds,
+            &config,
+            Some((&trend, &engine)),
+            2,
+        )
+        .unwrap();
+
+        for &threads in &[1usize, 2, 8] {
+            let mut trainer = HlmTrainer::new(
+                &ds.graph,
+                &corr,
+                &seeds,
+                &config,
+                Some((trend.clone(), engine.clone())),
+                threads,
+            )
+            .unwrap();
+            let mut total_days = 0;
+            for cut in [3usize, 5, 8] {
+                let fs = trainer
+                    .fold(&ds.history.truncated(cut), &stats, threads)
+                    .unwrap();
+                assert_eq!(fs.new_days, cut - total_days);
+                assert!(!fs.refolded, "stride is stable on this history");
+                total_days = cut;
+            }
+            assert_eq!(trainer.folded_days(), 8);
+            // Refolding the same history is a no-op.
+            let fs = trainer.fold(&ds.history, &stats, threads).unwrap();
+            assert_eq!((fs.new_days, fs.cells_sampled, fs.rows_folded), (0, 0, 0));
+            let inc = trainer.fit(threads).unwrap();
+            assert_eq!(
+                encoded(&inc),
+                encoded(&full),
+                "threads={threads}: incremental fold diverged from full train"
+            );
+        }
+    }
+
+    #[test]
+    fn stride_shift_refolds_and_stays_bit_identical() {
+        let (ds, stats, corr, seeds) = training_fixture(8);
+        // A tiny cell cap forces the stride to grow with the history,
+        // exercising the internal refold path.
+        let config = HlmConfig {
+            max_cells_per_road: 64,
+            ..HlmConfig::default()
+        };
+        let full = HlmModel::train(&ds.graph, &ds.history, &stats, &corr, &seeds, &config).unwrap();
+
+        let mut trainer = HlmTrainer::new(&ds.graph, &corr, &seeds, &config, None, 2).unwrap();
+        let slots = ds.history.clock().slots_per_day;
+        let mut refolds = 0;
+        for cut in 1..=8usize {
+            let expect_refold = trainer.stride().is_some()
+                && trainer.stride() != Some(trainer.stride_for(cut, slots));
+            let fs = trainer.fold(&ds.history.truncated(cut), &stats, 2).unwrap();
+            assert_eq!(fs.refolded, expect_refold, "day {cut}");
+            refolds += fs.refolded as usize;
+        }
+        assert!(refolds > 0, "cap of 64 cells must shift the stride");
+        let inc = trainer.fit(2).unwrap();
+        assert_eq!(encoded(&inc), encoded(&full));
+    }
+
+    #[test]
+    fn fold_rejects_shape_mismatch_and_shrinking_history() {
+        let (ds, stats, corr, seeds) = training_fixture(4);
+        let config = HlmConfig::default();
+        let mut trainer = HlmTrainer::new(&ds.graph, &corr, &seeds, &config, None, 1).unwrap();
+        trainer.fold(&ds.history, &stats, 1).unwrap();
+
+        // A shorter history than already folded is a shape error, not a
+        // silent no-op.
+        let err = trainer
+            .fold(&ds.history.truncated(2), &stats, 1)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ShapeMismatch { .. }), "{err:?}");
+
+        // A history over a different network is rejected too.
+        let other = trafficsim::dataset::grid_medium(&DatasetParams {
+            training_days: 4,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        assert_ne!(other.graph.num_roads(), ds.graph.num_roads());
+        let err = trainer.fold(&other.history, &stats, 1).unwrap_err();
+        assert!(matches!(err, CoreError::ShapeMismatch { .. }), "{err:?}");
+
+        // Failed folds leave the trainer usable.
+        let model = trainer.fit(1).unwrap();
+        let direct =
+            HlmModel::train(&ds.graph, &ds.history, &stats, &corr, &seeds, &config).unwrap();
+        assert_eq!(encoded(&model), encoded(&direct));
     }
 }

@@ -2,16 +2,18 @@
 //! interface, and the reusable [`EstimateScratch`] workspace.
 
 use crate::correlation::CorrelationGraph;
-use crate::inference::hlm::{HlmConfig, HlmModel, HlmScratch};
+use crate::inference::hlm::{FoldStats, HlmConfig, HlmModel, HlmScratch, HlmTrainer};
 use crate::inference::trend_model::{TrendEngine, TrendModel, TrendModelConfig, TrendScratch};
+use crate::online::IngestDelta;
 use crate::seed::objective::{InfluenceModel, SeedObjective};
 use crate::{CoreError, Result};
 use roadnet::{RoadGraph, RoadId};
 use std::sync::Arc;
+use std::time::Instant;
 use trafficsim::{HistoricalData, HistoryStats};
 
 /// Configuration of the full estimator.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EstimatorConfig {
     /// Step-1 MRF construction.
     pub trend: TrendModelConfig,
@@ -24,6 +26,26 @@ pub struct EstimatorConfig {
     /// value (see [`crate::parallel`]), so `0` is always safe; serving
     /// is unaffected.
     pub train_threads: usize,
+    /// Incremental-retrain policy: when one ingest day's correlation
+    /// delta touches more than this fraction of tracked pairs, the
+    /// serving layer re-anchors with a full retrain instead of
+    /// patching (the patch would cost as much, and a churning graph is
+    /// a sign the frozen context has drifted). Policy only — it never
+    /// changes what any trained model computes, so it is excluded from
+    /// configuration fingerprints.
+    pub max_incremental_fraction: f64,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            trend: TrendModelConfig::default(),
+            engine: TrendEngine::default(),
+            hlm: HlmConfig::default(),
+            train_threads: 0,
+            max_incremental_fraction: 0.5,
+        }
+    }
 }
 
 /// One slot's estimation output.
@@ -153,6 +175,40 @@ pub struct TrafficEstimator {
     coverage: Arc<Vec<f64>>,
 }
 
+/// Per-road coverage under the influence model = estimate confidence
+/// (see [`SpeedEstimate::confidence`]).
+fn coverage_of(influence: &InfluenceModel, seeds: &[RoadId]) -> Arc<Vec<f64>> {
+    let objective = SeedObjective::new(influence);
+    let mut miss = objective.initial_miss();
+    for &s in seeds {
+        objective.apply(&mut miss, s);
+    }
+    Arc::new(miss.into_iter().map(|m| 1.0 - m).collect())
+}
+
+fn assemble_estimator(
+    stats: &HistoryStats,
+    trend_model: TrendModel,
+    hlm: HlmModel,
+    seeds: &[RoadId],
+    engine: &TrendEngine,
+    influence: &InfluenceModel,
+) -> TrafficEstimator {
+    let mut seed_index = vec![None; trend_model.num_roads()];
+    for (si, s) in seeds.iter().enumerate() {
+        seed_index[s.index()] = Some(si);
+    }
+    TrafficEstimator {
+        stats: stats.clone(),
+        trend_model,
+        hlm,
+        seeds: seeds.to_vec(),
+        seed_index,
+        engine: engine.clone(),
+        coverage: coverage_of(influence, seeds),
+    }
+}
+
 impl TrafficEstimator {
     /// Trains the estimator for a seed set.
     pub fn train(
@@ -163,46 +219,66 @@ impl TrafficEstimator {
         seeds: &[RoadId],
         config: &EstimatorConfig,
     ) -> Result<TrafficEstimator> {
+        Self::train_with_context(graph, history, stats, corr, None, seeds, config)
+    }
+
+    /// [`TrafficEstimator::train`] with the *training context* split
+    /// from the *serving graph* — the reference arithmetic of
+    /// incremental retraining (see [`IncrementalTrainer`]).
+    ///
+    /// `context` is the correlation graph frozen when the estimator
+    /// was bootstrapped: deviation propagation, seed attachment, and
+    /// the HLM's phase-A trend posteriors all run over it, so the HLM
+    /// coefficients depend only on `(context, history, stats)` and can
+    /// be folded a day at a time. `live` is the current materialised
+    /// correlation graph: the serving trend model and the coverage
+    /// channel track it (`None` = identical to `context`, the
+    /// bootstrap case).
+    pub fn train_with_context(
+        graph: &RoadGraph,
+        history: &HistoricalData,
+        stats: &HistoryStats,
+        context: &CorrelationGraph,
+        live: Option<&CorrelationGraph>,
+        seeds: &[RoadId],
+        config: &EstimatorConfig,
+    ) -> Result<TrafficEstimator> {
         if seeds.is_empty() {
             return Err(CoreError::InsufficientData("empty seed set".into()));
         }
         let threads = crate::parallel::resolve_threads(config.train_threads);
-        let trend_model =
-            TrendModel::new_threaded(corr.clone(), stats, config.trend.clone(), threads);
+        let ctx_trend =
+            TrendModel::new_threaded(context.clone(), stats, config.trend.clone(), threads);
         // Training sees the same kind of (noisy) trend posteriors the
         // estimator will mix regimes by at serving time.
         let hlm = HlmModel::train_with_trends_threaded(
             graph,
             history,
             stats,
-            corr,
+            context,
             seeds,
             &config.hlm,
-            Some((&trend_model, &config.engine)),
+            Some((&ctx_trend, &config.engine)),
             threads,
         )?;
-        let mut seed_index = vec![None; graph.num_roads()];
-        for (si, s) in seeds.iter().enumerate() {
-            seed_index[s.index()] = Some(si);
-        }
-        // Per-road coverage under the influence model = estimate
-        // confidence (see `SpeedEstimate::confidence`).
-        let influence = InfluenceModel::build_threaded(corr, &config.hlm.influence, threads);
-        let objective = SeedObjective::new(&influence);
-        let mut miss = objective.initial_miss();
-        for &s in seeds {
-            objective.apply(&mut miss, s);
-        }
-        let coverage: Arc<Vec<f64>> = Arc::new(miss.into_iter().map(|m| 1.0 - m).collect());
-        Ok(TrafficEstimator {
-            stats: stats.clone(),
+        let (trend_model, influence) = match live {
+            Some(live) => (
+                TrendModel::new_threaded(live.clone(), stats, config.trend.clone(), threads),
+                InfluenceModel::build_threaded(live, &config.hlm.influence, threads),
+            ),
+            None => (
+                ctx_trend,
+                InfluenceModel::build_threaded(context, &config.hlm.influence, threads),
+            ),
+        };
+        Ok(assemble_estimator(
+            stats,
             trend_model,
             hlm,
-            seeds: seeds.to_vec(),
-            seed_index,
-            engine: config.engine.clone(),
-            coverage,
-        })
+            seeds,
+            &config.engine,
+            &influence,
+        ))
     }
 
     /// The seed set the estimator observes.
@@ -385,6 +461,233 @@ impl SpeedEstimator for TrafficEstimator {
     }
 }
 
+/// What one [`IncrementalTrainer::advance`] did, for operational
+/// telemetry: which layers were patched vs rebuilt, how much of the
+/// model each stage touched, and per-stage wall time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetrainStats {
+    /// Correlation edges whose weights were patched in place.
+    pub edges_updated: usize,
+    /// Correlation edges inserted.
+    pub edges_added: usize,
+    /// Correlation edges dropped.
+    pub edges_removed: usize,
+    /// Distinct roads incident to any changed edge.
+    pub roads_touched: usize,
+    /// The delta changed graph membership, forcing a full trend-model
+    /// recompile (weight-only deltas patch compiled slot MRFs in
+    /// place).
+    pub trend_rebuilt: bool,
+    /// What the HLM fold did (new cells, rows, stride refolds).
+    pub fold: FoldStats,
+    /// Stage wall times, milliseconds.
+    pub corr_ms: u64,
+    /// Trend-model patch/rebuild time.
+    pub trend_ms: u64,
+    /// Influence-model dirty-row recompute time.
+    pub influence_ms: u64,
+    /// HLM day-fold time.
+    pub hlm_fold_ms: u64,
+    /// Coefficient-hierarchy solve + estimator assembly time.
+    pub hlm_fit_ms: u64,
+}
+
+/// Delta-propagating trainer: turns `INGEST_DAY` from a from-scratch
+/// retrain into `O(changed)` work per layer, with the result
+/// bit-identical to the reference full retrain
+/// ([`TrafficEstimator::train_with_context`] over the same frozen
+/// context and day sequence) at any thread count.
+///
+/// Frozen at [`IncrementalTrainer::build`]: the context correlation
+/// graph, the history statistics, and the [`HlmTrainer`]'s seed
+/// attachment + phase-A trend model. Maintained per
+/// [`IncrementalTrainer::advance`]:
+///
+/// * the **live correlation graph**, patched in place from the ingest
+///   delta ([`CorrelationGraph::apply_delta`]);
+/// * the **serving trend model** — weight-only deltas patch the
+///   compiled slot MRFs ([`TrendModel::patched`]); membership changes
+///   recompile from the live graph;
+/// * the **influence model**, recomputing only reach rows the changed
+///   edges can affect ([`InfluenceModel::patched`]) — which also
+///   refreshes the coverage channel;
+/// * the **HLM accumulators**, folding only the new day's sampled
+///   cells ([`HlmTrainer::fold`]) before a cheap coefficient re-solve.
+///
+/// An `Err` from `advance` can leave the layers at different days —
+/// discard the trainer and fall back to a full retrain (the serving
+/// layer does exactly that).
+pub struct IncrementalTrainer {
+    config: EstimatorConfig,
+    stats: HistoryStats,
+    hlm_trainer: HlmTrainer,
+    live_corr: CorrelationGraph,
+    trend_model: TrendModel,
+    influence: InfluenceModel,
+}
+
+impl IncrementalTrainer {
+    /// Bootstraps the trainer: freezes `context` (and `stats`) as the
+    /// training context, folds the bootstrap `history`, and starts the
+    /// live layers at the context graph.
+    pub fn build(
+        graph: &RoadGraph,
+        history: &HistoricalData,
+        stats: &HistoryStats,
+        context: &CorrelationGraph,
+        seeds: &[RoadId],
+        config: &EstimatorConfig,
+    ) -> Result<IncrementalTrainer> {
+        Self::rebuild(graph, history, stats, context, None, seeds, config)
+    }
+
+    /// [`IncrementalTrainer::build`] with the live layers started at an
+    /// arbitrary `live` graph instead of the context — the cold-rebuild
+    /// path after a snapshot resume (or a dropped trainer), where days
+    /// have been ingested since the context was frozen. The result is
+    /// bit-identical to building at the context and replaying every
+    /// ingest delta up to `live`, because the live layers are pure
+    /// functions of the live graph
+    /// ([`TrafficEstimator::train_with_context`] is the reference).
+    pub fn rebuild(
+        graph: &RoadGraph,
+        history: &HistoricalData,
+        stats: &HistoryStats,
+        context: &CorrelationGraph,
+        live: Option<&CorrelationGraph>,
+        seeds: &[RoadId],
+        config: &EstimatorConfig,
+    ) -> Result<IncrementalTrainer> {
+        if seeds.is_empty() {
+            return Err(CoreError::InsufficientData("empty seed set".into()));
+        }
+        let threads = crate::parallel::resolve_threads(config.train_threads);
+        let ctx_trend =
+            TrendModel::new_threaded(context.clone(), stats, config.trend.clone(), threads);
+        let mut hlm_trainer = HlmTrainer::new(
+            graph,
+            context,
+            seeds,
+            &config.hlm,
+            Some((ctx_trend.clone(), config.engine.clone())),
+            threads,
+        )?;
+        hlm_trainer.fold(history, stats, threads)?;
+        let (live_corr, trend_model, influence) = match live {
+            Some(live) => (
+                live.clone(),
+                TrendModel::new_threaded(live.clone(), stats, config.trend.clone(), threads),
+                InfluenceModel::build_threaded(live, &config.hlm.influence, threads),
+            ),
+            None => (
+                context.clone(),
+                ctx_trend,
+                InfluenceModel::build_threaded(context, &config.hlm.influence, threads),
+            ),
+        };
+        Ok(IncrementalTrainer {
+            config: config.clone(),
+            stats: stats.clone(),
+            hlm_trainer,
+            live_corr,
+            trend_model,
+            influence,
+        })
+    }
+
+    /// The frozen context graph every fold trains over.
+    pub fn context(&self) -> &CorrelationGraph {
+        self.hlm_trainer.context()
+    }
+
+    /// The current live (delta-patched) correlation graph.
+    pub fn live_correlation(&self) -> &CorrelationGraph {
+        &self.live_corr
+    }
+
+    /// The seed set the trainer was built for.
+    pub fn seeds(&self) -> &[RoadId] {
+        self.hlm_trainer.seeds()
+    }
+
+    /// Days folded into the HLM accumulators so far.
+    pub fn folded_days(&self) -> usize {
+        self.hlm_trainer.folded_days()
+    }
+
+    /// Assembles the serving estimator from the current layers without
+    /// advancing. Bit-identical to what the reference full retrain
+    /// would produce from the same context and history.
+    pub fn estimator(&self) -> Result<TrafficEstimator> {
+        let threads = crate::parallel::resolve_threads(self.config.train_threads);
+        let hlm = self.hlm_trainer.fit(threads)?;
+        Ok(assemble_estimator(
+            &self.stats,
+            self.trend_model.clone(),
+            hlm,
+            self.hlm_trainer.seeds(),
+            &self.config.engine,
+            &self.influence,
+        ))
+    }
+
+    /// Applies one ingested day: patches the live layers from `delta`
+    /// (produced by [`crate::online::OnlineCorrelation::ingest_day_delta`]
+    /// for the same day), folds the day into the HLM, and assembles
+    /// the refreshed estimator. `history` must be the grown history
+    /// *including* the ingested day, over the same network and slot
+    /// grid as the bootstrap.
+    pub fn advance(
+        &mut self,
+        history: &HistoricalData,
+        delta: &IngestDelta,
+    ) -> Result<(TrafficEstimator, RetrainStats)> {
+        let threads = crate::parallel::resolve_threads(self.config.train_threads);
+        let mut stats = RetrainStats::default();
+
+        let t = Instant::now();
+        let apply = self.live_corr.apply_delta(&delta.changes)?;
+        stats.corr_ms = t.elapsed().as_millis() as u64;
+        stats.edges_updated = apply.updated;
+        stats.edges_added = apply.added;
+        stats.edges_removed = apply.removed;
+        stats.roads_touched = apply.touched.len();
+        stats.trend_rebuilt = apply.membership_changed;
+
+        let t = Instant::now();
+        self.trend_model = if apply.membership_changed {
+            TrendModel::new_threaded(
+                self.live_corr.clone(),
+                &self.stats,
+                self.config.trend.clone(),
+                threads,
+            )
+        } else {
+            self.trend_model
+                .patched(self.live_corr.clone(), &delta.changes)
+        };
+        stats.trend_ms = t.elapsed().as_millis() as u64;
+
+        let t = Instant::now();
+        self.influence = self.influence.patched(
+            &self.live_corr,
+            &self.config.hlm.influence,
+            &apply.touched,
+            threads,
+        );
+        stats.influence_ms = t.elapsed().as_millis() as u64;
+
+        let t = Instant::now();
+        stats.fold = self.hlm_trainer.fold(history, &self.stats, threads)?;
+        stats.hlm_fold_ms = t.elapsed().as_millis() as u64;
+
+        let t = Instant::now();
+        let estimator = self.estimator()?;
+        stats.hlm_fit_ms = t.elapsed().as_millis() as u64;
+        Ok((estimator, stats))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,6 +862,119 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn incremental_advance_matches_full_retrain_bitwise() {
+        use crate::online::OnlineCorrelation;
+
+        let ds = metro_small(&DatasetParams {
+            training_days: 9,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let bootstrap_days = 3;
+        let boot = ds.history.truncated(bootstrap_days);
+        let ccfg = CorrelationConfig {
+            min_cotrend: 0.6,
+            min_co_observations: 24,
+            ..CorrelationConfig::default()
+        };
+        let seeds: Vec<RoadId> = (0..15u32).map(|i| RoadId(i * 6)).collect();
+
+        // Frozen at bootstrap: the online tracker's statistics and the
+        // materialised context graph.
+        let mut online = OnlineCorrelation::bootstrap(&ds.graph, &boot, &ccfg);
+        let stats = online.stats().clone();
+        let context = online.correlation_graph();
+
+        let encoded = |est: &TrafficEstimator| {
+            let mut buf = bytes::BytesMut::new();
+            est.encode_snapshot_into(&mut buf);
+            buf
+        };
+
+        // The incremental trainer runs on 4 threads, the reference
+        // full retrain on 1 — bit-identity must hold across both the
+        // day sequence and the thread counts.
+        let inc_config = EstimatorConfig {
+            train_threads: 4,
+            ..EstimatorConfig::default()
+        };
+        let ref_config = EstimatorConfig {
+            train_threads: 1,
+            ..EstimatorConfig::default()
+        };
+        let mut trainer =
+            IncrementalTrainer::build(&ds.graph, &boot, &stats, &context, &seeds, &inc_config)
+                .unwrap();
+        let full_boot = TrafficEstimator::train_with_context(
+            &ds.graph,
+            &boot,
+            &stats,
+            &context,
+            None,
+            &seeds,
+            &ref_config,
+        )
+        .unwrap();
+        assert_eq!(encoded(&trainer.estimator().unwrap()), encoded(&full_boot));
+
+        let mut memberships = 0usize;
+        let mut weight_patches = 0usize;
+        for day in bootstrap_days..ds.history.num_days() {
+            let delta = online.ingest_day_delta(&ds.history.days()[day]).unwrap();
+            let grown = ds.history.truncated(day + 1);
+            // Split the day into a weight-only advance followed by a
+            // membership advance (each change names a distinct edge,
+            // so splitting cannot reorder effects): the weight-only
+            // half drives the MRF-patching fast path even on days
+            // where some other edge flips membership.
+            let (updates, flips): (Vec<_>, Vec<_>) = delta
+                .changes
+                .iter()
+                .cloned()
+                .partition(|c| !c.changes_membership());
+            let mut inc = None;
+            for half in [updates, flips] {
+                if half.is_empty() && inc.is_some() {
+                    continue;
+                }
+                let part = IngestDelta {
+                    changes: half,
+                    ..delta.clone()
+                };
+                let (est, rs) = trainer.advance(&grown, &part).unwrap();
+                if rs.trend_rebuilt {
+                    memberships += 1;
+                } else if rs.edges_updated > 0 {
+                    weight_patches += 1;
+                }
+                inc = Some(est);
+            }
+            let inc = inc.expect("at least one advance per day");
+            assert_eq!(trainer.folded_days(), day + 1);
+
+            let live = online.correlation_graph();
+            let full = TrafficEstimator::train_with_context(
+                &ds.graph,
+                &grown,
+                &stats,
+                &context,
+                Some(&live),
+                &seeds,
+                &ref_config,
+            )
+            .unwrap();
+            assert_eq!(
+                encoded(&inc),
+                encoded(&full),
+                "day {day}: incremental advance diverged from full retrain"
+            );
+        }
+        // The sequence must have exercised both delta shapes.
+        assert!(memberships > 0, "no ingest day changed graph membership");
+        assert!(weight_patches > 0, "no advance took the weight-patch path");
     }
 
     #[test]

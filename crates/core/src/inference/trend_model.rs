@@ -224,6 +224,74 @@ impl TrendModel {
         model
     }
 
+    /// Rebuilds only what a **weight-only** correlation delta touched:
+    /// the per-edge couplings of the changed edges and their slots in
+    /// every compiled MRF. Everything else — priors, CSR topology, the
+    /// untouched couplings — is carried over, so the cost is
+    /// `O(slots × changed_edges × degree)` instead of a full
+    /// `O(slots × edges)` recompilation.
+    ///
+    /// `new_corr` must be the model's graph with exactly `changes`
+    /// applied (see [`CorrelationGraph::apply_delta`]); every change
+    /// must be [`EdgeChange::Updated`]. Membership changes shift edge
+    /// indices and degrees, so they require a full
+    /// [`TrendModel::new_threaded`] rebuild — callers gate on
+    /// [`crate::correlation::DeltaApply::membership_changed`].
+    ///
+    /// Bit-identity to that full rebuild holds because a pure update
+    /// leaves every degree unchanged: unchanged edges keep their
+    /// coupling bits (copied, same inputs), and changed edges go
+    /// through the same attenuation expression and the same clamp as
+    /// the builder ([`PairwiseMrf::set_coupling`] patches both
+    /// directed slots exactly as `build` would have written them).
+    pub fn patched(
+        &self,
+        new_corr: CorrelationGraph,
+        changes: &[crate::online::EdgeChange],
+    ) -> TrendModel {
+        use crate::online::EdgeChange;
+        assert!(
+            changes.iter().all(|c| !c.changes_membership()),
+            "patched() handles weight-only deltas; membership changes need a rebuild"
+        );
+        assert_eq!(
+            new_corr.num_edges(),
+            self.corr.num_edges(),
+            "weight-only delta cannot change the edge count"
+        );
+        let mut couplings = self.couplings.clone();
+        let mut mrfs = self.compiled.mrfs.clone();
+        for c in changes {
+            let EdgeChange::Updated(e) = c else {
+                unreachable!("membership changes rejected above");
+            };
+            let idx = new_corr
+                .edges()
+                .binary_search_by_key(&(e.a, e.b), |x| (x.a, x.b))
+                .expect("updated edge is present in the patched graph");
+            let mut scale = self.config.coupling_scale;
+            if self.config.degree_norm > 0.0 {
+                let da = new_corr.degree(e.a) as f64;
+                let db = new_corr.degree(e.b) as f64;
+                scale *= (self.config.degree_norm / (da * db).sqrt()).min(1.0);
+            }
+            let same = 0.5 + scale * (e.cotrend - 0.5);
+            couplings[idx] = same;
+            for mrf in &mut mrfs {
+                mrf.set_coupling(e.a.index(), e.b.index(), same)
+                    .expect("edge exists in every compiled slot");
+            }
+        }
+        TrendModel {
+            corr: new_corr,
+            config: self.config.clone(),
+            priors: self.priors.clone(),
+            slots: self.slots,
+            couplings,
+            compiled: Arc::new(CompiledSlots { mrfs }),
+        }
+    }
+
     /// The per-slot compiled MRFs.
     pub fn compiled_slots(&self) -> &Arc<CompiledSlots> {
         &self.compiled
@@ -590,6 +658,55 @@ mod tests {
                     "threads={threads}, road {r}: {a} vs {b}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn patched_weight_delta_is_bit_identical_to_rebuild() {
+        use crate::online::{EdgeChange, OnlineCorrelation};
+        let ds = metro_small(&DatasetParams {
+            training_days: 10,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let stats = HistoryStats::compute(&ds.history);
+        // Online materialisation keeps the edge list (a, b)-sorted,
+        // which is the layout `patched`'s lookup is specified against.
+        let online =
+            OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &CorrelationConfig::default());
+        let corr = online.correlation_graph();
+        assert!(corr.num_edges() > 10);
+        let base = TrendModel::new(corr.clone(), &stats, TrendModelConfig::default());
+
+        let mut changes = Vec::new();
+        let mut patched_corr = corr.clone();
+        for (i, e) in corr.edges().iter().enumerate() {
+            if i % 3 == 0 {
+                let mut e = *e;
+                e.cotrend = (e.cotrend * 0.96).max(1.0 - e.cotrend);
+                e.support += 7;
+                changes.push(EdgeChange::Updated(e));
+            }
+        }
+        let summary = patched_corr.apply_delta(&changes).unwrap();
+        assert!(!summary.membership_changed);
+
+        let patched = base.patched(patched_corr.clone(), &changes);
+        let rebuilt = TrendModel::new(patched_corr, &stats, TrendModelConfig::default());
+        assert_eq!(patched.couplings.len(), rebuilt.couplings.len());
+        for (i, (a, b)) in patched.couplings.iter().zip(&rebuilt.couplings).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "coupling {i}");
+        }
+        for (a, b) in patched.priors.iter().zip(&rebuilt.priors) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(patched.compiled.mrfs, rebuilt.compiled.mrfs);
+        // And the inference surfaces agree bit for bit.
+        let obs = [(RoadId(0), true), (RoadId(17), false)];
+        let pi = patched.infer(5, &obs, &TrendEngine::default());
+        let ri = rebuilt.infer(5, &obs, &TrendEngine::default());
+        for (a, b) in pi.p_up.iter().zip(&ri.p_up) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

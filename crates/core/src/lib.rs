@@ -71,7 +71,8 @@ pub mod prelude {
     pub use crate::eval::{evaluate, EvalConfig, EvalReport};
     pub use crate::inference::hlm::{HlmConfig, HlmModel};
     pub use crate::inference::pipeline::{
-        EstimateScratch, EstimatorConfig, SpeedEstimate, SpeedEstimator, TrafficEstimator,
+        EstimateScratch, EstimatorConfig, IncrementalTrainer, RetrainStats, SpeedEstimate,
+        SpeedEstimator, TrafficEstimator,
     };
     pub use crate::inference::trend_model::{TrendEngine, TrendModel};
     pub use crate::metrics::ErrorStats;
@@ -128,6 +129,25 @@ pub enum CoreError {
         /// The rejected co-trend probability.
         cotrend: f64,
     },
+    /// An incremental delta referenced an edge whose presence in the
+    /// graph disagrees with the change kind: an update or removal named
+    /// an edge the graph does not hold, or an insertion named one it
+    /// already does.
+    ///
+    /// [`correlation::CorrelationGraph::apply_delta`] raises this
+    /// *before* mutating anything, so the graph is untouched and the
+    /// caller can fall back to a full rebuild. It signals that the
+    /// delta was produced against a different graph revision than the
+    /// one it is being applied to.
+    DeltaMismatch {
+        /// One endpoint of the offending edge.
+        a: u32,
+        /// The other endpoint.
+        b: u32,
+        /// Whether the edge was present in the graph (`true` for a
+        /// rejected insertion, `false` for a rejected update/removal).
+        present: bool,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -147,6 +167,14 @@ impl std::fmt::Display for CoreError {
                     f,
                     "invalid co-trend weight {cotrend} on edge ({a}, {b}): must lie in [0, 1]"
                 )
+            }
+            CoreError::DeltaMismatch { a, b, present } => {
+                let state = if *present {
+                    "already present"
+                } else {
+                    "not found"
+                };
+                write!(f, "delta mismatch on edge ({a}, {b}): edge {state}")
             }
         }
     }

@@ -20,6 +20,85 @@ use crate::{CoreError, Result};
 use roadnet::{path, RoadGraph, RoadId};
 use trafficsim::{HistoricalData, HistoryStats, SpeedField};
 
+/// One edge-level consequence of an ingested day: how the thresholded
+/// correlation graph changes when the live counters move.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeChange {
+    /// A pair crossed the promotion thresholds: the edge now exists
+    /// with this cotrend/support.
+    Added(CorrelationEdge),
+    /// An existing edge's cotrend and/or support moved (membership
+    /// unchanged). Carries the full new edge value.
+    Updated(CorrelationEdge),
+    /// A pair fell back inside the indeterminate band: the edge is
+    /// demoted.
+    Removed {
+        /// Lower endpoint (`a < b`).
+        a: RoadId,
+        /// Upper endpoint.
+        b: RoadId,
+    },
+}
+
+impl EdgeChange {
+    /// The `(a, b)` pair the change applies to.
+    pub fn pair(&self) -> (RoadId, RoadId) {
+        match self {
+            EdgeChange::Added(e) | EdgeChange::Updated(e) => (e.a, e.b),
+            EdgeChange::Removed { a, b } => (*a, *b),
+        }
+    }
+
+    /// Whether this change alters the graph's edge *set* (not just a
+    /// weight).
+    pub fn changes_membership(&self) -> bool {
+        !matches!(self, EdgeChange::Updated(_))
+    }
+}
+
+/// The typed consequence of one [`OnlineCorrelation::ingest_day_delta`]:
+/// everything downstream layers need to update themselves in place
+/// instead of rebuilding from the counters.
+#[derive(Debug, Clone, Default)]
+pub struct IngestDelta {
+    /// Edge-level graph changes, sorted ascending by `(a, b)` — the
+    /// same order the materialised graph's edge list uses.
+    pub changes: Vec<EdgeChange>,
+    /// Candidate pairs whose counters moved this day.
+    pub pairs_touched: usize,
+    /// Slots of the day that carried any observation.
+    pub slots_observed: usize,
+    /// Total candidate pairs tracked (denominator for coverage ratios).
+    pub pairs_tracked: usize,
+}
+
+impl IngestDelta {
+    /// Whether the materialised graph is unchanged by this day.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Whether any change alters the edge *set* (insert/remove) rather
+    /// than just weights.
+    pub fn membership_changed(&self) -> bool {
+        self.changes.iter().any(EdgeChange::changes_membership)
+    }
+
+    /// Fraction of edges of `graph_edges` touched by this delta —
+    /// the incremental-vs-full decision input.
+    pub fn coverage_fraction(&self, graph_edges: usize) -> f64 {
+        if graph_edges == 0 {
+            if self.changes.is_empty() {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            self.changes.len() as f64 / graph_edges as f64
+        }
+    }
+}
+
 /// Incrementally maintained co-trend statistics.
 #[derive(Debug, Clone)]
 pub struct OnlineCorrelation {
@@ -114,6 +193,68 @@ impl OnlineCorrelation {
         Ok(())
     }
 
+    /// [`OnlineCorrelation::ingest_day`] that also reports *what
+    /// changed*: the edge-level delta between the correlation graph
+    /// materialised before and after the day, in `(a, b)` order.
+    ///
+    /// The delta's cotrend values are computed with the exact same
+    /// expression [`OnlineCorrelation::correlation_graph`] uses, so a
+    /// graph patched with these changes is bit-identical to one
+    /// rebuilt from the counters. A shape-mismatched day is rejected
+    /// without mutating anything, exactly like `ingest_day`.
+    pub fn ingest_day_delta(&mut self, day: &SpeedField) -> Result<IngestDelta> {
+        let before = self.counts.clone();
+        self.ingest_day(day)?;
+        let slots_observed = (0..day.num_slots())
+            .filter(|&slot| day.slot_speeds(slot).iter().any(|v| !v.is_nan()))
+            .count();
+        let mut delta = IngestDelta {
+            changes: Vec::new(),
+            pairs_touched: 0,
+            slots_observed,
+            pairs_tracked: self.pairs.len(),
+        };
+        for ((&(a, b), &(co0, ag0)), &(co1, ag1)) in
+            self.pairs.iter().zip(&before).zip(&self.counts)
+        {
+            if (co0, ag0) == (co1, ag1) {
+                continue;
+            }
+            delta.pairs_touched += 1;
+            let old = self.decide(co0, ag0);
+            let new = self.decide(co1, ag1);
+            match (old, new) {
+                (None, None) => {}
+                (None, Some(p)) => delta.changes.push(EdgeChange::Added(CorrelationEdge {
+                    a,
+                    b,
+                    cotrend: p,
+                    support: co1,
+                })),
+                (Some(_), None) => delta.changes.push(EdgeChange::Removed { a, b }),
+                (Some(_), Some(p)) => delta.changes.push(EdgeChange::Updated(CorrelationEdge {
+                    a,
+                    b,
+                    cotrend: p,
+                    support: co1,
+                })),
+            }
+        }
+        Ok(delta)
+    }
+
+    /// The thresholding rule shared by [`OnlineCorrelation::correlation_graph`]
+    /// and [`OnlineCorrelation::ingest_day_delta`]: the edge's cotrend
+    /// probability when the counters promote the pair, `None` inside
+    /// the indeterminate band or under the support floor.
+    fn decide(&self, co: u32, agree: u32) -> Option<f64> {
+        if co < self.config.min_co_observations {
+            return None;
+        }
+        let p = (agree as f64 + self.config.laplace) / (co as f64 + 2.0 * self.config.laplace);
+        (p >= self.config.min_cotrend || p <= 1.0 - self.config.min_cotrend).then_some(p)
+    }
+
     /// Number of days ingested (including the bootstrap window).
     pub fn days_ingested(&self) -> usize {
         self.days
@@ -205,19 +346,12 @@ impl OnlineCorrelation {
             .iter()
             .zip(&self.counts)
             .filter_map(|(&(a, b), &(co, agree))| {
-                if co < self.config.min_co_observations {
-                    return None;
-                }
-                let p =
-                    (agree as f64 + self.config.laplace) / (co as f64 + 2.0 * self.config.laplace);
-                (p >= self.config.min_cotrend || p <= 1.0 - self.config.min_cotrend).then_some(
-                    CorrelationEdge {
-                        a,
-                        b,
-                        cotrend: p,
-                        support: co,
-                    },
-                )
+                self.decide(co, agree).map(|p| CorrelationEdge {
+                    a,
+                    b,
+                    cotrend: p,
+                    support: co,
+                })
             })
             .collect();
         CorrelationGraph::from_edges(self.stats.num_roads(), edges)
@@ -598,6 +732,74 @@ mod tests {
         assert_eq!(online.days_ingested(), days_before);
         let counts_after: u32 = online.counts.iter().map(|&(co, _)| co).sum();
         assert_eq!(counts_after, counts_before);
+    }
+
+    #[test]
+    fn ingest_delta_reconciles_before_and_after_graphs() {
+        let ds = metro_small(&DatasetParams {
+            training_days: 3,
+            test_days: 6,
+            ..DatasetParams::default()
+        });
+        let mut online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
+        for day in &ds.test_days {
+            let before = online.correlation_graph();
+            let delta = online.ingest_day_delta(day).unwrap();
+            let after = online.correlation_graph();
+            assert_eq!(delta.pairs_tracked, online.pairs.len());
+            // Changes are (a, b)-sorted, like the edge lists.
+            let keys: Vec<_> = delta.changes.iter().map(EdgeChange::pair).collect();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(keys, sorted, "delta must be sorted and deduped");
+            // Replaying the delta over the old edge list reproduces the
+            // new edge list exactly (values bit-identical).
+            let mut edges: Vec<CorrelationEdge> = before.edges().to_vec();
+            for change in &delta.changes {
+                let key = change.pair();
+                let pos = edges.binary_search_by_key(&key, |e| (e.a, e.b));
+                match (change, pos) {
+                    (EdgeChange::Added(e), Err(i)) => edges.insert(i, *e),
+                    (EdgeChange::Updated(e), Ok(i)) => edges[i] = *e,
+                    (EdgeChange::Removed { .. }, Ok(i)) => {
+                        edges.remove(i);
+                    }
+                    (c, _) => panic!("change {c:?} inconsistent with prior graph"),
+                }
+            }
+            assert_eq!(edges.len(), after.edges().len());
+            for (x, y) in edges.iter().zip(after.edges()) {
+                assert_eq!((x.a, x.b, x.support), (y.a, y.b, y.support));
+                assert_eq!(x.cotrend.to_bits(), y.cotrend.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_delta_counts_match_plain_ingest() {
+        let ds = dataset();
+        let mut a = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
+        let mut b = a.clone();
+        for day in &ds.test_days {
+            a.ingest_day(day).unwrap();
+            let delta = b.ingest_day_delta(day).unwrap();
+            assert!(delta.pairs_touched > 0);
+            assert!(delta.slots_observed > 0);
+        }
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.days_ingested(), b.days_ingested());
+    }
+
+    #[test]
+    fn ingest_delta_rejects_mismatched_day_without_mutation() {
+        let ds = dataset();
+        let mut online = OnlineCorrelation::bootstrap(&ds.graph, &ds.history, &config());
+        let counts_before = online.counts.clone();
+        let bad = SpeedField::filled(ds.clock.slots_per_day, ds.graph.num_roads() + 1, 30.0);
+        let err = online.ingest_day_delta(&bad).unwrap_err();
+        assert!(matches!(err, CoreError::ShapeMismatch { .. }), "{err}");
+        assert_eq!(online.counts, counts_before);
     }
 
     #[test]

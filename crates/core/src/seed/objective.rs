@@ -102,6 +102,62 @@ impl PartialOrd for Entry {
     }
 }
 
+/// One source's Dijkstra-style max-product search, bounded by hops and
+/// `min_influence` — the single definition both [`InfluenceModel::build_threaded`]
+/// and [`InfluenceModel::patched`] run, which is what makes a patched
+/// row bit-identical to a rebuilt one. `best` must be all-zero and
+/// `touched` empty on entry; both are restored before returning.
+fn search_source(
+    corr: &CorrelationGraph,
+    config: &InfluenceConfig,
+    s: usize,
+    best: &mut [f64],
+    touched: &mut Vec<u32>,
+) -> Vec<(RoadId, f64)> {
+    let s = s as u32;
+    let mut heap = BinaryHeap::new();
+    best[s as usize] = 1.0;
+    touched.push(s);
+    heap.push(Entry {
+        q: 1.0,
+        hops: 0,
+        node: s,
+    });
+    while let Some(Entry { q, hops, node }) = heap.pop() {
+        if q < best[node as usize] {
+            continue; // stale
+        }
+        if hops >= config.max_hops {
+            continue;
+        }
+        for (nb, w) in corr.neighbors(RoadId(node)) {
+            let nq = q * edge_strength(w);
+            if nq >= config.min_influence && nq > best[nb.index()] {
+                if best[nb.index()] == 0.0 {
+                    touched.push(nb.0);
+                }
+                best[nb.index()] = nq;
+                heap.push(Entry {
+                    q: nq,
+                    hops: hops + 1,
+                    node: nb.0,
+                });
+            }
+        }
+    }
+    let mut list: Vec<(RoadId, f64)> = touched
+        .iter()
+        .map(|&r| (RoadId(r), best[r as usize]))
+        .collect();
+    list.sort_by_key(|&(r, _)| r);
+    // Reset the scratch arrays for the next source.
+    for &r in touched.iter() {
+        best[r as usize] = 0.0;
+    }
+    touched.clear();
+    list
+}
+
 impl InfluenceModel {
     /// Builds influence lists by best-path (max-product) search from
     /// every road over the correlation graph (serial).
@@ -125,52 +181,7 @@ impl InfluenceModel {
             // Per-worker scratch: the dense best-influence array plus
             // the list of indices dirtied for the current source.
             || (vec![0.0f64; n], Vec::<u32>::new()),
-            |(best, touched), s| {
-                let s = s as u32;
-                // Dijkstra-style max-product search, bounded by hops
-                // and min_influence.
-                let mut heap = BinaryHeap::new();
-                best[s as usize] = 1.0;
-                touched.push(s);
-                heap.push(Entry {
-                    q: 1.0,
-                    hops: 0,
-                    node: s,
-                });
-                while let Some(Entry { q, hops, node }) = heap.pop() {
-                    if q < best[node as usize] {
-                        continue; // stale
-                    }
-                    if hops >= config.max_hops {
-                        continue;
-                    }
-                    for (nb, w) in corr.neighbors(RoadId(node)) {
-                        let nq = q * edge_strength(w);
-                        if nq >= config.min_influence && nq > best[nb.index()] {
-                            if best[nb.index()] == 0.0 {
-                                touched.push(nb.0);
-                            }
-                            best[nb.index()] = nq;
-                            heap.push(Entry {
-                                q: nq,
-                                hops: hops + 1,
-                                node: nb.0,
-                            });
-                        }
-                    }
-                }
-                let mut list: Vec<(RoadId, f64)> = touched
-                    .iter()
-                    .map(|&r| (RoadId(r), best[r as usize]))
-                    .collect();
-                list.sort_by_key(|&(r, _)| r);
-                // Reset the scratch arrays for the next source.
-                for &r in touched.iter() {
-                    best[r as usize] = 0.0;
-                }
-                touched.clear();
-                list
-            },
+            |(best, touched), s| search_source(corr, config, s, best, touched),
         );
         // Flatten into CSR in source order (serial, deterministic).
         let total: usize = lists.iter().map(Vec::len).sum();
@@ -182,6 +193,88 @@ impl InfluenceModel {
             for (r, v) in list {
                 roads.push(r);
                 q.push(v);
+            }
+            offsets.push(roads.len() as u32);
+        }
+        InfluenceModel {
+            n,
+            offsets,
+            roads,
+            q,
+        }
+    }
+
+    /// Re-derives the model after a correlation delta, re-running the
+    /// per-source search only for rows the delta can have changed.
+    ///
+    /// `corr` is the **post-delta** graph and `touched` the roads
+    /// incident to any changed edge
+    /// ([`crate::correlation::DeltaApply::touched`]). The dirty-row
+    /// criterion is two waves: a source `s` needs recomputing only if
+    /// it lies in some touched endpoint `v`'s reach — in the *old*
+    /// model or the *new* graph. This is sound because influence is
+    /// symmetric (`q(s → v) = q(v → s)`: edge strengths are
+    /// undirected, path reversal preserves hops and product) and
+    /// monotone along a path (factors ≤ 1): if `s`'s row differs, the
+    /// better of the old/new optimal paths crosses a changed edge, and
+    /// its prefix up to that edge's endpoint `v` has at least the full
+    /// path's influence in at most its hops — so `v ∈ reach(s)`, hence
+    /// `s ∈ reach(v)`, on the corresponding side. Every other row is
+    /// carried over verbatim, and recomputed rows run the same
+    /// [`search_source`] as a full build, so the result is
+    /// bit-identical to [`InfluenceModel::build_threaded`] on `corr`
+    /// at any thread count.
+    pub fn patched(
+        &self,
+        corr: &CorrelationGraph,
+        config: &InfluenceConfig,
+        touched: &[RoadId],
+        threads: usize,
+    ) -> InfluenceModel {
+        let n = self.n;
+        assert_eq!(corr.num_roads(), n, "delta cannot change the road count");
+        // Wave 1: each touched endpoint's reach over the new graph
+        // (its old reach is already in `self`).
+        let endpoint_reach: Vec<Vec<(RoadId, f64)>> = crate::parallel::fill_with(
+            threads,
+            touched.len(),
+            || (vec![0.0f64; n], Vec::<u32>::new()),
+            |(best, scratch), i| search_source(corr, config, touched[i].index(), best, scratch),
+        );
+        let mut dirty = vec![false; n];
+        for (i, &v) in touched.iter().enumerate() {
+            for &r in self.reach(v).roads {
+                dirty[r.index()] = true;
+            }
+            for &(r, _) in &endpoint_reach[i] {
+                dirty[r.index()] = true;
+            }
+        }
+        let dirty_rows: Vec<u32> = (0..n as u32).filter(|&r| dirty[r as usize]).collect();
+        // Wave 2: recompute exactly the dirty rows on the new graph.
+        let fresh: Vec<Vec<(RoadId, f64)>> = crate::parallel::fill_with(
+            threads,
+            dirty_rows.len(),
+            || (vec![0.0f64; n], Vec::<u32>::new()),
+            |(best, scratch), i| search_source(corr, config, dirty_rows[i] as usize, best, scratch),
+        );
+        // Splice: stream rows in source order, fresh where dirty.
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut roads = Vec::with_capacity(self.roads.len());
+        let mut q = Vec::with_capacity(self.q.len());
+        let mut next_fresh = 0usize;
+        for (s, &is_dirty) in dirty.iter().enumerate().take(n) {
+            if is_dirty {
+                for &(r, v) in &fresh[next_fresh] {
+                    roads.push(r);
+                    q.push(v);
+                }
+                next_fresh += 1;
+            } else {
+                let row = self.reach(RoadId(s as u32));
+                roads.extend_from_slice(row.roads);
+                q.extend_from_slice(row.q);
             }
             offsets.push(roads.len() as u32);
         }
@@ -394,6 +487,54 @@ mod tests {
                 .all(|(a, b)| a.to_bits() == b.to_bits());
             assert!(same_bits, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn patched_is_bit_identical_to_rebuild_over_ingest_sequence() {
+        use crate::correlation::CorrelationConfig;
+        use crate::online::OnlineCorrelation;
+        use trafficsim::dataset::{metro_small, DatasetParams};
+        let ds = metro_small(&DatasetParams {
+            training_days: 3,
+            test_days: 6,
+            ..DatasetParams::default()
+        });
+        let mut online = OnlineCorrelation::bootstrap(
+            &ds.graph,
+            &ds.history,
+            &CorrelationConfig {
+                min_co_observations: 24,
+                ..CorrelationConfig::default()
+            },
+        );
+        let config = InfluenceConfig::default();
+        let mut corr = online.correlation_graph();
+        let mut model = InfluenceModel::build(&corr, &config);
+        let mut nontrivial_days = 0;
+        for (i, day) in ds.test_days.iter().enumerate() {
+            let delta = online.ingest_day_delta(day).unwrap();
+            let summary = corr.apply_delta(&delta.changes).unwrap();
+            let rebuilt = InfluenceModel::build(&corr, &config);
+            for threads in [1usize, 2, 8] {
+                let patched = model.patched(&corr, &config, &summary.touched, threads);
+                assert_eq!(
+                    patched.offsets, rebuilt.offsets,
+                    "day {i} threads {threads}"
+                );
+                assert_eq!(patched.roads, rebuilt.roads, "day {i} threads {threads}");
+                let same_bits = patched
+                    .q
+                    .iter()
+                    .zip(&rebuilt.q)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same_bits, "day {i} threads {threads}");
+            }
+            model = model.patched(&corr, &config, &summary.touched, 1);
+            if !delta.changes.is_empty() {
+                nontrivial_days += 1;
+            }
+        }
+        assert!(nontrivial_days > 0, "ingest sequence never changed an edge");
     }
 
     #[test]

@@ -61,6 +61,8 @@ pub enum ModelError {
     InvalidVariable(usize),
     /// A self-coupling edge was requested.
     SelfEdge(usize),
+    /// A coupling patch named a variable pair no edge connects.
+    MissingEdge(usize, usize),
     /// Exact inference was asked for more free variables than feasible.
     TooLargeForExact {
         /// Number of unobserved variables in the query.
@@ -75,6 +77,9 @@ impl std::fmt::Display for ModelError {
         match self {
             ModelError::InvalidVariable(v) => write!(f, "invalid variable {v}"),
             ModelError::SelfEdge(v) => write!(f, "self-edge on variable {v}"),
+            ModelError::MissingEdge(u, v) => {
+                write!(f, "no coupling edge between variables {u} and {v}")
+            }
             ModelError::TooLargeForExact { free_vars, limit } => write!(
                 f,
                 "exact inference over {free_vars} free variables exceeds limit {limit}"

@@ -159,6 +159,35 @@ impl PairwiseMrf {
         self.slots(v).len()
     }
 
+    /// Re-weights the (first) coupling edge between `u` and `v` in
+    /// place, clamping like [`MrfBuilder::add_edge`]. Both directed
+    /// slots are patched, preserving the CSR symmetry invariant, and
+    /// the result is bit-identical to rebuilding the model with the
+    /// new weight (build copies the clamped weight into both
+    /// directions verbatim).
+    ///
+    /// The slot is found by scanning `u`'s adjacency row — rows are
+    /// short (correlation-graph degrees are single digits) and the
+    /// scan assumes nothing about row order. With duplicate edges
+    /// only the first factor is touched; the incremental-retrain
+    /// caller builds one factor per correlated pair.
+    pub fn set_coupling(&mut self, u: usize, v: usize, same_prob: f64) -> Result<()> {
+        if u >= self.num_vars() {
+            return Err(ModelError::InvalidVariable(u));
+        }
+        if v >= self.num_vars() {
+            return Err(ModelError::InvalidVariable(v));
+        }
+        let d = self
+            .slots(u)
+            .find(|&d| self.targets[d] as usize == v)
+            .ok_or(ModelError::MissingEdge(u, v))?;
+        let p = clamp_prob(same_prob);
+        self.same_prob[d] = p;
+        self.same_prob[self.reverse[d] as usize] = p;
+        Ok(())
+    }
+
     /// Unnormalised joint weight of a full assignment — the product of
     /// all node priors and edge potentials. Exposed for testing and for
     /// the exact enumerator.
@@ -251,6 +280,42 @@ mod tests {
         let disagree = m.joint_weight(&[true, false]);
         // Two factors of 0.9 vs two of 0.1: ratio 81.
         assert!((agree / disagree - 81.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn set_coupling_matches_rebuild_bitwise() {
+        let build = |w02: f64| {
+            let mut b = MrfBuilder::new(4);
+            b.set_prior(1, 0.7);
+            b.add_edge(0, 1, 0.8).unwrap();
+            b.add_edge(0, 2, w02).unwrap();
+            b.add_edge(2, 3, 0.4).unwrap();
+            b.build()
+        };
+        for w in [0.55, 0.1, 1.5, -0.2] {
+            let mut patched = build(0.6);
+            // Patch through either endpoint order; both must land on
+            // the same undirected edge.
+            patched.set_coupling(2, 0, w).unwrap();
+            assert_eq!(patched, build(w), "w={w}");
+        }
+    }
+
+    #[test]
+    fn set_coupling_rejects_missing_edge() {
+        let mut b = MrfBuilder::new(3);
+        b.add_edge(0, 1, 0.8).unwrap();
+        let mut m = b.build();
+        let before = m.clone();
+        assert_eq!(
+            m.set_coupling(1, 2, 0.9),
+            Err(ModelError::MissingEdge(1, 2))
+        );
+        assert_eq!(
+            m.set_coupling(0, 7, 0.9),
+            Err(ModelError::InvalidVariable(7))
+        );
+        assert_eq!(m, before);
     }
 
     #[test]

@@ -55,6 +55,161 @@ pub fn shrunk_fit(x: &Matrix, y: &[f64], lambda: f64, prior: Option<&[f64]>) -> 
     ch.solve(&rhs)
 }
 
+/// A streaming normal-equation accumulator: the Gram matrix `XᵀX`, the
+/// moment vector `Xᵀy`, and the row count of a design that is never
+/// materialised.
+///
+/// Rows are folded one at a time in call order, so two accumulators fed
+/// the same row sequence hold bit-identical state — the property the
+/// incremental trainer leans on: continuing a fold with new rows equals
+/// refolding the whole extended sequence from scratch. `merge` adds
+/// another accumulator's sums entrywise (index order), which is how
+/// per-road systems combine into a class-level system deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GramSystem {
+    gram: Matrix,
+    rhs: Vec<f64>,
+    rows: usize,
+}
+
+impl GramSystem {
+    /// An empty system over `dim` features.
+    pub fn new(dim: usize) -> GramSystem {
+        GramSystem {
+            gram: Matrix::zeros(dim, dim),
+            rhs: vec![0.0; dim],
+            rows: 0,
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// Rows folded so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Folds one `(x, y)` row into the sums. `x.len()` must equal
+    /// [`GramSystem::dim`].
+    pub fn push_row(&mut self, x: &[f64], y: f64) {
+        debug_assert_eq!(x.len(), self.dim());
+        let dim = self.rhs.len();
+        for i in 0..dim {
+            let xi = x[i];
+            for (j, &xj) in x.iter().enumerate().take(dim) {
+                self.gram[(i, j)] += xi * xj;
+            }
+            self.rhs[i] += y * xi;
+        }
+        self.rows += 1;
+    }
+
+    /// Adds `other`'s sums entrywise (and its row count) into `self`.
+    pub fn merge(&mut self, other: &GramSystem) {
+        debug_assert_eq!(self.dim(), other.dim());
+        let dim = self.rhs.len();
+        for i in 0..dim {
+            for j in 0..dim {
+                self.gram[(i, j)] += other.gram[(i, j)];
+            }
+            self.rhs[i] += other.rhs[i];
+        }
+        self.rows += other.rows;
+    }
+
+    /// Resets the sums to zero.
+    pub fn clear(&mut self) {
+        let dim = self.rhs.len();
+        self.gram = Matrix::zeros(dim, dim);
+        self.rhs.fill(0.0);
+        self.rows = 0;
+    }
+}
+
+/// [`shrunk_fit`] on pre-accumulated normal equations: minimises
+/// `||X beta - y||^2 + lambda ||beta - prior||^2` given only `XᵀX` and
+/// `Xᵀy` as carried by a [`GramSystem`].
+///
+/// A system with zero rows (or zero dimension) is rejected with
+/// [`LinalgError::Empty`], mirroring the design-matrix path.
+pub fn shrunk_fit_gram(sys: &GramSystem, lambda: f64, prior: Option<&[f64]>) -> Result<Vec<f64>> {
+    if sys.rows == 0 || sys.dim() == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if let Some(p) = prior {
+        if p.len() != sys.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "shrunk_fit_gram prior",
+                lhs: (sys.rows, sys.dim()),
+                rhs: (p.len(), 1),
+            });
+        }
+    }
+    let mut gram = sys.gram.clone();
+    gram.add_diag(lambda);
+    let mut rhs = sys.rhs.clone();
+    if let Some(p) = prior {
+        for (r, pi) in rhs.iter_mut().zip(p) {
+            *r += lambda * pi;
+        }
+    }
+    let ch = Cholesky::factor(&gram)?;
+    ch.solve(&rhs)
+}
+
+/// [`hierarchical_fit`] on pre-accumulated normal equations: the pooled
+/// level-2 system is the entrywise sum of every non-empty group's
+/// [`GramSystem`] in group order, and each non-empty group is then
+/// shrunk towards the pooled coefficients. Groups with zero rows receive
+/// the global coefficients verbatim.
+pub fn hierarchical_fit_grams(
+    groups: &[GramSystem],
+    lambda_global: f64,
+    lambda_group: f64,
+) -> Result<HierarchicalFit> {
+    if groups.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    let dim = groups
+        .iter()
+        .map(|g| g.dim())
+        .find(|&d| d > 0)
+        .ok_or(LinalgError::Empty)?;
+    let mut pooled = GramSystem::new(dim);
+    for g in groups {
+        if g.rows == 0 {
+            continue;
+        }
+        if g.dim() != dim {
+            return Err(LinalgError::DimensionMismatch {
+                op: "hierarchical_fit_grams",
+                lhs: (g.rows, g.dim()),
+                rhs: (g.rows, dim),
+            });
+        }
+        pooled.merge(g);
+    }
+    if pooled.rows == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let mut gram = pooled.gram;
+    gram.add_diag(lambda_global.max(1e-12));
+    let global = Cholesky::factor(&gram)?.solve(&pooled.rhs)?;
+
+    let mut per_group = Vec::with_capacity(groups.len());
+    for g in groups {
+        if g.rows == 0 {
+            per_group.push(global.clone());
+        } else {
+            per_group.push(shrunk_fit_gram(g, lambda_group, Some(&global))?);
+        }
+    }
+    Ok(HierarchicalFit { global, per_group })
+}
+
 /// A fitted two-level hierarchical regression.
 ///
 /// Level 2 pools all groups' data into a single ridge fit (`global`);
@@ -229,5 +384,93 @@ mod tests {
         let g0 = (design(&[&[1.0, 2.0]]), vec![1.0]);
         let g1 = (design(&[&[1.0]]), vec![1.0]);
         assert!(hierarchical_fit(&[g0, g1], 1.0, 1.0).is_err());
+    }
+
+    fn folded(rows: &[(&[f64], f64)]) -> GramSystem {
+        let mut sys = GramSystem::new(rows[0].0.len());
+        for &(x, y) in rows {
+            sys.push_row(x, y);
+        }
+        sys
+    }
+
+    #[test]
+    fn gram_fit_matches_design_matrix_fit() {
+        let rows: [(&[f64], f64); 3] =
+            [(&[1.0, 0.5], 3.0), (&[0.0, 1.0], -1.0), (&[1.0, 1.0], 2.0)];
+        let sys = folded(&rows);
+        let x = design(&[rows[0].0, rows[1].0, rows[2].0]);
+        let y = [rows[0].1, rows[1].1, rows[2].1];
+        let a = shrunk_fit(&x, &y, 0.3, Some(&[0.1, -0.2])).unwrap();
+        let b = shrunk_fit_gram(&sys, 0.3, Some(&[0.1, -0.2])).unwrap();
+        for (ai, bi) in a.iter().zip(&b) {
+            assert!((ai - bi).abs() < 1e-12, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn gram_fold_continuation_is_bit_identical_to_refold() {
+        // The incremental contract in miniature: folding rows in two
+        // batches must equal folding them in one pass, bit for bit.
+        let rows: [(&[f64], f64); 4] = [
+            (&[1.0, 0.3], 1.5),
+            (&[0.7, 0.0], -0.25),
+            (&[1.0, 2.0], 4.0),
+            (&[0.1, 0.9], 0.75),
+        ];
+        let whole = folded(&rows);
+        let mut staged = folded(&rows[..2]);
+        for &(x, y) in &rows[2..] {
+            staged.push_row(x, y);
+        }
+        assert_eq!(staged, whole);
+        let a = shrunk_fit_gram(&whole, 0.5, None).unwrap();
+        let b = shrunk_fit_gram(&staged, 0.5, None).unwrap();
+        for (ai, bi) in a.iter().zip(&b) {
+            assert_eq!(ai.to_bits(), bi.to_bits());
+        }
+    }
+
+    #[test]
+    fn gram_merge_orders_like_group_concatenation() {
+        let a = folded(&[(&[1.0, 0.0], 1.0), (&[0.0, 1.0], 2.0)]);
+        let b = folded(&[(&[1.0, 1.0], 3.0)]);
+        let mut class = GramSystem::new(2);
+        class.merge(&a);
+        class.merge(&b);
+        assert_eq!(class.rows(), 3);
+        let fit = shrunk_fit_gram(&class, 1e-9, None).unwrap();
+        let x = design(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let direct = shrunk_fit(&x, &[1.0, 2.0, 3.0], 1e-9, None).unwrap();
+        for (f, d) in fit.iter().zip(&direct) {
+            assert!((f - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gram_hierarchy_matches_matrix_hierarchy() {
+        let g0 = (
+            design(&[&[1.0], &[2.0], &[3.0], &[4.0]]),
+            vec![2.0, 4.0, 6.0, 8.0],
+        );
+        let g1 = (design(&[&[1.0]]), vec![10.0]);
+        let want = hierarchical_fit(&[g0, g1], 1e-6, 1.0).unwrap();
+        let s0 = folded(&[(&[1.0], 2.0), (&[2.0], 4.0), (&[3.0], 6.0), (&[4.0], 8.0)]);
+        let s1 = folded(&[(&[1.0], 10.0)]);
+        let got = hierarchical_fit_grams(&[s0, s1], 1e-6, 1.0).unwrap();
+        assert!((want.global[0] - got.global[0]).abs() < 1e-9);
+        for (w, g) in want.per_group.iter().zip(&got.per_group) {
+            assert!((w[0] - g[0]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gram_empty_group_gets_global_and_all_empty_is_rejected() {
+        let s0 = folded(&[(&[1.0], 3.0), (&[2.0], 6.0)]);
+        let empty = GramSystem::new(1);
+        let fit = hierarchical_fit_grams(&[s0, empty.clone()], 1e-6, 1.0).unwrap();
+        assert_eq!(fit.per_group[1], fit.global);
+        assert!(hierarchical_fit_grams(&[empty], 1.0, 1.0).is_err());
+        assert!(shrunk_fit_gram(&GramSystem::new(2), 1.0, None).is_err());
     }
 }

@@ -142,7 +142,7 @@ impl Daemon {
     /// Trains the initial model from `train_state`, binds the listener,
     /// and starts the acceptor. Returns once the daemon is reachable.
     pub fn spawn(
-        train_state: TrainState,
+        mut train_state: TrainState,
         config: DaemonConfig,
     ) -> Result<DaemonHandle, ServerError> {
         let estimator = train_state.train().map_err(ServerError::Core)?;
@@ -182,6 +182,7 @@ impl Daemon {
                     payload.clock,
                     payload.days,
                     payload.online,
+                    payload.context,
                 );
                 spawn_inner(
                     train_state,
@@ -193,7 +194,7 @@ impl Daemon {
                 )
             }
             None => {
-                let train_state = TrainState::new(
+                let mut train_state = TrainState::new(
                     inputs.graph,
                     &inputs.history,
                     inputs.seeds,
@@ -274,6 +275,7 @@ fn persist_epoch(
         train.days(),
         train.online(),
         estimator,
+        train.context(),
         shared.snapshot_hash,
     );
     match snapshot::write_snapshot(dir, shared.config.snapshot_keep, epoch, &bytes) {
@@ -680,8 +682,10 @@ fn serve_ingest(shared: &Arc<Shared>, rows: Vec<Vec<f64>>) -> Response {
         }
     }
     match train.ingest_and_train(day) {
-        Ok((estimator, days_ingested)) => {
-            let epoch = shared.model.publish(estimator);
+        Ok(outcome) => {
+            let days_ingested = outcome.days_ingested;
+            shared.metrics.retrain(outcome.mode, &outcome.stats);
+            let epoch = shared.model.publish(outcome.estimator);
             shared.metrics.set_epoch(epoch);
             shared.metrics.set_days_ingested(days_ingested);
             // Persist while still holding the train lock: the written

@@ -7,6 +7,8 @@
 
 use crate::protocol::{CommandStats, StatsReply, LATENCY_BUCKET_BOUNDS_US};
 use crate::snapshot::RejectReason;
+use crate::state::RetrainMode;
+use crowdspeed::prelude::RetrainStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -44,6 +46,15 @@ pub struct Metrics {
     rejected_connections: AtomicU64,
     worker_panics: AtomicU64,
     retrain_failures: AtomicU64,
+    /// One count per [`RetrainMode`], indexed by discriminant.
+    retrains: [AtomicU64; RetrainMode::ALL.len()],
+    /// Cumulative correlation edges updated/added/removed by
+    /// incremental retrains.
+    retrain_edges_changed: AtomicU64,
+    /// Cumulative HLM design rows folded by incremental retrains.
+    retrain_rows_folded: AtomicU64,
+    /// Cumulative wall time spent inside incremental retrains.
+    retrain_incremental_ms: AtomicU64,
     epoch: AtomicU64,
     days_ingested: AtomicU64,
     snapshot_writes: AtomicU64,
@@ -72,6 +83,10 @@ impl Metrics {
             rejected_connections: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             retrain_failures: AtomicU64::new(0),
+            retrains: Default::default(),
+            retrain_edges_changed: AtomicU64::new(0),
+            retrain_rows_folded: AtomicU64::new(0),
+            retrain_incremental_ms: AtomicU64::new(0),
             epoch: AtomicU64::new(epoch),
             days_ingested: AtomicU64::new(days_ingested),
             snapshot_writes: AtomicU64::new(0),
@@ -129,6 +144,27 @@ impl Metrics {
     /// passing the shape check; the previous model keeps serving.
     pub fn retrain_failure(&self) {
         self.retrain_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one successful `INGEST_DAY` retrain by the path it took,
+    /// folding the incremental path's patch telemetry into the
+    /// cumulative `retrain_*` counters (the full paths rebuild every
+    /// layer, so their `stats` are zeroed and contribute nothing).
+    pub fn retrain(&self, mode: RetrainMode, stats: &RetrainStats) {
+        self.retrains[mode as usize].fetch_add(1, Ordering::Relaxed);
+        let edges = (stats.edges_updated + stats.edges_added + stats.edges_removed) as u64;
+        self.retrain_edges_changed
+            .fetch_add(edges, Ordering::Relaxed);
+        self.retrain_rows_folded
+            .fetch_add(stats.fold.rows_folded as u64, Ordering::Relaxed);
+        if mode == RetrainMode::Incremental {
+            let ms = stats.corr_ms
+                + stats.trend_ms
+                + stats.influence_ms
+                + stats.hlm_fold_ms
+                + stats.hlm_fit_ms;
+            self.retrain_incremental_ms.fetch_add(ms, Ordering::Relaxed);
+        }
     }
 
     /// Publishes a new model epoch to the gauge.
@@ -207,6 +243,14 @@ impl Metrics {
             rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             retrain_failures: self.retrain_failures.load(Ordering::Relaxed),
+            retrains: RetrainMode::ALL
+                .iter()
+                .zip(&self.retrains)
+                .map(|(m, c)| (m.name().to_string(), c.load(Ordering::Relaxed)))
+                .collect(),
+            retrain_edges_changed: self.retrain_edges_changed.load(Ordering::Relaxed),
+            retrain_rows_folded: self.retrain_rows_folded.load(Ordering::Relaxed),
+            retrain_incremental_ms: self.retrain_incremental_ms.load(Ordering::Relaxed),
             snapshot_writes: self.snapshot_writes.load(Ordering::Relaxed),
             snapshot_write_failures: self.snapshot_write_failures.load(Ordering::Relaxed),
             snapshot_resumed: self.snapshot_resumed.load(Ordering::Relaxed),
@@ -244,6 +288,19 @@ mod tests {
         m.reject_connection();
         m.worker_panic();
         m.retrain_failure();
+        m.retrain(
+            RetrainMode::Incremental,
+            &RetrainStats {
+                edges_updated: 3,
+                edges_added: 1,
+                edges_removed: 1,
+                corr_ms: 2,
+                hlm_fit_ms: 5,
+                ..RetrainStats::default()
+            },
+        );
+        m.retrain(RetrainMode::Incremental, &RetrainStats::default());
+        m.retrain(RetrainMode::FullCold, &RetrainStats::default());
         m.set_epoch(7);
         m.set_days_ingested(6);
         m.snapshot_write();
@@ -280,6 +337,17 @@ mod tests {
         assert_eq!(snap.rejected_connections, 2);
         assert_eq!(snap.worker_panics, 1);
         assert_eq!(snap.retrain_failures, 1);
+        let retrain = |name: &str| {
+            snap.retrains
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, c)| *c)
+        };
+        assert_eq!(retrain("incremental"), Some(2));
+        assert_eq!(retrain("full_cold"), Some(1));
+        assert_eq!(retrain("full_reanchor"), Some(0));
+        assert_eq!(snap.retrain_edges_changed, 5);
+        assert_eq!(snap.retrain_incremental_ms, 7);
     }
 
     #[test]

@@ -185,6 +185,17 @@ pub struct StatsReply {
     /// Retrains that failed (panic or training error) after the shape
     /// check; each left the previous model epoch serving.
     pub retrain_failures: u64,
+    /// Successful `INGEST_DAY` retrains by path taken (`incremental`,
+    /// `full_cold`, `full_reanchor`).
+    pub retrains: Vec<(String, u64)>,
+    /// Cumulative correlation edges updated, added, or removed by
+    /// incremental retrains.
+    pub retrain_edges_changed: u64,
+    /// Cumulative HLM design rows folded by incremental retrains.
+    pub retrain_rows_folded: u64,
+    /// Cumulative wall-clock milliseconds spent inside incremental
+    /// retrains (all patch stages plus the coefficient re-solve).
+    pub retrain_incremental_ms: u64,
     /// Snapshot files written (initial train, post-ingest publishes,
     /// and explicit `SNAPSHOT` commands).
     pub snapshot_writes: u64,
@@ -458,6 +469,28 @@ impl Response {
                     Json::Num(stats.retrain_failures as f64),
                 ),
                 (
+                    "retrains".into(),
+                    Json::Obj(
+                        stats
+                            .retrains
+                            .iter()
+                            .map(|(name, count)| (name.clone(), Json::Num(*count as f64)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "retrain_edges_changed".into(),
+                    Json::Num(stats.retrain_edges_changed as f64),
+                ),
+                (
+                    "retrain_rows_folded".into(),
+                    Json::Num(stats.retrain_rows_folded as f64),
+                ),
+                (
+                    "retrain_incremental_ms".into(),
+                    Json::Num(stats.retrain_incremental_ms as f64),
+                ),
+                (
                     "snapshot_writes".into(),
                     Json::Num(stats.snapshot_writes as f64),
                 ),
@@ -590,6 +623,24 @@ impl Response {
                     retrain_failures: field(&json, "retrain_failures")?
                         .as_u64()
                         .ok_or("retrain_failures: bad integer")?,
+                    retrains: match field(&json, "retrains")? {
+                        Json::Obj(fields) => fields
+                            .iter()
+                            .map(|(name, c)| {
+                                Ok((name.clone(), c.as_u64().ok_or("retrains: bad integer")?))
+                            })
+                            .collect::<Result<Vec<_>, String>>()?,
+                        _ => return Err("retrains: expected object".into()),
+                    },
+                    retrain_edges_changed: field(&json, "retrain_edges_changed")?
+                        .as_u64()
+                        .ok_or("retrain_edges_changed: bad integer")?,
+                    retrain_rows_folded: field(&json, "retrain_rows_folded")?
+                        .as_u64()
+                        .ok_or("retrain_rows_folded: bad integer")?,
+                    retrain_incremental_ms: field(&json, "retrain_incremental_ms")?
+                        .as_u64()
+                        .ok_or("retrain_incremental_ms: bad integer")?,
                     snapshot_writes: field(&json, "snapshot_writes")?
                         .as_u64()
                         .ok_or("snapshot_writes: bad integer")?,
@@ -1015,6 +1066,14 @@ mod tests {
                 rejected_connections: 3,
                 worker_panics: 2,
                 retrain_failures: 1,
+                retrains: vec![
+                    ("incremental".into(), 7),
+                    ("full_cold".into(), 1),
+                    ("full_reanchor".into(), 0),
+                ],
+                retrain_edges_changed: 42,
+                retrain_rows_folded: 1234,
+                retrain_incremental_ms: 88,
                 snapshot_writes: 4,
                 snapshot_write_failures: 1,
                 snapshot_resumed: 1,

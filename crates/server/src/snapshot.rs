@@ -57,8 +57,12 @@ use trafficsim::{SlotClock, SpeedField};
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 4] = b"CSSN";
 
-/// Format version written by this build.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// Format version written by this build. Version 2 added the frozen
+/// training context graph after the estimator (deduplicated to one
+/// flag byte when it equals the estimator's live graph); version-1
+/// files are refused with [`RejectReason::BadVersion`] and the daemon
+/// falls back to a full retrain.
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 /// Extension of snapshot files (`epoch-<epoch>.csnap`).
 pub const SNAPSHOT_EXT: &str = "csnap";
@@ -178,15 +182,25 @@ pub struct SnapshotPayload {
     pub online: OnlineCorrelation,
     /// The published estimator, decoded ready to serve.
     pub estimator: TrafficEstimator,
+    /// The frozen training context the writing process was on — what
+    /// keeps a resumed daemon's `INGEST_DAY` trajectory bit-identical
+    /// to a never-restarted one's.
+    pub context: CorrelationGraph,
 }
 
 /// Serialises one epoch (header + checksummed payload).
+///
+/// The trailing context section is deduplicated: when `context`
+/// encodes byte-identically to the estimator's live correlation graph
+/// (fresh bootstrap, post re-anchor) a single `0` flag byte stands in
+/// for it; otherwise a `1` flag precedes the explicit graph.
 pub fn encode_snapshot(
     epoch: u64,
     clock: SlotClock,
     days: &[SpeedField],
     online: &OnlineCorrelation,
     estimator: &TrafficEstimator,
+    context: &CorrelationGraph,
     config_hash: u64,
 ) -> Bytes {
     let mut body = BytesMut::new();
@@ -200,6 +214,16 @@ pub fn encode_snapshot(
     }
     online.encode_into(&mut body);
     estimator.encode_snapshot_into(&mut body);
+    let mut ctx_bytes = BytesMut::new();
+    codec::encode_correlation_graph(context, &mut ctx_bytes);
+    let mut live_bytes = BytesMut::new();
+    codec::encode_correlation_graph(estimator.trend_model().correlation(), &mut live_bytes);
+    if ctx_bytes == live_bytes {
+        body.put_u8(0);
+    } else {
+        body.put_u8(1);
+        body.put_slice(&ctx_bytes);
+    }
     let mut out = BytesMut::with_capacity(HEADER_LEN + body.len());
     out.put_slice(SNAPSHOT_MAGIC);
     out.put_u16_le(SNAPSHOT_VERSION);
@@ -279,9 +303,14 @@ fn decode_payload(payload: &[u8]) -> Result<SnapshotPayload, codec::DecodeError>
     }
     let online = OnlineCorrelation::decode_from(&mut buf)?;
     let estimator = TrafficEstimator::decode_snapshot_from(&mut buf)?;
+    let context = match codec::get_u8(&mut buf)? {
+        0 => estimator.trend_model().correlation().clone(),
+        1 => codec::decode_correlation_graph(&mut buf)?,
+        flag => return Err(DecodeError::Corrupt(format!("unknown context flag {flag}"))),
+    };
     if buf.remaining() != 0 {
         return Err(DecodeError::Corrupt(format!(
-            "{} trailing bytes after the estimator",
+            "{} trailing bytes after the training context",
             buf.remaining()
         )));
     }
@@ -291,6 +320,7 @@ fn decode_payload(payload: &[u8]) -> Result<SnapshotPayload, codec::DecodeError>
         days,
         online,
         estimator,
+        context,
     })
 }
 

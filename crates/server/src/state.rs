@@ -15,6 +15,7 @@
 //!   they started with; requests admitted after see the new epoch.
 //!   There is no window in which an estimate mixes two models.
 
+use crowdspeed::online::IngestDelta;
 use crowdspeed::prelude::*;
 use crowdspeed::CoreError;
 use parking_lot::RwLock;
@@ -125,14 +126,83 @@ pub struct TrainInputs {
     pub config: EstimatorConfig,
 }
 
+/// How one `INGEST_DAY` retrain was carried out — the label behind the
+/// `retrain_*` metrics family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrainMode {
+    /// The ingest delta was propagated through the standing
+    /// [`IncrementalTrainer`]: `O(changed)` work per layer.
+    Incremental = 0,
+    /// No trainer was standing (first ingest after a snapshot resume,
+    /// or the previous retrain failed), so one was rebuilt from
+    /// scratch **under the existing frozen context** — preserving the
+    /// model trajectory a non-restarted daemon would have followed.
+    FullCold = 1,
+    /// The delta touched more of the live graph than
+    /// [`EstimatorConfig::max_incremental_fraction`] allows, so the
+    /// training context was re-anchored to the current live graph and
+    /// the trainer rebuilt from scratch.
+    FullReanchor = 2,
+}
+
+impl RetrainMode {
+    /// Every mode, in metrics order (index = discriminant).
+    pub const ALL: [RetrainMode; 3] = [
+        RetrainMode::Incremental,
+        RetrainMode::FullCold,
+        RetrainMode::FullReanchor,
+    ];
+
+    /// Stable metrics name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RetrainMode::Incremental => "incremental",
+            RetrainMode::FullCold => "full_cold",
+            RetrainMode::FullReanchor => "full_reanchor",
+        }
+    }
+}
+
+/// One successful `INGEST_DAY` retrain: the refreshed estimator plus
+/// the telemetry the daemon folds into `STATS`.
+pub struct RetrainOutcome {
+    /// The freshly trained estimator, ready to publish.
+    pub estimator: TrafficEstimator,
+    /// Days the online model has ingested after this one.
+    pub days_ingested: u64,
+    /// Which path produced the estimator.
+    pub mode: RetrainMode,
+    /// Per-layer patch telemetry (zeroed on the full paths, which
+    /// rebuild every layer instead of patching).
+    pub stats: RetrainStats,
+    /// Fraction of the pre-ingest live graph's edges this day's delta
+    /// touched — the incremental-vs-full decision input.
+    pub coverage: f64,
+}
+
 /// Everything needed to retrain off the serving path: the road graph,
 /// the growing day history, the online correlation model, and the seed
 /// set + estimator configuration frozen at startup.
+///
+/// # The frozen training context
+///
+/// `context` is the correlation graph the estimator's *training-side*
+/// layers (history statistics pairing, HLM phase-A trends, training
+/// folds) are computed over. It is frozen at bootstrap and only moves
+/// when a re-anchor fallback fires; the *serving-side* layers (trend
+/// MRFs, influence/coverage) always follow the live, delta-patched
+/// graph. Freezing is what makes `INGEST_DAY` incremental — the HLM
+/// accumulators stay valid across days — and the context's evolution
+/// is a deterministic function of the ingested day sequence, so a
+/// fresh [`TrainState`] fed the same days reproduces the exact same
+/// published models ([`TrainState::train`] is that reference).
 pub struct TrainState {
     graph: RoadGraph,
     clock: SlotClock,
     days: Vec<SpeedField>,
     online: crowdspeed::online::OnlineCorrelation,
+    context: CorrelationGraph,
+    trainer: Option<IncrementalTrainer>,
     seeds: Vec<roadnet::RoadId>,
     config: EstimatorConfig,
 }
@@ -148,11 +218,14 @@ impl TrainState {
         config: EstimatorConfig,
     ) -> TrainState {
         let online = crowdspeed::online::OnlineCorrelation::bootstrap(&graph, history, corr_config);
+        let context = online.correlation_graph();
         TrainState {
             graph,
             clock: *history.clock(),
             days: history.days().to_vec(),
             online,
+            context,
+            trainer: None,
             seeds,
             config,
         }
@@ -164,6 +237,12 @@ impl TrainState {
     /// skip that work — and a subsequent [`TrainState::train`] or
     /// `INGEST_DAY` continues the identical model trajectory the
     /// writing process was on.
+    /// `context` is the frozen training context the writing process was
+    /// on (carried by the snapshot) — resuming must **not** re-anchor
+    /// to the live graph, or the resumed trajectory would diverge from
+    /// the one a non-restarted daemon ingesting the same days follows.
+    /// No trainer is standing after a resume; the first `INGEST_DAY`
+    /// rebuilds one under this context ([`RetrainMode::FullCold`]).
     pub fn resume(
         graph: RoadGraph,
         seeds: Vec<roadnet::RoadId>,
@@ -171,12 +250,15 @@ impl TrainState {
         clock: SlotClock,
         days: Vec<SpeedField>,
         online: crowdspeed::online::OnlineCorrelation,
+        context: CorrelationGraph,
     ) -> TrainState {
         TrainState {
             graph,
             clock,
             days,
             online,
+            context,
+            trainer: None,
             seeds,
             config,
         }
@@ -212,60 +294,187 @@ impl TrainState {
         &self.config
     }
 
-    /// Trains a fresh estimator from the current history and the live
-    /// correlation counters. Deterministic given the same ingested
-    /// days, which is what lets the integration suite assert a
-    /// post-swap daemon serves bit-identical estimates to an
-    /// independently trained model.
-    pub fn train(&self) -> Result<TrafficEstimator, CoreError> {
-        let history = HistoricalData::from_days(self.clock, self.days.clone());
-        TrafficEstimator::train(
+    /// The frozen training context (see the type-level doc).
+    pub fn context(&self) -> &CorrelationGraph {
+        &self.context
+    }
+
+    /// Whether an [`IncrementalTrainer`] is standing, ready to take
+    /// the next ingest delta-incrementally.
+    pub fn has_trainer(&self) -> bool {
+        self.trainer.is_some()
+    }
+
+    /// Edge count of the live correlation graph — the coverage
+    /// denominator. Read off the standing trainer when there is one;
+    /// materialised from the online counters otherwise (the two are
+    /// bit-identical by the delta-application invariant).
+    fn live_edges(&self) -> usize {
+        match &self.trainer {
+            Some(t) => t.live_correlation().num_edges(),
+            None => self.online.correlation_graph().num_edges(),
+        }
+    }
+
+    /// Rebuilds the incremental trainer from scratch under the current
+    /// frozen context with live layers at `live` (`None` = the
+    /// context itself), stores it, and returns its estimator.
+    fn rebuild_trainer(
+        &mut self,
+        history: &HistoricalData,
+        live: Option<&CorrelationGraph>,
+    ) -> Result<TrafficEstimator, CoreError> {
+        let trainer = IncrementalTrainer::rebuild(
             &self.graph,
-            &history,
+            history,
             self.online.stats(),
-            &self.online.correlation_graph(),
+            &self.context,
+            live,
             &self.seeds,
             &self.config,
-        )
+        )?;
+        let estimator = trainer.estimator()?;
+        self.trainer = Some(trainer);
+        Ok(estimator)
+    }
+
+    /// Applies the context policy for one ingested `delta`:
+    /// re-anchors the context to the live graph (and drops any
+    /// standing trainer) when the delta's coverage of the pre-ingest
+    /// live graph exceeds `max_incremental_fraction`. Returns the
+    /// coverage and whether a re-anchor fired. Deterministic, so a
+    /// replayed day sequence reproduces the same context trajectory.
+    fn apply_context_policy(
+        &mut self,
+        delta: &IngestDelta,
+        live_edges_before: usize,
+    ) -> (f64, bool) {
+        let coverage = delta.coverage_fraction(live_edges_before);
+        let reanchor = coverage > self.config.max_incremental_fraction;
+        if reanchor {
+            self.context = self.online.correlation_graph();
+            self.trainer = None;
+        }
+        (coverage, reanchor)
+    }
+
+    /// Trains a fresh estimator from the current history: a full
+    /// rebuild under the frozen context, with the serving layers on
+    /// the live correlation graph. Deterministic given the same
+    /// ingested days — and **bit-identical** to what the incremental
+    /// path publishes after the same day sequence, which is what lets
+    /// the integration suite hold an out-of-process reference model.
+    /// The rebuilt trainer is kept standing, so a subsequent ingest
+    /// proceeds incrementally.
+    pub fn train(&mut self) -> Result<TrafficEstimator, CoreError> {
+        let history = HistoricalData::from_days(self.clock, self.days.clone());
+        let live = self.online.correlation_graph();
+        // Skip the duplicate serving-layer build when nothing has
+        // diverged from the context (fresh bootstrap, post re-anchor).
+        let live = if live.num_roads() == self.context.num_roads()
+            && live.edges() == self.context.edges()
+        {
+            None
+        } else {
+            Some(live)
+        };
+        self.rebuild_trainer(&history, live.as_ref())
     }
 
     /// Feeds one observed day into the online correlation model and
-    /// the training history. Rejects shape mismatches without mutating
-    /// either.
+    /// the training history, applying the same context policy the
+    /// retrain path uses (so a reference state fed days one at a time
+    /// stays on the daemon's exact trajectory). Rejects shape
+    /// mismatches without mutating anything. Any standing trainer is
+    /// dropped — this path does not advance it — leaving the next
+    /// [`TrainState::train`] or retrain to rebuild coherently.
     pub fn ingest_day(&mut self, day: SpeedField) -> Result<(), CoreError> {
-        self.online.ingest_day(&day)?;
+        let live_edges = self.live_edges();
+        let delta = self.online.ingest_day_delta(&day)?;
         self.days.push(day);
+        self.apply_context_policy(&delta, live_edges);
+        self.trainer = None;
         Ok(())
+    }
+
+    /// One `INGEST_DAY` retrain, choosing the cheapest sound path:
+    ///
+    /// * standing trainer + delta within the coverage budget →
+    ///   **incremental** ([`IncrementalTrainer::advance`], `O(changed)`
+    ///   per layer);
+    /// * delta over budget → **re-anchor**: context moves to the live
+    ///   graph, full rebuild;
+    /// * no standing trainer (resume, prior failure) → **cold
+    ///   rebuild** under the existing frozen context.
+    ///
+    /// All three publish bit-identical estimators to a from-scratch
+    /// [`TrainState`] fed the same day sequence.
+    fn retrain_inner(&mut self, day: SpeedField) -> Result<RetrainOutcome, CoreError> {
+        let live_edges = self.live_edges();
+        let delta = self.online.ingest_day_delta(&day)?;
+        self.days.push(day);
+        let (coverage, reanchor) = self.apply_context_policy(&delta, live_edges);
+        let history = HistoricalData::from_days(self.clock, self.days.clone());
+        let (mode, estimator, stats) = if reanchor {
+            // Context just moved to the live graph: live == context.
+            (
+                RetrainMode::FullReanchor,
+                self.rebuild_trainer(&history, None)?,
+                RetrainStats::default(),
+            )
+        } else if let Some(trainer) = self.trainer.as_mut() {
+            let (estimator, stats) = trainer.advance(&history, &delta)?;
+            (RetrainMode::Incremental, estimator, stats)
+        } else {
+            let live = self.online.correlation_graph();
+            (
+                RetrainMode::FullCold,
+                self.rebuild_trainer(&history, Some(&live))?,
+                RetrainStats::default(),
+            )
+        };
+        Ok(RetrainOutcome {
+            estimator,
+            days_ingested: self.days_ingested(),
+            mode,
+            stats,
+            coverage,
+        })
     }
 
     /// The daemon's fault-isolated retrain: folds `day` in and trains a
     /// new estimator, catching any panic along the way.
     ///
-    /// On a panic the online counters and day history are rolled back
-    /// to their pre-ingest snapshot, so a fault mid-fold cannot leave
-    /// half-updated statistics behind — the state either advances by
-    /// exactly one day with a freshly trained model, or not at all.
-    /// The caller keeps serving the previous epoch either way
+    /// On a panic the online counters, day history, and frozen context
+    /// are rolled back to their pre-ingest snapshot, so a fault
+    /// mid-fold cannot leave half-updated statistics behind — the
+    /// state either advances by exactly one day with a freshly trained
+    /// model, or not at all. On *any* failure the standing trainer is
+    /// dropped ([`IncrementalTrainer::advance`] may leave its layers
+    /// at different days); the next ingest cold-rebuilds under the
+    /// restored context, which is bit-identical to never having had a
+    /// trainer. The caller keeps serving the previous epoch either way
     /// (graceful degradation); `parking_lot` mutexes are not poisoned
     /// by design, so the train path stays usable after the rollback.
-    pub fn ingest_and_train(
-        &mut self,
-        day: SpeedField,
-    ) -> Result<(TrafficEstimator, u64), RetrainError> {
+    pub fn ingest_and_train(&mut self, day: SpeedField) -> Result<RetrainOutcome, RetrainError> {
         let online_snapshot = self.online.clone();
+        let context_snapshot = self.context.clone();
         let days_before = self.days.len();
         let this = &mut *self;
         let outcome = catch_unwind(AssertUnwindSafe(move || -> Result<_, CoreError> {
             crate::failpoint::fire("retrain");
-            this.ingest_day(day)?;
-            let estimator = this.train()?;
-            Ok(estimator)
+            this.retrain_inner(day)
         }));
         match outcome {
-            Ok(Ok(estimator)) => Ok((estimator, self.days_ingested())),
-            Ok(Err(e)) => Err(RetrainError::Core(e)),
+            Ok(Ok(outcome)) => Ok(outcome),
+            Ok(Err(e)) => {
+                self.trainer = None;
+                Err(RetrainError::Core(e))
+            }
             Err(payload) => {
                 self.online = online_snapshot;
+                self.context = context_snapshot;
+                self.trainer = None;
                 self.days.truncate(days_before);
                 Err(RetrainError::Panicked(panic_message(payload)))
             }

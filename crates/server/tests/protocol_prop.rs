@@ -160,6 +160,7 @@ proptest! {
         faults in (0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT),
         snaps in (0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..2, 0u64..MAX_EXACT),
         snapshot_rejects in prop::collection::vec(0u64..MAX_EXACT, 7usize),
+        retrains in (prop::collection::vec(0u64..MAX_EXACT, 3usize), 0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT),
         latency in prop::collection::vec(0u64..MAX_EXACT, LATENCY_BUCKET_BOUNDS_US.len() + 1),
     ) {
         let (rejected_overload, rejected_deadline, rejected_connections, worker_panics, retrain_failures) = faults;
@@ -182,6 +183,14 @@ proptest! {
             rejected_connections,
             worker_panics,
             retrain_failures,
+            retrains: ["incremental", "full_cold", "full_reanchor"]
+                .iter()
+                .zip(&retrains.0)
+                .map(|(&name, &count)| (name.to_string(), count))
+                .collect(),
+            retrain_edges_changed: retrains.1,
+            retrain_rows_folded: retrains.2,
+            retrain_incremental_ms: retrains.3,
             latency_counts: latency,
             snapshot_writes,
             snapshot_write_failures,

@@ -174,6 +174,24 @@ pub fn metro_medium(params: &DatasetParams) -> Dataset {
     Dataset::assemble("synth-metro", graph, SlotClock::quarter_hourly(), params)
 }
 
+/// Large ring-radial metropolis (≈4k roads, 15-minute slots) — sized
+/// so one ingested day is a small fraction of the network, which is
+/// what the incremental-retrain scaling experiment measures.
+pub fn metro_large(params: &DatasetParams) -> Dataset {
+    let graph = ring_radial_city(&RingRadialParams {
+        rings: 28,
+        spokes: 72,
+        ring_gap_m: 400.0,
+        ..RingRadialParams::default()
+    });
+    Dataset::assemble(
+        "synth-metro-large",
+        graph,
+        SlotClock::quarter_hourly(),
+        params,
+    )
+}
+
 /// Medium grid city (≈1.2k roads, 15-minute slots) — the "city B"
 /// stand-in of the evaluation.
 pub fn grid_medium(params: &DatasetParams) -> Dataset {

@@ -8,7 +8,7 @@ use trafficsim::dataset::{metro_small, DatasetParams};
 
 fn dataset() -> trafficsim::dataset::Dataset {
     metro_small(&DatasetParams {
-        training_days: 14,
+        training_days: 20,
         test_days: 2,
         ..DatasetParams::default()
     })
@@ -181,9 +181,11 @@ fn estimator_is_deterministic() {
 fn confidence_is_calibrated_with_error() {
     // The per-road confidence exposed by the estimator is the seed
     // objective's coverage term; if the objective is the right thing to
-    // maximise, high-confidence roads must carry lower error.
+    // maximise, high-confidence roads must carry lower error. Use a
+    // deliberately small seed budget so coverage (and thus confidence)
+    // varies meaningfully across roads.
     let ds = dataset();
-    let seeds = greedy_seeds(&ds, ds.graph.num_roads() / 10);
+    let seeds = greedy_seeds(&ds, ds.graph.num_roads() / 25);
     let stats = HistoryStats::compute(&ds.history);
     let corr = CorrelationGraph::build(
         &ds.graph,
@@ -201,19 +203,48 @@ fn confidence_is_calibrated_with_error() {
     )
     .unwrap();
 
+    // Per-road confidence is static across slots; rank the non-seed
+    // roads by it and compare the top half against the bottom half so
+    // the split stays balanced whatever the confidence scale is.
+    let probe = est.estimate(
+        0,
+        &seeds
+            .iter()
+            .map(|&s| (s, ds.test_days[0].speed(0, s)))
+            .collect::<Vec<_>>(),
+    );
+    let mut ranked: Vec<roadnet::RoadId> = ds
+        .graph
+        .road_ids()
+        .filter(|ro| !seeds.contains(ro))
+        .collect();
+    ranked.sort_by(|a, b| {
+        probe.confidence[a.index()]
+            .partial_cmp(&probe.confidence[b.index()])
+            .unwrap()
+            .then(a.index().cmp(&b.index()))
+    });
+    let split = ranked.len() / 2;
+    let is_high: Vec<bool> = {
+        let mut v = vec![false; ds.graph.num_roads()];
+        for road in &ranked[split..] {
+            v[road.index()] = true;
+        }
+        v
+    };
+
     let mut high_truth = Vec::new();
     let mut high_est = Vec::new();
     let mut low_truth = Vec::new();
     let mut low_est = Vec::new();
-    for (day, truth) in ds.test_days.iter().enumerate() {
+    for truth in ds.test_days.iter() {
         for slot in (0..ds.clock.slots_per_day).step_by(2) {
-            let _ = day;
             let obs: Vec<(roadnet::RoadId, f64)> =
                 seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
             let r = est.estimate(slot, &obs);
-            for road in ds.graph.road_ids().filter(|ro| !seeds.contains(ro)) {
+            for &road in &ranked {
                 let (t, e) = (truth.speed(slot, road), r.speeds[road.index()]);
-                if r.confidence[road.index()] >= 0.5 {
+                if is_high[road.index()] {
                     high_truth.push(t);
                     high_est.push(e);
                 } else {

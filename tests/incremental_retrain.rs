@@ -1,0 +1,348 @@
+//! Equivalence and fallback tests for the incremental `INGEST_DAY`
+//! retrain path.
+//!
+//! The hard contract under test: whatever path
+//! [`TrainState::ingest_and_train`] takes — delta-incremental advance,
+//! cold rebuild under the frozen context, or a coverage-triggered
+//! re-anchor — the published estimator is **bit-identical** to a
+//! from-scratch [`TrainState`] fed the same day sequence, at any
+//! thread count. Equality is asserted on the estimator's snapshot
+//! encoding, which captures every serving-relevant layer byte for
+//! byte.
+
+use crowdspeed::prelude::*;
+use crowdspeed_server::failpoint::{self, Action};
+use crowdspeed_server::state::{RetrainError, RetrainMode, TrainState};
+use roadnet::RoadId;
+use trafficsim::dataset::{metro_small, Dataset, DatasetParams};
+use trafficsim::SpeedField;
+
+fn dataset() -> Dataset {
+    metro_small(&DatasetParams {
+        training_days: 6,
+        test_days: 2,
+        ..DatasetParams::default()
+    })
+}
+
+fn seeds() -> Vec<RoadId> {
+    (0..12u32).map(|i| RoadId(i * 8)).collect()
+}
+
+fn corr_config() -> CorrelationConfig {
+    CorrelationConfig {
+        min_cotrend: 0.6,
+        min_co_observations: 6,
+        ..CorrelationConfig::default()
+    }
+}
+
+fn train_state(ds: &Dataset, config: EstimatorConfig) -> TrainState {
+    TrainState::new(
+        ds.graph.clone(),
+        &ds.history,
+        seeds(),
+        &corr_config(),
+        config,
+    )
+}
+
+/// The estimator's full snapshot encoding — the byte string two
+/// estimators must share to be considered the same model.
+fn estimator_bytes(est: &TrafficEstimator) -> Vec<u8> {
+    let mut buf = bytes::BytesMut::new();
+    est.encode_snapshot_into(&mut buf);
+    buf.to_vec()
+}
+
+/// Deterministic pseudo-random day: roughly `density`% of cells carry
+/// a speed, the rest stay NaN (unobserved).
+fn random_day(rng: &mut u64, slots: usize, roads: usize, density: u64) -> SpeedField {
+    let mut day = SpeedField::filled(slots, roads, f64::NAN);
+    for slot in 0..slots {
+        for road in 0..roads {
+            // xorshift64
+            *rng ^= *rng << 13;
+            *rng ^= *rng >> 7;
+            *rng ^= *rng << 17;
+            if *rng % 100 < density {
+                let speed = 5.0 + (*rng % 1000) as f64 / 12.5;
+                day.set_speed(slot, RoadId(road as u32), speed);
+            }
+        }
+    }
+    day
+}
+
+/// A day radically unlike the bootstrap history: every cell observed
+/// at one constant speed. Flips enough trend counters to guarantee a
+/// non-empty correlation delta.
+fn disruptive_day(slots: usize, roads: usize) -> SpeedField {
+    SpeedField::filled(slots, roads, 3.0)
+}
+
+/// The reference trajectory: a fresh state fed `days` one at a time,
+/// then trained from scratch. `ingest_day` applies the same context
+/// policy the retrain path does, so this reproduces the daemon's exact
+/// published model.
+fn scratch_reference(ds: &Dataset, config: EstimatorConfig, days: &[SpeedField]) -> Vec<u8> {
+    let mut state = train_state(ds, config);
+    for day in days {
+        state.ingest_day(day.clone()).expect("reference ingest");
+    }
+    estimator_bytes(&state.train().expect("reference trains"))
+}
+
+/// A config that never trips the coverage re-anchor, pinning the
+/// decision matrix to the incremental arm.
+fn forced_incremental(train_threads: usize) -> EstimatorConfig {
+    EstimatorConfig {
+        train_threads,
+        max_incremental_fraction: f64::INFINITY,
+        ..EstimatorConfig::default()
+    }
+}
+
+#[test]
+fn incremental_advance_is_bit_identical_to_scratch_across_threads() {
+    let ds = dataset();
+    let slots = ds.clock.slots_per_day;
+    let roads = ds.graph.num_roads();
+    let mut rng = 0x9E37_79B9_7F4A_7C15u64;
+    let days: Vec<SpeedField> = (0..3)
+        .map(|_| random_day(&mut rng, slots, roads, 60))
+        .collect();
+
+    let mut final_bytes: Vec<Vec<u8>> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let config = forced_incremental(threads);
+        let mut state = train_state(&ds, config.clone());
+        state.train().expect("initial train");
+        assert!(state.has_trainer(), "train() leaves a trainer standing");
+        let mut last = None;
+        for day in &days {
+            let outcome = state
+                .ingest_and_train(day.clone())
+                .expect("ingest succeeds");
+            assert_eq!(
+                outcome.mode,
+                RetrainMode::Incremental,
+                "coverage budget is infinite, so every ingest advances incrementally"
+            );
+            last = Some(outcome.estimator);
+        }
+        let bytes = estimator_bytes(&last.expect("at least one day ingested"));
+        assert_eq!(
+            bytes,
+            scratch_reference(&ds, config, &days),
+            "threads={threads}: incremental result == from-scratch retrain"
+        );
+        final_bytes.push(bytes);
+    }
+    assert!(
+        final_bytes.windows(2).all(|w| w[0] == w[1]),
+        "the published model is independent of the thread count"
+    );
+}
+
+#[test]
+fn random_sequences_stay_on_the_scratch_trajectory() {
+    let ds = dataset();
+    let slots = ds.clock.slots_per_day;
+    let roads = ds.graph.num_roads();
+    // Default config: the coverage policy (not the test) decides which
+    // arm each day takes — bit-identity must hold regardless.
+    for seed in [0xDEAD_BEEFu64, 0x0123_4567_89AB_CDEF] {
+        let mut rng = seed;
+        let days: Vec<SpeedField> = (0..3)
+            .map(|_| random_day(&mut rng, slots, roads, 20 + (seed % 50)))
+            .collect();
+        let mut per_thread: Vec<Vec<u8>> = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let config = EstimatorConfig {
+                train_threads: threads,
+                ..EstimatorConfig::default()
+            };
+            let mut state = train_state(&ds, config.clone());
+            state.train().expect("initial train");
+            let mut last = None;
+            for day in &days {
+                let outcome = state
+                    .ingest_and_train(day.clone())
+                    .expect("ingest succeeds");
+                last = Some(outcome.estimator);
+            }
+            let bytes = estimator_bytes(&last.unwrap());
+            assert_eq!(
+                bytes,
+                scratch_reference(&ds, config, &days),
+                "seed={seed:#x} threads={threads}: daemon trajectory == scratch trajectory"
+            );
+            per_thread.push(bytes);
+        }
+        assert!(
+            per_thread.windows(2).all(|w| w[0] == w[1]),
+            "seed={seed:#x}: thread count does not leak into the model"
+        );
+    }
+}
+
+#[test]
+fn zero_budget_forces_a_reanchor_and_stays_bit_identical() {
+    let ds = dataset();
+    let config = EstimatorConfig {
+        max_incremental_fraction: 0.0,
+        ..EstimatorConfig::default()
+    };
+    let day = disruptive_day(ds.clock.slots_per_day, ds.graph.num_roads());
+
+    let mut state = train_state(&ds, config.clone());
+    state.train().expect("initial train");
+    let context_before = state.context().clone();
+    let outcome = state
+        .ingest_and_train(day.clone())
+        .expect("ingest succeeds");
+    assert_eq!(outcome.mode, RetrainMode::FullReanchor);
+    assert!(
+        outcome.coverage > 0.0,
+        "the disruptive day must touch the live graph"
+    );
+    assert!(state.has_trainer(), "the re-anchor rebuilds the trainer");
+    assert_ne!(
+        state.context().edges(),
+        context_before.edges(),
+        "the training context moved to the post-ingest live graph"
+    );
+    assert_eq!(
+        estimator_bytes(&outcome.estimator),
+        scratch_reference(&ds, config, std::slice::from_ref(&day)),
+        "re-anchored result == from-scratch retrain"
+    );
+}
+
+#[test]
+fn cold_rebuild_after_a_dropped_trainer_is_bit_identical() {
+    let ds = dataset();
+    let slots = ds.clock.slots_per_day;
+    let roads = ds.graph.num_roads();
+    let config = forced_incremental(0);
+    let mut rng = 0xA5A5_5A5A_DEAD_F00Du64;
+    let day1 = random_day(&mut rng, slots, roads, 50);
+    let day2 = random_day(&mut rng, slots, roads, 50);
+
+    let mut state = train_state(&ds, config.clone());
+    state.train().expect("initial train");
+    // Plain ingest (no retrain) drops the standing trainer — the next
+    // retrain has nothing to advance and must cold-rebuild.
+    state.ingest_day(day1.clone()).expect("plain ingest");
+    assert!(!state.has_trainer(), "plain ingest drops the trainer");
+    let outcome = state
+        .ingest_and_train(day2.clone())
+        .expect("ingest succeeds");
+    assert_eq!(outcome.mode, RetrainMode::FullCold);
+    assert!(
+        state.has_trainer(),
+        "the cold rebuild leaves a trainer standing"
+    );
+    assert_eq!(
+        estimator_bytes(&outcome.estimator),
+        scratch_reference(&ds, config, &[day1, day2]),
+        "cold rebuild == from-scratch retrain on the same sequence"
+    );
+}
+
+#[test]
+fn shape_mismatch_is_rejected_without_mutating_state() {
+    let ds = dataset();
+    let slots = ds.clock.slots_per_day;
+    let roads = ds.graph.num_roads();
+    let config = forced_incremental(0);
+    let mut rng = 0x0BAD_CAFE_0000_0001u64;
+    let good_day = random_day(&mut rng, slots, roads, 50);
+
+    let mut state = train_state(&ds, config.clone());
+    state.train().expect("initial train");
+    let days_before = state.days().len();
+    let ingested_before = state.days_ingested();
+    let wrong_shape = SpeedField::filled(slots + 1, roads, f64::NAN);
+    match state.ingest_and_train(wrong_shape) {
+        Err(RetrainError::Core(_)) => {}
+        Err(other) => panic!("expected a typed Core error, got {other:?}"),
+        Ok(_) => panic!("a wrong-shape day must not retrain"),
+    }
+    assert_eq!(state.days().len(), days_before, "history unchanged");
+    assert_eq!(state.days_ingested(), ingested_before, "counters unchanged");
+
+    // The failed retrain dropped the trainer; the next ingest must
+    // cold-rebuild and still land on the scratch trajectory.
+    assert!(!state.has_trainer());
+    let outcome = state
+        .ingest_and_train(good_day.clone())
+        .expect("recovery ingest");
+    assert_eq!(outcome.mode, RetrainMode::FullCold);
+    assert_eq!(
+        estimator_bytes(&outcome.estimator),
+        scratch_reference(&ds, config, std::slice::from_ref(&good_day)),
+        "recovery after a rejected day == never having sent it"
+    );
+}
+
+#[test]
+fn injected_panic_rolls_back_and_recovery_is_bit_identical() {
+    let ds = dataset();
+    let slots = ds.clock.slots_per_day;
+    let roads = ds.graph.num_roads();
+    let config = forced_incremental(0);
+    let mut rng = 0xFEED_FACE_CAFE_BEEFu64;
+    let day = random_day(&mut rng, slots, roads, 50);
+
+    let mut state = train_state(&ds, config.clone());
+    state.train().expect("initial train");
+    let days_before = state.days().len();
+    let ingested_before = state.days_ingested();
+
+    failpoint::clear_all();
+    failpoint::configure("retrain", Action::Panic, Some(1));
+    let result = state.ingest_and_train(day.clone());
+    failpoint::clear_all();
+    match result {
+        Err(RetrainError::Panicked(_)) => {}
+        Err(other) => panic!("expected a panic rollback, got {other:?}"),
+        Ok(_) => panic!("the armed failpoint must abort the retrain"),
+    }
+    assert_eq!(state.days().len(), days_before, "day history rolled back");
+    assert_eq!(
+        state.days_ingested(),
+        ingested_before,
+        "online counters rolled back"
+    );
+    assert!(!state.has_trainer(), "the trainer is dropped on a panic");
+
+    let outcome = state
+        .ingest_and_train(day.clone())
+        .expect("recovery ingest");
+    assert_eq!(outcome.mode, RetrainMode::FullCold);
+    assert_eq!(
+        estimator_bytes(&outcome.estimator),
+        scratch_reference(&ds, config, std::slice::from_ref(&day)),
+        "recovery after a panic == the panic never happened"
+    );
+}
+
+#[test]
+fn retrain_outcome_reports_patch_telemetry_on_the_incremental_arm() {
+    let ds = dataset();
+    let config = forced_incremental(0);
+    let day = disruptive_day(ds.clock.slots_per_day, ds.graph.num_roads());
+
+    let mut state = train_state(&ds, config);
+    state.train().expect("initial train");
+    let outcome = state.ingest_and_train(day).expect("ingest succeeds");
+    assert_eq!(outcome.mode, RetrainMode::Incremental);
+    let s = &outcome.stats;
+    assert!(
+        s.edges_updated + s.edges_added + s.edges_removed > 0,
+        "the disruptive day must change correlation edges"
+    );
+    assert!(outcome.coverage > 0.0);
+}

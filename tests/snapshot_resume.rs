@@ -81,6 +81,24 @@ fn spawn_with_dir(ds: &Dataset, dir: &Path) -> DaemonHandle {
     .expect("daemon spawns")
 }
 
+/// Like [`spawn_with_dir`], but with an unlimited incremental coverage
+/// budget, so an `INGEST_DAY` never re-anchors the training context —
+/// the unbroken daemon advances its standing trainer and the frozen
+/// context diverges from the live graph (exercising the snapshot's
+/// explicit-context section).
+fn spawn_incremental(ds: &Dataset, dir: &Path) -> DaemonHandle {
+    let mut inputs = inputs(ds);
+    inputs.config.max_incremental_fraction = f64::INFINITY;
+    Daemon::spawn_from(
+        inputs,
+        DaemonConfig {
+            snapshot_dir: Some(dir.to_path_buf()),
+            ..DaemonConfig::default()
+        },
+    )
+    .expect("daemon spawns")
+}
+
 /// Seed observations for `slot`, plus one deliberate non-seed road so
 /// every estimate bumps the `ignored_observations` counter.
 fn observations_at(ds: &Dataset, slot: usize) -> Vec<(u32, f64)> {
@@ -97,6 +115,15 @@ fn day_rows(day: &SpeedField) -> Vec<Vec<f64>> {
     (0..day.num_slots())
         .map(|slot| day.slot_speeds(slot).to_vec())
         .collect()
+}
+
+fn retrain_count(stats: &StatsReply, mode: &str) -> u64 {
+    stats
+        .retrains
+        .iter()
+        .find(|(n, _)| n == mode)
+        .map(|(_, c)| *c)
+        .unwrap_or_else(|| panic!("STATS carries no retrain counter named {mode:?}"))
 }
 
 fn reject_count(stats: &StatsReply, name: &str) -> u64 {
@@ -252,6 +279,90 @@ fn resume_then_ingest_matches_an_unbroken_run() {
     );
     client.shutdown().expect("clean shutdown");
     handle.join();
+}
+
+/// Scenario 2b: a snapshot written after an *incremental* publish is
+/// byte-identical to one written after the equivalent *full* retrain
+/// on the same day sequence — and both daemons serve bit-identical
+/// estimates. The incremental daemon keeps its standing trainer across
+/// the ingest ([`retrain_count`] `incremental` fires); the full daemon
+/// is restarted first, so its ingest cold-rebuilds — and the two paths
+/// must be indistinguishable on disk and on the wire.
+#[test]
+fn incremental_snapshot_is_byte_identical_to_full_retrain_snapshot() {
+    let ds = dataset();
+    let new_day = &ds.test_days[1];
+    let slots = [1usize, 5, 9];
+
+    // Incremental path: one unbroken process, trainer standing.
+    let inc_dir = SnapDir::new("inc-path");
+    let handle = spawn_incremental(&ds, inc_dir.path());
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    let (epoch, _) = client.ingest_day(day_rows(new_day)).expect("ingest");
+    assert_eq!(epoch, 2);
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        retrain_count(&stats, "incremental"),
+        1,
+        "the unbroken daemon's ingest advances the standing trainer"
+    );
+    assert_eq!(retrain_count(&stats, "full_cold"), 0);
+    let mut inc_estimates = Vec::new();
+    for &slot in &slots {
+        inc_estimates.push(
+            client
+                .estimate(slot, observations_at(&ds, slot), None)
+                .expect("incremental-path estimate"),
+        );
+    }
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+
+    // Full path: restart before the ingest, so no trainer is standing
+    // and the same day retrains from scratch (FullCold).
+    let full_dir = SnapDir::new("full-path");
+    let handle = spawn_incremental(&ds, full_dir.path());
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    client.shutdown().expect("shutdown before the ingest");
+    handle.join();
+    let handle = spawn_incremental(&ds, full_dir.path());
+    let mut client = Client::connect(handle.addr()).expect("client reconnects");
+    let (full_epoch, _) = client.ingest_day(day_rows(new_day)).expect("ingest");
+    assert_eq!(full_epoch, epoch);
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        retrain_count(&stats, "full_cold"),
+        1,
+        "the resumed daemon has no trainer, so the ingest cold-rebuilds"
+    );
+    assert_eq!(retrain_count(&stats, "incremental"), 0);
+    for (&slot, inc) in slots.iter().zip(&inc_estimates) {
+        let full = client
+            .estimate(slot, observations_at(&ds, slot), None)
+            .expect("full-path estimate");
+        assert_eq!(
+            full.speeds, inc.speeds,
+            "slot {slot}: both paths serve the same speeds, bit for bit"
+        );
+        assert_eq!(full.p_up, inc.p_up, "slot {slot}");
+        assert_eq!(full.trends, inc.trends, "slot {slot}");
+    }
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+
+    // The epoch-2 snapshot files are byte-identical: same payload, same
+    // checksum, same name — the retrain path leaves no trace on disk.
+    let newest = |dir: &Path| {
+        let files = snapshot::list_snapshots(dir);
+        files.last().cloned().expect("at least one snapshot")
+    };
+    let (inc_file, full_file) = (newest(inc_dir.path()), newest(full_dir.path()));
+    assert_eq!(inc_file.file_name(), full_file.file_name());
+    assert_eq!(
+        std::fs::read(&inc_file).expect("incremental snapshot readable"),
+        std::fs::read(&full_file).expect("full snapshot readable"),
+        "incremental-path and full-path snapshots are byte-identical"
+    );
 }
 
 /// Writes one valid snapshot into a fresh dir by running a daemon for

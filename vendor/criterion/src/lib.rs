@@ -1,0 +1,148 @@
+//! Minimal `criterion`-compatible micro-benchmark harness. Keeps the
+//! upstream API shape used by `crates/bench/benches/kernels.rs`
+//! (`bench_function`, `benchmark_group`/`bench_with_input`,
+//! `Bencher::iter`, the `criterion_group!`/`criterion_main!` macros)
+//! while replacing the statistical machinery with a single calibrated
+//! timing pass: warm up, pick an iteration count targeting ~100 ms of
+//! wall time, and report mean nanoseconds per iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measures one benchmark body via [`Bencher::iter`].
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean per-iteration cost. The closure's
+    /// return value is passed through `black_box` so the computation
+    /// is not optimized away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and calibration: run until ~10 ms has elapsed.
+        let mut calib_iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_millis(10) {
+            std::hint::black_box(f());
+            calib_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / calib_iters as f64;
+        // Measurement pass sized for roughly 100 ms of wall time.
+        let iters = ((100e6 / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, mut body: F) {
+    let mut b = Bencher { mean_ns: 0.0 };
+    body(&mut b);
+    let (value, unit) = if b.mean_ns >= 1e6 {
+        (b.mean_ns / 1e6, "ms")
+    } else if b.mean_ns >= 1e3 {
+        (b.mean_ns / 1e3, "us")
+    } else {
+        (b.mean_ns, "ns")
+    };
+    println!("{id:<40} {value:>10.3} {unit}/iter");
+}
+
+/// Entry point handed to each registered benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, body: F) -> &mut Self {
+        run_benchmark(id, body);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A labelled collection of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.label), |b| body(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op; parity with upstream).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter value.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `new("greedy", 8)` renders as `greedy/8`.
+    pub fn new<P: Display>(function: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Defines a group runner invoking each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_a_body() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_runs_parameterized_benchmarks() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        for k in [1u32, 2] {
+            g.bench_with_input(BenchmarkId::new("id", k), &k, |b, &k| b.iter(|| k * 2));
+        }
+        g.finish();
+    }
+}

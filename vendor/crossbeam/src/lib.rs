@@ -1,0 +1,112 @@
+//! Minimal `crossbeam`-compatible scoped threads for this workspace,
+//! layered over `std::thread::scope` (stable since 1.63).
+//!
+//! Matches the upstream contract used here: `thread::scope(|s| ...)`
+//! joins every spawned thread before returning, and returns `Err` with
+//! the first panic payload if any spawned thread panicked (instead of
+//! propagating the panic), so callers can `.expect(...)`.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    type PanicSlot = Arc<Mutex<Option<Box<dyn Any + Send + 'static>>>>;
+
+    /// Handle used inside [`scope`] to spawn worker threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        panic: PanicSlot,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. A panic in the worker is captured
+        /// and surfaced through the enclosing [`scope`] result rather
+        /// than aborting the join.
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let nested = Scope {
+                inner: self.inner,
+                panic: Arc::clone(&self.panic),
+            };
+            let slot = Arc::clone(&self.panic);
+            self.inner.spawn(move || {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&nested))) {
+                    let mut guard = slot.lock().unwrap_or_else(|p| p.into_inner());
+                    guard.get_or_insert(payload);
+                }
+            });
+        }
+    }
+
+    /// Runs `f` with a [`Scope`], joining all spawned threads before
+    /// returning. Returns the closure's value, or `Err` with the first
+    /// worker panic payload.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let panic: PanicSlot = Arc::new(Mutex::new(None));
+        let out = {
+            let panic = Arc::clone(&panic);
+            std::thread::scope(move |s| {
+                let scope = Scope { inner: s, panic };
+                f(&scope)
+            })
+        };
+        let payload = panic
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take();
+        match payload {
+            Some(p) => Err(p),
+            None => Ok(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scope_joins_all_workers() {
+        let total = AtomicU32::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..4 {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(total.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let total = AtomicU32::new(0);
+        super::thread::scope(|s| {
+            let total = &total;
+            s.spawn(move |s2| {
+                s2.spawn(move |_| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(total.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_err() {
+        let res = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! Marker-only serde surface. The workspace serializes exclusively via
+//! its own binary codec; `Serialize`/`Deserialize` appear in derives as
+//! forward-compatibility markers, never called through, so the traits
+//! carry no methods and the derive macros expand to nothing.
+
+/// Marker: the type opts into serialization support.
+pub trait Serialize {}
+
+/// Marker: the type opts into deserialization support.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `#[derive(Serialize, Deserialize)]` shims. The workspace uses
+//! its own hand-rolled binary codec (`crowdspeed::codec`); the serde
+//! derives on model types exist only as markers, so the macros expand
+//! to nothing rather than generating trait impls.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
