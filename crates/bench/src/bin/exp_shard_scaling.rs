@@ -1,0 +1,315 @@
+//! Experiment E14 — sharded serving throughput vs shard count.
+//!
+//! Boots the scatter-gather router over fleets of 2 and 4 in-process
+//! shard workers on the large city and drives a road-locality workload
+//! (each request asks for one shard's owned roads, round-robin across
+//! shards) through the full wire stack, against an unsharded daemon
+//! serving the *identical* requests. On a single core the win comes
+//! from per-request work reduction, not parallelism: a shard worker
+//! answers a road-subset `ESTIMATE` from its masked model (~1/N of the
+//! city's components), where the unsharded daemon must run full-city
+//! inference and then subset the reply.
+//!
+//! Replies are asserted byte-identical through both deployments
+//! *before* any timing — a fast wrong answer is not a result. The
+//! model is trained once and every process resumes from the snapshot,
+//! so all daemons provably serve the same epoch. Results go to
+//! `BENCH_serve.json` for CI artifacts and trend tracking.
+
+use bench::{f3, Table};
+use crowdspeed::prelude::*;
+use crowdspeed_server::json::Json;
+use crowdspeed_server::{
+    dataset_plan, Client, ClientConfig, Daemon, DaemonConfig, DaemonHandle, Router, RouterConfig,
+    ShardSpec, TrainInputs,
+};
+use roadnet::RoadId;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use trafficsim::dataset::Dataset;
+
+struct Run {
+    shards: usize,
+    requests: usize,
+    filter_roads_mean: f64,
+    single_rps: f64,
+    router_rps: f64,
+    speedup: f64,
+    router_p50_us: f64,
+    router_p99_us: f64,
+}
+
+fn client_config() -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Some(Duration::from_secs(5)),
+        request_timeout: Some(Duration::from_secs(60)),
+        write_timeout: Some(Duration::from_secs(60)),
+        retries: 3,
+        backoff_base: Duration::from_millis(5),
+        ..ClientConfig::default()
+    }
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn main() {
+    let quick = bench::quick_mode();
+    let ds = if quick {
+        bench::presets::quick()
+    } else {
+        bench::presets::large()
+    };
+    // The quick city's default-threshold correlation graph is one
+    // giant component (atomic to the planner), so tighten it there;
+    // the large city is multi-component at the default already.
+    let corr_config = if quick {
+        CorrelationConfig {
+            min_cotrend: 0.8,
+            min_co_observations: 6,
+            ..CorrelationConfig::default()
+        }
+    } else {
+        CorrelationConfig::default()
+    };
+    let num_roads = ds.graph.num_roads();
+    let k = if quick { 12 } else { 160 };
+    let stride = (num_roads / k).max(1);
+    let seeds: Vec<RoadId> = (0..k).map(|i| RoadId((i * stride) as u32)).collect();
+    let shard_counts: Vec<usize> = if quick { vec![2] } else { vec![2, 4] };
+    let requests = if quick { 24 } else { 64 };
+
+    let snapshot_dir =
+        std::env::temp_dir().join(format!("crowdspeed-e14-snapshots-{}", std::process::id()));
+    std::fs::create_dir_all(&snapshot_dir).expect("snapshot dir");
+
+    let inputs = |ds: &Dataset| TrainInputs {
+        graph: ds.graph.clone(),
+        history: ds.history.clone(),
+        seeds: seeds.clone(),
+        corr_config: corr_config.clone(),
+        config: EstimatorConfig::default(),
+    };
+    let config_with = |shard: Option<ShardSpec>, dir: &PathBuf| DaemonConfig {
+        snapshot_dir: Some(dir.clone()),
+        shard,
+        ..DaemonConfig::default()
+    };
+
+    // Train exactly once; everything after resumes from this snapshot
+    // in milliseconds, so the bench measures serving, never training.
+    println!(
+        "E14: training {} ({num_roads} roads, k={k}) once for the shared snapshot...",
+        ds.name
+    );
+    let (_, train_ms) = bench::timed(|| {
+        let warm = Daemon::spawn_from(inputs(&ds), config_with(None, &snapshot_dir))
+            .expect("initial training daemon");
+        warm.join();
+    });
+    println!("trained + snapshotted in {} ms", f3(train_ms));
+
+    let single = Daemon::spawn_from(inputs(&ds), config_with(None, &snapshot_dir))
+        .expect("baseline daemon resumes");
+    let mut via_single = Client::connect_with(single.addr(), client_config()).expect("client");
+
+    let truth = &ds.test_days[0];
+    let slots = ds.clock.slots_per_day;
+    let obs_for = |slot: usize| -> Vec<(u32, f64)> {
+        seeds.iter().map(|&s| (s.0, truth.speed(slot, s))).collect()
+    };
+
+    println!(
+        "E14: sharded serving throughput, road-locality workload ({} roads)",
+        num_roads
+    );
+    let mut table = Table::new(&[
+        "shards",
+        "reqs",
+        "roads/req",
+        "single-rps",
+        "router-rps",
+        "speedup",
+        "p50-us",
+        "p99-us",
+    ]);
+    let mut runs: Vec<Run> = Vec::new();
+    let mut equivalence_ok = true;
+
+    for &n in &shard_counts {
+        let plan = dataset_plan(&ds.graph, &ds.history, &corr_config, n).expect("shard plan");
+        let workers: Vec<DaemonHandle> = (0..n)
+            .map(|i| {
+                Daemon::spawn_from(
+                    inputs(&ds),
+                    config_with(
+                        Some(ShardSpec {
+                            index: i,
+                            plan: plan.clone(),
+                        }),
+                        &snapshot_dir,
+                    ),
+                )
+                .expect("shard worker resumes")
+            })
+            .collect();
+        let shard_addrs = workers.iter().map(|w| w.addr().to_string()).collect();
+        let router = Router::spawn(RouterConfig::new(
+            "127.0.0.1:0".to_string(),
+            shard_addrs,
+            plan.clone(),
+        ))
+        .expect("router spawns");
+        let mut via_router = Client::connect_with(router.addr(), client_config()).expect("client");
+
+        // Equivalence gate: a full-width scatter-gathered estimate must
+        // be byte-identical to the unsharded daemon before any timing.
+        for slot in [0, slots / 2] {
+            let a = via_router
+                .estimate(slot, obs_for(slot), None)
+                .expect("router estimate");
+            let b = via_single
+                .estimate(slot, obs_for(slot), None)
+                .expect("single estimate");
+            let same = a.speeds == b.speeds && a.p_up == b.p_up && a.trends == b.trends;
+            assert!(
+                same,
+                "shards={n} slot={slot}: router must equal single daemon bitwise"
+            );
+            equivalence_ok &= same;
+        }
+
+        // The workload: request s asks for shard (s mod n)'s owned
+        // roads — a region query with shard locality.
+        let filters: Vec<Vec<u32>> = (0..n)
+            .map(|s| plan.owned_roads(s).iter().map(|r| r.0).collect())
+            .collect();
+        let filter_roads_mean =
+            filters.iter().map(Vec::len).sum::<usize>() as f64 / filters.len() as f64;
+        let request_at = |j: usize| -> (usize, &Vec<u32>) { ((j * 7) % slots, &filters[j % n]) };
+
+        // Warm both paths once per shard (connections, scratch).
+        for j in 0..n {
+            let (slot, filter) = request_at(j);
+            via_router
+                .estimate_roads(slot, obs_for(slot), None, Some(filter.clone()))
+                .expect("router warmup");
+            via_single
+                .estimate_roads(slot, obs_for(slot), None, Some(filter.clone()))
+                .expect("single warmup");
+        }
+
+        let mut latencies_us: Vec<f64> = Vec::with_capacity(requests);
+        let router_wall = Instant::now();
+        for j in 0..requests {
+            let (slot, filter) = request_at(j);
+            let t = Instant::now();
+            let reply = via_router
+                .estimate_roads(slot, obs_for(slot), None, Some(filter.clone()))
+                .expect("router request");
+            latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+            assert!(reply.unavailable.is_empty(), "healthy fleet degraded");
+        }
+        let router_rps = requests as f64 / router_wall.elapsed().as_secs_f64();
+
+        let single_wall = Instant::now();
+        for j in 0..requests {
+            let (slot, filter) = request_at(j);
+            via_single
+                .estimate_roads(slot, obs_for(slot), None, Some(filter.clone()))
+                .expect("single request");
+        }
+        let single_rps = requests as f64 / single_wall.elapsed().as_secs_f64();
+
+        latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let run = Run {
+            shards: n,
+            requests,
+            filter_roads_mean,
+            single_rps,
+            router_rps,
+            speedup: router_rps / single_rps,
+            router_p50_us: percentile(&latencies_us, 0.50),
+            router_p99_us: percentile(&latencies_us, 0.99),
+        };
+        table.row(&[
+            run.shards.to_string(),
+            run.requests.to_string(),
+            f3(run.filter_roads_mean),
+            f3(run.single_rps),
+            f3(run.router_rps),
+            f3(run.speedup),
+            f3(run.router_p50_us),
+            f3(run.router_p99_us),
+        ]);
+        runs.push(run);
+
+        let mut shutdown_client = Client::connect(router.addr()).expect("shutdown client");
+        shutdown_client.shutdown().expect("fleet shutdown");
+        router.wait();
+        for worker in workers {
+            worker.wait();
+        }
+    }
+    table.print();
+
+    // Throughput floors from the experiment plan; the quick city is
+    // too small for masked serving to amortise the router hop, so the
+    // gate applies to the real dataset only.
+    if !quick {
+        for run in &runs {
+            let floor = match run.shards {
+                2 => 1.6,
+                4 => 2.5,
+                _ => 0.0,
+            };
+            assert!(
+                run.speedup >= floor,
+                "shards={}: speedup {} below the {floor}x floor",
+                run.shards,
+                f3(run.speedup)
+            );
+        }
+    }
+
+    let json = Json::Obj(vec![
+        ("experiment".into(), Json::Str("shard_scaling".into())),
+        ("dataset".into(), Json::Str(ds.name.to_string())),
+        ("roads".into(), Json::Num(num_roads as f64)),
+        ("k".into(), Json::Num(k as f64)),
+        ("quick".into(), Json::Bool(quick)),
+        ("train_ms".into(), Json::Num(train_ms)),
+        ("equivalence_ok".into(), Json::Bool(equivalence_ok)),
+        (
+            "runs".into(),
+            Json::Arr(
+                runs.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("shards".into(), Json::Num(r.shards as f64)),
+                            ("requests".into(), Json::Num(r.requests as f64)),
+                            ("filter_roads_mean".into(), Json::Num(r.filter_roads_mean)),
+                            ("single_rps".into(), Json::Num(r.single_rps)),
+                            ("router_rps".into(), Json::Num(r.router_rps)),
+                            ("speedup".into(), Json::Num(r.speedup)),
+                            ("router_p50_us".into(), Json::Num(r.router_p50_us)),
+                            ("router_p99_us".into(), Json::Num(r.router_p99_us)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write("BENCH_serve.json", json.encode() + "\n").expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+
+    let mut client = Client::connect(single.addr()).expect("baseline shutdown client");
+    client.shutdown().expect("baseline shutdown");
+    single.wait();
+    std::fs::remove_dir_all(&snapshot_dir).ok();
+}

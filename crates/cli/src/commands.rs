@@ -336,15 +336,30 @@ pub fn serve(args: &Args) -> Result<String> {
 }
 
 /// `daemon --dir DIR [--addr HOST:PORT] [--workers N] [--queue N] [--deadline-ms D]
-/// [--snapshot-dir DIR] [--snapshot-keep N] [--frame-deadline-ms D]`
+/// [--snapshot-dir DIR] [--snapshot-keep N] [--frame-deadline-ms D]
+/// [--rate-limit-rps R] [--shards N [--shard-index I]] [--restart-backoff-ms MS]`
 ///
 /// Trains an estimator from the dataset dir and serves it over TCP
 /// until a `SHUTDOWN` frame arrives. With `--snapshot-dir` the daemon
 /// resumes from the newest valid snapshot instead of retraining (and
 /// persists every epoch it publishes). Prints `listening on ADDR` once
 /// reachable (scripts wait for that line).
+///
+/// `--shards N` (N > 1) starts sharded mode: N worker processes (this
+/// same binary with `--shard-index I`) supervised by a fleet manager,
+/// fronted by a scatter-gather router on `--addr` that speaks the
+/// identical protocol. `--shard-index` alone runs one shard worker
+/// serving only its owned roads.
 pub fn daemon(args: &Args) -> Result<String> {
     use std::io::Write;
+    let shards: usize = args.num("shards", 1)?;
+    let shard_index: Option<usize> = args
+        .get("shard-index")
+        .map(|_| args.num("shard-index", 0))
+        .transpose()?;
+    if shards > 1 && shard_index.is_none() {
+        return daemon_fleet(args, shards);
+    }
     let dir = dataset_dir(args)?;
     let graph = store::read_network(&dir)?;
     let history = store::read_history(&dir)?;
@@ -352,6 +367,27 @@ pub fn daemon(args: &Args) -> Result<String> {
         return Err(CliError::new("history and network disagree on road count"));
     }
     let seeds = store::read_seeds(&dir, graph.num_roads())?;
+    let shard = match shard_index {
+        None => None,
+        Some(index) => {
+            if index >= shards.max(1) {
+                return Err(CliError::new(format!(
+                    "--shard-index {index} out of range for --shards {shards}"
+                )));
+            }
+            // The plan is a pure function of the dataset, so every
+            // worker (and the router) derives the identical plan
+            // independently — no coordination channel needed.
+            let plan = crowdspeed_server::dataset_plan(
+                &graph,
+                &history,
+                &CorrelationConfig::default(),
+                shards.max(1),
+            )
+            .map_err(|e| CliError::new(format!("shard planning failed: {e}")))?;
+            Some(crowdspeed_server::ShardSpec { index, plan })
+        }
+    };
     let inputs = crowdspeed_server::TrainInputs {
         graph,
         history,
@@ -375,6 +411,7 @@ pub fn daemon(args: &Args) -> Result<String> {
     let defaults = crowdspeed_server::DaemonConfig::default();
     let frame_deadline_ms: u64 =
         args.num("frame-deadline-ms", defaults.frame_deadline_ms.unwrap_or(0))?;
+    let rate_limit_rps: u32 = args.num("rate-limit-rps", 0)?;
     let config = crowdspeed_server::DaemonConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7700").to_string(),
         workers: args.num::<usize>("workers", 4)?.max(1),
@@ -386,6 +423,8 @@ pub fn daemon(args: &Args) -> Result<String> {
             .num::<usize>("snapshot-keep", defaults.snapshot_keep)?
             .max(1),
         frame_deadline_ms: (frame_deadline_ms > 0).then_some(frame_deadline_ms),
+        rate_limit_rps: (rate_limit_rps > 0).then_some(rate_limit_rps),
+        shard,
         ..defaults
     };
     let handle = crowdspeed_server::Daemon::spawn_from(inputs, config)
@@ -395,6 +434,144 @@ pub fn daemon(args: &Args) -> Result<String> {
     std::io::stdout().flush().ok();
     handle.wait();
     Ok(format!("daemon on {addr} shut down cleanly"))
+}
+
+/// Copies a `--key value` flag into a worker's argv if it was given.
+fn forward_flag(args: &Args, worker_args: &mut Vec<String>, key: &str) {
+    if let Some(v) = args.get(key) {
+        worker_args.push(format!("--{key}"));
+        worker_args.push(v.to_string());
+    }
+}
+
+/// Sharded `daemon --shards N`: spawn the worker fleet, wait until
+/// every worker answers, then run the scatter-gather router on
+/// `--addr`. Workers are this same binary with `--shard-index`, listen
+/// on consecutive ports after the router's, and are restarted by the
+/// fleet supervisor if they crash.
+fn daemon_fleet(args: &Args, shards: usize) -> Result<String> {
+    use std::io::Write;
+    let dir = dataset_dir(args)?;
+    let dirs = dir.display().to_string();
+    let graph = store::read_network(&dir)?;
+    let history = store::read_history(&dir)?;
+    if history.num_roads() != graph.num_roads() {
+        return Err(CliError::new("history and network disagree on road count"));
+    }
+    // Fail before spawning anything if the dataset is incomplete —
+    // workers would just crash-loop on the same error.
+    store::read_seeds(&dir, graph.num_roads())?;
+    let plan =
+        crowdspeed_server::dataset_plan(&graph, &history, &CorrelationConfig::default(), shards)
+            .map_err(|e| CliError::new(format!("shard planning failed: {e}")))?;
+
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7700");
+    let (host, port) = addr
+        .rsplit_once(':')
+        .and_then(|(h, p)| p.parse::<u16>().ok().map(|p| (h, p)))
+        .ok_or_else(|| CliError::new(format!("--addr {addr:?} is not HOST:PORT")))?;
+    if port == 0 {
+        return Err(CliError::new(
+            "--shards needs a fixed --addr port (workers bind the ports after it)",
+        ));
+    }
+    let exe = std::env::current_exe()?;
+    let snapshot_root = args.get("snapshot-dir").map(PathBuf::from);
+    let mut shard_addrs = Vec::with_capacity(shards);
+    let mut specs = Vec::with_capacity(shards);
+    for i in 0..shards {
+        let worker_port = port
+            .checked_add(1 + i as u16)
+            .ok_or_else(|| CliError::new("worker port overflows u16; pick a lower --addr port"))?;
+        let worker_addr = format!("{host}:{worker_port}");
+        let mut worker_args = vec![
+            "daemon".to_string(),
+            "--dir".to_string(),
+            dirs.clone(),
+            "--shards".to_string(),
+            shards.to_string(),
+            "--shard-index".to_string(),
+            i.to_string(),
+            "--addr".to_string(),
+            worker_addr.clone(),
+        ];
+        for key in [
+            "workers",
+            "queue",
+            "deadline-ms",
+            "train-threads",
+            "max-incremental-fraction",
+            "max-connections",
+            "snapshot-keep",
+            "frame-deadline-ms",
+            "rate-limit-rps",
+        ] {
+            forward_flag(args, &mut worker_args, key);
+        }
+        if let Some(root) = &snapshot_root {
+            let shard_dir = root.join(format!("shard-{i}"));
+            std::fs::create_dir_all(&shard_dir)?;
+            worker_args.push("--snapshot-dir".to_string());
+            worker_args.push(shard_dir.display().to_string());
+        }
+        let owned = plan.owned_roads(i);
+        let sample: Vec<String> = owned.iter().take(3).map(|r| r.0.to_string()).collect();
+        println!(
+            "shard {i} owns {} roads sample={} addr={worker_addr}",
+            owned.len(),
+            sample.join(",")
+        );
+        shard_addrs.push(worker_addr);
+        specs.push(crowdspeed_server::WorkerSpec {
+            program: exe.clone(),
+            args: worker_args,
+        });
+    }
+    std::io::stdout().flush().ok();
+
+    let backoff_ms: u64 = args.num("restart-backoff-ms", 1000)?;
+    let fleet =
+        crowdspeed_server::Fleet::spawn(specs, std::time::Duration::from_millis(backoff_ms.max(1)));
+
+    // Workers replicate full training at first boot, so give them real
+    // time; with snapshot dirs a restart resumes in milliseconds.
+    let probe_config = crowdspeed_server::ClientConfig {
+        connect_timeout: Some(std::time::Duration::from_millis(500)),
+        ..crowdspeed_server::ClientConfig::default()
+    };
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(600);
+    for (i, worker_addr) in shard_addrs.iter().enumerate() {
+        loop {
+            if crowdspeed_server::Client::connect_with(worker_addr.as_str(), probe_config.clone())
+                .is_ok()
+            {
+                break;
+            }
+            if std::time::Instant::now() > deadline {
+                fleet.shutdown();
+                return Err(CliError::new(format!(
+                    "shard {i} at {worker_addr} never became reachable"
+                )));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+    }
+    println!("fleet ready ({shards} shards)");
+    std::io::stdout().flush().ok();
+
+    let mut router_config =
+        crowdspeed_server::RouterConfig::new(addr.to_string(), shard_addrs, plan);
+    router_config.fleet = Some(fleet.status_handle());
+    let handle = crowdspeed_server::Router::spawn(router_config)
+        .map_err(|e| CliError::new(format!("router failed to start: {e}")))?;
+    let bound = handle.addr();
+    println!("listening on {bound}");
+    std::io::stdout().flush().ok();
+    handle.wait();
+    fleet.shutdown();
+    Ok(format!(
+        "router on {bound} and its {shards}-shard fleet shut down cleanly"
+    ))
 }
 
 /// Parses `--key value` flags shared by the client actions and builds
@@ -522,6 +699,30 @@ pub fn client(action: &str, args: &Args) -> Result<String> {
                     stats.retrain_incremental_ms
                 ));
             }
+            if stats.rate_limited_requests > 0 {
+                out.push_str(&format!(
+                    "rate limited: {} requests\n",
+                    stats.rate_limited_requests
+                ));
+            }
+            if let Some(id) = &stats.shard {
+                out.push_str(&format!(
+                    "shard worker {}/{}: {} owned roads, plan {:016x}\n",
+                    id.index, id.count, id.owned_roads, id.fingerprint
+                ));
+            }
+            for h in &stats.shards {
+                out.push_str(&format!(
+                    "shard {}: {} plan_ok={} epoch={} days={} restarts={} owned={}\n",
+                    h.shard,
+                    if h.up { "up" } else { "down" },
+                    h.plan_ok,
+                    h.epoch,
+                    h.days_ingested,
+                    h.restarts,
+                    h.owned_roads
+                ));
+            }
             let rejected: u64 = stats.snapshot_rejects.iter().map(|(_, c)| c).sum();
             if rejected > 0 {
                 out.push_str("snapshot rejects:");
@@ -635,6 +836,8 @@ USAGE:
   crowdspeed daemon   --dir DIR [--addr HOST:PORT] [--workers N] [--queue N]
                       [--deadline-ms D] [--train-threads N] [--max-connections N]
                       [--snapshot-dir DIR] [--snapshot-keep N] [--frame-deadline-ms D]
+                      [--rate-limit-rps R] [--shards N [--shard-index I]]
+                      [--restart-backoff-ms MS]
   crowdspeed client   estimate --slot S (--obs FILE | --dir DIR --truth-day D)
                       [--addr HOST:PORT] [--deadline-ms D]
   crowdspeed client   ingest --dir DIR --truth-day D [--addr HOST:PORT]
@@ -645,7 +848,15 @@ With --snapshot-dir the daemon persists every published model epoch
 (keeping the newest --snapshot-keep files, default 3) and on restart
 resumes from the newest valid snapshot instead of retraining;
 --frame-deadline-ms bounds how long a connection may take to deliver
-one request frame (0 disables; default 30000).
+one request frame (0 disables; default 30000); --rate-limit-rps caps
+each connection's request rate (token bucket, typed `rate_limited`
+reject; 0 disables).
+
+daemon --shards N (N > 1) runs sharded: N supervised worker processes
+(ports addr+1..addr+N, each with snapshot dir DIR/shard-i) behind a
+scatter-gather router on --addr speaking the unchanged protocol.
+Crashed workers restart after --restart-backoff-ms (default 1000);
+road-filtered estimates degrade per shard while a worker is down.
 
 Client actions also accept [--timeout-ms MS] [--connect-timeout-ms MS]
 [--retries N] [--backoff-ms MS]; 0 disables a timeout, and retries

@@ -501,6 +501,46 @@ impl HlmModel {
         p_up: &[f64],
         ws: &mut HlmScratch,
     ) {
+        let n = self.seed_neighbors.len();
+        self.predict_deviations_inner(seed_devs, p_up, &self.corr, 0..n, ws);
+    }
+
+    /// Sharded-serving variant of
+    /// [`HlmModel::predict_deviations_with`]: propagates the local
+    /// deviation field over `corr` — a component-subset masking of the
+    /// model's own graph (same road-id space, a subset of the edges,
+    /// every retained component whole) — and computes deviations only
+    /// at `roads`, written to the scratch aligned with that list.
+    ///
+    /// Per-road arithmetic is identical to the full path; because
+    /// propagation is neighbour-local and every global feature
+    /// (citywide mean, seed and spatial neighbour lists) reads the full
+    /// seed-deviation vector, the value produced for a road inside a
+    /// retained component is bit-identical to the full model's.
+    pub fn predict_deviations_masked(
+        &self,
+        seed_devs: &[Option<f64>],
+        p_up: &[f64],
+        corr: &CorrelationGraph,
+        roads: &[RoadId],
+        ws: &mut HlmScratch,
+    ) {
+        assert_eq!(
+            corr.num_roads(),
+            self.corr.num_roads(),
+            "masked graph spans a different road set"
+        );
+        self.predict_deviations_inner(seed_devs, p_up, corr, roads.iter().map(|r| r.index()), ws);
+    }
+
+    fn predict_deviations_inner(
+        &self,
+        seed_devs: &[Option<f64>],
+        p_up: &[f64],
+        corr: &CorrelationGraph,
+        roads: impl Iterator<Item = usize>,
+        ws: &mut HlmScratch,
+    ) {
         assert_eq!(seed_devs.len(), self.seeds.len(), "seed deviation arity");
         let n = self.seed_neighbors.len();
         assert_eq!(p_up.len(), n, "p_up arity");
@@ -530,7 +570,7 @@ impl HlmModel {
                 .filter_map(|(&s, d)| d.map(|d| (s, d))),
         );
         crate::propagate::propagate_deviations_into(
-            &self.corr,
+            corr,
             cell_seed_devs,
             self.config.propagation_iters,
             self.config.propagation_anchor,
@@ -540,8 +580,7 @@ impl HlmModel {
 
         let ls = self.config.log_space;
         devs.clear();
-        devs.reserve(n);
-        for r in 0..n {
+        for r in roads {
             nb.clear();
             nb.extend(
                 self.seed_neighbors[r]

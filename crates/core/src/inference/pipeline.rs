@@ -6,6 +6,7 @@ use crate::inference::hlm::{FoldStats, HlmConfig, HlmModel, HlmScratch, HlmTrain
 use crate::inference::trend_model::{TrendEngine, TrendModel, TrendModelConfig, TrendScratch};
 use crate::online::IngestDelta;
 use crate::seed::objective::{InfluenceModel, SeedObjective};
+use crate::shard::{ShardEstimate, ShardPlan, ShardView};
 use crate::{CoreError, Result};
 use roadnet::{RoadGraph, RoadId};
 use std::sync::Arc;
@@ -101,6 +102,9 @@ pub struct EstimateScratch {
     hlm: HlmScratch,
     seed_devs: Vec<Option<f64>>,
     trend_obs: Vec<(RoadId, bool)>,
+    /// Road → position in the current shard request's road list;
+    /// `u32::MAX` outside a call (entries are reset on exit).
+    road_pos: Vec<u32>,
 }
 
 impl EstimateScratch {
@@ -390,6 +394,7 @@ impl TrafficEstimator {
             hlm,
             seed_devs,
             trend_obs,
+            road_pos: _,
         } = scratch;
 
         // Translate observations into trend evidence + seed deviations.
@@ -443,6 +448,187 @@ impl TrafficEstimator {
             trend_iterations: stats.iterations,
             ignored_observations: ignored,
         }
+    }
+
+    /// Builds this shard's serving view under `plan`: the owned roads
+    /// plus a masked trend model over exactly the live correlation
+    /// components that intersect them (see [`ShardView`]).
+    ///
+    /// Rebuilt at every epoch publish — ingested days can merge
+    /// components, growing a shard's active set. Only restriction-safe
+    /// engines are accepted: LBP (per-component convergence) and
+    /// prior-only. Sampling and global-sum engines (Gibbs, mean-field,
+    /// exact) consume cross-component state (one RNG stream, a global
+    /// stopping rule), so a masked run would *not* be bit-identical —
+    /// such configurations are rejected with [`CoreError::ShardConfig`]
+    /// instead of serving silently-drifting estimates.
+    pub fn shard_view(&self, plan: &ShardPlan, shard: usize) -> Result<ShardView> {
+        match self.engine {
+            TrendEngine::Lbp(_) | TrendEngine::PriorOnly => {}
+            _ => {
+                return Err(CoreError::ShardConfig(
+                    "sharded serving requires a restriction-safe trend engine (lbp or prior-only)"
+                        .into(),
+                ))
+            }
+        }
+        let n = self.trend_model.num_roads();
+        if plan.num_roads() != n {
+            return Err(CoreError::ShapeMismatch {
+                expected: format!("{n} roads (estimator)"),
+                got: format!("{} roads (shard plan)", plan.num_roads()),
+            });
+        }
+        if shard >= plan.num_shards {
+            return Err(CoreError::ShardConfig(format!(
+                "shard {shard} outside a {}-shard plan",
+                plan.num_shards
+            )));
+        }
+        let corr = self.trend_model.correlation();
+        let (comp, ncomp) = crate::shard::correlation_components(corr);
+        let mut active_comp = vec![false; ncomp];
+        for (r, &c) in comp.iter().enumerate() {
+            if plan.shard_of(RoadId(r as u32)) == shard {
+                active_comp[c as usize] = true;
+            }
+        }
+        let active: Vec<bool> = comp.iter().map(|&c| active_comp[c as usize]).collect();
+        let edges: Vec<_> = corr
+            .edges()
+            .iter()
+            .filter(|e| active[e.a.index()])
+            .copied()
+            .collect();
+        let masked = CorrelationGraph::from_edges(n, edges)
+            .expect("masked edges are a subset of a validated graph");
+        // Rebuilding from (masked graph, stats, config) reproduces the
+        // serving model's priors bitwise and — because whole components
+        // keep every degree — its couplings too.
+        let trend = TrendModel::new(masked, &self.stats, self.trend_model.config().clone());
+        Ok(ShardView {
+            shard,
+            plan_fingerprint: plan.fingerprint(),
+            owned: plan.owned_roads(shard),
+            active,
+            trend,
+        })
+    }
+
+    /// Estimates the roads in `roads` (each owned by `view`, any
+    /// order) at `slot_of_day` — the shard worker's serving path.
+    ///
+    /// Runs the same two steps as
+    /// [`TrafficEstimator::estimate_with`] against the view's masked
+    /// trend model and a masked deviation propagation, so per-request
+    /// inference cost scales with the shard's share of the correlation
+    /// graph instead of the whole city — while every returned value is
+    /// bit-identical to the corresponding entry of the full estimate
+    /// (pinned by `shard_serving_is_bit_identical` below and the
+    /// router integration tests).
+    ///
+    /// The full observation list must be supplied (not just this
+    /// shard's): the citywide-mean and spatial features read every
+    /// seed, and seeds in foreign components enter as isolated
+    /// evidence with no effect on owned posteriors.
+    pub fn estimate_shard_with(
+        &self,
+        view: &ShardView,
+        slot_of_day: usize,
+        observations: &[(RoadId, f64)],
+        roads: &[RoadId],
+        scratch: &mut EstimateScratch,
+    ) -> Result<ShardEstimate> {
+        if observations.is_empty() {
+            return Err(CoreError::NoObservations);
+        }
+        let n = self.trend_model.num_roads();
+        for &r in roads {
+            if r.index() >= n {
+                return Err(CoreError::InvalidRoad(r.0));
+            }
+            if !view.owns(r) {
+                return Err(CoreError::ShardConfig(format!(
+                    "road {} is not owned by shard {}",
+                    r.0, view.shard
+                )));
+            }
+        }
+        let EstimateScratch {
+            trend,
+            hlm,
+            seed_devs,
+            trend_obs,
+            road_pos,
+        } = scratch;
+
+        // Translate observations exactly as the unsharded path does.
+        seed_devs.clear();
+        seed_devs.resize(self.seeds.len(), None);
+        trend_obs.clear();
+        let mut ignored = 0usize;
+        for &(road, speed) in observations {
+            let Some(si) = self.seed_index.get(road.index()).copied().flatten() else {
+                ignored += 1;
+                continue;
+            };
+            trend_obs.push((road, self.stats.trend_of(slot_of_day, road, speed)));
+            seed_devs[si] = self.stats.deviation_of(slot_of_day, road, speed);
+        }
+
+        // Step 1 on the masked model (full-width posteriors).
+        let stats = view
+            .trend
+            .infer_with(slot_of_day, trend_obs, &self.engine, trend);
+
+        // Step 2 restricted to the requested roads.
+        self.hlm.predict_deviations_masked(
+            seed_devs,
+            &trend.p_up,
+            view.trend.correlation(),
+            roads,
+            hlm,
+        );
+        let devs = hlm.deviations();
+        let mut speeds: Vec<f64> = roads
+            .iter()
+            .zip(devs)
+            .map(|(&road, &d)| d * self.stats.mean(slot_of_day, road))
+            .collect();
+        // Seeds report their crowd-observed speeds verbatim.
+        road_pos.resize(n, u32::MAX);
+        for (i, &r) in roads.iter().enumerate() {
+            road_pos[r.index()] = i as u32;
+        }
+        for &(road, speed) in observations {
+            if self
+                .seed_index
+                .get(road.index())
+                .copied()
+                .flatten()
+                .is_some()
+            {
+                let p = road_pos[road.index()];
+                if p != u32::MAX {
+                    speeds[p as usize] = speed;
+                }
+            }
+        }
+        for &r in roads {
+            road_pos[r.index()] = u32::MAX;
+        }
+
+        Ok(ShardEstimate {
+            speeds,
+            p_up: roads.iter().map(|&r| trend.p_up[r.index()]).collect(),
+            trends: roads
+                .iter()
+                .map(|&r| trend.p_up[r.index()] >= 0.5)
+                .collect(),
+            confidence: roads.iter().map(|&r| self.coverage[r.index()]).collect(),
+            trend_iterations: stats.iterations,
+            ignored_observations: ignored,
+        })
     }
 }
 
@@ -728,6 +914,163 @@ mod tests {
         )
         .unwrap();
         (ds, stats, est, seeds)
+    }
+
+    /// Like [`setup`] but with a co-trend threshold that fragments the
+    /// correlation graph into several components — the structure the
+    /// shard planner exploits.
+    fn sharded_setup(
+        config: &EstimatorConfig,
+    ) -> (
+        trafficsim::dataset::Dataset,
+        CorrelationGraph,
+        TrafficEstimator,
+        Vec<RoadId>,
+    ) {
+        let ds = metro_small(&DatasetParams {
+            training_days: 12,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let stats = HistoryStats::compute(&ds.history);
+        let corr = CorrelationGraph::build(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &CorrelationConfig {
+                min_cotrend: 0.8,
+                min_co_observations: 6,
+                ..CorrelationConfig::default()
+            },
+        );
+        let seeds: Vec<RoadId> = (0..20u32).map(|i| RoadId(i * 5)).collect();
+        let est =
+            TrafficEstimator::train(&ds.graph, &ds.history, &stats, &corr, &seeds, config).unwrap();
+        (ds, corr, est, seeds)
+    }
+
+    #[test]
+    fn shard_serving_is_bit_identical() {
+        let (ds, corr, est, seeds) = sharded_setup(&EstimatorConfig::default());
+        let slot = 8;
+        let truth = &ds.test_days[0];
+        let obs: Vec<(RoadId, f64)> = seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
+        let full = est.estimate(slot, &obs);
+
+        for shards in [1usize, 2, 3] {
+            let plan = crate::shard::ShardPlan::plan(&ds.graph, &corr, shards).unwrap();
+            let mut scratch = EstimateScratch::new();
+            let mut covered = vec![false; ds.graph.num_roads()];
+            let mut max_iters = 0;
+            for s in 0..plan.num_shards {
+                let view = est.shard_view(&plan, s).unwrap();
+                assert!(view.active_roads() >= view.owned_roads().len());
+                let owned = view.owned_roads().to_vec();
+                let se = est
+                    .estimate_shard_with(&view, slot, &obs, &owned, &mut scratch)
+                    .unwrap();
+                assert_eq!(se.ignored_observations, full.ignored_observations);
+                max_iters = max_iters.max(se.trend_iterations);
+                for (i, &r) in owned.iter().enumerate() {
+                    assert!(!covered[r.index()], "road {r} served twice");
+                    covered[r.index()] = true;
+                    assert_eq!(
+                        se.speeds[i].to_bits(),
+                        full.speeds[r.index()].to_bits(),
+                        "{shards} shards, shard {s}, road {r}: speed"
+                    );
+                    assert_eq!(
+                        se.p_up[i].to_bits(),
+                        full.p_up[r.index()].to_bits(),
+                        "{shards} shards, shard {s}, road {r}: p_up"
+                    );
+                    assert_eq!(se.trends[i], full.trends[r.index()]);
+                    assert_eq!(
+                        se.confidence[i].to_bits(),
+                        full.confidence[r.index()].to_bits()
+                    );
+                }
+            }
+            assert!(
+                covered.iter().all(|&c| c),
+                "{shards} shards: roads unserved"
+            );
+            // Each component converges identically in both worlds, so
+            // the slowest shard matches the unsharded iteration count.
+            assert_eq!(max_iters, full.trend_iterations, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn shard_subset_requests_align_to_request_order() {
+        let (ds, corr, est, seeds) = sharded_setup(&EstimatorConfig::default());
+        let slot = 8;
+        let truth = &ds.test_days[0];
+        let obs: Vec<(RoadId, f64)> = seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
+        let full = est.estimate(slot, &obs);
+        let plan = crate::shard::ShardPlan::plan(&ds.graph, &corr, 2).unwrap();
+        let view = est.shard_view(&plan, 1).unwrap();
+        // A permuted strict subset of the owned roads.
+        let mut subset: Vec<RoadId> = view.owned_roads().iter().copied().step_by(3).collect();
+        subset.reverse();
+        assert!(subset.len() >= 2);
+        let se = est
+            .estimate_shard_with(&view, slot, &obs, &subset, &mut EstimateScratch::new())
+            .unwrap();
+        for (i, &r) in subset.iter().enumerate() {
+            assert_eq!(se.speeds[i].to_bits(), full.speeds[r.index()].to_bits());
+            assert_eq!(se.p_up[i].to_bits(), full.p_up[r.index()].to_bits());
+        }
+    }
+
+    #[test]
+    fn shard_view_rejects_bad_configurations() {
+        let gibbs = EstimatorConfig {
+            engine: TrendEngine::Gibbs {
+                options: Default::default(),
+                seed: 7,
+            },
+            ..EstimatorConfig::default()
+        };
+        let (ds, corr, est, seeds) = sharded_setup(&gibbs);
+        let plan = crate::shard::ShardPlan::plan(&ds.graph, &corr, 2).unwrap();
+        assert!(matches!(
+            est.shard_view(&plan, 0),
+            Err(CoreError::ShardConfig(_))
+        ));
+
+        let (ds, corr, est, _) = sharded_setup(&EstimatorConfig::default());
+        let plan = crate::shard::ShardPlan::plan(&ds.graph, &corr, 2).unwrap();
+        // Shard index out of range.
+        assert!(matches!(
+            est.shard_view(&plan, 2),
+            Err(CoreError::ShardConfig(_))
+        ));
+        // Requests must stay within the shard's owned set.
+        let view = est.shard_view(&plan, 0).unwrap();
+        let foreign = *est
+            .shard_view(&plan, 1)
+            .unwrap()
+            .owned_roads()
+            .first()
+            .unwrap();
+        let slot = 8;
+        let truth = &ds.test_days[0];
+        let obs: Vec<(RoadId, f64)> = seeds.iter().map(|&s| (s, truth.speed(slot, s))).collect();
+        assert!(matches!(
+            est.estimate_shard_with(&view, slot, &obs, &[foreign], &mut EstimateScratch::new()),
+            Err(CoreError::ShardConfig(_))
+        ));
+        assert!(matches!(
+            est.estimate_shard_with(
+                &view,
+                slot,
+                &[],
+                view.owned_roads(),
+                &mut EstimateScratch::new()
+            ),
+            Err(CoreError::NoObservations)
+        ));
     }
 
     fn observe(

@@ -63,6 +63,7 @@ pub mod propagate;
 pub mod routing;
 pub mod seed;
 pub mod serve;
+pub mod shard;
 
 /// Convenient re-exports of the main public types.
 pub mod prelude {
@@ -83,7 +84,7 @@ pub mod prelude {
     pub use crate::seed::greedy::greedy;
     pub use crate::seed::lazy_greedy::lazy_greedy;
     pub use crate::seed::objective::{InfluenceConfig, InfluenceModel, SeedObjective};
-    pub use crate::seed::partition::partition_greedy;
+    pub use crate::seed::partition::{partition_greedy, partition_roads};
     pub use crate::serve::{
         serve_batch, BatchOutcome, EstimateRequest, ServeJob, ServeMetrics, ServeOptions, ServePool,
     };
@@ -148,6 +149,12 @@ pub enum CoreError {
         /// rejected insertion, `false` for a rejected update/removal).
         present: bool,
     },
+    /// Sharded serving was requested under a configuration that cannot
+    /// reproduce the unsharded estimator bit-for-bit — a sampling trend
+    /// engine, a shard index outside the plan, a plan sized for a
+    /// different graph — or a shard request named a road the shard does
+    /// not own (a router/worker plan mismatch).
+    ShardConfig(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -176,6 +183,7 @@ impl std::fmt::Display for CoreError {
                 };
                 write!(f, "delta mismatch on edge ({a}, {b}): edge {state}")
             }
+            CoreError::ShardConfig(msg) => write!(f, "shard configuration: {msg}"),
         }
     }
 }

@@ -111,7 +111,16 @@ pub fn partition_greedy(
 
 /// Balanced multi-source BFS partition: sources are spread by a
 /// farthest-first sweep, then labels grow outward one ring at a time.
-/// Unreachable roads join the smallest part.
+/// Unreachable roads are round-robined across parts.
+///
+/// Deterministic for a given graph (no randomness: source picking and
+/// BFS order are index-ordered). Every road gets a label `< parts`
+/// (capped at the road count). Besides seed selection this is the
+/// geometric first pass of the shard planner ([`crate::shard`]).
+pub fn partition_roads(corr: &CorrelationGraph, parts: usize) -> Vec<usize> {
+    bfs_partition(corr, parts.clamp(1, corr.num_roads().max(1)))
+}
+
 fn bfs_partition(corr: &CorrelationGraph, parts: usize) -> Vec<usize> {
     let n = corr.num_roads();
     let mut labels = vec![usize::MAX; n];
@@ -260,5 +269,70 @@ mod tests {
         let corr = random_corr(5, 0.5, 9);
         let res = partition_greedy(&corr, &InfluenceConfig::default(), 3, 50);
         assert_eq!(res.seeds.len(), 3);
+    }
+
+    #[test]
+    fn partition_is_deterministic_across_runs() {
+        let corr = random_corr(70, 0.07, 11);
+        let config = InfluenceConfig::default();
+        let a = partition_greedy(&corr, &config, 14, 4);
+        let b = partition_greedy(&corr, &config, 14, 4);
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.gains, b.gains);
+        assert_eq!(partition_roads(&corr, 4), partition_roads(&corr, 4));
+    }
+
+    #[test]
+    fn partition_balance_bounds_on_connected_graph() {
+        // A ring is connected and symmetric; synchronised BFS growth
+        // from farthest-first sources must keep parts balanced.
+        let n = 64usize;
+        let edges: Vec<CorrelationEdge> = (0..n as u32)
+            .map(|a| CorrelationEdge {
+                a: RoadId(a),
+                b: RoadId((a + 1) % n as u32),
+                cotrend: 0.8,
+                support: 40,
+            })
+            .collect();
+        let corr = CorrelationGraph::from_edges(n, edges).unwrap();
+        for parts in [2usize, 4, 8] {
+            let labels = partition_roads(&corr, parts);
+            let mut sizes = vec![0usize; parts];
+            for &l in &labels {
+                sizes[l] += 1;
+            }
+            let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+            assert!(min > 0, "{parts} parts: empty part, sizes {sizes:?}");
+            assert!(
+                max <= 2 * n / parts,
+                "{parts} parts: worst part {max} > 2x fair share, sizes {sizes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_degenerate_part_counts() {
+        let corr = random_corr(12, 0.2, 13);
+        // N = 1: everything in part 0.
+        assert!(partition_roads(&corr, 1).iter().all(|&l| l == 0));
+        // N = 0 is clamped up to 1.
+        assert!(partition_roads(&corr, 0).iter().all(|&l| l == 0));
+        // N >= roads: still every label < clamped part count, all roads
+        // labelled.
+        let labels = partition_roads(&corr, 50);
+        assert_eq!(labels.len(), 12);
+        assert!(labels.iter().all(|&l| l < 12));
+        // partition_greedy in the same degenerate regimes keeps budget.
+        let r1 = partition_greedy(&corr, &InfluenceConfig::default(), 4, 1);
+        assert_eq!(r1.seeds.len(), 4);
+        let rn = partition_greedy(&corr, &InfluenceConfig::default(), 4, 12);
+        assert_eq!(rn.seeds.len(), 4);
+    }
+
+    #[test]
+    fn empty_graph_partition() {
+        let corr = CorrelationGraph::from_edges(0, Vec::new()).unwrap();
+        assert!(partition_roads(&corr, 3).is_empty());
     }
 }

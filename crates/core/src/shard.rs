@@ -1,0 +1,491 @@
+//! Shard planning for city-scale fleet serving.
+//!
+//! A [`ShardPlan`] partitions the road set into `N` shards so a fleet
+//! of workers can serve `ESTIMATE` traffic in parallel, with a router
+//! scatter-gathering by road id (`server::router`). The planner reuses
+//! the balanced multi-source BFS partitioner behind
+//! [`crate::seed::partition::partition_greedy`]
+//! ([`crate::seed::partition::partition_roads`]) as a geometric first
+//! pass, then **aligns shard boundaries to correlation-graph connected
+//! components**: every component lands wholly inside one shard.
+//!
+//! Component alignment is what makes sharded serving *exact* rather
+//! than approximate. Trend inference (per-component LBP convergence,
+//! `graphmodel::lbp`) and deviation propagation
+//! ([`crate::propagate`]) never move information across component
+//! boundaries, so a worker that keeps only its own components' edges
+//! computes bit-identical posteriors for its roads — the
+//! router-vs-single-daemon bit-identity the serving tests pin. The
+//! price is a balance constraint: a shard must take a component whole,
+//! so `balance` in [`ShardStats`] degrades when one component
+//! dominates the graph (the planner still produces a valid plan).
+//!
+//! The plan is deterministic for a given `(graph, correlation graph,
+//! shard count)` — every fleet worker recomputes it locally from the
+//! shared dataset flags and cross-checks the [`ShardPlan::fingerprint`]
+//! instead of shipping a plan file.
+
+use crate::correlation::CorrelationGraph;
+use crate::seed::partition::partition_roads;
+use crate::{CoreError, Result};
+use roadnet::{RoadGraph, RoadId};
+
+/// Version of the planning algorithm; bumped whenever the assignment
+/// for a given input could change, so mixed-version fleets fail the
+/// fingerprint cross-check instead of serving from disagreeing maps.
+pub const SHARD_PLAN_VERSION: u32 = 1;
+
+/// Weight slack: a component may ride with its geometric (BFS) shard
+/// as long as that shard stays within this factor of the ideal weight;
+/// otherwise it spills to the lightest shard.
+const BALANCE_SLACK: f64 = 1.05;
+
+/// Cut statistics and balance figures of a [`ShardPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Roads owned by each shard.
+    pub shard_roads: Vec<usize>,
+    /// Balance weight of each shard (`roads + 2·corr edges` — a proxy
+    /// for per-sweep inference cost).
+    pub shard_weights: Vec<u64>,
+    /// Connected components in the correlation graph (isolated roads
+    /// count as singleton components).
+    pub corr_components: usize,
+    /// Correlation edges crossing shard boundaries. Always 0 by
+    /// construction (component alignment); reported so consumers can
+    /// assert the invariant rather than trust it.
+    pub corr_edges_cut: usize,
+    /// Road-network adjacencies crossing shard boundaries (purely
+    /// informational: the estimator does not couple over them).
+    pub roadnet_edges_cut: usize,
+    /// Heaviest shard's weight over the ideal `total/num_shards`
+    /// weight; 1.0 is perfect balance.
+    pub balance: f64,
+}
+
+/// A versioned road→shard assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    /// Planning-algorithm version ([`SHARD_PLAN_VERSION`]).
+    pub version: u32,
+    /// Number of shards (clamped to the road count).
+    pub num_shards: usize,
+    /// Owning shard per road, indexed by `RoadId`.
+    pub assignment: Vec<u16>,
+    /// Cut and balance statistics.
+    pub stats: ShardStats,
+}
+
+/// Connected components of a correlation graph: per-road component id
+/// (compact, numbered in ascending order of each component's smallest
+/// road) and the component count.
+pub(crate) fn correlation_components(corr: &CorrelationGraph) -> (Vec<u32>, usize) {
+    let n = corr.num_roads();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if comp[start] != u32::MAX {
+            continue;
+        }
+        comp[start] = next;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for (v, _) in corr.neighbors(RoadId(u as u32)) {
+                if comp[v.index()] == u32::MAX {
+                    comp[v.index()] = next;
+                    stack.push(v.index());
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+impl ShardPlan {
+    /// Plans `num_shards` component-aligned shards over the road set.
+    ///
+    /// `num_shards` is clamped to `[1, roads]`; shard counts above
+    /// `u16::MAX` are rejected. The resulting assignment is
+    /// deterministic (no randomness anywhere in the pipeline).
+    pub fn plan(
+        graph: &RoadGraph,
+        corr: &CorrelationGraph,
+        num_shards: usize,
+    ) -> Result<ShardPlan> {
+        let n = corr.num_roads();
+        if graph.num_roads() != n {
+            return Err(CoreError::ShapeMismatch {
+                expected: format!("{} roads (correlation graph)", n),
+                got: format!("{} roads (road graph)", graph.num_roads()),
+            });
+        }
+        let k = num_shards.clamp(1, n.max(1));
+        if k > u16::MAX as usize {
+            return Err(CoreError::InsufficientData(format!(
+                "{k} shards exceed the u16 assignment range"
+            )));
+        }
+
+        // Pass 1 — geometry: the seed-selection partitioner labels
+        // every road by balanced multi-source BFS.
+        let labels = partition_roads(corr, k);
+
+        // Pass 2 — component alignment: group roads into correlation
+        // components, give each component the plurality label of its
+        // members (ties to the smallest label).
+        let (comp, ncomp) = correlation_components(corr);
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); ncomp];
+        for r in 0..n {
+            members[comp[r] as usize].push(r as u32);
+        }
+        let mut comp_edges = vec![0u64; ncomp];
+        for e in corr.edges() {
+            comp_edges[comp[e.a.index()] as usize] += 1;
+        }
+        let mut preferred = Vec::with_capacity(ncomp);
+        let mut weight = Vec::with_capacity(ncomp);
+        let mut votes = vec![0u32; k];
+        for c in 0..ncomp {
+            for v in votes.iter_mut() {
+                *v = 0;
+            }
+            for &r in &members[c] {
+                votes[labels[r as usize]] += 1;
+            }
+            let best = (0..k)
+                .max_by_key(|&s| (votes[s], std::cmp::Reverse(s)))
+                .expect("k >= 1");
+            preferred.push(best);
+            weight.push(members[c].len() as u64 + 2 * comp_edges[c]);
+        }
+
+        // Pass 3 — balance: place components heaviest-first; each goes
+        // to its geometric shard while that shard stays within
+        // `BALANCE_SLACK` of the ideal weight, else to the lightest
+        // shard. Deterministic order: weight desc, component id asc.
+        let total: u64 = weight.iter().sum();
+        let ideal = total as f64 / k as f64;
+        let mut order: Vec<usize> = (0..ncomp).collect();
+        order.sort_by_key(|&c| (std::cmp::Reverse(weight[c]), c));
+        let mut shard_weights = vec![0u64; k];
+        let mut assignment = vec![0u16; n];
+        for &c in &order {
+            let pref = preferred[c];
+            let target = if (shard_weights[pref] + weight[c]) as f64 <= ideal * BALANCE_SLACK {
+                pref
+            } else {
+                (0..k)
+                    .min_by_key(|&s| (shard_weights[s], s))
+                    .expect("k >= 1")
+            };
+            shard_weights[target] += weight[c];
+            for &r in &members[c] {
+                assignment[r as usize] = target as u16;
+            }
+        }
+
+        // Statistics.
+        let mut shard_roads = vec![0usize; k];
+        for &a in &assignment {
+            shard_roads[a as usize] += 1;
+        }
+        let corr_edges_cut = corr
+            .edges()
+            .iter()
+            .filter(|e| assignment[e.a.index()] != assignment[e.b.index()])
+            .count();
+        debug_assert_eq!(corr_edges_cut, 0, "component alignment violated");
+        let mut roadnet_edges_cut = 0usize;
+        for r in 0..n {
+            let road = RoadId(r as u32);
+            for &nb in graph.neighbors(road) {
+                if nb.index() > r && assignment[r] != assignment[nb.index()] {
+                    roadnet_edges_cut += 1;
+                }
+            }
+        }
+        let max_w = shard_weights.iter().copied().max().unwrap_or(0);
+        let balance = if total == 0 {
+            1.0
+        } else {
+            max_w as f64 / ideal
+        };
+
+        Ok(ShardPlan {
+            version: SHARD_PLAN_VERSION,
+            num_shards: k,
+            assignment,
+            stats: ShardStats {
+                shard_roads,
+                shard_weights,
+                corr_components: ncomp,
+                corr_edges_cut,
+                roadnet_edges_cut,
+                balance,
+            },
+        })
+    }
+
+    /// The shard owning `road`.
+    #[inline]
+    pub fn shard_of(&self, road: RoadId) -> usize {
+        self.assignment[road.index()] as usize
+    }
+
+    /// Number of roads in the plan.
+    #[inline]
+    pub fn num_roads(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The roads owned by `shard`, ascending.
+    pub fn owned_roads(&self, shard: usize) -> Vec<RoadId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a as usize == shard)
+            .map(|(r, _)| RoadId(r as u32))
+            .collect()
+    }
+
+    /// FNV-1a fingerprint over the plan version, shard count, and full
+    /// assignment. Fleet workers and the router each compute the plan
+    /// locally and compare fingerprints before serving together.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for b in self.version.to_le_bytes() {
+            eat(b);
+        }
+        for b in (self.num_shards as u64).to_le_bytes() {
+            eat(b);
+        }
+        for &a in &self.assignment {
+            for b in a.to_le_bytes() {
+                eat(b);
+            }
+        }
+        h
+    }
+}
+
+/// A worker's serving-time view of one shard: the roads it owns plus a
+/// **masked trend model** covering exactly the live correlation
+/// components that intersect those roads.
+///
+/// Built by [`crate::inference::pipeline::TrafficEstimator::shard_view`]
+/// at every epoch publish (the active component set can grow as
+/// ingested days merge components). The masked model keeps the full
+/// road-id space — priors, evidence and marginals stay full-width so no
+/// index translation appears anywhere on the serving path — but drops
+/// every edge outside the shard's components, making each inference
+/// sweep cost proportional to the shard's share of the graph while
+/// remaining bit-identical to the full model on owned roads (see the
+/// restriction notes on `graphmodel::lbp::run_with` and the module
+/// docs above).
+#[derive(Debug, Clone)]
+pub struct ShardView {
+    pub(crate) shard: usize,
+    pub(crate) plan_fingerprint: u64,
+    /// Owned roads, ascending.
+    pub(crate) owned: Vec<RoadId>,
+    /// Road is in a live component intersecting the owned set.
+    pub(crate) active: Vec<bool>,
+    /// Masked trend model (full-width, component-subset edges).
+    pub(crate) trend: crate::inference::trend_model::TrendModel,
+}
+
+impl ShardView {
+    /// The shard index this view serves.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Fingerprint of the plan the view was derived from.
+    pub fn plan_fingerprint(&self) -> u64 {
+        self.plan_fingerprint
+    }
+
+    /// The roads this shard owns, ascending.
+    pub fn owned_roads(&self) -> &[RoadId] {
+        &self.owned
+    }
+
+    /// Whether `road` is owned by this shard.
+    pub fn owns(&self, road: RoadId) -> bool {
+        self.owned.binary_search(&road).is_ok()
+    }
+
+    /// Number of roads in the shard's active (component-closed) set;
+    /// always ≥ the owned count.
+    pub fn active_roads(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Correlation edges the masked model retains.
+    pub fn active_edges(&self) -> usize {
+        self.trend.correlation().num_edges()
+    }
+}
+
+/// A shard worker's answer for an owned-road subset: every vector is
+/// aligned to the request's road list (see
+/// [`crate::inference::pipeline::TrafficEstimator::estimate_shard_with`]).
+#[derive(Debug, Clone)]
+pub struct ShardEstimate {
+    /// Estimated speed (km/h) per requested road; observed seeds echo
+    /// their crowd speeds verbatim.
+    pub speeds: Vec<f64>,
+    /// Step-1 posterior up-probability per requested road.
+    pub p_up: Vec<f64>,
+    /// Hard trend decisions per requested road.
+    pub trends: Vec<bool>,
+    /// Seed-coverage confidence per requested road.
+    pub confidence: Vec<f64>,
+    /// Iterations the trend engine used on the masked model. Over a
+    /// full scatter (every shard queried) the maximum across shards
+    /// equals the unsharded engine's count: each component freezes
+    /// identically in both.
+    pub trend_iterations: usize,
+    /// Observations naming roads outside the estimator's seed set.
+    /// Every shard sees the full observation list, so each reports the
+    /// same value as the unsharded estimator; routers merge with `max`.
+    pub ignored_observations: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::{CorrelationConfig, CorrelationGraph};
+    use trafficsim::dataset::{metro_small, DatasetParams};
+    use trafficsim::HistoryStats;
+
+    fn small_inputs() -> (RoadGraph, CorrelationGraph) {
+        let ds = metro_small(&DatasetParams {
+            training_days: 6,
+            test_days: 1,
+            ..DatasetParams::default()
+        });
+        let stats = HistoryStats::compute(&ds.history);
+        // A high co-trend threshold fragments metro-small into several
+        // components, which is the structure sharding exploits.
+        let corr = CorrelationGraph::build(
+            &ds.graph,
+            &ds.history,
+            &stats,
+            &CorrelationConfig {
+                min_cotrend: 0.8,
+                min_co_observations: 6,
+                ..CorrelationConfig::default()
+            },
+        );
+        (ds.graph, corr)
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_component_aligned() {
+        let (graph, corr) = small_inputs();
+        let a = ShardPlan::plan(&graph, &corr, 3).unwrap();
+        let b = ShardPlan::plan(&graph, &corr, 3).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.num_shards, 3);
+        assert_eq!(a.stats.corr_edges_cut, 0);
+        // Every component lands in exactly one shard.
+        let (comp, ncomp) = correlation_components(&corr);
+        let mut shard_of_comp = vec![None; ncomp];
+        for (r, &c) in comp.iter().enumerate() {
+            let s = a.assignment[r];
+            match shard_of_comp[c as usize] {
+                None => shard_of_comp[c as usize] = Some(s),
+                Some(prev) => assert_eq!(prev, s, "component {c} split"),
+            }
+        }
+    }
+
+    #[test]
+    fn plan_covers_all_roads_with_reasonable_balance() {
+        let (graph, corr) = small_inputs();
+        let plan = ShardPlan::plan(&graph, &corr, 4).unwrap();
+        assert_eq!(plan.stats.shard_roads.iter().sum::<usize>(), 100);
+        for s in 0..4 {
+            assert!(
+                plan.stats.shard_roads[s] > 0,
+                "shard {s} empty: {:?}",
+                plan.stats.shard_roads
+            );
+        }
+        // Provable bound of the placement rule: a shard exceeds the
+        // slack band only by being the lightest when it received a
+        // spilled component, so max weight ≤ ideal + heaviest
+        // component (components are indivisible).
+        let (comp, ncomp) = correlation_components(&corr);
+        let mut comp_w = vec![0u64; ncomp];
+        for &c in &comp {
+            comp_w[c as usize] += 1;
+        }
+        for e in corr.edges() {
+            comp_w[comp[e.a.index()] as usize] += 2;
+        }
+        let w_max = *comp_w.iter().max().unwrap() as f64;
+        let total: u64 = plan.stats.shard_weights.iter().sum();
+        let ideal = total as f64 / 4.0;
+        let bound = (1.0 + w_max / ideal).max(BALANCE_SLACK);
+        assert!(
+            plan.stats.balance <= bound + 1e-9,
+            "balance {} exceeds bound {bound} with weights {:?}",
+            plan.stats.balance,
+            plan.stats.shard_weights
+        );
+        // owned_roads is the inverse of the assignment.
+        let mut total = 0;
+        for s in 0..4 {
+            let owned = plan.owned_roads(s);
+            assert!(owned.windows(2).all(|w| w[0] < w[1]));
+            for &r in &owned {
+                assert_eq!(plan.shard_of(r), s);
+            }
+            total += owned.len();
+        }
+        assert_eq!(total, plan.num_roads());
+    }
+
+    #[test]
+    fn degenerate_shard_counts() {
+        let (graph, corr) = small_inputs();
+        let one = ShardPlan::plan(&graph, &corr, 1).unwrap();
+        assert!(one.assignment.iter().all(|&a| a == 0));
+        assert_eq!(one.stats.roadnet_edges_cut, 0);
+        assert!((one.stats.balance - 1.0).abs() < 1e-12);
+        // Zero clamps to one; absurd counts clamp to the road count.
+        let zero = ShardPlan::plan(&graph, &corr, 0).unwrap();
+        assert_eq!(zero.num_shards, 1);
+        let many = ShardPlan::plan(&graph, &corr, 10_000).unwrap();
+        assert_eq!(many.num_shards, 100);
+        assert!(many.assignment.iter().all(|&a| (a as usize) < 100));
+    }
+
+    #[test]
+    fn fingerprint_tracks_plan_identity() {
+        let (graph, corr) = small_inputs();
+        let a = ShardPlan::plan(&graph, &corr, 2).unwrap();
+        let b = ShardPlan::plan(&graph, &corr, 2).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = ShardPlan::plan(&graph, &corr, 3).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn mismatched_graphs_are_rejected() {
+        let (graph, _) = small_inputs();
+        let corr = CorrelationGraph::from_edges(3, Vec::new()).unwrap();
+        assert!(matches!(
+            ShardPlan::plan(&graph, &corr, 2),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+    }
+}

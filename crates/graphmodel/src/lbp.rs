@@ -76,6 +76,8 @@ pub struct LbpStats {
 pub struct LbpWorkspace {
     messages: Vec<f64>,
     marginals: Vec<f64>,
+    comp_delta: Vec<f64>,
+    frozen: Vec<bool>,
 }
 
 impl LbpWorkspace {
@@ -126,6 +128,15 @@ pub fn run(mrf: &PairwiseMrf, evidence: &Evidence, opts: &LbpOptions) -> LbpResu
 
 /// Runs LBP reusing the buffers in `ws`; identical message schedule and
 /// arithmetic to [`run`], so results are bit-identical.
+///
+/// Convergence is tracked **per connected component**: a component
+/// whose sweep-maximum message change falls below `tol` freezes and is
+/// skipped in later sweeps; the run converges when every component is
+/// frozen. Messages never cross components, so freezing is exact — and
+/// it makes each component's message trajectory depend only on its own
+/// nodes, edges and evidence. That restriction property is what lets a
+/// sharded server run LBP on a component-aligned sub-model and obtain
+/// bit-identical marginals to the full model (`core::shard`).
 pub fn run_with(
     mrf: &PairwiseMrf,
     evidence: &Evidence,
@@ -135,22 +146,37 @@ pub fn run_with(
     let n = mrf.num_vars();
     assert_eq!(evidence.len(), n, "evidence covers a different model");
     let nslots = mrf.targets.len();
+    let ncomp = mrf.num_components();
     // Split borrows: messages and marginals are used simultaneously.
     let LbpWorkspace {
         messages: m,
         marginals,
+        comp_delta,
+        frozen,
     } = ws;
     // m[d]: message from the owner of slot d to targets[d], as P(up).
     m.clear();
     m.resize(nslots, 0.5);
+    comp_delta.clear();
+    comp_delta.resize(ncomp, 0.0);
+    frozen.clear();
+    frozen.resize(ncomp, false);
 
     let mut iterations = 0;
     let mut max_delta = f64::INFINITY;
     let mut converged = false;
     while iterations < opts.max_iters {
         iterations += 1;
-        max_delta = 0.0;
+        for (c, d) in comp_delta.iter_mut().enumerate() {
+            if !frozen[c] {
+                *d = 0.0;
+            }
+        }
         for u in 0..n {
+            let c = mrf.component(u);
+            if frozen[c] {
+                continue;
+            }
             let pu = node_up(mrf, evidence, u);
             // Total incoming log-product for both states.
             let mut lup = pu.ln();
@@ -179,13 +205,31 @@ pub fn run_with(
                 let new = clamp_msg(out_up / (out_up + out_down));
                 let damped = clamp_msg(opts.damping * m[d] + (1.0 - opts.damping) * new);
                 let delta = (damped - m[d]).abs();
-                if delta > max_delta {
-                    max_delta = delta;
+                if delta > comp_delta[c] {
+                    comp_delta[c] = delta;
                 }
                 m[d] = damped;
             }
         }
-        if max_delta < opts.tol {
+        // max_delta reports this sweep's active components (a component
+        // freezing right now still contributes its final sub-tol delta,
+        // matching the pre-freezing semantics on connected graphs).
+        max_delta = 0.0;
+        let mut all_frozen = true;
+        for (c, f) in frozen.iter_mut().enumerate() {
+            if *f {
+                continue;
+            }
+            if comp_delta[c] > max_delta {
+                max_delta = comp_delta[c];
+            }
+            if comp_delta[c] < opts.tol {
+                *f = true;
+            } else {
+                all_frozen = false;
+            }
+        }
+        if all_frozen {
             converged = true;
             break;
         }
@@ -335,6 +379,74 @@ mod tests {
             max_delta: 0.0,
         };
         assert_eq!(r.decisions(), vec![false, true, true]);
+    }
+
+    #[test]
+    fn component_restriction_is_bitwise_exact() {
+        // Two loopy components with very different convergence speeds:
+        // running the full model and running a same-width model that
+        // keeps only one component's edges must produce bit-identical
+        // marginals on that component's nodes. This is the property the
+        // sharded serving path relies on.
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 14;
+        let comp_a: Vec<usize> = (0..6).collect();
+        let comp_b: Vec<usize> = (6..n).collect();
+        let mut priors = vec![0.5; n];
+        for p in priors.iter_mut() {
+            *p = rng.gen_range(0.2..0.8);
+        }
+        let mut edges_a = Vec::new();
+        for i in 0..comp_a.len() {
+            // Ring plus a chord: loopy.
+            edges_a.push((comp_a[i], comp_a[(i + 1) % comp_a.len()], 0.6));
+        }
+        edges_a.push((comp_a[0], comp_a[3], 0.7));
+        let mut edges_b = Vec::new();
+        for i in 0..comp_b.len() {
+            edges_b.push((comp_b[i], comp_b[(i + 1) % comp_b.len()], 0.92));
+        }
+        edges_b.push((comp_b[1], comp_b[5], 0.9));
+        edges_b.push((comp_b[2], comp_b[6], 0.88));
+
+        let build = |edge_sets: &[&[(usize, usize, f64)]]| {
+            let mut b = MrfBuilder::new(n);
+            for (v, &p) in priors.iter().enumerate() {
+                b.set_prior(v, p);
+            }
+            for es in edge_sets {
+                for &(u, v, w) in *es {
+                    b.add_edge(u, v, w).unwrap();
+                }
+            }
+            b.build()
+        };
+        let full = build(&[&edges_a, &edges_b]);
+        let only_a = build(&[&edges_a]);
+        let only_b = build(&[&edges_b]);
+        assert_eq!(full.num_components(), 2);
+
+        let ev = Evidence::from_pairs(n, [(1, true), (8, false)]);
+        let rf = run(&full, &ev, &LbpOptions::default());
+        let ra = run(&only_a, &ev, &LbpOptions::default());
+        let rb = run(&only_b, &ev, &LbpOptions::default());
+        assert!(rf.converged && ra.converged && rb.converged);
+        for &v in &comp_a {
+            assert_eq!(
+                rf.marginals[v].to_bits(),
+                ra.marginals[v].to_bits(),
+                "comp A var {v}"
+            );
+        }
+        for &v in &comp_b {
+            assert_eq!(
+                rf.marginals[v].to_bits(),
+                rb.marginals[v].to_bits(),
+                "comp B var {v}"
+            );
+        }
+        // The full run stops when the slowest component does.
+        assert_eq!(rf.iterations, ra.iterations.max(rb.iterations));
     }
 
     #[test]

@@ -64,6 +64,42 @@ impl MrfBuilder {
     /// Freezes the model into CSR adjacency form.
     pub fn build(self) -> PairwiseMrf {
         let n = self.prior_up.len();
+        // Connected components via union-find, relabelled compactly in
+        // ascending order of each component's smallest variable so the
+        // ids are deterministic for a given edge set.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            let mut root = x;
+            while parent[root as usize] != root {
+                root = parent[root as usize];
+            }
+            let mut cur = x;
+            while parent[cur as usize] != root {
+                let next = parent[cur as usize];
+                parent[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        for &(u, v, _) in &self.edges {
+            let ru = find(&mut parent, u);
+            let rv = find(&mut parent, v);
+            if ru != rv {
+                // Union by smaller root id keeps the result order-free.
+                let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+                parent[hi as usize] = lo;
+            }
+        }
+        let mut component = vec![u32::MAX; n];
+        let mut num_components = 0u32;
+        for v in 0..n {
+            let root = find(&mut parent, v as u32) as usize;
+            if component[root] == u32::MAX {
+                component[root] = num_components;
+                num_components += 1;
+            }
+            component[v] = component[root];
+        }
         let mut degree = vec![0u32; n];
         for &(u, v, _) in &self.edges {
             degree[u as usize] += 1;
@@ -103,6 +139,8 @@ impl MrfBuilder {
             targets,
             same_prob,
             reverse,
+            component,
+            num_components,
         }
     }
 }
@@ -120,6 +158,8 @@ pub struct PairwiseMrf {
     pub(crate) targets: Vec<u32>,
     pub(crate) same_prob: Vec<f64>,
     pub(crate) reverse: Vec<u32>,
+    pub(crate) component: Vec<u32>,
+    pub(crate) num_components: u32,
 }
 
 impl PairwiseMrf {
@@ -157,6 +197,20 @@ impl PairwiseMrf {
     #[inline]
     pub fn degree(&self, v: usize) -> usize {
         self.slots(v).len()
+    }
+
+    /// Connected-component id of variable `v` (compact, deterministic:
+    /// components are numbered in ascending order of their smallest
+    /// variable). Isolated variables are singleton components.
+    #[inline]
+    pub fn component(&self, v: usize) -> usize {
+        self.component[v] as usize
+    }
+
+    /// Number of connected components (isolated variables count).
+    #[inline]
+    pub fn num_components(&self) -> usize {
+        self.num_components as usize
     }
 
     /// Re-weights the (first) coupling edge between `u` and `v` in
@@ -316,6 +370,40 @@ mod tests {
             Err(ModelError::InvalidVariable(7))
         );
         assert_eq!(m, before);
+    }
+
+    #[test]
+    fn components_are_compact_and_deterministic() {
+        // {0,1,4} ∪ {2,3} ∪ {5}: ids follow smallest member order.
+        let mut b = MrfBuilder::new(6);
+        b.add_edge(4, 1, 0.8).unwrap();
+        b.add_edge(0, 4, 0.7).unwrap();
+        b.add_edge(3, 2, 0.6).unwrap();
+        let m = b.build();
+        assert_eq!(m.num_components(), 3);
+        assert_eq!(
+            (0..6).map(|v| m.component(v)).collect::<Vec<_>>(),
+            vec![0, 0, 1, 1, 0, 2]
+        );
+        // Edge insertion order must not change the labelling.
+        let mut b2 = MrfBuilder::new(6);
+        b2.add_edge(3, 2, 0.6).unwrap();
+        b2.add_edge(0, 4, 0.7).unwrap();
+        b2.add_edge(4, 1, 0.8).unwrap();
+        let m2 = b2.build();
+        assert_eq!(
+            (0..6).map(|v| m.component(v)).collect::<Vec<_>>(),
+            (0..6).map(|v| m2.component(v)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn edgeless_model_is_all_singletons() {
+        let m = MrfBuilder::new(4).build();
+        assert_eq!(m.num_components(), 4);
+        for v in 0..4 {
+            assert_eq!(m.component(v), v);
+        }
     }
 
     #[test]

@@ -179,10 +179,24 @@ impl Client {
         observations: Vec<(u32, f64)>,
         deadline_ms: Option<u64>,
     ) -> Result<EstimateReply, ServerError> {
+        self.estimate_roads(slot_of_day, observations, deadline_ms, None)
+    }
+
+    /// [`Client::estimate`] with an optional road filter: when `roads`
+    /// is `Some`, the reply's vectors cover exactly those roads in that
+    /// order (on a shard worker, the roads must be owned by the shard).
+    pub fn estimate_roads(
+        &mut self,
+        slot_of_day: usize,
+        observations: Vec<(u32, f64)>,
+        deadline_ms: Option<u64>,
+        roads: Option<Vec<u32>>,
+    ) -> Result<EstimateReply, ServerError> {
         match self.request_idempotent(&Request::Estimate {
             slot_of_day,
             observations,
             deadline_ms,
+            roads,
         })? {
             Response::Estimate(reply) => Ok(reply),
             other => Err(unexpected(other)),

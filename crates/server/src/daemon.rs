@@ -33,15 +33,16 @@
 
 use crate::metrics::{Command, Metrics};
 use crate::protocol::{
-    read_frame_with_deadline, write_frame, ErrorKind, EstimateReply, Request, Response, WireError,
-    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    read_frame_with_deadline, write_frame, ErrorKind, EstimateReply, Request, Response,
+    ShardIdentity, WireError, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use crate::snapshot::{self, RejectReason};
-use crate::state::{panic_message, ModelSlot, RetrainError, TrainInputs, TrainState};
+use crate::state::{panic_message, ModelEpoch, ModelSlot, RetrainError, TrainInputs, TrainState};
 use crate::ServerError;
 use crowdspeed::prelude::*;
+use crowdspeed::shard::{ShardPlan, ShardView};
 use crowdspeed::CoreError;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use roadnet::RoadId;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -85,6 +86,28 @@ pub struct DaemonConfig {
     /// connection is dropped — a trickling peer (slow loris) cannot
     /// pin a handler thread forever. `None` disables the deadline.
     pub frame_deadline_ms: Option<u64>,
+    /// Per-connection token-bucket rate limit in requests/second.
+    /// A connection exceeding it gets typed [`ErrorKind::RateLimited`]
+    /// refusals (the connection survives); `SHUTDOWN` is exempt so an
+    /// operator can always stop a flooded daemon. `None` disables
+    /// limiting.
+    pub rate_limit_rps: Option<u32>,
+    /// Runs this daemon as one shard worker of a fleet: it trains the
+    /// full model exactly as an unsharded daemon would (that is what
+    /// makes router↔single-daemon bit-identity possible) but serves
+    /// only the roads its slice of the plan owns, from a masked view
+    /// that skips inference work outside its correlation components.
+    pub shard: Option<ShardSpec>,
+}
+
+/// Which slice of a [`ShardPlan`] a shard worker serves.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// This worker's shard index, `< plan.num_shards`.
+    pub index: usize,
+    /// The fleet-wide plan; every worker and the router must hold the
+    /// same plan (cross-checked by fingerprint through `STATS`).
+    pub plan: ShardPlan,
 }
 
 impl Default for DaemonConfig {
@@ -99,8 +122,27 @@ impl Default for DaemonConfig {
             snapshot_dir: None,
             snapshot_keep: 3,
             frame_deadline_ms: Some(30_000),
+            rate_limit_rps: None,
+            shard: None,
         }
     }
+}
+
+/// The atomically-swapped `(model, view)` pair a shard worker serves
+/// from. Rebuilding the view and swapping the pair as one unit (under
+/// the train lock, like every publish) means a reader can never mix
+/// epoch N's estimator with epoch N-1's active-component mask.
+struct ShardModel {
+    model: Arc<ModelEpoch>,
+    view: ShardView,
+}
+
+/// Shard-serving state hung off [`Shared`].
+struct ShardServing {
+    index: usize,
+    plan: ShardPlan,
+    fingerprint: u64,
+    current: RwLock<Arc<ShardModel>>,
 }
 
 /// State shared by the acceptor, connection handlers, and workers.
@@ -116,6 +158,8 @@ struct Shared {
     snapshot_hash: u64,
     /// Live connection handlers, bounded by `config.max_connections`.
     active_conns: AtomicUsize,
+    /// Present when this daemon is a shard worker.
+    shard: Option<ShardServing>,
 }
 
 /// Decrements the live-connection count when a handler exits, however
@@ -229,8 +273,28 @@ fn spawn_inner(
     for reason in rejects {
         metrics.snapshot_reject(reason);
     }
+    let model = ModelSlot::with_epoch(estimator, epoch);
+    let shard = match &config.shard {
+        Some(spec) => {
+            let current = model.current();
+            let view = current
+                .estimator
+                .shard_view(&spec.plan, spec.index)
+                .map_err(ServerError::Core)?;
+            Some(ShardServing {
+                index: spec.index,
+                fingerprint: spec.plan.fingerprint(),
+                plan: spec.plan.clone(),
+                current: RwLock::new(Arc::new(ShardModel {
+                    model: current,
+                    view,
+                })),
+            })
+        }
+        None => None,
+    };
     let shared = Arc::new(Shared {
-        model: ModelSlot::with_epoch(estimator, epoch),
+        model,
         train: Mutex::new(train_state),
         metrics,
         shutdown: AtomicBool::new(false),
@@ -238,6 +302,7 @@ fn spawn_inner(
         config,
         snapshot_hash,
         active_conns: AtomicUsize::new(0),
+        shard,
     });
     if !resumed && shared.config.snapshot_dir.is_some() {
         // Persist the freshly trained epoch before accepting traffic,
@@ -413,6 +478,9 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
         move || shared.shutdown.load(Ordering::SeqCst)
     };
     let frame_deadline = shared.config.frame_deadline_ms.map(Duration::from_millis);
+    // Each connection gets its own bucket: one flooding client starves
+    // itself, not its neighbours.
+    let mut bucket = shared.config.rate_limit_rps.map(TokenBucket::new);
     loop {
         let (version, payload) = match read_frame_with_deadline(
             &mut stream,
@@ -477,14 +545,48 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
             Request::Snapshot => Command::Snapshot,
         };
         shared.metrics.received(command);
+        // The bucket admits after decode (a malformed flood already
+        // fails cheaply above) and never gates `SHUTDOWN`: an operator
+        // must always be able to stop a flooded daemon.
+        if command != Command::Shutdown {
+            if let Some(bucket) = &mut bucket {
+                if !bucket.try_take() {
+                    shared.metrics.rate_limited();
+                    shared.metrics.error(command);
+                    let refused = error_response(
+                        ErrorKind::RateLimited,
+                        format!(
+                            "connection exceeded {} requests/second",
+                            shared.config.rate_limit_rps.unwrap_or(0)
+                        ),
+                    );
+                    if respond(&mut stream, &refused) {
+                        continue;
+                    }
+                    return;
+                }
+            }
+        }
         let response = match request {
             Request::Estimate {
                 slot_of_day,
                 observations,
                 deadline_ms,
-            } => serve_estimate(&shared, slot_of_day, observations, deadline_ms),
+                roads,
+            } => serve_estimate(&shared, slot_of_day, observations, deadline_ms, roads),
             Request::IngestDay { rows } => serve_ingest(&shared, rows),
-            Request::Stats => Response::Stats(shared.metrics.snapshot()),
+            Request::Stats => {
+                let mut snap = shared.metrics.snapshot();
+                if let Some(shard) = &shared.shard {
+                    snap.shard = Some(ShardIdentity {
+                        index: shard.index as u32,
+                        count: shard.plan.num_shards as u32,
+                        owned_roads: shard.current.read().view.owned_roads().len() as u64,
+                        fingerprint: shard.fingerprint,
+                    });
+                }
+                Response::Stats(snap)
+            }
             Request::Shutdown => Response::ShuttingDown,
             Request::Snapshot => serve_snapshot(&shared),
         };
@@ -510,8 +612,44 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     }
 }
 
+/// Continuous-refill token bucket: capacity `max(rps, 1)` tokens,
+/// refilled at `rps` tokens/second from elapsed wall time. A fresh
+/// bucket starts full, so a burst up to one second's allowance passes
+/// before refusals begin.
+struct TokenBucket {
+    capacity: f64,
+    rate: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn new(rps: u32) -> TokenBucket {
+        let capacity = f64::from(rps.max(1));
+        TokenBucket {
+            capacity,
+            rate: f64::from(rps),
+            tokens: capacity,
+            last: Instant::now(),
+        }
+    }
+
+    fn try_take(&mut self) -> bool {
+        let now = Instant::now();
+        let refill = now.duration_since(self.last).as_secs_f64() * self.rate;
+        self.tokens = (self.tokens + refill).min(self.capacity);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Writes `response` as a frame; `false` means the connection is dead.
-fn respond(stream: &mut TcpStream, response: &Response) -> bool {
+pub(crate) fn respond(stream: &mut TcpStream, response: &Response) -> bool {
     if crate::failpoint::fire("conn_write") {
         // Injected short write: emit only the first half of the frame,
         // then sever the socket — the client sees a mid-frame
@@ -534,7 +672,11 @@ fn respond(stream: &mut TcpStream, response: &Response) -> bool {
 
 /// Reads and discards `remaining` bytes (a refused frame's body);
 /// `false` means the connection died or shutdown fired first.
-fn drain(stream: &mut TcpStream, mut remaining: usize, abort: &dyn Fn() -> bool) -> bool {
+pub(crate) fn drain(
+    stream: &mut TcpStream,
+    mut remaining: usize,
+    abort: &dyn Fn() -> bool,
+) -> bool {
     use std::io::Read;
     let mut sink = [0u8; 4096];
     while remaining > 0 {
@@ -560,8 +702,122 @@ fn drain(stream: &mut TcpStream, mut remaining: usize, abort: &dyn Fn() -> bool)
     true
 }
 
-fn error_response(kind: ErrorKind, message: String) -> Response {
+pub(crate) fn error_response(kind: ErrorKind, message: String) -> Response {
     Response::Error { kind, message }
+}
+
+/// The actual estimate computation, on a worker thread: shard-masked
+/// when this daemon is a fleet worker, full-graph otherwise, with an
+/// optional road filter subsetting the reply either way.
+fn compute_estimate(
+    shared: &Shared,
+    slot_of_day: usize,
+    obs: &[(RoadId, f64)],
+    roads: Option<&[u32]>,
+    scratch: &mut EstimateScratch,
+) -> Response {
+    if let Some(shard) = &shared.shard {
+        // One read pins a coherent (model, view) pair for the whole
+        // request; `INGEST_DAY` swaps the pair atomically.
+        let pair = Arc::clone(&shard.current.read());
+        let road_ids: Vec<RoadId> = match roads {
+            Some(filter) => filter.iter().map(|&r| RoadId(r)).collect(),
+            // No filter on a shard worker = every owned road,
+            // ascending — the router's all-roads scatter relies on
+            // this to keep frames shard-sized.
+            None => pair.view.owned_roads().to_vec(),
+        };
+        return match pair.model.estimator.estimate_shard_with(
+            &pair.view,
+            slot_of_day,
+            obs,
+            &road_ids,
+            scratch,
+        ) {
+            Ok(estimate) => {
+                shared
+                    .metrics
+                    .add_ignored_observations(estimate.ignored_observations as u64);
+                Response::Estimate(EstimateReply {
+                    epoch: pair.model.epoch,
+                    speeds: estimate.speeds,
+                    p_up: estimate.p_up,
+                    trends: estimate.trends,
+                    ignored_observations: estimate.ignored_observations as u64,
+                    unavailable: Vec::new(),
+                })
+            }
+            Err(CoreError::NoObservations) => error_response(
+                ErrorKind::NoObservations,
+                "estimation request carried no observations".to_string(),
+            ),
+            // A road outside the graph, or one this shard does not own:
+            // the request was routed wrong, not the daemon broken.
+            Err(e @ (CoreError::InvalidRoad(_) | CoreError::ShardConfig(_))) => {
+                error_response(ErrorKind::BadRequest, e.to_string())
+            }
+            Err(e) => error_response(ErrorKind::Internal, e.to_string()),
+        };
+    }
+    let model = shared.model.current();
+    match model.estimator.try_estimate(slot_of_day, obs, scratch) {
+        Ok(estimate) => {
+            // Counted here — on the serve path itself — so the counter
+            // behaves identically whether the process trained at
+            // startup or resumed from a snapshot.
+            shared
+                .metrics
+                .add_ignored_observations(estimate.ignored_observations as u64);
+            let ignored = estimate.ignored_observations as u64;
+            match roads {
+                None => Response::Estimate(EstimateReply {
+                    epoch: model.epoch,
+                    speeds: estimate.speeds,
+                    p_up: estimate.p_up,
+                    trends: estimate.trends,
+                    ignored_observations: ignored,
+                    unavailable: Vec::new(),
+                }),
+                Some(filter) => {
+                    let n = estimate.speeds.len();
+                    if let Some(&bad) = filter.iter().find(|&&r| r as usize >= n) {
+                        return error_response(
+                            ErrorKind::BadRequest,
+                            format!("road {bad} outside the graph ({n} roads)"),
+                        );
+                    }
+                    let pick_f64 = |v: &[f64]| -> Vec<f64> {
+                        if v.is_empty() {
+                            // Baseline estimators serve no p_up.
+                            Vec::new()
+                        } else {
+                            filter.iter().map(|&r| v[r as usize]).collect()
+                        }
+                    };
+                    Response::Estimate(EstimateReply {
+                        epoch: model.epoch,
+                        speeds: pick_f64(&estimate.speeds),
+                        p_up: pick_f64(&estimate.p_up),
+                        trends: if estimate.trends.is_empty() {
+                            Vec::new()
+                        } else {
+                            filter
+                                .iter()
+                                .map(|&r| estimate.trends[r as usize])
+                                .collect()
+                        },
+                        ignored_observations: ignored,
+                        unavailable: Vec::new(),
+                    })
+                }
+            }
+        }
+        Err(CoreError::NoObservations) => error_response(
+            ErrorKind::NoObservations,
+            "estimation request carried no observations".to_string(),
+        ),
+        Err(e) => error_response(ErrorKind::Internal, e.to_string()),
+    }
 }
 
 /// The admission-controlled estimate path: hand the request to the
@@ -571,6 +827,7 @@ fn serve_estimate(
     slot_of_day: usize,
     observations: Vec<(u32, f64)>,
     deadline_ms: Option<u64>,
+    roads: Option<Vec<u32>>,
 ) -> Response {
     let admitted = Instant::now();
     let deadline = deadline_ms
@@ -593,34 +850,11 @@ fn serve_estimate(
             // and rebuild the scratch (its buffers may be mid-update).
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 crate::failpoint::fire("estimate");
-                let model = job_shared.model.current();
                 let obs: Vec<(RoadId, f64)> = observations
                     .iter()
                     .map(|&(road, speed)| (RoadId(road), speed))
                     .collect();
-                match model.estimator.try_estimate(slot_of_day, &obs, scratch) {
-                    Ok(estimate) => {
-                        // Counted here — on the serve path itself — so
-                        // the counter behaves identically whether the
-                        // process trained at startup or resumed from a
-                        // snapshot.
-                        job_shared
-                            .metrics
-                            .add_ignored_observations(estimate.ignored_observations as u64);
-                        Response::Estimate(EstimateReply {
-                            epoch: model.epoch,
-                            speeds: estimate.speeds,
-                            p_up: estimate.p_up,
-                            trends: estimate.trends,
-                            ignored_observations: estimate.ignored_observations as u64,
-                        })
-                    }
-                    Err(CoreError::NoObservations) => error_response(
-                        ErrorKind::NoObservations,
-                        "estimation request carried no observations".to_string(),
-                    ),
-                    Err(e) => error_response(ErrorKind::Internal, e.to_string()),
-                }
+                compute_estimate(&job_shared, slot_of_day, &obs, roads.as_deref(), scratch)
             }));
             match outcome {
                 Ok(response) => response,
@@ -692,6 +926,30 @@ fn serve_ingest(shared: &Arc<Shared>, rows: Vec<Vec<f64>>) -> Response {
             // day history, online counters, and published model cannot
             // skew against each other.
             let model = shared.model.current();
+            if let Some(shard) = &shared.shard {
+                // Rebuild the owned-road view against the new epoch
+                // (live correlation components may have changed) and
+                // swap the (model, view) pair as one unit, still under
+                // the train lock.
+                match model.estimator.shard_view(&shard.plan, shard.index) {
+                    Ok(view) => {
+                        *shard.current.write() = Arc::new(ShardModel {
+                            model: Arc::clone(&model),
+                            view,
+                        });
+                    }
+                    Err(e) => {
+                        // The previous coherent pair keeps serving;
+                        // only a plan/graph mismatch can land here and
+                        // spawn would have refused that outright.
+                        shared.metrics.retrain_failure();
+                        return error_response(
+                            ErrorKind::Internal,
+                            format!("shard view rebuild failed: {e}; previous epoch still serving"),
+                        );
+                    }
+                }
+            }
             persist_epoch(shared, &train, &model.estimator, epoch);
             Response::Ingested {
                 epoch,

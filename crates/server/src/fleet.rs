@@ -1,0 +1,293 @@
+//! The shard fleet supervisor: spawns one `crowdspeedd` worker process
+//! per shard, watches each for exits, and restarts crashed workers
+//! after a backoff.
+//!
+//! The supervisor is deliberately dumb: it knows nothing about the
+//! wire protocol or model state. A worker that dies is restarted with
+//! the same argv; recovering its model is the worker's own job (the
+//! snapshot-resume path), which keeps the crash story identical
+//! whether a worker dies under a supervisor or under systemd. The
+//! router reads [`FleetStatus`] only for the `restarts` column of its
+//! fleet-wide `STATS` merge — liveness is always probed over the wire,
+//! so a fleet managed by someone else degrades identically.
+
+use crowdspeed::correlation::{CorrelationConfig, CorrelationGraph};
+use crowdspeed::shard::ShardPlan;
+use parking_lot::Mutex;
+use roadnet::RoadGraph;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use trafficsim::{HistoricalData, HistoryStats};
+
+/// How to launch one shard worker.
+#[derive(Debug, Clone)]
+pub struct WorkerSpec {
+    /// Executable to run (typically `std::env::current_exe()`).
+    pub program: PathBuf,
+    /// Full argv after the program name.
+    pub args: Vec<String>,
+}
+
+/// One worker's supervision state, as seen by [`FleetStatus::workers`].
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStatus {
+    /// Whether the child process is currently running.
+    pub up: bool,
+    /// OS pid of the running child (`None` while down).
+    pub pid: Option<u32>,
+    /// Times the supervisor respawned this worker after an unexpected
+    /// exit (the initial spawn is not a restart).
+    pub restarts: u64,
+    /// Exit code of the most recent death (`None` if signal-killed or
+    /// never exited).
+    pub last_exit: Option<i32>,
+}
+
+/// Shared, lock-protected view of every worker's supervision state.
+pub struct FleetStatus {
+    workers: Mutex<Vec<WorkerStatus>>,
+}
+
+impl FleetStatus {
+    /// Snapshot of every worker's state, indexed by shard.
+    pub fn workers(&self) -> Vec<WorkerStatus> {
+        self.workers.lock().clone()
+    }
+}
+
+/// Per-worker slot shared between a monitor thread and [`Fleet`].
+struct WorkerSlot {
+    child: Mutex<Option<Child>>,
+}
+
+/// A supervised fleet of shard worker processes.
+pub struct Fleet {
+    status: Arc<FleetStatus>,
+    slots: Vec<Arc<WorkerSlot>>,
+    stop: Arc<AtomicBool>,
+    monitors: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Fleet {
+    /// Spawns one child per spec and a monitor thread supervising each.
+    /// A child that exits while the fleet is running is respawned after
+    /// `restart_backoff`; [`Fleet::shutdown`] kills all children and
+    /// joins the monitors.
+    pub fn spawn(specs: Vec<WorkerSpec>, restart_backoff: Duration) -> Fleet {
+        let status = Arc::new(FleetStatus {
+            workers: Mutex::new(vec![WorkerStatus::default(); specs.len()]),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut slots = Vec::with_capacity(specs.len());
+        let mut monitors = Vec::with_capacity(specs.len());
+        for (index, spec) in specs.into_iter().enumerate() {
+            let slot = Arc::new(WorkerSlot {
+                child: Mutex::new(None),
+            });
+            slots.push(Arc::clone(&slot));
+            let status = Arc::clone(&status);
+            let stop = Arc::clone(&stop);
+            let monitor = std::thread::Builder::new()
+                .name(format!("crowdspeed-fleet-{index}"))
+                .spawn(move || monitor_worker(index, spec, slot, status, stop, restart_backoff))
+                .expect("spawn fleet monitor thread");
+            monitors.push(monitor);
+        }
+        Fleet {
+            status,
+            slots,
+            stop,
+            monitors,
+        }
+    }
+
+    /// Handle for reading worker states (the router holds one to fill
+    /// the `restarts` column of its fleet-wide `STATS`).
+    pub fn status_handle(&self) -> Arc<FleetStatus> {
+        Arc::clone(&self.status)
+    }
+
+    /// Stops supervision, kills every child, and joins the monitors.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for slot in &self.slots {
+            if let Some(child) = slot.child.lock().as_mut() {
+                let _ = child.kill();
+            }
+        }
+        for monitor in self.monitors.drain(..) {
+            let _ = monitor.join();
+        }
+        for slot in &self.slots {
+            if let Some(mut child) = slot.child.lock().take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for slot in &self.slots {
+            if let Some(mut child) = slot.child.lock().take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+        for monitor in self.monitors.drain(..) {
+            let _ = monitor.join();
+        }
+    }
+}
+
+/// One worker's supervision loop: spawn, poll for exit, respawn after
+/// backoff — until the fleet's stop flag goes up.
+fn monitor_worker(
+    index: usize,
+    spec: WorkerSpec,
+    slot: Arc<WorkerSlot>,
+    status: Arc<FleetStatus>,
+    stop: Arc<AtomicBool>,
+    restart_backoff: Duration,
+) {
+    let mut first = true;
+    while !stop.load(Ordering::SeqCst) {
+        if !first {
+            // Backoff in short ticks so shutdown is never stuck
+            // waiting out a long restart delay.
+            let waited = std::time::Instant::now();
+            while waited.elapsed() < restart_backoff {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(20).min(restart_backoff));
+            }
+            status.workers.lock()[index].restarts += 1;
+        }
+        first = false;
+        let spawned = Command::new(&spec.program)
+            .args(&spec.args)
+            .stdin(Stdio::null())
+            .spawn();
+        let child = match spawned {
+            Ok(child) => child,
+            Err(_) => {
+                let mut workers = status.workers.lock();
+                workers[index].up = false;
+                workers[index].pid = None;
+                continue;
+            }
+        };
+        {
+            let mut workers = status.workers.lock();
+            workers[index].up = true;
+            workers[index].pid = Some(child.id());
+        }
+        *slot.child.lock() = Some(child);
+        // Poll instead of a blocking wait(): the lock must stay free
+        // so Fleet::shutdown can kill the child from another thread.
+        let exit = loop {
+            let mut guard = slot.child.lock();
+            match guard.as_mut() {
+                Some(child) => match child.try_wait() {
+                    Ok(Some(exit)) => {
+                        guard.take();
+                        break Some(exit);
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        guard.take();
+                        break None;
+                    }
+                },
+                // shutdown() reaped it first.
+                None => break None,
+            };
+            drop(guard);
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        let mut workers = status.workers.lock();
+        workers[index].up = false;
+        workers[index].pid = None;
+        workers[index].last_exit = exit.and_then(|e| e.code());
+    }
+}
+
+/// Computes the fleet's shard plan from a dataset's *bootstrap* inputs:
+/// the correlation graph built from the historical training window.
+///
+/// The plan must be a pure function of the dataset so the router and
+/// every worker — including one restarted days later — derive the
+/// identical plan independently. Deriving it from an evolved online
+/// correlation state would fracture the fleet on the first restart;
+/// mixed plans are caught by the fingerprint cross-check in the
+/// router's `STATS` probe.
+pub fn dataset_plan(
+    graph: &RoadGraph,
+    history: &HistoricalData,
+    corr_config: &CorrelationConfig,
+    shards: usize,
+) -> crowdspeed::Result<ShardPlan> {
+    let stats = HistoryStats::compute(history);
+    let corr = CorrelationGraph::build(graph, history, &stats, corr_config);
+    ShardPlan::plan(graph, &corr, shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_restarts_a_killed_worker_and_shuts_down() {
+        let spec = WorkerSpec {
+            program: PathBuf::from("/bin/sleep"),
+            args: vec!["60".to_string()],
+        };
+        let fleet = Fleet::spawn(vec![spec], Duration::from_millis(50));
+        let status = fleet.status_handle();
+        let wait_for = |pred: &dyn Fn(&WorkerStatus) -> bool| -> WorkerStatus {
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            loop {
+                let w = status.workers()[0].clone();
+                if pred(&w) {
+                    return w;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "timed out waiting on worker state, last {w:?}"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        };
+        let up = wait_for(&|w| w.up);
+        let first_pid = up.pid.expect("running worker has a pid");
+        assert_eq!(up.restarts, 0);
+
+        // Kill the child out from under the supervisor; it must come
+        // back with a new pid and a counted restart.
+        unsafe {
+            libc_kill(first_pid as i32);
+        }
+        let back = wait_for(&|w| w.up && w.pid != Some(first_pid));
+        assert_eq!(back.restarts, 1);
+
+        fleet.shutdown();
+        // After shutdown nothing restarts; the process slot is empty.
+        let w = status.workers()[0].clone();
+        assert!(!w.up);
+    }
+
+    /// SIGKILL via the libc syscall wrapper (no libc crate dependency:
+    /// `kill(2)` through `std::process` would need a shell).
+    unsafe fn libc_kill(pid: i32) {
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+        }
+        kill(pid, 9);
+    }
+}

@@ -29,21 +29,29 @@
 //!   spawn failures, short writes) that stays a single relaxed atomic
 //!   load when unarmed; the fault-tolerance suite drives the daemon
 //!   through it.
+//! * [`fleet`] — the shard fleet supervisor: one worker process per
+//!   shard, crash detection, and backoff restarts.
+//! * [`router`] — the scatter-gather front-end that speaks the daemon
+//!   protocol unchanged and fans requests out across the shard fleet.
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod daemon;
 pub mod failpoint;
+pub mod fleet;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
+pub mod router;
 pub mod snapshot;
 pub mod state;
 
 pub use client::{Client, ClientConfig};
-pub use daemon::{Daemon, DaemonConfig, DaemonHandle};
-pub use protocol::{ErrorKind, Request, Response};
+pub use daemon::{Daemon, DaemonConfig, DaemonHandle, ShardSpec};
+pub use fleet::{dataset_plan, Fleet, FleetStatus, WorkerSpec, WorkerStatus};
+pub use protocol::{ErrorKind, Request, Response, ShardHealth, ShardIdentity};
+pub use router::{Router, RouterConfig, RouterHandle};
 pub use snapshot::RejectReason;
 pub use state::{ModelSlot, RetrainError, TrainInputs, TrainState};
 

@@ -70,6 +70,8 @@ pub struct Metrics {
     /// One count per bound in [`LATENCY_BUCKET_BOUNDS_US`] plus a
     /// final overflow bucket.
     latency: [AtomicU64; LATENCY_BUCKET_BOUNDS_US.len() + 1],
+    /// Requests refused by a per-connection token bucket.
+    rate_limited: AtomicU64,
 }
 
 impl Metrics {
@@ -95,6 +97,7 @@ impl Metrics {
             snapshot_rejects: Default::default(),
             ignored_observations: AtomicU64::new(0),
             latency: Default::default(),
+            rate_limited: AtomicU64::new(0),
         }
     }
 
@@ -209,6 +212,11 @@ impl Metrics {
         self.ignored_observations.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Counts a request refused by a connection's token bucket.
+    pub fn rate_limited(&self) {
+        self.rate_limited.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one served-estimate latency in the histogram.
     pub fn observe_latency_us(&self, micros: u64) {
         let bucket = LATENCY_BUCKET_BOUNDS_US
@@ -265,6 +273,11 @@ impl Metrics {
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
+            rate_limited_requests: self.rate_limited.load(Ordering::Relaxed),
+            // Shard identity and fleet health come from daemon/router
+            // context, not this registry; callers overwrite them.
+            shard: None,
+            shards: Vec::new(),
         }
     }
 }
@@ -311,7 +324,12 @@ mod tests {
         m.snapshot_reject(RejectReason::BadChecksum);
         m.snapshot_reject(RejectReason::ConfigMismatch);
         m.add_ignored_observations(3);
+        m.rate_limited();
+        m.rate_limited();
         let snap = m.snapshot();
+        assert_eq!(snap.rate_limited_requests, 2);
+        assert_eq!(snap.shard, None);
+        assert!(snap.shards.is_empty());
         assert_eq!(snap.epoch, 7);
         assert_eq!(snap.days_ingested, 6);
         assert_eq!(snap.snapshot_writes, 2);

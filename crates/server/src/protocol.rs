@@ -50,6 +50,12 @@ pub enum Request {
         /// expired request is dropped with
         /// [`ErrorKind::DeadlineExceeded`] instead of wasting a worker.
         deadline_ms: Option<u64>,
+        /// Optional road-id filter: when present, the reply's vectors
+        /// are aligned to exactly these roads in this order instead of
+        /// covering the full graph. The sharded router leans on this
+        /// to scatter a request across shard workers; a shard worker
+        /// with no filter serves all roads it owns, ascending.
+        roads: Option<Vec<u32>>,
     },
     /// Feed one observed day into the online correlation model,
     /// retrain off the serving path, and atomically publish the new
@@ -89,6 +95,14 @@ pub enum ErrorKind {
     /// A `SNAPSHOT` command reached a daemon running without a
     /// snapshot directory.
     SnapshotUnavailable,
+    /// The connection exceeded its token-bucket rate limit; the
+    /// request was refused but the connection survives — retry after
+    /// backing off.
+    RateLimited,
+    /// A sharded router could not reach the shard worker(s) owning the
+    /// requested roads; the fleet supervisor restarts dead workers, so
+    /// this is retryable.
+    ShardUnavailable,
     /// Anything else (training failure, internal channel breakage).
     Internal,
 }
@@ -106,6 +120,8 @@ impl ErrorKind {
             ErrorKind::UnsupportedVersion => "unsupported_version",
             ErrorKind::FrameTooLarge => "frame_too_large",
             ErrorKind::SnapshotUnavailable => "snapshot_unavailable",
+            ErrorKind::RateLimited => "rate_limited",
+            ErrorKind::ShardUnavailable => "shard_unavailable",
             ErrorKind::Internal => "internal",
         }
     }
@@ -121,6 +137,8 @@ impl ErrorKind {
             "unsupported_version" => ErrorKind::UnsupportedVersion,
             "frame_too_large" => ErrorKind::FrameTooLarge,
             "snapshot_unavailable" => ErrorKind::SnapshotUnavailable,
+            "rate_limited" => ErrorKind::RateLimited,
+            "shard_unavailable" => ErrorKind::ShardUnavailable,
             "internal" => ErrorKind::Internal,
             _ => return None,
         })
@@ -146,6 +164,11 @@ pub struct EstimateReply {
     pub trends: Vec<bool>,
     /// Observations skipped for naming non-seed roads.
     pub ignored_observations: u64,
+    /// Road ids the router could not serve because their owning shard
+    /// was down; their positions in the vectors above hold NaN speeds,
+    /// NaN `p_up`, and `false` trends. Empty (and absent on the wire)
+    /// outside degraded sharded serving.
+    pub unavailable: Vec<u32>,
 }
 
 /// Per-command counters as reported by `STATS`.
@@ -214,6 +237,51 @@ pub struct StatsReply {
     /// Serving latency histogram: counts per bucket of
     /// [`LATENCY_BUCKET_BOUNDS_US`] plus a final overflow bucket.
     pub latency_counts: Vec<u64>,
+    /// Requests refused by the per-connection token bucket
+    /// (`--rate-limit-rps`).
+    pub rate_limited_requests: u64,
+    /// Set when this process is a shard worker: which slice of the
+    /// plan it serves. `None` for unsharded daemons and routers.
+    pub shard: Option<ShardIdentity>,
+    /// Per-shard health rows, present only in a router's fleet-wide
+    /// `STATS` merge (empty and absent on the wire otherwise).
+    pub shards: Vec<ShardHealth>,
+}
+
+/// A shard worker's identity as reported in its own `STATS` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardIdentity {
+    /// This worker's shard index in the plan.
+    pub index: u32,
+    /// Total shards in the plan.
+    pub count: u32,
+    /// Roads this shard owns (serves by default).
+    pub owned_roads: u64,
+    /// FNV-1a fingerprint of the `ShardPlan`; the router cross-checks
+    /// it against its own plan to detect mixed fleets. Hex-encoded on
+    /// the wire (the JSON codec's f64 numbers cannot carry 64 bits).
+    pub fingerprint: u64,
+}
+
+/// One shard's row in the router's fleet-wide `STATS` breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Shard index in the plan.
+    pub shard: u32,
+    /// Whether the router could reach the worker for this snapshot.
+    pub up: bool,
+    /// Whether the worker's plan fingerprint matched the router's
+    /// (always `false` while the worker is unreachable).
+    pub plan_ok: bool,
+    /// The worker's current model epoch (0 while unreachable).
+    pub epoch: u64,
+    /// Days the worker has ingested (0 while unreachable).
+    pub days_ingested: u64,
+    /// Restarts recorded by the fleet supervisor (0 when the router
+    /// fronts externally-managed workers).
+    pub restarts: u64,
+    /// Roads the plan assigns to this shard.
+    pub owned_roads: u64,
 }
 
 /// A daemon → client reply.
@@ -296,15 +364,27 @@ impl Request {
                 slot_of_day,
                 observations,
                 deadline_ms,
-            } => Json::Obj(vec![
-                ("cmd".into(), Json::Str("estimate".into())),
-                ("slot".into(), Json::Num(*slot_of_day as f64)),
-                ("obs".into(), obs_to_json(observations)),
-                (
-                    "deadline_ms".into(),
-                    deadline_ms.map_or(Json::Null, |d| Json::Num(d as f64)),
-                ),
-            ]),
+                roads,
+            } => {
+                let mut fields = vec![
+                    ("cmd".into(), Json::Str("estimate".into())),
+                    ("slot".into(), Json::Num(*slot_of_day as f64)),
+                    ("obs".into(), obs_to_json(observations)),
+                    (
+                        "deadline_ms".into(),
+                        deadline_ms.map_or(Json::Null, |d| Json::Num(d as f64)),
+                    ),
+                ];
+                // Absent when None so pre-shard peers see an unchanged
+                // frame shape.
+                if let Some(roads) = roads {
+                    fields.push((
+                        "roads".into(),
+                        Json::Arr(roads.iter().map(|&r| Json::Num(r as f64)).collect()),
+                    ));
+                }
+                Json::Obj(fields)
+            }
             Request::IngestDay { rows } => Json::Obj(vec![
                 ("cmd".into(), Json::Str("ingest_day".into())),
                 (
@@ -369,10 +449,27 @@ impl Request {
                             .ok_or_else(|| bad("deadline_ms: expected integer".into()))?,
                     ),
                 };
+                let roads = match json.get("roads") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_arr()
+                            .ok_or_else(|| bad("roads: expected array".into()))?
+                            .iter()
+                            .map(|r| {
+                                r.as_u64()
+                                    .filter(|&r| r <= u32::MAX as u64)
+                                    .map(|r| r as u32)
+                                    .ok_or_else(|| "roads: bad road id".to_string())
+                            })
+                            .collect::<Result<Vec<_>, String>>()
+                            .map_err(bad)?,
+                    ),
+                };
                 Ok(Request::Estimate {
                     slot_of_day: slot as usize,
                     observations: obs,
                     deadline_ms,
+                    roads,
                 })
             }
             "ingest_day" => {
@@ -402,20 +499,35 @@ impl Response {
     /// Encodes to a JSON payload (no frame header).
     pub fn encode(&self) -> Vec<u8> {
         let json = match self {
-            Response::Estimate(reply) => Json::Obj(vec![
-                ("ok".into(), Json::Str("estimate".into())),
-                ("epoch".into(), Json::Num(reply.epoch as f64)),
-                ("speeds".into(), f64s_to_json(&reply.speeds)),
-                ("p_up".into(), f64s_to_json(&reply.p_up)),
-                (
-                    "trends".into(),
-                    Json::Arr(reply.trends.iter().map(|&t| Json::Bool(t)).collect()),
-                ),
-                (
-                    "ignored".into(),
-                    Json::Num(reply.ignored_observations as f64),
-                ),
-            ]),
+            Response::Estimate(reply) => {
+                let mut fields = vec![
+                    ("ok".into(), Json::Str("estimate".into())),
+                    ("epoch".into(), Json::Num(reply.epoch as f64)),
+                    ("speeds".into(), f64s_to_json(&reply.speeds)),
+                    ("p_up".into(), f64s_to_json(&reply.p_up)),
+                    (
+                        "trends".into(),
+                        Json::Arr(reply.trends.iter().map(|&t| Json::Bool(t)).collect()),
+                    ),
+                    (
+                        "ignored".into(),
+                        Json::Num(reply.ignored_observations as f64),
+                    ),
+                ];
+                if !reply.unavailable.is_empty() {
+                    fields.push((
+                        "unavailable".into(),
+                        Json::Arr(
+                            reply
+                                .unavailable
+                                .iter()
+                                .map(|&r| Json::Num(r as f64))
+                                .collect(),
+                        ),
+                    ));
+                }
+                Json::Obj(fields)
+            }
             Response::Ingested {
                 epoch,
                 days_ingested,
@@ -424,104 +536,149 @@ impl Response {
                 ("epoch".into(), Json::Num(*epoch as f64)),
                 ("days".into(), Json::Num(*days_ingested as f64)),
             ]),
-            Response::Stats(stats) => Json::Obj(vec![
-                ("ok".into(), Json::Str("stats".into())),
-                ("epoch".into(), Json::Num(stats.epoch as f64)),
-                ("uptime_ms".into(), Json::Num(stats.uptime_ms as f64)),
-                ("days".into(), Json::Num(stats.days_ingested as f64)),
-                (
-                    "commands".into(),
-                    Json::Obj(
-                        stats
-                            .commands
-                            .iter()
-                            .map(|(name, c)| {
-                                (
-                                    name.clone(),
+            Response::Stats(stats) => Json::Obj({
+                let mut fields = vec![
+                    ("ok".into(), Json::Str("stats".into())),
+                    ("epoch".into(), Json::Num(stats.epoch as f64)),
+                    ("uptime_ms".into(), Json::Num(stats.uptime_ms as f64)),
+                    ("days".into(), Json::Num(stats.days_ingested as f64)),
+                    (
+                        "commands".into(),
+                        Json::Obj(
+                            stats
+                                .commands
+                                .iter()
+                                .map(|(name, c)| {
+                                    (
+                                        name.clone(),
+                                        Json::Obj(vec![
+                                            ("received".into(), Json::Num(c.received as f64)),
+                                            ("ok".into(), Json::Num(c.ok as f64)),
+                                            ("errors".into(), Json::Num(c.errors as f64)),
+                                        ]),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "rejected_overload".into(),
+                        Json::Num(stats.rejected_overload as f64),
+                    ),
+                    (
+                        "rejected_deadline".into(),
+                        Json::Num(stats.rejected_deadline as f64),
+                    ),
+                    (
+                        "rejected_connections".into(),
+                        Json::Num(stats.rejected_connections as f64),
+                    ),
+                    (
+                        "worker_panics".into(),
+                        Json::Num(stats.worker_panics as f64),
+                    ),
+                    (
+                        "retrain_failures".into(),
+                        Json::Num(stats.retrain_failures as f64),
+                    ),
+                    (
+                        "retrains".into(),
+                        Json::Obj(
+                            stats
+                                .retrains
+                                .iter()
+                                .map(|(name, count)| (name.clone(), Json::Num(*count as f64)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "retrain_edges_changed".into(),
+                        Json::Num(stats.retrain_edges_changed as f64),
+                    ),
+                    (
+                        "retrain_rows_folded".into(),
+                        Json::Num(stats.retrain_rows_folded as f64),
+                    ),
+                    (
+                        "retrain_incremental_ms".into(),
+                        Json::Num(stats.retrain_incremental_ms as f64),
+                    ),
+                    (
+                        "snapshot_writes".into(),
+                        Json::Num(stats.snapshot_writes as f64),
+                    ),
+                    (
+                        "snapshot_write_failures".into(),
+                        Json::Num(stats.snapshot_write_failures as f64),
+                    ),
+                    (
+                        "snapshot_resumed".into(),
+                        Json::Num(stats.snapshot_resumed as f64),
+                    ),
+                    (
+                        "snapshot_rejects".into(),
+                        Json::Obj(
+                            stats
+                                .snapshot_rejects
+                                .iter()
+                                .map(|(name, count)| (name.clone(), Json::Num(*count as f64)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "ignored_observations".into(),
+                        Json::Num(stats.ignored_observations as f64),
+                    ),
+                    (
+                        "latency_bounds_us".into(),
+                        u64s_to_json(&LATENCY_BUCKET_BOUNDS_US),
+                    ),
+                    ("latency_counts".into(), u64s_to_json(&stats.latency_counts)),
+                    (
+                        "rate_limited".into(),
+                        Json::Num(stats.rate_limited_requests as f64),
+                    ),
+                ];
+                if let Some(shard) = &stats.shard {
+                    fields.push((
+                        "shard".into(),
+                        Json::Obj(vec![
+                            ("index".into(), Json::Num(shard.index as f64)),
+                            ("count".into(), Json::Num(shard.count as f64)),
+                            ("owned_roads".into(), Json::Num(shard.owned_roads as f64)),
+                            // Hex: the codec's f64 numbers lose bits
+                            // past 2^53.
+                            (
+                                "fingerprint".into(),
+                                Json::Str(format!("{:016x}", shard.fingerprint)),
+                            ),
+                        ]),
+                    ));
+                }
+                if !stats.shards.is_empty() {
+                    fields.push((
+                        "shards".into(),
+                        Json::Arr(
+                            stats
+                                .shards
+                                .iter()
+                                .map(|h| {
                                     Json::Obj(vec![
-                                        ("received".into(), Json::Num(c.received as f64)),
-                                        ("ok".into(), Json::Num(c.ok as f64)),
-                                        ("errors".into(), Json::Num(c.errors as f64)),
-                                    ]),
-                                )
-                            })
-                            .collect(),
-                    ),
-                ),
-                (
-                    "rejected_overload".into(),
-                    Json::Num(stats.rejected_overload as f64),
-                ),
-                (
-                    "rejected_deadline".into(),
-                    Json::Num(stats.rejected_deadline as f64),
-                ),
-                (
-                    "rejected_connections".into(),
-                    Json::Num(stats.rejected_connections as f64),
-                ),
-                (
-                    "worker_panics".into(),
-                    Json::Num(stats.worker_panics as f64),
-                ),
-                (
-                    "retrain_failures".into(),
-                    Json::Num(stats.retrain_failures as f64),
-                ),
-                (
-                    "retrains".into(),
-                    Json::Obj(
-                        stats
-                            .retrains
-                            .iter()
-                            .map(|(name, count)| (name.clone(), Json::Num(*count as f64)))
-                            .collect(),
-                    ),
-                ),
-                (
-                    "retrain_edges_changed".into(),
-                    Json::Num(stats.retrain_edges_changed as f64),
-                ),
-                (
-                    "retrain_rows_folded".into(),
-                    Json::Num(stats.retrain_rows_folded as f64),
-                ),
-                (
-                    "retrain_incremental_ms".into(),
-                    Json::Num(stats.retrain_incremental_ms as f64),
-                ),
-                (
-                    "snapshot_writes".into(),
-                    Json::Num(stats.snapshot_writes as f64),
-                ),
-                (
-                    "snapshot_write_failures".into(),
-                    Json::Num(stats.snapshot_write_failures as f64),
-                ),
-                (
-                    "snapshot_resumed".into(),
-                    Json::Num(stats.snapshot_resumed as f64),
-                ),
-                (
-                    "snapshot_rejects".into(),
-                    Json::Obj(
-                        stats
-                            .snapshot_rejects
-                            .iter()
-                            .map(|(name, count)| (name.clone(), Json::Num(*count as f64)))
-                            .collect(),
-                    ),
-                ),
-                (
-                    "ignored_observations".into(),
-                    Json::Num(stats.ignored_observations as f64),
-                ),
-                (
-                    "latency_bounds_us".into(),
-                    u64s_to_json(&LATENCY_BUCKET_BOUNDS_US),
-                ),
-                ("latency_counts".into(), u64s_to_json(&stats.latency_counts)),
-            ]),
+                                        ("shard".into(), Json::Num(h.shard as f64)),
+                                        ("up".into(), Json::Bool(h.up)),
+                                        ("plan_ok".into(), Json::Bool(h.plan_ok)),
+                                        ("epoch".into(), Json::Num(h.epoch as f64)),
+                                        ("days".into(), Json::Num(h.days_ingested as f64)),
+                                        ("restarts".into(), Json::Num(h.restarts as f64)),
+                                        ("owned_roads".into(), Json::Num(h.owned_roads as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+                fields
+            }),
             Response::Snapshotted { epoch, path } => Json::Obj(vec![
                 ("ok".into(), Json::Str("snapshot".into())),
                 ("epoch".into(), Json::Num(*epoch as f64)),
@@ -571,6 +728,15 @@ impl Response {
                 ignored_observations: field(&json, "ignored")?
                     .as_u64()
                     .ok_or("ignored: bad integer")?,
+                unavailable: match json.get("unavailable") {
+                    None | Some(Json::Null) => Vec::new(),
+                    Some(v) => json_to_u64s(v, "unavailable")?
+                        .into_iter()
+                        .map(|r| {
+                            u32::try_from(r).map_err(|_| "unavailable: bad road id".to_string())
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                },
             })),
             "ingest_day" => Ok(Response::Ingested {
                 epoch: field(&json, "epoch")?
@@ -669,6 +835,65 @@ impl Response {
                         field(&json, "latency_counts")?,
                         "latency_counts",
                     )?,
+                    rate_limited_requests: match json.get("rate_limited") {
+                        None | Some(Json::Null) => 0,
+                        Some(v) => v.as_u64().ok_or("rate_limited: bad integer")?,
+                    },
+                    shard: match json.get("shard") {
+                        None | Some(Json::Null) => None,
+                        Some(s) => Some(ShardIdentity {
+                            index: field(s, "index")?
+                                .as_u64()
+                                .filter(|&v| v <= u32::MAX as u64)
+                                .ok_or("shard.index: bad integer")?
+                                as u32,
+                            count: field(s, "count")?
+                                .as_u64()
+                                .filter(|&v| v <= u32::MAX as u64)
+                                .ok_or("shard.count: bad integer")?
+                                as u32,
+                            owned_roads: field(s, "owned_roads")?
+                                .as_u64()
+                                .ok_or("shard.owned_roads: bad integer")?,
+                            fingerprint: field(s, "fingerprint")?
+                                .as_str()
+                                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                                .ok_or("shard.fingerprint: bad hex")?,
+                        }),
+                    },
+                    shards: match json.get("shards") {
+                        None | Some(Json::Null) => Vec::new(),
+                        Some(v) => v
+                            .as_arr()
+                            .ok_or("shards: expected array")?
+                            .iter()
+                            .map(|h| {
+                                Ok(ShardHealth {
+                                    shard: field(h, "shard")?
+                                        .as_u64()
+                                        .filter(|&v| v <= u32::MAX as u64)
+                                        .ok_or("shards.shard: bad integer")?
+                                        as u32,
+                                    up: field(h, "up")?.as_bool().ok_or("shards.up: bad bool")?,
+                                    plan_ok: field(h, "plan_ok")?
+                                        .as_bool()
+                                        .ok_or("shards.plan_ok: bad bool")?,
+                                    epoch: field(h, "epoch")?
+                                        .as_u64()
+                                        .ok_or("shards.epoch: bad integer")?,
+                                    days_ingested: field(h, "days")?
+                                        .as_u64()
+                                        .ok_or("shards.days: bad integer")?,
+                                    restarts: field(h, "restarts")?
+                                        .as_u64()
+                                        .ok_or("shards.restarts: bad integer")?,
+                                    owned_roads: field(h, "owned_roads")?
+                                        .as_u64()
+                                        .ok_or("shards.owned_roads: bad integer")?,
+                                })
+                            })
+                            .collect::<Result<Vec<_>, String>>()?,
+                    },
                 }))
             }
             "snapshot" => Ok(Response::Snapshotted {
@@ -1001,11 +1226,19 @@ mod tests {
                 slot_of_day: 17,
                 observations: vec![(3, 42.5), (9, 31.25)],
                 deadline_ms: Some(250),
+                roads: None,
             },
             Request::Estimate {
                 slot_of_day: 0,
                 observations: vec![],
                 deadline_ms: None,
+                roads: Some(vec![7, 2, 19]),
+            },
+            Request::Estimate {
+                slot_of_day: 4,
+                observations: vec![(1, 20.0)],
+                deadline_ms: Some(100),
+                roads: Some(vec![]),
             },
             Request::IngestDay {
                 rows: vec![vec![30.0, 22.5], vec![28.0, 19.75]],
@@ -1041,6 +1274,15 @@ mod tests {
                 p_up: vec![0.75, 0.5],
                 trends: vec![true, false],
                 ignored_observations: 2,
+                unavailable: vec![],
+            }),
+            Response::Estimate(EstimateReply {
+                epoch: 7,
+                speeds: vec![31.5, 18.0],
+                p_up: vec![0.75, 0.25],
+                trends: vec![true, false],
+                ignored_observations: 0,
+                unavailable: vec![9, 12],
             }),
             Response::Ingested {
                 epoch: 4,
@@ -1080,6 +1322,34 @@ mod tests {
                 snapshot_rejects: vec![("bad_checksum".into(), 2), ("io".into(), 0)],
                 ignored_observations: 6,
                 latency_counts: vec![0; LATENCY_BUCKET_BOUNDS_US.len() + 1],
+                rate_limited_requests: 3,
+                shard: Some(ShardIdentity {
+                    index: 1,
+                    count: 4,
+                    owned_roads: 1024,
+                    // Exercises all 64 bits through the hex encoding.
+                    fingerprint: 0xdead_beef_cafe_f00d,
+                }),
+                shards: vec![
+                    ShardHealth {
+                        shard: 0,
+                        up: true,
+                        plan_ok: true,
+                        epoch: 4,
+                        days_ingested: 9,
+                        restarts: 0,
+                        owned_roads: 2048,
+                    },
+                    ShardHealth {
+                        shard: 1,
+                        up: false,
+                        plan_ok: false,
+                        epoch: 0,
+                        days_ingested: 0,
+                        restarts: 2,
+                        owned_roads: 1024,
+                    },
+                ],
             }),
             Response::Snapshotted {
                 epoch: 5,
@@ -1094,5 +1364,33 @@ mod tests {
         for resp in resps {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn pre_shard_frames_still_decode() {
+        // A frame from a build without the sharding fields must decode
+        // with the defaults, both directions.
+        let req = Request::decode(
+            b"{\"cmd\":\"estimate\",\"slot\":3,\"obs\":[[1,20.5]],\"deadline_ms\":null}",
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::Estimate {
+                slot_of_day: 3,
+                observations: vec![(1, 20.5)],
+                deadline_ms: None,
+                roads: None,
+            }
+        );
+        let resp = Response::decode(
+            b"{\"ok\":\"estimate\",\"epoch\":2,\"speeds\":[30],\"p_up\":[0.5],\
+              \"trends\":[true],\"ignored\":0}",
+        )
+        .unwrap();
+        let Response::Estimate(reply) = resp else {
+            panic!("wrong variant");
+        };
+        assert!(reply.unavailable.is_empty());
     }
 }

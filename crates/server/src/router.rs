@@ -1,0 +1,694 @@
+//! The `crowdspeed-router` front-end: speaks the daemon wire protocol
+//! unchanged to clients, scatter-gathers each command across a fleet
+//! of shard workers, and merges the answers.
+//!
+//! # Dataflow
+//!
+//! ```text
+//!                        ┌──────────────┐  roads owned by shard 0  ┌──────────┐
+//!   client ── ESTIMATE ─▶│    router    │─────────────────────────▶│ worker 0 │
+//!            full reply◀─│  scatter +   │  roads owned by shard 1  ├──────────┤
+//!                        │   reassemble │─────────────────────────▶│ worker 1 │
+//!                        └──────────────┘            …             └──────────┘
+//! ```
+//!
+//! Every worker ingests every day and trains the identical full model
+//! (training is replicated; only *serving* is sharded), so reassembling
+//! per-shard replies by road id reproduces the unsharded daemon's reply
+//! byte for byte — the `router` integration suite pins this.
+//!
+//! # Degradation
+//!
+//! A shard the router cannot reach degrades by request shape:
+//! road-filtered estimates answer the live shards' roads and list the
+//! dead shard's roads in `unavailable` (NaN speeds at those positions);
+//! requests that need every shard (all-roads estimates, `INGEST_DAY`)
+//! answer a typed [`ErrorKind::ShardUnavailable`]. Liveness is probed
+//! per request — there is no cached up/down state to go stale — and
+//! the fleet supervisor (when present) restarts dead workers, so
+//! `shard_unavailable` is always retryable.
+
+use crate::daemon::{drain, error_response, respond};
+use crate::fleet::FleetStatus;
+use crate::metrics::{Command, Metrics};
+use crate::protocol::{
+    read_frame_with_deadline, ErrorKind, EstimateReply, Request, Response, ShardHealth, WireError,
+    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use crate::{Client, ClientConfig, ServerError};
+use crowdspeed::shard::ShardPlan;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tunables for [`Router::spawn`].
+pub struct RouterConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// One worker address per shard, indexed by shard.
+    pub shard_addrs: Vec<String>,
+    /// The fleet-wide shard plan (road → shard). Must be the same plan
+    /// every worker was started with; mismatches surface as `plan_ok:
+    /// false` in `STATS` and `BadRequest` refusals from workers.
+    pub plan: ShardPlan,
+    /// Frames declaring more payload than this are refused.
+    pub max_frame_bytes: usize,
+    /// Maximum simultaneous client connections.
+    pub max_connections: usize,
+    /// Per-frame read deadline for client connections (slow-loris
+    /// defence), as in the daemon.
+    pub frame_deadline_ms: Option<u64>,
+    /// Timeout policy for router → shard links.
+    pub shard_client: ClientConfig,
+    /// Supervisor status, when the router also manages the fleet;
+    /// fills the `restarts` column of the `STATS` breakdown.
+    pub fleet: Option<Arc<FleetStatus>>,
+}
+
+impl RouterConfig {
+    /// Config with daemon-like defaults for everything but the
+    /// required topology.
+    pub fn new(addr: String, shard_addrs: Vec<String>, plan: ShardPlan) -> RouterConfig {
+        RouterConfig {
+            addr,
+            shard_addrs,
+            plan,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            max_connections: 1024,
+            frame_deadline_ms: Some(30_000),
+            shard_client: ClientConfig::default(),
+            fleet: None,
+        }
+    }
+}
+
+struct RouterShared {
+    config: RouterConfig,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    active_conns: AtomicUsize,
+    fingerprint: u64,
+}
+
+/// A running scatter-gather router (see [`Router::spawn`]).
+pub struct Router;
+
+/// Handle to a spawned router: bound address and lifecycle control.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds the listener and starts the acceptor. Returns once the
+    /// router is reachable; shard workers are dialled lazily per
+    /// connection, so they may come up after the router does.
+    pub fn spawn(config: RouterConfig) -> Result<RouterHandle, ServerError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let fingerprint = config.plan.fingerprint();
+        let shared = Arc::new(RouterShared {
+            metrics: Metrics::new(0, 0),
+            shutdown: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            fingerprint,
+            config,
+        });
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("crowdspeed-router-accept".to_string())
+            .spawn(move || accept_loop(listener, acceptor_shared))
+            .expect("spawn router acceptor thread");
+        Ok(RouterHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+impl RouterHandle {
+    /// The address the router is listening on (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the router to stop accepting and drain.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Signals shutdown and blocks until the acceptor and handlers
+    /// exit.
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the router stops on its own (a `SHUTDOWN` frame).
+    pub fn wait(mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct ConnGuard(Arc<RouterShared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<RouterShared>) {
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                handlers.retain(|h| !h.is_finished());
+                let cap = shared.config.max_connections.max(1);
+                if shared.active_conns.load(Ordering::SeqCst) >= cap {
+                    shared.metrics.reject_connection();
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                    let _ = respond(
+                        &mut stream,
+                        &error_response(
+                            ErrorKind::Overloaded,
+                            format!("connection limit reached ({cap})"),
+                        ),
+                    );
+                    continue;
+                }
+                shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("crowdspeed-router-conn".to_string())
+                    .spawn(move || {
+                        let _guard = ConnGuard(Arc::clone(&conn_shared));
+                        handle_connection(stream, conn_shared);
+                    });
+                match spawned {
+                    Ok(handle) => handlers.push(handle),
+                    Err(_) => {
+                        shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                        shared.metrics.reject_connection();
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                handlers.retain(|h| !h.is_finished());
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// Per-connection shard links, dialled lazily and poisoned (dropped)
+/// on transport failure so the next request re-dials. Each client
+/// connection gets its own links: the strict request/response framing
+/// per link needs no cross-connection locking, and a dead shard is
+/// re-probed per request rather than cached as down.
+struct ShardLinks {
+    clients: Vec<Option<Client>>,
+}
+
+impl ShardLinks {
+    fn new(count: usize) -> ShardLinks {
+        ShardLinks {
+            clients: (0..count).map(|_| None).collect(),
+        }
+    }
+
+    /// Connected client for shard `i`, dialling if needed. `None`
+    /// means the shard is unreachable right now.
+    fn get(&mut self, config: &RouterConfig, i: usize) -> Option<&mut Client> {
+        if crate::failpoint::fire("shard_link") {
+            // Injected link failure: indistinguishable from a dead
+            // worker, which is the point.
+            self.clients[i] = None;
+            return None;
+        }
+        if self.clients[i].is_none() {
+            self.clients[i] =
+                Client::connect_with(config.shard_addrs[i].as_str(), config.shard_client.clone())
+                    .ok();
+        }
+        self.clients[i].as_mut()
+    }
+
+    /// Drops shard `i`'s link after a transport failure.
+    fn poison(&mut self, i: usize) {
+        self.clients[i] = None;
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<RouterShared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let shutdown = {
+        let shared = Arc::clone(&shared);
+        move || shared.shutdown.load(Ordering::SeqCst)
+    };
+    let frame_deadline = shared.config.frame_deadline_ms.map(Duration::from_millis);
+    let mut links = ShardLinks::new(shared.config.shard_addrs.len());
+    loop {
+        let (version, payload) = match read_frame_with_deadline(
+            &mut stream,
+            shared.config.max_frame_bytes,
+            &shutdown,
+            frame_deadline,
+        ) {
+            Ok(frame) => frame,
+            Err(WireError::Oversized { declared, max }) => {
+                const DRAIN_CAP: usize = 1 << 20;
+                if declared < DRAIN_CAP && drain(&mut stream, declared + 1, &shutdown) {
+                    let _ = respond(
+                        &mut stream,
+                        &error_response(
+                            ErrorKind::FrameTooLarge,
+                            format!("frame of {declared} bytes exceeds limit of {max}"),
+                        ),
+                    );
+                }
+                return;
+            }
+            Err(_) => return,
+        };
+        if version != PROTOCOL_VERSION {
+            let survived = respond(
+                &mut stream,
+                &error_response(
+                    ErrorKind::UnsupportedVersion,
+                    format!("speak version {PROTOCOL_VERSION}, got {version}"),
+                ),
+            );
+            if survived {
+                continue;
+            }
+            return;
+        }
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err((kind, message)) => {
+                if respond(&mut stream, &error_response(kind, message)) {
+                    continue;
+                }
+                return;
+            }
+        };
+        let command = match &request {
+            Request::Estimate { .. } => Command::Estimate,
+            Request::IngestDay { .. } => Command::IngestDay,
+            Request::Stats => Command::Stats,
+            Request::Shutdown => Command::Shutdown,
+            Request::Snapshot => Command::Snapshot,
+        };
+        shared.metrics.received(command);
+        let response = match request {
+            Request::Estimate {
+                slot_of_day,
+                observations,
+                deadline_ms,
+                roads,
+            } => route_estimate(
+                &shared,
+                &mut links,
+                slot_of_day,
+                observations,
+                deadline_ms,
+                roads,
+            ),
+            Request::IngestDay { rows } => route_ingest(&shared, &mut links, rows),
+            Request::Stats => route_stats(&shared, &mut links),
+            Request::Snapshot => route_snapshot(&shared, &mut links),
+            Request::Shutdown => {
+                // Stop the shards first (best-effort), then this
+                // process: a fleet shut down through the router leaves
+                // nothing orphaned.
+                for shard in 0..shared.config.shard_addrs.len() {
+                    if let Some(client) = links.get(&shared.config, shard) {
+                        let _ = client.shutdown();
+                    }
+                }
+                Response::ShuttingDown
+            }
+        };
+        match &response {
+            Response::Error { .. } => shared.metrics.error(command),
+            _ => shared.metrics.ok(command),
+        }
+        let survived = respond(&mut stream, &response);
+        if matches!(response, Response::ShuttingDown) {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+        if !survived {
+            return;
+        }
+    }
+}
+
+/// `true` for failures that mean "this shard is unreachable" rather
+/// than a typed answer from a healthy worker.
+fn is_transport(e: &ServerError) -> bool {
+    matches!(
+        e,
+        ServerError::Io(_) | ServerError::Wire(_) | ServerError::TimedOut
+    )
+}
+
+fn shard_down(shard: usize) -> Response {
+    error_response(
+        ErrorKind::ShardUnavailable,
+        format!("shard {shard} is unreachable; the fleet supervisor restarts dead workers"),
+    )
+}
+
+/// Scatter an estimate and reassemble the reply.
+///
+/// Without a road filter the reply must cover every road, so every
+/// shard must answer — one dead shard fails the request with
+/// [`ErrorKind::ShardUnavailable`]. With a filter, dead shards degrade
+/// per road: their positions carry NaN/false and the road ids land in
+/// `unavailable`.
+fn route_estimate(
+    shared: &Arc<RouterShared>,
+    links: &mut ShardLinks,
+    slot_of_day: usize,
+    observations: Vec<(u32, f64)>,
+    deadline_ms: Option<u64>,
+    roads: Option<Vec<u32>>,
+) -> Response {
+    let plan = &shared.config.plan;
+    let shards = shared.config.shard_addrs.len();
+    match roads {
+        None => {
+            let n = plan.num_roads();
+            let mut speeds = vec![f64::NAN; n];
+            let mut p_up = vec![f64::NAN; n];
+            let mut trends = vec![false; n];
+            let mut epoch = 0u64;
+            let mut ignored = 0u64;
+            for shard in 0..shards {
+                let owned = plan.owned_roads(shard);
+                if owned.is_empty() {
+                    continue;
+                }
+                let Some(client) = links.get(&shared.config, shard) else {
+                    return shard_down(shard);
+                };
+                // No filter on the wire: the worker serves all roads
+                // it owns, ascending — same order as `owned`.
+                match client.estimate_roads(slot_of_day, observations.clone(), deadline_ms, None) {
+                    Ok(reply) => {
+                        if reply.speeds.len() != owned.len() {
+                            links.poison(shard);
+                            return error_response(
+                                ErrorKind::Internal,
+                                format!(
+                                    "shard {shard} answered {} roads, plan owns {}",
+                                    reply.speeds.len(),
+                                    owned.len()
+                                ),
+                            );
+                        }
+                        for (j, road) in owned.iter().enumerate() {
+                            speeds[road.index()] = reply.speeds[j];
+                            p_up[road.index()] = reply.p_up[j];
+                            trends[road.index()] = reply.trends[j];
+                        }
+                        epoch = epoch.max(reply.epoch);
+                        // Replicated training: every shard skips the
+                        // same non-seed observations, so max = each.
+                        ignored = ignored.max(reply.ignored_observations);
+                    }
+                    // A typed error from a healthy worker (e.g.
+                    // NoObservations) holds for every shard — training
+                    // is replicated — so pass it through unchanged.
+                    Err(ServerError::Remote { kind, message }) => {
+                        return error_response(kind, message)
+                    }
+                    Err(e) if is_transport(&e) => {
+                        links.poison(shard);
+                        return shard_down(shard);
+                    }
+                    Err(e) => {
+                        links.poison(shard);
+                        return error_response(ErrorKind::Internal, e.to_string());
+                    }
+                }
+            }
+            Response::Estimate(EstimateReply {
+                epoch,
+                speeds,
+                p_up,
+                trends,
+                ignored_observations: ignored,
+                unavailable: Vec::new(),
+            })
+        }
+        Some(filter) => {
+            let n = plan.num_roads();
+            if let Some(&bad) = filter.iter().find(|&&r| r as usize >= n) {
+                return error_response(
+                    ErrorKind::BadRequest,
+                    format!("road {bad} outside the graph ({n} roads)"),
+                );
+            }
+            if filter.is_empty() && observations.is_empty() {
+                // Match the unsharded daemon, which refuses empty
+                // observations before looking at the filter.
+                return error_response(
+                    ErrorKind::NoObservations,
+                    "no observations provided".to_string(),
+                );
+            }
+            // Group request positions by owning shard, preserving the
+            // request's order within each group.
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); shards];
+            for (pos, &road) in filter.iter().enumerate() {
+                groups[plan.shard_of(roadnet::RoadId(road))].push(pos);
+            }
+            let mut speeds = vec![f64::NAN; filter.len()];
+            let mut p_up = vec![f64::NAN; filter.len()];
+            let mut trends = vec![false; filter.len()];
+            let mut epoch = 0u64;
+            let mut ignored = 0u64;
+            let mut unavailable: Vec<u32> = Vec::new();
+            let mut any_ok = filter.is_empty();
+            for (shard, group) in groups.iter().enumerate() {
+                if group.is_empty() {
+                    continue;
+                }
+                let member_roads: Vec<u32> = group.iter().map(|&p| filter[p]).collect();
+                let reply = match links.get(&shared.config, shard) {
+                    None => None,
+                    Some(client) => match client.estimate_roads(
+                        slot_of_day,
+                        observations.clone(),
+                        deadline_ms,
+                        Some(member_roads.clone()),
+                    ) {
+                        Ok(reply) if reply.speeds.len() == member_roads.len() => Some(reply),
+                        Ok(_) => {
+                            links.poison(shard);
+                            return error_response(
+                                ErrorKind::Internal,
+                                format!("shard {shard} answered the wrong road count"),
+                            );
+                        }
+                        // Typed errors come from a *healthy* worker
+                        // (NoObservations, BadRequest, …) and would hit
+                        // every shard the same way: pass through, don't
+                        // degrade.
+                        Err(ServerError::Remote { kind, message }) => {
+                            return error_response(kind, message)
+                        }
+                        Err(_) => {
+                            links.poison(shard);
+                            None
+                        }
+                    },
+                };
+                match reply {
+                    Some(reply) => {
+                        for (j, &pos) in group.iter().enumerate() {
+                            speeds[pos] = reply.speeds[j];
+                            p_up[pos] = reply.p_up[j];
+                            trends[pos] = reply.trends[j];
+                        }
+                        epoch = epoch.max(reply.epoch);
+                        ignored = ignored.max(reply.ignored_observations);
+                        any_ok = true;
+                    }
+                    None => {
+                        unavailable.extend(member_roads);
+                    }
+                }
+            }
+            if !any_ok {
+                return error_response(
+                    ErrorKind::ShardUnavailable,
+                    "every shard owning the requested roads is unreachable".to_string(),
+                );
+            }
+            Response::Estimate(EstimateReply {
+                epoch,
+                speeds,
+                p_up,
+                trends,
+                ignored_observations: ignored,
+                unavailable,
+            })
+        }
+    }
+}
+
+/// Broadcast one day to every shard; training is replicated, so all
+/// must succeed.
+///
+/// A failure partway leaves shards at different day counts — visible
+/// as diverging `days` in the `STATS` breakdown. The operator re-sends
+/// the day once the fleet is whole; workers that already ingested it
+/// would double-count, so the router reports *which* shard failed and
+/// the drill procedure is: restore the fleet, then re-ingest only into
+/// lagging shards via their direct addresses (or restart them from
+/// snapshots taken before the partial day).
+fn route_ingest(
+    shared: &Arc<RouterShared>,
+    links: &mut ShardLinks,
+    rows: Vec<Vec<f64>>,
+) -> Response {
+    let shards = shared.config.shard_addrs.len();
+    let mut epoch = 0u64;
+    let mut days = 0u64;
+    for shard in 0..shards {
+        let Some(client) = links.get(&shared.config, shard) else {
+            return shard_down(shard);
+        };
+        match client.ingest_day(rows.clone()) {
+            Ok((e, d)) => {
+                epoch = epoch.max(e);
+                days = days.max(d);
+            }
+            Err(ServerError::Remote { kind, message }) => {
+                return error_response(kind, format!("shard {shard}: {message}"));
+            }
+            Err(e) => {
+                links.poison(shard);
+                if is_transport(&e) {
+                    return shard_down(shard);
+                }
+                return error_response(ErrorKind::Internal, format!("shard {shard}: {e}"));
+            }
+        }
+    }
+    Response::Ingested {
+        epoch,
+        days_ingested: days,
+    }
+}
+
+/// Merge the router's own command counters with a per-shard health
+/// breakdown probed over the wire.
+fn route_stats(shared: &Arc<RouterShared>, links: &mut ShardLinks) -> Response {
+    let plan = &shared.config.plan;
+    let fleet: Option<Vec<crate::fleet::WorkerStatus>> =
+        shared.config.fleet.as_ref().map(|f| f.workers());
+    let mut snap = shared.metrics.snapshot();
+    let mut shard_rows = Vec::with_capacity(shared.config.shard_addrs.len());
+    for shard in 0..shared.config.shard_addrs.len() {
+        let owned_roads = plan.owned_roads(shard).len() as u64;
+        let restarts = fleet
+            .as_ref()
+            .and_then(|w| w.get(shard))
+            .map_or(0, |w| w.restarts);
+        let probe = links
+            .get(&shared.config, shard)
+            .and_then(|client| client.stats().ok());
+        match probe {
+            Some(stats) => {
+                let plan_ok = stats.shard.as_ref().is_some_and(|identity| {
+                    identity.fingerprint == shared.fingerprint && identity.index as usize == shard
+                });
+                snap.epoch = snap.epoch.max(stats.epoch);
+                snap.days_ingested = snap.days_ingested.max(stats.days_ingested);
+                shard_rows.push(ShardHealth {
+                    shard: shard as u32,
+                    up: true,
+                    plan_ok,
+                    epoch: stats.epoch,
+                    days_ingested: stats.days_ingested,
+                    restarts,
+                    owned_roads,
+                });
+            }
+            None => {
+                links.poison(shard);
+                shard_rows.push(ShardHealth {
+                    shard: shard as u32,
+                    up: false,
+                    plan_ok: false,
+                    epoch: 0,
+                    days_ingested: 0,
+                    restarts,
+                    owned_roads,
+                });
+            }
+        }
+    }
+    snap.shards = shard_rows;
+    Response::Stats(snap)
+}
+
+/// Broadcast `SNAPSHOT`; all shards must persist for the command to
+/// succeed (a half-snapshotted fleet is not a restore point).
+fn route_snapshot(shared: &Arc<RouterShared>, links: &mut ShardLinks) -> Response {
+    let shards = shared.config.shard_addrs.len();
+    let mut epoch = 0u64;
+    let mut paths: Vec<String> = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let Some(client) = links.get(&shared.config, shard) else {
+            return shard_down(shard);
+        };
+        match client.snapshot() {
+            Ok((e, path)) => {
+                epoch = epoch.max(e);
+                paths.push(path);
+            }
+            Err(ServerError::Remote { kind, message }) => {
+                return error_response(kind, format!("shard {shard}: {message}"));
+            }
+            Err(e) => {
+                links.poison(shard);
+                if is_transport(&e) {
+                    return shard_down(shard);
+                }
+                return error_response(ErrorKind::Internal, format!("shard {shard}: {e}"));
+            }
+        }
+    }
+    Response::Snapshotted {
+        epoch,
+        path: paths.join(","),
+    }
+}

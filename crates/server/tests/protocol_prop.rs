@@ -3,8 +3,8 @@
 //! with typed errors instead of panics or desyncs.
 
 use crowdspeed_server::protocol::{
-    read_frame, write_frame, CommandStats, ErrorKind, EstimateReply, Request, Response, StatsReply,
-    WireError, LATENCY_BUCKET_BOUNDS_US,
+    read_frame, write_frame, CommandStats, ErrorKind, EstimateReply, Request, Response,
+    ShardHealth, ShardIdentity, StatsReply, WireError, LATENCY_BUCKET_BOUNDS_US,
 };
 use proptest::prelude::*;
 
@@ -30,23 +30,31 @@ proptest! {
         obs in prop::collection::vec((any::<u32>(), any::<f64>()), 0..16),
         deadline in 0u64..1_000_000,
         has_deadline in any::<bool>(),
+        // The vendored proptest has no `prop::option`: model Option as
+        // a bool plus the value it gates.
+        has_filter in any::<bool>(),
+        filter_roads in prop::collection::vec(any::<u32>(), 0..16),
     ) {
+        let road_filter = has_filter.then_some(filter_roads);
         let req = Request::Estimate {
             slot_of_day: slot,
             observations: obs.clone(),
             deadline_ms: has_deadline.then_some(deadline),
+            roads: road_filter.clone(),
         };
         let decoded = Request::decode(&req.encode()).map_err(|(k, m)| format!("{k}: {m}"))?;
         let Request::Estimate {
             slot_of_day,
             observations,
             deadline_ms,
+            roads,
         } = decoded
         else {
             return Err("wrong variant".to_string());
         };
         prop_assert_eq!(slot_of_day, slot);
         prop_assert_eq!(deadline_ms, has_deadline.then_some(deadline));
+        prop_assert_eq!(roads, road_filter);
         prop_assert_eq!(observations.len(), obs.len());
         for (&(road_a, speed_a), &(road_b, speed_b)) in obs.iter().zip(&observations) {
             prop_assert_eq!(road_a, road_b);
@@ -93,6 +101,7 @@ proptest! {
         p_up in prop::collection::vec(0.0f64..1.0, 0..16),
         trends in prop::collection::vec(any::<bool>(), 0..16),
         ignored in 0u64..MAX_EXACT,
+        unavailable in prop::collection::vec(any::<u32>(), 0..8),
     ) {
         let resp = Response::Estimate(EstimateReply {
             epoch,
@@ -100,6 +109,7 @@ proptest! {
             p_up: p_up.clone(),
             trends: trends.clone(),
             ignored_observations: ignored,
+            unavailable: unavailable.clone(),
         });
         let decoded = Response::decode(&resp.encode())?;
         let Response::Estimate(reply) = decoded else {
@@ -107,6 +117,7 @@ proptest! {
         };
         prop_assert_eq!(reply.epoch, epoch);
         prop_assert_eq!(reply.ignored_observations, ignored);
+        prop_assert_eq!(&reply.unavailable, &unavailable);
         prop_assert_eq!(&reply.p_up, &p_up);
         prop_assert_eq!(&reply.trends, &trends);
         prop_assert_eq!(reply.speeds.len(), speeds.len());
@@ -120,7 +131,7 @@ proptest! {
         which in 0usize..3,
         epoch in 0u64..MAX_EXACT,
         days in 0u64..MAX_EXACT,
-        kind_idx in 0usize..9,
+        kind_idx in 0usize..11,
         message_idx in 0usize..4,
     ) {
         let kinds = [
@@ -132,6 +143,8 @@ proptest! {
             ErrorKind::UnknownCommand,
             ErrorKind::UnsupportedVersion,
             ErrorKind::FrameTooLarge,
+            ErrorKind::RateLimited,
+            ErrorKind::ShardUnavailable,
             ErrorKind::Internal,
         ];
         let messages = ["", "queue full", "weird \"quotes\" \\ and \u{e9}\u{1f600}", "line\nbreak\ttab"];
@@ -162,6 +175,21 @@ proptest! {
         snapshot_rejects in prop::collection::vec(0u64..MAX_EXACT, 7usize),
         retrains in (prop::collection::vec(0u64..MAX_EXACT, 3usize), 0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT),
         latency in prop::collection::vec(0u64..MAX_EXACT, LATENCY_BUCKET_BOUNDS_US.len() + 1),
+        rate_limited in 0u64..MAX_EXACT,
+        // No `prop::option` in the vendored proptest: a bool gates the
+        // identity tuple. Full 64-bit fingerprint range: it travels as
+        // hex, not f64.
+        has_shard in any::<bool>(),
+        shard_identity in (0u32..64, 1u32..64, 0u64..MAX_EXACT, any::<u64>()),
+        // Nested tuples keep each strategy tuple within the vendored
+        // 6-element cap.
+        shards in prop::collection::vec(
+            (
+                (0u32..64, any::<bool>(), any::<bool>()),
+                (0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT),
+            ),
+            0..4,
+        ),
     ) {
         let (rejected_overload, rejected_deadline, rejected_connections, worker_panics, retrain_failures) = faults;
         let (snapshot_writes, snapshot_write_failures, snapshot_resumed, ignored_observations) = snaps;
@@ -201,6 +229,32 @@ proptest! {
                 .map(|(&name, &count)| (name.to_string(), count))
                 .collect(),
             ignored_observations,
+            rate_limited_requests: rate_limited,
+            shard: has_shard.then(|| {
+                let (index, count, owned_roads, fingerprint) = shard_identity;
+                ShardIdentity {
+                    index,
+                    count,
+                    owned_roads,
+                    fingerprint,
+                }
+            }),
+            shards: shards
+                .iter()
+                .map(
+                    |&((shard, up, plan_ok), (epoch, days_ingested, restarts, owned_roads))| {
+                        ShardHealth {
+                            shard,
+                            up,
+                            plan_ok,
+                            epoch,
+                            days_ingested,
+                            restarts,
+                            owned_roads,
+                        }
+                    },
+                )
+                .collect(),
         });
         let decoded = Response::decode(&resp.encode())?;
         prop_assert_eq!(decoded, resp);

@@ -417,3 +417,59 @@ fn shutdown_drains_and_joins() {
     };
     assert!(unreachable, "daemon must stop serving after shutdown");
 }
+
+#[test]
+fn rate_limit_rejects_burst_but_not_fresh_connections() {
+    let ds = dataset();
+    let handle = spawn(
+        &ds,
+        DaemonConfig {
+            rate_limit_rps: Some(5),
+            ..DaemonConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("client connects");
+    let obs = observations_at(&ds, 3);
+
+    // Burst far past the bucket: the first `capacity` requests pass,
+    // the rest get the typed reject, and the connection survives every
+    // rejection (rate limiting is not a hangup).
+    let mut ok = 0u64;
+    let mut limited = 0u64;
+    for _ in 0..20 {
+        match client.estimate(3, obs.clone(), None) {
+            Ok(reply) => {
+                assert_eq!(reply.epoch, 1);
+                ok += 1;
+            }
+            Err(ServerError::Remote { kind, .. }) => {
+                assert_eq!(kind, ErrorKind::RateLimited, "only typed rate_limited");
+                limited += 1;
+            }
+            Err(other) => panic!("unexpected failure under rate limiting: {other}"),
+        }
+    }
+    assert_eq!(ok + limited, 20);
+    assert!(
+        ok >= 5,
+        "a full bucket admits at least its capacity, got {ok}"
+    );
+    assert!(
+        limited > 0,
+        "a 20-request burst must overflow a 5 rps bucket"
+    );
+
+    // The bucket is per connection: a fresh one starts full.
+    let mut fresh = Client::connect(addr).expect("second client connects");
+    fresh
+        .estimate(3, obs.clone(), None)
+        .expect("fresh connection is not limited");
+    let stats = fresh.stats().expect("stats");
+    assert_eq!(stats.rate_limited_requests, limited);
+
+    // SHUTDOWN is exempt: even the exhausted connection can stop the
+    // daemon (an operator must never be rate-limited out of control).
+    client.shutdown().expect("shutdown bypasses the limiter");
+    handle.join();
+}

@@ -1,0 +1,302 @@
+//! End-to-end tests for the scatter-gather router and its shard fleet.
+//!
+//! The sharded deployment's core promise mirrors the daemon's: putting
+//! a router and N shard workers in front of the estimator changes
+//! *nothing* about the numbers. Every worker trains the identical full
+//! model (training is replicated, serving is masked), so a scatter-
+//! gathered reply must be byte-identical to a single unsharded daemon
+//! at any shard count — before and after a hot model swap.
+
+use crowdspeed::prelude::*;
+use crowdspeed_server::daemon::{Daemon, DaemonConfig, DaemonHandle};
+use crowdspeed_server::{
+    dataset_plan, Client, ErrorKind, Router, RouterConfig, RouterHandle, ServerError, ShardSpec,
+};
+use roadnet::RoadId;
+use trafficsim::dataset::{metro_small, Dataset, DatasetParams};
+
+fn dataset() -> Dataset {
+    metro_small(&DatasetParams {
+        training_days: 6,
+        test_days: 2,
+        ..DatasetParams::default()
+    })
+}
+
+fn seeds() -> Vec<RoadId> {
+    (0..12u32).map(|i| RoadId(i * 8)).collect()
+}
+
+fn corr_config() -> CorrelationConfig {
+    // 0.8 keeps the correlation graph multi-component (components are
+    // atomic to the shard planner: splitting one would break masked
+    // LBP bit-identity), so 2- and 3-shard plans are genuinely
+    // balanced rather than degenerate single-shard plans.
+    CorrelationConfig {
+        min_cotrend: 0.8,
+        min_co_observations: 6,
+        ..CorrelationConfig::default()
+    }
+}
+
+fn train_state(ds: &Dataset) -> crowdspeed_server::TrainState {
+    crowdspeed_server::TrainState::new(
+        ds.graph.clone(),
+        &ds.history,
+        seeds(),
+        &corr_config(),
+        EstimatorConfig::default(),
+    )
+}
+
+fn observations_at(ds: &Dataset, slot: usize) -> Vec<(u32, f64)> {
+    let truth = &ds.test_days[0];
+    seeds()
+        .iter()
+        .map(|&s| (s.0, truth.speed(slot, s)))
+        .collect()
+}
+
+fn day_rows(day: &trafficsim::SpeedField) -> Vec<Vec<f64>> {
+    (0..day.num_slots())
+        .map(|slot| day.slot_speeds(slot).to_vec())
+        .collect()
+}
+
+fn spawn_worker(ds: &Dataset, index: usize, shards: usize, addr: &str) -> DaemonHandle {
+    let plan = dataset_plan(&ds.graph, &ds.history, &corr_config(), shards).expect("plan");
+    Daemon::spawn(
+        train_state(ds),
+        DaemonConfig {
+            addr: addr.to_string(),
+            shard: Some(ShardSpec { index, plan }),
+            ..DaemonConfig::default()
+        },
+    )
+    .expect("shard worker spawns")
+}
+
+fn spawn_fleet(ds: &Dataset, shards: usize) -> (Vec<DaemonHandle>, RouterHandle) {
+    let plan = dataset_plan(&ds.graph, &ds.history, &corr_config(), shards).expect("plan");
+    let workers: Vec<DaemonHandle> = (0..shards)
+        .map(|i| spawn_worker(ds, i, shards, "127.0.0.1:0"))
+        .collect();
+    let shard_addrs = workers.iter().map(|w| w.addr().to_string()).collect();
+    let router = Router::spawn(RouterConfig::new(
+        "127.0.0.1:0".to_string(),
+        shard_addrs,
+        plan,
+    ))
+    .expect("router spawns");
+    (workers, router)
+}
+
+/// Full-width and road-filtered estimates through the router must be
+/// byte-identical to the unsharded daemon's, at this slot.
+fn assert_parity(ds: &Dataset, via_router: &mut Client, via_single: &mut Client, slot: usize) {
+    let obs = observations_at(ds, slot);
+    let a = via_router
+        .estimate(slot, obs.clone(), None)
+        .expect("router estimate");
+    let b = via_single
+        .estimate(slot, obs.clone(), None)
+        .expect("single estimate");
+    assert_eq!(a.epoch, b.epoch, "slot {slot}");
+    assert_eq!(a.speeds, b.speeds, "slot {slot}: router == single daemon");
+    assert_eq!(a.p_up, b.p_up, "slot {slot}");
+    assert_eq!(a.trends, b.trends, "slot {slot}");
+    assert_eq!(a.ignored_observations, b.ignored_observations);
+    assert!(a.unavailable.is_empty());
+
+    // A filter crossing shard boundaries, deliberately out of order:
+    // the reply must keep the request's order on both paths.
+    let filter = vec![99u32, 0, 17, 55, 3];
+    let fa = via_router
+        .estimate_roads(slot, obs.clone(), None, Some(filter.clone()))
+        .expect("router filtered estimate");
+    let fb = via_single
+        .estimate_roads(slot, obs, None, Some(filter.clone()))
+        .expect("single filtered estimate");
+    assert_eq!(fa.speeds, fb.speeds, "slot {slot}: filtered parity");
+    assert_eq!(fa.p_up, fb.p_up);
+    assert_eq!(fa.trends, fb.trends);
+    for (j, &road) in filter.iter().enumerate() {
+        assert_eq!(
+            fa.speeds[j], a.speeds[road as usize],
+            "filter picks road {road}"
+        );
+    }
+}
+
+fn parity_at(shards: usize) {
+    let ds = dataset();
+    let single = Daemon::spawn(train_state(&ds), DaemonConfig::default()).expect("single daemon");
+    let (workers, router) = spawn_fleet(&ds, shards);
+    let mut via_router = Client::connect(router.addr()).expect("router client");
+    let mut via_single = Client::connect(single.addr()).expect("single client");
+
+    assert_parity(&ds, &mut via_router, &mut via_single, 4);
+
+    // Hot swap: the same day through both deployments keeps them in
+    // lockstep (the router broadcasts, every worker retrains the same
+    // full model).
+    let rows = day_rows(&ds.test_days[1]);
+    let routed = via_router.ingest_day(rows.clone()).expect("router ingest");
+    let direct = via_single.ingest_day(rows).expect("single ingest");
+    assert_eq!(routed, direct, "epoch and day count advance in lockstep");
+
+    assert_parity(&ds, &mut via_router, &mut via_single, 9);
+
+    // The merged STATS view: every shard up, on-plan, at the swapped
+    // epoch, and the ownership columns cover the whole graph.
+    let stats = via_router.stats().expect("router stats");
+    assert_eq!(stats.shards.len(), shards);
+    for health in &stats.shards {
+        assert!(health.up, "shard {} up", health.shard);
+        assert!(health.plan_ok, "shard {} on-plan", health.shard);
+        assert_eq!(health.epoch, 2);
+        assert_eq!(health.days_ingested, routed.1, "bootstrap history + 1");
+    }
+    let owned_total: u64 = stats.shards.iter().map(|h| h.owned_roads).sum();
+    assert_eq!(owned_total, ds.graph.num_roads() as u64);
+    assert_eq!(stats.epoch, 2);
+
+    // A worker's own STATS carries its shard identity.
+    let mut direct_worker = Client::connect(workers[0].addr()).expect("worker client");
+    let worker_stats = direct_worker.stats().expect("worker stats");
+    let identity = worker_stats.shard.expect("worker reports its shard");
+    assert_eq!(identity.index, 0);
+    assert_eq!(identity.count, shards as u32);
+
+    // SHUTDOWN through the router stops the whole fleet.
+    via_router.shutdown().expect("fleet shutdown");
+    router.wait();
+    for worker in workers {
+        worker.wait();
+    }
+    via_single.shutdown().expect("single shutdown");
+    single.wait();
+}
+
+#[test]
+fn router_matches_single_daemon_bitwise_at_two_shards() {
+    parity_at(2);
+}
+
+#[test]
+fn router_matches_single_daemon_bitwise_at_three_shards() {
+    parity_at(3);
+}
+
+#[test]
+fn router_degrades_per_shard_and_recovers() {
+    let ds = dataset();
+    let shards = 2;
+    let (workers, router) = spawn_fleet(&ds, shards);
+    let plan = dataset_plan(&ds.graph, &ds.history, &corr_config(), shards).expect("plan");
+    let mut client = Client::connect(router.addr()).expect("router client");
+    let obs = observations_at(&ds, 5);
+    let healthy = client
+        .estimate(5, obs.clone(), None)
+        .expect("healthy estimate");
+
+    let owned0: Vec<u32> = plan.owned_roads(0).iter().map(|r| r.0).collect();
+    let owned1: Vec<u32> = plan.owned_roads(1).iter().map(|r| r.0).collect();
+    let mut workers = workers.into_iter();
+    let w0 = workers.next().expect("worker 0");
+    let w1 = workers.next().expect("worker 1");
+    let w0_addr = w0.addr().to_string();
+
+    // Kill shard 0 out from under the router.
+    w0.join();
+
+    // Roads owned by the live shard still answer, bit-identically.
+    let live_filter = owned1[..3.min(owned1.len())].to_vec();
+    let live = client
+        .estimate_roads(5, obs.clone(), None, Some(live_filter.clone()))
+        .expect("live-shard roads still answer");
+    assert!(live.unavailable.is_empty());
+    for (j, &road) in live_filter.iter().enumerate() {
+        assert_eq!(live.speeds[j], healthy.speeds[road as usize]);
+    }
+
+    // Roads owned only by the dead shard: a typed, retryable error.
+    match client.estimate_roads(5, obs.clone(), None, Some(owned0[..2].to_vec())) {
+        Err(ServerError::Remote { kind, .. }) => assert_eq!(kind, ErrorKind::ShardUnavailable),
+        other => panic!("dead-shard-only request must fail typed, got {other:?}"),
+    }
+
+    // A mixed filter degrades per road: live positions answered, dead
+    // positions NaN and listed in `unavailable`.
+    let mixed = vec![owned1[0], owned0[0], owned1[1]];
+    let partial = client
+        .estimate_roads(5, obs.clone(), None, Some(mixed))
+        .expect("mixed filter degrades instead of failing");
+    assert_eq!(partial.unavailable, vec![owned0[0]]);
+    assert!(partial.speeds[1].is_nan() && partial.p_up[1].is_nan() && !partial.trends[1]);
+    assert_eq!(partial.speeds[0], healthy.speeds[owned1[0] as usize]);
+    assert_eq!(partial.speeds[2], healthy.speeds[owned1[1] as usize]);
+
+    // Full-width estimates need every shard.
+    match client.estimate(5, obs.clone(), None) {
+        Err(ServerError::Remote { kind, .. }) => assert_eq!(kind, ErrorKind::ShardUnavailable),
+        other => panic!("all-roads request must fail typed, got {other:?}"),
+    }
+
+    // STATS stays answerable and shows exactly which shard is down.
+    let stats = client.stats().expect("stats during degradation");
+    assert!(!stats.shards[0].up);
+    assert!(stats.shards[1].up && stats.shards[1].plan_ok);
+
+    // Recovery: a replacement worker on the same address (same
+    // deterministic training) restores full service transparently.
+    let w0b = spawn_worker(&ds, 0, shards, &w0_addr);
+    let recovered = client
+        .estimate(5, obs.clone(), None)
+        .expect("recovered estimate");
+    assert_eq!(
+        recovered.speeds, healthy.speeds,
+        "recovery is bit-identical"
+    );
+    assert_eq!(recovered.p_up, healthy.p_up);
+    assert_eq!(recovered.trends, healthy.trends);
+    let stats = client.stats().expect("stats after recovery");
+    assert!(stats.shards.iter().all(|h| h.up && h.plan_ok));
+
+    client.shutdown().expect("fleet shutdown");
+    router.wait();
+    w1.wait();
+    w0b.wait();
+}
+
+#[test]
+fn router_rejects_out_of_range_roads_and_routes_empty_filters() {
+    let ds = dataset();
+    let (workers, router) = spawn_fleet(&ds, 2);
+    let mut client = Client::connect(router.addr()).expect("router client");
+    let obs = observations_at(&ds, 2);
+
+    match client.estimate_roads(2, obs.clone(), None, Some(vec![0, 100_000])) {
+        Err(ServerError::Remote { kind, .. }) => assert_eq!(kind, ErrorKind::BadRequest),
+        other => panic!("out-of-range road must be a typed BadRequest, got {other:?}"),
+    }
+
+    // An empty filter is a valid request for zero roads.
+    let empty = client
+        .estimate_roads(2, obs.clone(), None, Some(Vec::new()))
+        .expect("empty filter");
+    assert!(empty.speeds.is_empty() && empty.unavailable.is_empty());
+
+    // Empty observations stay a typed NoObservations through the
+    // scatter path.
+    match client.estimate(2, Vec::new(), None) {
+        Err(ServerError::Remote { kind, .. }) => assert_eq!(kind, ErrorKind::NoObservations),
+        other => panic!("empty observations must pass through typed, got {other:?}"),
+    }
+
+    client.shutdown().expect("fleet shutdown");
+    router.wait();
+    for worker in workers {
+        worker.wait();
+    }
+}
