@@ -1,20 +1,44 @@
-//! Experiment E10 — daemon serving throughput vs concurrency.
+//! Experiment E10 — daemon serving throughput, codecs, and connection
+//! scalability.
 //!
-//! Boots `crowdspeedd` in-process and drives it closed-loop from a
-//! growing number of client connections, measuring end-to-end wire
-//! throughput and latency (frame codec + admission queue + estimator,
-//! the full serving stack a deployment would see). A final column
-//! compares against the in-process `serve_batch` ceiling so the wire
-//! overhead is visible rather than implied.
+//! Boots `crowdspeedd` in-process and measures the full serving stack
+//! (frame codec + event loop + admission queue + estimator) three
+//! ways:
+//!
+//! 1. closed-loop throughput vs concurrent client connections (the
+//!    original E10 table), against the in-process `serve_batch`
+//!    ceiling;
+//! 2. a codec face-off — single `ESTIMATE`s over JSON vs binary, and
+//!    `ESTIMATE_BATCH` over both, so the batching gain over the JSON
+//!    single-request baseline is a measured number;
+//! 3. an idle-connection sweep — park 64 / 1k / 9k mostly-idle
+//!    keep-alive connections (the bench holds BOTH ends of every
+//!    connection, so the process fd limit caps the sweep at ~9k) and
+//!    measure `ESTIMATE` latency percentiles past the parked crowd.
+//!    The pre-event-loop daemon pinned one OS thread per connection
+//!    and shipped with a 1024-connection default cap; the sweep's
+//!    sustained count over that cap is the scalability ratio.
+//!
+//! Results land in `BENCH_serve.json` as one JSON line per experiment;
+//! other experiments' lines are preserved.
 
 use bench::{f3, Table};
 use crowdspeed::prelude::*;
 use crowdspeed::serve::{serve_batch, EstimateRequest, ServeOptions};
-use crowdspeed_server::{Client, ClientConfig, Daemon, DaemonConfig, TrainState};
+use crowdspeed_server::evloop::raise_nofile_limit;
+use crowdspeed_server::json::Json;
+use crowdspeed_server::{
+    BatchItem, BatchOutcome, Client, ClientConfig, Codec, Daemon, DaemonConfig, TrainState,
+};
 use roadnet::RoadId;
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use trafficsim::dataset::{metro_small, Dataset, DatasetParams};
+
+/// The default connection cap of the retired thread-per-connection
+/// daemon: the baseline for the idle-connection scalability ratio.
+const THREAD_MODEL_CAP: usize = 1024;
 
 fn dataset() -> Dataset {
     metro_small(&DatasetParams {
@@ -28,6 +52,59 @@ fn seeds() -> Vec<RoadId> {
     (0..12u32).map(|i| RoadId(i * 8)).collect()
 }
 
+fn client_config(codec: Codec) -> ClientConfig {
+    // Bounded everything: a wedged daemon fails the bench in seconds
+    // instead of hanging it, and transient Overloaded answers are
+    // retried with backoff rather than crashing a client thread.
+    ClientConfig {
+        connect_timeout: Some(Duration::from_secs(5)),
+        request_timeout: Some(Duration::from_secs(10)),
+        write_timeout: Some(Duration::from_secs(10)),
+        retries: 3,
+        backoff_base: Duration::from_millis(5),
+        codec,
+        ..ClientConfig::default()
+    }
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx] as f64
+}
+
+struct CodecRun {
+    codec: &'static str,
+    single_rps: f64,
+    batch_items_per_s: f64,
+}
+
+struct IdleRun {
+    conns: usize,
+    codec: &'static str,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+}
+
+/// Merges this experiment's line into the shared JSONL results file,
+/// preserving every other experiment's line.
+fn merge_results_line(path: &str, experiment: &str, line: String) {
+    let mut lines: Vec<String> = std::fs::read_to_string(path)
+        .map(|text| {
+            text.lines()
+                .filter(|l| !l.trim().is_empty())
+                .filter(|l| !l.contains(&format!("\"experiment\":\"{experiment}\"")))
+                .map(String::from)
+                .collect()
+        })
+        .unwrap_or_default();
+    lines.push(line);
+    std::fs::write(path, lines.join("\n") + "\n").expect("write BENCH_serve.json");
+}
+
 fn main() {
     let quick = bench::quick_mode();
     let concurrencies: Vec<usize> = if quick {
@@ -36,6 +113,20 @@ fn main() {
         vec![1, 2, 4, 8, 16]
     };
     let requests_per_conn = if quick { 50 } else { 400 };
+    // Both ends of every idle connection live in this process: two fds
+    // per parked connection, so a 20k fd limit sustains ~9k.
+    let idle_sweeps: Vec<usize> = if quick {
+        vec![64, 256]
+    } else {
+        vec![64, 1_000, 9_000]
+    };
+    let probe_requests = if quick { 50 } else { 300 };
+    let batch_size = 24;
+
+    match raise_nofile_limit(65_536) {
+        Ok(limit) => println!("fd limit: {limit}"),
+        Err(e) => println!("fd limit unchanged ({e})"),
+    }
 
     let ds = dataset();
     let mut train = TrainState::new(
@@ -46,7 +137,14 @@ fn main() {
         EstimatorConfig::default(),
     );
     let reference = train.train().expect("estimator trains");
-    let handle = Daemon::spawn(train, DaemonConfig::default()).expect("daemon boots");
+    let handle = Daemon::spawn(
+        train,
+        DaemonConfig {
+            max_connections: 19_000,
+            ..DaemonConfig::default()
+        },
+    )
+    .expect("daemon boots");
     let addr = handle.addr();
 
     let truth = &ds.test_days[0];
@@ -59,18 +157,7 @@ fn main() {
     };
     let all_obs: Arc<Vec<Vec<(u32, f64)>>> = Arc::new((0..slots).map(obs_for).collect());
 
-    // Bounded everything: a wedged daemon fails the bench in seconds
-    // instead of hanging it, and transient Overloaded answers are
-    // retried with backoff rather than crashing a client thread.
-    let client_config = || ClientConfig {
-        connect_timeout: Some(Duration::from_secs(5)),
-        request_timeout: Some(Duration::from_secs(10)),
-        write_timeout: Some(Duration::from_secs(10)),
-        retries: 3,
-        backoff_base: Duration::from_millis(5),
-        ..ClientConfig::default()
-    };
-
+    // ── 1. closed-loop throughput vs concurrency (JSON codec) ───────
     println!("E10: daemon throughput vs closed-loop client connections (metro-small)");
     let mut t = Table::new(&[
         "conns",
@@ -80,13 +167,12 @@ fn main() {
         "mean-us",
         "overloaded",
     ]);
-
     for &conns in &concurrencies {
         let started = Instant::now();
         let threads: Vec<_> = (0..conns)
             .map(|c| {
                 let all_obs = Arc::clone(&all_obs);
-                let config = client_config();
+                let config = client_config(Codec::Json);
                 std::thread::spawn(move || {
                     let mut client = Client::connect_with(addr, config).expect("client connects");
                     let mut total_us = 0u64;
@@ -112,7 +198,8 @@ fn main() {
             total_us += us;
         }
         let wall = started.elapsed();
-        let mut stats_client = Client::connect_with(addr, client_config()).expect("stats client");
+        let mut stats_client =
+            Client::connect_with(addr, client_config(Codec::Json)).expect("stats client");
         let stats = stats_client.stats().expect("stats");
         t.row(&[
             conns.to_string(),
@@ -138,6 +225,215 @@ fn main() {
         "in-process ceiling: {} req/s (serve_batch, 4 threads, no wire)",
         f3(out.metrics.throughput())
     );
+
+    // ── 2. codec face-off: singles and batches over JSON and binary ─
+    println!("codec face-off: single ESTIMATE vs ESTIMATE_BATCH ({batch_size} items/frame)");
+    let mut codec_table = Table::new(&["codec", "single-req/s", "batch-items/s", "batch-gain"]);
+    let face_off_requests = requests_per_conn * 2;
+    let mut codec_runs: Vec<CodecRun> = Vec::new();
+    for (codec, name) in [(Codec::Json, "json"), (Codec::Binary, "binary")] {
+        let mut client =
+            Client::connect_with(addr, client_config(codec)).expect("codec client connects");
+        // Singles, closed loop on one connection.
+        let started = Instant::now();
+        for i in 0..face_off_requests {
+            let slot = i % all_obs.len();
+            client
+                .estimate(slot, all_obs[slot].clone(), None)
+                .expect("single estimate");
+        }
+        let single_rps = face_off_requests as f64 / started.elapsed().as_secs_f64();
+
+        // The same total item count packed into batch frames.
+        let started = Instant::now();
+        let mut items_done = 0usize;
+        while items_done < face_off_requests {
+            let n = batch_size.min(face_off_requests - items_done);
+            let items: Vec<BatchItem> = (0..n)
+                .map(|j| {
+                    let slot = (items_done + j) % all_obs.len();
+                    BatchItem {
+                        slot_of_day: slot,
+                        observations: all_obs[slot].clone(),
+                        roads: None,
+                    }
+                })
+                .collect();
+            let outcomes = client.estimate_batch(items, None).expect("batch estimate");
+            assert!(
+                outcomes
+                    .iter()
+                    .all(|o| matches!(o, BatchOutcome::Estimate(_))),
+                "batched items all succeed"
+            );
+            items_done += n;
+        }
+        let batch_items_per_s = face_off_requests as f64 / started.elapsed().as_secs_f64();
+        codec_runs.push(CodecRun {
+            codec: name,
+            single_rps,
+            batch_items_per_s,
+        });
+    }
+    let json_single_rps = codec_runs[0].single_rps;
+    for run in &codec_runs {
+        codec_table.row(&[
+            run.codec.to_string(),
+            f3(run.single_rps),
+            f3(run.batch_items_per_s),
+            f3(run.batch_items_per_s / json_single_rps),
+        ]);
+    }
+    codec_table.print();
+    let batched_gain = codec_runs
+        .iter()
+        .map(|r| r.batch_items_per_s / json_single_rps)
+        .fold(f64::NAN, f64::max);
+    assert!(
+        batched_gain > 1.0,
+        "batched ESTIMATE must beat the JSON single-request baseline, got {}x",
+        f3(batched_gain)
+    );
+
+    // ── 3. idle-connection sweep ────────────────────────────────────
+    println!("idle-connection sweep: ESTIMATE latency past a parked keep-alive crowd");
+    let mut idle_table = Table::new(&["idle-conns", "codec", "p50-us", "p99-us", "p999-us"]);
+    let mut idle_runs: Vec<IdleRun> = Vec::new();
+    let mut idle_sustained = 0usize;
+    for &conns in &idle_sweeps {
+        let mut parked: Vec<TcpStream> = Vec::with_capacity(conns);
+        for i in 0..conns {
+            parked.push(
+                TcpStream::connect(addr).unwrap_or_else(|e| panic!("idle conn {i} failed: {e}")),
+            );
+        }
+        // Wait until the daemon has registered the whole crowd.
+        let mut gauge_client =
+            Client::connect_with(addr, client_config(Codec::Json)).expect("gauge client");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let stats = gauge_client.stats().expect("stats");
+            if stats.open_connections >= conns as u64 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon never registered {conns} idle connections (gauge {})",
+                stats.open_connections
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        idle_sustained = idle_sustained.max(conns);
+
+        for (codec, name) in [(Codec::Json, "json"), (Codec::Binary, "binary")] {
+            let mut client =
+                Client::connect_with(addr, client_config(codec)).expect("probe client");
+            let mut latencies_us: Vec<u64> = Vec::with_capacity(probe_requests);
+            for i in 0..probe_requests {
+                let slot = i % all_obs.len();
+                let t0 = Instant::now();
+                client
+                    .estimate(slot, all_obs[slot].clone(), None)
+                    .expect("estimate past the idle crowd");
+                latencies_us.push(t0.elapsed().as_micros() as u64);
+            }
+            latencies_us.sort_unstable();
+            let run = IdleRun {
+                conns,
+                codec: name,
+                p50_us: percentile(&latencies_us, 0.50),
+                p99_us: percentile(&latencies_us, 0.99),
+                p999_us: percentile(&latencies_us, 0.999),
+            };
+            idle_table.row(&[
+                conns.to_string(),
+                name.to_string(),
+                f3(run.p50_us),
+                f3(run.p99_us),
+                f3(run.p999_us),
+            ]);
+            idle_runs.push(run);
+        }
+
+        // Drain before the next sweep so the crowds don't stack.
+        drop(parked);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let stats = gauge_client.stats().expect("stats");
+            if stats.open_connections <= 4 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon never drained the idle crowd (gauge {})",
+                stats.open_connections
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    idle_table.print();
+    let idle_conn_ratio = idle_sustained as f64 / THREAD_MODEL_CAP as f64;
+    println!(
+        "sustained {idle_sustained} idle connections ({}x the {THREAD_MODEL_CAP}-connection thread-model cap)",
+        f3(idle_conn_ratio)
+    );
+    if !quick {
+        assert!(
+            idle_conn_ratio >= 5.0,
+            "the event loop must sustain >=5x the thread model's connection cap"
+        );
+    }
+
+    // ── results ─────────────────────────────────────────────────────
+    let json = Json::Obj(vec![
+        ("experiment".into(), Json::Str("daemon_throughput".into())),
+        ("dataset".into(), Json::Str(ds.name.to_string())),
+        ("quick".into(), Json::Bool(quick)),
+        (
+            "idle_conns_sustained".into(),
+            Json::Num(idle_sustained as f64),
+        ),
+        (
+            "thread_model_cap".into(),
+            Json::Num(THREAD_MODEL_CAP as f64),
+        ),
+        ("idle_conn_ratio".into(), Json::Num(idle_conn_ratio)),
+        ("batched_gain_over_json".into(), Json::Num(batched_gain)),
+        (
+            "codecs".into(),
+            Json::Arr(
+                codec_runs
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("codec".into(), Json::Str(r.codec.into())),
+                            ("single_rps".into(), Json::Num(r.single_rps)),
+                            ("batch_items_per_s".into(), Json::Num(r.batch_items_per_s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "idle_sweeps".into(),
+            Json::Arr(
+                idle_runs
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("conns".into(), Json::Num(r.conns as f64)),
+                            ("codec".into(), Json::Str(r.codec.into())),
+                            ("p50_us".into(), Json::Num(r.p50_us)),
+                            ("p99_us".into(), Json::Num(r.p99_us)),
+                            ("p999_us".into(), Json::Num(r.p999_us)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    merge_results_line("BENCH_serve.json", "daemon_throughput", json.encode());
+    println!("wrote BENCH_serve.json");
 
     let mut shutdown_client = Client::connect(addr).expect("shutdown client");
     shutdown_client.shutdown().expect("clean shutdown");

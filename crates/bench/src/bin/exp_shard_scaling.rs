@@ -305,7 +305,19 @@ fn main() {
             ),
         ),
     ]);
-    std::fs::write("BENCH_serve.json", json.encode() + "\n").expect("write BENCH_serve.json");
+    // One JSON line per experiment in the shared results file:
+    // replace our own previous line, preserve everyone else's.
+    let mut lines: Vec<String> = std::fs::read_to_string("BENCH_serve.json")
+        .map(|text| {
+            text.lines()
+                .filter(|l| !l.trim().is_empty())
+                .filter(|l| !l.contains("\"experiment\":\"shard_scaling\""))
+                .map(String::from)
+                .collect()
+        })
+        .unwrap_or_default();
+    lines.push(json.encode());
+    std::fs::write("BENCH_serve.json", lines.join("\n") + "\n").expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json");
 
     let mut client = Client::connect(single.addr()).expect("baseline shutdown client");

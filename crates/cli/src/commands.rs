@@ -562,6 +562,12 @@ fn daemon_fleet(args: &Args, shards: usize) -> Result<String> {
     let mut router_config =
         crowdspeed_server::RouterConfig::new(addr.to_string(), shard_addrs, plan);
     router_config.fleet = Some(fleet.status_handle());
+    if args.has_flag("shard-binary") {
+        // Router → worker links speak the compact binary codec; the
+        // client-facing side still answers in whatever codec each
+        // request arrived in.
+        router_config.shard_client.codec = crowdspeed_server::Codec::Binary;
+    }
     let handle = crowdspeed_server::Router::spawn(router_config)
         .map_err(|e| CliError::new(format!("router failed to start: {e}")))?;
     let bound = handle.addr();
@@ -577,9 +583,10 @@ fn daemon_fleet(args: &Args, shards: usize) -> Result<String> {
 /// Parses `--key value` flags shared by the client actions and builds
 /// a client with the requested timeout/retry policy. Defaults mirror
 /// [`crowdspeed_server::ClientConfig::default`]; `--timeout-ms 0` or
-/// `--connect-timeout-ms 0` disables the respective bound.
-fn client_connect(args: &Args) -> Result<crowdspeed_server::Client> {
-    let addr = args.get("addr").unwrap_or("127.0.0.1:7700");
+/// `--connect-timeout-ms 0` disables the respective bound, and the
+/// bare `--binary` switch selects the compact binary codec (replies
+/// stay bit-identical to JSON either way).
+fn client_config(args: &Args) -> Result<crowdspeed_server::ClientConfig> {
     let defaults = crowdspeed_server::ClientConfig::default();
     let timeout_ms: u64 = args.num(
         "timeout-ms",
@@ -590,46 +597,136 @@ fn client_connect(args: &Args) -> Result<crowdspeed_server::Client> {
         defaults.connect_timeout.map_or(0, |t| t.as_millis() as u64),
     )?;
     let backoff_ms: u64 = args.num("backoff-ms", defaults.backoff_base.as_millis() as u64)?;
-    let config = crowdspeed_server::ClientConfig {
+    Ok(crowdspeed_server::ClientConfig {
         connect_timeout: (connect_timeout_ms > 0)
             .then(|| std::time::Duration::from_millis(connect_timeout_ms)),
         request_timeout: (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)),
         write_timeout: (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)),
         retries: args.num("retries", defaults.retries)?,
         backoff_base: std::time::Duration::from_millis(backoff_ms.max(1)),
+        codec: if args.has_flag("binary") {
+            crowdspeed_server::Codec::Binary
+        } else {
+            crowdspeed_server::Codec::Json
+        },
         ..defaults
-    };
+    })
+}
+
+fn client_connect(args: &Args) -> Result<crowdspeed_server::Client> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7700");
+    let config = client_config(args)?;
     crowdspeed_server::Client::connect_with(addr, config)
         .map_err(|e| CliError::new(format!("cannot reach daemon at {addr}: {e}")))
 }
 
 /// `client ACTION --addr HOST:PORT ...` where ACTION is one of
-/// `estimate`, `ingest`, `stats`, `snapshot`, `shutdown`.
+/// `estimate`, `ingest`, `stats`, `snapshot`, `drill`, `shutdown`.
+/// Every action accepts `--binary` to speak the compact binary codec.
 pub fn client(action: &str, args: &Args) -> Result<String> {
     let mut client = client_connect(args)?;
     match action {
-        // `client estimate --slot S (--obs FILE | --dir DIR --truth-day D)`
+        // `client estimate (--slot S | --slots A,B,C) (--obs FILE | --dir DIR --truth-day D)`
+        //
+        // `--slots` sends one batched ESTIMATE_BATCH frame instead of a
+        // round-trip per slot and prints a summary line per item.
         "estimate" => {
-            let slot: usize = args.num("slot", usize::MAX)?;
-            if slot == usize::MAX {
-                return Err(CliError::new("missing required flag --slot"));
+            let slots: Vec<usize> = match args.get("slots") {
+                Some(csv) => csv
+                    .split(',')
+                    .filter(|t| !t.trim().is_empty())
+                    .map(|t| {
+                        t.trim().parse().map_err(|_| {
+                            CliError::new(format!("--slots: cannot parse {:?}", t.trim()))
+                        })
+                    })
+                    .collect::<Result<_>>()?,
+                None => {
+                    let slot: usize = args.num("slot", usize::MAX)?;
+                    if slot == usize::MAX {
+                        return Err(CliError::new("missing required flag --slot or --slots"));
+                    }
+                    vec![slot]
+                }
+            };
+            if slots.is_empty() {
+                return Err(CliError::new("--slots lists no slots"));
             }
-            let obs: Vec<(u32, f64)> = if let Some(path) = args.get("obs") {
-                let text = std::fs::read_to_string(path)?;
-                store::parse_observations(&text, u32::MAX as usize)?
-                    .into_iter()
-                    .map(|(r, v)| (r.0, v))
-                    .collect()
-            } else {
-                let dir = dataset_dir(args)?;
-                let day: usize = args.num("truth-day", 0)?;
-                let truth = store::read_truth(&dir, day)?;
-                let seeds = store::read_seeds(&dir, truth.num_roads())?;
-                seeds.iter().map(|&s| (s.0, truth.speed(slot, s))).collect()
+            // Observation source: a file applies to every slot, a truth
+            // day samples the chosen seeds per slot.
+            let file_obs: Option<Vec<(u32, f64)>> = match args.get("obs") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)?;
+                    Some(
+                        store::parse_observations(&text, u32::MAX as usize)?
+                            .into_iter()
+                            .map(|(r, v)| (r.0, v))
+                            .collect(),
+                    )
+                }
+                None => None,
+            };
+            let truth_seeds = match &file_obs {
+                Some(_) => None,
+                None => {
+                    let dir = dataset_dir(args)?;
+                    let day: usize = args.num("truth-day", 0)?;
+                    let truth = store::read_truth(&dir, day)?;
+                    let seeds = store::read_seeds(&dir, truth.num_roads())?;
+                    Some((truth, seeds))
+                }
+            };
+            let obs_for = |slot: usize| -> Vec<(u32, f64)> {
+                match (&file_obs, &truth_seeds) {
+                    (Some(obs), _) => obs.clone(),
+                    (None, Some((truth, seeds))) => {
+                        seeds.iter().map(|&s| (s.0, truth.speed(slot, s))).collect()
+                    }
+                    (None, None) => unreachable!("one observation source is always built"),
+                }
             };
             let deadline: u64 = args.num("deadline-ms", 0)?;
+            let deadline = (deadline > 0).then_some(deadline);
+
+            if args.get("slots").is_some() {
+                let items: Vec<crowdspeed_server::BatchItem> = slots
+                    .iter()
+                    .map(|&slot| crowdspeed_server::BatchItem {
+                        slot_of_day: slot,
+                        observations: obs_for(slot),
+                        roads: None,
+                    })
+                    .collect();
+                let outcomes = client
+                    .estimate_batch(items, deadline)
+                    .map_err(|e| CliError::new(format!("estimate batch failed: {e}")))?;
+                let mut ok = 0usize;
+                for (slot, outcome) in slots.iter().zip(&outcomes) {
+                    match outcome {
+                        crowdspeed_server::BatchOutcome::Estimate(reply) => {
+                            ok += 1;
+                            println!(
+                                "slot {slot}: {} roads, epoch {}, {} ignored observations",
+                                reply.speeds.len(),
+                                reply.epoch,
+                                reply.ignored_observations
+                            );
+                        }
+                        crowdspeed_server::BatchOutcome::Error { kind, message } => {
+                            println!("slot {slot}: error ({kind}) {message}");
+                        }
+                    }
+                }
+                return Ok(format!(
+                    "batched {} estimates in one frame ({ok} ok, {} errors)",
+                    outcomes.len(),
+                    outcomes.len() - ok
+                ));
+            }
+
+            let slot = slots[0];
             let reply = client
-                .estimate(slot, obs, (deadline > 0).then_some(deadline))
+                .estimate(slot, obs_for(slot), deadline)
                 .map_err(|e| CliError::new(format!("estimate failed: {e}")))?;
             let mut out = String::new();
             for (road, &speed) in reply.speeds.iter().enumerate() {
@@ -752,6 +849,71 @@ pub fn client(action: &str, args: &Args) -> Result<String> {
                 .map_err(|e| CliError::new(format!("snapshot failed: {e}")))?;
             Ok(format!("snapshotted model epoch {epoch} to {path}"))
         }
+        // `client drill --conns N [--requests R] [--slot S --dir DIR --truth-day D]`
+        //
+        // Event-loop drill for CI: parks N idle keep-alive connections
+        // on the daemon, then measures request latency through a live
+        // client while they sit there and reports the daemon's
+        // `open_connections` gauge. With `--dir` the probe sends real
+        // ESTIMATE requests (truth-day seed observations); otherwise it
+        // sends STATS.
+        "drill" => {
+            let conns: usize = args.num("conns", 1000)?;
+            let requests: usize = args.num("requests", 50)?.max(1);
+            let addr = args.get("addr").unwrap_or("127.0.0.1:7700");
+            let slot: usize = args.num("slot", 0)?;
+            let estimate_obs: Option<Vec<(u32, f64)>> = match args.get("dir") {
+                Some(_) => {
+                    let dir = dataset_dir(args)?;
+                    let day: usize = args.num("truth-day", 0)?;
+                    let truth = store::read_truth(&dir, day)?;
+                    let seeds = store::read_seeds(&dir, truth.num_roads())?;
+                    Some(seeds.iter().map(|&s| (s.0, truth.speed(slot, s))).collect())
+                }
+                None => None,
+            };
+            let mut idle = Vec::with_capacity(conns);
+            for i in 0..conns {
+                let stream = std::net::TcpStream::connect(addr)
+                    .map_err(|e| CliError::new(format!("idle connection {i} failed: {e}")))?;
+                idle.push(stream);
+            }
+            let mut latencies = Vec::with_capacity(requests);
+            for _ in 0..requests {
+                let start = std::time::Instant::now();
+                match &estimate_obs {
+                    Some(obs) => {
+                        client
+                            .estimate(slot, obs.clone(), None)
+                            .map_err(|e| CliError::new(format!("drill estimate failed: {e}")))?;
+                    }
+                    None => {
+                        client
+                            .stats()
+                            .map_err(|e| CliError::new(format!("drill stats failed: {e}")))?;
+                    }
+                }
+                latencies.push(start.elapsed());
+            }
+            latencies.sort();
+            let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p).round() as usize];
+            let stats = client
+                .stats()
+                .map_err(|e| CliError::new(format!("drill stats failed: {e}")))?;
+            let probe = if estimate_obs.is_some() {
+                "ESTIMATE"
+            } else {
+                "STATS"
+            };
+            drop(idle);
+            Ok(format!(
+                "drill: {} open connections with {conns} idle parked; \
+                 {probe} latency p50 {:?} p99 {:?} over {requests} requests",
+                stats.open_connections,
+                pct(0.50),
+                pct(0.99),
+            ))
+        }
         "shutdown" => {
             client
                 .shutdown()
@@ -759,7 +921,7 @@ pub fn client(action: &str, args: &Args) -> Result<String> {
             Ok("daemon acknowledged shutdown".to_string())
         }
         other => Err(CliError::new(format!(
-            "unknown client action {other:?} (estimate | ingest | stats | snapshot | shutdown)"
+            "unknown client action {other:?} (estimate | ingest | stats | snapshot | drill | shutdown)"
         ))),
     }
 }
@@ -836,12 +998,15 @@ USAGE:
   crowdspeed daemon   --dir DIR [--addr HOST:PORT] [--workers N] [--queue N]
                       [--deadline-ms D] [--train-threads N] [--max-connections N]
                       [--snapshot-dir DIR] [--snapshot-keep N] [--frame-deadline-ms D]
-                      [--rate-limit-rps R] [--shards N [--shard-index I]]
+                      [--rate-limit-rps R] [--shards N [--shard-index I] [--shard-binary]]
                       [--restart-backoff-ms MS]
-  crowdspeed client   estimate --slot S (--obs FILE | --dir DIR --truth-day D)
-                      [--addr HOST:PORT] [--deadline-ms D]
+  crowdspeed client   estimate (--slot S | --slots A,B,C)
+                      (--obs FILE | --dir DIR --truth-day D)
+                      [--addr HOST:PORT] [--deadline-ms D] [--binary]
   crowdspeed client   ingest --dir DIR --truth-day D [--addr HOST:PORT]
-  crowdspeed client   stats|snapshot|shutdown [--addr HOST:PORT]
+  crowdspeed client   stats|snapshot|shutdown [--addr HOST:PORT] [--binary]
+  crowdspeed client   drill --conns N [--requests R] [--addr HOST:PORT]
+                      [--slot S --dir DIR --truth-day D] [--binary]
   crowdspeed help
 
 With --snapshot-dir the daemon persists every published model epoch
@@ -860,7 +1025,13 @@ road-filtered estimates degrade per shard while a worker is down.
 
 Client actions also accept [--timeout-ms MS] [--connect-timeout-ms MS]
 [--retries N] [--backoff-ms MS]; 0 disables a timeout, and retries
-apply only to the idempotent estimate/stats actions.
+apply only to the idempotent estimate/stats actions. --binary switches
+the wire codec from JSON to the compact binary framing (bit-identical
+replies); `client estimate --slots A,B,C` batches every listed slot
+into one ESTIMATE_BATCH frame; `client drill` parks idle keep-alive
+connections and reports probe latency plus the daemon's
+open_connections gauge. daemon --shards accepts --shard-binary to run
+the router -> worker links over the binary codec.
 
 Observation files are `road_id speed_kmh` lines; `#` starts a comment."
 }
@@ -951,6 +1122,23 @@ mod tests {
         )
         .unwrap();
         assert!(msg.contains("model epoch 1"), "{msg}");
+        let msg = client(
+            "estimate",
+            &parse(&format!(
+                "--addr {addr} --dir {dirs} --slots 1,2,3 --truth-day 0 --binary"
+            )),
+        )
+        .unwrap();
+        assert!(
+            msg.contains("batched 3 estimates in one frame (3 ok"),
+            "{msg}"
+        );
+        let msg = client(
+            "drill",
+            &parse(&format!("--addr {addr} --conns 32 --requests 5")),
+        )
+        .unwrap();
+        assert!(msg.contains("idle parked"), "{msg}");
         let msg = client("ingest", &parse(&format!("--addr {addr} --dir {dirs}"))).unwrap();
         assert!(msg.contains("epoch 2"), "{msg}");
         let msg = client("stats", &parse(&format!("--addr {addr}"))).unwrap();

@@ -18,10 +18,25 @@
 //! **only** to the idempotent commands `ESTIMATE` and `STATS`, with
 //! exponential backoff. `INGEST_DAY` is never retried: a retry after a
 //! timed-out ingest could fold the same day into the model twice.
+//!
+//! # Codecs
+//!
+//! Requests are encoded with [`ClientConfig::codec`] (JSON by default;
+//! binary for the compact hot path). Replies are decoded by the
+//! version byte *they* carry, so a client can talk to any server that
+//! answers in either codec — the daemon always answers in kind.
+//!
+//! # Pipelining
+//!
+//! [`Client::send`] / [`Client::recv`] split one request into its
+//! write and read halves so a caller holding several clients (the
+//! router's shard links) can keep one request in flight on each link
+//! concurrently. The protocol stays strict request/response per
+//! connection: at most one `send` may be outstanding per client.
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorKind, EstimateReply, Request, Response, StatsReply, WireError,
-    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    read_frame, write_frame_with_version, BatchItem, BatchOutcome, Codec, ErrorKind, EstimateReply,
+    Request, Response, StatsReply, WireError, DEFAULT_MAX_FRAME_BYTES,
 };
 use crate::ServerError;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -53,6 +68,9 @@ pub struct ClientConfig {
     pub backoff_max: Duration,
     /// Frames declaring more payload than this are refused.
     pub max_frame_bytes: usize,
+    /// Wire codec for outgoing requests. Replies are decoded by their
+    /// own version byte regardless of this setting.
+    pub codec: Codec,
 }
 
 impl Default for ClientConfig {
@@ -65,6 +83,7 @@ impl Default for ClientConfig {
             backoff_base: Duration::from_millis(50),
             backoff_max: Duration::from_secs(2),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            codec: Codec::Json,
         }
     }
 }
@@ -118,15 +137,38 @@ impl Client {
     /// attempt, no retries, but still bounded by the configured
     /// timeouts.
     pub fn request(&mut self, request: &Request) -> Result<Response, ServerError> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Writes one request frame without waiting for the reply (the
+    /// write half of [`Client::request`]). The caller must [`recv`]
+    /// the reply before sending again — the protocol is strict
+    /// request/response per connection.
+    ///
+    /// [`recv`]: Client::recv
+    pub fn send(&mut self, request: &Request) -> Result<(), ServerError> {
         if self.needs_reconnect {
             self.stream = open_stream(&self.addrs, &self.config)?;
             self.needs_reconnect = false;
         }
-        let deadline = self.config.request_timeout.map(|t| Instant::now() + t);
-        if let Err(e) = write_frame(&mut self.stream, &request.encode()) {
+        let codec = self.config.codec;
+        if let Err(e) = write_frame_with_version(
+            &mut self.stream,
+            codec.version(),
+            &request.encode_with(codec),
+        ) {
             self.needs_reconnect = true;
             return Err(ServerError::Io(e));
         }
+        Ok(())
+    }
+
+    /// Blocks for the reply to the last [`Client::send`] (the read
+    /// half of [`Client::request`]), bounded by
+    /// [`ClientConfig::request_timeout`].
+    pub fn recv(&mut self) -> Result<Response, ServerError> {
+        let deadline = self.config.request_timeout.map(|t| Instant::now() + t);
         let expired = || deadline.is_some_and(|d| Instant::now() >= d);
         let (version, payload) =
             match read_frame(&mut self.stream, self.config.max_frame_bytes, &expired) {
@@ -143,12 +185,21 @@ impl Client {
                     return Err(ServerError::Wire(e));
                 }
             };
-        if version != PROTOCOL_VERSION {
-            return Err(ServerError::UnexpectedResponse(format!(
+        // Replies are decoded by the version *they* declare, not the
+        // codec this client sends: error frames for unsupported
+        // versions are always JSON, and a mixed-codec server stays
+        // interoperable.
+        match Codec::from_version(version) {
+            Some(Codec::Json) => {
+                Response::decode(&payload).map_err(ServerError::UnexpectedResponse)
+            }
+            Some(Codec::Binary) => {
+                Response::decode_binary(&payload).map_err(ServerError::UnexpectedResponse)
+            }
+            None => Err(ServerError::UnexpectedResponse(format!(
                 "server answered with protocol version {version}"
-            )));
+            ))),
         }
-        Response::decode(&payload).map_err(ServerError::UnexpectedResponse)
     }
 
     /// Retry loop for idempotent requests: up to `1 + retries`
@@ -199,6 +250,23 @@ impl Client {
             roads,
         })? {
             Response::Estimate(reply) => Ok(reply),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Sends many estimate queries in one `ESTIMATE_BATCH` frame and
+    /// returns one outcome per item in request order. The whole batch
+    /// costs one round-trip and one admission slot; per-item failures
+    /// degrade to typed [`BatchOutcome::Error`]s instead of sinking
+    /// their neighbours. Retried per [`ClientConfig::retries`]
+    /// (estimation is idempotent).
+    pub fn estimate_batch(
+        &mut self,
+        items: Vec<BatchItem>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<BatchOutcome>, ServerError> {
+        match self.request_idempotent(&Request::EstimateBatch { items, deadline_ms })? {
+            Response::Batch(outcomes) => Ok(outcomes),
             other => Err(unexpected(other)),
         }
     }

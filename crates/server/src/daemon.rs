@@ -1,27 +1,40 @@
-//! The `crowdspeedd` daemon: acceptor, per-connection handlers, and
-//! the admission-controlled serving path.
+//! The `crowdspeedd` daemon: one readiness-driven event loop owning
+//! every client socket, feeding complete requests to the worker pool.
 //!
 //! # Thread layout
 //!
 //! ```text
-//!            ┌──────────┐  accept   ┌─────────────────────┐
-//!   TCP ───▶ │ acceptor │ ────────▶ │ handler (per conn)  │──┐
-//!            └──────────┘           │ decode / respond    │  │ try_submit
-//!                                   └─────────────────────┘  ▼
-//!                                        ▲            ┌─────────────┐
-//!                                        │ reply via  │  ServePool  │
-//!                                        └────────────│  workers    │
-//!                                          rendezvous │ (1 scratch  │
-//!                                            channel  │  each)      │
-//!                                                     └─────────────┘
+//!            ┌───────────────────────────────┐   complete frame
+//!   TCP ───▶ │ event loop (epoll/poll)       │ ──────────────────┐
+//!            │  · accepts                    │    try_submit     │
+//!            │  · nonblocking reads/writes   │                   ▼
+//!            │  · incremental frame assembly │            ┌─────────────┐
+//!            │  · reply flushing             │ ◀───────── │  ServePool  │
+//!            └───────────────────────────────┘ completion │  workers    │
+//!                      ▲           │            + waker   │ (1 scratch  │
+//!                      │           └──────────▶ aux       │  each)      │
+//!                      └── completion + waker  threads    └─────────────┘
+//!                                            (INGEST_DAY,
+//!                                             SNAPSHOT)
 //! ```
 //!
-//! `ESTIMATE` is the only command that crosses into the worker pool;
-//! it is the latency-sensitive hot path and the only one subject to
-//! admission control and deadlines. `INGEST_DAY` retrains on the
-//! *connection* thread under the [`TrainState`] mutex — expensive, but
-//! off the serving path by construction — and publishes the new model
-//! with a pointer swap. `STATS` and `SHUTDOWN` are answered inline.
+//! Connections are owned by a single event-loop thread (see
+//! [`crate::evloop`]): sockets are nonblocking, frames are assembled
+//! incrementally per connection, and an idle keep-alive connection
+//! costs one registered fd and a few hundred bytes — no thread, no
+//! stack. Only *complete* requests leave the loop: `ESTIMATE` and
+//! `ESTIMATE_BATCH` cross into the worker pool (the latency-sensitive
+//! hot path, subject to admission control and deadlines), `INGEST_DAY`
+//! and `SNAPSHOT` run on short-lived aux threads under the
+//! [`TrainState`] mutex — expensive, but off the serving path by
+//! construction — and `STATS`/`SHUTDOWN` are answered inline. Workers
+//! post completions through a channel and nudge the loop with a
+//! one-byte write to a wakeup socketpair.
+//!
+//! Each connection speaks whichever codec its frames declare (the
+//! version byte selects JSON or binary per frame; see
+//! [`crate::protocol::Codec`]), and every reply is encoded with the
+//! codec of the request it answers.
 //!
 //! # Backpressure policy
 //!
@@ -30,11 +43,15 @@
 //! not block the connection: it immediately answers
 //! [`ErrorKind::Overloaded`] and counts the rejection. Clients own the
 //! retry policy; the daemon's only promise is a fast, typed "no".
+//! One connection has at most one request in flight; frames pipelined
+//! behind it stay buffered until the reply is flushed.
 
+use crate::evloop::{Event, Interest, Poller};
 use crate::metrics::{Command, Metrics};
 use crate::protocol::{
-    read_frame_with_deadline, write_frame, ErrorKind, EstimateReply, Request, Response,
-    ShardIdentity, WireError, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    frame_bytes, write_frame_with_version, BatchItem, BatchOutcome, Codec, ErrorKind,
+    EstimateReply, Request, Response, ShardIdentity, BINARY_PROTOCOL_VERSION,
+    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use crate::snapshot::{self, RejectReason};
 use crate::state::{panic_message, ModelEpoch, ModelSlot, RetrainError, TrainInputs, TrainState};
@@ -44,11 +61,15 @@ use crowdspeed::shard::{ShardPlan, ShardView};
 use crowdspeed::CoreError;
 use parking_lot::{Mutex, RwLock};
 use roadnet::RoadId;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::sync_channel;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -69,9 +90,7 @@ pub struct DaemonConfig {
     pub default_deadline_ms: Option<u64>,
     /// Maximum simultaneous connections. The connection past the cap
     /// is answered with a typed [`ErrorKind::Overloaded`] frame and
-    /// closed instead of spawning an unbounded number of handler
-    /// threads (one slow client per thread is how daemons run out of
-    /// threads under a flood).
+    /// closed instead of registering an unbounded number of sockets.
     pub max_connections: usize,
     /// Directory for persistent model snapshots. `Some` makes every
     /// epoch publish write a snapshot atomically, and lets
@@ -84,7 +103,7 @@ pub struct DaemonConfig {
     /// Per-frame read deadline: once the first byte of a frame
     /// arrives, the rest must follow within this budget or the
     /// connection is dropped — a trickling peer (slow loris) cannot
-    /// pin a handler thread forever. `None` disables the deadline.
+    /// pin a connection slot forever. `None` disables the deadline.
     pub frame_deadline_ms: Option<u64>,
     /// Per-connection token-bucket rate limit in requests/second.
     /// A connection exceeding it gets typed [`ErrorKind::RateLimited`]
@@ -145,7 +164,7 @@ struct ShardServing {
     current: RwLock<Arc<ShardModel>>,
 }
 
-/// State shared by the acceptor, connection handlers, and workers.
+/// State shared by the event loop, aux threads, and workers.
 struct Shared {
     model: ModelSlot,
     train: Mutex<TrainState>,
@@ -156,20 +175,8 @@ struct Shared {
     /// Config hash stamped into every snapshot this process writes
     /// (computed once at spawn; see [`snapshot::config_hash`]).
     snapshot_hash: u64,
-    /// Live connection handlers, bounded by `config.max_connections`.
-    active_conns: AtomicUsize,
     /// Present when this daemon is a shard worker.
     shard: Option<ShardServing>,
-}
-
-/// Decrements the live-connection count when a handler exits, however
-/// it exits (return, panic, or unwound assertion).
-struct ConnGuard(Arc<Shared>);
-
-impl Drop for ConnGuard {
-    fn drop(&mut self) {
-        self.0.active_conns.fetch_sub(1, Ordering::SeqCst);
-    }
 }
 
 /// A running daemon (see [`Daemon::spawn`]).
@@ -179,12 +186,12 @@ pub struct Daemon;
 pub struct DaemonHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    driver: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Daemon {
     /// Trains the initial model from `train_state`, binds the listener,
-    /// and starts the acceptor. Returns once the daemon is reachable.
+    /// and starts the event loop. Returns once the daemon is reachable.
     pub fn spawn(
         mut train_state: TrainState,
         config: DaemonConfig,
@@ -254,8 +261,9 @@ impl Daemon {
 
 /// Shared tail of [`Daemon::spawn`] / [`Daemon::spawn_from`]: binds
 /// the listener, seeds the metrics (resume gauge + reject counters),
-/// persists the initial epoch when it was freshly trained, and starts
-/// the acceptor.
+/// persists the initial epoch when it was freshly trained, builds the
+/// poller + wakeup pair (so setup failures surface here, not inside
+/// the thread), and starts the event loop.
 fn spawn_inner(
     train_state: TrainState,
     estimator: TrafficEstimator,
@@ -301,7 +309,6 @@ fn spawn_inner(
         pool: ServePool::new(config.workers.max(1), config.queue_capacity.max(1)),
         config,
         snapshot_hash,
-        active_conns: AtomicUsize::new(0),
         shard,
     });
     if !resumed && shared.config.snapshot_dir.is_some() {
@@ -311,15 +318,35 @@ fn spawn_inner(
         let train = shared.train.lock();
         persist_epoch(&shared, &train, &model.estimator, model.epoch);
     }
-    let acceptor_shared = Arc::clone(&shared);
-    let acceptor = std::thread::Builder::new()
-        .name("crowdspeedd-accept".to_string())
-        .spawn(move || accept_loop(listener, acceptor_shared))
-        .expect("spawn acceptor thread");
+    let mut poller = Poller::new()?;
+    let (waker_tx, waker_rx) = UnixStream::pair()?;
+    waker_tx.set_nonblocking(true)?;
+    waker_rx.set_nonblocking(true)?;
+    poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)?;
+    poller.register(waker_rx.as_raw_fd(), WAKER_TOKEN, Interest::READABLE)?;
+    let (completions_tx, completions_rx) = channel();
+    let evloop = EventLoop {
+        shared: Arc::clone(&shared),
+        listener,
+        poller,
+        waker_rx,
+        port: CompletionPort {
+            tx: completions_tx,
+            waker: Arc::new(waker_tx),
+        },
+        completions_rx,
+        conns: HashMap::new(),
+        next_token: FIRST_CONN_TOKEN,
+        aux: Vec::new(),
+    };
+    let driver = std::thread::Builder::new()
+        .name("crowdspeedd-evloop".to_string())
+        .spawn(move || evloop.run())
+        .expect("spawn event loop thread");
     Ok(DaemonHandle {
         addr,
         shared,
-        acceptor: Some(acceptor),
+        driver: Some(driver),
     })
 }
 
@@ -366,17 +393,17 @@ impl DaemonHandle {
         self.shared.metrics.epoch()
     }
 
-    /// Asks the daemon to stop: the acceptor refuses new connections
-    /// and handlers abort at their next read-timeout tick.
+    /// Asks the daemon to stop: the event loop stops accepting, closes
+    /// idle connections, and drains in-flight requests.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
     }
 
-    /// Signals shutdown and blocks until the acceptor (and every
-    /// connection handler it spawned) has exited.
+    /// Signals shutdown and blocks until the event loop has drained
+    /// every connection and exited.
     pub fn join(mut self) {
         self.shutdown();
-        if let Some(handle) = self.acceptor.take() {
+        if let Some(handle) = self.driver.take() {
             let _ = handle.join();
         }
     }
@@ -385,7 +412,7 @@ impl DaemonHandle {
     /// a [`DaemonHandle::shutdown`] from another thread) — the
     /// foreground mode of the `crowdspeed daemon` subcommand.
     pub fn wait(mut self) {
-        if let Some(handle) = self.acceptor.take() {
+        if let Some(handle) = self.driver.take() {
             let _ = handle.join();
         }
     }
@@ -394,190 +421,559 @@ impl DaemonHandle {
 impl Drop for DaemonHandle {
     fn drop(&mut self) {
         self.shutdown();
-        if let Some(handle) = self.acceptor.take() {
+        if let Some(handle) = self.driver.take() {
             let _ = handle.join();
         }
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                // Reap finished handlers so a long-lived daemon does
-                // not accumulate one join handle per past connection.
-                handlers.retain(|h| !h.is_finished());
-                let cap = shared.config.max_connections.max(1);
-                if shared.active_conns.load(Ordering::SeqCst) >= cap {
-                    refuse_connection(stream, &shared, format!("connection limit reached ({cap})"));
-                    continue;
-                }
-                if crate::failpoint::fire("conn_spawn") {
-                    // Injected thread exhaustion: same shedding path a
-                    // real spawn failure takes, but the stream is still
-                    // in hand so the peer gets the typed frame.
-                    refuse_connection(
-                        stream,
-                        &shared,
-                        "cannot spawn connection handler".to_string(),
-                    );
-                    continue;
-                }
-                shared.active_conns.fetch_add(1, Ordering::SeqCst);
-                let conn_shared = Arc::clone(&shared);
-                let spawned = std::thread::Builder::new()
-                    .name("crowdspeedd-conn".to_string())
-                    .spawn(move || {
-                        let _guard = ConnGuard(Arc::clone(&conn_shared));
-                        handle_connection(stream, conn_shared);
-                    });
-                match spawned {
-                    Ok(handle) => handlers.push(handle),
-                    // Thread exhaustion is overload, not a reason to
-                    // kill the acceptor deaf: count the shed connection
-                    // and keep listening. (`spawn` consumed the closure
-                    // — and the stream with it — so the peer sees a
-                    // hang-up rather than a typed frame here.)
-                    Err(_) => {
-                        shared.active_conns.fetch_sub(1, Ordering::SeqCst);
-                        shared.metrics.reject_connection();
-                    }
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                // Reap here too: an idle daemon must not hold one
-                // exited-thread handle per historical connection.
-                handlers.retain(|h| !h.is_finished());
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+/// Token of the accepting listener in the poller.
+const LISTENER_TOKEN: usize = 0;
+/// Token of the wakeup socketpair's read side.
+const WAKER_TOKEN: usize = 1;
+/// First token handed to a client connection; tokens count up from
+/// here and are never reused, so a stale completion can never be
+/// delivered to a different connection that recycled the slot.
+const FIRST_CONN_TOKEN: usize = 2;
+/// Poll timeout: bounds how stale the shutdown flag and frame
+/// deadlines can get when no fd is active.
+const TICK: Duration = Duration::from_millis(25);
+/// How long a shutting-down loop waits for busy connections to finish
+/// their in-flight request before closing them anyway.
+const SHUTDOWN_DRAIN: Duration = Duration::from_secs(5);
+/// Oversized frames below this are drained so the typed
+/// `FrameTooLarge` reply is actually deliverable; larger ones just get
+/// the hang-up (draining gigabytes to be polite is its own DoS).
+const DRAIN_CAP: usize = 1 << 20;
+/// Bytes read from a socket per `read` call.
+const READ_CHUNK: usize = 16 * 1024;
+/// Reads per readable event before yielding back to the poller, so one
+/// fire-hosing peer cannot starve its neighbours (level-triggered
+/// polling re-reports whatever is left).
+const READ_ROUNDS: usize = 4;
+
+/// A finished request on its way back to the event loop.
+struct Completion {
+    token: usize,
+    command: Command,
+    codec: Codec,
+    response: Response,
+}
+
+/// Clonable sender handed to workers and aux threads: posts the
+/// completion, then nudges the sleeping poller with a one-byte write.
+#[derive(Clone)]
+struct CompletionPort {
+    tx: Sender<Completion>,
+    waker: Arc<UnixStream>,
+}
+
+impl CompletionPort {
+    fn post(&self, completion: Completion) {
+        let _ = self.tx.send(completion);
+        // A full (WouldBlock) wakeup pipe is fine: unread bytes are
+        // already pending, so the loop is waking up regardless.
+        let mut waker: &UnixStream = &self.waker;
+        let _ = waker.write(&[1u8]);
+    }
+}
+
+/// Per-connection state owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet consumed as frames.
+    read_buf: Vec<u8>,
+    /// Encoded reply bytes not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// When the first byte of a partial frame arrived (the per-frame
+    /// read deadline measures from here).
+    frame_started: Option<Instant>,
+    bucket: Option<TokenBucket>,
+    /// A request from this connection is in flight in the pool or on
+    /// an aux thread; frames pipelined behind it stay buffered.
+    busy: bool,
+    /// Close once `write_buf` is fully flushed; reads are discarded.
+    close_after_flush: bool,
+    /// Injected fault: after flushing (a half frame), sever the socket.
+    sever_after_flush: bool,
+    /// Swallowing the body of an oversized frame so the typed error
+    /// is deliverable.
+    draining: Option<Draining>,
+    /// Whether the poller currently watches this fd for writability.
+    interest_write: bool,
+}
+
+struct Draining {
+    remaining: usize,
+    declared: usize,
+    codec: Codec,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, rate_limit_rps: Option<u32>) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            frame_started: None,
+            // Each connection gets its own bucket: one flooding client
+            // starves itself, not its neighbours.
+            bucket: rate_limit_rps.map(TokenBucket::new),
+            busy: false,
+            close_after_flush: false,
+            sever_after_flush: false,
+            draining: None,
+            interest_write: false,
         }
     }
-    for handle in handlers {
-        let _ = handle.join();
+
+    fn has_pending_write(&self) -> bool {
+        self.write_pos < self.write_buf.len()
     }
 }
 
-/// Sheds a connection the daemon cannot serve: best-effort typed
-/// `Overloaded` frame (short write timeout so a deaf peer cannot stall
-/// the acceptor), then hang up. Counted in `rejected_connections`.
-fn refuse_connection(mut stream: TcpStream, shared: &Arc<Shared>, message: String) {
-    shared.metrics.reject_connection();
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-    let _ = respond(&mut stream, &error_response(ErrorKind::Overloaded, message));
+/// What `advance` decided to do after inspecting a connection's
+/// buffer; computed under the connection borrow, acted on outside it.
+enum Step {
+    /// Nothing (more) to do for this connection right now.
+    Stop,
+    /// Re-inspect the buffer (state changed, e.g. a drain started).
+    Again,
+    /// The stream is unrecoverable; hang up without a reply.
+    CloseNow,
+    /// An oversized frame has been fully swallowed; answer
+    /// `FrameTooLarge`, then close.
+    DrainedReply { declared: usize, codec: Codec },
+    /// One complete frame.
+    Frame { version: u8, payload: Vec<u8> },
 }
 
-fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
-    // Short read timeouts keep handlers responsive to shutdown without
-    // busy-polling; `read_frame` retries timeouts via its abort hook.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let _ = stream.set_nodelay(true);
-    let shutdown = {
-        let shared = Arc::clone(&shared);
-        move || shared.shutdown.load(Ordering::SeqCst)
-    };
-    let frame_deadline = shared.config.frame_deadline_ms.map(Duration::from_millis);
-    // Each connection gets its own bucket: one flooding client starves
-    // itself, not its neighbours.
-    let mut bucket = shared.config.rate_limit_rps.map(TokenBucket::new);
-    loop {
-        let (version, payload) = match read_frame_with_deadline(
-            &mut stream,
-            shared.config.max_frame_bytes,
-            &shutdown,
-            frame_deadline,
-        ) {
-            Ok(frame) => frame,
-            Err(WireError::Oversized { declared, max }) => {
-                // Closing with unread bytes in the receive buffer
-                // makes TCP reset the connection, destroying the
-                // queued error response. Drain modestly oversized
-                // frames so the typed error is actually delivered;
-                // pathological lengths just get the hang-up.
-                const DRAIN_CAP: usize = 1 << 20;
-                if declared < DRAIN_CAP && drain(&mut stream, declared + 1, &shutdown) {
-                    let _ = respond(
-                        &mut stream,
-                        &error_response(
+/// Outcome of a nonblocking read burst, computed under the connection
+/// borrow.
+enum Fill {
+    Alive,
+    Close,
+}
+
+/// The single-threaded connection owner: accepts, assembles frames,
+/// dispatches complete requests, flushes replies.
+struct EventLoop {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    poller: Poller,
+    waker_rx: UnixStream,
+    port: CompletionPort,
+    completions_rx: Receiver<Completion>,
+    conns: HashMap<usize, Conn>,
+    next_token: usize,
+    /// Short-lived `INGEST_DAY`/`SNAPSHOT` threads, reaped as they
+    /// finish and joined at exit.
+    aux: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut draining_since: Option<Instant> = None;
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) && draining_since.is_none() {
+                self.enter_drain();
+                draining_since = Some(Instant::now());
+            }
+            if let Some(since) = draining_since {
+                if self.conns.is_empty() || since.elapsed() > SHUTDOWN_DRAIN {
+                    break;
+                }
+            }
+            if self.poller.wait(&mut events, Some(TICK)).is_err() {
+                // EINTR is retried inside `wait`; anything else means
+                // the poller itself is broken and serving is over.
+                break;
+            }
+            for event in std::mem::take(&mut events) {
+                match event.token {
+                    LISTENER_TOKEN => {
+                        if draining_since.is_none() {
+                            self.accept_ready();
+                        }
+                    }
+                    WAKER_TOKEN => self.drain_waker(),
+                    token => self.conn_event(token, event),
+                }
+            }
+            self.pump_completions();
+            self.check_frame_deadlines();
+            self.aux.retain(|handle| !handle.is_finished());
+        }
+        let open: Vec<usize> = self.conns.keys().copied().collect();
+        for token in open {
+            self.close(token);
+        }
+        for handle in self.aux.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Shutdown noticed: stop accepting, close idle connections, let
+    /// busy ones finish their in-flight request (bounded by
+    /// [`SHUTDOWN_DRAIN`]).
+    fn enter_drain(&mut self) {
+        let _ = self.poller.deregister(self.listener.as_raw_fd());
+        let open: Vec<usize> = self.conns.keys().copied().collect();
+        for token in open {
+            let keep = self
+                .conns
+                .get(&token)
+                .is_some_and(|c| c.busy || c.has_pending_write());
+            if keep {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.close_after_flush = true;
+                }
+            } else {
+                self.close(token);
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let cap = self.shared.config.max_connections.max(1);
+                    if self.conns.len() >= cap {
+                        refuse_connection(
+                            stream,
+                            &self.shared,
+                            format!("connection limit reached ({cap})"),
+                        );
+                        continue;
+                    }
+                    if crate::failpoint::fire("conn_spawn") {
+                        // Injected resource exhaustion: same shedding
+                        // path a real registration failure takes, but
+                        // the stream is still blocking so the peer
+                        // gets the typed frame.
+                        refuse_connection(
+                            stream,
+                            &self.shared,
+                            "cannot spawn connection handler".to_string(),
+                        );
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        self.shared.metrics.reject_connection();
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, Interest::READABLE)
+                        .is_err()
+                    {
+                        // fd-table exhaustion is overload, not a reason
+                        // to kill the loop: shed and keep serving.
+                        self.shared.metrics.reject_connection();
+                        continue;
+                    }
+                    self.shared.metrics.conn_opened();
+                    self.conns
+                        .insert(token, Conn::new(stream, self.shared.config.rate_limit_rps));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        let mut sink = [0u8; 256];
+        loop {
+            match (&self.waker_rx).read(&mut sink) {
+                Ok(0) => return,
+                Ok(n) if n < sink.len() => return,
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: usize, event: Event) {
+        if event.writable && !self.try_flush(token) {
+            return;
+        }
+        if event.readable && !self.fill(token) {
+            return;
+        }
+        self.advance(token);
+    }
+
+    /// Nonblocking read burst into the connection's buffer. Returns
+    /// `false` when the connection was closed.
+    fn fill(&mut self, token: usize) -> bool {
+        let mut chunk = [0u8; READ_CHUNK];
+        // Bound on buffered-but-unserved bytes per connection: two max
+        // frames (one being served, one pipelined) or the drain cap,
+        // whichever is larger. A peer blasting past it is flooding,
+        // not pipelining, and gets the hang-up.
+        let cap = DRAIN_CAP.max(2 * self.shared.config.max_frame_bytes.saturating_add(5));
+        let outcome = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return false;
+            };
+            let mut rounds = 0;
+            loop {
+                if rounds == READ_ROUNDS {
+                    break Fill::Alive;
+                }
+                rounds += 1;
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        // Peer EOF. With a request in flight or a reply
+                        // queued, keep the socket until the reply is
+                        // flushed (closing now would throw it away).
+                        if conn.busy || conn.has_pending_write() {
+                            conn.close_after_flush = true;
+                            conn.read_buf.clear();
+                            break Fill::Alive;
+                        }
+                        break Fill::Close;
+                    }
+                    Ok(n) => {
+                        if !conn.close_after_flush {
+                            conn.read_buf.extend_from_slice(&chunk[..n]);
+                            if conn.read_buf.len() > cap {
+                                break Fill::Close;
+                            }
+                        }
+                        if n < chunk.len() {
+                            break Fill::Alive;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break Fill::Alive,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => break Fill::Close,
+                }
+            }
+        };
+        match outcome {
+            Fill::Alive => true,
+            Fill::Close => {
+                self.close(token);
+                false
+            }
+        }
+    }
+
+    /// Consumes as much of the connection's read buffer as possible:
+    /// complete frames are dispatched, partial ones arm the frame
+    /// deadline, oversized ones start (or finish) a drain.
+    fn advance(&mut self, token: usize) {
+        loop {
+            let max = self.shared.config.max_frame_bytes;
+            let step = {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if conn.close_after_flush {
+                    conn.read_buf.clear();
+                    Step::Stop
+                } else if let Some(draining) = &mut conn.draining {
+                    let take = draining.remaining.min(conn.read_buf.len());
+                    conn.read_buf.drain(..take);
+                    draining.remaining -= take;
+                    if draining.remaining == 0 {
+                        let done = conn.draining.take().expect("draining state present");
+                        conn.frame_started = None;
+                        Step::DrainedReply {
+                            declared: done.declared,
+                            codec: done.codec,
+                        }
+                    } else {
+                        // Still swallowing; the frame deadline keeps a
+                        // stalled drain from holding the slot forever.
+                        conn.frame_started.get_or_insert_with(Instant::now);
+                        Step::Stop
+                    }
+                } else if conn.busy {
+                    // One request in flight per connection; anything
+                    // pipelined behind it waits in `read_buf`.
+                    Step::Stop
+                } else if conn.read_buf.len() < 4 {
+                    if conn.read_buf.is_empty() {
+                        conn.frame_started = None;
+                    } else {
+                        conn.frame_started.get_or_insert_with(Instant::now);
+                    }
+                    Step::Stop
+                } else {
+                    let len = u32::from_be_bytes([
+                        conn.read_buf[0],
+                        conn.read_buf[1],
+                        conn.read_buf[2],
+                        conn.read_buf[3],
+                    ]) as usize;
+                    if len < 1 {
+                        // A frame with no version byte: the stream
+                        // cannot be resynchronised.
+                        Step::CloseNow
+                    } else if len - 1 > max {
+                        let declared = len - 1;
+                        if declared < DRAIN_CAP {
+                            // Closing with unread bytes in the receive
+                            // buffer makes TCP reset the connection,
+                            // destroying the queued error response.
+                            // Swallow modestly oversized frames so the
+                            // typed error is actually delivered. The
+                            // reply speaks the frame's own codec when
+                            // its version byte has arrived.
+                            let codec = conn
+                                .read_buf
+                                .get(4)
+                                .and_then(|&v| Codec::from_version(v))
+                                .unwrap_or(Codec::Json);
+                            conn.read_buf.drain(..4);
+                            conn.frame_started.get_or_insert_with(Instant::now);
+                            conn.draining = Some(Draining {
+                                remaining: len,
+                                declared,
+                                codec,
+                            });
+                            Step::Again
+                        } else {
+                            Step::CloseNow
+                        }
+                    } else if conn.read_buf.len() < 4 + len {
+                        conn.frame_started.get_or_insert_with(Instant::now);
+                        Step::Stop
+                    } else {
+                        let version = conn.read_buf[4];
+                        let payload = conn.read_buf[5..4 + len].to_vec();
+                        conn.read_buf.drain(..4 + len);
+                        conn.frame_started = None;
+                        Step::Frame { version, payload }
+                    }
+                }
+            };
+            match step {
+                Step::Stop => return,
+                Step::Again => {}
+                Step::CloseNow => {
+                    self.close(token);
+                    return;
+                }
+                Step::DrainedReply { declared, codec } => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.close_after_flush = true;
+                    }
+                    self.reply(
+                        token,
+                        codec,
+                        error_response(
                             ErrorKind::FrameTooLarge,
                             format!("frame of {declared} bytes exceeds limit of {max}"),
                         ),
                     );
+                    return;
                 }
-                // Either way the stream cannot be resynchronised.
-                return;
+                Step::Frame { version, payload } => self.handle_frame(token, version, payload),
             }
-            // Clean close, mid-frame close, shutdown, expired
-            // frame deadline (slow loris — the thread is reclaimed
-            // here), or I/O failure: nothing sensible left to say.
-            Err(_) => return,
-        };
-        if version != PROTOCOL_VERSION {
-            let survived = respond(
-                &mut stream,
-                &error_response(
+        }
+    }
+
+    /// One complete frame: pick the codec, decode, rate-limit, and
+    /// dispatch.
+    fn handle_frame(&mut self, token: usize, version: u8, payload: Vec<u8>) {
+        let Some(codec) = Codec::from_version(version) else {
+            // The peer's codec is unknown by definition; JSON is the
+            // compatibility codec.
+            self.reply(
+                token,
+                Codec::Json,
+                error_response(
                     ErrorKind::UnsupportedVersion,
-                    format!("speak version {PROTOCOL_VERSION}, got {version}"),
+                    format!(
+                        "speak version {PROTOCOL_VERSION} or {BINARY_PROTOCOL_VERSION}, \
+                         got {version}"
+                    ),
                 ),
             );
-            if survived {
-                continue;
-            }
             return;
-        }
-        let request = match Request::decode(&payload) {
+        };
+        let decoded = match codec {
+            Codec::Json => Request::decode(&payload),
+            Codec::Binary => Request::decode_binary(&payload),
+        };
+        let request = match decoded {
             Ok(request) => request,
             Err((kind, message)) => {
                 // Unknown command / malformed body: typed error, but
                 // the connection survives (framing is still intact).
-                if respond(&mut stream, &error_response(kind, message)) {
-                    continue;
-                }
+                self.reply(token, codec, error_response(kind, message));
                 return;
             }
         };
         let command = match &request {
             Request::Estimate { .. } => Command::Estimate,
+            Request::EstimateBatch { .. } => Command::EstimateBatch,
             Request::IngestDay { .. } => Command::IngestDay,
             Request::Stats => Command::Stats,
             Request::Shutdown => Command::Shutdown,
             Request::Snapshot => Command::Snapshot,
         };
-        shared.metrics.received(command);
+        self.shared.metrics.received(command);
+        self.shared.metrics.codec_request(codec);
         // The bucket admits after decode (a malformed flood already
         // fails cheaply above) and never gates `SHUTDOWN`: an operator
         // must always be able to stop a flooded daemon.
         if command != Command::Shutdown {
-            if let Some(bucket) = &mut bucket {
-                if !bucket.try_take() {
-                    shared.metrics.rate_limited();
-                    shared.metrics.error(command);
-                    let refused = error_response(
-                        ErrorKind::RateLimited,
-                        format!(
-                            "connection exceeded {} requests/second",
-                            shared.config.rate_limit_rps.unwrap_or(0)
-                        ),
-                    );
-                    if respond(&mut stream, &refused) {
-                        continue;
-                    }
-                    return;
-                }
+            let limited = self
+                .conns
+                .get_mut(&token)
+                .is_some_and(|conn| match &mut conn.bucket {
+                    Some(bucket) => !bucket.try_take(),
+                    None => false,
+                });
+            if limited {
+                self.shared.metrics.rate_limited();
+                let refused = error_response(
+                    ErrorKind::RateLimited,
+                    format!(
+                        "connection exceeded {} requests/second",
+                        self.shared.config.rate_limit_rps.unwrap_or(0)
+                    ),
+                );
+                self.account(command, &refused);
+                self.reply(token, codec, refused);
+                return;
             }
         }
-        let response = match request {
+        match request {
             Request::Estimate {
                 slot_of_day,
                 observations,
                 deadline_ms,
                 roads,
-            } => serve_estimate(&shared, slot_of_day, observations, deadline_ms, roads),
-            Request::IngestDay { rows } => serve_ingest(&shared, rows),
+            } => self.submit_estimate(token, codec, slot_of_day, observations, deadline_ms, roads),
+            Request::EstimateBatch { items, deadline_ms } => {
+                self.submit_batch(token, codec, items, deadline_ms)
+            }
+            Request::IngestDay { rows } => {
+                self.submit_aux(token, codec, Command::IngestDay, move |shared| {
+                    serve_ingest(shared, rows)
+                })
+            }
+            Request::Snapshot => self.submit_aux(token, codec, Command::Snapshot, |shared| {
+                serve_snapshot(shared)
+            }),
             Request::Stats => {
-                let mut snap = shared.metrics.snapshot();
-                if let Some(shard) = &shared.shard {
+                let mut snap = self.shared.metrics.snapshot();
+                if let Some(shard) = &self.shared.shard {
                     snap.shard = Some(ShardIdentity {
                         index: shard.index as u32,
                         count: shard.plan.num_shards as u32,
@@ -585,31 +981,393 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                         fingerprint: shard.fingerprint,
                     });
                 }
-                Response::Stats(snap)
+                let response = Response::Stats(snap);
+                self.account(command, &response);
+                self.reply(token, codec, response);
             }
-            Request::Shutdown => Response::ShuttingDown,
-            Request::Snapshot => serve_snapshot(&shared),
-        };
-        match &response {
+            Request::Shutdown => {
+                let response = Response::ShuttingDown;
+                self.account(command, &response);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.close_after_flush = true;
+                }
+                self.reply(token, codec, response);
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// The admission-controlled estimate path: hand the request to the
+    /// worker pool (bounded queue), or answer `Overloaded` right away.
+    fn submit_estimate(
+        &mut self,
+        token: usize,
+        codec: Codec,
+        slot_of_day: usize,
+        observations: Vec<(u32, f64)>,
+        deadline_ms: Option<u64>,
+        roads: Option<Vec<u32>>,
+    ) {
+        let admitted = Instant::now();
+        let deadline = deadline_ms
+            .or(self.shared.config.default_deadline_ms)
+            .map(Duration::from_millis);
+        let shared = Arc::clone(&self.shared);
+        let port = self.port.clone();
+        let job: ServeJob = Box::new(move |scratch: &mut EstimateScratch| {
+            let response = if deadline.is_some_and(|d| admitted.elapsed() > d) {
+                // Admitted but queued past its deadline: cheaper to
+                // drop here than to compute an answer nobody is
+                // waiting for.
+                error_response(
+                    ErrorKind::DeadlineExceeded,
+                    "deadline expired while queued".to_string(),
+                )
+            } else {
+                estimate_guarded(
+                    &shared,
+                    slot_of_day,
+                    &observations,
+                    roads.as_deref(),
+                    scratch,
+                )
+            };
+            // Latency is recorded for every outcome the worker
+            // produced — errors included — so the histogram reflects
+            // what clients actually waited, not just the happy path.
+            shared
+                .metrics
+                .observe_latency_us(admitted.elapsed().as_micros() as u64);
+            port.post(Completion {
+                token,
+                command: Command::Estimate,
+                codec,
+                response,
+            });
+        });
+        self.submit_to_pool(token, codec, Command::Estimate, job);
+    }
+
+    /// `ESTIMATE_BATCH`: one admission slot, one worker pass over all
+    /// items. A failing (even panicking) item degrades to its typed
+    /// per-item outcome instead of sinking the batch.
+    fn submit_batch(
+        &mut self,
+        token: usize,
+        codec: Codec,
+        items: Vec<BatchItem>,
+        deadline_ms: Option<u64>,
+    ) {
+        let admitted = Instant::now();
+        let deadline = deadline_ms
+            .or(self.shared.config.default_deadline_ms)
+            .map(Duration::from_millis);
+        let shared = Arc::clone(&self.shared);
+        let port = self.port.clone();
+        let job: ServeJob = Box::new(move |scratch: &mut EstimateScratch| {
+            let response = if deadline.is_some_and(|d| admitted.elapsed() > d) {
+                error_response(
+                    ErrorKind::DeadlineExceeded,
+                    "deadline expired while queued".to_string(),
+                )
+            } else {
+                let outcomes = items
+                    .iter()
+                    .map(|item| {
+                        match estimate_guarded(
+                            &shared,
+                            item.slot_of_day,
+                            &item.observations,
+                            item.roads.as_deref(),
+                            scratch,
+                        ) {
+                            Response::Estimate(reply) => BatchOutcome::Estimate(reply),
+                            Response::Error { kind, message } => {
+                                BatchOutcome::Error { kind, message }
+                            }
+                            _ => BatchOutcome::Error {
+                                kind: ErrorKind::Internal,
+                                message: "estimate produced a non-estimate response".to_string(),
+                            },
+                        }
+                    })
+                    .collect();
+                Response::Batch(outcomes)
+            };
+            // One latency observation per batch: the histogram tracks
+            // frame round-trips, matching what the client waited for.
+            shared
+                .metrics
+                .observe_latency_us(admitted.elapsed().as_micros() as u64);
+            port.post(Completion {
+                token,
+                command: Command::EstimateBatch,
+                codec,
+                response,
+            });
+        });
+        self.submit_to_pool(token, codec, Command::EstimateBatch, job);
+    }
+
+    fn submit_to_pool(&mut self, token: usize, codec: Codec, command: Command, job: ServeJob) {
+        match self.shared.pool.try_submit(job) {
+            Ok(()) => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.busy = true;
+                }
+            }
+            Err(_rejected_job) => {
+                let refused = error_response(
+                    ErrorKind::Overloaded,
+                    format!(
+                        "admission queue full ({} slots)",
+                        self.shared.pool.queue_capacity()
+                    ),
+                );
+                self.account(command, &refused);
+                self.reply(token, codec, refused);
+            }
+        }
+    }
+
+    /// `INGEST_DAY` / `SNAPSHOT` run on a short-lived aux thread: both
+    /// serialize on the train lock anyway, and neither may stall the
+    /// event loop for the seconds a retrain can take.
+    fn submit_aux(
+        &mut self,
+        token: usize,
+        codec: Codec,
+        command: Command,
+        work: impl FnOnce(&Arc<Shared>) -> Response + Send + 'static,
+    ) {
+        let shared = Arc::clone(&self.shared);
+        let port = self.port.clone();
+        let spawned = std::thread::Builder::new()
+            .name("crowdspeedd-aux".to_string())
+            .spawn(move || {
+                let response = work(&shared);
+                port.post(Completion {
+                    token,
+                    command,
+                    codec,
+                    response,
+                });
+            });
+        match spawned {
+            Ok(handle) => {
+                self.aux.push(handle);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.busy = true;
+                }
+            }
+            Err(_) => {
+                let refused = error_response(
+                    ErrorKind::Overloaded,
+                    "cannot spawn worker thread".to_string(),
+                );
+                self.account(command, &refused);
+                self.reply(token, codec, refused);
+            }
+        }
+    }
+
+    /// Delivers finished requests back to their connections.
+    fn pump_completions(&mut self) {
+        while let Ok(done) = self.completions_rx.try_recv() {
+            self.account(done.command, &done.response);
+            let Completion {
+                token,
+                codec,
+                response,
+                ..
+            } = done;
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.busy = false;
+            } else {
+                // The connection died while its request was in flight;
+                // the outcome is already accounted, the bytes have
+                // nowhere to go.
+                continue;
+            }
+            self.reply(token, codec, response);
+            // Frames pipelined behind the in-flight request may
+            // already be buffered.
+            self.advance(token);
+        }
+    }
+
+    /// Mirrors the per-command metric accounting of a response.
+    fn account(&self, command: Command, response: &Response) {
+        match response {
             Response::Error { kind, message: _ } => {
-                shared.metrics.error(command);
+                self.shared.metrics.error(command);
                 match kind {
-                    ErrorKind::Overloaded => shared.metrics.reject_overload(),
-                    ErrorKind::DeadlineExceeded => shared.metrics.reject_deadline(),
+                    ErrorKind::Overloaded => self.shared.metrics.reject_overload(),
+                    ErrorKind::DeadlineExceeded => self.shared.metrics.reject_deadline(),
                     _ => {}
                 }
             }
-            _ => shared.metrics.ok(command),
-        }
-        let survived = respond(&mut stream, &response);
-        if matches!(response, Response::ShuttingDown) {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            return;
-        }
-        if !survived {
-            return;
+            _ => self.shared.metrics.ok(command),
         }
     }
+
+    /// Encodes `response` with `codec`, queues the frame, and flushes
+    /// as much as the socket accepts.
+    fn reply(&mut self, token: usize, codec: Codec, response: Response) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let payload = response.encode_with(codec);
+        let frame = frame_bytes(codec.version(), &payload);
+        if crate::failpoint::fire("conn_write") {
+            // Injected short write: emit only the first half of the
+            // frame, then sever the socket — the client sees a
+            // mid-frame truncation and must poison the connection,
+            // exactly as if the daemon died between two TCP segments.
+            let half = frame.len() / 2;
+            conn.write_buf.extend_from_slice(&frame[..half]);
+            conn.sever_after_flush = true;
+            conn.close_after_flush = true;
+        } else {
+            conn.write_buf.extend_from_slice(&frame);
+        }
+        self.try_flush(token);
+    }
+
+    /// Writes pending reply bytes until the socket pushes back.
+    /// Returns `false` when the connection was closed (error, or a
+    /// completed close/sever-after-flush).
+    fn try_flush(&mut self, token: usize) -> bool {
+        enum Flushed {
+            Dead,
+            Partial {
+                fd: i32,
+                arm: bool,
+            },
+            Done {
+                fd: i32,
+                disarm: bool,
+                close: bool,
+                sever: bool,
+            },
+        }
+        let outcome = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return false;
+            };
+            loop {
+                if !conn.has_pending_write() {
+                    conn.write_buf.clear();
+                    conn.write_pos = 0;
+                    break Flushed::Done {
+                        fd: conn.stream.as_raw_fd(),
+                        disarm: conn.interest_write,
+                        close: conn.close_after_flush,
+                        sever: conn.sever_after_flush,
+                    };
+                }
+                match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                    Ok(0) => break Flushed::Dead,
+                    Ok(n) => conn.write_pos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        break Flushed::Partial {
+                            fd: conn.stream.as_raw_fd(),
+                            arm: !conn.interest_write,
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => break Flushed::Dead,
+                }
+            }
+        };
+        match outcome {
+            Flushed::Dead => {
+                self.close(token);
+                false
+            }
+            Flushed::Partial { fd, arm } => {
+                if arm {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.interest_write = true;
+                    }
+                    if self.poller.modify(fd, token, Interest::BOTH).is_err() {
+                        self.close(token);
+                        return false;
+                    }
+                }
+                true
+            }
+            Flushed::Done {
+                fd,
+                disarm,
+                close,
+                sever,
+            } => {
+                if sever {
+                    if let Some(conn) = self.conns.get(&token) {
+                        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                    }
+                    self.close(token);
+                    return false;
+                }
+                if close {
+                    self.close(token);
+                    return false;
+                }
+                if disarm {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.interest_write = false;
+                    }
+                    if self.poller.modify(fd, token, Interest::READABLE).is_err() {
+                        self.close(token);
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Drops connections whose partial frame outlived the read
+    /// deadline — a trickling peer (slow loris) cannot pin its
+    /// connection slot forever.
+    fn check_frame_deadlines(&mut self) {
+        let Some(deadline) = self
+            .shared
+            .config
+            .frame_deadline_ms
+            .map(Duration::from_millis)
+        else {
+            return;
+        };
+        let expired: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| conn.frame_started.is_some_and(|t| t.elapsed() > deadline))
+            .map(|(&token, _)| token)
+            .collect();
+        for token in expired {
+            self.close(token);
+        }
+    }
+
+    fn close(&mut self, token: usize) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.shared.metrics.conn_closed();
+        }
+    }
+}
+
+/// Sheds a connection the daemon cannot serve: best-effort typed
+/// `Overloaded` frame (short write timeout so a deaf peer cannot stall
+/// the event loop), then hang up. Counted in `rejected_connections`.
+fn refuse_connection(stream: TcpStream, shared: &Arc<Shared>, message: String) {
+    shared.metrics.reject_connection();
+    let mut stream = stream;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = respond(&mut stream, &error_response(ErrorKind::Overloaded, message));
 }
 
 /// Continuous-refill token bucket: capacity `max(rps, 1)` tokens,
@@ -648,26 +1406,31 @@ impl TokenBucket {
     }
 }
 
-/// Writes `response` as a frame; `false` means the connection is dead.
+/// Writes `response` as a JSON frame on a blocking stream; `false`
+/// means the connection is dead. Used by connection refusal, where the
+/// peer's codec is unknown, so JSON — the compatibility codec — is the
+/// right answer.
 pub(crate) fn respond(stream: &mut TcpStream, response: &Response) -> bool {
+    respond_with(stream, Codec::Json, response)
+}
+
+/// [`respond`] in an explicit codec; the router's client-facing
+/// threads answer each request in the codec it arrived in.
+pub(crate) fn respond_with(stream: &mut TcpStream, codec: Codec, response: &Response) -> bool {
     if crate::failpoint::fire("conn_write") {
         // Injected short write: emit only the first half of the frame,
         // then sever the socket — the client sees a mid-frame
         // truncation and must poison the connection, exactly as if the
         // daemon died between two TCP segments.
-        use std::io::Write;
-        let payload = response.encode();
-        let mut frame = Vec::with_capacity(5 + payload.len());
-        frame.extend_from_slice(&((payload.len() + 1) as u32).to_be_bytes());
-        frame.push(PROTOCOL_VERSION);
-        frame.extend_from_slice(&payload);
+        let payload = response.encode_with(codec);
+        let frame = frame_bytes(codec.version(), &payload);
         let half = frame.len() / 2;
         let _ = stream.write_all(&frame[..half]);
         let _ = stream.flush();
         let _ = stream.shutdown(std::net::Shutdown::Both);
         return false;
     }
-    write_frame(stream, &response.encode()).is_ok()
+    write_frame_with_version(stream, codec.version(), &response.encode_with(codec)).is_ok()
 }
 
 /// Reads and discards `remaining` bytes (a refused frame's body);
@@ -677,7 +1440,6 @@ pub(crate) fn drain(
     mut remaining: usize,
     abort: &dyn Fn() -> bool,
 ) -> bool {
-    use std::io::Read;
     let mut sink = [0u8; 4096];
     while remaining > 0 {
         let want = remaining.min(sink.len());
@@ -687,9 +1449,9 @@ pub(crate) fn drain(
             Err(e)
                 if matches!(
                     e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::Interrupted
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
                 ) =>
             {
                 if abort() {
@@ -704,6 +1466,38 @@ pub(crate) fn drain(
 
 pub(crate) fn error_response(kind: ErrorKind, message: String) -> Response {
     Response::Error { kind, message }
+}
+
+/// One estimate on a worker thread, fenced by the `estimate` failpoint
+/// and a panic guard: a panicking estimate must cost exactly one
+/// request (or one batch item), not a worker thread.
+fn estimate_guarded(
+    shared: &Arc<Shared>,
+    slot_of_day: usize,
+    observations: &[(u32, f64)],
+    roads: Option<&[u32]>,
+    scratch: &mut EstimateScratch,
+) -> Response {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        crate::failpoint::fire("estimate");
+        let obs: Vec<(RoadId, f64)> = observations
+            .iter()
+            .map(|&(road, speed)| (RoadId(road), speed))
+            .collect();
+        compute_estimate(shared, slot_of_day, &obs, roads, scratch)
+    }));
+    match outcome {
+        Ok(response) => response,
+        Err(payload) => {
+            // The scratch may be mid-update; rebuild it.
+            *scratch = EstimateScratch::new();
+            shared.metrics.worker_panic();
+            error_response(
+                ErrorKind::Internal,
+                format!("estimate worker panicked: {}", panic_message(payload)),
+            )
+        }
+    }
 }
 
 /// The actual estimate computation, on a worker thread: shard-masked
@@ -820,81 +1614,8 @@ fn compute_estimate(
     }
 }
 
-/// The admission-controlled estimate path: hand the request to the
-/// worker pool (bounded queue), or answer `Overloaded` right away.
-fn serve_estimate(
-    shared: &Arc<Shared>,
-    slot_of_day: usize,
-    observations: Vec<(u32, f64)>,
-    deadline_ms: Option<u64>,
-    roads: Option<Vec<u32>>,
-) -> Response {
-    let admitted = Instant::now();
-    let deadline = deadline_ms
-        .or(shared.config.default_deadline_ms)
-        .map(Duration::from_millis);
-    // Rendezvous channel: the worker always sends exactly one reply.
-    let (reply_tx, reply_rx) = sync_channel::<Response>(1);
-    let job_shared = Arc::clone(shared);
-    let job: ServeJob = Box::new(move |scratch: &mut EstimateScratch| {
-        let response = if deadline.is_some_and(|d| admitted.elapsed() > d) {
-            // Admitted but queued past its deadline: cheaper to drop
-            // here than to compute an answer nobody is waiting for.
-            error_response(
-                ErrorKind::DeadlineExceeded,
-                "deadline expired while queued".to_string(),
-            )
-        } else {
-            // A panicking estimate must cost exactly one request, not a
-            // worker thread: catch it here, answer a typed `Internal`,
-            // and rebuild the scratch (its buffers may be mid-update).
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                crate::failpoint::fire("estimate");
-                let obs: Vec<(RoadId, f64)> = observations
-                    .iter()
-                    .map(|&(road, speed)| (RoadId(road), speed))
-                    .collect();
-                compute_estimate(&job_shared, slot_of_day, &obs, roads.as_deref(), scratch)
-            }));
-            match outcome {
-                Ok(response) => response,
-                Err(payload) => {
-                    *scratch = EstimateScratch::new();
-                    job_shared.metrics.worker_panic();
-                    error_response(
-                        ErrorKind::Internal,
-                        format!("estimate worker panicked: {}", panic_message(payload)),
-                    )
-                }
-            }
-        };
-        // Latency is recorded for every outcome the worker produced —
-        // errors included — so the histogram reflects what clients
-        // actually waited, not just the happy path.
-        job_shared
-            .metrics
-            .observe_latency_us(admitted.elapsed().as_micros() as u64);
-        let _ = reply_tx.send(response);
-    });
-    match shared.pool.try_submit(job) {
-        Ok(()) => reply_rx.recv().unwrap_or_else(|_| {
-            error_response(
-                ErrorKind::Internal,
-                "worker pool dropped the request".to_string(),
-            )
-        }),
-        Err(_rejected_job) => error_response(
-            ErrorKind::Overloaded,
-            format!(
-                "admission queue full ({} slots)",
-                shared.pool.queue_capacity()
-            ),
-        ),
-    }
-}
-
-/// `INGEST_DAY`: fold a day into the online model, retrain on this
-/// connection's thread, and atomically publish the new epoch.
+/// `INGEST_DAY`: fold a day into the online model, retrain on an aux
+/// thread, and atomically publish the new epoch.
 fn serve_ingest(shared: &Arc<Shared>, rows: Vec<Vec<f64>>) -> Response {
     let mut train = shared.train.lock();
     let (slots, roads) = train.day_shape();

@@ -4,15 +4,22 @@
 //! The crate turns the batch serving path in `crowdspeed::serve` into
 //! a long-running process:
 //!
-//! * [`daemon`] — acceptor + per-connection handlers feeding the
-//!   `ServePool` worker threads, with bounded-queue admission control
-//!   and per-request deadlines.
+//! * [`daemon`] — an event-driven connection layer (one readiness loop
+//!   owning every client socket nonblocking, assembling frames
+//!   incrementally) feeding the `ServePool` worker threads, with
+//!   bounded-queue admission control and per-request deadlines.
+//! * [`evloop`] — the readiness primitive under the daemon: raw-FFI
+//!   `epoll(7)` on Linux with a portable `poll(2)` fallback, no async
+//!   runtime.
 //! * [`state`] — the hot-swappable model slot (epoch pointer behind a
 //!   `parking_lot::RwLock`) and the [`state::TrainState`] that folds
 //!   `INGEST_DAY` feeds into the online correlation model and retrains
 //!   off the serving path.
-//! * [`protocol`] — the length-prefixed, versioned JSON frame format
-//!   (`ESTIMATE`, `INGEST_DAY`, `STATS`, `SHUTDOWN`).
+//! * [`protocol`] — the length-prefixed, versioned frame format
+//!   (`ESTIMATE`, `INGEST_DAY`, `STATS`, `SHUTDOWN`, batched
+//!   `ESTIMATE_BATCH`) in two codecs selected by the header version
+//!   byte: human-debuggable JSON and a compact binary encoding with
+//!   verbatim `f64` bits.
 //! * [`client`] — the blocking client used by the CLI, the bench, and
 //!   the integration suite.
 //! * [`metrics`] — per-command counters, rejection counts, the
@@ -38,6 +45,7 @@
 
 pub mod client;
 pub mod daemon;
+pub mod evloop;
 pub mod failpoint;
 pub mod fleet;
 pub mod json;
@@ -50,7 +58,9 @@ pub mod state;
 pub use client::{Client, ClientConfig};
 pub use daemon::{Daemon, DaemonConfig, DaemonHandle, ShardSpec};
 pub use fleet::{dataset_plan, Fleet, FleetStatus, WorkerSpec, WorkerStatus};
-pub use protocol::{ErrorKind, Request, Response, ShardHealth, ShardIdentity};
+pub use protocol::{
+    BatchItem, BatchOutcome, Codec, ErrorKind, Request, Response, ShardHealth, ShardIdentity,
+};
 pub use router::{Router, RouterConfig, RouterHandle};
 pub use snapshot::RejectReason;
 pub use state::{ModelSlot, RetrainError, TrainInputs, TrainState};

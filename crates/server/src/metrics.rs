@@ -5,7 +5,7 @@
 //! read by `STATS` is allowed to be torn across counters (each counter
 //! is individually consistent, which is all dashboards need).
 
-use crate::protocol::{CommandStats, StatsReply, LATENCY_BUCKET_BOUNDS_US};
+use crate::protocol::{Codec, CommandStats, StatsReply, LATENCY_BUCKET_BOUNDS_US};
 use crate::snapshot::RejectReason;
 use crate::state::RetrainMode;
 use crowdspeed::prelude::RetrainStats;
@@ -13,7 +13,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Command slots tracked by the per-command counters, in wire order.
-pub const COMMAND_NAMES: [&str; 5] = ["estimate", "ingest_day", "stats", "shutdown", "snapshot"];
+/// `estimate_batch` is appended last so the indices of the original
+/// five commands — which tests and dashboards pin — never move.
+pub const COMMAND_NAMES: [&str; 6] = [
+    "estimate",
+    "ingest_day",
+    "stats",
+    "shutdown",
+    "snapshot",
+    "estimate_batch",
+];
 
 /// Index into [`COMMAND_NAMES`] / [`Metrics::commands`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +37,8 @@ pub enum Command {
     Shutdown = 3,
     /// `SNAPSHOT` frames.
     Snapshot = 4,
+    /// `ESTIMATE_BATCH` frames (one count per frame, not per item).
+    EstimateBatch = 5,
 }
 
 #[derive(Default)]
@@ -40,7 +51,7 @@ struct CommandCounters {
 /// The daemon-wide metrics registry.
 pub struct Metrics {
     started: Instant,
-    commands: [CommandCounters; 5],
+    commands: [CommandCounters; 6],
     rejected_overload: AtomicU64,
     rejected_deadline: AtomicU64,
     rejected_connections: AtomicU64,
@@ -72,6 +83,12 @@ pub struct Metrics {
     latency: [AtomicU64; LATENCY_BUCKET_BOUNDS_US.len() + 1],
     /// Requests refused by a per-connection token bucket.
     rate_limited: AtomicU64,
+    /// Gauge: connections currently registered with the event loop.
+    open_connections: AtomicU64,
+    /// Frames decoded from the JSON codec.
+    requests_json: AtomicU64,
+    /// Frames decoded from the binary codec.
+    requests_binary: AtomicU64,
 }
 
 impl Metrics {
@@ -98,6 +115,9 @@ impl Metrics {
             ignored_observations: AtomicU64::new(0),
             latency: Default::default(),
             rate_limited: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            requests_json: AtomicU64::new(0),
+            requests_binary: AtomicU64::new(0),
         }
     }
 
@@ -217,6 +237,31 @@ impl Metrics {
         self.rate_limited.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Raises the open-connections gauge as the event loop registers a
+    /// client socket.
+    pub fn conn_opened(&self) {
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lowers the open-connections gauge as a client socket is dropped.
+    pub fn conn_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current open-connections gauge.
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// Counts one well-framed request by the codec it arrived in.
+    pub fn codec_request(&self, codec: Codec) {
+        match codec {
+            Codec::Json => &self.requests_json,
+            Codec::Binary => &self.requests_binary,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one served-estimate latency in the histogram.
     pub fn observe_latency_us(&self, micros: u64) {
         let bucket = LATENCY_BUCKET_BOUNDS_US
@@ -274,6 +319,9 @@ impl Metrics {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             rate_limited_requests: self.rate_limited.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            requests_json: self.requests_json.load(Ordering::Relaxed),
+            requests_binary: self.requests_binary.load(Ordering::Relaxed),
             // Shard identity and fleet health come from daemon/router
             // context, not this registry; callers overwrite them.
             shard: None,
@@ -326,8 +374,24 @@ mod tests {
         m.add_ignored_observations(3);
         m.rate_limited();
         m.rate_limited();
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_closed();
+        m.codec_request(Codec::Json);
+        m.codec_request(Codec::Binary);
+        m.codec_request(Codec::Binary);
+        m.received(Command::EstimateBatch);
+        m.ok(Command::EstimateBatch);
         let snap = m.snapshot();
         assert_eq!(snap.rate_limited_requests, 2);
+        assert_eq!(snap.open_connections, 2);
+        assert_eq!(m.open_connections(), 2);
+        assert_eq!(snap.requests_json, 1);
+        assert_eq!(snap.requests_binary, 2);
+        let batch = &snap.commands[Command::EstimateBatch as usize];
+        assert_eq!(batch.0, "estimate_batch");
+        assert_eq!((batch.1.received, batch.1.ok, batch.1.errors), (1, 1, 0));
         assert_eq!(snap.shard, None);
         assert!(snap.shards.is_empty());
         assert_eq!(snap.epoch, 7);

@@ -4,28 +4,85 @@
 //!
 //! ```text
 //! ┌────────────────┬───────────┬──────────────────────────┐
-//! │ length: u32 BE │ version:u8│ payload: compact JSON    │
+//! │ length: u32 BE │ version:u8│ payload                  │
 //! └────────────────┴───────────┴──────────────────────────┘
 //!        length counts the version byte + payload
 //! ```
 //!
-//! The version byte rides in the binary header — not the JSON — so a
-//! server can refuse a frame from the future without parsing it.
-//! Payloads are JSON objects with a `"cmd"` (requests) or `"ok"` /
-//! `"err"` (responses) discriminator; unknown commands decode into a
-//! typed error and leave the connection usable.
+//! The version byte rides in the binary header — not the payload — so
+//! a server can refuse a frame from the future without parsing it, and
+//! it doubles as the **codec selector**: version 1 payloads are
+//! compact JSON, version 2 payloads are the binary codec. A daemon
+//! answers in whichever codec the request arrived in, so old JSON
+//! clients and new binary clients share one port.
+//!
+//! Version-1 payloads are JSON objects with a `"cmd"` (requests) or
+//! `"ok"` / `"err"` (responses) discriminator; unknown commands decode
+//! into a typed error and leave the connection usable.
+//!
+//! Version-2 payloads are a fixed-layout binary encoding: a leading
+//! tag byte, little-endian fixed-width integers, `u32`-length-prefixed
+//! strings and vectors, and `f64`s as their raw IEEE-754 bits — no
+//! text formatting on the hot path at all.
 //!
 //! Speeds cross the wire with Rust's shortest round-trip `f64`
-//! formatting (see [`crate::json`]), so an estimate served over TCP is
-//! bit-identical to one computed in-process — the `daemon` integration
+//! formatting in JSON (see [`crate::json`]) and as verbatim bits in
+//! binary, so an estimate served over TCP is bit-identical to one
+//! computed in-process **in either codec** — the `daemon` integration
 //! suite extends the repo's `serving_equivalence` guarantee across the
-//! wire on exactly this property.
+//! wire on exactly this property, and the codec-equivalence proptests
+//! pin the two codecs against each other.
 
 use crate::json::{nan_to_json, num_or_nan, Json};
 use std::io::{Read, Write};
 
 /// Protocol version spoken by this build.
 pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Frame version byte of the binary codec. A version-2 frame carries
+/// the binary payload encoding instead of JSON; the daemon answers in
+/// the codec the request arrived in.
+pub const BINARY_PROTOCOL_VERSION: u8 = 2;
+
+/// Which payload codec a peer speaks, selected per frame by the
+/// version byte in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Codec {
+    /// Version-1 frames: compact JSON payloads (the original protocol,
+    /// fully supported forever).
+    #[default]
+    Json,
+    /// Version-2 frames: fixed-layout binary payloads (`f64` bits
+    /// travel verbatim; no text formatting on the hot path).
+    Binary,
+}
+
+impl Codec {
+    /// The version byte this codec stamps into frame headers.
+    pub fn version(self) -> u8 {
+        match self {
+            Codec::Json => PROTOCOL_VERSION,
+            Codec::Binary => BINARY_PROTOCOL_VERSION,
+        }
+    }
+
+    /// Maps a frame header version byte back to its codec.
+    pub fn from_version(version: u8) -> Option<Codec> {
+        match version {
+            PROTOCOL_VERSION => Some(Codec::Json),
+            BINARY_PROTOCOL_VERSION => Some(Codec::Binary),
+            _ => None,
+        }
+    }
+
+    /// Stable display name (used by metrics and the CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::Json => "json",
+            Codec::Binary => "binary",
+        }
+    }
+}
 
 /// Frames larger than this are rejected with
 /// [`ErrorKind::FrameTooLarge`] before the payload is read.
@@ -71,6 +128,29 @@ pub enum Request {
     /// Force a model snapshot to disk right now (requires the daemon
     /// to have been started with a snapshot directory).
     Snapshot,
+    /// Many estimate queries in one frame. The whole batch costs one
+    /// frame round-trip and one admission-queue slot; the reply
+    /// carries one outcome per item in request order, and a failing
+    /// item degrades to a typed per-item error instead of sinking its
+    /// neighbours.
+    EstimateBatch {
+        /// The queries, answered in order by [`Response::Batch`].
+        items: Vec<BatchItem>,
+        /// Optional deadline shared by the whole batch, measured from
+        /// admission (like [`Request::Estimate`]'s).
+        deadline_ms: Option<u64>,
+    },
+}
+
+/// One query of a [`Request::EstimateBatch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchItem {
+    /// Slot of day the observations belong to.
+    pub slot_of_day: usize,
+    /// Crowdsourced `(road id, speed)` seed observations.
+    pub observations: Vec<(u32, f64)>,
+    /// Optional road-id filter (see [`Request::Estimate`]).
+    pub roads: Option<Vec<u32>>,
 }
 
 /// Typed failure classes a daemon can answer with.
@@ -240,6 +320,13 @@ pub struct StatsReply {
     /// Requests refused by the per-connection token bucket
     /// (`--rate-limit-rps`).
     pub rate_limited_requests: u64,
+    /// Client connections currently open (the event loop's gauge;
+    /// idle keep-alives count, refused connections never do).
+    pub open_connections: u64,
+    /// Requests decoded from JSON (version-1) frames.
+    pub requests_json: u64,
+    /// Requests decoded from binary (version-2) frames.
+    pub requests_binary: u64,
     /// Set when this process is a shard worker: which slice of the
     /// plan it serves. `None` for unsharded daemons and routers.
     pub shard: Option<ShardIdentity>,
@@ -314,6 +401,23 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// Per-item outcomes of an `ESTIMATE_BATCH`, in request order.
+    Batch(Vec<BatchOutcome>),
+}
+
+/// One item's outcome inside a [`Response::Batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOutcome {
+    /// The item was served.
+    Estimate(EstimateReply),
+    /// The item failed with a typed error; the other items of the
+    /// batch are unaffected.
+    Error {
+        /// Failure class.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
 }
 
 fn obs_to_json(observations: &[(u32, f64)]) -> Json {
@@ -356,6 +460,95 @@ fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
     v.get(key).ok_or_else(|| format!("missing field {key:?}"))
 }
 
+/// The JSON body of an estimate reply, shared by the top-level
+/// `Response::Estimate` object and each served item of a batch reply.
+fn estimate_reply_fields(reply: &EstimateReply) -> Vec<(String, Json)> {
+    let mut fields = vec![
+        ("epoch".into(), Json::Num(reply.epoch as f64)),
+        ("speeds".into(), f64s_to_json(&reply.speeds)),
+        ("p_up".into(), f64s_to_json(&reply.p_up)),
+        (
+            "trends".into(),
+            Json::Arr(reply.trends.iter().map(|&t| Json::Bool(t)).collect()),
+        ),
+        (
+            "ignored".into(),
+            Json::Num(reply.ignored_observations as f64),
+        ),
+    ];
+    if !reply.unavailable.is_empty() {
+        fields.push((
+            "unavailable".into(),
+            Json::Arr(
+                reply
+                    .unavailable
+                    .iter()
+                    .map(|&r| Json::Num(r as f64))
+                    .collect(),
+            ),
+        ));
+    }
+    fields
+}
+
+fn json_to_estimate_reply(json: &Json) -> Result<EstimateReply, String> {
+    Ok(EstimateReply {
+        epoch: field(json, "epoch")?.as_u64().ok_or("epoch: bad integer")?,
+        speeds: json_to_f64s(field(json, "speeds")?, "speeds")?,
+        p_up: json_to_f64s(field(json, "p_up")?, "p_up")?,
+        trends: field(json, "trends")?
+            .as_arr()
+            .ok_or("trends: expected array")?
+            .iter()
+            .map(|v| v.as_bool().ok_or("trends: expected bool".to_string()))
+            .collect::<Result<Vec<_>, _>>()?,
+        ignored_observations: field(json, "ignored")?
+            .as_u64()
+            .ok_or("ignored: bad integer")?,
+        unavailable: match json.get("unavailable") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(v) => json_to_u64s(v, "unavailable")?
+                .into_iter()
+                .map(|r| u32::try_from(r).map_err(|_| "unavailable: bad road id".to_string()))
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+    })
+}
+
+/// A batch item outcome reuses the top-level `"ok"`/`"err"` shapes so
+/// the two reply forms cannot drift apart.
+fn batch_outcome_to_json(outcome: &BatchOutcome) -> Json {
+    match outcome {
+        BatchOutcome::Estimate(reply) => {
+            let mut fields = vec![("ok".into(), Json::Str("estimate".into()))];
+            fields.extend(estimate_reply_fields(reply));
+            Json::Obj(fields)
+        }
+        BatchOutcome::Error { kind, message } => Json::Obj(vec![
+            ("err".into(), Json::Str(kind.name().into())),
+            ("message".into(), Json::Str(message.clone())),
+        ]),
+    }
+}
+
+fn json_to_batch_outcome(json: &Json) -> Result<BatchOutcome, String> {
+    if let Some(err) = json.get("err") {
+        let name = err.as_str().ok_or("items.err: expected string")?;
+        let kind =
+            ErrorKind::from_name(name).ok_or_else(|| format!("unknown error kind {name:?}"))?;
+        let message = json
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        return Ok(BatchOutcome::Error { kind, message });
+    }
+    match json.get("ok").and_then(Json::as_str) {
+        Some("estimate") => Ok(BatchOutcome::Estimate(json_to_estimate_reply(json)?)),
+        _ => Err("items: expected an estimate or error object".into()),
+    }
+}
+
 impl Request {
     /// Encodes to a JSON payload (no frame header).
     pub fn encode(&self) -> Vec<u8> {
@@ -395,6 +588,36 @@ impl Request {
             Request::Stats => Json::Obj(vec![("cmd".into(), Json::Str("stats".into()))]),
             Request::Shutdown => Json::Obj(vec![("cmd".into(), Json::Str("shutdown".into()))]),
             Request::Snapshot => Json::Obj(vec![("cmd".into(), Json::Str("snapshot".into()))]),
+            Request::EstimateBatch { items, deadline_ms } => Json::Obj(vec![
+                ("cmd".into(), Json::Str("estimate_batch".into())),
+                (
+                    "deadline_ms".into(),
+                    deadline_ms.map_or(Json::Null, |d| Json::Num(d as f64)),
+                ),
+                (
+                    "items".into(),
+                    Json::Arr(
+                        items
+                            .iter()
+                            .map(|item| {
+                                let mut fields = vec![
+                                    ("slot".into(), Json::Num(item.slot_of_day as f64)),
+                                    ("obs".into(), obs_to_json(&item.observations)),
+                                ];
+                                if let Some(roads) = &item.roads {
+                                    fields.push((
+                                        "roads".into(),
+                                        Json::Arr(
+                                            roads.iter().map(|&r| Json::Num(r as f64)).collect(),
+                                        ),
+                                    ));
+                                }
+                                Json::Obj(fields)
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
         };
         json.encode().into_bytes()
     }
@@ -413,63 +636,88 @@ impl Request {
             .and_then(Json::as_str)
             .ok_or_else(|| (ErrorKind::BadRequest, "missing \"cmd\"".to_string()))?;
         let bad = |m: String| (ErrorKind::BadRequest, m);
+        let slot_of = |v: &Json| -> Result<usize, String> {
+            field(v, "slot")
+                .and_then(|s| s.as_u64().ok_or_else(|| "slot: expected integer".into()))
+                .map(|s| s as usize)
+        };
+        let obs_of = |v: &Json| -> Result<Vec<(u32, f64)>, String> {
+            field(v, "obs").and_then(|v| {
+                v.as_arr()
+                    .ok_or_else(|| "obs: expected array".to_string())?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair
+                            .as_arr()
+                            .ok_or_else(|| "obs: expected pairs".to_string())?;
+                        let (road, speed) = match pair {
+                            [r, s] => (r, s),
+                            _ => return Err("obs: expected [road, speed]".to_string()),
+                        };
+                        let road = road
+                            .as_u64()
+                            .filter(|&r| r <= u32::MAX as u64)
+                            .ok_or_else(|| "obs: bad road id".to_string())?;
+                        let speed =
+                            num_or_nan(speed).ok_or_else(|| "obs: bad speed".to_string())?;
+                        Ok((road as u32, speed))
+                    })
+                    .collect::<Result<Vec<_>, String>>()
+            })
+        };
+        let roads_of = |v: &Json| -> Result<Option<Vec<u32>>, String> {
+            match v.get("roads") {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => Ok(Some(
+                    v.as_arr()
+                        .ok_or_else(|| "roads: expected array".to_string())?
+                        .iter()
+                        .map(|r| {
+                            r.as_u64()
+                                .filter(|&r| r <= u32::MAX as u64)
+                                .map(|r| r as u32)
+                                .ok_or_else(|| "roads: bad road id".to_string())
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                )),
+            }
+        };
+        let deadline_of = |v: &Json| -> Result<Option<u64>, String> {
+            match v.get("deadline_ms") {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => {
+                    Ok(Some(v.as_u64().ok_or_else(|| {
+                        "deadline_ms: expected integer".to_string()
+                    })?))
+                }
+            }
+        };
         match cmd {
-            "estimate" => {
-                let slot = field(&json, "slot")
-                    .and_then(|v| v.as_u64().ok_or_else(|| "slot: expected integer".into()))
-                    .map_err(bad)?;
-                let obs = field(&json, "obs")
+            "estimate" => Ok(Request::Estimate {
+                slot_of_day: slot_of(&json).map_err(bad)?,
+                observations: obs_of(&json).map_err(bad)?,
+                deadline_ms: deadline_of(&json).map_err(bad)?,
+                roads: roads_of(&json).map_err(bad)?,
+            }),
+            "estimate_batch" => {
+                let items = field(&json, "items")
                     .and_then(|v| {
                         v.as_arr()
-                            .ok_or_else(|| "obs: expected array".to_string())?
+                            .ok_or_else(|| "items: expected array".to_string())?
                             .iter()
-                            .map(|pair| {
-                                let pair = pair
-                                    .as_arr()
-                                    .ok_or_else(|| "obs: expected pairs".to_string())?;
-                                let (road, speed) = match pair {
-                                    [r, s] => (r, s),
-                                    _ => return Err("obs: expected [road, speed]".to_string()),
-                                };
-                                let road = road
-                                    .as_u64()
-                                    .filter(|&r| r <= u32::MAX as u64)
-                                    .ok_or_else(|| "obs: bad road id".to_string())?;
-                                let speed = num_or_nan(speed)
-                                    .ok_or_else(|| "obs: bad speed".to_string())?;
-                                Ok((road as u32, speed))
+                            .map(|item| {
+                                Ok(BatchItem {
+                                    slot_of_day: slot_of(item)?,
+                                    observations: obs_of(item)?,
+                                    roads: roads_of(item)?,
+                                })
                             })
                             .collect::<Result<Vec<_>, String>>()
                     })
                     .map_err(bad)?;
-                let deadline_ms = match json.get("deadline_ms") {
-                    None | Some(Json::Null) => None,
-                    Some(v) => Some(
-                        v.as_u64()
-                            .ok_or_else(|| bad("deadline_ms: expected integer".into()))?,
-                    ),
-                };
-                let roads = match json.get("roads") {
-                    None | Some(Json::Null) => None,
-                    Some(v) => Some(
-                        v.as_arr()
-                            .ok_or_else(|| bad("roads: expected array".into()))?
-                            .iter()
-                            .map(|r| {
-                                r.as_u64()
-                                    .filter(|&r| r <= u32::MAX as u64)
-                                    .map(|r| r as u32)
-                                    .ok_or_else(|| "roads: bad road id".to_string())
-                            })
-                            .collect::<Result<Vec<_>, String>>()
-                            .map_err(bad)?,
-                    ),
-                };
-                Ok(Request::Estimate {
-                    slot_of_day: slot as usize,
-                    observations: obs,
-                    deadline_ms,
-                    roads,
+                Ok(Request::EstimateBatch {
+                    items,
+                    deadline_ms: deadline_of(&json).map_err(bad)?,
                 })
             }
             "ingest_day" => {
@@ -500,34 +748,17 @@ impl Response {
     pub fn encode(&self) -> Vec<u8> {
         let json = match self {
             Response::Estimate(reply) => {
-                let mut fields = vec![
-                    ("ok".into(), Json::Str("estimate".into())),
-                    ("epoch".into(), Json::Num(reply.epoch as f64)),
-                    ("speeds".into(), f64s_to_json(&reply.speeds)),
-                    ("p_up".into(), f64s_to_json(&reply.p_up)),
-                    (
-                        "trends".into(),
-                        Json::Arr(reply.trends.iter().map(|&t| Json::Bool(t)).collect()),
-                    ),
-                    (
-                        "ignored".into(),
-                        Json::Num(reply.ignored_observations as f64),
-                    ),
-                ];
-                if !reply.unavailable.is_empty() {
-                    fields.push((
-                        "unavailable".into(),
-                        Json::Arr(
-                            reply
-                                .unavailable
-                                .iter()
-                                .map(|&r| Json::Num(r as f64))
-                                .collect(),
-                        ),
-                    ));
-                }
+                let mut fields = vec![("ok".into(), Json::Str("estimate".into()))];
+                fields.extend(estimate_reply_fields(reply));
                 Json::Obj(fields)
             }
+            Response::Batch(items) => Json::Obj(vec![
+                ("ok".into(), Json::Str("estimate_batch".into())),
+                (
+                    "items".into(),
+                    Json::Arr(items.iter().map(batch_outcome_to_json).collect()),
+                ),
+            ]),
             Response::Ingested {
                 epoch,
                 days_ingested,
@@ -638,6 +869,18 @@ impl Response {
                         "rate_limited".into(),
                         Json::Num(stats.rate_limited_requests as f64),
                     ),
+                    (
+                        "open_connections".into(),
+                        Json::Num(stats.open_connections as f64),
+                    ),
+                    (
+                        "requests_json".into(),
+                        Json::Num(stats.requests_json as f64),
+                    ),
+                    (
+                        "requests_binary".into(),
+                        Json::Num(stats.requests_binary as f64),
+                    ),
                 ];
                 if let Some(shard) = &stats.shard {
                     fields.push((
@@ -713,31 +956,15 @@ impl Response {
             .and_then(Json::as_str)
             .ok_or("missing \"ok\"/\"err\"")?;
         match ok {
-            "estimate" => Ok(Response::Estimate(EstimateReply {
-                epoch: field(&json, "epoch")?
-                    .as_u64()
-                    .ok_or("epoch: bad integer")?,
-                speeds: json_to_f64s(field(&json, "speeds")?, "speeds")?,
-                p_up: json_to_f64s(field(&json, "p_up")?, "p_up")?,
-                trends: field(&json, "trends")?
+            "estimate" => Ok(Response::Estimate(json_to_estimate_reply(&json)?)),
+            "estimate_batch" => Ok(Response::Batch(
+                field(&json, "items")?
                     .as_arr()
-                    .ok_or("trends: expected array")?
+                    .ok_or("items: expected array")?
                     .iter()
-                    .map(|v| v.as_bool().ok_or("trends: expected bool".to_string()))
-                    .collect::<Result<Vec<_>, _>>()?,
-                ignored_observations: field(&json, "ignored")?
-                    .as_u64()
-                    .ok_or("ignored: bad integer")?,
-                unavailable: match json.get("unavailable") {
-                    None | Some(Json::Null) => Vec::new(),
-                    Some(v) => json_to_u64s(v, "unavailable")?
-                        .into_iter()
-                        .map(|r| {
-                            u32::try_from(r).map_err(|_| "unavailable: bad road id".to_string())
-                        })
-                        .collect::<Result<Vec<_>, _>>()?,
-                },
-            })),
+                    .map(json_to_batch_outcome)
+                    .collect::<Result<Vec<_>, String>>()?,
+            )),
             "ingest_day" => Ok(Response::Ingested {
                 epoch: field(&json, "epoch")?
                     .as_u64()
@@ -839,6 +1066,20 @@ impl Response {
                         None | Some(Json::Null) => 0,
                         Some(v) => v.as_u64().ok_or("rate_limited: bad integer")?,
                     },
+                    // The connection/codec family postdates the shard
+                    // fields; frames from older builds simply omit them.
+                    open_connections: match json.get("open_connections") {
+                        None | Some(Json::Null) => 0,
+                        Some(v) => v.as_u64().ok_or("open_connections: bad integer")?,
+                    },
+                    requests_json: match json.get("requests_json") {
+                        None | Some(Json::Null) => 0,
+                        Some(v) => v.as_u64().ok_or("requests_json: bad integer")?,
+                    },
+                    requests_binary: match json.get("requests_binary") {
+                        None | Some(Json::Null) => 0,
+                        Some(v) => v.as_u64().ok_or("requests_binary: bad integer")?,
+                    },
                     shard: match json.get("shard") {
                         None | Some(Json::Null) => None,
                         Some(s) => Some(ShardIdentity {
@@ -911,6 +1152,596 @@ impl Response {
     }
 }
 
+// ---------------------------------------------------------------------
+// Binary codec (version-2 frames)
+// ---------------------------------------------------------------------
+//
+// Layout: a leading tag byte, then the variant's fields in declaration
+// order. Integers are little-endian fixed width, `f64`s travel as raw
+// IEEE-754 bits (bit-identity is structural, not a formatting
+// property), strings and vectors carry a `u32` element count, and an
+// `Option` is one presence byte followed by the value when present.
+// Every element count is validated against the remaining payload
+// before allocation, so a hostile count fails as a decode error
+// instead of an allocation.
+
+const BREQ_ESTIMATE: u8 = 1;
+const BREQ_INGEST_DAY: u8 = 2;
+const BREQ_STATS: u8 = 3;
+const BREQ_SHUTDOWN: u8 = 4;
+const BREQ_SNAPSHOT: u8 = 5;
+const BREQ_ESTIMATE_BATCH: u8 = 6;
+
+const BRESP_ESTIMATE: u8 = 1;
+const BRESP_INGESTED: u8 = 2;
+const BRESP_STATS: u8 = 3;
+const BRESP_SNAPSHOTTED: u8 = 4;
+const BRESP_SHUTTING_DOWN: u8 = 5;
+const BRESP_ERROR: u8 = 6;
+const BRESP_BATCH: u8 = 7;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(v as u8);
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => buf.push(0),
+        Some(v) => {
+            buf.push(1);
+            put_u64(buf, v);
+        }
+    }
+}
+
+fn put_u32s(buf: &mut Vec<u8>, v: &[u32]) {
+    put_u32(buf, v.len() as u32);
+    for &x in v {
+        put_u32(buf, x);
+    }
+}
+
+fn put_f64s(buf: &mut Vec<u8>, v: &[f64]) {
+    put_u32(buf, v.len() as u32);
+    for &x in v {
+        put_f64(buf, x);
+    }
+}
+
+fn put_u64s(buf: &mut Vec<u8>, v: &[u64]) {
+    put_u32(buf, v.len() as u32);
+    for &x in v {
+        put_u64(buf, x);
+    }
+}
+
+fn put_bools(buf: &mut Vec<u8>, v: &[bool]) {
+    put_u32(buf, v.len() as u32);
+    for &x in v {
+        put_bool(buf, x);
+    }
+}
+
+fn put_opt_u32s(buf: &mut Vec<u8>, v: Option<&[u32]>) {
+    match v {
+        None => buf.push(0),
+        Some(v) => {
+            buf.push(1);
+            put_u32s(buf, v);
+        }
+    }
+}
+
+fn put_obs(buf: &mut Vec<u8>, obs: &[(u32, f64)]) {
+    put_u32(buf, obs.len() as u32);
+    for &(road, speed) in obs {
+        put_u32(buf, road);
+        put_f64(buf, speed);
+    }
+}
+
+fn put_named_u64s(buf: &mut Vec<u8>, v: &[(String, u64)]) {
+    put_u32(buf, v.len() as u32);
+    for (name, count) in v {
+        put_str(buf, name);
+        put_u64(buf, *count);
+    }
+}
+
+/// Bounds-checked reader over a binary payload.
+struct BinReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BinReader<'a> {
+    fn new(buf: &'a [u8]) -> BinReader<'a> {
+        BinReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err("payload truncated".to_string());
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(format!("bad bool byte {b}")),
+        }
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let n = self.len(1)?;
+        std::str::from_utf8(self.take(n)?)
+            .map(str::to_string)
+            .map_err(|_| "string is not utf-8".to_string())
+    }
+
+    /// Reads an element count, refusing counts that could not possibly
+    /// fit in the remaining bytes at `min_elem_size` bytes each.
+    fn len(&mut self, min_elem_size: usize) -> Result<usize, String> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_size) > self.buf.len() - self.pos {
+            return Err("payload truncated".to_string());
+        }
+        Ok(n)
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, String> {
+        Ok(if self.bool()? {
+            Some(self.u64()?)
+        } else {
+            None
+        })
+    }
+
+    fn u32s(&mut self) -> Result<Vec<u32>, String> {
+        let n = self.len(4)?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, String> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn u64s(&mut self) -> Result<Vec<u64>, String> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn bools(&mut self) -> Result<Vec<bool>, String> {
+        let n = self.len(1)?;
+        (0..n).map(|_| self.bool()).collect()
+    }
+
+    fn opt_u32s(&mut self) -> Result<Option<Vec<u32>>, String> {
+        Ok(if self.bool()? {
+            Some(self.u32s()?)
+        } else {
+            None
+        })
+    }
+
+    fn obs(&mut self) -> Result<Vec<(u32, f64)>, String> {
+        let n = self.len(12)?;
+        (0..n).map(|_| Ok((self.u32()?, self.f64()?))).collect()
+    }
+
+    fn named_u64s(&mut self) -> Result<Vec<(String, u64)>, String> {
+        let n = self.len(12)?;
+        (0..n).map(|_| Ok((self.str()?, self.u64()?))).collect()
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err("trailing bytes after payload".to_string())
+        }
+    }
+}
+
+impl Request {
+    /// Encodes to the payload codec selected by `codec` (no frame
+    /// header).
+    pub fn encode_with(&self, codec: Codec) -> Vec<u8> {
+        match codec {
+            Codec::Json => self.encode(),
+            Codec::Binary => self.encode_binary(),
+        }
+    }
+
+    /// Encodes to a version-2 binary payload (no frame header).
+    pub fn encode_binary(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            Request::Estimate {
+                slot_of_day,
+                observations,
+                deadline_ms,
+                roads,
+            } => {
+                buf.push(BREQ_ESTIMATE);
+                put_u64(&mut buf, *slot_of_day as u64);
+                put_obs(&mut buf, observations);
+                put_opt_u64(&mut buf, *deadline_ms);
+                put_opt_u32s(&mut buf, roads.as_deref());
+            }
+            Request::IngestDay { rows } => {
+                buf.push(BREQ_INGEST_DAY);
+                put_u32(&mut buf, rows.len() as u32);
+                for row in rows {
+                    put_f64s(&mut buf, row);
+                }
+            }
+            Request::Stats => buf.push(BREQ_STATS),
+            Request::Shutdown => buf.push(BREQ_SHUTDOWN),
+            Request::Snapshot => buf.push(BREQ_SNAPSHOT),
+            Request::EstimateBatch { items, deadline_ms } => {
+                buf.push(BREQ_ESTIMATE_BATCH);
+                put_opt_u64(&mut buf, *deadline_ms);
+                put_u32(&mut buf, items.len() as u32);
+                for item in items {
+                    put_u64(&mut buf, item.slot_of_day as u64);
+                    put_obs(&mut buf, &item.observations);
+                    put_opt_u32s(&mut buf, item.roads.as_deref());
+                }
+            }
+        }
+        buf
+    }
+
+    /// Decodes a version-2 binary payload, with the same typed-error
+    /// contract as [`Request::decode`]: an unknown tag is
+    /// [`ErrorKind::UnknownCommand`], anything else malformed is
+    /// [`ErrorKind::BadRequest`] — in both cases the connection
+    /// survives (framing stays intact).
+    pub fn decode_binary(payload: &[u8]) -> Result<Request, (ErrorKind, String)> {
+        fn body(r: &mut BinReader, tag: u8) -> Result<Option<Request>, String> {
+            Ok(Some(match tag {
+                BREQ_ESTIMATE => Request::Estimate {
+                    slot_of_day: r.u64()? as usize,
+                    observations: r.obs()?,
+                    deadline_ms: r.opt_u64()?,
+                    roads: r.opt_u32s()?,
+                },
+                BREQ_INGEST_DAY => {
+                    let n = r.len(4)?;
+                    let mut rows = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        rows.push(r.f64s()?);
+                    }
+                    Request::IngestDay { rows }
+                }
+                BREQ_STATS => Request::Stats,
+                BREQ_SHUTDOWN => Request::Shutdown,
+                BREQ_SNAPSHOT => Request::Snapshot,
+                BREQ_ESTIMATE_BATCH => {
+                    let deadline_ms = r.opt_u64()?;
+                    let n = r.len(13)?;
+                    let mut items = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        items.push(BatchItem {
+                            slot_of_day: r.u64()? as usize,
+                            observations: r.obs()?,
+                            roads: r.opt_u32s()?,
+                        });
+                    }
+                    Request::EstimateBatch { items, deadline_ms }
+                }
+                _ => return Ok(None),
+            }))
+        }
+        let bad = |m: String| (ErrorKind::BadRequest, format!("binary: {m}"));
+        let mut r = BinReader::new(payload);
+        let tag = r.u8().map_err(bad)?;
+        match body(&mut r, tag).map_err(bad)? {
+            Some(request) => {
+                r.finish().map_err(bad)?;
+                Ok(request)
+            }
+            None => Err((
+                ErrorKind::UnknownCommand,
+                format!("unknown binary command tag {tag}"),
+            )),
+        }
+    }
+}
+
+fn put_estimate_reply(buf: &mut Vec<u8>, reply: &EstimateReply) {
+    put_u64(buf, reply.epoch);
+    put_f64s(buf, &reply.speeds);
+    put_f64s(buf, &reply.p_up);
+    put_bools(buf, &reply.trends);
+    put_u64(buf, reply.ignored_observations);
+    put_u32s(buf, &reply.unavailable);
+}
+
+fn read_estimate_reply(r: &mut BinReader) -> Result<EstimateReply, String> {
+    Ok(EstimateReply {
+        epoch: r.u64()?,
+        speeds: r.f64s()?,
+        p_up: r.f64s()?,
+        trends: r.bools()?,
+        ignored_observations: r.u64()?,
+        unavailable: r.u32s()?,
+    })
+}
+
+fn put_error(buf: &mut Vec<u8>, kind: ErrorKind, message: &str) {
+    put_str(buf, kind.name());
+    put_str(buf, message);
+}
+
+fn read_error(r: &mut BinReader) -> Result<(ErrorKind, String), String> {
+    let name = r.str()?;
+    let kind = ErrorKind::from_name(&name).ok_or_else(|| format!("unknown error kind {name:?}"))?;
+    Ok((kind, r.str()?))
+}
+
+fn put_stats(buf: &mut Vec<u8>, stats: &StatsReply) {
+    put_u64(buf, stats.epoch);
+    put_u64(buf, stats.uptime_ms);
+    put_u64(buf, stats.days_ingested);
+    put_u32(buf, stats.commands.len() as u32);
+    for (name, c) in &stats.commands {
+        put_str(buf, name);
+        put_u64(buf, c.received);
+        put_u64(buf, c.ok);
+        put_u64(buf, c.errors);
+    }
+    put_u64(buf, stats.rejected_overload);
+    put_u64(buf, stats.rejected_deadline);
+    put_u64(buf, stats.rejected_connections);
+    put_u64(buf, stats.worker_panics);
+    put_u64(buf, stats.retrain_failures);
+    put_named_u64s(buf, &stats.retrains);
+    put_u64(buf, stats.retrain_edges_changed);
+    put_u64(buf, stats.retrain_rows_folded);
+    put_u64(buf, stats.retrain_incremental_ms);
+    put_u64(buf, stats.snapshot_writes);
+    put_u64(buf, stats.snapshot_write_failures);
+    put_u64(buf, stats.snapshot_resumed);
+    put_named_u64s(buf, &stats.snapshot_rejects);
+    put_u64(buf, stats.ignored_observations);
+    put_u64s(buf, &stats.latency_counts);
+    put_u64(buf, stats.rate_limited_requests);
+    put_u64(buf, stats.open_connections);
+    put_u64(buf, stats.requests_json);
+    put_u64(buf, stats.requests_binary);
+    match &stats.shard {
+        None => buf.push(0),
+        Some(s) => {
+            buf.push(1);
+            put_u32(buf, s.index);
+            put_u32(buf, s.count);
+            put_u64(buf, s.owned_roads);
+            // The full 64 bits travel verbatim — no hex detour like
+            // the JSON codec needs.
+            put_u64(buf, s.fingerprint);
+        }
+    }
+    put_u32(buf, stats.shards.len() as u32);
+    for h in &stats.shards {
+        put_u32(buf, h.shard);
+        put_bool(buf, h.up);
+        put_bool(buf, h.plan_ok);
+        put_u64(buf, h.epoch);
+        put_u64(buf, h.days_ingested);
+        put_u64(buf, h.restarts);
+        put_u64(buf, h.owned_roads);
+    }
+}
+
+fn read_stats(r: &mut BinReader) -> Result<StatsReply, String> {
+    Ok(StatsReply {
+        epoch: r.u64()?,
+        uptime_ms: r.u64()?,
+        days_ingested: r.u64()?,
+        commands: {
+            let n = r.len(28)?;
+            (0..n)
+                .map(|_| {
+                    Ok((
+                        r.str()?,
+                        CommandStats {
+                            received: r.u64()?,
+                            ok: r.u64()?,
+                            errors: r.u64()?,
+                        },
+                    ))
+                })
+                .collect::<Result<Vec<_>, String>>()?
+        },
+        rejected_overload: r.u64()?,
+        rejected_deadline: r.u64()?,
+        rejected_connections: r.u64()?,
+        worker_panics: r.u64()?,
+        retrain_failures: r.u64()?,
+        retrains: r.named_u64s()?,
+        retrain_edges_changed: r.u64()?,
+        retrain_rows_folded: r.u64()?,
+        retrain_incremental_ms: r.u64()?,
+        snapshot_writes: r.u64()?,
+        snapshot_write_failures: r.u64()?,
+        snapshot_resumed: r.u64()?,
+        snapshot_rejects: r.named_u64s()?,
+        ignored_observations: r.u64()?,
+        latency_counts: r.u64s()?,
+        rate_limited_requests: r.u64()?,
+        open_connections: r.u64()?,
+        requests_json: r.u64()?,
+        requests_binary: r.u64()?,
+        shard: if r.bool()? {
+            Some(ShardIdentity {
+                index: r.u32()?,
+                count: r.u32()?,
+                owned_roads: r.u64()?,
+                fingerprint: r.u64()?,
+            })
+        } else {
+            None
+        },
+        shards: {
+            let n = r.len(30)?;
+            (0..n)
+                .map(|_| {
+                    Ok(ShardHealth {
+                        shard: r.u32()?,
+                        up: r.bool()?,
+                        plan_ok: r.bool()?,
+                        epoch: r.u64()?,
+                        days_ingested: r.u64()?,
+                        restarts: r.u64()?,
+                        owned_roads: r.u64()?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?
+        },
+    })
+}
+
+impl Response {
+    /// Encodes to the payload codec selected by `codec` (no frame
+    /// header).
+    pub fn encode_with(&self, codec: Codec) -> Vec<u8> {
+        match codec {
+            Codec::Json => self.encode(),
+            Codec::Binary => self.encode_binary(),
+        }
+    }
+
+    /// Encodes to a version-2 binary payload (no frame header).
+    pub fn encode_binary(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        match self {
+            Response::Estimate(reply) => {
+                buf.push(BRESP_ESTIMATE);
+                put_estimate_reply(&mut buf, reply);
+            }
+            Response::Ingested {
+                epoch,
+                days_ingested,
+            } => {
+                buf.push(BRESP_INGESTED);
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *days_ingested);
+            }
+            Response::Stats(stats) => {
+                buf.push(BRESP_STATS);
+                put_stats(&mut buf, stats);
+            }
+            Response::Snapshotted { epoch, path } => {
+                buf.push(BRESP_SNAPSHOTTED);
+                put_u64(&mut buf, *epoch);
+                put_str(&mut buf, path);
+            }
+            Response::ShuttingDown => buf.push(BRESP_SHUTTING_DOWN),
+            Response::Error { kind, message } => {
+                buf.push(BRESP_ERROR);
+                put_error(&mut buf, *kind, message);
+            }
+            Response::Batch(items) => {
+                buf.push(BRESP_BATCH);
+                put_u32(&mut buf, items.len() as u32);
+                for item in items {
+                    match item {
+                        BatchOutcome::Estimate(reply) => {
+                            buf.push(BRESP_ESTIMATE);
+                            put_estimate_reply(&mut buf, reply);
+                        }
+                        BatchOutcome::Error { kind, message } => {
+                            buf.push(BRESP_ERROR);
+                            put_error(&mut buf, *kind, message);
+                        }
+                    }
+                }
+            }
+        }
+        buf
+    }
+
+    /// Decodes a version-2 binary payload.
+    pub fn decode_binary(payload: &[u8]) -> Result<Response, String> {
+        let mut r = BinReader::new(payload);
+        let response = match r.u8()? {
+            BRESP_ESTIMATE => Response::Estimate(read_estimate_reply(&mut r)?),
+            BRESP_INGESTED => Response::Ingested {
+                epoch: r.u64()?,
+                days_ingested: r.u64()?,
+            },
+            BRESP_STATS => Response::Stats(read_stats(&mut r)?),
+            BRESP_SNAPSHOTTED => Response::Snapshotted {
+                epoch: r.u64()?,
+                path: r.str()?,
+            },
+            BRESP_SHUTTING_DOWN => Response::ShuttingDown,
+            BRESP_ERROR => {
+                let (kind, message) = read_error(&mut r)?;
+                Response::Error { kind, message }
+            }
+            BRESP_BATCH => {
+                let n = r.len(1)?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(match r.u8()? {
+                        BRESP_ESTIMATE => BatchOutcome::Estimate(read_estimate_reply(&mut r)?),
+                        BRESP_ERROR => {
+                            let (kind, message) = read_error(&mut r)?;
+                            BatchOutcome::Error { kind, message }
+                        }
+                        other => return Err(format!("bad batch item tag {other}")),
+                    });
+                }
+                Response::Batch(items)
+            }
+            other => return Err(format!("unknown binary response tag {other}")),
+        };
+        r.finish()?;
+        Ok(response)
+    }
+}
+
 /// Framing-layer failures (before a payload can be interpreted).
 #[derive(Debug)]
 pub enum WireError {
@@ -961,13 +1792,31 @@ impl From<std::io::Error> for WireError {
     }
 }
 
-/// Writes one frame: `[len u32 BE][version u8][payload]`.
+/// Writes one JSON-codec frame: `[len u32 BE][version u8][payload]`.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    let len = (payload.len() + 1) as u32;
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(&[PROTOCOL_VERSION])?;
-    w.write_all(payload)?;
+    write_frame_with_version(w, PROTOCOL_VERSION, payload)
+}
+
+/// [`write_frame`] with an explicit version byte — the binary codec
+/// stamps [`BINARY_PROTOCOL_VERSION`] into the header.
+pub fn write_frame_with_version(
+    w: &mut impl Write,
+    version: u8,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    w.write_all(&frame_bytes(version, payload))?;
     w.flush()
+}
+
+/// Assembles one frame into an owned buffer — what the event loop
+/// queues on a connection's write buffer (one allocation, one
+/// `write(2)` per reply in the common case).
+pub fn frame_bytes(version: u8, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(5 + payload.len());
+    frame.extend_from_slice(&((payload.len() + 1) as u32).to_be_bytes());
+    frame.push(version);
+    frame.extend_from_slice(payload);
+    frame
 }
 
 /// Per-frame read deadline, measured from the **first byte** of the
@@ -1219,9 +2068,8 @@ mod tests {
         assert_eq!(kind, ErrorKind::BadRequest);
     }
 
-    #[test]
-    fn request_variants_roundtrip() {
-        let reqs = [
+    fn sample_requests() -> Vec<Request> {
+        vec![
             Request::Estimate {
                 slot_of_day: 17,
                 observations: vec![(3, 42.5), (9, 31.25)],
@@ -1246,9 +2094,39 @@ mod tests {
             Request::Stats,
             Request::Shutdown,
             Request::Snapshot,
-        ];
-        for req in reqs {
+            Request::EstimateBatch {
+                items: vec![
+                    BatchItem {
+                        slot_of_day: 3,
+                        observations: vec![(0, 25.5), (8, 40.0)],
+                        roads: None,
+                    },
+                    BatchItem {
+                        slot_of_day: 9,
+                        observations: vec![],
+                        roads: Some(vec![4, 1]),
+                    },
+                ],
+                deadline_ms: Some(500),
+            },
+            Request::EstimateBatch {
+                items: vec![],
+                deadline_ms: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn request_variants_roundtrip() {
+        for req in sample_requests() {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn request_variants_roundtrip_binary() {
+        for req in sample_requests() {
+            assert_eq!(Request::decode_binary(&req.encode_binary()).unwrap(), req);
         }
     }
 
@@ -1265,9 +2143,8 @@ mod tests {
         assert!(rows[0][1].is_nan());
     }
 
-    #[test]
-    fn response_variants_roundtrip() {
-        let resps = [
+    fn sample_responses() -> Vec<Response> {
+        vec![
             Response::Estimate(EstimateReply {
                 epoch: 3,
                 speeds: vec![31.5, 20.25],
@@ -1323,6 +2200,9 @@ mod tests {
                 ignored_observations: 6,
                 latency_counts: vec![0; LATENCY_BUCKET_BOUNDS_US.len() + 1],
                 rate_limited_requests: 3,
+                open_connections: 12,
+                requests_json: 40,
+                requests_binary: 17,
                 shard: Some(ShardIdentity {
                     index: 1,
                     count: 4,
@@ -1360,9 +2240,70 @@ mod tests {
                 kind: ErrorKind::Overloaded,
                 message: "queue full".into(),
             },
-        ];
-        for resp in resps {
-            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+            Response::Batch(vec![
+                BatchOutcome::Estimate(EstimateReply {
+                    epoch: 3,
+                    speeds: vec![28.75, f64::NAN],
+                    p_up: vec![0.5, 0.25],
+                    trends: vec![false, true],
+                    ignored_observations: 1,
+                    unavailable: vec![5],
+                }),
+                BatchOutcome::Error {
+                    kind: ErrorKind::BadRequest,
+                    message: "road 99 outside the graph".into(),
+                },
+            ]),
+            Response::Batch(vec![]),
+        ]
+    }
+
+    /// Bit-level equality: NaNs compare equal by bits, not by `==`.
+    fn replies_bit_equal(a: &EstimateReply, b: &EstimateReply) -> bool {
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        a.epoch == b.epoch
+            && bits(&a.speeds) == bits(&b.speeds)
+            && bits(&a.p_up) == bits(&b.p_up)
+            && a.trends == b.trends
+            && a.ignored_observations == b.ignored_observations
+            && a.unavailable == b.unavailable
+    }
+
+    fn responses_bit_equal(a: &Response, b: &Response) -> bool {
+        match (a, b) {
+            (Response::Estimate(a), Response::Estimate(b)) => replies_bit_equal(a, b),
+            (Response::Batch(a), Response::Batch(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| match (x, y) {
+                        (BatchOutcome::Estimate(x), BatchOutcome::Estimate(y)) => {
+                            replies_bit_equal(x, y)
+                        }
+                        _ => x == y,
+                    })
+            }
+            _ => a == b,
+        }
+    }
+
+    #[test]
+    fn response_variants_roundtrip() {
+        for resp in sample_responses() {
+            let decoded = Response::decode(&resp.encode()).unwrap();
+            assert!(
+                responses_bit_equal(&decoded, &resp),
+                "json roundtrip changed {resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn response_variants_roundtrip_binary() {
+        for resp in sample_responses() {
+            let decoded = Response::decode_binary(&resp.encode_binary()).unwrap();
+            assert!(
+                responses_bit_equal(&decoded, &resp),
+                "binary roundtrip changed {resp:?}"
+            );
         }
     }
 
@@ -1392,5 +2333,105 @@ mod tests {
             panic!("wrong variant");
         };
         assert!(reply.unavailable.is_empty());
+    }
+
+    #[test]
+    fn binary_frame_roundtrip_carries_version_two() {
+        let payload = Request::Stats.encode_binary();
+        let mut buf = Vec::new();
+        write_frame_with_version(&mut buf, BINARY_PROTOCOL_VERSION, &payload).unwrap();
+        assert_eq!(buf, frame_bytes(BINARY_PROTOCOL_VERSION, &payload));
+        let mut cursor = Cursor::new(buf);
+        let (ver, read) = read_frame(&mut cursor, 1024, &NO_ABORT).unwrap();
+        assert_eq!(ver, BINARY_PROTOCOL_VERSION);
+        assert_eq!(read, payload);
+    }
+
+    #[test]
+    fn codec_maps_versions_both_ways() {
+        assert_eq!(Codec::Json.version(), PROTOCOL_VERSION);
+        assert_eq!(Codec::Binary.version(), BINARY_PROTOCOL_VERSION);
+        assert_eq!(Codec::from_version(1), Some(Codec::Json));
+        assert_eq!(Codec::from_version(2), Some(Codec::Binary));
+        assert_eq!(Codec::from_version(42), None);
+    }
+
+    #[test]
+    fn malformed_binary_request_decodes_to_typed_error() {
+        // Unknown tag: the binary twin of `{"cmd":"frobnicate"}`.
+        let (kind, _) = Request::decode_binary(&[200]).unwrap_err();
+        assert_eq!(kind, ErrorKind::UnknownCommand);
+        // Empty payload.
+        let (kind, _) = Request::decode_binary(&[]).unwrap_err();
+        assert_eq!(kind, ErrorKind::BadRequest);
+        // Truncated mid-field.
+        let mut good = Request::Estimate {
+            slot_of_day: 3,
+            observations: vec![(1, 20.5)],
+            deadline_ms: None,
+            roads: None,
+        }
+        .encode_binary();
+        good.truncate(good.len() - 2);
+        let (kind, msg) = Request::decode_binary(&good).unwrap_err();
+        assert_eq!(kind, ErrorKind::BadRequest);
+        assert!(msg.contains("binary"), "message names the codec: {msg}");
+        // Trailing garbage after a complete request.
+        let mut padded = Request::Stats.encode_binary();
+        padded.push(0);
+        let (kind, _) = Request::decode_binary(&padded).unwrap_err();
+        assert_eq!(kind, ErrorKind::BadRequest);
+        // A hostile element count fails the bounds check instead of
+        // attempting a 4 GiB allocation.
+        let mut hostile = vec![BREQ_ESTIMATE];
+        hostile.extend_from_slice(&3u64.to_le_bytes());
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        let (kind, _) = Request::decode_binary(&hostile).unwrap_err();
+        assert_eq!(kind, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn malformed_binary_response_is_an_error() {
+        assert!(Response::decode_binary(&[99]).is_err());
+        assert!(Response::decode_binary(&[]).is_err());
+        let mut good = Response::ShuttingDown.encode_binary();
+        good.push(7);
+        assert!(Response::decode_binary(&good).is_err());
+        // A bad bool byte inside a stats reply is caught, not folded.
+        let mut truncated = Response::Ingested {
+            epoch: 3,
+            days_ingested: 8,
+        }
+        .encode_binary();
+        truncated.truncate(truncated.len() - 1);
+        assert!(Response::decode_binary(&truncated).is_err());
+    }
+
+    #[test]
+    fn binary_floats_travel_bit_verbatim() {
+        // Denormals, negative zero, infinities, and a non-canonical
+        // NaN payload: the binary codec must not normalise any of them.
+        let specials = [
+            f64::MIN_POSITIVE / 2.0,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::from_bits(0x7ff8_dead_beef_0001),
+        ];
+        let reply = EstimateReply {
+            epoch: 1,
+            speeds: specials.to_vec(),
+            p_up: vec![],
+            trends: vec![],
+            ignored_observations: 0,
+            unavailable: vec![],
+        };
+        let decoded = Response::decode_binary(&Response::Estimate(reply.clone()).encode_binary());
+        let Ok(Response::Estimate(out)) = decoded else {
+            panic!("wrong variant");
+        };
+        for (a, b) in reply.speeds.iter().zip(&out.speeds) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

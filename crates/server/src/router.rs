@@ -17,6 +17,13 @@
 //! per-shard replies by road id reproduces the unsharded daemon's reply
 //! byte for byte — the `router` integration suite pins this.
 //!
+//! Estimate scatters are pipelined: the router writes the request to
+//! every involved shard link first, then collects replies in shard
+//! order (one in-flight request per link), so fan-out latency is the
+//! slowest shard's, not the sum. Clients may speak either codec; the
+//! router answers each request in the codec it arrived in, and its
+//! shard links speak [`RouterConfig::shard_client`]'s codec.
+//!
 //! # Degradation
 //!
 //! A shard the router cannot reach degrades by request shape:
@@ -28,12 +35,13 @@
 //! the fleet supervisor (when present) restarts dead workers, so
 //! `shard_unavailable` is always retryable.
 
-use crate::daemon::{drain, error_response, respond};
+use crate::daemon::{drain, error_response, respond, respond_with};
 use crate::fleet::FleetStatus;
 use crate::metrics::{Command, Metrics};
 use crate::protocol::{
-    read_frame_with_deadline, ErrorKind, EstimateReply, Request, Response, ShardHealth, WireError,
-    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    read_frame_with_deadline, BatchItem, BatchOutcome, Codec, ErrorKind, EstimateReply, Request,
+    Response, ShardHealth, WireError, BINARY_PROTOCOL_VERSION, DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
 };
 use crate::{Client, ClientConfig, ServerError};
 use crowdspeed::shard::ShardPlan;
@@ -293,23 +301,30 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<RouterShared>) {
             }
             Err(_) => return,
         };
-        if version != PROTOCOL_VERSION {
+        let Some(codec) = Codec::from_version(version) else {
             let survived = respond(
                 &mut stream,
                 &error_response(
                     ErrorKind::UnsupportedVersion,
-                    format!("speak version {PROTOCOL_VERSION}, got {version}"),
+                    format!(
+                        "speak version {PROTOCOL_VERSION} or {BINARY_PROTOCOL_VERSION}, \
+                         got {version}"
+                    ),
                 ),
             );
             if survived {
                 continue;
             }
             return;
-        }
-        let request = match Request::decode(&payload) {
+        };
+        let decoded = match codec {
+            Codec::Json => Request::decode(&payload),
+            Codec::Binary => Request::decode_binary(&payload),
+        };
+        let request = match decoded {
             Ok(request) => request,
             Err((kind, message)) => {
-                if respond(&mut stream, &error_response(kind, message)) {
+                if respond_with(&mut stream, codec, &error_response(kind, message)) {
                     continue;
                 }
                 return;
@@ -317,12 +332,14 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<RouterShared>) {
         };
         let command = match &request {
             Request::Estimate { .. } => Command::Estimate,
+            Request::EstimateBatch { .. } => Command::EstimateBatch,
             Request::IngestDay { .. } => Command::IngestDay,
             Request::Stats => Command::Stats,
             Request::Shutdown => Command::Shutdown,
             Request::Snapshot => Command::Snapshot,
         };
         shared.metrics.received(command);
+        shared.metrics.codec_request(codec);
         let response = match request {
             Request::Estimate {
                 slot_of_day,
@@ -337,6 +354,9 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<RouterShared>) {
                 deadline_ms,
                 roads,
             ),
+            Request::EstimateBatch { items, deadline_ms } => {
+                route_batch(&shared, &mut links, items, deadline_ms)
+            }
             Request::IngestDay { rows } => route_ingest(&shared, &mut links, rows),
             Request::Stats => route_stats(&shared, &mut links),
             Request::Snapshot => route_snapshot(&shared, &mut links),
@@ -356,7 +376,7 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<RouterShared>) {
             Response::Error { .. } => shared.metrics.error(command),
             _ => shared.metrics.ok(command),
         }
-        let survived = respond(&mut stream, &response);
+        let survived = respond_with(&mut stream, codec, &response);
         if matches!(response, Response::ShuttingDown) {
             shared.shutdown.store(true, Ordering::SeqCst);
             return;
@@ -381,6 +401,66 @@ fn shard_down(shard: usize) -> Response {
         ErrorKind::ShardUnavailable,
         format!("shard {shard} is unreachable; the fleet supervisor restarts dead workers"),
     )
+}
+
+/// The transport error standing in for "could not even dial the
+/// shard"; [`is_transport`] treats it like any other dead link.
+fn link_down() -> ServerError {
+    ServerError::Io(std::io::Error::new(
+        std::io::ErrorKind::NotConnected,
+        "shard link unavailable",
+    ))
+}
+
+/// Pipelined estimate fan-out: writes `make(shard)` to every shard in
+/// `targets` first (one in-flight request per link), then collects
+/// replies in shard order — fan-out latency is the slowest shard's,
+/// not the sum. Replies already in flight are always collected, even
+/// after another link has failed, so the strict request/response
+/// framing per link stays in sync. Links are poisoned on every
+/// failure except a typed remote error (which a healthy, in-sync
+/// worker produced). Results come back sorted by shard index.
+fn scatter_estimates(
+    shared: &Arc<RouterShared>,
+    links: &mut ShardLinks,
+    targets: &[usize],
+    mut make: impl FnMut(usize) -> Request,
+) -> Vec<(usize, Result<EstimateReply, ServerError>)> {
+    let mut outcomes: Vec<(usize, Result<EstimateReply, ServerError>)> =
+        Vec::with_capacity(targets.len());
+    let mut sent: Vec<usize> = Vec::with_capacity(targets.len());
+    for &shard in targets {
+        match links.get(&shared.config, shard) {
+            Some(client) => match client.send(&make(shard)) {
+                Ok(()) => sent.push(shard),
+                Err(e) => {
+                    links.poison(shard);
+                    outcomes.push((shard, Err(e)));
+                }
+            },
+            None => outcomes.push((shard, Err(link_down()))),
+        }
+    }
+    for shard in sent {
+        let raw = match links.clients[shard].as_mut() {
+            Some(client) => client.recv(),
+            None => Err(link_down()),
+        };
+        let result = match raw {
+            Ok(Response::Estimate(reply)) => Ok(reply),
+            Ok(Response::Error { kind, message }) => Err(ServerError::Remote { kind, message }),
+            Ok(other) => Err(ServerError::UnexpectedResponse(format!(
+                "mismatched response: {other:?}"
+            ))),
+            Err(e) => Err(e),
+        };
+        if matches!(&result, Err(e) if !matches!(e, ServerError::Remote { .. })) {
+            links.poison(shard);
+        }
+        outcomes.push((shard, result));
+    }
+    outcomes.sort_by_key(|&(shard, _)| shard);
+    outcomes
 }
 
 /// Scatter an estimate and reassemble the reply.
@@ -408,17 +488,20 @@ fn route_estimate(
             let mut trends = vec![false; n];
             let mut epoch = 0u64;
             let mut ignored = 0u64;
-            for shard in 0..shards {
+            let targets: Vec<usize> = (0..shards)
+                .filter(|&shard| !plan.owned_roads(shard).is_empty())
+                .collect();
+            // No filter on the wire: each worker serves all roads it
+            // owns, ascending — same order as `plan.owned_roads`.
+            let replies = scatter_estimates(shared, links, &targets, |_| Request::Estimate {
+                slot_of_day,
+                observations: observations.clone(),
+                deadline_ms,
+                roads: None,
+            });
+            for (shard, result) in replies {
                 let owned = plan.owned_roads(shard);
-                if owned.is_empty() {
-                    continue;
-                }
-                let Some(client) = links.get(&shared.config, shard) else {
-                    return shard_down(shard);
-                };
-                // No filter on the wire: the worker serves all roads
-                // it owns, ascending — same order as `owned`.
-                match client.estimate_roads(slot_of_day, observations.clone(), deadline_ms, None) {
+                match result {
                     Ok(reply) => {
                         if reply.speeds.len() != owned.len() {
                             links.poison(shard);
@@ -447,14 +530,8 @@ fn route_estimate(
                     Err(ServerError::Remote { kind, message }) => {
                         return error_response(kind, message)
                     }
-                    Err(e) if is_transport(&e) => {
-                        links.poison(shard);
-                        return shard_down(shard);
-                    }
-                    Err(e) => {
-                        links.poison(shard);
-                        return error_response(ErrorKind::Internal, e.to_string());
-                    }
+                    Err(e) if is_transport(&e) => return shard_down(shard),
+                    Err(e) => return error_response(ErrorKind::Internal, e.to_string()),
                 }
             }
             Response::Estimate(EstimateReply {
@@ -495,42 +572,24 @@ fn route_estimate(
             let mut ignored = 0u64;
             let mut unavailable: Vec<u32> = Vec::new();
             let mut any_ok = filter.is_empty();
-            for (shard, group) in groups.iter().enumerate() {
-                if group.is_empty() {
-                    continue;
-                }
-                let member_roads: Vec<u32> = group.iter().map(|&p| filter[p]).collect();
-                let reply = match links.get(&shared.config, shard) {
-                    None => None,
-                    Some(client) => match client.estimate_roads(
-                        slot_of_day,
-                        observations.clone(),
-                        deadline_ms,
-                        Some(member_roads.clone()),
-                    ) {
-                        Ok(reply) if reply.speeds.len() == member_roads.len() => Some(reply),
-                        Ok(_) => {
-                            links.poison(shard);
-                            return error_response(
-                                ErrorKind::Internal,
-                                format!("shard {shard} answered the wrong road count"),
-                            );
-                        }
-                        // Typed errors come from a *healthy* worker
-                        // (NoObservations, BadRequest, …) and would hit
-                        // every shard the same way: pass through, don't
-                        // degrade.
-                        Err(ServerError::Remote { kind, message }) => {
-                            return error_response(kind, message)
-                        }
-                        Err(_) => {
-                            links.poison(shard);
-                            None
-                        }
-                    },
-                };
-                match reply {
-                    Some(reply) => {
+            let targets: Vec<usize> = groups
+                .iter()
+                .enumerate()
+                .filter(|(_, group)| !group.is_empty())
+                .map(|(shard, _)| shard)
+                .collect();
+            let member_roads_of =
+                |shard: usize| -> Vec<u32> { groups[shard].iter().map(|&p| filter[p]).collect() };
+            let replies = scatter_estimates(shared, links, &targets, |shard| Request::Estimate {
+                slot_of_day,
+                observations: observations.clone(),
+                deadline_ms,
+                roads: Some(member_roads_of(shard)),
+            });
+            for (shard, result) in replies {
+                let group = &groups[shard];
+                match result {
+                    Ok(reply) if reply.speeds.len() == group.len() => {
                         for (j, &pos) in group.iter().enumerate() {
                             speeds[pos] = reply.speeds[j];
                             p_up[pos] = reply.p_up[j];
@@ -540,9 +599,21 @@ fn route_estimate(
                         ignored = ignored.max(reply.ignored_observations);
                         any_ok = true;
                     }
-                    None => {
-                        unavailable.extend(member_roads);
+                    Ok(_) => {
+                        links.poison(shard);
+                        return error_response(
+                            ErrorKind::Internal,
+                            format!("shard {shard} answered the wrong road count"),
+                        );
                     }
+                    // Typed errors come from a *healthy* worker
+                    // (NoObservations, BadRequest, …) and would hit
+                    // every shard the same way: pass through, don't
+                    // degrade.
+                    Err(ServerError::Remote { kind, message }) => {
+                        return error_response(kind, message)
+                    }
+                    Err(_) => unavailable.extend(member_roads_of(shard)),
                 }
             }
             if !any_ok {
@@ -561,6 +632,40 @@ fn route_estimate(
             })
         }
     }
+}
+
+/// `ESTIMATE_BATCH` through the router: each item is scattered across
+/// the fleet exactly like a standalone `ESTIMATE` (same degradation
+/// semantics per item), and a failing item becomes its typed
+/// [`BatchOutcome::Error`] instead of sinking its neighbours. The
+/// batch-level deadline applies to every item's scatter.
+fn route_batch(
+    shared: &Arc<RouterShared>,
+    links: &mut ShardLinks,
+    items: Vec<BatchItem>,
+    deadline_ms: Option<u64>,
+) -> Response {
+    let outcomes = items
+        .into_iter()
+        .map(|item| {
+            match route_estimate(
+                shared,
+                links,
+                item.slot_of_day,
+                item.observations,
+                deadline_ms,
+                item.roads,
+            ) {
+                Response::Estimate(reply) => BatchOutcome::Estimate(reply),
+                Response::Error { kind, message } => BatchOutcome::Error { kind, message },
+                other => BatchOutcome::Error {
+                    kind: ErrorKind::Internal,
+                    message: format!("mismatched scatter response: {other:?}"),
+                },
+            }
+        })
+        .collect();
+    Response::Batch(outcomes)
 }
 
 /// Broadcast one day to every shard; training is replicated, so all

@@ -3,8 +3,8 @@
 //! with typed errors instead of panics or desyncs.
 
 use crowdspeed_server::protocol::{
-    read_frame, write_frame, CommandStats, ErrorKind, EstimateReply, Request, Response,
-    ShardHealth, ShardIdentity, StatsReply, WireError, LATENCY_BUCKET_BOUNDS_US,
+    read_frame, write_frame, BatchItem, BatchOutcome, CommandStats, ErrorKind, EstimateReply,
+    Request, Response, ShardHealth, ShardIdentity, StatsReply, WireError, LATENCY_BUCKET_BOUNDS_US,
 };
 use proptest::prelude::*;
 
@@ -21,6 +21,21 @@ fn float_eq_wire(sent: f64, got: f64) -> bool {
     } else {
         got.is_nan()
     }
+}
+
+/// Canonicalises a float the way the estimator emits them: finite
+/// values untouched, everything else the canonical NaN. On canonical
+/// inputs the JSON and binary codecs must agree bit-for-bit.
+fn canon(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        f64::NAN
+    }
+}
+
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 proptest! {
@@ -176,6 +191,8 @@ proptest! {
         retrains in (prop::collection::vec(0u64..MAX_EXACT, 3usize), 0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT),
         latency in prop::collection::vec(0u64..MAX_EXACT, LATENCY_BUCKET_BOUNDS_US.len() + 1),
         rate_limited in 0u64..MAX_EXACT,
+        // Connection gauge and per-codec request counters.
+        conn_codec in (0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT),
         // No `prop::option` in the vendored proptest: a bool gates the
         // identity tuple. Full 64-bit fingerprint range: it travels as
         // hex, not f64.
@@ -230,6 +247,9 @@ proptest! {
                 .collect(),
             ignored_observations,
             rate_limited_requests: rate_limited,
+            open_connections: conn_codec.0,
+            requests_json: conn_codec.1,
+            requests_binary: conn_codec.2,
             shard: has_shard.then(|| {
                 let (index, count, owned_roads, fingerprint) = shard_identity;
                 ShardIdentity {
@@ -316,5 +336,276 @@ proptest! {
         // Either parses or fails with a typed error — must not panic.
         let _ = Request::decode(&payload);
         let _ = Response::decode(&payload);
+    }
+}
+
+// Binary ↔ JSON codec equivalence: for every canonical value (finite
+// floats plus the canonical NaN) the two codecs must decode to
+// bit-identical structures, and the binary codec on its own must carry
+// arbitrary `f64` bit patterns and full-width `u64`s verbatim — both
+// beyond what the JSON wire can promise.
+proptest! {
+    #[test]
+    fn estimate_requests_agree_across_codecs(
+        slot in 0usize..100_000,
+        obs in prop::collection::vec((any::<u32>(), any::<f64>()), 0..16),
+        deadline in 0u64..1_000_000,
+        has_deadline in any::<bool>(),
+        has_filter in any::<bool>(),
+        filter_roads in prop::collection::vec(any::<u32>(), 0..16),
+    ) {
+        let obs: Vec<(u32, f64)> = obs.into_iter().map(|(r, v)| (r, canon(v))).collect();
+        let req = Request::Estimate {
+            slot_of_day: slot,
+            observations: obs,
+            deadline_ms: has_deadline.then_some(deadline),
+            roads: has_filter.then_some(filter_roads),
+        };
+        let from_json = Request::decode(&req.encode()).map_err(|(k, m)| format!("{k}: {m}"))?;
+        let from_binary =
+            Request::decode_binary(&req.encode_binary()).map_err(|(k, m)| format!("{k}: {m}"))?;
+        let (
+            Request::Estimate { slot_of_day: sj, observations: oj, deadline_ms: dj, roads: rj },
+            Request::Estimate { slot_of_day: sb, observations: ob, deadline_ms: db, roads: rb },
+        ) = (from_json, from_binary)
+        else {
+            return Err("wrong variant".to_string());
+        };
+        prop_assert_eq!(sj, sb);
+        prop_assert_eq!(dj, db);
+        prop_assert_eq!(rj, rb);
+        prop_assert_eq!(oj.len(), ob.len());
+        for (&(road_j, speed_j), &(road_b, speed_b)) in oj.iter().zip(&ob) {
+            prop_assert_eq!(road_j, road_b);
+            prop_assert_eq!(
+                speed_j.to_bits(),
+                speed_b.to_bits(),
+                "codecs disagree: {speed_j:?} vs {speed_b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_requests_roundtrip_both_codecs(
+        items in prop::collection::vec(
+            (
+                0usize..100_000,
+                prop::collection::vec((any::<u32>(), any::<f64>()), 0..8),
+                any::<bool>(),
+                prop::collection::vec(any::<u32>(), 0..8),
+            ),
+            0..6,
+        ),
+        deadline in 0u64..1_000_000,
+        has_deadline in any::<bool>(),
+    ) {
+        let items: Vec<BatchItem> = items
+            .into_iter()
+            .map(|(slot, obs, has_roads, roads)| BatchItem {
+                slot_of_day: slot,
+                observations: obs.into_iter().map(|(r, v)| (r, canon(v))).collect(),
+                roads: has_roads.then_some(roads),
+            })
+            .collect();
+        let req = Request::EstimateBatch {
+            items,
+            deadline_ms: has_deadline.then_some(deadline),
+        };
+        let from_json = Request::decode(&req.encode()).map_err(|(k, m)| format!("{k}: {m}"))?;
+        let from_binary =
+            Request::decode_binary(&req.encode_binary()).map_err(|(k, m)| format!("{k}: {m}"))?;
+        let (
+            Request::EstimateBatch { items: ij, deadline_ms: dj },
+            Request::EstimateBatch { items: ib, deadline_ms: db },
+        ) = (from_json, from_binary)
+        else {
+            return Err("wrong variant".to_string());
+        };
+        prop_assert_eq!(dj, db);
+        prop_assert_eq!(ij.len(), ib.len());
+        for (a, b) in ij.iter().zip(&ib) {
+            prop_assert_eq!(a.slot_of_day, b.slot_of_day);
+            prop_assert_eq!(&a.roads, &b.roads);
+            prop_assert_eq!(a.observations.len(), b.observations.len());
+            for (&(road_a, speed_a), &(road_b, speed_b)) in a.observations.iter().zip(&b.observations) {
+                prop_assert_eq!(road_a, road_b);
+                prop_assert_eq!(speed_a.to_bits(), speed_b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_responses_agree_across_codecs(
+        epoch in 0u64..MAX_EXACT,
+        speeds in prop::collection::vec(any::<f64>(), 0..16),
+        p_up in prop::collection::vec(0.0f64..1.0, 0..16),
+        trends in prop::collection::vec(any::<bool>(), 0..16),
+        ignored in 0u64..MAX_EXACT,
+        unavailable in prop::collection::vec(any::<u32>(), 0..8),
+    ) {
+        let resp = Response::Estimate(EstimateReply {
+            epoch,
+            speeds: speeds.into_iter().map(canon).collect(),
+            p_up,
+            trends,
+            ignored_observations: ignored,
+            unavailable,
+        });
+        let from_json = Response::decode(&resp.encode())?;
+        let from_binary = Response::decode_binary(&resp.encode_binary())?;
+        let (Response::Estimate(rj), Response::Estimate(rb)) = (from_json, from_binary) else {
+            return Err("wrong variant".to_string());
+        };
+        prop_assert_eq!(rj.epoch, rb.epoch);
+        prop_assert_eq!(rj.ignored_observations, rb.ignored_observations);
+        prop_assert_eq!(&rj.unavailable, &rb.unavailable);
+        prop_assert_eq!(&rj.trends, &rb.trends);
+        prop_assert!(bits_eq(&rj.speeds, &rb.speeds), "speeds disagree across codecs");
+        prop_assert!(bits_eq(&rj.p_up, &rb.p_up), "p_up disagree across codecs");
+    }
+
+    #[test]
+    fn batch_responses_roundtrip_both_codecs(
+        outcomes in prop::collection::vec(
+            (
+                any::<bool>(),
+                0u64..MAX_EXACT,
+                prop::collection::vec(any::<f64>(), 0..8),
+                0usize..11,
+            ),
+            0..6,
+        ),
+    ) {
+        let kinds = [
+            ErrorKind::Overloaded,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::NoObservations,
+            ErrorKind::ShapeMismatch,
+            ErrorKind::BadRequest,
+            ErrorKind::UnknownCommand,
+            ErrorKind::UnsupportedVersion,
+            ErrorKind::FrameTooLarge,
+            ErrorKind::RateLimited,
+            ErrorKind::ShardUnavailable,
+            ErrorKind::Internal,
+        ];
+        let resp = Response::Batch(
+            outcomes
+                .into_iter()
+                .map(|(is_ok, epoch, speeds, kind_idx)| {
+                    if is_ok {
+                        let speeds: Vec<f64> = speeds.into_iter().map(canon).collect();
+                        BatchOutcome::Estimate(EstimateReply {
+                            epoch,
+                            p_up: speeds.iter().map(|s| s.abs().fract()).collect(),
+                            trends: speeds.iter().map(|s| *s > 0.0).collect(),
+                            ignored_observations: epoch / 2,
+                            unavailable: vec![],
+                            speeds,
+                        })
+                    } else {
+                        BatchOutcome::Error {
+                            kind: kinds[kind_idx],
+                            message: format!("failure {kind_idx}"),
+                        }
+                    }
+                })
+                .collect(),
+        );
+        let from_json = Response::decode(&resp.encode())?;
+        let from_binary = Response::decode_binary(&resp.encode_binary())?;
+        let (Response::Batch(oj), Response::Batch(ob)) = (from_json, from_binary) else {
+            return Err("wrong variant".to_string());
+        };
+        prop_assert_eq!(oj.len(), ob.len());
+        for (a, b) in oj.iter().zip(&ob) {
+            match (a, b) {
+                (BatchOutcome::Estimate(ra), BatchOutcome::Estimate(rb)) => {
+                    prop_assert_eq!(ra.epoch, rb.epoch);
+                    prop_assert!(bits_eq(&ra.speeds, &rb.speeds));
+                    prop_assert!(bits_eq(&ra.p_up, &rb.p_up));
+                    prop_assert_eq!(&ra.trends, &rb.trends);
+                }
+                (
+                    BatchOutcome::Error { kind: ka, message: ma },
+                    BatchOutcome::Error { kind: kb, message: mb },
+                ) => {
+                    prop_assert_eq!(ka, kb);
+                    prop_assert_eq!(ma, mb);
+                }
+                _ => return Err("outcome variants disagree across codecs".to_string()),
+            }
+        }
+    }
+
+    #[test]
+    fn binary_carries_f64_bits_verbatim(
+        slot in 0usize..100_000,
+        bit_patterns in prop::collection::vec(any::<u64>(), 1..16),
+    ) {
+        // The binary codec must preserve EVERY bit pattern — NaN
+        // payloads, signalling NaNs, infinities — which JSON cannot.
+        let obs: Vec<(u32, f64)> = bit_patterns
+            .iter()
+            .enumerate()
+            .map(|(i, &bits)| (i as u32, f64::from_bits(bits)))
+            .collect();
+        let req = Request::Estimate {
+            slot_of_day: slot,
+            observations: obs,
+            deadline_ms: None,
+            roads: None,
+        };
+        let decoded =
+            Request::decode_binary(&req.encode_binary()).map_err(|(k, m)| format!("{k}: {m}"))?;
+        let Request::Estimate { observations, .. } = decoded else {
+            return Err("wrong variant".to_string());
+        };
+        prop_assert_eq!(observations.len(), bit_patterns.len());
+        for (&bits, &(_, got)) in bit_patterns.iter().zip(&observations) {
+            prop_assert_eq!(bits, got.to_bits(), "binary codec altered f64 bits");
+        }
+    }
+
+    #[test]
+    fn binary_carries_full_u64_counters(
+        epoch in any::<u64>(),
+        days in any::<u64>(),
+    ) {
+        // JSON numbers clip at 2^53; the binary codec carries the full
+        // 64-bit range.
+        let resp = Response::Ingested {
+            epoch,
+            days_ingested: days,
+        };
+        let decoded = Response::decode_binary(&resp.encode_binary())?;
+        prop_assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn truncated_binary_requests_fail_typed(
+        obs in prop::collection::vec((any::<u32>(), any::<f64>()), 0..8),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let req = Request::Estimate {
+            slot_of_day: 7,
+            observations: obs,
+            deadline_ms: Some(250),
+            roads: None,
+        };
+        let full = req.encode_binary();
+        // Any strict prefix must fail with a typed error, not a panic
+        // and not a bogus decode.
+        let cut = ((full.len() - 1) as f64 * cut_fraction) as usize;
+        match Request::decode_binary(&full[..cut]) {
+            Err((ErrorKind::BadRequest | ErrorKind::UnknownCommand, _)) => {}
+            other => return Err(format!("expected a typed error, got {other:?}")),
+        }
+    }
+
+    #[test]
+    fn garbage_binary_payloads_never_panic(payload in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Request::decode_binary(&payload);
+        let _ = Response::decode_binary(&payload);
     }
 }

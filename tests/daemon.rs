@@ -9,10 +9,11 @@
 use crowdspeed::prelude::*;
 use crowdspeed_server::daemon::{Daemon, DaemonConfig, DaemonHandle};
 use crowdspeed_server::protocol::{
-    read_frame, write_frame, ErrorKind, Request, Response, PROTOCOL_VERSION,
+    read_frame, write_frame, write_frame_with_version, BatchItem, BatchOutcome, Codec, ErrorKind,
+    Request, Response, BINARY_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crowdspeed_server::state::TrainState;
-use crowdspeed_server::{Client, ServerError};
+use crowdspeed_server::{Client, ClientConfig, ServerError};
 use roadnet::RoadId;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -471,5 +472,254 @@ fn rate_limit_rejects_burst_but_not_fresh_connections() {
     // SHUTDOWN is exempt: even the exhausted connection can stop the
     // daemon (an operator must never be rate-limited out of control).
     client.shutdown().expect("shutdown bypasses the limiter");
+    handle.join();
+}
+
+#[test]
+fn binary_codec_answers_bit_identical_to_json() {
+    let ds = dataset();
+    let handle = spawn(&ds, DaemonConfig::default());
+    let addr = handle.addr();
+    let mut json_client = Client::connect(addr).expect("json client connects");
+    let mut binary_client = Client::connect_with(
+        addr,
+        ClientConfig {
+            codec: Codec::Binary,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("binary client connects");
+
+    for slot in [0usize, 7, 13] {
+        let obs = observations_at(&ds, slot);
+        let via_json = json_client
+            .estimate(slot, obs.clone(), None)
+            .expect("json estimate");
+        let via_binary = binary_client
+            .estimate(slot, obs, None)
+            .expect("binary estimate");
+        assert_eq!(via_json.epoch, via_binary.epoch);
+        assert_eq!(via_json.speeds.len(), via_binary.speeds.len());
+        for (j, b) in via_json.speeds.iter().zip(&via_binary.speeds) {
+            assert_eq!(
+                j.to_bits(),
+                b.to_bits(),
+                "slot {slot}: codecs must answer bit-identical speeds"
+            );
+        }
+        for (j, b) in via_json.p_up.iter().zip(&via_binary.p_up) {
+            assert_eq!(j.to_bits(), b.to_bits(), "slot {slot}: p_up differs");
+        }
+        assert_eq!(via_json.trends, via_binary.trends, "slot {slot}");
+        assert_eq!(
+            via_json.ignored_observations,
+            via_binary.ignored_observations
+        );
+    }
+
+    // Both codecs are visible in the per-codec request counters, and
+    // stats itself works over the binary framing.
+    let stats = binary_client.stats().expect("binary stats");
+    assert!(stats.requests_json >= 3, "json requests counted");
+    assert!(stats.requests_binary >= 4, "binary requests counted");
+    json_client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+#[test]
+fn batched_estimates_match_single_requests() {
+    let ds = dataset();
+    let handle = spawn(&ds, DaemonConfig::default());
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("client connects");
+
+    let slots = [2usize, 9, 14];
+    let singles: Vec<_> = slots
+        .iter()
+        .map(|&slot| {
+            client
+                .estimate(slot, observations_at(&ds, slot), None)
+                .expect("single estimate")
+        })
+        .collect();
+
+    // The same three slots plus a failing item: one frame, one reply,
+    // per-item outcomes. The bad item must not sink its neighbours.
+    let mut items: Vec<BatchItem> = slots
+        .iter()
+        .map(|&slot| BatchItem {
+            slot_of_day: slot,
+            observations: observations_at(&ds, slot),
+            roads: None,
+        })
+        .collect();
+    items.push(BatchItem {
+        slot_of_day: 0,
+        observations: vec![],
+        roads: None,
+    });
+    let outcomes = client.estimate_batch(items, None).expect("batch estimate");
+    assert_eq!(outcomes.len(), 4);
+    for ((slot, single), outcome) in slots.iter().zip(&singles).zip(&outcomes) {
+        let BatchOutcome::Estimate(batched) = outcome else {
+            panic!("slot {slot}: expected an estimate outcome, got {outcome:?}");
+        };
+        assert_eq!(batched.epoch, single.epoch);
+        assert_eq!(batched.speeds.len(), single.speeds.len());
+        for (s, b) in single.speeds.iter().zip(&batched.speeds) {
+            assert_eq!(
+                s.to_bits(),
+                b.to_bits(),
+                "slot {slot}: batched == single, bit for bit"
+            );
+        }
+        assert_eq!(batched.trends, single.trends, "slot {slot}");
+    }
+    match &outcomes[3] {
+        BatchOutcome::Error { kind, .. } => assert_eq!(*kind, ErrorKind::NoObservations),
+        other => panic!("empty observations must fail per-item, got {other:?}"),
+    }
+
+    let stats = client.stats().expect("stats");
+    let batch = stats
+        .commands
+        .iter()
+        .find(|(name, _)| name == "estimate_batch")
+        .expect("estimate_batch counter exists");
+    assert_eq!(
+        (batch.1.received, batch.1.ok, batch.1.errors),
+        (1, 1, 0),
+        "one batch arrived and succeeded as a command even with a failed item"
+    );
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+#[test]
+fn malformed_binary_frames_get_typed_errors_and_the_connection_survives() {
+    let ds = dataset();
+    let handle = spawn(&ds, DaemonConfig::default());
+    let mut stream = TcpStream::connect(handle.addr()).expect("raw connect");
+    let no_abort = || false;
+
+    // Unknown binary command tag: typed error in the binary codec, the
+    // connection survives.
+    write_frame_with_version(&mut stream, BINARY_PROTOCOL_VERSION, &[0xEE]).unwrap();
+    let (version, payload) = read_frame(&mut stream, 1 << 20, &no_abort).expect("error frame");
+    assert_eq!(
+        version, BINARY_PROTOCOL_VERSION,
+        "reply speaks the request codec"
+    );
+    match Response::decode_binary(&payload).expect("decodes") {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::UnknownCommand),
+        other => panic!("expected typed error, got {other:?}"),
+    }
+
+    // Truncated binary body (valid tag, missing fields): typed error,
+    // connection survives.
+    let full = Request::Estimate {
+        slot_of_day: 3,
+        observations: observations_at(&ds, 3),
+        deadline_ms: None,
+        roads: None,
+    }
+    .encode_binary();
+    write_frame_with_version(
+        &mut stream,
+        BINARY_PROTOCOL_VERSION,
+        &full[..full.len() / 2],
+    )
+    .unwrap();
+    let (version, payload) = read_frame(&mut stream, 1 << 20, &no_abort).expect("error frame");
+    assert_eq!(version, BINARY_PROTOCOL_VERSION);
+    match Response::decode_binary(&payload).expect("decodes") {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::BadRequest),
+        other => panic!("expected typed error, got {other:?}"),
+    }
+
+    // After the abuse the same connection still serves binary requests.
+    write_frame_with_version(
+        &mut stream,
+        BINARY_PROTOCOL_VERSION,
+        &Request::Stats.encode_binary(),
+    )
+    .unwrap();
+    let (version, payload) = read_frame(&mut stream, 1 << 20, &no_abort).expect("stats frame");
+    assert_eq!(version, BINARY_PROTOCOL_VERSION);
+    match Response::decode_binary(&payload).expect("decodes") {
+        Response::Stats(stats) => assert_eq!(stats.epoch, 1),
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    // And the codecs interleave freely on one connection: a JSON frame
+    // after binary traffic is answered in JSON.
+    write_frame(&mut stream, &Request::Stats.encode()).unwrap();
+    let (version, payload) = read_frame(&mut stream, 1 << 20, &no_abort).expect("stats frame");
+    assert_eq!(version, PROTOCOL_VERSION);
+    match Response::decode(&payload).expect("decodes") {
+        Response::Stats(stats) => assert_eq!(stats.epoch, 1),
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    let mut client = Client::connect(handle.addr()).expect("fresh client");
+    client.shutdown().expect("clean shutdown");
+    handle.join();
+}
+
+#[test]
+fn idle_connections_are_tracked_and_do_not_starve_requests() {
+    let ds = dataset();
+    let handle = spawn(
+        &ds,
+        DaemonConfig {
+            max_connections: 512,
+            ..DaemonConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("client connects");
+
+    // Park a crowd of idle keep-alive connections. Under the old
+    // thread-per-connection model these each pinned a thread; the
+    // event loop just registers them.
+    let idle: Vec<TcpStream> = (0..200)
+        .map(|i| TcpStream::connect(addr).unwrap_or_else(|e| panic!("idle conn {i}: {e}")))
+        .collect();
+
+    // The gauge sees them, and live requests still flow past them.
+    let mut open_seen = 0;
+    for _ in 0..100 {
+        let stats = client.stats().expect("stats");
+        open_seen = stats.open_connections;
+        if open_seen >= 201 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(
+        open_seen >= 201,
+        "gauge must count 200 idle + 1 active, saw {open_seen}"
+    );
+    let reply = client
+        .estimate(4, observations_at(&ds, 4), None)
+        .expect("estimate with 200 idle connections parked");
+    assert_eq!(reply.epoch, 1);
+
+    // Dropping the idle crowd drains the gauge.
+    drop(idle);
+    let mut open_after = u64::MAX;
+    for _ in 0..250 {
+        let stats = client.stats().expect("stats");
+        open_after = stats.open_connections;
+        if open_after <= 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(
+        open_after <= 1,
+        "closed idle connections must leave the gauge, saw {open_after}"
+    );
+    client.shutdown().expect("clean shutdown");
     handle.join();
 }

@@ -10,7 +10,8 @@
 use crowdspeed::prelude::*;
 use crowdspeed_server::daemon::{Daemon, DaemonConfig, DaemonHandle};
 use crowdspeed_server::{
-    dataset_plan, Client, ErrorKind, Router, RouterConfig, RouterHandle, ServerError, ShardSpec,
+    dataset_plan, BatchItem, BatchOutcome, Client, ClientConfig, Codec, ErrorKind, Router,
+    RouterConfig, RouterHandle, ServerError, ShardSpec,
 };
 use roadnet::RoadId;
 use trafficsim::dataset::{metro_small, Dataset, DatasetParams};
@@ -267,6 +268,79 @@ fn router_degrades_per_shard_and_recovers() {
     router.wait();
     w1.wait();
     w0b.wait();
+}
+
+#[test]
+fn binary_shard_links_and_batches_stay_bit_identical() {
+    let ds = dataset();
+    let shards = 2;
+    let single = Daemon::spawn(train_state(&ds), DaemonConfig::default()).expect("single daemon");
+    let plan = dataset_plan(&ds.graph, &ds.history, &corr_config(), shards).expect("plan");
+    let workers: Vec<DaemonHandle> = (0..shards)
+        .map(|i| spawn_worker(&ds, i, shards, "127.0.0.1:0"))
+        .collect();
+    let shard_addrs = workers.iter().map(|w| w.addr().to_string()).collect();
+    // Router → worker links speak the binary codec end to end.
+    let mut config = RouterConfig::new("127.0.0.1:0".to_string(), shard_addrs, plan);
+    config.shard_client.codec = Codec::Binary;
+    let router = Router::spawn(config).expect("router spawns");
+
+    // The client side speaks binary too: the whole chain is binary,
+    // and the numbers still match the JSON single-daemon path exactly.
+    let mut via_router = Client::connect_with(
+        router.addr(),
+        ClientConfig {
+            codec: Codec::Binary,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("binary router client");
+    let mut via_single = Client::connect(single.addr()).expect("single client");
+    assert_parity(&ds, &mut via_router, &mut via_single, 6);
+
+    // A batch through the scatter path: every item bit-identical to
+    // the single daemon, failures isolated per item.
+    let slots = [1usize, 8];
+    let mut items: Vec<BatchItem> = slots
+        .iter()
+        .map(|&slot| BatchItem {
+            slot_of_day: slot,
+            observations: observations_at(&ds, slot),
+            roads: None,
+        })
+        .collect();
+    items.push(BatchItem {
+        slot_of_day: 0,
+        observations: vec![],
+        roads: None,
+    });
+    let outcomes = via_router
+        .estimate_batch(items, None)
+        .expect("batch through the router");
+    assert_eq!(outcomes.len(), 3);
+    for (&slot, outcome) in slots.iter().zip(&outcomes) {
+        let BatchOutcome::Estimate(batched) = outcome else {
+            panic!("slot {slot}: expected estimate, got {outcome:?}");
+        };
+        let direct = via_single
+            .estimate(slot, observations_at(&ds, slot), None)
+            .expect("single estimate");
+        assert_eq!(batched.speeds, direct.speeds, "slot {slot}: batch parity");
+        assert_eq!(batched.p_up, direct.p_up, "slot {slot}");
+        assert_eq!(batched.trends, direct.trends, "slot {slot}");
+    }
+    match &outcomes[2] {
+        BatchOutcome::Error { kind, .. } => assert_eq!(*kind, ErrorKind::NoObservations),
+        other => panic!("empty observations must fail per item, got {other:?}"),
+    }
+
+    via_router.shutdown().expect("fleet shutdown");
+    router.wait();
+    for worker in workers {
+        worker.wait();
+    }
+    via_single.shutdown().expect("single shutdown");
+    single.wait();
 }
 
 #[test]
