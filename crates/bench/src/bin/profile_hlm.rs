@@ -1,0 +1,74 @@
+//! Stage-level profiling harness for HLM training: times trend-model
+//! compilation, trainer construction, the fold, and the ridge fit
+//! separately so a flat E11 `train_ms` can be attributed to the stage
+//! that actually ate the time (the per-cell LBP pass, historically).
+//! `--quick` selects the small preset; `T=<n>` sets the thread count.
+
+use bench::timed;
+use crowdspeed::inference::hlm::HlmTrainer;
+use crowdspeed::inference::trend_model::TrendModel;
+use crowdspeed::prelude::*;
+use crowdspeed::seed::lazy_greedy::lazy_greedy_threads;
+
+fn main() {
+    let ds = if std::env::args().any(|a| a == "--quick") {
+        bench::presets::quick()
+    } else {
+        bench::presets::metro()
+    };
+    let threads: usize = std::env::var("T")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let k = (ds.graph.num_roads() / 8).max(4);
+    let stats = HistoryStats::compute(&ds.history);
+    let ccfg = CorrelationConfig {
+        min_cotrend: 0.6,
+        min_co_observations: 6,
+        ..CorrelationConfig::default()
+    };
+    let corr = CorrelationGraph::build_threaded(&ds.graph, &ds.history, &stats, &ccfg, threads);
+    let influence = InfluenceModel::build_threaded(&corr, &InfluenceConfig::default(), threads);
+    let seeds = lazy_greedy_threads(&influence, k, threads).seeds;
+    let config = EstimatorConfig::default();
+
+    println!(
+        "{}: {} roads, {} days, {} slots/day, k={k}, {} edges, threads={threads}",
+        ds.name,
+        ds.graph.num_roads(),
+        ds.history.num_days(),
+        ds.clock.slots_per_day,
+        corr.num_edges()
+    );
+
+    let (ctx_trend, t_trend) =
+        timed(|| TrendModel::new_threaded(corr.clone(), &stats, config.trend.clone(), threads));
+    println!("TrendModel::new_threaded:  {t_trend:10.1} ms");
+
+    let (clone_cost, t_clone) = timed(|| (ctx_trend.clone(), config.engine.clone()));
+    println!("trend ctx deep clone:      {t_clone:10.1} ms");
+    drop(clone_cost);
+
+    let (trainer, t_new) = timed(|| {
+        HlmTrainer::new(
+            &ds.graph,
+            &corr,
+            &seeds,
+            &config.hlm,
+            Some((
+                std::borrow::Cow::Borrowed(&ctx_trend),
+                config.engine.clone(),
+            )),
+            threads,
+        )
+        .unwrap()
+    });
+    let mut trainer = trainer;
+    println!("HlmTrainer::new:           {t_new:10.1} ms");
+
+    let (fs, t_fold) = timed(|| trainer.fold(&ds.history, &stats, threads).unwrap());
+    println!("HlmTrainer::fold:          {t_fold:10.1} ms  ({fs:?})");
+
+    let (_model, t_fit) = timed(|| trainer.fit(threads).unwrap());
+    println!("HlmTrainer::fit:           {t_fit:10.1} ms");
+}

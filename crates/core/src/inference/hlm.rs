@@ -37,6 +37,7 @@ use crate::{CoreError, Result};
 use linalg::ridge::{hierarchical_fit_grams, shrunk_fit_gram, GramSystem};
 use roadnet::{RoadGraph, RoadId};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use trafficsim::{HistoricalData, HistoryStats};
 
 /// Number of features in the template.
@@ -312,7 +313,11 @@ impl HlmModel {
         trend_ctx: Option<(&TrendModel, &TrendEngine)>,
         threads: usize,
     ) -> Result<HlmModel> {
-        let trend_ctx = trend_ctx.map(|(tm, engine)| (tm.clone(), engine.clone()));
+        // Borrow the trend model for the duration of the train — the
+        // trainer is ephemeral here, so there is no reason to deep-copy
+        // the compiled slot MRFs (the engine is a small config enum;
+        // cloning it is free).
+        let trend_ctx = trend_ctx.map(|(tm, engine)| (Cow::Borrowed(tm), engine.clone()));
         let mut trainer = HlmTrainer::new(graph, corr, seeds, config, trend_ctx, threads)?;
         trainer.fold(history, stats, threads)?;
         trainer.fit(threads)
@@ -625,17 +630,33 @@ impl HlmModel {
     }
 }
 
-/// One sampled historical cell's training context, shared by every
-/// road's row assembly: the seeds' historical deviations, the
-/// propagated deviation field, and the trend posterior serving-time
-/// inference would produce for the cell.
-struct CellCtx {
-    day: usize,
-    slot: usize,
-    seed_devs: Vec<Option<f64>>,
-    citywide: f64,
-    field: Vec<f64>,
-    p_up: Option<Vec<f64>>,
+/// Per-cell scalars of the flattened fold layout (see
+/// [`HlmTrainer::fold`]): the big per-cell vectors (encoded seed
+/// deviations, encoded propagated field, trend posterior) live in flat
+/// structure-of-arrays buffers indexed by cell, so phase A writes into
+/// preallocated disjoint chunks and phase B reads without chasing
+/// per-cell heap allocations.
+#[derive(Debug, Clone, Copy, Default)]
+struct CellMeta {
+    day: u32,
+    slot: u32,
+    /// `encode_dev(citywide)` — the mean seed deviation, already in
+    /// model space.
+    citywide_enc: f64,
+    /// A cell with no observed seed is dead: phase A skips its field
+    /// and posterior, phase B skips the cell (the serial `continue`).
+    live: bool,
+}
+
+/// One cell's disjoint slice of the phase-A output buffers.
+struct CellSlot<'a> {
+    meta: &'a mut CellMeta,
+    /// Per seed: `encode_dev(deviation)`, `NaN` when unobserved.
+    seed_enc: &'a mut [f64],
+    /// Per road: `encode_dev(propagated field)`.
+    field_enc: &'a mut [f64],
+    /// Per road: trend posterior; `None` when training without trends.
+    p_up: Option<&'a mut [f64]>,
 }
 
 /// What one [`HlmTrainer::fold`] call did.
@@ -674,7 +695,7 @@ pub struct FoldStats {
 /// cell-sampling stride depends on the total day count, so when a new
 /// day shifts it the trainer transparently refolds the whole history
 /// under the new stride (reported via [`FoldStats::refolded`]).
-pub struct HlmTrainer {
+pub struct HlmTrainer<'a> {
     config: HlmConfig,
     seeds: Vec<RoadId>,
     corr: CorrelationGraph,
@@ -682,7 +703,10 @@ pub struct HlmTrainer {
     spatial_neighbors: Vec<Vec<(usize, f64)>>,
     road_class: Vec<usize>,
     /// Frozen trend context (engine already Gibbs→LBP substituted).
-    trend_ctx: Option<(TrendModel, TrendEngine)>,
+    /// Borrowed for ephemeral full trains; owned (`Cow::Owned`, with
+    /// `'a = 'static`) when the trainer outlives the caller's model,
+    /// as in the incremental pipeline.
+    trend_ctx: Option<(Cow<'a, TrendModel>, TrendEngine)>,
     num_regimes: usize,
     slots: Option<usize>,
     stride: Option<usize>,
@@ -691,19 +715,24 @@ pub struct HlmTrainer {
     accums: Vec<Vec<GramSystem>>,
 }
 
-impl HlmTrainer {
+impl<'a> HlmTrainer<'a> {
     /// Freezes the training context for a seed set: validates the
     /// seeds, attaches each road to its influential and spatially
     /// nearest seeds over `corr`, and substitutes a `Gibbs` trend
     /// engine with LBP once (see [`HlmModel::train_with_trends`]).
+    ///
+    /// The trend model arrives as a [`Cow`]: pass `Cow::Borrowed` when
+    /// the trainer lives within the model's lifetime (the ephemeral
+    /// full-train path) and `Cow::Owned` when it must outlive it (the
+    /// incremental pipeline).
     pub fn new(
         graph: &RoadGraph,
         corr: &CorrelationGraph,
         seeds: &[RoadId],
         config: &HlmConfig,
-        trend_ctx: Option<(TrendModel, TrendEngine)>,
+        trend_ctx: Option<(Cow<'a, TrendModel>, TrendEngine)>,
         threads: usize,
-    ) -> Result<HlmTrainer> {
+    ) -> Result<HlmTrainer<'a>> {
         let n = graph.num_roads();
         if seeds.is_empty() {
             return Err(CoreError::InsufficientData("empty seed set".into()));
@@ -873,142 +902,210 @@ impl HlmTrainer {
             .filter(|&(day, slot)| (day * slots + slot) % stride == 0)
             .collect();
 
-        // Phase A — one context per new sampled cell. Cells are
-        // independent, so they fill index-ordered slots in parallel;
-        // `None` marks cells with no observed seed (skipped downstream,
-        // exactly like the serial `continue`). Each worker reuses its
-        // propagation and trend-inference buffers across cells.
+        // Phase A — one context per new sampled cell, written into
+        // flat structure-of-arrays buffers: per-cell scalars in `metas`,
+        // the encoded seed deviations / propagated field / trend
+        // posterior in three preallocated flat arrays carved into
+        // disjoint per-cell chunks. Cells are independent, so workers
+        // fill index-ordered chunks in parallel; a dead cell (no
+        // observed seed) is flagged in its meta and skipped downstream,
+        // exactly like the serial `continue`. Each worker reuses its
+        // propagation, trend-inference and staging buffers across
+        // cells, and every deviation is encoded into model space here —
+        // once per (cell, seed) and once per (cell, road) — instead of
+        // once per neighbor lookup in phase B.
         let seeds = &self.seeds;
         let corr = &self.corr;
         let config = &self.config;
         let trend_ctx = &self.trend_ctx;
-        let ctxs: Vec<Option<CellCtx>> = crate::parallel::fill_with(
+        let has_trend = trend_ctx.is_some();
+        let ls = self.config.log_space;
+        let num_seeds = seeds.len();
+        let cells = sampled.len();
+        let mut metas: Vec<CellMeta> = vec![CellMeta::default(); cells];
+        let mut seed_enc: Vec<f64> = vec![0.0; cells * num_seeds];
+        let mut field_enc: Vec<f64> = vec![0.0; cells * n];
+        let mut p_up: Vec<f64> = vec![0.0; if has_trend { cells * n } else { 0 }];
+        let mut slots_vec: Vec<CellSlot<'_>> = Vec::with_capacity(cells);
+        {
+            let meta_it = metas.iter_mut();
+            let se_it = seed_enc.chunks_mut(num_seeds.max(1));
+            let fe_it = field_enc.chunks_mut(n.max(1));
+            if has_trend {
+                for (((meta, se), fe), pu) in
+                    meta_it.zip(se_it).zip(fe_it).zip(p_up.chunks_mut(n.max(1)))
+                {
+                    slots_vec.push(CellSlot {
+                        meta,
+                        seed_enc: se,
+                        field_enc: fe,
+                        p_up: Some(pu),
+                    });
+                }
+            } else {
+                for ((meta, se), fe) in meta_it.zip(se_it).zip(fe_it) {
+                    slots_vec.push(CellSlot {
+                        meta,
+                        seed_enc: se,
+                        field_enc: fe,
+                        p_up: None,
+                    });
+                }
+            }
+        }
+        crate::parallel::for_each_mut_with(
             threads,
-            sampled.len(),
-            || (PropagateScratch::default(), TrendScratch::new()),
-            |(propagate, trend_ws), i| {
+            &mut slots_vec,
+            || {
+                (
+                    PropagateScratch::default(),
+                    TrendScratch::new(),
+                    Vec::<(RoadId, f64)>::new(),
+                    Vec::<(RoadId, bool)>::new(),
+                )
+            },
+            |(propagate, trend_ws, cell_seed_devs, obs), i, cell| {
                 let (day, slot) = sampled[i];
+                cell.meta.day = day as u32;
+                cell.meta.slot = slot as u32;
                 let mut city_sum = 0.0;
                 let mut city_count = 0usize;
-                let mut seed_devs: Vec<Option<f64>> = vec![None; seeds.len()];
+                cell_seed_devs.clear();
                 for (si, &s) in seeds.iter().enumerate() {
-                    seed_devs[si] = history
+                    let dev = history
                         .speed(day, slot, s)
                         .and_then(|v| stats.deviation_of(slot, s, v));
-                    if let Some(d) = seed_devs[si] {
-                        city_sum += d;
-                        city_count += 1;
+                    match dev {
+                        Some(d) => {
+                            cell.seed_enc[si] = encode_dev(d, ls);
+                            cell_seed_devs.push((s, d));
+                            city_sum += d;
+                            city_count += 1;
+                        }
+                        None => cell.seed_enc[si] = f64::NAN,
                     }
                 }
                 if city_count == 0 {
-                    return None;
+                    cell.meta.live = false;
+                    return;
                 }
-                let citywide = city_sum / city_count as f64;
+                cell.meta.live = true;
+                cell.meta.citywide_enc = encode_dev(city_sum / city_count as f64, ls);
 
                 // Local deviation field for this cell (one propagation
-                // shared by all roads).
-                let cell_seed_devs: Vec<(RoadId, f64)> = seeds
-                    .iter()
-                    .zip(&seed_devs)
-                    .filter_map(|(&s, d)| d.map(|d| (s, d)))
-                    .collect();
+                // shared by all roads), encoded in place.
                 crate::propagate::propagate_deviations_into(
                     corr,
-                    &cell_seed_devs,
+                    cell_seed_devs,
                     config.propagation_iters,
                     config.propagation_anchor,
                     propagate,
                 );
-                let field = propagate.field().to_vec();
+                for (dst, &v) in cell.field_enc.iter_mut().zip(propagate.field()) {
+                    *dst = encode_dev(v, ls);
+                }
 
                 // Trend posteriors for this cell: what the serving-time
                 // inference would say, given the seeds' trends. Used
                 // both as the trend feature and for soft regime
                 // weighting.
-                let p_up: Option<Vec<f64>> = trend_ctx.as_ref().map(|(tm, engine)| {
-                    let obs: Vec<(RoadId, bool)> =
-                        cell_seed_devs.iter().map(|&(s, d)| (s, d >= 1.0)).collect();
-                    tm.infer_with(slot, &obs, engine, trend_ws);
-                    trend_ws.p_up.clone()
-                });
-                Some(CellCtx {
-                    day,
-                    slot,
-                    seed_devs,
-                    citywide,
-                    field,
-                    p_up,
-                })
+                if let (Some(p_dst), Some((tm, engine))) =
+                    (cell.p_up.as_deref_mut(), trend_ctx.as_ref())
+                {
+                    obs.clear();
+                    obs.extend(cell_seed_devs.iter().map(|&(s, d)| (s, d >= 1.0)));
+                    tm.infer_with(slot, obs, engine, trend_ws);
+                    p_dst.copy_from_slice(&trend_ws.p_up);
+                }
             },
         );
-        let cells_sampled = ctxs.len();
+        drop(slots_vec);
+        let cells_sampled = cells;
 
         // Phase B — per-road row folding. Each road scans the new cell
-        // contexts in order and folds its weighted feature rows into
-        // its own accumulators, so the per-(road, regime) row sequence
-        // is identical to the serial cells-outer/roads-inner loop.
-        // Roads own disjoint accumulators: bit-identical at any thread
-        // count.
+        // metas in order and folds its weighted feature rows into its
+        // own accumulators, so the per-(road, regime) row sequence is
+        // identical to the serial cells-outer/roads-inner loop. Roads
+        // own disjoint accumulators: bit-identical at any thread count.
+        // The two row-staging vectors live in per-worker scratch and
+        // are reused across every (road, cell) pair — the previous
+        // per-pair allocations serialized the whole phase on the
+        // allocator.
         let rows_before: usize = self.accums.iter().flatten().map(GramSystem::rows).sum();
-        let ls = self.config.log_space;
         let num_regimes = self.num_regimes;
         let seed_neighbors = &self.seed_neighbors;
         let spatial_neighbors = &self.spatial_neighbors;
-        crate::parallel::for_each_mut(threads, &mut self.accums, |r, regs| {
-            let road = RoadId(r as u32);
-            for ctx in ctxs.iter().flatten() {
-                let Some(v) = history.speed(ctx.day, ctx.slot, road) else {
-                    continue;
-                };
-                let Some(dev) = stats.deviation_of(ctx.slot, road, v) else {
-                    continue;
-                };
-                let nb: Vec<(f64, f64)> = seed_neighbors[r]
-                    .iter()
-                    .filter_map(|&(si, q)| ctx.seed_devs[si].map(|d| (q, encode_dev(d, ls))))
-                    .collect();
-                let sp: Vec<(f64, f64)> = spatial_neighbors[r]
-                    .iter()
-                    .filter_map(|&(si, w)| ctx.seed_devs[si].map(|d| (w, encode_dev(d, ls))))
-                    .collect();
-                let p_up_r = match &ctx.p_up {
-                    Some(p) => p[r],
-                    // No trend model supplied: the true trend.
-                    None => {
-                        if dev >= 1.0 {
-                            1.0
-                        } else {
-                            0.0
-                        }
-                    }
-                };
-                let x = features(
-                    encode_dev(ctx.field[r], ls),
-                    &nb,
-                    &sp,
-                    encode_dev(ctx.citywide, ls),
-                    2.0 * p_up_r - 1.0,
-                );
-
-                // Soft regime assignment: each row enters both
-                // regimes, weighted by the trend posterior
-                // (weighted least squares via sqrt-scaling).
-                let (w_up, w_down) = if config.split_regimes {
-                    (p_up_r, 1.0 - p_up_r)
-                } else {
-                    (1.0, 0.0)
-                };
-                let y = encode_dev(dev, ls);
-                for (regime, w) in [(0usize, w_up), (1, w_down)] {
-                    if regime >= num_regimes || w < 0.02 {
+        let metas = &metas;
+        let seed_enc = &seed_enc;
+        let field_enc = &field_enc;
+        let p_up = &p_up;
+        crate::parallel::for_each_mut_with(
+            threads,
+            &mut self.accums,
+            || (Vec::<(f64, f64)>::new(), Vec::<(f64, f64)>::new()),
+            |(nb, sp), r, regs| {
+                let road = RoadId(r as u32);
+                for (ci, cm) in metas.iter().enumerate() {
+                    if !cm.live {
                         continue;
                     }
-                    let sw = w.sqrt();
-                    let row: [f64; NUM_FEATURES] = std::array::from_fn(|j| x[j] * sw);
-                    regs[regime].push_row(&row, y * sw);
+                    let Some(v) = history.speed(cm.day as usize, cm.slot as usize, road) else {
+                        continue;
+                    };
+                    let Some(dev) = stats.deviation_of(cm.slot as usize, road, v) else {
+                        continue;
+                    };
+                    let se = &seed_enc[ci * num_seeds..(ci + 1) * num_seeds];
+                    nb.clear();
+                    for &(si, q) in &seed_neighbors[r] {
+                        let e = se[si];
+                        if !e.is_nan() {
+                            nb.push((q, e));
+                        }
+                    }
+                    sp.clear();
+                    for &(si, w) in &spatial_neighbors[r] {
+                        let e = se[si];
+                        if !e.is_nan() {
+                            sp.push((w, e));
+                        }
+                    }
+                    let p_up_r = if has_trend {
+                        p_up[ci * n + r]
+                    } else if dev >= 1.0 {
+                        // No trend model supplied: the true trend.
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    let x = features(
+                        field_enc[ci * n + r],
+                        nb,
+                        sp,
+                        cm.citywide_enc,
+                        2.0 * p_up_r - 1.0,
+                    );
+
+                    // Soft regime assignment: each row enters both
+                    // regimes, weighted by the trend posterior
+                    // (weighted least squares via sqrt-scaling).
+                    let (w_up, w_down) = if config.split_regimes {
+                        (p_up_r, 1.0 - p_up_r)
+                    } else {
+                        (1.0, 0.0)
+                    };
+                    let y = encode_dev(dev, ls);
+                    for (regime, w) in [(0usize, w_up), (1, w_down)] {
+                        if regime >= num_regimes || w < 0.02 {
+                            continue;
+                        }
+                        let sw = w.sqrt();
+                        let row: [f64; NUM_FEATURES] = std::array::from_fn(|j| x[j] * sw);
+                        regs[regime].push_row(&row, y * sw);
+                    }
                 }
-            }
-        });
+            },
+        );
         let rows_after: usize = self.accums.iter().flatten().map(GramSystem::rows).sum();
 
         self.folded_days = days;
@@ -1376,7 +1473,7 @@ mod tests {
                 &corr,
                 &seeds,
                 &config,
-                Some((trend.clone(), engine.clone())),
+                Some((Cow::Borrowed(&trend), engine.clone())),
                 threads,
             )
             .unwrap();

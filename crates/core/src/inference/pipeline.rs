@@ -706,7 +706,7 @@ pub struct RetrainStats {
 pub struct IncrementalTrainer {
     config: EstimatorConfig,
     stats: HistoryStats,
-    hlm_trainer: HlmTrainer,
+    hlm_trainer: HlmTrainer<'static>,
     live_corr: CorrelationGraph,
     trend_model: TrendModel,
     influence: InfluenceModel,
@@ -750,12 +750,17 @@ impl IncrementalTrainer {
         let threads = crate::parallel::resolve_threads(config.train_threads);
         let ctx_trend =
             TrendModel::new_threaded(context.clone(), stats, config.trend.clone(), threads);
+        // Owned trend context: the trainer is stored in the
+        // IncrementalTrainer and must outlive this call.
         let mut hlm_trainer = HlmTrainer::new(
             graph,
             context,
             seeds,
             &config.hlm,
-            Some((ctx_trend.clone(), config.engine.clone())),
+            Some((
+                std::borrow::Cow::Owned(ctx_trend.clone()),
+                config.engine.clone(),
+            )),
             threads,
         )?;
         hlm_trainer.fold(history, stats, threads)?;

@@ -116,22 +116,42 @@ where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
+    for_each_mut_with(threads, items, || (), move |(), i, item| f(i, item));
+}
+
+/// [`for_each_mut`] with per-worker scratch state.
+///
+/// Each worker owns a contiguous chunk of `items` plus its own
+/// `state = init()`, reused across every item in the chunk — the fold
+/// phases lean on this to keep row-staging buffers alive instead of
+/// allocating per item. As with [`fill_with`], scratch reuse must not
+/// change results, and `threads <= 1` is the exact serial loop with a
+/// single scratch.
+pub fn for_each_mut_with<T, S, I, F>(threads: usize, items: &mut [T], init: I, f: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut T) + Sync,
+{
     let n = items.len();
     let threads = resolve_threads(threads).min(n.max(1));
     if threads <= 1 {
+        let mut state = init();
         for (i, item) in items.iter_mut().enumerate() {
-            f(i, item);
+            f(&mut state, i, item);
         }
         return;
     }
     let chunk = n.div_ceil(threads);
     crossbeam::thread::scope(|scope| {
         for (c, part) in items.chunks_mut(chunk).enumerate() {
+            let init = &init;
             let f = &f;
             scope.spawn(move |_| {
+                let mut state = init();
                 let base = c * chunk;
                 for (j, item) in part.iter_mut().enumerate() {
-                    f(base + j, item);
+                    f(&mut state, base + j, item);
                 }
             });
         }
@@ -179,6 +199,21 @@ mod tests {
         assert!(fill(8, 0, |i| i).is_empty());
         assert_eq!(fill(8, 1, |i| i), vec![0]);
         assert_eq!(fill(8, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn for_each_mut_with_reuses_scratch_without_changing_results() {
+        for threads in [1, 2, 5, 16] {
+            let mut items = vec![0u64; 23];
+            for_each_mut_with(threads, &mut items, Vec::<u64>::new, |scratch, i, v| {
+                // Scratch carries stale state between items on
+                // purpose; results must not depend on it.
+                scratch.push(i as u64);
+                *v = (i as u64) * 3 + 1;
+            });
+            let want: Vec<u64> = (0..23).map(|i| i * 3 + 1).collect();
+            assert_eq!(items, want, "threads={threads}");
+        }
     }
 
     #[test]

@@ -65,8 +65,15 @@ pub fn shrunk_fit(x: &Matrix, y: &[f64], lambda: f64, prior: Option<&[f64]>) -> 
 /// refolding the whole extended sequence from scratch. `merge` adds
 /// another accumulator's sums entrywise (index order), which is how
 /// per-road systems combine into a class-level system deterministically.
+///
+/// The Gram matrix is symmetric, so only the upper triangle (`j >= i`)
+/// is accumulated — half the FLOPs per row — and the lower half is
+/// mirrored when a solver needs the full matrix. `x[i]*x[j]` and
+/// `x[j]*x[i]` round identically, so the mirrored matrix is bit-equal
+/// to one accumulated in full.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GramSystem {
+    /// Upper triangle of `XᵀX`; entries below the diagonal stay zero.
     gram: Matrix,
     rhs: Vec<f64>,
     rows: usize,
@@ -99,7 +106,7 @@ impl GramSystem {
         let dim = self.rhs.len();
         for i in 0..dim {
             let xi = x[i];
-            for (j, &xj) in x.iter().enumerate().take(dim) {
+            for (j, &xj) in x.iter().enumerate().take(dim).skip(i) {
                 self.gram[(i, j)] += xi * xj;
             }
             self.rhs[i] += y * xi;
@@ -112,12 +119,25 @@ impl GramSystem {
         debug_assert_eq!(self.dim(), other.dim());
         let dim = self.rhs.len();
         for i in 0..dim {
-            for j in 0..dim {
+            for j in i..dim {
                 self.gram[(i, j)] += other.gram[(i, j)];
             }
             self.rhs[i] += other.rhs[i];
         }
         self.rows += other.rows;
+    }
+
+    /// The full symmetric Gram matrix: the accumulated upper triangle
+    /// mirrored into the lower half.
+    fn full_gram(&self) -> Matrix {
+        let dim = self.rhs.len();
+        let mut gram = self.gram.clone();
+        for i in 1..dim {
+            for j in 0..i {
+                gram[(i, j)] = gram[(j, i)];
+            }
+        }
+        gram
     }
 
     /// Resets the sums to zero.
@@ -148,7 +168,7 @@ pub fn shrunk_fit_gram(sys: &GramSystem, lambda: f64, prior: Option<&[f64]>) -> 
             });
         }
     }
-    let mut gram = sys.gram.clone();
+    let mut gram = sys.full_gram();
     gram.add_diag(lambda);
     let mut rhs = sys.rhs.clone();
     if let Some(p) = prior {
@@ -195,7 +215,7 @@ pub fn hierarchical_fit_grams(
     if pooled.rows == 0 {
         return Err(LinalgError::Empty);
     }
-    let mut gram = pooled.gram;
+    let mut gram = pooled.full_gram();
     gram.add_diag(lambda_global.max(1e-12));
     let global = Cholesky::factor(&gram)?.solve(&pooled.rhs)?;
 

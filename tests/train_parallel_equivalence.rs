@@ -176,6 +176,113 @@ fn trained_estimator_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// Snapshot encoding of a trained HLM — the byte string two trainers
+/// must agree on to count as bit-identical.
+fn hlm_bytes(model: &crowdspeed::inference::hlm::HlmModel) -> Vec<u8> {
+    let mut buf = bytes::BytesMut::new();
+    model.encode_snapshot_into(&mut buf);
+    buf.to_vec()
+}
+
+/// The flattened fold keeps per-worker scratch (propagation buffers,
+/// trend workspace, row-staging vectors) alive across cells and across
+/// successive `fold` calls. Reused scratch must be invisible: a trainer
+/// folding the history in two calls (scratch reused within and across
+/// folds) must match a fresh trainer folding everything in one call —
+/// at every thread-count pairing.
+#[test]
+fn fold_scratch_reuse_is_bit_identical_to_fresh_fold() {
+    use crowdspeed::inference::hlm::{HlmConfig, HlmTrainer};
+    use crowdspeed::inference::trend_model::{TrendModel, TrendModelConfig};
+    use std::borrow::Cow;
+
+    let ds = dataset();
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &corr_config());
+    let seeds = seeds();
+    let config = HlmConfig::default();
+    let trend = TrendModel::new(corr.clone(), &stats, TrendModelConfig::default());
+    let engine = TrendEngine::default();
+
+    let mut fresh = HlmTrainer::new(
+        &ds.graph,
+        &corr,
+        &seeds,
+        &config,
+        Some((Cow::Borrowed(&trend), engine.clone())),
+        1,
+    )
+    .unwrap();
+    fresh.fold(&ds.history, &stats, 1).unwrap();
+    let want = hlm_bytes(&fresh.fit(1).unwrap());
+
+    for threads in [1, 2, 8] {
+        let mut staged = HlmTrainer::new(
+            &ds.graph,
+            &corr,
+            &seeds,
+            &config,
+            Some((Cow::Borrowed(&trend), engine.clone())),
+            threads,
+        )
+        .unwrap();
+        staged
+            .fold(&ds.history.truncated(4), &stats, threads)
+            .unwrap();
+        staged.fold(&ds.history, &stats, threads).unwrap();
+        let got = hlm_bytes(&staged.fit(threads).unwrap());
+        assert_eq!(
+            got, want,
+            "threads={threads}: two-stage fold with reused scratch diverged"
+        );
+    }
+}
+
+/// `FoldStats` must be thread-count invariant: the flattened layout may
+/// not silently drop, duplicate or reorder cells or rows when the cell
+/// chunks land on different workers.
+#[test]
+fn fold_stats_are_invariant_across_thread_counts() {
+    use crowdspeed::inference::hlm::{HlmConfig, HlmTrainer};
+    use crowdspeed::inference::trend_model::{TrendModel, TrendModelConfig};
+    use std::borrow::Cow;
+
+    let ds = dataset();
+    let stats = HistoryStats::compute(&ds.history);
+    let corr = CorrelationGraph::build(&ds.graph, &ds.history, &stats, &corr_config());
+    let seeds = seeds();
+    let config = HlmConfig::default();
+    let trend = TrendModel::new(corr.clone(), &stats, TrendModelConfig::default());
+    let engine = TrendEngine::default();
+
+    let fold_at = |threads: usize| {
+        let mut trainer = HlmTrainer::new(
+            &ds.graph,
+            &corr,
+            &seeds,
+            &config,
+            Some((Cow::Borrowed(&trend), engine.clone())),
+            threads,
+        )
+        .unwrap();
+        trainer.fold(&ds.history, &stats, threads).unwrap()
+    };
+    let serial = fold_at(1);
+    assert!(serial.cells_sampled > 0 && serial.rows_folded > 0);
+    for threads in THREADS {
+        let par = fold_at(threads);
+        assert_eq!(
+            par.cells_sampled, serial.cells_sampled,
+            "threads={threads}: cells_sampled diverged"
+        );
+        assert_eq!(
+            par.rows_folded, serial.rows_folded,
+            "threads={threads}: rows_folded diverged"
+        );
+        assert_eq!(par, serial, "threads={threads}: FoldStats diverged");
+    }
+}
+
 /// `train_threads = 0` (auto) must resolve to some positive worker
 /// count and still produce the bit-identical model — the knob is safe
 /// to leave on auto everywhere.
