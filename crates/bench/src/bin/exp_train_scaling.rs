@@ -420,6 +420,18 @@ fn main() {
             ),
         ),
     ]);
-    std::fs::write("BENCH_train.json", json.encode() + "\n").expect("write BENCH_train.json");
+    // One JSON line per experiment in the shared results file:
+    // replace our own previous line, preserve everyone else's.
+    let mut lines: Vec<String> = std::fs::read_to_string("BENCH_train.json")
+        .map(|text| {
+            text.lines()
+                .filter(|l| !l.trim().is_empty())
+                .filter(|l| !l.contains("\"experiment\":\"train_scaling\""))
+                .map(String::from)
+                .collect()
+        })
+        .unwrap_or_default();
+    lines.push(json.encode());
+    std::fs::write("BENCH_train.json", lines.join("\n") + "\n").expect("write BENCH_train.json");
     println!("wrote BENCH_train.json");
 }

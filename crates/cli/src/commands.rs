@@ -22,7 +22,18 @@ fn preset(name: &str, params: &DatasetParams) -> Result<Dataset> {
     }
 }
 
-/// `generate --city metro --dir DIR [--training-days N --test-days N --seed S]`
+/// `generate --city metro --dir DIR [--training-days N --test-days N --seed S]
+/// [--shift-day D --shift-fraction F --shift-drop C --shift-swaps N --shift-seed S]
+/// [--history-from-tests A:B]`
+///
+/// With `--shift-day D`, truth days `D` onward carry a reproducible
+/// regime shift ([`trafficsim::RegimeSimulator`]): a fraction of roads
+/// permanently lose capacity and rerouted corridor pairs swap their
+/// traffic profiles. The probe-observed training history stays
+/// pre-shift. `--history-from-tests A:B` replaces the written history
+/// with the *dense* truth days `[A, B)` — how a drift drill builds the
+/// cold-trained reference dataset matching a rebootstrapped daemon's
+/// trailing window.
 pub fn generate(args: &Args) -> Result<String> {
     let dir = dataset_dir(args)?;
     std::fs::create_dir_all(&dir)?;
@@ -32,7 +43,41 @@ pub fn generate(args: &Args) -> Result<String> {
         seed: args.num("seed", 2016)?,
         ..DatasetParams::default()
     };
-    let ds = preset(args.require("city")?, &params)?;
+    let mut ds = preset(args.require("city")?, &params)?;
+    let mut shift_note = String::new();
+    if let Some(day) = args.get("shift-day") {
+        let shift_truth_day: u64 = day
+            .parse()
+            .map_err(|_| CliError::new("--shift-day: bad integer"))?;
+        let config = trafficsim::RegimeShiftConfig {
+            // The flag counts truth days; truth day d is simulated day
+            // training_days + d, so the training history is untouched.
+            shift_day: params.training_days as u64 + shift_truth_day,
+            drop_fraction: args.num("shift-fraction", 0.3)?,
+            capacity_drop: args.num("shift-drop", 0.35)?,
+            swap_pairs: args.num("shift-swaps", 8)?,
+            seed: args.num("shift-seed", 7)?,
+        };
+        let regime = trafficsim::RegimeSimulator::new(ds.simulator.clone(), config);
+        ds.test_days = regime.simulate_days(params.training_days as u64, params.test_days);
+        shift_note = format!(
+            ", shift from truth day {shift_truth_day} ({} roads affected)",
+            regime.plan().affected_roads().len()
+        );
+    }
+    if let Some(range) = args.get("history-from-tests") {
+        let (a, b) = range
+            .split_once(':')
+            .and_then(|(a, b)| Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
+            .filter(|&(a, b)| a < b && b <= ds.test_days.len())
+            .ok_or_else(|| {
+                CliError::new(format!(
+                    "--history-from-tests expects A:B with A < B <= {}",
+                    ds.test_days.len()
+                ))
+            })?;
+        ds.history = HistoricalData::from_days(ds.clock, ds.test_days[a..b].to_vec());
+    }
     store::write_network(&dir, &ds.graph)?;
     store::write_clock(&dir, ds.clock)?;
     store::write_history(&dir, &ds.history)?;
@@ -40,7 +85,7 @@ pub fn generate(args: &Args) -> Result<String> {
         store::write_truth(&dir, d, field)?;
     }
     Ok(format!(
-        "wrote {} ({} roads, {} training days, {} truth days) to {}",
+        "wrote {} ({} roads, {} training days, {} truth days{shift_note}) to {}",
         ds.name,
         ds.graph.num_roads(),
         ds.history.num_days(),
@@ -337,7 +382,16 @@ pub fn serve(args: &Args) -> Result<String> {
 
 /// `daemon --dir DIR [--addr HOST:PORT] [--workers N] [--queue N] [--deadline-ms D]
 /// [--snapshot-dir DIR] [--snapshot-keep N] [--frame-deadline-ms D]
-/// [--rate-limit-rps R] [--shards N [--shard-index I]] [--restart-backoff-ms MS]`
+/// [--rate-limit-rps R] [--shards N [--shard-index I]] [--restart-backoff-ms MS]
+/// [--drift-threshold T [--drift-cooldown-days N] [--drift-window-days W]]`
+///
+/// `--drift-threshold T` (> 0) arms drift adaptation: every ingest
+/// compares the live correlation accumulator against the frozen
+/// training context, and when the signal reaches `T` (cooldown and
+/// window permitting) the daemon rebootstraps on the trailing
+/// `--drift-window-days` days, re-selects the seed set, and publishes
+/// the rebuilt model atomically — surfaced as the `drift_*` family in
+/// `STATS`.
 ///
 /// Trains an estimator from the dataset dir and serves it over TCP
 /// until a `SHUTDOWN` frame arrives. With `--snapshot-dir` the daemon
@@ -404,6 +458,22 @@ pub fn daemon(args: &Args) -> Result<String> {
                 "max-incremental-fraction",
                 EstimatorConfig::default().max_incremental_fraction,
             )?,
+            // `--drift-threshold 0` (the default) leaves drift
+            // detection off entirely.
+            drift: {
+                let threshold: f64 = args.num("drift-threshold", 0.0)?;
+                (threshold > 0.0).then_some(crowdspeed::drift::DriftConfig {
+                    threshold,
+                    cooldown_days: args.num(
+                        "drift-cooldown-days",
+                        crowdspeed::drift::DriftConfig::default().cooldown_days,
+                    )?,
+                    window_days: args.num(
+                        "drift-window-days",
+                        crowdspeed::drift::DriftConfig::default().window_days,
+                    )?,
+                })
+            },
             ..EstimatorConfig::default()
         },
     };
@@ -505,6 +575,9 @@ fn daemon_fleet(args: &Args, shards: usize) -> Result<String> {
             "snapshot-keep",
             "frame-deadline-ms",
             "rate-limit-rps",
+            "drift-threshold",
+            "drift-cooldown-days",
+            "drift-window-days",
         ] {
             forward_flag(args, &mut worker_args, key);
         }
@@ -802,6 +875,13 @@ pub fn client(action: &str, args: &Args) -> Result<String> {
                     stats.rate_limited_requests
                 ));
             }
+            out.push_str(&format!(
+                "drift: signal={:.4} triggers={} last_rebootstrap_epoch={} seed_overlap={}\n",
+                stats.drift_signal,
+                stats.drift_triggers,
+                stats.drift_last_rebootstrap_epoch,
+                stats.drift_seed_overlap
+            ));
             if let Some(id) = &stats.shard {
                 out.push_str(&format!(
                     "shard worker {}/{}: {} owned roads, plan {:016x}\n",
@@ -988,6 +1068,8 @@ pub fn usage() -> &'static str {
 USAGE:
   crowdspeed generate --city metro|grid|metro-small --dir DIR
                       [--training-days N] [--test-days N] [--seed S]
+                      [--shift-day D] [--shift-fraction F] [--shift-drop C]
+                      [--shift-swaps N] [--shift-seed S] [--history-from-tests A:B]
   crowdspeed select   --dir DIR --k N
                       [--algo lazy|greedy|partition|random|degree|pagerank|variance]
   crowdspeed train    --dir DIR [--train-threads N]
@@ -999,7 +1081,8 @@ USAGE:
                       [--deadline-ms D] [--train-threads N] [--max-connections N]
                       [--snapshot-dir DIR] [--snapshot-keep N] [--frame-deadline-ms D]
                       [--rate-limit-rps R] [--shards N [--shard-index I] [--shard-binary]]
-                      [--restart-backoff-ms MS]
+                      [--restart-backoff-ms MS] [--drift-threshold T]
+                      [--drift-cooldown-days N] [--drift-window-days W]
   crowdspeed client   estimate (--slot S | --slots A,B,C)
                       (--obs FILE | --dir DIR --truth-day D)
                       [--addr HOST:PORT] [--deadline-ms D] [--binary]
@@ -1032,6 +1115,17 @@ into one ESTIMATE_BATCH frame; `client drill` parks idle keep-alive
 connections and reports probe latency plus the daemon's
 open_connections gauge. daemon --shards accepts --shard-binary to run
 the router -> worker links over the binary codec.
+
+generate --shift-day D layers a reproducible regime shift on truth
+days D onward (capacity drops on --shift-fraction of roads scaled by
+--shift-drop, plus --shift-swaps rerouted corridor pairs, drawn from
+--shift-seed); --history-from-tests A:B writes the dense truth days
+[A, B) as the history (cold-reference datasets for drift drills).
+daemon --drift-threshold T (> 0) arms drift adaptation: when the
+live-vs-context correlation drift signal reaches T (after
+--drift-cooldown-days and a full --drift-window-days window), the
+daemon rebootstraps on the trailing window, re-selects seeds, and
+publishes atomically; progress appears as drift_* in `client stats`.
 
 Observation files are `road_id speed_kmh` lines; `#` starts a comment."
 }

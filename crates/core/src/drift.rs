@@ -1,0 +1,357 @@
+//! Drift detection and adaptation: when the live correlation structure
+//! has moved away from the frozen training context, rebootstrap and
+//! re-select seeds.
+//!
+//! The paper trains once and assumes the correlation graph and the
+//! chosen seed set stay representative; a live deployment drifts
+//! (construction, seasonal shifts, rerouted corridors). This module
+//! closes that loop with three pieces:
+//!
+//! * a **drift signal** ([`signal_between`]) — a symmetric, `[0, 1]`-
+//!   bounded distance between two correlation graphs combining the
+//!   edge-churn fraction (Jaccard distance of the edge sets) with the
+//!   mean absolute co-trend shift on the shared edges;
+//! * a **trigger policy** ([`DriftConfig`] + [`DriftState`]) — fire
+//!   when the signal crosses a threshold, but never within the
+//!   cooldown of the last anchor (bootstrap or rebootstrap) and never
+//!   before a full calibration window of fresh days has accumulated;
+//! * a **seed re-selection entry point** ([`reselect_seeds`]) — re-run
+//!   lazy-greedy CELF against the rebootstrapped graph and report the
+//!   old/new overlap.
+//!
+//! The serving-side wiring (the `full_rebootstrap` retrain mode, the
+//! snapshot carriage, the `drift_*` STATS family) lives in the server
+//! crate; everything here is pure model-side machinery.
+
+use crate::correlation::CorrelationGraph;
+use crate::online::OnlineCorrelation;
+use crate::seed::lazy_greedy::lazy_greedy_threads;
+use crate::seed::objective::{InfluenceConfig, InfluenceModel};
+use roadnet::RoadId;
+use serde::{Deserialize, Serialize};
+
+/// When the ingest path rebootstraps. Policy only — like
+/// [`crate::inference::pipeline::EstimatorConfig::max_incremental_fraction`]
+/// it never changes what any *given* trained model computes, so it is
+/// excluded from configuration fingerprints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Fire when the drift signal reaches this value. The signal is in
+    /// `[0, 1]`, so `1.0` effectively disables the trigger.
+    pub threshold: f64,
+    /// Minimum ingested days between anchors: a trigger may only fire
+    /// once this many days have been ingested since the bootstrap or
+    /// the previous rebootstrap.
+    pub cooldown_days: u64,
+    /// Trailing calibration window, in days, the rebootstrap retrains
+    /// on (`0` = the full held history). When nonzero, a trigger also
+    /// waits until a full window of days has been ingested since the
+    /// last anchor, so the window never mixes regimes with the
+    /// pre-anchor history.
+    pub window_days: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            threshold: 0.25,
+            cooldown_days: 3,
+            window_days: 0,
+        }
+    }
+}
+
+/// One drift measurement between two correlation graphs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSignal {
+    /// Jaccard distance of the edge sets: `|A Δ B| / |A ∪ B|`
+    /// (`0` when both are empty).
+    pub edge_churn: f64,
+    /// Mean `|cotrend_A − cotrend_B|` over the shared edges (`0` when
+    /// none are shared).
+    pub trend_shift: f64,
+}
+
+impl DriftSignal {
+    /// The scalar the trigger policy compares against the threshold:
+    /// the worse of the two components. Both are symmetric and bounded
+    /// in `[0, 1]`, so the max is too, and it is `0` exactly when the
+    /// edge sets match and every shared weight agrees.
+    pub fn value(&self) -> f64 {
+        self.edge_churn.max(self.trend_shift)
+    }
+}
+
+/// Computes the drift signal between two correlation graphs over the
+/// same road set via one merge-walk of their `(a, b)`-sorted edge
+/// lists. Symmetric by construction: `signal_between(a, b)` equals
+/// `signal_between(b, a)` bit for bit.
+pub fn signal_between(a: &CorrelationGraph, b: &CorrelationGraph) -> DriftSignal {
+    let (ea, eb) = (a.edges(), b.edges());
+    let key = |e: &crate::correlation::CorrelationEdge| (e.a, e.b);
+    debug_assert!(ea.windows(2).all(|w| key(&w[0]) < key(&w[1])));
+    debug_assert!(eb.windows(2).all(|w| key(&w[0]) < key(&w[1])));
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut shared = 0usize;
+    let mut shift_sum = 0.0f64;
+    while i < ea.len() && j < eb.len() {
+        match key(&ea[i]).cmp(&key(&eb[j])) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                shared += 1;
+                shift_sum += (ea[i].cotrend - eb[j].cotrend).abs();
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = ea.len() + eb.len() - shared;
+    let churned = union - shared;
+    DriftSignal {
+        edge_churn: if union == 0 {
+            0.0
+        } else {
+            churned as f64 / union as f64
+        },
+        trend_shift: if shared == 0 {
+            0.0
+        } else {
+            shift_sum / shared as f64
+        },
+    }
+}
+
+/// The per-ingest drift signal the daemon computes: the live online
+/// accumulator's materialised graph against the frozen training
+/// context.
+pub fn signal(online: &OnlineCorrelation, context: &CorrelationGraph) -> DriftSignal {
+    signal_between(&online.correlation_graph(), context)
+}
+
+/// Everything the adaptation loop remembers between ingests — carried
+/// through server snapshots so a resumed daemon stays on the same
+/// trigger trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftState {
+    /// Most recent signal value (`0` until drift detection is enabled
+    /// and a day has been ingested).
+    pub last_signal: f64,
+    /// Rebootstraps triggered so far.
+    pub triggers: u64,
+    /// Days ingested since the last anchor (bootstrap or rebootstrap).
+    pub days_since_anchor: u64,
+    /// Model epoch published by the last rebootstrap (`0` = never).
+    pub last_rebootstrap_epoch: u64,
+    /// `|old ∩ new|` of the last seed re-selection.
+    pub last_seed_overlap: u64,
+}
+
+impl Default for DriftState {
+    fn default() -> Self {
+        DriftState {
+            last_signal: 0.0,
+            triggers: 0,
+            days_since_anchor: 0,
+            last_rebootstrap_epoch: 0,
+            last_seed_overlap: 0,
+        }
+    }
+}
+
+impl DriftState {
+    /// Counts one ingested day. Call before evaluating the trigger so
+    /// the day being ingested is part of the calibration window.
+    pub fn note_ingest(&mut self) {
+        self.days_since_anchor += 1;
+    }
+
+    /// Whether a signal of `value` fires the trigger now: at or above
+    /// the threshold, past the cooldown, and (when a window is
+    /// configured) with a full window of fresh days since the last
+    /// anchor. Deterministic — a replayed day sequence reproduces the
+    /// same trigger days exactly.
+    pub fn should_trigger(&self, config: &DriftConfig, value: f64) -> bool {
+        value >= config.threshold
+            && self.days_since_anchor >= config.cooldown_days
+            && self.days_since_anchor >= config.window_days as u64
+    }
+
+    /// Records a fired trigger: bumps the counter and re-anchors the
+    /// day clock. The publishing epoch is only known after the swap —
+    /// the caller records it separately.
+    pub fn record_trigger(&mut self, seed_overlap: u64) {
+        self.triggers += 1;
+        self.days_since_anchor = 0;
+        self.last_seed_overlap = seed_overlap;
+    }
+}
+
+/// A completed seed re-selection.
+#[derive(Debug, Clone)]
+pub struct Reselection {
+    /// The new seed set, CELF order.
+    pub seeds: Vec<RoadId>,
+    /// Coverage objective of the new set on the new graph.
+    pub objective: f64,
+    /// `|old ∩ new|` — how much of the deployed seed set survived.
+    pub overlap: usize,
+}
+
+/// Re-runs lazy-greedy CELF against `corr` (the rebootstrapped graph)
+/// with the same budget as `old_seeds`, reporting the overlap.
+/// Bit-identical across thread counts like every training kernel.
+pub fn reselect_seeds(
+    corr: &CorrelationGraph,
+    influence: &InfluenceConfig,
+    old_seeds: &[RoadId],
+    threads: usize,
+) -> Reselection {
+    let model = InfluenceModel::build_threaded(corr, influence, threads);
+    let selection = lazy_greedy_threads(&model, old_seeds.len(), threads);
+    let mut old: Vec<RoadId> = old_seeds.to_vec();
+    old.sort();
+    let overlap = selection
+        .seeds
+        .iter()
+        .filter(|s| old.binary_search(s).is_ok())
+        .count();
+    Reselection {
+        seeds: selection.seeds,
+        objective: selection.objective,
+        overlap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::CorrelationEdge;
+
+    fn graph(n: usize, edges: &[(u32, u32, f64)]) -> CorrelationGraph {
+        let edges: Vec<CorrelationEdge> = edges
+            .iter()
+            .map(|&(a, b, cotrend)| CorrelationEdge {
+                a: RoadId(a),
+                b: RoadId(b),
+                cotrend,
+                support: 10,
+            })
+            .collect();
+        CorrelationGraph::from_edges(n, edges).expect("valid edges")
+    }
+
+    #[test]
+    fn identical_graphs_have_zero_signal() {
+        let g = graph(4, &[(0, 1, 0.8), (1, 2, 0.7), (2, 3, 0.9)]);
+        let s = signal_between(&g, &g);
+        assert_eq!(s.edge_churn, 0.0);
+        assert_eq!(s.trend_shift, 0.0);
+        assert_eq!(s.value(), 0.0);
+    }
+
+    #[test]
+    fn empty_graphs_have_zero_signal() {
+        let g = graph(3, &[]);
+        assert_eq!(signal_between(&g, &g).value(), 0.0);
+    }
+
+    #[test]
+    fn signal_is_symmetric_and_bounded() {
+        let a = graph(5, &[(0, 1, 0.9), (1, 2, 0.6), (3, 4, 0.8)]);
+        let b = graph(5, &[(0, 1, 0.7), (2, 3, 0.8)]);
+        let ab = signal_between(&a, &b);
+        let ba = signal_between(&b, &a);
+        assert_eq!(ab, ba);
+        assert!((0.0..=1.0).contains(&ab.value()));
+        // 1 shared of 4 union → churn 3/4; shared shift |0.9 − 0.7|.
+        assert!((ab.edge_churn - 0.75).abs() < 1e-12);
+        assert!((ab.trend_shift - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn churn_grows_with_added_edges() {
+        let base = graph(10, &[(0, 1, 0.8), (2, 3, 0.8)]);
+        let mut prev = 0.0;
+        for extra in 1..5 {
+            let mut edges = vec![(0, 1, 0.8), (2, 3, 0.8)];
+            for e in 0..extra {
+                edges.push((4 + e, 5 + e, 0.9));
+            }
+            let churn = signal_between(&base, &graph(10, &edges)).edge_churn;
+            assert!(churn > prev, "churn must grow: {churn} vs {prev}");
+            prev = churn;
+        }
+    }
+
+    #[test]
+    fn trigger_respects_threshold_cooldown_and_window() {
+        let config = DriftConfig {
+            threshold: 0.5,
+            cooldown_days: 2,
+            window_days: 3,
+        };
+        let mut st = DriftState::default();
+        // Day 1-2: above threshold but inside the window gate.
+        for _ in 0..2 {
+            st.note_ingest();
+            assert!(!st.should_trigger(&config, 0.9));
+        }
+        // Day 3: window satisfied, below threshold → no fire.
+        st.note_ingest();
+        assert!(!st.should_trigger(&config, 0.49));
+        // Same day, at threshold → fires.
+        assert!(st.should_trigger(&config, 0.5));
+        st.record_trigger(4);
+        assert_eq!(st.triggers, 1);
+        assert_eq!(st.days_since_anchor, 0);
+        // Post-trigger: the anchor clock restarts; nothing fires until
+        // both cooldown and window pass again.
+        for _ in 0..2 {
+            st.note_ingest();
+            assert!(!st.should_trigger(&config, 1.0));
+        }
+        st.note_ingest();
+        assert!(st.should_trigger(&config, 1.0));
+    }
+
+    #[test]
+    fn cooldown_alone_gates_when_window_disabled() {
+        let config = DriftConfig {
+            threshold: 0.1,
+            cooldown_days: 2,
+            window_days: 0,
+        };
+        let mut st = DriftState::default();
+        st.note_ingest();
+        assert!(!st.should_trigger(&config, 1.0));
+        st.note_ingest();
+        assert!(st.should_trigger(&config, 1.0));
+    }
+
+    #[test]
+    fn reselection_reports_overlap() {
+        // A path graph: CELF picks central roads; re-selecting on the
+        // same graph with the same budget reproduces the same set.
+        let g = graph(
+            6,
+            &[
+                (0, 1, 0.9),
+                (1, 2, 0.9),
+                (2, 3, 0.9),
+                (3, 4, 0.9),
+                (4, 5, 0.9),
+            ],
+        );
+        let cfg = InfluenceConfig::default();
+        let first = reselect_seeds(&g, &cfg, &[RoadId(0), RoadId(5)], 1);
+        assert_eq!(first.seeds.len(), 2);
+        let again = reselect_seeds(&g, &cfg, &first.seeds, 1);
+        assert_eq!(again.seeds, first.seeds);
+        assert_eq!(again.overlap, 2);
+        assert_eq!(again.objective, first.objective);
+        // Across thread counts the selection is bit-identical.
+        let threaded = reselect_seeds(&g, &cfg, &first.seeds, 4);
+        assert_eq!(threaded.seeds, first.seeds);
+    }
+}

@@ -35,6 +35,13 @@ pub struct EstimatorConfig {
     /// changes what any trained model computes, so it is excluded from
     /// configuration fingerprints.
     pub max_incremental_fraction: f64,
+    /// Drift-adaptation policy: when set, the ingest path measures the
+    /// live-vs-context drift signal each day and a trigger rebootstraps
+    /// the correlation model and re-selects seeds
+    /// ([`crate::drift`]). `None` (the default) disables adaptation.
+    /// Policy only — excluded from configuration fingerprints like
+    /// `max_incremental_fraction`.
+    pub drift: Option<crate::drift::DriftConfig>,
 }
 
 impl Default for EstimatorConfig {
@@ -45,6 +52,7 @@ impl Default for EstimatorConfig {
             hlm: HlmConfig::default(),
             train_threads: 0,
             max_incremental_fraction: 0.5,
+            drift: None,
         }
     }
 }

@@ -54,6 +54,7 @@
 pub mod baselines;
 pub mod codec;
 pub mod correlation;
+pub mod drift;
 pub mod eval;
 pub mod inference;
 pub mod metrics;
@@ -69,6 +70,7 @@ pub mod shard;
 pub mod prelude {
     pub use crate::baselines;
     pub use crate::correlation::{CorrelationConfig, CorrelationGraph};
+    pub use crate::drift::{DriftConfig, DriftSignal, DriftState};
     pub use crate::eval::{evaluate, EvalConfig, EvalReport};
     pub use crate::inference::hlm::{HlmConfig, HlmModel};
     pub use crate::inference::pipeline::{

@@ -54,7 +54,9 @@ use crate::protocol::{
     DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use crate::snapshot::{self, RejectReason};
-use crate::state::{panic_message, ModelEpoch, ModelSlot, RetrainError, TrainInputs, TrainState};
+use crate::state::{
+    panic_message, ModelEpoch, ModelSlot, RetrainError, RetrainMode, TrainInputs, TrainState,
+};
 use crate::ServerError;
 use crowdspeed::prelude::*;
 use crowdspeed::shard::{ShardPlan, ShardView};
@@ -197,7 +199,19 @@ impl Daemon {
         config: DaemonConfig,
     ) -> Result<DaemonHandle, ServerError> {
         let estimator = train_state.train().map_err(ServerError::Core)?;
-        spawn_inner(train_state, estimator, 1, false, Vec::new(), config)
+        // Hash before serving starts: the configured seed set is still
+        // deployed here, so this equals the hash a later `spawn_from`
+        // derives from its inputs even if drift re-selects seeds later.
+        let snapshot_hash = snapshot::train_state_hash(&train_state);
+        spawn_inner(
+            train_state,
+            estimator,
+            1,
+            false,
+            Vec::new(),
+            config,
+            snapshot_hash,
+        )
     }
 
     /// Starts a daemon that resumes from the newest valid snapshot in
@@ -226,14 +240,21 @@ impl Daemon {
         match loaded {
             Some(outcome) => {
                 let payload = outcome.payload;
+                // The snapshot carries the *currently deployed* seed set
+                // inside the estimator — after a drift rebootstrap it
+                // differs from the configured one, so adopt it rather
+                // than the caller's `inputs.seeds`. The file already
+                // passed the config-hash check against the configured
+                // set, so this is the same model lineage.
                 let train_state = TrainState::resume(
                     inputs.graph,
-                    inputs.seeds,
+                    payload.estimator.seeds().to_vec(),
                     inputs.config,
                     payload.clock,
                     payload.days,
                     payload.online,
                     payload.context,
+                    payload.drift,
                 );
                 spawn_inner(
                     train_state,
@@ -242,6 +263,7 @@ impl Daemon {
                     true,
                     rejects,
                     config,
+                    expected,
                 )
             }
             None => {
@@ -253,7 +275,7 @@ impl Daemon {
                     inputs.config,
                 );
                 let estimator = train_state.train().map_err(ServerError::Core)?;
-                spawn_inner(train_state, estimator, 1, false, rejects, config)
+                spawn_inner(train_state, estimator, 1, false, rejects, config, expected)
             }
         }
     }
@@ -264,6 +286,7 @@ impl Daemon {
 /// persists the initial epoch when it was freshly trained, builds the
 /// poller + wakeup pair (so setup failures surface here, not inside
 /// the thread), and starts the event loop.
+#[allow(clippy::too_many_arguments)]
 fn spawn_inner(
     train_state: TrainState,
     estimator: TrafficEstimator,
@@ -271,13 +294,18 @@ fn spawn_inner(
     resumed: bool,
     rejects: Vec<RejectReason>,
     config: DaemonConfig,
+    // Stamped into every snapshot this process writes. Callers compute
+    // it from the *configured* seed set (not the currently deployed
+    // one), so snapshots written after a drift seed re-selection still
+    // match the hash a restart derives from its inputs.
+    snapshot_hash: u64,
 ) -> Result<DaemonHandle, ServerError> {
-    let snapshot_hash = snapshot::train_state_hash(&train_state);
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let metrics = Metrics::new(epoch, train_state.days_ingested());
     metrics.set_snapshot_resumed(resumed);
+    metrics.set_drift(train_state.drift());
     for reason in rejects {
         metrics.snapshot_reject(reason);
     }
@@ -368,6 +396,7 @@ fn persist_epoch(
         train.online(),
         estimator,
         train.context(),
+        train.drift(),
         shared.snapshot_hash,
     );
     match snapshot::write_snapshot(dir, shared.config.snapshot_keep, epoch, &bytes) {
@@ -1643,6 +1672,13 @@ fn serve_ingest(shared: &Arc<Shared>, rows: Vec<Vec<f64>>) -> Response {
             let epoch = shared.model.publish(outcome.estimator);
             shared.metrics.set_epoch(epoch);
             shared.metrics.set_days_ingested(days_ingested);
+            if outcome.mode == RetrainMode::FullRebootstrap {
+                // Record which published epoch the rebootstrap landed
+                // on, so operators can line `drift_last_rebootstrap_
+                // epoch` up with the serving history.
+                train.record_rebootstrap_epoch(epoch);
+            }
+            shared.metrics.set_drift(train.drift());
             // Persist while still holding the train lock: the written
             // day history, online counters, and published model cannot
             // skew against each other.

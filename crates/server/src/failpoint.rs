@@ -14,6 +14,8 @@
 //! |--------------|-----------------------------------------------------|
 //! | `estimate`   | on a serving worker, before the estimate runs       |
 //! | `retrain`    | on the ingest path, before the fold + retrain       |
+//! | `rebootstrap`| mid drift-rebootstrap, after the history is         |
+//! |              | windowed but before the model rebuilds              |
 //! | `conn_spawn` | in the acceptor, in place of spawning a handler     |
 //! | `conn_write` | in the response writer: with `fail`, only half the  |
 //! |              | frame is written before the socket is severed (a    |

@@ -60,6 +60,7 @@ pub use daemon::{Daemon, DaemonConfig, DaemonHandle, ShardSpec};
 pub use fleet::{dataset_plan, Fleet, FleetStatus, WorkerSpec, WorkerStatus};
 pub use protocol::{
     BatchItem, BatchOutcome, Codec, ErrorKind, Request, Response, ShardHealth, ShardIdentity,
+    StatsReply,
 };
 pub use router::{Router, RouterConfig, RouterHandle};
 pub use snapshot::RejectReason;

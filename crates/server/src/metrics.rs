@@ -89,6 +89,16 @@ pub struct Metrics {
     requests_json: AtomicU64,
     /// Frames decoded from the binary codec.
     requests_binary: AtomicU64,
+    /// Gauge: latest drift-signal value, stored as `f64::to_bits`.
+    drift_signal_bits: AtomicU64,
+    /// Drift-triggered full rebootstraps since this model lineage began
+    /// (carried across restarts via the snapshot, unlike the `retrains`
+    /// counters which reset with the process).
+    drift_triggers: AtomicU64,
+    /// Gauge: model epoch the latest rebootstrap published (0 = never).
+    drift_last_rebootstrap_epoch: AtomicU64,
+    /// Gauge: |old ∩ new| of the latest seed re-selection.
+    drift_seed_overlap: AtomicU64,
 }
 
 impl Metrics {
@@ -118,6 +128,10 @@ impl Metrics {
             open_connections: AtomicU64::new(0),
             requests_json: AtomicU64::new(0),
             requests_binary: AtomicU64::new(0),
+            drift_signal_bits: AtomicU64::new(0f64.to_bits()),
+            drift_triggers: AtomicU64::new(0),
+            drift_last_rebootstrap_epoch: AtomicU64::new(0),
+            drift_seed_overlap: AtomicU64::new(0),
         }
     }
 
@@ -262,6 +276,19 @@ impl Metrics {
         .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Mirrors the train state's drift-adaptation gauges (called under
+    /// the train lock after every ingest and once at spawn, so the
+    /// four gauges can only be torn against each other by one ingest).
+    pub fn set_drift(&self, drift: &crowdspeed::drift::DriftState) {
+        self.drift_signal_bits
+            .store(drift.last_signal.to_bits(), Ordering::Relaxed);
+        self.drift_triggers.store(drift.triggers, Ordering::Relaxed);
+        self.drift_last_rebootstrap_epoch
+            .store(drift.last_rebootstrap_epoch, Ordering::Relaxed);
+        self.drift_seed_overlap
+            .store(drift.last_seed_overlap, Ordering::Relaxed);
+    }
+
     /// Records one served-estimate latency in the histogram.
     pub fn observe_latency_us(&self, micros: u64) {
         let bucket = LATENCY_BUCKET_BOUNDS_US
@@ -326,6 +353,10 @@ impl Metrics {
             // context, not this registry; callers overwrite them.
             shard: None,
             shards: Vec::new(),
+            drift_signal: f64::from_bits(self.drift_signal_bits.load(Ordering::Relaxed)),
+            drift_triggers: self.drift_triggers.load(Ordering::Relaxed),
+            drift_last_rebootstrap_epoch: self.drift_last_rebootstrap_epoch.load(Ordering::Relaxed),
+            drift_seed_overlap: self.drift_seed_overlap.load(Ordering::Relaxed),
         }
     }
 }
@@ -383,7 +414,18 @@ mod tests {
         m.codec_request(Codec::Binary);
         m.received(Command::EstimateBatch);
         m.ok(Command::EstimateBatch);
+        m.set_drift(&crowdspeed::drift::DriftState {
+            last_signal: 0.375,
+            triggers: 2,
+            days_since_anchor: 1,
+            last_rebootstrap_epoch: 6,
+            last_seed_overlap: 3,
+        });
         let snap = m.snapshot();
+        assert_eq!(snap.drift_signal, 0.375);
+        assert_eq!(snap.drift_triggers, 2);
+        assert_eq!(snap.drift_last_rebootstrap_epoch, 6);
+        assert_eq!(snap.drift_seed_overlap, 3);
         assert_eq!(snap.rate_limited_requests, 2);
         assert_eq!(snap.open_connections, 2);
         assert_eq!(m.open_connections(), 2);

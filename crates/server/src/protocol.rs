@@ -333,6 +333,15 @@ pub struct StatsReply {
     /// Per-shard health rows, present only in a router's fleet-wide
     /// `STATS` merge (empty and absent on the wire otherwise).
     pub shards: Vec<ShardHealth>,
+    /// Latest drift-signal value (0 when drift detection is off).
+    pub drift_signal: f64,
+    /// Drift-triggered full rebootstraps over this model lineage
+    /// (survives restarts via the snapshot).
+    pub drift_triggers: u64,
+    /// Model epoch the latest rebootstrap published (0 = never).
+    pub drift_last_rebootstrap_epoch: u64,
+    /// |old ∩ new| of the latest drift seed re-selection.
+    pub drift_seed_overlap: u64,
 }
 
 /// A shard worker's identity as reported in its own `STATS` reply.
@@ -372,6 +381,9 @@ pub struct ShardHealth {
 }
 
 /// A daemon → client reply.
+// `Stats` dwarfs the other variants, but it is a rare control-plane
+// reply — boxing it would buy nothing on the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Successful estimate.
@@ -881,6 +893,19 @@ impl Response {
                         "requests_binary".into(),
                         Json::Num(stats.requests_binary as f64),
                     ),
+                    ("drift_signal".into(), Json::Num(stats.drift_signal)),
+                    (
+                        "drift_triggers".into(),
+                        Json::Num(stats.drift_triggers as f64),
+                    ),
+                    (
+                        "drift_last_rebootstrap_epoch".into(),
+                        Json::Num(stats.drift_last_rebootstrap_epoch as f64),
+                    ),
+                    (
+                        "drift_seed_overlap".into(),
+                        Json::Num(stats.drift_seed_overlap as f64),
+                    ),
                 ];
                 if let Some(shard) = &stats.shard {
                     fields.push((
@@ -1134,6 +1159,26 @@ impl Response {
                                 })
                             })
                             .collect::<Result<Vec<_>, String>>()?,
+                    },
+                    // The drift family postdates the shard fields;
+                    // frames from older builds simply omit them.
+                    drift_signal: match json.get("drift_signal") {
+                        None | Some(Json::Null) => 0.0,
+                        Some(v) => v.as_f64().ok_or("drift_signal: bad number")?,
+                    },
+                    drift_triggers: match json.get("drift_triggers") {
+                        None | Some(Json::Null) => 0,
+                        Some(v) => v.as_u64().ok_or("drift_triggers: bad integer")?,
+                    },
+                    drift_last_rebootstrap_epoch: match json.get("drift_last_rebootstrap_epoch") {
+                        None | Some(Json::Null) => 0,
+                        Some(v) => v
+                            .as_u64()
+                            .ok_or("drift_last_rebootstrap_epoch: bad integer")?,
+                    },
+                    drift_seed_overlap: match json.get("drift_seed_overlap") {
+                        None | Some(Json::Null) => 0,
+                        Some(v) => v.as_u64().ok_or("drift_seed_overlap: bad integer")?,
                     },
                 }))
             }
@@ -1571,6 +1616,10 @@ fn put_stats(buf: &mut Vec<u8>, stats: &StatsReply) {
         put_u64(buf, h.restarts);
         put_u64(buf, h.owned_roads);
     }
+    put_f64(buf, stats.drift_signal);
+    put_u64(buf, stats.drift_triggers);
+    put_u64(buf, stats.drift_last_rebootstrap_epoch);
+    put_u64(buf, stats.drift_seed_overlap);
 }
 
 fn read_stats(r: &mut BinReader) -> Result<StatsReply, String> {
@@ -1638,6 +1687,10 @@ fn read_stats(r: &mut BinReader) -> Result<StatsReply, String> {
                 })
                 .collect::<Result<Vec<_>, String>>()?
         },
+        drift_signal: r.f64()?,
+        drift_triggers: r.u64()?,
+        drift_last_rebootstrap_epoch: r.u64()?,
+        drift_seed_overlap: r.u64()?,
     })
 }
 
@@ -2230,6 +2283,10 @@ mod tests {
                         owned_roads: 1024,
                     },
                 ],
+                drift_signal: 0.3125,
+                drift_triggers: 2,
+                drift_last_rebootstrap_epoch: 7,
+                drift_seed_overlap: 5,
             }),
             Response::Snapshotted {
                 epoch: 5,

@@ -40,7 +40,7 @@ use crate::fleet::FleetStatus;
 use crate::metrics::{Command, Metrics};
 use crate::protocol::{
     read_frame_with_deadline, BatchItem, BatchOutcome, Codec, ErrorKind, EstimateReply, Request,
-    Response, ShardHealth, WireError, BINARY_PROTOCOL_VERSION, DEFAULT_MAX_FRAME_BYTES,
+    Response, ShardHealth, StatsReply, WireError, BINARY_PROTOCOL_VERSION, DEFAULT_MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
 };
 use crate::{Client, ClientConfig, ServerError};
@@ -715,21 +715,49 @@ fn route_ingest(
 
 /// Merge the router's own command counters with a per-shard health
 /// breakdown probed over the wire.
+///
+/// The probe is pipelined like [`scatter_estimates`]: `STATS` goes out
+/// to every live link first, then replies are collected in shard order
+/// — broadcast latency is the slowest worker's, not the fleet's sum. A
+/// link that fails at either step is poisoned and its row reports
+/// `up: false` (stats probing never fails the request).
 fn route_stats(shared: &Arc<RouterShared>, links: &mut ShardLinks) -> Response {
     let plan = &shared.config.plan;
+    let shards = shared.config.shard_addrs.len();
     let fleet: Option<Vec<crate::fleet::WorkerStatus>> =
         shared.config.fleet.as_ref().map(|f| f.workers());
     let mut snap = shared.metrics.snapshot();
-    let mut shard_rows = Vec::with_capacity(shared.config.shard_addrs.len());
-    for shard in 0..shared.config.shard_addrs.len() {
+    let mut probes: Vec<Option<StatsReply>> = (0..shards).map(|_| None).collect();
+    let mut sent: Vec<usize> = Vec::with_capacity(shards);
+    for (shard, probe) in probes.iter_mut().enumerate() {
+        match links.get(&shared.config, shard) {
+            Some(client) => match client.send(&Request::Stats) {
+                Ok(()) => sent.push(shard),
+                Err(_) => links.poison(shard),
+            },
+            None => *probe = None,
+        }
+    }
+    for shard in sent {
+        let raw = match links.clients[shard].as_mut() {
+            Some(client) => client.recv(),
+            None => Err(link_down()),
+        };
+        match raw {
+            Ok(Response::Stats(stats)) => probes[shard] = Some(stats),
+            // A typed remote error, a mismatched response, or a dead
+            // link all leave the row down; drop the link either way so
+            // the next request redials instead of desyncing framing.
+            Ok(_) | Err(_) => links.poison(shard),
+        }
+    }
+    let mut shard_rows = Vec::with_capacity(shards);
+    for (shard, probe) in probes.into_iter().enumerate() {
         let owned_roads = plan.owned_roads(shard).len() as u64;
         let restarts = fleet
             .as_ref()
             .and_then(|w| w.get(shard))
             .map_or(0, |w| w.restarts);
-        let probe = links
-            .get(&shared.config, shard)
-            .and_then(|client| client.stats().ok());
         match probe {
             Some(stats) => {
                 let plan_ok = stats.shard.as_ref().is_some_and(|identity| {
@@ -737,6 +765,15 @@ fn route_stats(shared: &Arc<RouterShared>, links: &mut ShardLinks) -> Response {
                 });
                 snap.epoch = snap.epoch.max(stats.epoch);
                 snap.days_ingested = snap.days_ingested.max(stats.days_ingested);
+                // Fleet-wide drift view: the worst signal and the
+                // busiest trigger history across workers (every worker
+                // ingests every day, so these normally agree anyway).
+                snap.drift_signal = snap.drift_signal.max(stats.drift_signal);
+                snap.drift_triggers = snap.drift_triggers.max(stats.drift_triggers);
+                snap.drift_last_rebootstrap_epoch = snap
+                    .drift_last_rebootstrap_epoch
+                    .max(stats.drift_last_rebootstrap_epoch);
+                snap.drift_seed_overlap = snap.drift_seed_overlap.max(stats.drift_seed_overlap);
                 shard_rows.push(ShardHealth {
                     shard: shard as u32,
                     up: true,
@@ -748,7 +785,6 @@ fn route_stats(shared: &Arc<RouterShared>, links: &mut ShardLinks) -> Response {
                 });
             }
             None => {
-                links.poison(shard);
                 shard_rows.push(ShardHealth {
                     shard: shard as u32,
                     up: false,

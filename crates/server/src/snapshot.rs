@@ -16,6 +16,7 @@
 //! └──────────────┴─────────────┴──────────────────┴──────────────────┴───────────────┘
 //! ┌───────────────────────────────────────────────────────────────────────────────────┐
 //! │ payload: epoch u64 | slots_per_day | day history | OnlineCorrelation | estimator   │
+//! │          | context flag [+ graph] | drift state (5 × u64)                          │
 //! └───────────────────────────────────────────────────────────────────────────────────┘
 //! ```
 //!
@@ -59,10 +60,12 @@ pub const SNAPSHOT_MAGIC: &[u8; 4] = b"CSSN";
 
 /// Format version written by this build. Version 2 added the frozen
 /// training context graph after the estimator (deduplicated to one
-/// flag byte when it equals the estimator's live graph); version-1
-/// files are refused with [`RejectReason::BadVersion`] and the daemon
-/// falls back to a full retrain.
-pub const SNAPSHOT_VERSION: u16 = 2;
+/// flag byte when it equals the estimator's live graph); version 3
+/// appended the drift-adaptation state (signal, trigger clock,
+/// rebootstrap epoch, seed overlap) after the context. Older versions
+/// are refused with [`RejectReason::BadVersion`] and the daemon falls
+/// back to a clean retrain.
+pub const SNAPSHOT_VERSION: u16 = 3;
 
 /// Extension of snapshot files (`epoch-<epoch>.csnap`).
 pub const SNAPSHOT_EXT: &str = "csnap";
@@ -186,6 +189,10 @@ pub struct SnapshotPayload {
     /// keeps a resumed daemon's `INGEST_DAY` trajectory bit-identical
     /// to a never-restarted one's.
     pub context: CorrelationGraph,
+    /// Drift-adaptation state (signal, trigger clock, rebootstrap
+    /// epoch, seed overlap) — carried so a restart neither forgets a
+    /// pending cooldown nor re-fires a trigger it already served.
+    pub drift: DriftState,
 }
 
 /// Serialises one epoch (header + checksummed payload).
@@ -194,6 +201,7 @@ pub struct SnapshotPayload {
 /// encodes byte-identically to the estimator's live correlation graph
 /// (fresh bootstrap, post re-anchor) a single `0` flag byte stands in
 /// for it; otherwise a `1` flag precedes the explicit graph.
+#[allow(clippy::too_many_arguments)]
 pub fn encode_snapshot(
     epoch: u64,
     clock: SlotClock,
@@ -201,6 +209,7 @@ pub fn encode_snapshot(
     online: &OnlineCorrelation,
     estimator: &TrafficEstimator,
     context: &CorrelationGraph,
+    drift: &DriftState,
     config_hash: u64,
 ) -> Bytes {
     let mut body = BytesMut::new();
@@ -224,6 +233,11 @@ pub fn encode_snapshot(
         body.put_u8(1);
         body.put_slice(&ctx_bytes);
     }
+    body.put_u64_le(drift.last_signal.to_bits());
+    body.put_u64_le(drift.triggers);
+    body.put_u64_le(drift.days_since_anchor);
+    body.put_u64_le(drift.last_rebootstrap_epoch);
+    body.put_u64_le(drift.last_seed_overlap);
     let mut out = BytesMut::with_capacity(HEADER_LEN + body.len());
     out.put_slice(SNAPSHOT_MAGIC);
     out.put_u16_le(SNAPSHOT_VERSION);
@@ -308,9 +322,22 @@ fn decode_payload(payload: &[u8]) -> Result<SnapshotPayload, codec::DecodeError>
         1 => codec::decode_correlation_graph(&mut buf)?,
         flag => return Err(DecodeError::Corrupt(format!("unknown context flag {flag}"))),
     };
+    let last_signal = f64::from_bits(codec::get_u64(&mut buf)?);
+    if !last_signal.is_finite() || !(0.0..=1.0).contains(&last_signal) {
+        return Err(DecodeError::Corrupt(format!(
+            "drift signal {last_signal} outside [0, 1]"
+        )));
+    }
+    let drift = DriftState {
+        last_signal,
+        triggers: codec::get_u64(&mut buf)?,
+        days_since_anchor: codec::get_u64(&mut buf)?,
+        last_rebootstrap_epoch: codec::get_u64(&mut buf)?,
+        last_seed_overlap: codec::get_u64(&mut buf)?,
+    };
     if buf.remaining() != 0 {
         return Err(DecodeError::Corrupt(format!(
-            "{} trailing bytes after the training context",
+            "{} trailing bytes after the drift state",
             buf.remaining()
         )));
     }
@@ -321,6 +348,7 @@ fn decode_payload(payload: &[u8]) -> Result<SnapshotPayload, codec::DecodeError>
         online,
         estimator,
         context,
+        drift,
     })
 }
 

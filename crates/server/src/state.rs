@@ -143,14 +143,22 @@ pub enum RetrainMode {
     /// training context was re-anchored to the current live graph and
     /// the trainer rebuilt from scratch.
     FullReanchor = 2,
+    /// The drift trigger fired ([`EstimatorConfig::drift`]): the
+    /// history was truncated to the calibration window, the online
+    /// model rebootstrapped (fresh reference means + counters), seeds
+    /// re-selected against the new graph, and the trainer rebuilt —
+    /// bit-identical to a cold-started [`TrainState`] given the same
+    /// window and the re-selected seeds.
+    FullRebootstrap = 3,
 }
 
 impl RetrainMode {
     /// Every mode, in metrics order (index = discriminant).
-    pub const ALL: [RetrainMode; 3] = [
+    pub const ALL: [RetrainMode; 4] = [
         RetrainMode::Incremental,
         RetrainMode::FullCold,
         RetrainMode::FullReanchor,
+        RetrainMode::FullRebootstrap,
     ];
 
     /// Stable metrics name.
@@ -159,8 +167,22 @@ impl RetrainMode {
             RetrainMode::Incremental => "incremental",
             RetrainMode::FullCold => "full_cold",
             RetrainMode::FullReanchor => "full_reanchor",
+            RetrainMode::FullRebootstrap => "full_rebootstrap",
         }
     }
+}
+
+/// Which structural action one folded day fired — the branch selector
+/// shared by [`TrainState::ingest_day`] and the retrain path.
+enum FoldAction {
+    /// Drift trigger fired: history windowed, online model
+    /// rebootstrapped, seeds re-selected.
+    Rebootstrapped,
+    /// Coverage budget exceeded: context re-anchored to the live graph.
+    Reanchored,
+    /// Neither policy fired; the delta is available for an incremental
+    /// advance.
+    Kept(IngestDelta),
 }
 
 /// One successful `INGEST_DAY` retrain: the refreshed estimator plus
@@ -205,6 +227,11 @@ pub struct TrainState {
     trainer: Option<IncrementalTrainer>,
     seeds: Vec<roadnet::RoadId>,
     config: EstimatorConfig,
+    drift: crowdspeed::drift::DriftState,
+    /// Days a rebootstrap's window truncation dropped this ingest —
+    /// kept until the ingest commits so a panic can splice the history
+    /// back together ([`TrainState::ingest_and_train`]'s rollback).
+    drift_rollback: Option<Vec<SpeedField>>,
 }
 
 impl TrainState {
@@ -228,6 +255,8 @@ impl TrainState {
             trainer: None,
             seeds,
             config,
+            drift: crowdspeed::drift::DriftState::default(),
+            drift_rollback: None,
         }
     }
 
@@ -243,6 +272,12 @@ impl TrainState {
     /// the one a non-restarted daemon ingesting the same days follows.
     /// No trainer is standing after a resume; the first `INGEST_DAY`
     /// rebuilds one under this context ([`RetrainMode::FullCold`]).
+    /// `seeds` is the *currently deployed* seed set — after a drift
+    /// rebootstrap that is the re-selected set the snapshot's estimator
+    /// carries, not the bootstrap set the daemon was configured with.
+    /// `drift` restores the adaptation clock so the resumed daemon
+    /// stays on the writing process's exact trigger trajectory.
+    #[allow(clippy::too_many_arguments)]
     pub fn resume(
         graph: RoadGraph,
         seeds: Vec<roadnet::RoadId>,
@@ -251,6 +286,7 @@ impl TrainState {
         days: Vec<SpeedField>,
         online: crowdspeed::online::OnlineCorrelation,
         context: CorrelationGraph,
+        drift: crowdspeed::drift::DriftState,
     ) -> TrainState {
         TrainState {
             graph,
@@ -261,6 +297,8 @@ impl TrainState {
             trainer: None,
             seeds,
             config,
+            drift,
+            drift_rollback: None,
         }
     }
 
@@ -284,9 +322,22 @@ impl TrainState {
         &self.online
     }
 
-    /// The frozen seed set.
+    /// The currently deployed seed set (frozen at startup until a
+    /// drift rebootstrap re-selects it).
     pub fn seeds(&self) -> &[roadnet::RoadId] {
         &self.seeds
+    }
+
+    /// The drift-adaptation state (signal, trigger clock, overlap).
+    pub fn drift(&self) -> &crowdspeed::drift::DriftState {
+        &self.drift
+    }
+
+    /// Records the epoch a rebootstrapped model was published under —
+    /// the daemon calls this after the epoch swap, still holding the
+    /// train lock.
+    pub fn record_rebootstrap_epoch(&mut self, epoch: u64) {
+        self.drift.last_rebootstrap_epoch = epoch;
     }
 
     /// The estimator configuration frozen at startup.
@@ -381,19 +432,83 @@ impl TrainState {
         self.rebuild_trainer(&history, live.as_ref())
     }
 
+    /// Rebootstraps in place after a drift trigger: truncates the held
+    /// history to the trailing calibration window, refreshes the online
+    /// model's reference means and counters from it, re-anchors the
+    /// context to the fresh graph, and re-selects the seed set with the
+    /// same budget. The resulting state is exactly what
+    /// [`TrainState::new`] produces from the window history and the
+    /// re-selected seeds, which is the bit-identity the drift suite
+    /// pins. Days dropped by the truncation are parked in
+    /// `drift_rollback` for the panic path.
+    fn rebootstrap_now(&mut self) {
+        let window = self.config.drift.as_ref().map_or(0, |d| d.window_days);
+        if window > 0 && self.days.len() > window {
+            let cut = self.days.len() - window;
+            self.drift_rollback = Some(self.days.drain(..cut).collect());
+        }
+        // After the history is windowed but before anything rebuilds:
+        // the worst place to die, which is exactly why the fault drill
+        // injects here.
+        crate::failpoint::fire("rebootstrap");
+        let history = HistoricalData::from_days(self.clock, self.days.clone());
+        self.online = self.online.rebootstrap(&self.graph, &history);
+        self.context = self.online.correlation_graph();
+        let reselection = crowdspeed::drift::reselect_seeds(
+            &self.context,
+            &self.config.hlm.influence,
+            &self.seeds,
+            self.config.train_threads,
+        );
+        self.drift.record_trigger(reselection.overlap as u64);
+        self.seeds = reselection.seeds;
+        self.trainer = None;
+    }
+
+    /// Folds one observed day into the online model, the history, and
+    /// the drift/context policies — the mutation path shared by
+    /// [`TrainState::ingest_day`] and the retrain. Returns the delta's
+    /// coverage and which structural action fired. The drift trigger
+    /// is evaluated against the context *before* any re-anchor (a
+    /// re-anchored context would read as zero drift by construction)
+    /// and supersedes the re-anchor when both would fire.
+    fn fold_day(&mut self, day: SpeedField) -> Result<(f64, FoldAction), CoreError> {
+        let live_edges = self.live_edges();
+        let delta = self.online.ingest_day_delta(&day)?;
+        self.days.push(day);
+        let coverage = delta.coverage_fraction(live_edges);
+        self.drift.note_ingest();
+        let triggered = match &self.config.drift {
+            Some(drift_config) => {
+                let value = crowdspeed::drift::signal(&self.online, &self.context).value();
+                self.drift.last_signal = value;
+                self.drift.should_trigger(drift_config, value)
+            }
+            None => false,
+        };
+        if triggered {
+            self.rebootstrap_now();
+            return Ok((coverage, FoldAction::Rebootstrapped));
+        }
+        let (_, reanchor) = self.apply_context_policy(&delta, live_edges);
+        if reanchor {
+            Ok((coverage, FoldAction::Reanchored))
+        } else {
+            Ok((coverage, FoldAction::Kept(delta)))
+        }
+    }
+
     /// Feeds one observed day into the online correlation model and
-    /// the training history, applying the same context policy the
-    /// retrain path uses (so a reference state fed days one at a time
-    /// stays on the daemon's exact trajectory). Rejects shape
+    /// the training history, applying the same drift + context policy
+    /// the retrain path uses (so a reference state fed days one at a
+    /// time stays on the daemon's exact trajectory). Rejects shape
     /// mismatches without mutating anything. Any standing trainer is
     /// dropped — this path does not advance it — leaving the next
     /// [`TrainState::train`] or retrain to rebuild coherently.
     pub fn ingest_day(&mut self, day: SpeedField) -> Result<(), CoreError> {
-        let live_edges = self.live_edges();
-        let delta = self.online.ingest_day_delta(&day)?;
-        self.days.push(day);
-        self.apply_context_policy(&delta, live_edges);
+        self.fold_day(day)?;
         self.trainer = None;
+        self.drift_rollback = None;
         Ok(())
     }
 
@@ -402,36 +517,46 @@ impl TrainState {
     /// * standing trainer + delta within the coverage budget →
     ///   **incremental** ([`IncrementalTrainer::advance`], `O(changed)`
     ///   per layer);
+    /// * drift trigger fired → **rebootstrap**: window truncation,
+    ///   fresh online model, re-selected seeds, full rebuild;
     /// * delta over budget → **re-anchor**: context moves to the live
     ///   graph, full rebuild;
     /// * no standing trainer (resume, prior failure) → **cold
     ///   rebuild** under the existing frozen context.
     ///
-    /// All three publish bit-identical estimators to a from-scratch
-    /// [`TrainState`] fed the same day sequence.
+    /// All four publish bit-identical estimators to a from-scratch
+    /// [`TrainState`] fed the same day sequence (for the rebootstrap:
+    /// one cold-started on the post-trigger window with the re-selected
+    /// seeds).
     fn retrain_inner(&mut self, day: SpeedField) -> Result<RetrainOutcome, CoreError> {
-        let live_edges = self.live_edges();
-        let delta = self.online.ingest_day_delta(&day)?;
-        self.days.push(day);
-        let (coverage, reanchor) = self.apply_context_policy(&delta, live_edges);
+        let (coverage, action) = self.fold_day(day)?;
         let history = HistoricalData::from_days(self.clock, self.days.clone());
-        let (mode, estimator, stats) = if reanchor {
-            // Context just moved to the live graph: live == context.
-            (
+        let (mode, estimator, stats) = match action {
+            FoldAction::Rebootstrapped => (
+                // Post-rebootstrap the live graph *is* the context.
+                RetrainMode::FullRebootstrap,
+                self.rebuild_trainer(&history, None)?,
+                RetrainStats::default(),
+            ),
+            FoldAction::Reanchored => (
+                // Context just moved to the live graph: live == context.
                 RetrainMode::FullReanchor,
                 self.rebuild_trainer(&history, None)?,
                 RetrainStats::default(),
-            )
-        } else if let Some(trainer) = self.trainer.as_mut() {
-            let (estimator, stats) = trainer.advance(&history, &delta)?;
-            (RetrainMode::Incremental, estimator, stats)
-        } else {
-            let live = self.online.correlation_graph();
-            (
-                RetrainMode::FullCold,
-                self.rebuild_trainer(&history, Some(&live))?,
-                RetrainStats::default(),
-            )
+            ),
+            FoldAction::Kept(delta) => {
+                if let Some(trainer) = self.trainer.as_mut() {
+                    let (estimator, stats) = trainer.advance(&history, &delta)?;
+                    (RetrainMode::Incremental, estimator, stats)
+                } else {
+                    let live = self.online.correlation_graph();
+                    (
+                        RetrainMode::FullCold,
+                        self.rebuild_trainer(&history, Some(&live))?,
+                        RetrainStats::default(),
+                    )
+                }
+            }
         };
         Ok(RetrainOutcome {
             estimator,
@@ -459,22 +584,38 @@ impl TrainState {
     pub fn ingest_and_train(&mut self, day: SpeedField) -> Result<RetrainOutcome, RetrainError> {
         let online_snapshot = self.online.clone();
         let context_snapshot = self.context.clone();
+        let seeds_snapshot = self.seeds.clone();
+        let drift_snapshot = self.drift;
         let days_before = self.days.len();
+        self.drift_rollback = None;
         let this = &mut *self;
         let outcome = catch_unwind(AssertUnwindSafe(move || -> Result<_, CoreError> {
             crate::failpoint::fire("retrain");
             this.retrain_inner(day)
         }));
         match outcome {
-            Ok(Ok(outcome)) => Ok(outcome),
+            Ok(Ok(outcome)) => {
+                self.drift_rollback = None;
+                Ok(outcome)
+            }
             Ok(Err(e)) => {
+                self.drift_rollback = None;
                 self.trainer = None;
                 Err(RetrainError::Core(e))
             }
             Err(payload) => {
                 self.online = online_snapshot;
                 self.context = context_snapshot;
+                self.seeds = seeds_snapshot;
+                self.drift = drift_snapshot;
                 self.trainer = None;
+                // A mid-rebootstrap panic may have windowed the
+                // history: splice the dropped prefix back before
+                // dropping the half-ingested day.
+                if let Some(mut prefix) = self.drift_rollback.take() {
+                    prefix.append(&mut self.days);
+                    self.days = prefix;
+                }
                 self.days.truncate(days_before);
                 Err(RetrainError::Panicked(panic_message(payload)))
             }

@@ -198,6 +198,9 @@ proptest! {
         // hex, not f64.
         has_shard in any::<bool>(),
         shard_identity in (0u32..64, 1u32..64, 0u64..MAX_EXACT, any::<u64>()),
+        // Drift gauges: the signal lives in [0, 1] and survives the
+        // JSON codec exactly when it is a small dyadic rational.
+        drift in (0u32..=16, 0u64..MAX_EXACT, 0u64..MAX_EXACT, 0u64..MAX_EXACT),
         // Nested tuples keep each strategy tuple within the vendored
         // 6-element cap.
         shards in prop::collection::vec(
@@ -275,6 +278,10 @@ proptest! {
                     },
                 )
                 .collect(),
+            drift_signal: drift.0 as f64 / 16.0,
+            drift_triggers: drift.1,
+            drift_last_rebootstrap_epoch: drift.2,
+            drift_seed_overlap: drift.3,
         });
         let decoded = Response::decode(&resp.encode())?;
         prop_assert_eq!(decoded, resp);

@@ -45,10 +45,12 @@ pub mod dataset;
 pub mod history;
 pub mod probe;
 pub mod profile;
+pub mod regime;
 pub mod rng_ext;
 pub mod simulate;
 pub mod snapshot;
 
 pub use history::{HistoricalData, HistoryStats};
 pub use profile::SlotClock;
+pub use regime::{RegimePlan, RegimeShiftConfig, RegimeSimulator};
 pub use simulate::{SpeedField, TrafficParams, TrafficSimulator};

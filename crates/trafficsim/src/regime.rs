@@ -1,0 +1,296 @@
+//! Regime-shift scenario generation.
+//!
+//! The base simulator ([`crate::simulate`]) draws every day from one
+//! stationary process, which is exactly what a drift detector must
+//! *not* fire on. This module layers a reproducible **regime shift** on
+//! top: from a configured day onward, part of the city permanently
+//! changes — capacity drops (construction, lane closures), rerouted
+//! corridors (paired roads swap their traffic profiles), or both. The
+//! affected roads are drawn deterministically from the config's seed,
+//! so a shift dataset is a pure function of its
+//! [`RegimeShiftConfig`] — tests and benches replay it exactly.
+
+use crate::simulate::{SpeedField, TrafficSimulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use roadnet::RoadId;
+use serde::{Deserialize, Serialize};
+
+/// A reproducible regime shift: which day it starts, how much of the
+/// city it touches, and how hard.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegimeShiftConfig {
+    /// First day index (inclusive) the shift is in effect. Days before
+    /// it are exactly the base simulator's days.
+    pub shift_day: u64,
+    /// Fraction of roads hit by a permanent capacity drop, in `[0, 1]`.
+    pub drop_fraction: f64,
+    /// Multiplicative speed loss on dropped roads, in `[0, 1)`; e.g.
+    /// `0.35` means those roads run 35 % slower from `shift_day` on.
+    pub capacity_drop: f64,
+    /// Number of rerouted corridors: disjoint road pairs whose full
+    /// day-speed profiles swap (traffic moved from one road to the
+    /// other), on top of the dropped set.
+    pub swap_pairs: usize,
+    /// Seed the affected-road plan is drawn from.
+    pub seed: u64,
+}
+
+impl Default for RegimeShiftConfig {
+    fn default() -> Self {
+        RegimeShiftConfig {
+            shift_day: 0,
+            drop_fraction: 0.3,
+            capacity_drop: 0.35,
+            swap_pairs: 8,
+            seed: 7,
+        }
+    }
+}
+
+/// The concrete roads a [`RegimeShiftConfig`] resolved to on a given
+/// city — deterministic per `(config.seed, num_roads)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegimePlan {
+    /// Capacity-dropped roads, ascending, deduplicated.
+    pub dropped: Vec<RoadId>,
+    /// Profile-swapped corridor pairs; disjoint from each other and
+    /// from `dropped`.
+    pub swaps: Vec<(RoadId, RoadId)>,
+}
+
+impl RegimePlan {
+    /// Draws the plan: a Fisher–Yates shuffle of all roads seeded from
+    /// the config, with the front of the permutation split into the
+    /// dropped set and the swap pairs.
+    pub fn draw(num_roads: usize, config: &RegimeShiftConfig) -> RegimePlan {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5E9F_A3D1_0C4B_77E5);
+        let mut roads: Vec<u32> = (0..num_roads as u32).collect();
+        for i in (1..roads.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            roads.swap(i, j);
+        }
+        let drops = ((num_roads as f64 * config.drop_fraction).ceil() as usize).min(num_roads);
+        let mut dropped: Vec<RoadId> = roads[..drops].iter().map(|&r| RoadId(r)).collect();
+        dropped.sort();
+        let mut swaps = Vec::with_capacity(config.swap_pairs);
+        let mut cursor = drops;
+        while swaps.len() < config.swap_pairs && cursor + 1 < num_roads {
+            let (a, b) = (RoadId(roads[cursor]), RoadId(roads[cursor + 1]));
+            swaps.push(if a.0 < b.0 { (a, b) } else { (b, a) });
+            cursor += 2;
+        }
+        RegimePlan { dropped, swaps }
+    }
+
+    /// Every road whose profile the shift changes, ascending.
+    pub fn affected_roads(&self) -> Vec<RoadId> {
+        let mut all: Vec<RoadId> = self.dropped.clone();
+        for &(a, b) in &self.swaps {
+            all.push(a);
+            all.push(b);
+        }
+        all.sort();
+        all.dedup();
+        all
+    }
+}
+
+/// A simulator with a regime shift layered on: identical to the base
+/// simulator before `shift_day`, permanently different from it on.
+#[derive(Debug, Clone)]
+pub struct RegimeSimulator {
+    base: TrafficSimulator,
+    config: RegimeShiftConfig,
+    plan: RegimePlan,
+}
+
+impl RegimeSimulator {
+    /// Wraps `base`, resolving the config into a concrete plan.
+    pub fn new(base: TrafficSimulator, config: RegimeShiftConfig) -> RegimeSimulator {
+        let plan = RegimePlan::draw(base.graph().num_roads(), &config);
+        RegimeSimulator { base, config, plan }
+    }
+
+    /// The wrapped pre-shift simulator.
+    pub fn base(&self) -> &TrafficSimulator {
+        &self.base
+    }
+
+    /// The shift configuration.
+    pub fn config(&self) -> &RegimeShiftConfig {
+        &self.config
+    }
+
+    /// The resolved affected-road plan.
+    pub fn plan(&self) -> &RegimePlan {
+        &self.plan
+    }
+
+    /// Simulates one ground-truth day; days at or past
+    /// [`RegimeShiftConfig::shift_day`] carry the shift.
+    pub fn simulate_day(&self, day_index: u64) -> SpeedField {
+        let mut field = self.base.simulate_day(day_index);
+        if day_index < self.config.shift_day {
+            return field;
+        }
+        let slots = field.num_slots();
+        // Rerouted corridors first: the pair swaps *unperturbed*
+        // profiles, then capacity drops apply to whatever now flows on
+        // a dropped road.
+        for &(a, b) in &self.plan.swaps {
+            for slot in 0..slots {
+                let (va, vb) = (field.speed(slot, a), field.speed(slot, b));
+                field.set_speed(slot, a, vb);
+                field.set_speed(slot, b, va);
+            }
+        }
+        let min_speed = self.base.params().min_speed_kmh;
+        let scale = 1.0 - self.config.capacity_drop;
+        for &r in &self.plan.dropped {
+            for slot in 0..slots {
+                let v = (field.speed(slot, r) * scale).max(min_speed);
+                field.set_speed(slot, r, v);
+            }
+        }
+        field
+    }
+
+    /// Simulates `days` consecutive days starting at `first_day`.
+    pub fn simulate_days(&self, first_day: u64, days: usize) -> Vec<SpeedField> {
+        (0..days as u64)
+            .map(|d| self.simulate_day(first_day + d))
+            .collect()
+    }
+}
+
+/// Fraction of roads whose speeds differ anywhere between two days of
+/// the same shape — how a test checks a generator actually shifted.
+pub fn changed_road_fraction(a: &SpeedField, b: &SpeedField) -> f64 {
+    assert_eq!(a.num_roads(), b.num_roads(), "road count mismatch");
+    assert_eq!(a.num_slots(), b.num_slots(), "slot count mismatch");
+    if a.num_roads() == 0 {
+        return 0.0;
+    }
+    let changed = (0..a.num_roads())
+        .filter(|&r| {
+            let r = RoadId(r as u32);
+            (0..a.num_slots()).any(|s| a.speed(s, r).to_bits() != b.speed(s, r).to_bits())
+        })
+        .count();
+    changed as f64 / a.num_roads() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SlotClock;
+    use crate::simulate::TrafficParams;
+    use roadnet::generate::{ring_radial_city, RingRadialParams};
+
+    fn sim() -> TrafficSimulator {
+        let graph = ring_radial_city(&RingRadialParams {
+            rings: 5,
+            spokes: 10,
+            ..RingRadialParams::default()
+        });
+        TrafficSimulator::new(graph, SlotClock::hourly(), TrafficParams::default(), 2016)
+    }
+
+    fn shift() -> RegimeShiftConfig {
+        RegimeShiftConfig {
+            shift_day: 4,
+            drop_fraction: 0.25,
+            capacity_drop: 0.4,
+            swap_pairs: 5,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn shift_datasets_are_deterministic_per_seed() {
+        let a = RegimeSimulator::new(sim(), shift());
+        let b = RegimeSimulator::new(sim(), shift());
+        assert_eq!(a.plan(), b.plan());
+        for day in 0..8 {
+            assert_eq!(a.simulate_day(day), b.simulate_day(day));
+        }
+        let other = RegimeSimulator::new(
+            sim(),
+            RegimeShiftConfig {
+                seed: 12,
+                ..shift()
+            },
+        );
+        assert_ne!(a.plan(), other.plan());
+        assert_ne!(a.simulate_day(5), other.simulate_day(5));
+    }
+
+    #[test]
+    fn pre_shift_days_match_the_base_simulator() {
+        let rs = RegimeSimulator::new(sim(), shift());
+        for day in 0..4 {
+            assert_eq!(rs.simulate_day(day), rs.base().simulate_day(day));
+        }
+    }
+
+    #[test]
+    fn shifted_day_changes_at_least_the_configured_fraction() {
+        let rs = RegimeSimulator::new(sim(), shift());
+        for day in [4u64, 5, 9] {
+            let frac = changed_road_fraction(&rs.base().simulate_day(day), &rs.simulate_day(day));
+            assert!(
+                frac >= rs.config().drop_fraction,
+                "day {day}: only {frac:.3} of roads changed, configured drop fraction {}",
+                rs.config().drop_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn plan_sets_are_disjoint_and_sized() {
+        let rs = RegimeSimulator::new(sim(), shift());
+        let plan = rs.plan();
+        let n = rs.base().graph().num_roads();
+        assert_eq!(plan.dropped.len(), (n as f64 * 0.25).ceil() as usize);
+        assert_eq!(plan.swaps.len(), 5);
+        for &(a, b) in &plan.swaps {
+            assert!(a.0 < b.0);
+            assert!(!plan.dropped.contains(&a) && !plan.dropped.contains(&b));
+        }
+        let affected = plan.affected_roads();
+        assert_eq!(affected.len(), plan.dropped.len() + 2 * plan.swaps.len());
+    }
+
+    #[test]
+    fn swapped_corridors_exchange_profiles() {
+        let rs = RegimeSimulator::new(sim(), shift());
+        let base = rs.base().simulate_day(6);
+        let shifted = rs.simulate_day(6);
+        for &(a, b) in &rs.plan().swaps {
+            for slot in [0usize, 8, 17] {
+                assert_eq!(
+                    shifted.speed(slot, a).to_bits(),
+                    base.speed(slot, b).to_bits()
+                );
+                assert_eq!(
+                    shifted.speed(slot, b).to_bits(),
+                    base.speed(slot, a).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_roads_run_slower() {
+        let rs = RegimeSimulator::new(sim(), shift());
+        let base = rs.base().simulate_day(7);
+        let shifted = rs.simulate_day(7);
+        let r = rs.plan().dropped[0];
+        let min = rs.base().params().min_speed_kmh;
+        for slot in 0..base.num_slots() {
+            let expect = (base.speed(slot, r) * 0.6).max(min);
+            assert_eq!(shifted.speed(slot, r).to_bits(), expect.to_bits());
+        }
+    }
+}

@@ -1,0 +1,647 @@
+//! The drift-adaptation loop, proven end to end on a regime shift.
+//!
+//! A [`RegimeSimulator`] flips part of the city into a new traffic
+//! regime; the daemon ingests the shifted days and the drift trigger
+//! must fire **exactly** where the recorded signal trajectory says it
+//! should — then the rebootstrapped, seed-re-selected daemon must be
+//! bit-identical to a daemon cold-trained on the same post-shift
+//! window. The failure paths are pinned too: a panic mid-rebootstrap
+//! rolls every structure back (including the windowed-away history
+//! prefix) and the previous epoch keeps serving; snapshot v3 carries
+//! the drift state; v2-era files refuse cleanly into a retrain.
+//!
+//! Thread counts 1 and 4 are both exercised: adaptation is a policy,
+//! never a numerics change.
+
+use crowdspeed::drift::{reselect_seeds, DriftConfig, DriftState};
+use crowdspeed::online::OnlineCorrelation;
+use crowdspeed::prelude::*;
+use crowdspeed_server::daemon::{Daemon, DaemonConfig};
+use crowdspeed_server::failpoint::{self, Action};
+use crowdspeed_server::snapshot::{self, RejectReason};
+use crowdspeed_server::state::{RetrainError, RetrainMode, TrainInputs, TrainState};
+use roadnet::RoadId;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use trafficsim::dataset::{metro_small, Dataset, DatasetParams};
+use trafficsim::{HistoricalData, RegimeShiftConfig, RegimeSimulator, SpeedField};
+
+/// Serialises the tests that trigger rebootstraps or arm the
+/// `rebootstrap` failpoint: the failpoint registry is process-global,
+/// so a concurrently-running trigger could consume another test's
+/// armed panic.
+static REBOOTSTRAP_GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    REBOOTSTRAP_GATE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+const TRAINING_DAYS: usize = 6;
+/// Unshifted days ingested before the regime flips.
+const PRE_DAYS: usize = 2;
+/// Shifted days available after the flip.
+const POST_DAYS: usize = 8;
+const WINDOW_DAYS: usize = 4;
+
+fn dataset() -> Dataset {
+    metro_small(&DatasetParams {
+        training_days: TRAINING_DAYS,
+        test_days: 2,
+        ..DatasetParams::default()
+    })
+}
+
+fn seeds() -> Vec<RoadId> {
+    (0..12u32).map(|i| RoadId(i * 8)).collect()
+}
+
+fn corr_config() -> CorrelationConfig {
+    CorrelationConfig {
+        min_cotrend: 0.6,
+        min_co_observations: 6,
+        ..CorrelationConfig::default()
+    }
+}
+
+/// Estimator config shared by every run: the coverage re-anchor is
+/// disabled so the drift policy (and only the drift policy) decides
+/// when the context moves, keeping the observer and subject runs on
+/// one trajectory until the trigger.
+fn config(threads: usize, drift: Option<DriftConfig>) -> EstimatorConfig {
+    EstimatorConfig {
+        train_threads: threads,
+        max_incremental_fraction: f64::INFINITY,
+        drift,
+        ..EstimatorConfig::default()
+    }
+}
+
+/// Punches deterministic probe-style holes into a truth day: roughly
+/// `density`% of cells stay observed.
+fn observe(truth: &SpeedField, rng: &mut u64, density: u64) -> SpeedField {
+    let mut day = SpeedField::filled(truth.num_slots(), truth.num_roads(), f64::NAN);
+    for slot in 0..truth.num_slots() {
+        for road in 0..truth.num_roads() {
+            *rng ^= *rng << 13;
+            *rng ^= *rng >> 7;
+            *rng ^= *rng << 17;
+            if *rng % 100 < density {
+                let id = RoadId(road as u32);
+                day.set_speed(slot, id, truth.speed(slot, id));
+            }
+        }
+    }
+    day
+}
+
+/// The ingest sequence: `PRE_DAYS` unshifted days, then `POST_DAYS`
+/// days from the shifted regime, all probe-sampled at ~70% coverage.
+fn ingest_days(ds: &Dataset) -> Vec<SpeedField> {
+    let regime = RegimeSimulator::new(
+        ds.simulator.clone(),
+        RegimeShiftConfig {
+            shift_day: (TRAINING_DAYS + PRE_DAYS) as u64,
+            drop_fraction: 0.5,
+            capacity_drop: 0.5,
+            swap_pairs: 12,
+            seed: 11,
+        },
+    );
+    let truths = regime.simulate_days(TRAINING_DAYS as u64, PRE_DAYS + POST_DAYS);
+    let mut rng = 0x5EED_5EED_5EED_5EEDu64;
+    truths.iter().map(|t| observe(t, &mut rng, 70)).collect()
+}
+
+/// The drift-signal trajectory an adaptation-off state observes over
+/// `days` — the reference the trigger assertions calibrate against
+/// (before the first trigger, the adaptation-on state is on the same
+/// trajectory by construction).
+fn signal_trajectory(ds: &Dataset, days: &[SpeedField]) -> Vec<f64> {
+    let mut state = train_state(ds, config(1, None));
+    days.iter()
+        .map(|day| {
+            state.ingest_day(day.clone()).expect("observer ingest");
+            crowdspeed::drift::signal(state.online(), state.context()).value()
+        })
+        .collect()
+}
+
+/// A threshold strictly between the pre-shift and post-shift signal
+/// levels, and the two levels themselves (premax, postmax).
+fn calibrated_threshold(signals: &[f64]) -> (f64, f64, f64) {
+    let premax = signals[..PRE_DAYS].iter().cloned().fold(0.0, f64::max);
+    let postmax = signals[PRE_DAYS..].iter().cloned().fold(0.0, f64::max);
+    assert!(
+        postmax > premax + 0.05,
+        "the regime shift must move the signal visibly: pre {premax} post {postmax}"
+    );
+    ((premax + postmax) / 2.0, premax, postmax)
+}
+
+/// Replays the trigger policy over a recorded signal trajectory:
+/// the day index the first trigger fires on, if any.
+fn expected_trigger(signals: &[f64], cfg: &DriftConfig) -> Option<usize> {
+    let mut st = DriftState::default();
+    for (i, &value) in signals.iter().enumerate() {
+        st.note_ingest();
+        if st.should_trigger(cfg, value) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn train_state(ds: &Dataset, config: EstimatorConfig) -> TrainState {
+    TrainState::new(
+        ds.graph.clone(),
+        &ds.history,
+        seeds(),
+        &corr_config(),
+        config,
+    )
+}
+
+fn estimator_bytes(est: &TrafficEstimator) -> Vec<u8> {
+    let mut buf = bytes::BytesMut::new();
+    est.encode_snapshot_into(&mut buf);
+    buf.to_vec()
+}
+
+fn day_bytes(day: &SpeedField) -> Vec<u8> {
+    trafficsim::snapshot::encode_field(day).to_vec()
+}
+
+fn day_rows(day: &SpeedField) -> Vec<Vec<f64>> {
+    (0..day.num_slots())
+        .map(|slot| day.slot_speeds(slot).to_vec())
+        .collect()
+}
+
+/// The trailing calibration window at the moment the trigger fires on
+/// `days[..=trigger]`: bootstrap history plus every ingested day,
+/// truncated to the last `WINDOW_DAYS`.
+fn window_history(ds: &Dataset, days: &[SpeedField], trigger: usize) -> HistoricalData {
+    let mut all: Vec<SpeedField> = ds.history.days().to_vec();
+    all.extend(days[..=trigger].iter().cloned());
+    let cut = all.len() - WINDOW_DAYS;
+    HistoricalData::from_days(ds.clock, all.split_off(cut))
+}
+
+/// The cold-start reference for a fired trigger: bootstrap the online
+/// model on the window, re-select seeds against its graph with the old
+/// budget, and return the new seed set plus the reported overlap.
+fn cold_reselection(ds: &Dataset, window: &HistoricalData, threads: usize) -> (Vec<RoadId>, usize) {
+    let online = OnlineCorrelation::bootstrap(&ds.graph, window, &corr_config());
+    let context = online.correlation_graph();
+    let config = config(threads, None);
+    let reselection = reselect_seeds(&context, &config.hlm.influence, &seeds(), threads);
+    (reselection.seeds, reselection.overlap)
+}
+
+#[test]
+fn trigger_fires_exactly_at_the_replayed_crossing_and_respects_cooldown() {
+    let _g = gate();
+    let ds = dataset();
+    let days = ingest_days(&ds);
+    let signals = signal_trajectory(&ds, &days);
+    let (threshold, _, _) = calibrated_threshold(&signals);
+
+    let cfg = DriftConfig {
+        threshold,
+        cooldown_days: 3,
+        window_days: WINDOW_DAYS,
+    };
+    let trigger = expected_trigger(&signals, &cfg)
+        .expect("the calibrated threshold must be crossed after the shift");
+    assert!(
+        trigger >= PRE_DAYS,
+        "the trigger must not fire before the regime shift (day {trigger})"
+    );
+
+    let mut state = train_state(&ds, config(1, Some(cfg.clone())));
+    state.train().expect("initial train");
+    for (i, day) in days[..=trigger].iter().enumerate() {
+        let outcome = state.ingest_and_train(day.clone()).expect("ingest");
+        if i < trigger {
+            assert_ne!(
+                outcome.mode,
+                RetrainMode::FullRebootstrap,
+                "day {i}: no rebootstrap before the replayed crossing (day {trigger})"
+            );
+            assert_eq!(state.drift().triggers, 0);
+            assert_eq!(state.drift().days_since_anchor, (i + 1) as u64);
+        } else {
+            assert_eq!(
+                outcome.mode,
+                RetrainMode::FullRebootstrap,
+                "day {i}: the trigger fires exactly at the replayed crossing"
+            );
+        }
+        // The recorded signal matches the observer trajectory bit for
+        // bit until (and including) the trigger day.
+        assert_eq!(state.drift().last_signal.to_bits(), signals[i].to_bits());
+    }
+    assert_eq!(state.drift().triggers, 1);
+    assert_eq!(state.drift().days_since_anchor, 0, "the anchor clock reset");
+    assert_eq!(
+        state.days().len(),
+        WINDOW_DAYS,
+        "the history was truncated to the calibration window"
+    );
+
+    // A longer cooldown gates the same crossing: the trigger must wait
+    // for the anchor clock even though the signal is already over the
+    // threshold.
+    let slow = DriftConfig {
+        cooldown_days: (trigger + 3) as u64,
+        ..cfg
+    };
+    let delayed = expected_trigger(&signals, &slow)
+        .expect("the shifted regime keeps the signal over the threshold");
+    assert!(delayed > trigger, "cooldown must delay the trigger");
+    let mut state = train_state(&ds, config(1, Some(slow)));
+    state.train().expect("initial train");
+    for (i, day) in days[..=delayed].iter().enumerate() {
+        let outcome = state.ingest_and_train(day.clone()).expect("ingest");
+        let expected = if i < delayed {
+            assert!(outcome.mode != RetrainMode::FullRebootstrap, "day {i}");
+            0
+        } else {
+            assert_eq!(outcome.mode, RetrainMode::FullRebootstrap, "day {i}");
+            1
+        };
+        assert_eq!(state.drift().triggers, expected);
+    }
+}
+
+#[test]
+fn daemon_rebootstrap_is_bit_identical_to_a_cold_trained_daemon() {
+    let _g = gate();
+    let ds = dataset();
+    let days = ingest_days(&ds);
+    let signals = signal_trajectory(&ds, &days);
+    let (threshold, _, _) = calibrated_threshold(&signals);
+    let cfg = DriftConfig {
+        threshold,
+        cooldown_days: WINDOW_DAYS as u64,
+        window_days: WINDOW_DAYS,
+    };
+    let trigger = expected_trigger(&signals, &cfg).expect("trigger fires");
+    let window = window_history(&ds, &days, trigger);
+
+    // Observations for the parity probes: post-shift truth at the
+    // re-selected seed roads (identical for both daemons).
+    let shifted_truth = RegimeSimulator::new(
+        ds.simulator.clone(),
+        RegimeShiftConfig {
+            shift_day: (TRAINING_DAYS + PRE_DAYS) as u64,
+            drop_fraction: 0.5,
+            capacity_drop: 0.5,
+            swap_pairs: 12,
+            seed: 11,
+        },
+    )
+    .simulate_day((TRAINING_DAYS + PRE_DAYS + POST_DAYS) as u64);
+
+    for threads in [1usize, 4] {
+        let (new_seeds, overlap) = cold_reselection(&ds, &window, threads);
+
+        // The adapting daemon: ingest through the regime shift.
+        let adapting = Daemon::spawn(
+            train_state(&ds, config(threads, Some(cfg.clone()))),
+            DaemonConfig::default(),
+        )
+        .expect("adapting daemon spawns");
+        let mut client = crowdspeed_server::Client::connect(adapting.addr()).expect("client");
+        let obs: Vec<(u32, f64)> = new_seeds
+            .iter()
+            .map(|&s| (s.0, shifted_truth.speed(9, s)))
+            .collect();
+        for (i, day) in days[..=trigger].iter().enumerate() {
+            // Serving stays available through every ingest, including
+            // the rebootstrap itself.
+            client
+                .estimate(9, obs.clone(), None)
+                .unwrap_or_else(|e| panic!("threads={threads} day {i}: serving gap: {e}"));
+            let (epoch, _) = client.ingest_day(day_rows(day)).expect("ingest");
+            assert_eq!(epoch, (i + 2) as u64, "one epoch per ingested day");
+        }
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.drift_triggers, 1, "threads={threads}");
+        assert_eq!(stats.drift_last_rebootstrap_epoch, (trigger + 2) as u64);
+        assert_eq!(stats.drift_seed_overlap, overlap as u64);
+        assert!(stats.drift_signal >= threshold);
+        let rebootstraps = stats
+            .retrains
+            .iter()
+            .find(|(name, _)| name == "full_rebootstrap")
+            .map(|&(_, n)| n);
+        assert_eq!(rebootstraps, Some(1), "threads={threads}");
+
+        // The reference: a daemon cold-trained on the post-shift window
+        // with the re-selected seeds. Same numbers, bit for bit.
+        let cold = Daemon::spawn(
+            TrainState::new(
+                ds.graph.clone(),
+                &window,
+                new_seeds.clone(),
+                &corr_config(),
+                config(threads, None),
+            ),
+            DaemonConfig::default(),
+        )
+        .expect("cold daemon spawns");
+        let mut cold_client = crowdspeed_server::Client::connect(cold.addr()).expect("client");
+        for slot in [4usize, 9, 17] {
+            let obs: Vec<(u32, f64)> = new_seeds
+                .iter()
+                .map(|&s| (s.0, shifted_truth.speed(slot, s)))
+                .collect();
+            let a = client.estimate(slot, obs.clone(), None).expect("adapting");
+            let b = cold_client.estimate(slot, obs, None).expect("cold");
+            assert_eq!(a.speeds, b.speeds, "threads={threads} slot {slot}");
+            assert_eq!(a.p_up, b.p_up, "threads={threads} slot {slot}");
+            assert_eq!(a.trends, b.trends, "threads={threads} slot {slot}");
+        }
+
+        client.shutdown().expect("shutdown");
+        adapting.wait();
+        cold_client.shutdown().expect("shutdown");
+        cold.wait();
+    }
+}
+
+#[test]
+fn panic_mid_rebootstrap_rolls_back_splices_the_window_and_recovers() {
+    let _g = gate();
+    let ds = dataset();
+    let days = ingest_days(&ds);
+    let signals = signal_trajectory(&ds, &days);
+    let (threshold, _, _) = calibrated_threshold(&signals);
+    let cfg = DriftConfig {
+        threshold,
+        cooldown_days: WINDOW_DAYS as u64,
+        window_days: WINDOW_DAYS,
+    };
+    let trigger = expected_trigger(&signals, &cfg).expect("trigger fires");
+
+    let mut state = train_state(&ds, config(1, Some(cfg.clone())));
+    state.train().expect("initial train");
+    for day in &days[..trigger] {
+        state
+            .ingest_and_train(day.clone())
+            .expect("pre-shift ingest");
+    }
+    let days_before: Vec<Vec<u8>> = state.days().iter().map(day_bytes).collect();
+    assert!(
+        days_before.len() > WINDOW_DAYS,
+        "the rebootstrap must actually window history away for this test to bite"
+    );
+    let seeds_before = state.seeds().to_vec();
+    let drift_before = *state.drift();
+    let ingested_before = state.days_ingested();
+
+    // The worst moment to die: the history is already truncated to the
+    // window, nothing has been rebuilt yet.
+    failpoint::clear_all();
+    failpoint::configure("rebootstrap", Action::Panic, Some(1));
+    let result = state.ingest_and_train(days[trigger].clone());
+    failpoint::clear_all();
+    match result {
+        Err(RetrainError::Panicked(_)) => {}
+        Err(other) => panic!("expected a panic rollback, got {other:?}"),
+        Ok(_) => panic!("the armed failpoint must abort the rebootstrap"),
+    }
+
+    // Everything restored — including the windowed-away history prefix,
+    // in order, byte for byte.
+    let days_after: Vec<Vec<u8>> = state.days().iter().map(day_bytes).collect();
+    assert_eq!(days_after, days_before, "history spliced back exactly");
+    assert_eq!(state.seeds(), seeds_before.as_slice(), "seeds restored");
+    assert_eq!(*state.drift(), drift_before, "drift state restored");
+    assert_eq!(state.days_ingested(), ingested_before, "counters restored");
+    assert!(!state.has_trainer(), "the trainer is dropped on a panic");
+
+    // Recovery: the same day retriggers and lands exactly where an
+    // undisturbed run would — TrainState::new on the window history
+    // with the re-selected seeds.
+    let outcome = state
+        .ingest_and_train(days[trigger].clone())
+        .expect("recovery ingest");
+    assert_eq!(outcome.mode, RetrainMode::FullRebootstrap);
+    assert_eq!(state.drift().triggers, 1);
+    let window = window_history(&ds, &days, trigger);
+    let (new_seeds, overlap) = cold_reselection(&ds, &window, 1);
+    assert_eq!(state.seeds(), new_seeds.as_slice());
+    assert_eq!(state.drift().last_seed_overlap, overlap as u64);
+    let mut cold = TrainState::new(
+        ds.graph.clone(),
+        &window,
+        new_seeds,
+        &corr_config(),
+        config(1, None),
+    );
+    assert_eq!(
+        estimator_bytes(&outcome.estimator),
+        estimator_bytes(&cold.train().expect("cold train")),
+        "recovery after the panic == the panic never happened"
+    );
+}
+
+#[test]
+fn daemon_survives_a_rebootstrap_panic_and_keeps_serving_the_old_epoch() {
+    let _g = gate();
+    let ds = dataset();
+    let days = ingest_days(&ds);
+    let signals = signal_trajectory(&ds, &days);
+    let (threshold, _, _) = calibrated_threshold(&signals);
+    let cfg = DriftConfig {
+        threshold,
+        cooldown_days: WINDOW_DAYS as u64,
+        window_days: WINDOW_DAYS,
+    };
+    let trigger = expected_trigger(&signals, &cfg).expect("trigger fires");
+
+    let handle = Daemon::spawn(
+        train_state(&ds, config(1, Some(cfg))),
+        DaemonConfig::default(),
+    )
+    .expect("daemon spawns");
+    let mut client = crowdspeed_server::Client::connect(handle.addr()).expect("client");
+    for day in &days[..trigger] {
+        client
+            .ingest_day(day_rows(day))
+            .expect("pre-trigger ingest");
+    }
+    let obs: Vec<(u32, f64)> = seeds()
+        .iter()
+        .map(|&s| (s.0, ds.test_days[0].speed(9, s)))
+        .collect();
+    let before = client.estimate(9, obs.clone(), None).expect("estimate");
+    assert_eq!(before.epoch, (trigger + 1) as u64);
+
+    failpoint::clear_all();
+    failpoint::configure("rebootstrap", Action::Panic, Some(1));
+    let result = client.ingest_day(day_rows(&days[trigger]));
+    failpoint::clear_all();
+    assert!(
+        result.is_err(),
+        "the injected panic surfaces as a typed error"
+    );
+
+    // The previous epoch keeps serving, bit-identically.
+    let during = client
+        .estimate(9, obs.clone(), None)
+        .expect("still serving");
+    assert_eq!(during.epoch, before.epoch, "no new epoch was published");
+    assert_eq!(during.speeds, before.speeds);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.retrain_failures, 1);
+    assert_eq!(
+        stats.drift_triggers, 0,
+        "the rolled-back trigger left no trace"
+    );
+
+    // The retried day rebootstraps for real.
+    let (epoch, _) = client.ingest_day(day_rows(&days[trigger])).expect("retry");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.drift_triggers, 1);
+    assert_eq!(stats.drift_last_rebootstrap_epoch, epoch);
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+#[test]
+fn snapshot_v3_roundtrips_the_drift_state() {
+    let ds = dataset();
+    let mut state = train_state(&ds, config(1, None));
+    let estimator = state.train().expect("train");
+    let drift = DriftState {
+        last_signal: 0.3125,
+        triggers: 2,
+        days_since_anchor: 1,
+        last_rebootstrap_epoch: 7,
+        last_seed_overlap: 5,
+    };
+    let hash = snapshot::train_state_hash(&state);
+    let bytes = snapshot::encode_snapshot(
+        9,
+        state.clock(),
+        state.days(),
+        state.online(),
+        &estimator,
+        state.context(),
+        &drift,
+        hash,
+    );
+    let payload = snapshot::decode_snapshot(&bytes, hash).expect("valid snapshot decodes");
+    assert_eq!(payload.epoch, 9);
+    assert_eq!(payload.drift, drift, "drift state survives the roundtrip");
+
+    // Corrupting the drift section (a non-finite signal) is caught by
+    // the payload validator, not silently adopted.
+    let mut bad = bytes.to_vec();
+    let sig_at = bad.len() - 40; // 5 trailing u64s; the signal is first
+    bad[sig_at..sig_at + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+    // Header: magic(4) version(2) hash(8) len(8) checksum(8); refresh
+    // the checksum so only the drift corruption is on trial.
+    let body_hash = snapshot::fnv1a(&bad[30..]);
+    bad[22..30].copy_from_slice(&body_hash.to_le_bytes());
+    assert!(matches!(
+        snapshot::decode_snapshot(&bad, hash),
+        Err(RejectReason::Decode)
+    ));
+}
+
+/// A per-test snapshot directory (removed on drop).
+struct SnapDir(PathBuf);
+
+impl SnapDir {
+    fn new(tag: &str) -> SnapDir {
+        let dir =
+            std::env::temp_dir().join(format!("crowdspeed-drift-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("create snapshot dir");
+        SnapDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for SnapDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+#[test]
+fn v2_snapshots_refuse_cleanly_into_a_retrain() {
+    let ds = dataset();
+    let mut state = train_state(&ds, config(1, None));
+    let estimator = state.train().expect("train");
+    let hash = snapshot::train_state_hash(&state);
+    let mut bytes = snapshot::encode_snapshot(
+        3,
+        state.clock(),
+        state.days(),
+        state.online(),
+        &estimator,
+        state.context(),
+        &DriftState::default(),
+        hash,
+    )
+    .to_vec();
+    // Stamp the previous format version: a v2 file has no drift
+    // section, so this build must refuse it rather than misparse it.
+    bytes[4] = 2;
+    bytes[5] = 0;
+    assert!(matches!(
+        snapshot::decode_snapshot(&bytes, hash),
+        Err(RejectReason::BadVersion)
+    ));
+
+    let snap = SnapDir::new("v2");
+    std::fs::write(snapshot::snapshot_path(snap.path(), 3), &bytes).expect("write v2 file");
+    let mut rejected = Vec::new();
+    assert!(
+        snapshot::load_newest(snap.path(), hash, |reason, _| rejected.push(reason)).is_none(),
+        "a v2 file must never resume"
+    );
+    assert_eq!(rejected, vec![RejectReason::BadVersion]);
+
+    // The daemon path: spawn_from over the v2 file falls back to a
+    // fresh retrain with zeroed drift state and a typed reject count.
+    let handle = Daemon::spawn_from(
+        TrainInputs {
+            graph: ds.graph.clone(),
+            history: ds.history.clone(),
+            seeds: seeds(),
+            corr_config: corr_config(),
+            config: config(1, None),
+        },
+        DaemonConfig {
+            snapshot_dir: Some(snap.path().to_path_buf()),
+            ..DaemonConfig::default()
+        },
+    )
+    .expect("fallback daemon spawns");
+    let mut client = crowdspeed_server::Client::connect(handle.addr()).expect("client");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.snapshot_resumed, 0, "refusal, not a resume");
+    assert_eq!(stats.epoch, 1, "fresh retrain");
+    assert_eq!(stats.drift_triggers, 0);
+    assert_eq!(stats.drift_signal, 0.0);
+    let bad_version = stats
+        .snapshot_rejects
+        .iter()
+        .find(|(name, _)| name == "bad_version")
+        .map(|&(_, n)| n);
+    assert_eq!(bad_version, Some(1));
+    client.shutdown().expect("shutdown");
+    handle.join();
+}

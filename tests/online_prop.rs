@@ -7,6 +7,8 @@
 //! (promotion *and* demotion are legal); meeting the thresholds at the
 //! moment of materialisation is the invariant.
 
+use crowdspeed::correlation::CorrelationEdge;
+use crowdspeed::drift::signal_between;
 use crowdspeed::online::OnlineCorrelation;
 use crowdspeed::prelude::*;
 use proptest::prelude::*;
@@ -44,6 +46,34 @@ fn day_from_cells(slots: usize, roads: usize, cells: &[f64]) -> SpeedField {
 /// One cell: usually an observed speed, sometimes an unobserved hole.
 fn cell() -> impl Strategy<Value = f64> {
     (0u32..5, 5.0f64..60.0).prop_map(|(hole, v)| if hole == 0 { f64::NAN } else { v })
+}
+
+/// Materialises a random `(include, cotrend)` mask over the `a < b`
+/// pairs of an `n`-road set into a correlation graph. Iterating pairs
+/// lexicographically keeps the edge list `(a, b)`-sorted, the order
+/// [`signal_between`]'s merge-walk requires.
+fn graph_from_mask(n: usize, mask: &[(bool, f64)]) -> CorrelationGraph {
+    let mut edges = Vec::new();
+    let mut k = 0usize;
+    for a in 0..n as u32 {
+        for b in a + 1..n as u32 {
+            let (include, cotrend) = mask[k % mask.len()];
+            k += 1;
+            if include {
+                edges.push(CorrelationEdge {
+                    a: RoadId(a),
+                    b: RoadId(b),
+                    cotrend,
+                    support: 10,
+                });
+            }
+        }
+    }
+    CorrelationGraph::from_edges(n, edges).expect("valid edges")
+}
+
+fn mask_entry() -> impl Strategy<Value = (bool, f64)> {
+    (any::<bool>(), 0.05f64..0.95)
 }
 
 proptest! {
@@ -102,6 +132,102 @@ proptest! {
                     edge.cotrend
                 );
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Drift-signal identity: whatever accumulator state a random
+    /// ingest sequence leaves behind, the signal of the materialised
+    /// graph against itself is exactly zero — an adaptation-on daemon
+    /// whose context just re-anchored can never immediately re-fire.
+    #[test]
+    fn drift_signal_is_zero_for_identical_accumulators(
+        roads in 3usize..6,
+        slots in 2usize..5,
+        bootstrap_cells in prop::collection::vec(prop::collection::vec(cell(), 20), 1..4),
+        ingest_cells in prop::collection::vec(prop::collection::vec(cell(), 20), 0..5),
+    ) {
+        let graph = line_graph(roads);
+        let clock = SlotClock { slots_per_day: slots };
+        let config = CorrelationConfig {
+            min_cotrend: 0.6,
+            min_co_observations: 2,
+            ..CorrelationConfig::default()
+        };
+        let bootstrap_days: Vec<SpeedField> = bootstrap_cells
+            .iter()
+            .map(|cells| day_from_cells(slots, roads, cells))
+            .collect();
+        let history = HistoricalData::from_days(clock, bootstrap_days);
+        let mut online = OnlineCorrelation::bootstrap(&graph, &history, &config);
+        for cells in &ingest_cells {
+            online.ingest_day(&day_from_cells(slots, roads, cells)).unwrap();
+        }
+        let live = online.correlation_graph();
+        let s = crowdspeed::drift::signal(&online, &live);
+        prop_assert_eq!(s.edge_churn, 0.0);
+        prop_assert_eq!(s.trend_shift, 0.0);
+        prop_assert_eq!(s.value(), 0.0);
+    }
+
+    /// The signal is a symmetric, `[0, 1]`-bounded distance on random
+    /// graph pairs, bit-identical in both directions.
+    #[test]
+    fn drift_signal_is_symmetric_and_bounded(
+        roads in 2usize..8,
+        mask_a in prop::collection::vec(mask_entry(), 8),
+        mask_b in prop::collection::vec(mask_entry(), 8),
+    ) {
+        let a = graph_from_mask(roads, &mask_a);
+        let b = graph_from_mask(roads, &mask_b);
+        let ab = signal_between(&a, &b);
+        let ba = signal_between(&b, &a);
+        prop_assert_eq!(ab.edge_churn.to_bits(), ba.edge_churn.to_bits());
+        prop_assert_eq!(ab.trend_shift.to_bits(), ba.trend_shift.to_bits());
+        prop_assert!((0.0..=1.0).contains(&ab.edge_churn));
+        prop_assert!((0.0..=1.0).contains(&ab.trend_shift));
+        prop_assert!((0.0..=1.0).contains(&ab.value()));
+        // Zero exactly when the graphs agree edge-for-edge.
+        let self_sig = signal_between(&a, &a);
+        prop_assert_eq!(self_sig.value(), 0.0);
+    }
+
+    /// Removing ever more edges from a random graph can only grow the
+    /// churn component: the signal is monotone under growing edge
+    /// churn, so a drifting deployment can never read as *less*
+    /// drifted by churning harder.
+    #[test]
+    fn drift_churn_is_monotone_under_growing_edge_removal(
+        roads in 3usize..8,
+        mask in prop::collection::vec((any::<bool>(), 0.55f64..0.95), 12),
+    ) {
+        // Force at least one edge so the removal sequence is non-trivial.
+        let mut mask = mask;
+        mask[0].0 = true;
+        let full = graph_from_mask(roads, &mask);
+        let edges: Vec<CorrelationEdge> = full.edges().to_vec();
+        let mut prev_churn = 0.0f64;
+        for removed in 0..=edges.len() {
+            let kept: Vec<CorrelationEdge> =
+                edges[..edges.len() - removed].to_vec();
+            let partial = CorrelationGraph::from_edges(roads, kept).expect("valid edges");
+            let churn = signal_between(&full, &partial).edge_churn;
+            prop_assert!(
+                churn >= prev_churn,
+                "removing one more edge shrank the churn: {} < {}",
+                churn,
+                prev_churn
+            );
+            prop_assert!((0.0..=1.0).contains(&churn));
+            prev_churn = churn;
+        }
+        // Removing everything is maximal churn (unless the graph was
+        // empty to begin with).
+        if !edges.is_empty() {
+            prop_assert_eq!(prev_churn, 1.0);
         }
     }
 }

@@ -7,11 +7,12 @@
 //! gathered reply must be byte-identical to a single unsharded daemon
 //! at any shard count — before and after a hot model swap.
 
+use crowdspeed::drift::DriftConfig;
 use crowdspeed::prelude::*;
 use crowdspeed_server::daemon::{Daemon, DaemonConfig, DaemonHandle};
 use crowdspeed_server::{
     dataset_plan, BatchItem, BatchOutcome, Client, ClientConfig, Codec, ErrorKind, Router,
-    RouterConfig, RouterHandle, ServerError, ShardSpec,
+    RouterConfig, RouterHandle, ServerError, ShardSpec, StatsReply,
 };
 use roadnet::RoadId;
 use trafficsim::dataset::{metro_small, Dataset, DatasetParams};
@@ -341,6 +342,125 @@ fn binary_shard_links_and_batches_stay_bit_identical() {
     }
     via_single.shutdown().expect("single shutdown");
     single.wait();
+}
+
+/// The pipelined STATS broadcast (send to every shard first, then
+/// collect in shard order) must report exactly what each worker would
+/// report if asked directly, and the merged top-line view must be the
+/// per-field maximum over the fleet — including the drift family.
+#[test]
+fn pipelined_stats_broadcast_matches_direct_worker_stats() {
+    let ds = dataset();
+    let shards = 3;
+    let plan = dataset_plan(&ds.graph, &ds.history, &corr_config(), shards).expect("plan");
+    // Drift monitoring on, threshold far above any reachable signal:
+    // every ingest records a live signal without ever triggering, so
+    // the probe has a real float to merge.
+    let config = EstimatorConfig {
+        drift: Some(DriftConfig {
+            threshold: 2.0,
+            cooldown_days: u64::MAX,
+            window_days: 0,
+        }),
+        ..EstimatorConfig::default()
+    };
+    let workers: Vec<DaemonHandle> = (0..shards)
+        .map(|i| {
+            let state = crowdspeed_server::TrainState::new(
+                ds.graph.clone(),
+                &ds.history,
+                seeds(),
+                &corr_config(),
+                config.clone(),
+            );
+            Daemon::spawn(
+                state,
+                DaemonConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    shard: Some(ShardSpec {
+                        index: i,
+                        plan: plan.clone(),
+                    }),
+                    ..DaemonConfig::default()
+                },
+            )
+            .expect("shard worker spawns")
+        })
+        .collect();
+    let shard_addrs = workers.iter().map(|w| w.addr().to_string()).collect();
+    let router = Router::spawn(RouterConfig::new(
+        "127.0.0.1:0".to_string(),
+        shard_addrs,
+        plan,
+    ))
+    .expect("router spawns");
+    let mut client = Client::connect(router.addr()).expect("router client");
+
+    // A broadcast ingest advances every worker's epoch and makes each
+    // evaluate its drift signal against the frozen context.
+    client
+        .ingest_day(day_rows(&ds.test_days[0]))
+        .expect("router ingest");
+
+    let merged = client.stats().expect("router stats");
+    let direct: Vec<StatsReply> = workers
+        .iter()
+        .map(|w| {
+            Client::connect(w.addr())
+                .expect("worker client")
+                .stats()
+                .expect("worker stats")
+        })
+        .collect();
+
+    // Per-shard rows mirror the workers' own answers, in shard order.
+    assert_eq!(merged.shards.len(), shards);
+    for (row, worker) in merged.shards.iter().zip(&direct) {
+        assert!(row.up && row.plan_ok, "shard {} healthy", row.shard);
+        assert_eq!(row.epoch, worker.epoch, "shard {}", row.shard);
+        assert_eq!(row.days_ingested, worker.days_ingested);
+    }
+
+    // Every worker ingested the identical day against identical state,
+    // so their drift signals agree bit-for-bit.
+    for worker in &direct {
+        assert_eq!(
+            worker.drift_signal.to_bits(),
+            direct[0].drift_signal.to_bits(),
+            "replicated training keeps drift signals in lockstep"
+        );
+    }
+
+    // The merged top line is the per-field maximum over the fleet.
+    assert_eq!(merged.epoch, direct.iter().map(|w| w.epoch).max().unwrap());
+    assert_eq!(
+        merged.days_ingested,
+        direct.iter().map(|w| w.days_ingested).max().unwrap()
+    );
+    let max_signal = direct.iter().map(|w| w.drift_signal).fold(0.0, f64::max);
+    assert_eq!(merged.drift_signal.to_bits(), max_signal.to_bits());
+    assert_eq!(
+        merged.drift_triggers,
+        direct.iter().map(|w| w.drift_triggers).max().unwrap()
+    );
+    assert_eq!(
+        merged.drift_last_rebootstrap_epoch,
+        direct
+            .iter()
+            .map(|w| w.drift_last_rebootstrap_epoch)
+            .max()
+            .unwrap()
+    );
+    assert_eq!(
+        merged.drift_seed_overlap,
+        direct.iter().map(|w| w.drift_seed_overlap).max().unwrap()
+    );
+
+    client.shutdown().expect("fleet shutdown");
+    router.wait();
+    for worker in workers {
+        worker.wait();
+    }
 }
 
 #[test]
